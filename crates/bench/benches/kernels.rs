@@ -1,0 +1,111 @@
+//! Criterion benches of the hot computational kernels (supports E10):
+//! energy evaluation, incremental deltas, proposal generation, and the
+//! proposal network's forward pass.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dt_bench::HeaSystem;
+use dt_hamiltonian::{DeltaWorkspace, EnergyModel};
+use dt_lattice::{Configuration, Species};
+use dt_nn::Matrix;
+use dt_proposal::{
+    DeepProposal, DeepProposalConfig, LocalSwap, ProposalContext, ProposalKernel,
+};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let sys = HeaSystem::nbmotaw(4); // 128 sites
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let config = Configuration::random(&sys.comp, &mut rng);
+    let n = sys.num_sites();
+
+    c.bench_function("total_energy_n128", |b| {
+        b.iter(|| black_box(sys.model.total_energy(black_box(&config), &sys.neighbors)))
+    });
+
+    c.bench_function("swap_delta", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| {
+            let a = r.random_range(0..n) as u32;
+            let bb = r.random_range(0..n) as u32;
+            black_box(sys.model.swap_delta(&config, &sys.neighbors, a, bb))
+        })
+    });
+
+    c.bench_function("reassign_delta_k32", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(2);
+        let mut ws = DeltaWorkspace::new(n);
+        b.iter_batched(
+            || {
+                let mut sites: Vec<u32> = (0..n as u32).collect();
+                for i in 0..32 {
+                    let j = r.random_range(i..n);
+                    sites.swap(i, j);
+                }
+                sites[..32]
+                    .iter()
+                    .map(|&s| (s, Species(r.random_range(0..4u8))))
+                    .collect::<Vec<_>>()
+            },
+            |moves| {
+                black_box(sys.model.reassign_delta(&config, &sys.neighbors, &moves, &mut ws))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("local_swap_proposal", |b| {
+        let ctx = ProposalContext {
+            neighbors: &sys.neighbors,
+            composition: &sys.comp,
+        };
+        let mut kernel = LocalSwap::new();
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| black_box(kernel.propose(&config, &ctx, &mut r)))
+    });
+
+    c.bench_function("deep_proposal_k32", |b| {
+        let ctx = ProposalContext {
+            neighbors: &sys.neighbors,
+            composition: &sys.comp,
+        };
+        let mut kernel = DeepProposal::new(
+            4,
+            2,
+            &DeepProposalConfig {
+                k: 32,
+                hidden: vec![64, 64],
+            },
+            &mut rng,
+        );
+        let mut r = ChaCha8Rng::seed_from_u64(4);
+        b.iter(|| black_box(kernel.propose(&config, &ctx, &mut r)))
+    });
+
+    c.bench_function("mlp_forward_15x64x64x4", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        let net = dt_nn::Mlp::new(
+            &[15, 64, 64, 4],
+            dt_nn::Activation::Relu,
+            dt_nn::Activation::Identity,
+            &mut r,
+        );
+        let x = Matrix::from_vec(1, 15, (0..15).map(|i| i as f64 / 15.0).collect());
+        b.iter(|| black_box(net.forward(black_box(&x))))
+    });
+
+    c.bench_function("neighbor_table_build_l8", |b| {
+        b.iter(|| {
+            let cell = dt_lattice::Supercell::cubic(dt_lattice::Structure::bcc(), 8);
+            black_box(cell.neighbor_table(2))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_kernels
+}
+criterion_main!(benches);

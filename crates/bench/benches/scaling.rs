@@ -1,0 +1,61 @@
+//! Criterion benches of thread-parallel REWL wall time versus walker
+//! count on this machine (supports E7/E8's measured layer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dt_bench::HeaSystem;
+use dt_rewl::{run_rewl, KernelSpec, RewlConfig};
+use dt_wanglandau::{explore_energy_range, LnfSchedule, WlParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_rewl_threads(c: &mut Criterion) {
+    let sys = HeaSystem::nbmotaw(3);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let range = explore_energy_range(&sys.model, &sys.neighbors, &sys.comp, 30, 0.02, &mut rng);
+
+    let mut group = c.benchmark_group("rewl_fixed_sweeps");
+    group.sample_size(10);
+    for &(windows, per_window) in &[(2usize, 1usize), (2, 2), (4, 2)] {
+        let walkers = windows * per_window;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{walkers}walkers")),
+            &(windows, per_window),
+            |b, &(windows, per_window)| {
+                let cfg = RewlConfig {
+                    num_windows: windows,
+                    walkers_per_window: per_window,
+                    overlap: 0.75,
+                    num_bins: 48,
+                    wl: WlParams {
+                        ln_f_initial: 1.0,
+                        ln_f_final: 1e-10, // never reached: fixed-sweep run
+                        schedule: LnfSchedule::OneOverT {
+                            flatness: 0.7,
+                            reduction: 0.5,
+                        },
+                        sweeps_per_check: 10,
+                    },
+                    exchange_every_sweeps: 10,
+                    observe_every_sweeps: 10,
+                    max_sweeps: 500,
+                    seed: 1,
+                    kernel: KernelSpec::LocalSwap,
+                };
+                b.iter(|| {
+                    black_box(run_rewl(
+                        &sys.model,
+                        &sys.neighbors,
+                        &sys.comp,
+                        range,
+                        &cfg,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewl_threads);
+criterion_main!(benches);

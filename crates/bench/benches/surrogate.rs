@@ -1,0 +1,84 @@
+//! Criterion benches of the surrogate path (supports E1/E10): descriptor
+//! evaluation, incremental descriptor deltas, prediction, and a training
+//! epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dt_bench::HeaSystem;
+use dt_lattice::{Configuration, Species};
+use dt_surrogate::{
+    Dataset, PairCorrelationDescriptor, SamplingStrategy, SurrogateModel, TrainingOptions,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_surrogate(c: &mut Criterion) {
+    let sys = HeaSystem::nbmotaw(4);
+    let descriptor = PairCorrelationDescriptor {
+        num_species: 4,
+        num_shells: 2,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let config = Configuration::random(&sys.comp, &mut rng);
+
+    c.bench_function("descriptor_compute_n128", |b| {
+        b.iter(|| black_box(descriptor.compute(black_box(&config), &sys.neighbors)))
+    });
+
+    c.bench_function("descriptor_delta_k8", |b| {
+        let moves: Vec<(u32, Species)> = (0..8u32).map(|i| (i * 13, Species(1))).collect();
+        b.iter(|| black_box(descriptor.delta(&config, &sys.neighbors, &moves)))
+    });
+
+    // Train a small surrogate once, bench prediction.
+    let ds = Dataset::generate(
+        &sys.model,
+        &sys.neighbors,
+        &sys.comp,
+        descriptor,
+        128,
+        SamplingStrategy::Random,
+        &mut rng,
+    );
+    let (train, test) = ds.split(0.8);
+    let (model, _) = SurrogateModel::train(
+        descriptor,
+        &train,
+        &test,
+        &TrainingOptions {
+            hidden: vec![32, 32],
+            lr: 3e-3,
+            epochs: 100,
+        },
+        &mut rng,
+    );
+
+    c.bench_function("surrogate_predict", |b| {
+        b.iter(|| black_box(model.predict_per_site(&config, &sys.neighbors)))
+    });
+
+    c.bench_function("surrogate_train_100_epochs_103cfg", |b| {
+        b.iter(|| {
+            let mut r = ChaCha8Rng::seed_from_u64(4);
+            let (m, _) = SurrogateModel::train(
+                descriptor,
+                &train,
+                &test,
+                &TrainingOptions {
+                    hidden: vec![32, 32],
+                    lr: 3e-3,
+                    epochs: 100,
+                },
+                &mut r,
+            );
+            black_box(m)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_surrogate
+}
+criterion_main!(benches);

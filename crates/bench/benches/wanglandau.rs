@@ -1,0 +1,97 @@
+//! Criterion benches of Wang–Landau sweep throughput per proposal kernel
+//! (supports E3/E6: the per-move cost side of the time-to-solution story).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dt_bench::HeaSystem;
+use dt_lattice::Configuration;
+use dt_proposal::{
+    DeepProposal, DeepProposalConfig, LocalSwap, ProposalContext, ProposalKernel, ProposalMix,
+    RandomReassign,
+};
+use dt_wanglandau::{explore_energy_range, EnergyGrid, WlParams, WlWalker};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn walker_with(sys: &HeaSystem, kernel: Box<dyn ProposalKernel>, range: (f64, f64)) -> WlWalker {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let grid = EnergyGrid::new(range.0, range.1, 64);
+    let config = Configuration::random(&sys.comp, &mut rng);
+    let mut w = WlWalker::new(
+        grid,
+        WlParams::fast(),
+        config,
+        &sys.model,
+        &sys.neighbors,
+        kernel,
+        3,
+    );
+    assert!(w.drive_into_window(&sys.model, &sys.neighbors, 5_000));
+    w
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let sys = HeaSystem::nbmotaw(4);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let range = explore_energy_range(&sys.model, &sys.neighbors, &sys.comp, 30, 0.05, &mut rng);
+    let ctx = ProposalContext {
+        neighbors: &sys.neighbors,
+        composition: &sys.comp,
+    };
+
+    let mut group = c.benchmark_group("wl_sweep_n128");
+    group.sample_size(20);
+
+    group.bench_function("local_swap", |b| {
+        let mut w = walker_with(&sys, Box::new(LocalSwap::new()), range);
+        b.iter(|| {
+            w.sweep(&sys.model, &sys.neighbors, &ctx);
+            black_box(w.energy())
+        })
+    });
+
+    group.bench_function("random_global_mix", |b| {
+        let mix = ProposalMix::new(vec![
+            (
+                Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>,
+                0.8,
+            ),
+            (Box::new(RandomReassign::new(32)), 0.2),
+        ]);
+        let mut w = walker_with(&sys, Box::new(mix), range);
+        b.iter(|| {
+            w.sweep(&sys.model, &sys.neighbors, &ctx);
+            black_box(w.energy())
+        })
+    });
+
+    group.bench_function("deep_mix", |b| {
+        let mut rng2 = ChaCha8Rng::seed_from_u64(7);
+        let deep = DeepProposal::new(
+            4,
+            2,
+            &DeepProposalConfig {
+                k: 32,
+                hidden: vec![64, 64],
+            },
+            &mut rng2,
+        );
+        let mix = ProposalMix::new(vec![
+            (
+                Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>,
+                0.8,
+            ),
+            (Box::new(deep), 0.2),
+        ]);
+        let mut w = walker_with(&sys, Box::new(mix), range);
+        b.iter(|| {
+            w.sweep(&sys.model, &sys.neighbors, &ctx);
+            black_box(w.energy())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

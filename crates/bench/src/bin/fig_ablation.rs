@@ -1,0 +1,132 @@
+//! Ablations — design choices called out in DESIGN.md.
+//!
+//! 1. Deep-kernel mixture weight: acceptance and convergence as the deep
+//!    fraction grows.
+//! 2. Training cadence: how often retraining pays off.
+//! 3. 1/t vs flatness-only schedule: final ln f and sweeps.
+//!
+//! ```text
+//! cargo run -p dt-bench --release --bin fig_ablation [-- --l 3]
+//! ```
+
+use dt_bench::{arg, print_csv, HeaSystem};
+use dt_proposal::{DeepProposalConfig, TrainerConfig};
+use dt_rewl::{run_rewl, DeepSpec, KernelSpec, RewlConfig};
+use dt_wanglandau::{explore_energy_range, LnfSchedule, WlParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn base_cfg(kernel: KernelSpec) -> RewlConfig {
+    RewlConfig {
+        num_windows: 2,
+        walkers_per_window: 2,
+        overlap: 0.75,
+        num_bins: 48,
+        wl: WlParams {
+            ln_f_initial: 1.0,
+            ln_f_final: 1e-3,
+            schedule: LnfSchedule::OneOverT {
+                flatness: 0.7,
+                reduction: 0.5,
+            },
+            sweeps_per_check: 10,
+        },
+        exchange_every_sweeps: 10,
+        observe_every_sweeps: 4,
+        max_sweeps: 60_000,
+        seed: 11,
+        kernel,
+    }
+}
+
+fn deep_spec(weight: f64, train_every: u64) -> DeepSpec {
+    DeepSpec {
+        proposal: DeepProposalConfig {
+            k: 12,
+            hidden: vec![32, 32],
+        },
+        deep_weight: weight,
+        trainer: TrainerConfig {
+            k: 12,
+            ..TrainerConfig::default()
+        },
+        train_every_sweeps: train_every,
+        epochs_per_round: 2,
+        buffer_capacity: 128,
+        sample_every_sweeps: 4,
+        sync_weights: true,
+    }
+}
+
+fn main() {
+    let l: usize = arg("--l", 3);
+    let sys = HeaSystem::nbmotaw(l);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let range = explore_energy_range(&sys.model, &sys.neighbors, &sys.comp, 30, 0.02, &mut rng);
+
+    println!("# ablation 1: deep mixture weight");
+    let mut rows = Vec::new();
+    for weight in [0.05f64, 0.2, 0.5] {
+        let cfg = base_cfg(KernelSpec::Deep(Box::new(deep_spec(weight, 50))));
+        let out = run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg);
+        let mut deep_acc = 0.0;
+        for w in &out.windows {
+            if let Some(a) = w.stats.acceptance("deep-autoregressive") {
+                deep_acc = a;
+            }
+        }
+        rows.push(format!(
+            "{weight},{},{deep_acc:.4},{}",
+            out.sweeps, out.converged
+        ));
+    }
+    print_csv("deep_weight,sweeps,deep_acceptance,converged", &rows);
+
+    println!("\n# ablation 2: training cadence (sweeps between retrains)");
+    let mut rows = Vec::new();
+    for cadence in [25u64, 100, 1000] {
+        let cfg = base_cfg(KernelSpec::Deep(Box::new(deep_spec(0.2, cadence))));
+        let out = run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg);
+        let mut deep_acc = 0.0;
+        for w in &out.windows {
+            if let Some(a) = w.stats.acceptance("deep-autoregressive") {
+                deep_acc = a;
+            }
+        }
+        rows.push(format!("{cadence},{},{deep_acc:.4}", out.sweeps));
+    }
+    print_csv("train_every_sweeps,sweeps,deep_acceptance", &rows);
+
+    println!("\n# ablation 3: ln f schedule");
+    let mut rows = Vec::new();
+    for (name, schedule) in [
+        (
+            "one_over_t",
+            LnfSchedule::OneOverT {
+                flatness: 0.7,
+                reduction: 0.5,
+            },
+        ),
+        (
+            "flatness",
+            LnfSchedule::Flatness {
+                flatness: 0.8,
+                reduction: 0.5,
+            },
+        ),
+    ] {
+        let mut cfg = base_cfg(KernelSpec::LocalSwap);
+        cfg.wl.schedule = schedule;
+        let out = run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg);
+        let ln_f_max = out
+            .windows
+            .iter()
+            .map(|w| w.ln_f)
+            .fold(0.0f64, f64::max);
+        rows.push(format!(
+            "{name},{},{ln_f_max:.3e},{}",
+            out.sweeps, out.converged
+        ));
+    }
+    print_csv("schedule,sweeps,final_lnf_max,converged", &rows);
+}

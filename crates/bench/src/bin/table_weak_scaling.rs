@@ -1,0 +1,71 @@
+//! E7 — Weak scaling to 3,000 GPUs (V100 vs MI250X).
+//!
+//! Two layers (DESIGN.md, "Substitutions"): the projected table from the
+//! calibrated performance model reproduces the paper's scaling shapes at
+//! fleet sizes no laptop can host; the measured table runs the real
+//! thread-parallel REWL at small walker counts on this machine.
+//!
+//! ```text
+//! cargo run -p dt-bench --release --bin table_weak_scaling
+//! ```
+
+use dt_bench::{print_csv, timed, HeaSystem};
+use dt_hpc::{weak_scaling_table, GpuSpec, WorkloadShape};
+use dt_rewl::{run_rewl, KernelSpec, RewlConfig};
+use dt_wanglandau::{explore_energy_range, LnfSchedule, WlParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    println!("# E7: weak scaling (projected, perf model, paper workload)");
+    let shape = WorkloadShape::paper_default();
+    let ranks = [8usize, 32, 128, 512, 1024, 2048, 3000];
+    for gpu in [GpuSpec::v100(), GpuSpec::mi250x_gcd()] {
+        let rows: Vec<String> = weak_scaling_table(&gpu, &shape, &ranks)
+            .into_iter()
+            .map(|r| {
+                format!(
+                    "{},{},{:.5},{:.4e},{:.3}",
+                    gpu.name, r.ranks, r.time_per_iteration_s, r.throughput, r.efficiency
+                )
+            })
+            .collect();
+        print_csv("gpu,ranks,s_per_iter,agg_moves_per_s,efficiency", &rows);
+        println!();
+    }
+
+    println!("# E7b: measured thread-parallel REWL (this machine)");
+    let sys = HeaSystem::nbmotaw(3);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let range = explore_energy_range(&sys.model, &sys.neighbors, &sys.comp, 30, 0.02, &mut rng);
+    let mut rows = Vec::new();
+    for (windows, per_window) in [(2usize, 1usize), (2, 2), (4, 2), (4, 4), (8, 4)] {
+        let cfg = RewlConfig {
+            num_windows: windows,
+            walkers_per_window: per_window,
+            overlap: 0.75,
+            num_bins: 48,
+            wl: WlParams {
+                ln_f_initial: 1.0,
+                ln_f_final: 1e-2,
+                schedule: LnfSchedule::OneOverT {
+                    flatness: 0.7,
+                    reduction: 0.5,
+                },
+                sweeps_per_check: 10,
+            },
+            exchange_every_sweeps: 10,
+            observe_every_sweeps: 4,
+            max_sweeps: 10_000,
+            seed: 1,
+            kernel: KernelSpec::LocalSwap,
+        };
+        let (out, wall) = timed(|| run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg));
+        rows.push(format!(
+            "{},{windows},{wall:.2},{:.4e}",
+            windows * per_window,
+            out.total_moves as f64 / wall
+        ));
+    }
+    print_csv("walkers,windows,wall_s,agg_moves_per_s", &rows);
+}

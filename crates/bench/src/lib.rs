@@ -1,0 +1,114 @@
+//! # dt-bench
+//!
+//! The benchmark harness: regenerates every table and figure of the
+//! reconstructed DeepThermo evaluation (see DESIGN.md, "Reconstructed
+//! experiment index", and EXPERIMENTS.md for measured results).
+//!
+//! Two kinds of targets:
+//!
+//! * **figure/table binaries** (`src/bin/fig_*.rs`, `table_*.rs`) — print
+//!   the rows/series of each experiment to stdout in CSV-ish form:
+//!   `cargo run -p dt-bench --release --bin fig_dos`
+//! * **criterion benches** (`benches/*.rs`) — micro/meso benchmarks of the
+//!   computational kernels: `cargo bench -p dt-bench`
+//!
+//! This library holds the fixtures and helpers they share.
+
+#![forbid(unsafe_code)]
+
+use dt_hamiltonian::{nbmotaw, PairHamiltonian};
+use dt_lattice::{Composition, NeighborTable, Structure, Supercell};
+
+/// A ready-to-sample NbMoTaW system.
+pub struct HeaSystem {
+    /// The supercell.
+    pub cell: Supercell,
+    /// Shell-resolved neighbor lists.
+    pub neighbors: NeighborTable,
+    /// Equiatomic composition.
+    pub comp: Composition,
+    /// The EPI Hamiltonian.
+    pub model: PairHamiltonian,
+}
+
+impl HeaSystem {
+    /// Equiatomic NbMoTaW on a BCC `L³` supercell.
+    pub fn nbmotaw(l: usize) -> Self {
+        let cell = Supercell::cubic(Structure::bcc(), l);
+        let neighbors = cell.neighbor_table(2);
+        let comp = Composition::equiatomic(4, cell.num_sites()).expect("composition");
+        HeaSystem {
+            cell,
+            neighbors,
+            comp,
+            model: nbmotaw(),
+        }
+    }
+
+    /// Number of lattice sites.
+    pub fn num_sites(&self) -> usize {
+        self.cell.num_sites()
+    }
+}
+
+/// The enumerable binary reference system used by correctness-flavored
+/// experiments (BCC L=2, antiferromagnetic coupling, 5 energy levels).
+pub fn binary_reference() -> (Supercell, NeighborTable, Composition, PairHamiltonian) {
+    let cell = Supercell::cubic(Structure::bcc(), 2);
+    let nt = cell.neighbor_table(1);
+    let comp = Composition::equiatomic(2, cell.num_sites()).expect("composition");
+    let h = PairHamiltonian::from_pairs(2, 1, &[(0, 0, 1, -0.01)]);
+    (cell, nt, comp, h)
+}
+
+/// Parse `--flag value` from the process arguments.
+pub fn arg<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    std::env::args()
+        .skip_while(|a| a != flag)
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Wall-clock a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Print a CSV header + rows through one lock for clean output.
+pub fn print_csv(header: &str, rows: &[String]) {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    writeln!(lock, "{header}").expect("stdout");
+    for r in rows {
+        writeln!(lock, "{r}").expect("stdout");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let sys = HeaSystem::nbmotaw(2);
+        assert_eq!(sys.num_sites(), 16);
+        let (_, nt, comp, _) = binary_reference();
+        assert_eq!(nt.num_sites(), comp.num_sites());
+    }
+
+    #[test]
+    fn arg_parses_default() {
+        assert_eq!(arg("--definitely-not-passed", 7usize), 7);
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, s) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+}

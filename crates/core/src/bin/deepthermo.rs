@@ -1,0 +1,137 @@
+//! The `deepthermo` command-line interface.
+//!
+//! ```text
+//! deepthermo run   [--l 3] [--kernel deep|local|random] [--seed 2023]
+//!                  [--lnf 1e-4] [--max-sweeps 300000] [--windows 2]
+//!                  [--walkers 2] [--tmin 100] [--tmax 3000] [--out DIR]
+//! deepthermo info  [--l 3]
+//! ```
+//!
+//! `run` executes the full pipeline on equiatomic NbMoTaW and writes
+//! `thermo.csv`, `dos.csv`, `sro.csv`, and `summary.txt` into `--out`
+//! (default `deepthermo-out/`).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use deepthermo::rewl::{DeepSpec, KernelSpec};
+use deepthermo::{DeepThermo, DeepThermoConfig, MaterialSpec};
+
+fn arg<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    std::env::args()
+        .skip_while(|a| a != flag)
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    match mode.as_str() {
+        "run" => run(),
+        "info" => info(),
+        _ => {
+            eprintln!("usage: deepthermo <run|info> [flags]   (see --help in README)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn build_config() -> DeepThermoConfig {
+    let l: usize = arg("--l", 3);
+    let mut cfg = DeepThermoConfig::quick_demo().with_seed(arg("--seed", 2023));
+    cfg.material = MaterialSpec::nbmotaw(l);
+    cfg.rewl.num_windows = arg("--windows", 2);
+    cfg.rewl.walkers_per_window = arg("--walkers", 2);
+    cfg.rewl.num_bins = arg("--bins", (16 * l * l).min(512));
+    cfg.rewl.wl.ln_f_final = arg("--lnf", 1e-4);
+    cfg.rewl.max_sweeps = arg("--max-sweeps", 300_000u64);
+    cfg.temperatures = dt_thermo::temperature_grid(
+        arg("--tmin", 100.0),
+        arg("--tmax", 3000.0),
+        arg("--tpoints", 100),
+    );
+    let kernel: String = arg("--kernel", "deep".to_string());
+    cfg.rewl.kernel = match kernel.as_str() {
+        "local" => KernelSpec::LocalSwap,
+        "random" => KernelSpec::RandomGlobal {
+            k: arg("--k", 12),
+            weight: 0.2,
+        },
+        _ => KernelSpec::Deep(Box::new(DeepSpec {
+            proposal: deepthermo::proposal::DeepProposalConfig {
+                k: arg("--k", 12),
+                hidden: vec![32, 32],
+            },
+            deep_weight: 0.15,
+            ..DeepSpec::default()
+        })),
+    };
+    cfg
+}
+
+fn info() -> ExitCode {
+    let cfg = build_config();
+    let runner = DeepThermo::nbmotaw(cfg);
+    let comp = runner.composition();
+    println!("material: NbMoTaW (equiatomic) on BCC");
+    println!("sites: {}", comp.num_sites());
+    println!(
+        "configuration space: e^{:.1} states",
+        comp.ln_num_configurations()
+    );
+    println!(
+        "windows x walkers: {} x {}",
+        runner.config().rewl.num_windows,
+        runner.config().rewl.walkers_per_window
+    );
+    println!("kernel: {}", runner.config().rewl.kernel.label());
+    ExitCode::SUCCESS
+}
+
+fn run() -> ExitCode {
+    let out_dir: PathBuf = PathBuf::from(arg("--out", "deepthermo-out".to_string()));
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let cfg = build_config();
+    println!(
+        "deepthermo: NbMoTaW N={}, kernel={}, {} windows x {} walkers, seed {}",
+        cfg.material.num_sites(),
+        cfg.rewl.kernel.label(),
+        cfg.rewl.num_windows,
+        cfg.rewl.walkers_per_window,
+        cfg.rewl.seed
+    );
+    let start = std::time::Instant::now();
+    let report = DeepThermo::nbmotaw(cfg).run();
+    println!(
+        "sampling finished in {:.1} s ({} total moves)",
+        start.elapsed().as_secs_f64(),
+        report.total_moves
+    );
+    print!("{}", report.summary());
+
+    let write = |name: &str, contents: String| -> std::io::Result<()> {
+        fs::write(out_dir.join(name), contents)
+    };
+    let result = write("thermo.csv", report.thermo_csv())
+        .and_then(|()| write("dos.csv", report.dos_csv()))
+        .and_then(|()| write("sro.csv", report.sro_csv()))
+        .and_then(|()| write("summary.txt", report.summary()));
+    match result {
+        Ok(()) => {
+            println!("wrote thermo.csv, dos.csv, sro.csv, summary.txt to {}", out_dir.display());
+            if !report.converged {
+                eprintln!("warning: run hit max sweeps before ln f target");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write outputs: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Top-level run configuration.
+
+use dt_lattice::{SpeciesSet, Structure};
+use dt_rewl::{DeepSpec, KernelSpec, RewlConfig};
+use dt_wanglandau::{LnfSchedule, WlParams};
+
+/// The material to simulate.
+#[derive(Debug, Clone)]
+pub struct MaterialSpec {
+    /// Crystal structure (BCC for the refractory HEAs of the paper).
+    pub structure: Structure,
+    /// Supercell edge in conventional cells (`N = 2·L³` sites for BCC).
+    pub l: usize,
+    /// Species names (equiatomic composition is assumed).
+    pub species: SpeciesSet,
+    /// Interaction shells to include.
+    pub num_shells: usize,
+}
+
+impl MaterialSpec {
+    /// Equiatomic NbMoTaW on BCC.
+    pub fn nbmotaw(l: usize) -> Self {
+        MaterialSpec {
+            structure: Structure::bcc(),
+            l,
+            species: SpeciesSet::nb_mo_ta_w(),
+            num_shells: 2,
+        }
+    }
+
+    /// Number of lattice sites.
+    pub fn num_sites(&self) -> usize {
+        self.l.pow(3) * self.structure.atoms_per_cell()
+    }
+}
+
+/// Full configuration of a DeepThermo run.
+#[derive(Debug, Clone)]
+pub struct DeepThermoConfig {
+    /// Material specification.
+    pub material: MaterialSpec,
+    /// Parallel sampling configuration (windows, walkers, kernels, WL
+    /// schedule).
+    pub rewl: RewlConfig,
+    /// Quench sweeps for energy-range discovery.
+    pub range_quench_sweeps: usize,
+    /// Fractional padding of the discovered range.
+    pub range_pad: f64,
+    /// Temperature grid (K) for the thermodynamic curves.
+    pub temperatures: Vec<f64>,
+}
+
+impl DeepThermoConfig {
+    /// Production-flavored defaults: 4 windows × 2 walkers, deep proposals
+    /// on, 1/t schedule to 1e-6, L=4 NbMoTaW.
+    pub fn standard() -> Self {
+        DeepThermoConfig {
+            material: MaterialSpec::nbmotaw(4),
+            rewl: RewlConfig {
+                num_windows: 4,
+                walkers_per_window: 2,
+                overlap: 0.75,
+                num_bins: 128,
+                wl: WlParams {
+                    ln_f_initial: 1.0,
+                    ln_f_final: 1e-6,
+                    // The 1/t schedule guarantees steady ln f reduction even
+                    // in windows whose histograms flatten slowly (the deep
+                    // low-energy windows) — see dt-wanglandau::schedule.
+                    schedule: LnfSchedule::OneOverT {
+                        flatness: 0.8,
+                        reduction: 0.5,
+                    },
+                    sweeps_per_check: 20,
+                },
+                exchange_every_sweeps: 10,
+                observe_every_sweeps: 2,
+                max_sweeps: 2_000_000,
+                seed: 2023,
+                kernel: KernelSpec::Deep(Box::default()),
+            },
+            range_quench_sweeps: 60,
+            range_pad: 0.02,
+            temperatures: dt_thermo::temperature_grid(50.0, 3000.0, 120),
+        }
+    }
+
+    /// Small, fast-converging settings for demos, doctests, and CI.
+    pub fn quick_demo() -> Self {
+        let mut cfg = DeepThermoConfig::standard();
+        cfg.material = MaterialSpec::nbmotaw(3);
+        cfg.rewl.num_windows = 2;
+        cfg.rewl.walkers_per_window = 2;
+        cfg.rewl.num_bins = 48;
+        cfg.rewl.wl.ln_f_final = 1e-3;
+        cfg.rewl.wl.schedule = LnfSchedule::OneOverT {
+            flatness: 0.7,
+            reduction: 0.5,
+        };
+        cfg.rewl.wl.sweeps_per_check = 10;
+        cfg.rewl.max_sweeps = 60_000;
+        cfg.rewl.kernel = KernelSpec::LocalSwap;
+        cfg.range_quench_sweeps = 30;
+        cfg.temperatures = dt_thermo::temperature_grid(100.0, 2500.0, 60);
+        cfg
+    }
+
+    /// Switch the proposal kernel.
+    pub fn with_kernel(mut self, kernel: KernelSpec) -> Self {
+        self.rewl.kernel = kernel;
+        self
+    }
+
+    /// Switch to deep proposals with a custom spec.
+    pub fn with_deep(mut self, spec: DeepSpec) -> Self {
+        self.rewl.kernel = KernelSpec::Deep(Box::new(spec));
+        self
+    }
+
+    /// Change the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rewl.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn material_site_counts() {
+        assert_eq!(MaterialSpec::nbmotaw(4).num_sites(), 128);
+        assert_eq!(MaterialSpec::nbmotaw(16).num_sites(), 8192);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = DeepThermoConfig::quick_demo()
+            .with_seed(7)
+            .with_kernel(KernelSpec::RandomGlobal { k: 8, weight: 0.2 });
+        assert_eq!(cfg.rewl.seed, 7);
+        assert!(matches!(
+            cfg.rewl.kernel,
+            KernelSpec::RandomGlobal { k: 8, .. }
+        ));
+    }
+
+    #[test]
+    fn standard_uses_deep_proposals() {
+        assert!(matches!(
+            DeepThermoConfig::standard().rewl.kernel,
+            KernelSpec::Deep(_)
+        ));
+    }
+}

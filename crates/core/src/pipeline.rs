@@ -1,0 +1,218 @@
+//! The DeepThermo pipeline: material → parallel sampling → thermodynamics.
+
+use dt_hamiltonian::{nbmotaw, EnergyModel, PairHamiltonian, KB_EV_PER_K};
+use dt_lattice::{Composition, NeighborTable, Species, Supercell};
+use dt_proposal::MoveStats;
+use dt_rewl::{run_rewl, RewlOutput};
+use dt_thermo::{canonical_curve, find_cv_peak};
+use dt_wanglandau::explore_energy_range;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::DeepThermoConfig;
+use crate::report::{DeepThermoReport, SroCurve};
+
+/// A configured DeepThermo run: the material, its energy model, and the
+/// sampling plan.
+pub struct DeepThermo {
+    cfg: DeepThermoConfig,
+    cell: Supercell,
+    neighbors: NeighborTable,
+    comp: Composition,
+    model: PairHamiltonian,
+}
+
+impl DeepThermo {
+    /// Equiatomic NbMoTaW with the built-in EPI Hamiltonian.
+    pub fn nbmotaw(cfg: DeepThermoConfig) -> Self {
+        let model = nbmotaw();
+        DeepThermo::with_model(cfg, model)
+    }
+
+    /// Any pair Hamiltonian over the configured material.
+    ///
+    /// # Panics
+    /// Panics when the model's species count disagrees with the material.
+    pub fn with_model(cfg: DeepThermoConfig, model: PairHamiltonian) -> Self {
+        let cell = Supercell::cubic(cfg.material.structure.clone(), cfg.material.l);
+        assert_eq!(
+            model.num_species(),
+            cfg.material.species.len(),
+            "model species must match the material"
+        );
+        let neighbors = cell.neighbor_table(cfg.material.num_shells);
+        let comp =
+            Composition::equiatomic(cfg.material.species.len(), cell.num_sites())
+                .expect("valid composition");
+        DeepThermo {
+            cfg,
+            cell,
+            neighbors,
+            comp,
+            model,
+        }
+    }
+
+    /// The supercell.
+    pub fn supercell(&self) -> &Supercell {
+        &self.cell
+    }
+
+    /// The neighbor table.
+    pub fn neighbors(&self) -> &NeighborTable {
+        &self.neighbors
+    }
+
+    /// The composition.
+    pub fn composition(&self) -> &Composition {
+        &self.comp
+    }
+
+    /// The energy model.
+    pub fn model(&self) -> &PairHamiltonian {
+        &self.model
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DeepThermoConfig {
+        &self.cfg
+    }
+
+    /// Run the full pipeline: range discovery → REWL sampling → DOS
+    /// normalization → thermodynamics + SRO curves.
+    pub fn run(&self) -> DeepThermoReport {
+        // 1. Discover the reachable energy range.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.rewl.seed ^ 0x5eed);
+        let range = explore_energy_range(
+            &self.model,
+            &self.neighbors,
+            &self.comp,
+            self.cfg.range_quench_sweeps,
+            self.cfg.range_pad,
+            &mut rng,
+        );
+
+        // 2. Parallel sampling.
+        let out = run_rewl(&self.model, &self.neighbors, &self.comp, range, &self.cfg.rewl);
+        self.evaluate(out)
+    }
+
+    /// Turn a raw REWL output into the thermodynamic report (exposed so
+    /// benchmarks can re-evaluate saved outputs).
+    pub fn evaluate(&self, out: RewlOutput) -> DeepThermoReport {
+        let mut dos = out.dos.clone();
+        dos.normalize_total(self.comp.ln_num_configurations(), Some(&out.mask));
+        let ln_g_range = dos.ln_g_range(Some(&out.mask));
+
+        // Visited (E, ln g) pairs drive every canonical sum.
+        let mut energies = Vec::new();
+        let mut ln_g = Vec::new();
+        for (bin, &vis) in out.mask.iter().enumerate() {
+            if vis {
+                energies.push(dos.grid().center(bin));
+                ln_g.push(dos.ln_g_bin(bin));
+            }
+        }
+        let thermo = canonical_curve(&energies, &ln_g, &self.cfg.temperatures, KB_EV_PER_K);
+        let (tc, cv_peak) = find_cv_peak(&thermo);
+
+        // SRO(T) for every unlike first-shell pair by canonical
+        // reweighting of the microcanonical pair probabilities.
+        let m = self.comp.num_species();
+        let fractions = self.comp.fractions();
+        let grid_energies: Vec<f64> = (0..dos.grid().num_bins())
+            .map(|b| dos.grid().center(b))
+            .collect();
+        let grid_ln_g: Vec<f64> = (0..dos.grid().num_bins())
+            .map(|b| if out.mask[b] { dos.ln_g_bin(b) } else { f64::NEG_INFINITY })
+            .collect();
+        let mut sro_curves = Vec::new();
+        for a in 0..m as u8 {
+            for b in (a + 1)..m as u8 {
+                let mut points = Vec::with_capacity(self.cfg.temperatures.len());
+                for &t in &self.cfg.temperatures {
+                    let beta = 1.0 / (KB_EV_PER_K * t);
+                    let mean = out.sro.canonical_average(&grid_energies, &grid_ln_g, beta);
+                    // First shell directed probability p(a, b).
+                    let p = mean[a as usize * m + b as usize];
+                    let ca_cb = fractions[a as usize] * fractions[b as usize];
+                    points.push((t, 1.0 - p / ca_cb));
+                }
+                let label = format!(
+                    "{}-{}",
+                    self.cfg.material.species.name(Species(a)),
+                    self.cfg.material.species.name(Species(b))
+                );
+                sro_curves.push(SroCurve {
+                    shell: 0,
+                    pair: (a, b),
+                    label,
+                    points,
+                });
+            }
+        }
+
+        let mut stats = MoveStats::new();
+        for w in &out.windows {
+            stats.merge(&w.stats);
+        }
+        DeepThermoReport {
+            dos,
+            mask: out.mask,
+            ln_g_range,
+            thermo,
+            transition_temperature: tc,
+            cv_peak,
+            sro_curves,
+            windows: out.windows,
+            converged: out.converged,
+            total_moves: out.total_moves,
+            sweeps: out.sweeps,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeepThermoConfig;
+
+    #[test]
+    fn quick_demo_runs_end_to_end() {
+        let report = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo()).run();
+        assert!(report.converged, "demo run should converge");
+        // DOS range scales like N ln 4: for N=54, ≈ 75 ln-units; visited
+        // bins exclude the extremes so expect a sizeable fraction.
+        assert!(
+            report.ln_g_range > 20.0,
+            "ln g range {}",
+            report.ln_g_range
+        );
+        // Physical sanity of the thermodynamic curve.
+        assert!(report.thermo.iter().all(|p| p.cv >= 0.0));
+        let u_cold = report.thermo.first().unwrap().u;
+        let u_hot = report.thermo.last().unwrap().u;
+        assert!(u_hot > u_cold, "energy must rise with temperature");
+        // Mo-Ta must be the most strongly ordered pair at low T.
+        let mo_ta = report
+            .sro_curves
+            .iter()
+            .find(|c| c.label == "Mo-Ta")
+            .expect("Mo-Ta curve");
+        assert!(
+            mo_ta.points.first().unwrap().1 < -0.1,
+            "Mo-Ta SRO at low T: {}",
+            mo_ta.points.first().unwrap().1
+        );
+    }
+
+    #[test]
+    fn report_csvs_are_well_formed() {
+        let report = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo().with_seed(5)).run();
+        let csv = report.thermo_csv();
+        assert_eq!(csv.lines().count(), 61); // header + 60 temperatures
+        assert!(report.dos_csv().lines().count() > 10);
+        assert!(report.summary().contains("T_c"));
+    }
+}

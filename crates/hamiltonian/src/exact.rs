@@ -1,0 +1,269 @@
+//! Exact enumeration of small systems.
+//!
+//! For supercells with a handful of sites the full configuration space can
+//! be enumerated, giving the *exact* density of states and canonical
+//! averages. Every stochastic sampler in the workspace (Wang–Landau, REWL,
+//! Metropolis, DeepThermo) is validated against these references in the
+//! integration tests.
+
+use dt_lattice::{Composition, Configuration, NeighborTable, Species};
+
+use crate::model::EnergyModel;
+
+/// Tolerance for grouping enumerated energies into discrete levels.
+const LEVEL_TOL: f64 = 1e-9;
+
+/// The exact density of states of a finite system: distinct energy levels
+/// and their configuration counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactDos {
+    energies: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl ExactDos {
+    /// Enumerate every configuration of `comp` over the supercell behind
+    /// `neighbors` and histogram exact energies.
+    ///
+    /// Cost is the multinomial `N! / Π N_a!` — keep `N ≲ 20` sites.
+    pub fn enumerate<M: EnergyModel>(
+        model: &M,
+        neighbors: &NeighborTable,
+        comp: &Composition,
+    ) -> Self {
+        assert_eq!(comp.num_sites(), neighbors.num_sites());
+        let n = comp.num_sites();
+        let mut remaining: Vec<usize> = comp.counts().to_vec();
+        let mut assignment: Vec<Species> = vec![Species(0); n];
+        let mut levels: Vec<(f64, u64)> = Vec::new();
+
+        // Depth-first enumeration of multiset permutations.
+        #[allow(clippy::too_many_arguments)]
+        fn recurse<M: EnergyModel>(
+            site: usize,
+            n: usize,
+            remaining: &mut [usize],
+            assignment: &mut [Species],
+            model: &M,
+            neighbors: &NeighborTable,
+            comp: &Composition,
+            levels: &mut Vec<(f64, u64)>,
+        ) {
+            if site == n {
+                let config =
+                    Configuration::from_species(assignment.to_vec(), comp.num_species());
+                let e = model.total_energy(&config, neighbors);
+                match levels
+                    .binary_search_by(|&(le, _)| le.partial_cmp(&e).expect("finite energy"))
+                {
+                    Ok(i) => levels[i].1 += 1,
+                    Err(i) => {
+                        // Merge into an adjacent level within tolerance.
+                        if i > 0 && (levels[i - 1].0 - e).abs() <= LEVEL_TOL {
+                            levels[i - 1].1 += 1;
+                        } else if i < levels.len() && (levels[i].0 - e).abs() <= LEVEL_TOL {
+                            levels[i].1 += 1;
+                        } else {
+                            levels.insert(i, (e, 1));
+                        }
+                    }
+                }
+                return;
+            }
+            for s in 0..remaining.len() {
+                if remaining[s] == 0 {
+                    continue;
+                }
+                remaining[s] -= 1;
+                assignment[site] = Species(s as u8);
+                recurse(site + 1, n, remaining, assignment, model, neighbors, comp, levels);
+                remaining[s] += 1;
+            }
+        }
+
+        recurse(
+            0,
+            n,
+            &mut remaining,
+            &mut assignment,
+            model,
+            neighbors,
+            comp,
+            &mut levels,
+        );
+
+        ExactDos {
+            energies: levels.iter().map(|&(e, _)| e).collect(),
+            counts: levels.iter().map(|&(_, c)| c).collect(),
+        }
+    }
+
+    /// Distinct energy levels, ascending.
+    pub fn energies(&self) -> &[f64] {
+        &self.energies
+    }
+
+    /// Configuration count of each level.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `ln g(E)` for each level.
+    pub fn ln_g(&self) -> Vec<f64> {
+        self.counts.iter().map(|&c| (c as f64).ln()).collect()
+    }
+
+    /// Total number of configurations enumerated.
+    pub fn total_configurations(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Ground-state (minimum) energy.
+    pub fn ground_state_energy(&self) -> f64 {
+        self.energies[0]
+    }
+
+    /// Exact canonical mean energy at inverse temperature `beta = 1/kT`
+    /// (same energy units as the model).
+    pub fn mean_energy(&self, beta: f64) -> f64 {
+        let (z, ez) = self.weighted_sums(beta);
+        ez / z
+    }
+
+    /// Exact canonical heat capacity `C_v / k_B = β² (⟨E²⟩ − ⟨E⟩²)`.
+    pub fn heat_capacity(&self, beta: f64) -> f64 {
+        let e0 = self.energies[0];
+        let mut z = 0.0;
+        let mut ez = 0.0;
+        let mut e2z = 0.0;
+        for (&e, &c) in self.energies.iter().zip(&self.counts) {
+            let w = c as f64 * (-beta * (e - e0)).exp();
+            z += w;
+            ez += w * e;
+            e2z += w * e * e;
+        }
+        let mean = ez / z;
+        let mean2 = e2z / z;
+        beta * beta * (mean2 - mean * mean)
+    }
+
+    /// Exact probability of each energy level at inverse temperature `beta`.
+    pub fn level_probabilities(&self, beta: f64) -> Vec<f64> {
+        let e0 = self.energies[0];
+        let weights: Vec<f64> = self
+            .energies
+            .iter()
+            .zip(&self.counts)
+            .map(|(&e, &c)| c as f64 * (-beta * (e - e0)).exp())
+            .collect();
+        let z: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / z).collect()
+    }
+
+    fn weighted_sums(&self, beta: f64) -> (f64, f64) {
+        let e0 = self.energies[0];
+        let mut z = 0.0;
+        let mut ez = 0.0;
+        for (&e, &c) in self.energies.iter().zip(&self.counts) {
+            let w = c as f64 * (-beta * (e - e0)).exp();
+            z += w;
+            ez += w * e;
+        }
+        (z, ez)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::PairHamiltonian;
+    use dt_lattice::{Structure, Supercell};
+
+    fn binary_model() -> PairHamiltonian {
+        // Ising-like: unlike pairs cost +0.01 in shell 1 only.
+        PairHamiltonian::from_pairs(2, 1, &[(0, 0, 1, 0.01)])
+    }
+
+    #[test]
+    fn total_count_matches_multinomial() {
+        let cell = Supercell::cubic(Structure::bcc(), 2); // 16 sites
+        let nt = cell.neighbor_table(1);
+        let comp = Composition::equiatomic(2, 16).unwrap();
+        let dos = ExactDos::enumerate(&binary_model(), &nt, &comp);
+        // 16 choose 8 = 12870
+        assert_eq!(dos.total_configurations(), 12_870);
+        assert!((comp.ln_num_configurations() - 12_870f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ground_state_of_antiferro_binary_on_bcc_is_b2() {
+        // Unlike-preferring model: V(0,1) < 0 ⇒ B2 checkerboard ground
+        // state with all 8 first-shell pairs unlike: E = -N·z/2·|V|.
+        let h = PairHamiltonian::from_pairs(2, 1, &[(0, 0, 1, -0.01)]);
+        let cell = Supercell::cubic(Structure::bcc(), 2);
+        let nt = cell.neighbor_table(1);
+        let comp = Composition::equiatomic(2, 16).unwrap();
+        let dos = ExactDos::enumerate(&h, &nt, &comp);
+        let expected = -0.01 * 16.0 * 8.0 / 2.0;
+        assert!((dos.ground_state_energy() - expected).abs() < 1e-9);
+        // The B2 state on L=2 BCC is 2-fold degenerate (sublattice swap).
+        assert_eq!(dos.counts()[0], 2);
+    }
+
+    #[test]
+    fn high_t_mean_energy_approaches_random_alloy_value() {
+        let cell = Supercell::cubic(Structure::bcc(), 2);
+        let nt = cell.neighbor_table(1);
+        let comp = Composition::equiatomic(2, 16).unwrap();
+        let h = binary_model();
+        let dos = ExactDos::enumerate(&h, &nt, &comp);
+        let e_inf = dos
+            .energies()
+            .iter()
+            .zip(dos.counts())
+            .map(|(&e, &c)| e * c as f64)
+            .sum::<f64>()
+            / dos.total_configurations() as f64;
+        // β → 0 canonical mean = unweighted mean over all states.
+        assert!((dos.mean_energy(1e-12) - e_inf).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heat_capacity_is_nonnegative_and_vanishes_at_extremes() {
+        let cell = Supercell::cubic(Structure::bcc(), 2);
+        let nt = cell.neighbor_table(1);
+        let comp = Composition::equiatomic(2, 16).unwrap();
+        let dos = ExactDos::enumerate(&binary_model(), &nt, &comp);
+        for beta in [1e-9, 0.1, 1.0, 10.0, 100.0] {
+            assert!(dos.heat_capacity(beta) >= -1e-12);
+        }
+        assert!(dos.heat_capacity(1e-9) < 1e-3);
+        assert!(dos.heat_capacity(1e4) < 1e-3);
+    }
+
+    #[test]
+    fn level_probabilities_sum_to_one() {
+        let cell = Supercell::cubic(Structure::bcc(), 2);
+        let nt = cell.neighbor_table(1);
+        let comp = Composition::equiatomic(2, 16).unwrap();
+        let dos = ExactDos::enumerate(&binary_model(), &nt, &comp);
+        let p = dos.level_probabilities(5.0);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn quaternary_enumeration_small() {
+        // 8-site SC cell, 2 atoms each of 4 species: 8!/(2!^4) = 2520.
+        let cell = Supercell::cubic(Structure::simple_cubic(), 2);
+        let nt = cell.neighbor_table(1);
+        let comp = Composition::equiatomic(4, 8).unwrap();
+        let h = PairHamiltonian::from_pairs(4, 1, &[(0, 0, 1, -0.01), (0, 2, 3, 0.02)]);
+        let dos = ExactDos::enumerate(&h, &nt, &comp);
+        assert_eq!(dos.total_configurations(), 2520);
+        assert_eq!(
+            dos.energies().len(),
+            dos.counts().len()
+        );
+    }
+}

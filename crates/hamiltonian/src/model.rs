@@ -1,0 +1,181 @@
+//! The [`EnergyModel`] abstraction and shared scratch space for
+//! incremental energy evaluation.
+
+use dt_lattice::{Configuration, NeighborTable, SiteId, Species};
+
+/// Reusable scratch buffers for k-site reassignment deltas.
+///
+/// Monte Carlo inner loops call [`EnergyModel::reassign_delta`] millions of
+/// times; this workspace keeps those calls allocation-free. One workspace
+/// per walker (it is not shared across threads).
+#[derive(Debug, Clone)]
+pub struct DeltaWorkspace {
+    /// Membership mask over sites: `mark[i] == epoch` iff site `i` is in
+    /// the current move's reassignment set.
+    mark: Vec<u64>,
+    epoch: u64,
+}
+
+impl DeltaWorkspace {
+    /// Workspace for a supercell with `num_sites` sites.
+    pub fn new(num_sites: usize) -> Self {
+        DeltaWorkspace {
+            mark: vec![0; num_sites],
+            epoch: 0,
+        }
+    }
+
+    /// Begin a new move: returns the fresh epoch value.
+    #[inline]
+    fn begin(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Mark a site as a member of the current move's set.
+    #[inline]
+    fn mark(&mut self, site: SiteId) {
+        self.mark[site as usize] = self.epoch;
+    }
+
+    /// Is the site in the current move's set?
+    #[inline]
+    fn contains(&self, site: SiteId) -> bool {
+        self.mark[site as usize] == self.epoch
+    }
+
+    /// Number of sites this workspace covers.
+    pub fn num_sites(&self) -> usize {
+        self.mark.len()
+    }
+}
+
+/// A configuration energy functional with incremental updates.
+///
+/// Implementations must satisfy, for any configuration `σ` and move `m`:
+/// `total_energy(apply(σ, m)) == total_energy(σ) + delta(σ, m)` up to
+/// floating-point error — this contract is enforced by property tests in
+/// both `dt-hamiltonian` and `dt-surrogate`.
+pub trait EnergyModel: Send + Sync {
+    /// Number of species the model understands.
+    fn num_species(&self) -> usize;
+
+    /// Number of coordination shells the model reads. A matching
+    /// [`NeighborTable`] must provide at least this many shells.
+    fn num_shells(&self) -> usize;
+
+    /// Total energy of a configuration (eV).
+    fn total_energy(&self, config: &Configuration, neighbors: &NeighborTable) -> f64;
+
+    /// Energy change if the species on sites `a` and `b` were swapped.
+    /// Must be exact for `a == b` (zero) and for adjacent sites.
+    fn swap_delta(
+        &self,
+        config: &Configuration,
+        neighbors: &NeighborTable,
+        a: SiteId,
+        b: SiteId,
+    ) -> f64;
+
+    /// Energy change if each `(site, species)` in `moves` were applied
+    /// simultaneously. Sites must be distinct. `workspace` provides
+    /// allocation-free scratch.
+    fn reassign_delta(
+        &self,
+        config: &Configuration,
+        neighbors: &NeighborTable,
+        moves: &[(SiteId, Species)],
+        workspace: &mut DeltaWorkspace,
+    ) -> f64;
+
+    /// A (loose but safe) lower bound on the energy of any configuration
+    /// with `num_sites` sites — used to initialize Wang–Landau energy
+    /// windows before the range is refined.
+    fn energy_lower_bound(&self, neighbors: &NeighborTable) -> f64;
+
+    /// A (loose but safe) upper bound, mirror of
+    /// [`EnergyModel::energy_lower_bound`].
+    fn energy_upper_bound(&self, neighbors: &NeighborTable) -> f64;
+}
+
+/// Blanket impl so `&M`, `Box<M>`, `Arc<M>` all work where an
+/// `EnergyModel` is expected.
+impl<M: EnergyModel + ?Sized> EnergyModel for &M {
+    fn num_species(&self) -> usize {
+        (**self).num_species()
+    }
+    fn num_shells(&self) -> usize {
+        (**self).num_shells()
+    }
+    fn total_energy(&self, config: &Configuration, neighbors: &NeighborTable) -> f64 {
+        (**self).total_energy(config, neighbors)
+    }
+    fn swap_delta(
+        &self,
+        config: &Configuration,
+        neighbors: &NeighborTable,
+        a: SiteId,
+        b: SiteId,
+    ) -> f64 {
+        (**self).swap_delta(config, neighbors, a, b)
+    }
+    fn reassign_delta(
+        &self,
+        config: &Configuration,
+        neighbors: &NeighborTable,
+        moves: &[(SiteId, Species)],
+        workspace: &mut DeltaWorkspace,
+    ) -> f64 {
+        (**self).reassign_delta(config, neighbors, moves, workspace)
+    }
+    fn energy_lower_bound(&self, neighbors: &NeighborTable) -> f64 {
+        (**self).energy_lower_bound(neighbors)
+    }
+    fn energy_upper_bound(&self, neighbors: &NeighborTable) -> f64 {
+        (**self).energy_upper_bound(neighbors)
+    }
+}
+
+pub(crate) use workspace_internals::*;
+
+mod workspace_internals {
+    use super::*;
+
+    /// Internal hooks used by concrete models in this crate.
+    pub(crate) trait WorkspaceExt {
+        fn begin_move(&mut self) -> u64;
+        fn mark_site(&mut self, site: SiteId);
+        fn in_move(&self, site: SiteId) -> bool;
+    }
+
+    impl WorkspaceExt for DeltaWorkspace {
+        #[inline]
+        fn begin_move(&mut self) -> u64 {
+            self.begin()
+        }
+        #[inline]
+        fn mark_site(&mut self, site: SiteId) {
+            self.mark(site)
+        }
+        #[inline]
+        fn in_move(&self, site: SiteId) -> bool {
+            self.contains(site)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_epochs_do_not_leak_between_moves() {
+        let mut ws = DeltaWorkspace::new(8);
+        ws.begin_move();
+        ws.mark_site(3);
+        assert!(ws.in_move(3));
+        ws.begin_move();
+        assert!(!ws.in_move(3), "previous move's marks must expire");
+        assert_eq!(ws.num_sites(), 8);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests: incremental energies must agree with full recomputation
+//! for arbitrary interaction matrices, structures, and move sets.
+
+use dt_hamiltonian::{DeltaWorkspace, EnergyModel, PairHamiltonian};
+use dt_lattice::{Composition, Configuration, SiteId, Species, Structure, Supercell};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Random symmetric interaction matrices for `m` species and 2 shells.
+fn interaction_matrices(m: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    let upper = m * (m + 1) / 2;
+    proptest::collection::vec(
+        proptest::collection::vec(-0.1f64..0.1, upper..=upper),
+        2..=2,
+    )
+    .prop_map(move |shells| {
+        shells
+            .into_iter()
+            .map(|tri| {
+                let mut mat = vec![0.0; m * m];
+                let mut k = 0;
+                for a in 0..m {
+                    for b in a..m {
+                        mat[a * m + b] = tri[k];
+                        mat[b * m + a] = tri[k];
+                        k += 1;
+                    }
+                }
+                mat
+            })
+            .collect()
+    })
+}
+
+fn structures() -> impl Strategy<Value = Structure> {
+    prop_oneof![
+        Just(Structure::bcc()),
+        Just(Structure::fcc()),
+        Just(Structure::simple_cubic()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn swap_delta_agrees_with_recompute(
+        structure in structures(),
+        l in 2usize..4,
+        mats in interaction_matrices(3),
+        seed in any::<u64>(),
+        pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..12),
+    ) {
+        let cell = Supercell::cubic(structure, l);
+        let nt = cell.neighbor_table(2);
+        let comp = Composition::equiatomic(3, cell.num_sites()).unwrap();
+        let h = PairHamiltonian::new(3, mats);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut config = Configuration::random(&comp, &mut rng);
+        let n = cell.num_sites() as u32;
+        for (ra, rb) in pairs {
+            let a = (ra % n) as SiteId;
+            let b = (rb % n) as SiteId;
+            let e0 = h.total_energy(&config, &nt);
+            let d = h.swap_delta(&config, &nt, a, b);
+            config.swap(a, b);
+            let e1 = h.total_energy(&config, &nt);
+            prop_assert!(((e1 - e0) - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reassign_delta_agrees_with_recompute(
+        structure in structures(),
+        mats in interaction_matrices(4),
+        seed in any::<u64>(),
+        raw_moves in proptest::collection::vec((any::<u32>(), 0u8..4), 1..20),
+    ) {
+        let cell = Supercell::cubic(structure, 2);
+        let nt = cell.neighbor_table(2);
+        let comp = Composition::equiatomic(4, cell.num_sites()).unwrap();
+        let h = PairHamiltonian::new(4, mats);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut config = Configuration::random(&comp, &mut rng);
+        let mut ws = DeltaWorkspace::new(cell.num_sites());
+
+        // Deduplicate sites (keep first occurrence).
+        let n = cell.num_sites() as u32;
+        let mut seen = vec![false; cell.num_sites()];
+        let mut moves: Vec<(SiteId, Species)> = Vec::new();
+        for (rs, sp) in raw_moves {
+            let site = (rs % n) as SiteId;
+            if !seen[site as usize] {
+                seen[site as usize] = true;
+                moves.push((site, Species(sp)));
+            }
+        }
+
+        let e0 = h.total_energy(&config, &nt);
+        let d = h.reassign_delta(&config, &nt, &moves, &mut ws);
+        for &(s, sp) in &moves {
+            config.set(s, sp);
+        }
+        let e1 = h.total_energy(&config, &nt);
+        prop_assert!(((e1 - e0) - d).abs() < 1e-9, "recompute {} vs {}", e1 - e0, d);
+    }
+
+    #[test]
+    fn total_energy_within_bounds(
+        structure in structures(),
+        mats in interaction_matrices(4),
+        seed in any::<u64>(),
+    ) {
+        let cell = Supercell::cubic(structure, 2);
+        let nt = cell.neighbor_table(2);
+        let comp = Composition::equiatomic(4, cell.num_sites()).unwrap();
+        let h = PairHamiltonian::new(4, mats);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let config = Configuration::random(&comp, &mut rng);
+        let e = h.total_energy(&config, &nt);
+        prop_assert!(e >= h.energy_lower_bound(&nt) - 1e-9);
+        prop_assert!(e <= h.energy_upper_bound(&nt) + 1e-9);
+    }
+
+    /// Swapping equal-species sites or a site with itself never changes the
+    /// energy, and swap deltas are antisymmetric under swapping back.
+    #[test]
+    fn swap_delta_structure_properties(
+        mats in interaction_matrices(3),
+        seed in any::<u64>(),
+        a in any::<u32>(),
+        b in any::<u32>(),
+    ) {
+        let cell = Supercell::cubic(Structure::bcc(), 2);
+        let nt = cell.neighbor_table(2);
+        let comp = Composition::equiatomic(3, cell.num_sites()).unwrap();
+        let h = PairHamiltonian::new(3, mats);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut config = Configuration::random(&comp, &mut rng);
+        let n = cell.num_sites() as u32;
+        let (a, b) = ((a % n) as SiteId, (b % n) as SiteId);
+        prop_assert_eq!(h.swap_delta(&config, &nt, a, a), 0.0);
+        let fwd = h.swap_delta(&config, &nt, a, b);
+        config.swap(a, b);
+        let back = h.swap_delta(&config, &nt, a, b);
+        prop_assert!((fwd + back).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! GPU hardware models.
+
+/// An analytic GPU model: enough parameters to roofline-cost the
+//  DeepThermo kernels (NN inference/training, ΔE evaluation, collectives).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Device name for reports.
+    pub name: &'static str,
+    /// Peak FP32 throughput (TFLOP/s).
+    pub fp32_tflops: f64,
+    /// HBM bandwidth (GB/s).
+    pub mem_bw_gbps: f64,
+    /// Intra-node interconnect bandwidth per link (GB/s) — NVLink / xGMI.
+    pub intra_node_bw_gbps: f64,
+    /// Inter-node network bandwidth per endpoint (GB/s) — EDR IB /
+    /// Slingshot.
+    pub inter_node_bw_gbps: f64,
+    /// Network latency per hop (µs).
+    pub net_latency_us: f64,
+    /// GPUs (or GCDs) per node.
+    pub gpus_per_node: usize,
+    /// Fraction of FP32 peak achievable on small dense kernels (the
+    /// proposal/surrogate MLPs are latency-bound, nowhere near peak).
+    pub small_kernel_efficiency: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA V100 (Summit): 15.7 TF FP32, 900 GB/s HBM2, NVLink2,
+    /// dual-rail EDR InfiniBand, 6 GPUs/node.
+    pub fn v100() -> Self {
+        GpuSpec {
+            name: "V100",
+            fp32_tflops: 15.7,
+            mem_bw_gbps: 900.0,
+            intra_node_bw_gbps: 50.0,
+            inter_node_bw_gbps: 12.5,
+            net_latency_us: 1.5,
+            gpus_per_node: 6,
+            small_kernel_efficiency: 0.08,
+        }
+    }
+
+    /// AMD MI250X single GCD (Crusher/Frontier): ≈24 TF FP32 per GCD,
+    /// 1.6 TB/s HBM2e, Infinity Fabric, Slingshot-11, 8 GCDs/node.
+    pub fn mi250x_gcd() -> Self {
+        GpuSpec {
+            name: "MI250X",
+            fp32_tflops: 23.9,
+            mem_bw_gbps: 1638.0,
+            intra_node_bw_gbps: 50.0,
+            inter_node_bw_gbps: 25.0,
+            net_latency_us: 2.0,
+            gpus_per_node: 8,
+            small_kernel_efficiency: 0.06,
+        }
+    }
+
+    /// Effective FLOP/s on small dense kernels (FLOP/s, not TFLOP/s).
+    pub fn effective_flops(&self) -> f64 {
+        self.fp32_tflops * 1e12 * self.small_kernel_efficiency
+    }
+
+    /// Memory bandwidth in bytes/s.
+    pub fn mem_bytes_per_s(&self) -> f64 {
+        self.mem_bw_gbps * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_ordering() {
+        let v = GpuSpec::v100();
+        let m = GpuSpec::mi250x_gcd();
+        assert!(m.fp32_tflops > v.fp32_tflops);
+        assert!(m.mem_bw_gbps > v.mem_bw_gbps);
+        assert!(m.inter_node_bw_gbps > v.inter_node_bw_gbps);
+        assert_eq!(v.gpus_per_node, 6);
+        assert_eq!(m.gpus_per_node, 8);
+    }
+
+    #[test]
+    fn effective_flops_are_a_small_fraction_of_peak() {
+        let v = GpuSpec::v100();
+        assert!(v.effective_flops() < 0.1 * v.fp32_tflops * 1e12);
+        assert!(v.effective_flops() > 1e11);
+    }
+}

@@ -1,0 +1,38 @@
+//! # dt-hpc
+//!
+//! The simulated HPC substrate DeepThermo runs on.
+//!
+//! The paper deploys on Summit (NVIDIA V100) and Crusher/Frontier
+//! (AMD MI250X) with one Wang–Landau walker per GPU, MPI for replica
+//! exchange, and NCCL/RCCL allreduces for distributing retrained proposal
+//! networks. This crate substitutes that stack with:
+//!
+//! * [`Communicator`] + [`ThreadCluster`] — an MPI-flavored message-passing
+//!   runtime over threads (tagged point-to-point sends, barrier,
+//!   sum-allreduce, broadcast), used for *functionally real* parallel REWL
+//!   runs at laptop scale;
+//! * [`rank_rng`] — deterministic, independent per-rank ChaCha streams so
+//!   parallel runs are exactly reproducible at any thread count;
+//! * [`GpuSpec`] / [`PerfModel`] — calibrated analytic performance models
+//!   of the V100 and MI250X (single GCD) with ring-allreduce communication
+//!   costs, used to *project* wall-clock scaling to the paper's 3,000-GPU
+//!   runs (see DESIGN.md, "Substitutions": absolute seconds are not
+//!   reproducible on a laptop; the shapes — efficiency roll-off and the
+//!   V100 : MI250X ratio — are);
+//! * [`scaling`] — weak/strong scaling simulators that generate the rows
+//!   of the paper's scaling tables (experiments E7/E8/E10).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod comm;
+pub mod gpu;
+pub mod perf;
+pub mod rngstream;
+pub mod scaling;
+
+pub use comm::{Communicator, ThreadCluster};
+pub use gpu::GpuSpec;
+pub use perf::{CostBreakdown, PerfModel, WorkloadShape};
+pub use rngstream::rank_rng;
+pub use scaling::{strong_scaling_table, weak_scaling_table, ScalingRow};

@@ -1,0 +1,234 @@
+//! Analytic performance model of one DeepThermo iteration.
+//!
+//! A WL iteration on one GPU alternates: (a) a batch of MC moves (ΔE
+//! evaluation dominated by neighbor-table traffic + NN inference for deep
+//! proposals), (b) periodic proposal-network retraining, (c) replica
+//! exchange with a window neighbor, (d) an allreduce to average/broadcast
+//! network weights. The model rooflines each component so scaling tables
+//! reproduce the *shape* of the paper's results.
+
+use crate::gpu::GpuSpec;
+
+/// Workload parameters of one walker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadShape {
+    /// Lattice sites per walker.
+    pub num_sites: usize,
+    /// Neighbors summed per ΔE site update (z₁ + z₂).
+    pub neighbors_per_site: usize,
+    /// Sites updated per deep proposal (k).
+    pub deep_update_sites: usize,
+    /// Fraction of proposals that are deep (rest are local swaps).
+    pub deep_fraction: f64,
+    /// Proposal-network parameters.
+    pub net_params: usize,
+    /// MC moves per iteration (between collective phases).
+    pub moves_per_iteration: u64,
+    /// Training minibatch rows per iteration.
+    pub training_rows: u64,
+}
+
+impl WorkloadShape {
+    /// The paper-scale default: N = 8192-site supercell, two shells,
+    /// k = N/16 deep updates at 10% mix, ~20k-parameter network.
+    pub fn paper_default() -> Self {
+        WorkloadShape {
+            num_sites: 8192,
+            neighbors_per_site: 14,
+            deep_update_sites: 512,
+            deep_fraction: 0.1,
+            net_params: 20_000,
+            moves_per_iteration: 100_000,
+            training_rows: 4096,
+        }
+    }
+}
+
+/// Seconds spent in each component of one iteration on one GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostBreakdown {
+    /// Energy-difference evaluation (memory-bound).
+    pub energy_eval_s: f64,
+    /// Proposal-network inference (deep moves only).
+    pub nn_inference_s: f64,
+    /// Network training.
+    pub training_s: f64,
+    /// Replica exchange p2p messages.
+    pub exchange_s: f64,
+    /// Weight allreduce across all ranks.
+    pub allreduce_s: f64,
+}
+
+impl CostBreakdown {
+    /// Total seconds per iteration.
+    pub fn total(&self) -> f64 {
+        self.energy_eval_s + self.nn_inference_s + self.training_s + self.exchange_s
+            + self.allreduce_s
+    }
+
+    /// Compute-only (no communication) seconds.
+    pub fn compute(&self) -> f64 {
+        self.energy_eval_s + self.nn_inference_s + self.training_s
+    }
+}
+
+/// The analytic model: a GPU spec + workload shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfModel {
+    /// Hardware parameters.
+    pub gpu: GpuSpec,
+    /// Per-walker workload.
+    pub shape: WorkloadShape,
+}
+
+impl PerfModel {
+    /// Model for a GPU/workload pair.
+    pub fn new(gpu: GpuSpec, shape: WorkloadShape) -> Self {
+        PerfModel { gpu, shape }
+    }
+
+    /// Seconds for the MC move batch: local swaps touch
+    /// `2·neighbors_per_site` table entries, deep moves
+    /// `k·neighbors_per_site`, at ~8 bytes of traffic per entry.
+    pub fn energy_eval_time(&self) -> f64 {
+        let s = &self.shape;
+        let local_moves = s.moves_per_iteration as f64 * (1.0 - s.deep_fraction);
+        let deep_moves = s.moves_per_iteration as f64 * s.deep_fraction;
+        let bytes_per_entry = 8.0;
+        let local_bytes = local_moves * 2.0 * s.neighbors_per_site as f64 * bytes_per_entry;
+        let deep_bytes =
+            deep_moves * s.deep_update_sites as f64 * s.neighbors_per_site as f64 * bytes_per_entry;
+        (local_bytes + deep_bytes) / self.gpu.mem_bytes_per_s()
+    }
+
+    /// Seconds of NN inference: 2 FLOPs per parameter per decoded site,
+    /// two passes (forward + reverse replay).
+    pub fn nn_inference_time(&self) -> f64 {
+        let s = &self.shape;
+        let deep_moves = s.moves_per_iteration as f64 * s.deep_fraction;
+        let flops =
+            deep_moves * 2.0 * s.deep_update_sites as f64 * 2.0 * s.net_params as f64;
+        flops / self.gpu.effective_flops()
+    }
+
+    /// Seconds of training: forward + backward ≈ 6 FLOPs per parameter
+    /// per row.
+    pub fn training_time(&self) -> f64 {
+        let s = &self.shape;
+        let flops = s.training_rows as f64 * 6.0 * s.net_params as f64;
+        flops / self.gpu.effective_flops()
+    }
+
+    /// Seconds for one replica-exchange handshake: a configuration
+    /// (1 byte/site) + energy, against the inter-node link.
+    pub fn exchange_time(&self) -> f64 {
+        let bytes = self.shape.num_sites as f64 + 16.0;
+        self.gpu.net_latency_us * 1e-6 + bytes / (self.gpu.inter_node_bw_gbps * 1e9)
+    }
+
+    /// Seconds for a ring allreduce of the network weights over `ranks`
+    /// GPUs: `2(p−1)` steps of latency, `2(p−1)/p` of the payload over the
+    /// slowest link.
+    pub fn allreduce_time(&self, ranks: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let p = ranks as f64;
+        let bytes = self.shape.net_params as f64 * 4.0; // fp32 weights
+        let steps = 2.0 * (p - 1.0);
+        let latency = steps * self.gpu.net_latency_us * 1e-6;
+        let bw = self.gpu.inter_node_bw_gbps * 1e9;
+        latency + 2.0 * (p - 1.0) / p * bytes / bw
+    }
+
+    /// Full per-iteration breakdown at a given cluster size.
+    pub fn iteration(&self, ranks: usize) -> CostBreakdown {
+        CostBreakdown {
+            energy_eval_s: self.energy_eval_time(),
+            nn_inference_s: self.nn_inference_time(),
+            training_s: self.training_time(),
+            exchange_s: if ranks > 1 { self.exchange_time() } else { 0.0 },
+            allreduce_s: self.allreduce_time(ranks),
+        }
+    }
+
+    /// Aggregate MC throughput (moves/s) of `ranks` GPUs.
+    pub fn throughput(&self, ranks: usize) -> f64 {
+        let t = self.iteration(ranks).total();
+        ranks as f64 * self.shape.moves_per_iteration as f64 / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(gpu: GpuSpec) -> PerfModel {
+        PerfModel::new(gpu, WorkloadShape::paper_default())
+    }
+
+    #[test]
+    fn all_components_are_positive() {
+        let m = model(GpuSpec::v100());
+        let b = m.iteration(64);
+        assert!(b.energy_eval_s > 0.0);
+        assert!(b.nn_inference_s > 0.0);
+        assert!(b.training_s > 0.0);
+        assert!(b.exchange_s > 0.0);
+        assert!(b.allreduce_s > 0.0);
+        assert!(b.total() > b.compute());
+    }
+
+    #[test]
+    fn single_rank_has_no_comm_cost() {
+        let m = model(GpuSpec::v100());
+        let b = m.iteration(1);
+        assert_eq!(b.exchange_s, 0.0);
+        assert_eq!(b.allreduce_s, 0.0);
+    }
+
+    #[test]
+    fn mi250x_outruns_v100_per_gpu() {
+        let v = model(GpuSpec::v100());
+        let m = model(GpuSpec::mi250x_gcd());
+        assert!(m.throughput(1) > v.throughput(1));
+        // The ratio should be hardware-like: between 1.1x and 2.5x.
+        let ratio = m.throughput(1) / v.throughput(1);
+        assert!((1.1..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn allreduce_grows_with_ranks() {
+        let m = model(GpuSpec::v100());
+        let t64 = m.allreduce_time(64);
+        let t3000 = m.allreduce_time(3000);
+        assert!(t3000 > t64);
+        assert_eq!(m.allreduce_time(1), 0.0);
+    }
+
+    #[test]
+    fn throughput_scales_sublinearly_but_monotonically() {
+        let m = model(GpuSpec::mi250x_gcd());
+        let mut prev = 0.0;
+        for ranks in [1usize, 8, 64, 512, 3000] {
+            let tp = m.throughput(ranks);
+            assert!(tp > prev, "throughput must grow with ranks");
+            prev = tp;
+        }
+        // Efficiency at 3000 ranks is below 1 but not collapsed.
+        let eff = m.throughput(3000) / (3000.0 * m.throughput(1));
+        assert!(eff < 1.0, "eff {eff}");
+        assert!(eff > 0.3, "eff {eff}");
+    }
+
+    #[test]
+    fn deep_moves_dominate_inference_cost() {
+        let mut shape = WorkloadShape::paper_default();
+        shape.deep_fraction = 0.0;
+        let no_deep = PerfModel::new(GpuSpec::v100(), shape.clone());
+        assert_eq!(no_deep.nn_inference_time(), 0.0);
+        shape.deep_fraction = 0.5;
+        let half_deep = PerfModel::new(GpuSpec::v100(), shape);
+        assert!(half_deep.nn_inference_time() > 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Weak/strong scaling simulators — generators for the paper's scaling
+//! tables (experiments E7/E8).
+
+use crate::gpu::GpuSpec;
+use crate::perf::{PerfModel, WorkloadShape};
+
+/// One row of a scaling table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// GPUs (ranks).
+    pub ranks: usize,
+    /// Seconds per iteration.
+    pub time_per_iteration_s: f64,
+    /// Aggregate throughput (MC moves/s).
+    pub throughput: f64,
+    /// Parallel efficiency vs the smallest configuration.
+    pub efficiency: f64,
+}
+
+/// Weak scaling: one walker (fixed workload) per GPU; the iteration time
+/// grows only through collectives. Efficiency = T(1-ish)/T(p).
+pub fn weak_scaling_table(gpu: &GpuSpec, shape: &WorkloadShape, ranks: &[usize]) -> Vec<ScalingRow> {
+    assert!(!ranks.is_empty());
+    let model = PerfModel::new(gpu.clone(), shape.clone());
+    let base = model.iteration(ranks[0]).total();
+    ranks
+        .iter()
+        .map(|&p| {
+            let t = model.iteration(p).total();
+            ScalingRow {
+                ranks: p,
+                time_per_iteration_s: t,
+                throughput: model.throughput(p),
+                efficiency: base / t,
+            }
+        })
+        .collect()
+}
+
+/// Strong scaling: a fixed global workload (total moves per iteration)
+/// divided across GPUs. Communication is not divided, so efficiency decays
+/// faster than weak scaling — Amdahl in action.
+pub fn strong_scaling_table(
+    gpu: &GpuSpec,
+    shape: &WorkloadShape,
+    ranks: &[usize],
+) -> Vec<ScalingRow> {
+    assert!(!ranks.is_empty());
+    let total_moves = shape.moves_per_iteration;
+    let total_training = shape.training_rows;
+    let base = {
+        let mut s = shape.clone();
+        s.moves_per_iteration = total_moves / ranks[0] as u64;
+        s.training_rows = total_training / ranks[0] as u64;
+        let m = PerfModel::new(gpu.clone(), s);
+        m.iteration(ranks[0]).total() * ranks[0] as f64
+    };
+    ranks
+        .iter()
+        .map(|&p| {
+            let mut s = shape.clone();
+            s.moves_per_iteration = (total_moves / p as u64).max(1);
+            s.training_rows = (total_training / p as u64).max(1);
+            let m = PerfModel::new(gpu.clone(), s);
+            let t = m.iteration(p).total();
+            ScalingRow {
+                ranks: p,
+                time_per_iteration_s: t,
+                throughput: total_moves as f64 / t,
+                efficiency: base / (t * p as f64),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RANKS: [usize; 6] = [8, 32, 128, 512, 1024, 3000];
+
+    #[test]
+    fn weak_scaling_efficiency_declines_gracefully() {
+        let rows = weak_scaling_table(
+            &GpuSpec::v100(),
+            &WorkloadShape::paper_default(),
+            &RANKS,
+        );
+        assert_eq!(rows.len(), 6);
+        assert!((rows[0].efficiency - 1.0).abs() < 1e-12);
+        for w in rows.windows(2) {
+            assert!(w[1].efficiency <= w[0].efficiency + 1e-12);
+            assert!(w[1].throughput > w[0].throughput, "aggregate grows");
+        }
+        // At 3000 GPUs weak efficiency should still be decent (> 50%),
+        // matching the paper's "scales to 3000 GPUs" claim.
+        assert!(rows[5].efficiency > 0.5, "{}", rows[5].efficiency);
+    }
+
+    #[test]
+    fn strong_scaling_saturates() {
+        let rows = strong_scaling_table(
+            &GpuSpec::mi250x_gcd(),
+            &WorkloadShape::paper_default(),
+            &[1, 2, 4, 8, 16, 32],
+        );
+        // Time per iteration must fall with ranks...
+        for w in rows.windows(2) {
+            assert!(w[1].time_per_iteration_s < w[0].time_per_iteration_s);
+        }
+        // ...but efficiency decays due to undivided communication.
+        assert!(rows.last().unwrap().efficiency < rows[0].efficiency);
+    }
+
+    #[test]
+    fn mi250x_weak_rows_beat_v100_rows() {
+        let shape = WorkloadShape::paper_default();
+        let v = weak_scaling_table(&GpuSpec::v100(), &shape, &RANKS);
+        let m = weak_scaling_table(&GpuSpec::mi250x_gcd(), &shape, &RANKS);
+        for (rv, rm) in v.iter().zip(&m) {
+            assert!(rm.throughput > rv.throughput, "MI250X wins at {}", rv.ranks);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Alloy configurations: a species assignment over supercell sites.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::composition::Composition;
+use crate::species::Species;
+use crate::supercell::Supercell;
+use crate::SiteId;
+
+/// A species assignment over lattice sites with canonical composition
+/// tracking.
+///
+/// The struct maintains the per-species counts incrementally so canonical
+/// (fixed-composition) invariants can be asserted cheaply after any Monte
+/// Carlo move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration {
+    species: Vec<Species>,
+    counts: Vec<usize>,
+}
+
+impl Configuration {
+    /// A uniformly random configuration with exactly the given composition.
+    pub fn random<R: Rng + ?Sized>(comp: &Composition, rng: &mut R) -> Self {
+        let mut species = Vec::with_capacity(comp.num_sites());
+        for (s, &count) in comp.counts().iter().enumerate() {
+            species.extend(std::iter::repeat_n(Species(s as u8), count));
+        }
+        species.shuffle(rng);
+        Configuration {
+            species,
+            counts: comp.counts().to_vec(),
+        }
+    }
+
+    /// A fully segregated configuration: sites filled with species blocks in
+    /// index order. This is a low-entropy starting point far from
+    /// equilibrium, useful for testing equilibration.
+    pub fn segregated(comp: &Composition) -> Self {
+        let mut species = Vec::with_capacity(comp.num_sites());
+        for (s, &count) in comp.counts().iter().enumerate() {
+            species.extend(std::iter::repeat_n(Species(s as u8), count));
+        }
+        Configuration {
+            species,
+            counts: comp.counts().to_vec(),
+        }
+    }
+
+    /// A B2-like ordered configuration on a 2-basis (BCC) supercell with an
+    /// even number of species: species are split between the two
+    /// sublattices, alternating within each. For equiatomic NbMoTaW this
+    /// puts {Nb, Mo} on sublattice 0 and {Ta, W} on sublattice 1.
+    ///
+    /// # Panics
+    /// Panics unless the structure has exactly 2 basis atoms and the number
+    /// of species is even and divides the sublattice size.
+    pub fn b2_ordered(cell: &Supercell, num_species: usize) -> Self {
+        assert_eq!(
+            cell.atoms_per_cell(),
+            2,
+            "B2 order requires a 2-basis (BCC) structure"
+        );
+        assert!(num_species >= 2 && num_species % 2 == 0);
+        let n = cell.num_sites();
+        let half = num_species / 2;
+        let mut species = vec![Species(0); n];
+        let mut counts = vec![0usize; num_species];
+        let mut idx_per_sub = [0usize; 2];
+        for site in 0..n as SiteId {
+            let sub = cell.sublattice(site);
+            let k = idx_per_sub[sub];
+            idx_per_sub[sub] += 1;
+            let s = if sub == 0 {
+                Species((k % half) as u8)
+            } else {
+                Species((half + k % half) as u8)
+            };
+            species[site as usize] = s;
+            counts[s.index()] += 1;
+        }
+        Configuration { species, counts }
+    }
+
+    /// Build directly from a species vector.
+    pub fn from_species(species: Vec<Species>, num_species: usize) -> Self {
+        let mut counts = vec![0usize; num_species];
+        for s in &species {
+            counts[s.index()] += 1;
+        }
+        Configuration { species, counts }
+    }
+
+    /// Number of sites.
+    #[inline]
+    pub fn num_sites(&self) -> usize {
+        self.species.len()
+    }
+
+    /// Number of species tracked.
+    #[inline]
+    pub fn num_species(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Species at `site`.
+    #[inline(always)]
+    pub fn species_at(&self, site: SiteId) -> Species {
+        self.species[site as usize]
+    }
+
+    /// The raw species slice (hot loops index this directly).
+    #[inline]
+    pub fn species(&self) -> &[Species] {
+        &self.species
+    }
+
+    /// Current per-species counts.
+    pub fn species_counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Swap the species on two sites (the canonical local MC move).
+    #[inline]
+    pub fn swap(&mut self, a: SiteId, b: SiteId) {
+        self.species.swap(a as usize, b as usize);
+    }
+
+    /// Set the species of one site, updating composition counts.
+    /// Composition is *not* conserved by a single `set`; callers doing
+    /// k-site reassignments must restore the overall counts themselves
+    /// (checked by [`Configuration::composition_matches`] in debug builds).
+    #[inline]
+    pub fn set(&mut self, site: SiteId, s: Species) {
+        let old = self.species[site as usize];
+        self.counts[old.index()] -= 1;
+        self.counts[s.index()] += 1;
+        self.species[site as usize] = s;
+    }
+
+    /// Check the incremental counts against the composition.
+    pub fn composition_matches(&self, comp: &Composition) -> bool {
+        self.counts == comp.counts()
+    }
+
+    /// Recount species from scratch (validation utility).
+    pub fn recount(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.counts.len()];
+        for s in &self.species {
+            counts[s.index()] += 1;
+        }
+        counts
+    }
+
+    /// A stable 64-bit fingerprint of the configuration (FNV-1a). Used for
+    /// determinism tests and sample deduplication.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for s in &self.species {
+            h ^= u64::from(s.0);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::Structure;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn comp4(n: usize) -> Composition {
+        Composition::equiatomic(4, n).unwrap()
+    }
+
+    #[test]
+    fn random_respects_composition() {
+        let comp = comp4(128);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let c = Configuration::random(&comp, &mut rng);
+        assert!(c.composition_matches(&comp));
+        assert_eq!(c.recount(), comp.counts());
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let comp = comp4(64);
+        let a = Configuration::random(&comp, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = Configuration::random(&comp, &mut ChaCha8Rng::seed_from_u64(9));
+        let c = Configuration::random(&comp, &mut ChaCha8Rng::seed_from_u64(10));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn swap_preserves_counts() {
+        let comp = comp4(64);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut c = Configuration::random(&comp, &mut rng);
+        let before = c.species_counts().to_vec();
+        c.swap(0, 17);
+        assert_eq!(c.species_counts(), &before[..]);
+        assert_eq!(c.recount(), before);
+    }
+
+    #[test]
+    fn set_updates_counts() {
+        let comp = Composition::from_counts(vec![2, 2]).unwrap();
+        let mut c = Configuration::segregated(&comp);
+        assert_eq!(c.species_counts(), &[2, 2]);
+        c.set(0, Species(1));
+        assert_eq!(c.species_counts(), &[1, 3]);
+        assert_eq!(c.recount(), vec![1, 3]);
+    }
+
+    #[test]
+    fn b2_ordered_splits_sublattices() {
+        let cell = Supercell::cubic(Structure::bcc(), 4);
+        let c = Configuration::b2_ordered(&cell, 4);
+        assert_eq!(c.species_counts(), &[32, 32, 32, 32]);
+        for site in 0..cell.num_sites() as SiteId {
+            let s = c.species_at(site);
+            if cell.sublattice(site) == 0 {
+                assert!(s.0 < 2, "sublattice 0 must hold species 0/1");
+            } else {
+                assert!(s.0 >= 2, "sublattice 1 must hold species 2/3");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_changes_on_swap_of_distinct_species() {
+        let comp = comp4(16);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut c = Configuration::random(&comp, &mut rng);
+        let f0 = c.fingerprint();
+        // Find two sites with different species.
+        let b = (1..16)
+            .find(|&i| c.species_at(i) != c.species_at(0))
+            .unwrap();
+        c.swap(0, b);
+        assert_ne!(c.fingerprint(), f0);
+    }
+
+    #[test]
+    fn segregated_is_blockwise() {
+        let comp = Composition::from_counts(vec![3, 2]).unwrap();
+        let c = Configuration::segregated(&comp);
+        assert_eq!(
+            c.species(),
+            &[Species(0), Species(0), Species(0), Species(1), Species(1)]
+        );
+    }
+}

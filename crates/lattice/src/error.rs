@@ -1,0 +1,59 @@
+//! Error type for lattice construction and configuration handling.
+
+use std::fmt;
+
+/// Errors produced while building supercells or configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatticeError {
+    /// A supercell dimension was zero.
+    ZeroDimension,
+    /// The composition counts do not sum to the number of sites.
+    CompositionMismatch {
+        /// Sum of the per-species counts supplied.
+        total: usize,
+        /// Number of lattice sites the composition must fill.
+        sites: usize,
+    },
+    /// More species were requested than [`crate::species::MAX_SPECIES`].
+    TooManySpecies(usize),
+    /// A species index was out of range for the composition.
+    SpeciesOutOfRange {
+        /// The offending species index.
+        species: u8,
+        /// Number of species in the composition.
+        num_species: usize,
+    },
+    /// Composition with zero species or zero sites.
+    EmptyComposition,
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::ZeroDimension => {
+                write!(f, "supercell dimensions must be nonzero")
+            }
+            LatticeError::CompositionMismatch { total, sites } => write!(
+                f,
+                "composition counts sum to {total} but the supercell has {sites} sites"
+            ),
+            LatticeError::TooManySpecies(n) => write!(
+                f,
+                "{n} species requested, maximum is {}",
+                crate::species::MAX_SPECIES
+            ),
+            LatticeError::SpeciesOutOfRange {
+                species,
+                num_species,
+            } => write!(
+                f,
+                "species index {species} out of range for {num_species} species"
+            ),
+            LatticeError::EmptyComposition => {
+                write!(f, "composition must have at least one species and one site")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}

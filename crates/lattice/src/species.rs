@@ -1,0 +1,135 @@
+//! Chemical species labels.
+//!
+//! A [`Species`] is a compact `u8` index into a [`SpeciesSet`], which carries
+//! the human-readable element names (e.g. the refractory high-entropy alloy
+//! NbMoTaW used throughout DeepThermo's evaluation).
+
+use crate::error::LatticeError;
+
+/// Maximum number of distinct species supported by the compact encodings
+/// used in neighbor-pair keys and descriptor layouts.
+pub const MAX_SPECIES: usize = 16;
+
+/// A chemical species, stored as a compact index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Species(pub u8);
+
+impl Species {
+    /// The species index as a `usize`, for table lookups.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u8> for Species {
+    #[inline]
+    fn from(v: u8) -> Self {
+        Species(v)
+    }
+}
+
+/// A named, ordered set of chemical species.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpeciesSet {
+    names: Vec<String>,
+}
+
+impl SpeciesSet {
+    /// Build a species set from element names.
+    ///
+    /// # Errors
+    /// Fails if more than [`MAX_SPECIES`] names are given or the list is
+    /// empty.
+    pub fn new<S: Into<String>>(names: Vec<S>) -> Result<Self, LatticeError> {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        if names.is_empty() {
+            return Err(LatticeError::EmptyComposition);
+        }
+        if names.len() > MAX_SPECIES {
+            return Err(LatticeError::TooManySpecies(names.len()));
+        }
+        Ok(SpeciesSet { names })
+    }
+
+    /// The NbMoTaW refractory high-entropy alloy studied in the paper.
+    pub fn nb_mo_ta_w() -> Self {
+        SpeciesSet::new(vec!["Nb", "Mo", "Ta", "W"]).expect("static set is valid")
+    }
+
+    /// Number of species.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the set is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of species `s`, or `"?"` if out of range.
+    pub fn name(&self, s: Species) -> &str {
+        self.names.get(s.index()).map(String::as_str).unwrap_or("?")
+    }
+
+    /// Look up a species by name.
+    pub fn by_name(&self, name: &str) -> Option<Species> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Species(i as u8))
+    }
+
+    /// Iterate over `(Species, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Species, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Species(i as u8), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nbmotaw_has_four_named_species() {
+        let set = SpeciesSet::nb_mo_ta_w();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.name(Species(0)), "Nb");
+        assert_eq!(set.name(Species(3)), "W");
+        assert_eq!(set.by_name("Ta"), Some(Species(2)));
+        assert_eq!(set.by_name("Xx"), None);
+    }
+
+    #[test]
+    fn species_set_rejects_too_many() {
+        let names: Vec<String> = (0..MAX_SPECIES + 1).map(|i| format!("E{i}")).collect();
+        assert_eq!(
+            SpeciesSet::new(names),
+            Err(LatticeError::TooManySpecies(MAX_SPECIES + 1))
+        );
+    }
+
+    #[test]
+    fn species_set_rejects_empty() {
+        assert_eq!(
+            SpeciesSet::new(Vec::<String>::new()),
+            Err(LatticeError::EmptyComposition)
+        );
+    }
+
+    #[test]
+    fn out_of_range_name_is_question_mark() {
+        let set = SpeciesSet::nb_mo_ta_w();
+        assert_eq!(set.name(Species(9)), "?");
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let set = SpeciesSet::nb_mo_ta_w();
+        let collected: Vec<_> = set.iter().map(|(s, n)| (s.0, n.to_string())).collect();
+        assert_eq!(collected[1], (1, "Mo".to_string()));
+    }
+}

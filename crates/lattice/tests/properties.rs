@@ -1,0 +1,99 @@
+//! Property-based tests of the lattice substrate.
+
+use dt_lattice::{Composition, Configuration, Species, Structure, Supercell};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn structures() -> impl Strategy<Value = Structure> {
+    prop_oneof![
+        Just(Structure::bcc()),
+        Just(Structure::fcc()),
+        Just(Structure::simple_cubic()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every site's neighbor list in every shell has exactly the shell
+    /// coordination, and the relation is symmetric with multiplicity.
+    #[test]
+    fn neighbor_tables_are_consistent(
+        structure in structures(),
+        lx in 2usize..5,
+        ly in 2usize..5,
+        lz in 2usize..5,
+    ) {
+        let cell = Supercell::new(structure, [lx, ly, lz]);
+        let t = cell.neighbor_table(2);
+        for shell in 0..2 {
+            let z = t.coordination(shell);
+            for i in 0..cell.num_sites() as u32 {
+                prop_assert_eq!(t.neighbors(i, shell).len(), z);
+                for &j in t.neighbors(i, shell) {
+                    let ij = t.neighbors(i, shell).iter().filter(|&&n| n == j).count();
+                    let ji = t.neighbors(j, shell).iter().filter(|&&n| n == i).count();
+                    prop_assert_eq!(ij, ji);
+                }
+            }
+        }
+    }
+
+    /// Random configurations always match their composition exactly, for
+    /// arbitrary (possibly non-equiatomic) compositions.
+    #[test]
+    fn random_configurations_match_composition(
+        counts in proptest::collection::vec(0usize..40, 2..6),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(counts.iter().sum::<usize>() > 0);
+        let comp = Composition::from_counts(counts).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let c = Configuration::random(&comp, &mut rng);
+        prop_assert!(c.composition_matches(&comp));
+        prop_assert_eq!(c.recount(), comp.counts().to_vec());
+    }
+
+    /// Any sequence of swaps preserves composition; matched set/unset pairs
+    /// restore it.
+    #[test]
+    fn swaps_preserve_composition(
+        seed in any::<u64>(),
+        swaps in proptest::collection::vec((0u32..54, 0u32..54), 1..30),
+    ) {
+        let comp = Composition::equiatomic(3, 54).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut c = Configuration::random(&comp, &mut rng);
+        for (a, b) in swaps {
+            c.swap(a, b);
+        }
+        prop_assert!(c.composition_matches(&comp));
+    }
+
+    /// set() keeps incremental counts in sync with a full recount.
+    #[test]
+    fn set_keeps_counts_in_sync(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u32..24, 0u8..3), 1..40),
+    ) {
+        let comp = Composition::equiatomic(3, 24).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut c = Configuration::random(&comp, &mut rng);
+        for (site, s) in ops {
+            c.set(site, Species(s));
+            prop_assert_eq!(c.recount(), c.species_counts().to_vec());
+        }
+    }
+
+    /// ln(multinomial) is monotone under moving an atom from the largest
+    /// to the smallest class (entropy increases toward equipartition).
+    #[test]
+    fn ln_configurations_peaks_at_equipartition(n_quarter in 2usize..40) {
+        let n = 4 * n_quarter;
+        let balanced = Composition::equiatomic(4, n).unwrap();
+        let skewed = Composition::from_counts(
+            vec![n_quarter + 1, n_quarter - 1, n_quarter, n_quarter]).unwrap();
+        prop_assert!(balanced.ln_num_configurations() > skewed.ln_num_configurations());
+    }
+}

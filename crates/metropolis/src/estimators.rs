@@ -1,0 +1,137 @@
+//! Time-series estimators: integrated autocorrelation time and blocking
+//! errors.
+//!
+//! The paper's efficiency claim is that global deep proposals decorrelate
+//! the chain in far fewer moves than local swaps; τ_int is the quantity
+//! that makes the comparison precise (E6 in the experiment index).
+
+/// Integrated autocorrelation time of a series with Sokal's automatic
+/// windowing: `τ = 1 + 2 Σ_{t=1..W} ρ(t)` where `W` is the first window
+/// with `W ≥ c·τ(W)` (c = 5, standard).
+///
+/// Returns 1.0 for constant or too-short series.
+pub fn integrated_autocorrelation_time(series: &[f64]) -> f64 {
+    let n = series.len();
+    if n < 4 {
+        return 1.0;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var = series.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        return 1.0;
+    }
+    let rho = |t: usize| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..n - t {
+            acc += (series[i] - mean) * (series[i + t] - mean);
+        }
+        acc / ((n - t) as f64 * var)
+    };
+    let c = 5.0;
+    let mut tau = 1.0;
+    for t in 1..n / 2 {
+        tau += 2.0 * rho(t);
+        if (t as f64) >= c * tau {
+            break;
+        }
+        if tau <= 0.0 {
+            // Noise-dominated tail: clamp and stop.
+            return 1.0_f64.max(tau);
+        }
+    }
+    tau.max(1.0)
+}
+
+/// Standard error of the mean by blocking: split the series into
+/// `num_blocks` blocks, use the variance of block means. This is robust to
+/// autocorrelation when blocks are longer than τ.
+///
+/// Returns `None` when the series is too short for the requested blocks.
+pub fn blocking_error(series: &[f64], num_blocks: usize) -> Option<f64> {
+    if num_blocks < 2 || series.len() < num_blocks * 2 {
+        return None;
+    }
+    let block_len = series.len() / num_blocks;
+    let means: Vec<f64> = (0..num_blocks)
+        .map(|b| {
+            let chunk = &series[b * block_len..(b + 1) * block_len];
+            chunk.iter().sum::<f64>() / block_len as f64
+        })
+        .collect();
+    let grand = means.iter().sum::<f64>() / num_blocks as f64;
+    let var = means.iter().map(|&m| (m - grand) * (m - grand)).sum::<f64>()
+        / (num_blocks as f64 - 1.0);
+    Some((var / num_blocks as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn ar1(phi: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut x = 0.0f64;
+        (0..n)
+            .map(|_| {
+                let noise: f64 = rng.random::<f64>() - 0.5;
+                x = phi * x + noise;
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn white_noise_has_tau_about_one() {
+        let series = ar1(0.0, 20_000, 1);
+        let tau = integrated_autocorrelation_time(&series);
+        assert!((tau - 1.0).abs() < 0.2, "tau = {tau}");
+    }
+
+    #[test]
+    fn ar1_tau_matches_theory() {
+        // For AR(1), τ_int = (1+φ)/(1−φ).
+        let phi = 0.8;
+        let series = ar1(phi, 100_000, 2);
+        let tau = integrated_autocorrelation_time(&series);
+        let expected = (1.0 + phi) / (1.0 - phi); // = 9
+        assert!(
+            (tau - expected).abs() < 2.0,
+            "tau {tau} vs theory {expected}"
+        );
+    }
+
+    #[test]
+    fn more_correlated_series_has_larger_tau() {
+        let fast = integrated_autocorrelation_time(&ar1(0.2, 50_000, 3));
+        let slow = integrated_autocorrelation_time(&ar1(0.9, 50_000, 3));
+        assert!(slow > 2.0 * fast, "slow {slow} vs fast {fast}");
+    }
+
+    #[test]
+    fn constant_series_is_tau_one() {
+        assert_eq!(integrated_autocorrelation_time(&[2.0; 100]), 1.0);
+        assert_eq!(integrated_autocorrelation_time(&[1.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn blocking_error_of_iid_matches_sem() {
+        let series = ar1(0.0, 16_384, 4);
+        let n = series.len() as f64;
+        let mean = series.iter().sum::<f64>() / n;
+        let sd =
+            (series.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)).sqrt();
+        let sem = sd / n.sqrt();
+        let be = blocking_error(&series, 32).unwrap();
+        assert!(
+            (be - sem).abs() < sem,
+            "blocking {be} vs naive sem {sem}"
+        );
+    }
+
+    #[test]
+    fn blocking_error_short_series_none() {
+        assert!(blocking_error(&[1.0, 2.0, 3.0], 4).is_none());
+    }
+}

@@ -1,0 +1,23 @@
+//! # dt-metropolis
+//!
+//! Canonical-ensemble baselines: single-temperature Metropolis sampling
+//! and parallel tempering (replica exchange over a temperature ladder).
+//!
+//! DeepThermo's claims are validated against these classical methods: a
+//! canonical average computed by reweighting the Wang–Landau DOS must
+//! agree with a direct Metropolis estimate at the same temperature, and
+//! the deep proposal must leave these ensembles invariant too (it carries
+//! its own Metropolis–Hastings correction).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod estimators;
+pub mod multihistogram;
+pub mod sampler;
+pub mod tempering;
+
+pub use estimators::{blocking_error, integrated_autocorrelation_time};
+pub use multihistogram::{wham, HistogramRun, WhamResult};
+pub use sampler::{MetropolisSampler, RunStats};
+pub use tempering::{ParallelTempering, TemperingReport};

@@ -1,0 +1,238 @@
+//! Multiple-histogram reweighting (Ferrenberg–Swendsen / WHAM).
+//!
+//! Combines energy histograms collected at several temperatures into one
+//! density-of-states estimate — the classical (non-flat-histogram) route
+//! to g(E) that DeepThermo's Wang–Landau approach is compared against.
+//! Everything runs in log space, so the same machinery handles DOS ranges
+//! of thousands of ln-units.
+
+/// One canonical run's contribution: inverse temperature and the energy
+/// histogram over a shared bin grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramRun {
+    /// Inverse temperature `1/(k_B T)` in inverse energy units.
+    pub beta: f64,
+    /// Sample counts per energy bin (aligned with the shared grid).
+    pub counts: Vec<u64>,
+}
+
+impl HistogramRun {
+    /// Total samples in this run.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// WHAM output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhamResult {
+    /// `ln g(E)` per bin (up to one additive constant); `-inf` for bins no
+    /// run sampled.
+    pub ln_g: Vec<f64>,
+    /// Per-run dimensionless free energies `f_i = −ln Z_i` (same additive
+    /// convention as `ln_g`).
+    pub free_energies: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final max |Δf| — convergence measure.
+    pub residual: f64,
+}
+
+/// Solve the WHAM equations
+/// `g(E) = Σ_i H_i(E) / Σ_i n_i e^{f_i − β_i E}` with
+/// `e^{−f_i} = Σ_E g(E) e^{−β_i E}` by fixed-point iteration in log space.
+///
+/// `energies[b]` is the center of bin `b`; every run's histogram must be
+/// aligned to it.
+///
+/// # Panics
+/// Panics on shape mismatches or when no samples exist at all.
+pub fn wham(
+    energies: &[f64],
+    runs: &[HistogramRun],
+    tol: f64,
+    max_iterations: usize,
+) -> WhamResult {
+    assert!(!runs.is_empty(), "need at least one histogram");
+    let bins = energies.len();
+    for (i, r) in runs.iter().enumerate() {
+        assert_eq!(r.counts.len(), bins, "run {i} histogram size mismatch");
+    }
+    let total_counts: Vec<f64> = (0..bins)
+        .map(|b| runs.iter().map(|r| r.counts[b] as f64).sum())
+        .collect();
+    assert!(
+        total_counts.iter().any(|&c| c > 0.0),
+        "no samples in any histogram"
+    );
+    let ln_n: Vec<f64> = runs.iter().map(|r| (r.total() as f64).ln()).collect();
+
+    let lse = |xs: &mut dyn Iterator<Item = f64>| -> f64 {
+        let xs: Vec<f64> = xs.collect();
+        let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if !m.is_finite() {
+            return m;
+        }
+        m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+    };
+
+    let mut f: Vec<f64> = vec![0.0; runs.len()];
+    let mut ln_g = vec![f64::NEG_INFINITY; bins];
+    let mut residual = f64::INFINITY;
+    let mut iterations = 0;
+    while iterations < max_iterations && residual > tol {
+        iterations += 1;
+        // ln g(E) = ln Σ_i H_i(E) − LSE_i[ln n_i + f_i − β_i E]
+        for b in 0..bins {
+            if total_counts[b] == 0.0 {
+                ln_g[b] = f64::NEG_INFINITY;
+                continue;
+            }
+            let denom = lse(
+                &mut runs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| ln_n[i] + f[i] - r.beta * energies[b]),
+            );
+            ln_g[b] = total_counts[b].ln() - denom;
+        }
+        // f_i = −ln Σ_E g(E) e^{−β_i E}
+        residual = 0.0;
+        for (i, r) in runs.iter().enumerate() {
+            let ln_z = lse(
+                &mut energies
+                    .iter()
+                    .zip(&ln_g)
+                    .filter(|&(_, &lg)| lg.is_finite())
+                    .map(|(&e, &lg)| lg - r.beta * e),
+            );
+            let new_f = -ln_z;
+            residual = residual.max((new_f - f[i]).abs());
+            f[i] = new_f;
+        }
+        // Gauge fix: pin f[0] = 0 so the iteration cannot drift.
+        let shift = f[0];
+        for fi in &mut f {
+            *fi -= shift;
+        }
+    }
+    WhamResult {
+        ln_g,
+        free_energies: f,
+        iterations,
+        residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::MetropolisSampler;
+    use dt_hamiltonian::{exact::ExactDos, PairHamiltonian, KB_EV_PER_K};
+    use dt_lattice::{Composition, Configuration, Structure, Supercell};
+    use dt_proposal::{LocalSwap, ProposalContext};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn wham_recovers_exact_dos_of_binary_system() {
+        let cell = Supercell::cubic(Structure::bcc(), 2);
+        let nt = cell.neighbor_table(1);
+        let comp = Composition::equiatomic(2, cell.num_sites()).unwrap();
+        let h = PairHamiltonian::from_pairs(2, 1, &[(0, 0, 1, -0.01)]);
+        let exact = ExactDos::enumerate(&h, &nt, &comp);
+        let ctx = ProposalContext {
+            neighbors: &nt,
+            composition: &comp,
+        };
+
+        // Bin grid aligned to the 5 exact levels.
+        let energies: Vec<f64> = exact.energies().to_vec();
+        let bin_of = |e: f64| -> usize {
+            energies
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    (a.1 - e).abs().partial_cmp(&(b.1 - e).abs()).unwrap()
+                })
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+
+        // Histograms at a ladder of temperatures covering order to
+        // disorder.
+        let temps = [300.0f64, 600.0, 1200.0, 2400.0, 4800.0];
+        let mut runs = Vec::new();
+        for (k, &t) in temps.iter().enumerate() {
+            let mut rng = ChaCha8Rng::seed_from_u64(k as u64);
+            let c0 = Configuration::random(&comp, &mut rng);
+            let mut sampler =
+                MetropolisSampler::new(t, c0, &h, &nt, Box::new(LocalSwap::new()), 7 + k as u64);
+            let mut counts = vec![0u64; energies.len()];
+            sampler.run(&h, &nt, &ctx, 500, 6000, 1, |_, e| {
+                counts[bin_of(e)] += 1;
+            });
+            runs.push(HistogramRun {
+                beta: 1.0 / (KB_EV_PER_K * t),
+                counts,
+            });
+        }
+
+        let result = wham(&energies, &runs, 1e-10, 10_000);
+        assert!(result.residual < 1e-8, "WHAM residual {}", result.residual);
+
+        // Compare shapes: Δ ln g between adjacent levels vs exact.
+        let exact_ln: Vec<f64> = exact.ln_g();
+        let offset = result.ln_g[2] - exact_ln[2]; // anchor mid level
+        for b in 0..energies.len() {
+            assert!(
+                (result.ln_g[b] - exact_ln[b] - offset).abs() < 0.25,
+                "level {b}: wham {} vs exact {}",
+                result.ln_g[b] - offset,
+                exact_ln[b]
+            );
+        }
+    }
+
+    #[test]
+    fn single_histogram_reduces_to_boltzmann_inversion() {
+        // With one run, WHAM gives ln g = ln H + βE + const.
+        let energies = [0.0, 1.0, 2.0];
+        let runs = [HistogramRun {
+            beta: 0.5,
+            counts: vec![100, 50, 10],
+        }];
+        let r = wham(&energies, &runs, 1e-12, 1000);
+        let expect =
+            |h: f64, e: f64| -> f64 { h.ln() + 0.5 * e };
+        let off = r.ln_g[0] - expect(100.0, 0.0);
+        assert!((r.ln_g[1] - expect(50.0, 1.0) - off).abs() < 1e-9);
+        assert!((r.ln_g[2] - expect(10.0, 2.0) - off).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsampled_bins_stay_masked() {
+        let energies = [0.0, 1.0, 2.0];
+        let runs = [HistogramRun {
+            beta: 1.0,
+            counts: vec![10, 0, 5],
+        }];
+        let r = wham(&energies, &runs, 1e-10, 100);
+        assert_eq!(r.ln_g[1], f64::NEG_INFINITY);
+        assert!(r.ln_g[0].is_finite() && r.ln_g[2].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_histograms_panic() {
+        let _ = wham(
+            &[0.0, 1.0],
+            &[HistogramRun {
+                beta: 1.0,
+                counts: vec![0, 0],
+            }],
+            1e-8,
+            10,
+        );
+    }
+}

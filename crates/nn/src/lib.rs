@@ -1,0 +1,58 @@
+//! # dt-nn
+//!
+//! A small, dependency-free dense neural-network library with explicit
+//! backpropagation, written for DeepThermo's two models:
+//!
+//! * the **surrogate energy model** (regression MLP over pair-correlation
+//!   descriptors), and
+//! * the **deep proposal network** (classification MLP over local-context
+//!   descriptors with composition-constrained softmax heads).
+//!
+//! The paper trains its networks with PyTorch on V100/MI250X GPUs; here the
+//! models are small enough (10³–10⁵ parameters) that a straightforward
+//! `f64` CPU implementation trains in milliseconds while keeping the exact
+//! semantics the samplers need — in particular *numerically exact
+//! log-probabilities* for Metropolis–Hastings corrections, which is why the
+//! whole crate works in `f64`.
+//!
+//! ```
+//! use dt_nn::{Activation, Adam, Matrix, Mlp};
+//! use rand::SeedableRng;
+//!
+//! // Learn y = x0 * x1 on random data.
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let mut mlp = Mlp::new(&[2, 16, 1], Activation::Tanh, Activation::Identity, &mut rng);
+//! let mut adam = Adam::with_lr(1e-2);
+//! let x = Matrix::from_rows(&[&[0.5, -0.5], &[1.0, 1.0], &[-1.0, 0.25]]);
+//! let y = Matrix::from_rows(&[&[-0.25], &[1.0], &[-0.25]]);
+//! let mut last = f64::INFINITY;
+//! for _ in 0..200 {
+//!     let out = mlp.forward_train(&x);
+//!     let (loss, grad) = dt_nn::mse_loss(&out, &y);
+//!     mlp.zero_grad();
+//!     mlp.backward(&grad);
+//!     adam.step(&mut mlp);
+//!     last = loss;
+//! }
+//! assert!(last < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod layer;
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+pub mod serialize;
+
+pub use layer::{Activation, Linear};
+pub use loss::{
+    log_softmax_masked, mse_loss, sample_categorical, softmax_cross_entropy,
+    softmax_cross_entropy_masked,
+};
+pub use matrix::Matrix;
+pub use mlp::Mlp;
+pub use optim::{Adam, Sgd};
+pub use serialize::{load_mlp, save_mlp, NnFormatError};

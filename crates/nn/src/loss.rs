@@ -1,0 +1,246 @@
+//! Losses and (masked) softmax utilities.
+//!
+//! The masked log-softmax here is the numerical heart of DeepThermo's deep
+//! proposal: during constrained autoregressive decoding, species whose
+//! remaining composition count is zero are masked out, and the *exact*
+//! log-probability of each decoded species feeds the Metropolis–Hastings
+//! acceptance ratio. All paths use the standard max-subtraction trick so
+//! probabilities stay finite for any logit magnitude.
+
+use rand::{Rng, RngExt};
+
+use crate::matrix::Matrix;
+
+/// Mean-squared-error loss over all elements.
+///
+/// Returns `(loss, dL/d_pred)` where the gradient is already divided by the
+/// element count.
+pub fn mse_loss(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (target.rows(), target.cols()),
+        "mse shape mismatch"
+    );
+    let n = pred.data().len() as f64;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0;
+    for ((g, &p), &t) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(pred.data())
+        .zip(target.data())
+    {
+        let d = p - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Row-wise log-softmax with an optional mask of allowed classes.
+///
+/// Masked-out entries get `-inf`. `mask.len()` must equal the row length
+/// when provided, and at least one entry must be allowed.
+pub fn log_softmax_masked(logits: &[f64], mask: Option<&[bool]>) -> Vec<f64> {
+    if let Some(m) = mask {
+        assert_eq!(m.len(), logits.len(), "mask length mismatch");
+        assert!(m.iter().any(|&a| a), "mask must allow at least one class");
+    }
+    let allowed = |i: usize| mask.is_none_or(|m| m[i]);
+    let max = logits
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| allowed(i))
+        .map(|(_, &v)| v)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut lse = 0.0;
+    for (i, &v) in logits.iter().enumerate() {
+        if allowed(i) {
+            lse += (v - max).exp();
+        }
+    }
+    let lse = max + lse.ln();
+    logits
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| if allowed(i) { v - lse } else { f64::NEG_INFINITY })
+        .collect()
+}
+
+/// Softmax cross-entropy over a batch with integer targets.
+///
+/// Returns `(mean loss, dL/d_logits)`.
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f64, Matrix) {
+    softmax_cross_entropy_impl(logits, targets, None)
+}
+
+/// Masked softmax cross-entropy: per-row class masks (e.g. exhausted
+/// species during constrained decoding). Targets must be allowed by their
+/// row's mask.
+pub fn softmax_cross_entropy_masked(
+    logits: &Matrix,
+    targets: &[usize],
+    masks: &[Vec<bool>],
+) -> (f64, Matrix) {
+    softmax_cross_entropy_impl(logits, targets, Some(masks))
+}
+
+fn softmax_cross_entropy_impl(
+    logits: &Matrix,
+    targets: &[usize],
+    masks: Option<&[Vec<bool>]>,
+) -> (f64, Matrix) {
+    assert_eq!(logits.rows(), targets.len(), "target count mismatch");
+    if let Some(m) = masks {
+        assert_eq!(m.len(), targets.len(), "mask count mismatch");
+    }
+    let rows = logits.rows();
+    let mut grad = Matrix::zeros(rows, logits.cols());
+    let mut loss = 0.0;
+    for r in 0..rows {
+        let mask = masks.map(|m| m[r].as_slice());
+        let logp = log_softmax_masked(logits.row(r), mask);
+        let t = targets[r];
+        debug_assert!(
+            mask.is_none_or(|m| m[t]),
+            "target {t} masked out in row {r}"
+        );
+        loss -= logp[t];
+        let g_row = grad.row_mut(r);
+        for (c, &lp) in logp.iter().enumerate() {
+            if lp == f64::NEG_INFINITY {
+                g_row[c] = 0.0;
+            } else {
+                let p = lp.exp();
+                g_row[c] = (p - f64::from(u8::from(c == t))) / rows as f64;
+            }
+        }
+    }
+    (loss / rows as f64, grad)
+}
+
+/// Sample a class index from log-probabilities (as produced by
+/// [`log_softmax_masked`]); `-inf` entries are never chosen.
+///
+/// Returns the class and its log-probability.
+pub fn sample_categorical<R: Rng + ?Sized>(logp: &[f64], rng: &mut R) -> (usize, f64) {
+    let u: f64 = rng.random();
+    let mut acc = 0.0;
+    let mut last_valid = None;
+    for (i, &lp) in logp.iter().enumerate() {
+        if lp == f64::NEG_INFINITY {
+            continue;
+        }
+        last_valid = Some(i);
+        acc += lp.exp();
+        if u < acc {
+            return (i, lp);
+        }
+    }
+    // Floating-point slack: fall back to the last valid class.
+    let i = last_valid.expect("at least one valid class");
+    (i, logp[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let t = Matrix::from_rows(&[&[0.0, 4.0]]);
+        let (loss, grad) = mse_loss(&p, &t);
+        assert!((loss - 2.5).abs() < 1e-12); // (1 + 4)/2
+        assert_eq!(grad.data(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn log_softmax_normalizes() {
+        let lp = log_softmax_masked(&[1.0, 2.0, 3.0], None);
+        let total: f64 = lp.iter().map(|&v| v.exp()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Shift invariance.
+        let lp2 = log_softmax_masked(&[101.0, 102.0, 103.0], None);
+        for (a, b) in lp.iter().zip(&lp2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_softmax_handles_extreme_logits() {
+        let lp = log_softmax_masked(&[1e6, 0.0, -1e6], None);
+        assert!((lp[0] - 0.0).abs() < 1e-9);
+        assert!(lp[1] < -1e5);
+        let total: f64 = lp.iter().map(|&v| v.exp()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn masked_log_softmax_excludes_classes() {
+        let lp = log_softmax_masked(&[5.0, 1.0, 1.0], Some(&[false, true, true]));
+        assert_eq!(lp[0], f64::NEG_INFINITY);
+        assert!((lp[1] - 0.5f64.ln()).abs() < 1e-12);
+        assert!((lp[2] - 0.5f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn fully_masked_row_panics() {
+        let _ = log_softmax_masked(&[1.0, 2.0], Some(&[false, false]));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.2, -0.1, 0.5], &[1.0, 0.0, -1.0]]);
+        let targets = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-6;
+        for (r, c) in [(0usize, 0usize), (0, 2), (1, 1)] {
+            let mut up = logits.clone();
+            up[(r, c)] += eps;
+            let mut dn = logits.clone();
+            dn[(r, c)] -= eps;
+            let (lu, _) = softmax_cross_entropy(&up, &targets);
+            let (ld, _) = softmax_cross_entropy(&dn, &targets);
+            let fd = (lu - ld) / (2.0 * eps);
+            assert!((grad[(r, c)] - fd).abs() < 1e-6, "({r},{c})");
+        }
+    }
+
+    #[test]
+    fn masked_cross_entropy_ignores_masked_classes() {
+        let logits = Matrix::from_rows(&[&[9.0, 0.0, 0.0]]);
+        let masks = vec![vec![false, true, true]];
+        let (loss, grad) = softmax_cross_entropy_masked(&logits, &[1], &masks);
+        // With class 0 masked, classes 1/2 are symmetric: loss = ln 2.
+        assert!((loss - 2.0f64.ln()).abs() < 1e-12);
+        assert_eq!(grad[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn categorical_sampling_matches_probabilities() {
+        let logp = log_softmax_masked(&[0.0, 0.0, (4.0f64).ln()], None);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            let (i, lp) = sample_categorical(&logp, &mut rng);
+            assert!((lp - logp[i]).abs() < 1e-12);
+            counts[i] += 1;
+        }
+        let p2 = counts[2] as f64 / n as f64;
+        assert!((p2 - 4.0 / 6.0).abs() < 0.02, "p2 = {p2}");
+    }
+
+    #[test]
+    fn categorical_sampling_skips_masked() {
+        let logp = log_softmax_masked(&[3.0, 1.0], Some(&[false, true]));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(sample_categorical(&logp, &mut rng).0, 1);
+        }
+    }
+}

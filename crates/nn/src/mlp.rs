@@ -1,0 +1,336 @@
+//! Multi-layer perceptrons.
+
+use rand::Rng;
+
+use crate::layer::{Activation, Linear};
+use crate::matrix::Matrix;
+
+/// A feed-forward network of [`Linear`] layers with a shared hidden
+/// activation and a separate output activation.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_act: Activation,
+    out_act: Activation,
+    /// Pre-activation caches from the last `forward_train`.
+    preacts: Vec<Matrix>,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer widths, e.g. `&[in, h1, h2, out]`.
+    ///
+    /// # Panics
+    /// Panics when fewer than two dims are given.
+    pub fn new<R: Rng + ?Sized>(
+        dims: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Mlp {
+            layers,
+            hidden_act,
+            out_act,
+            preacts: Vec::new(),
+        }
+    }
+
+    /// Rebuild from parts (deserialization).
+    pub fn from_parts(layers: Vec<Linear>, hidden_act: Activation, out_act: Activation) -> Self {
+        assert!(!layers.is_empty());
+        Mlp {
+            layers,
+            hidden_act,
+            out_act,
+            preacts: Vec::new(),
+        }
+    }
+
+    /// Layer widths `[in, ..., out]`.
+    pub fn dims(&self) -> Vec<usize> {
+        let mut dims = vec![self.layers[0].in_dim()];
+        dims.extend(self.layers.iter().map(Linear::out_dim));
+        dims
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").out_dim()
+    }
+
+    /// Hidden activation.
+    pub fn hidden_activation(&self) -> Activation {
+        self.hidden_act
+    }
+
+    /// Output activation.
+    pub fn output_activation(&self) -> Activation {
+        self.out_act
+    }
+
+    /// The layers (for serialization and optimizer access).
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Mutable layer access (for optimizers).
+    pub fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Linear::num_params).sum()
+    }
+
+    /// Inference forward pass (`&self`, no caches) — safe to share across
+    /// threads.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let pre = layer.forward(&h);
+            let act = if i == last {
+                self.out_act
+            } else {
+                self.hidden_act
+            };
+            h = act.forward(&pre);
+        }
+        h
+    }
+
+    /// Training forward pass: caches pre-activations for [`Mlp::backward`].
+    pub fn forward_train(&mut self, x: &Matrix) -> Matrix {
+        self.preacts.clear();
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for i in 0..self.layers.len() {
+            let pre = self.layers[i].forward_train(&h);
+            let act = if i == last {
+                self.out_act
+            } else {
+                self.hidden_act
+            };
+            h = act.forward(&pre);
+            self.preacts.push(pre);
+        }
+        h
+    }
+
+    /// Backward pass from an output gradient; accumulates layer gradients.
+    ///
+    /// # Panics
+    /// Panics if `forward_train` was not called first.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        assert_eq!(
+            self.preacts.len(),
+            self.layers.len(),
+            "backward called before forward_train"
+        );
+        let last = self.layers.len() - 1;
+        let mut grad = grad_out.clone();
+        for i in (0..self.layers.len()).rev() {
+            let act = if i == last {
+                self.out_act
+            } else {
+                self.hidden_act
+            };
+            let g_pre = act.backward(&self.preacts[i], &grad);
+            grad = self.layers[i].backward(&g_pre);
+        }
+        grad
+    }
+
+    /// Zero every gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Flatten all parameters (weights then bias, layer by layer) into one
+    /// vector — the payload of the simulated weight allreduce.
+    pub fn flatten_params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for l in &self.layers {
+            out.extend_from_slice(l.w.data());
+            out.extend_from_slice(&l.b);
+        }
+        out
+    }
+
+    /// Load parameters from a [`Mlp::flatten_params`] vector.
+    ///
+    /// # Panics
+    /// Panics when the length does not match `num_params`.
+    pub fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.num_params(), "parameter count mismatch");
+        let mut offset = 0;
+        for l in &mut self.layers {
+            let wlen = l.w.data().len();
+            l.w.data_mut().copy_from_slice(&params[offset..offset + wlen]);
+            offset += wlen;
+            let blen = l.b.len();
+            l.b.copy_from_slice(&params[offset..offset + blen]);
+            offset += blen;
+        }
+    }
+
+    /// Global L2 norm of all gradients (for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f64 {
+        let mut acc = 0.0;
+        for l in &self.layers {
+            acc += l.gw.data().iter().map(|&v| v * v).sum::<f64>();
+            acc += l.gb.iter().map(|&v| v * v).sum::<f64>();
+        }
+        acc.sqrt()
+    }
+
+    /// Scale all gradients so the global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f64) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for l in &mut self.layers {
+                l.gw.scale(s);
+                for g in &mut l.gb {
+                    *g *= s;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse_loss;
+    use crate::optim::Sgd;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dims_round_trip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mlp = Mlp::new(&[5, 8, 3], Activation::Relu, Activation::Identity, &mut rng);
+        assert_eq!(mlp.dims(), vec![5, 8, 3]);
+        assert_eq!(mlp.in_dim(), 5);
+        assert_eq!(mlp.out_dim(), 3);
+        assert_eq!(mlp.num_params(), 5 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    fn forward_equals_forward_train() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut mlp = Mlp::new(&[3, 6, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = Matrix::from_rows(&[&[0.1, 0.2, -0.3], &[1.0, -1.0, 0.5]]);
+        let a = mlp.forward(&x);
+        let b = mlp.forward_train(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut mlp = Mlp::new(&[2, 4, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = Matrix::from_rows(&[&[0.3, -0.7], &[0.5, 0.1]]);
+        let y = Matrix::from_rows(&[&[1.0], &[-1.0]]);
+
+        let out = mlp.forward_train(&x);
+        let (_, grad) = mse_loss(&out, &y);
+        mlp.zero_grad();
+        mlp.backward(&grad);
+
+        let eps = 1e-6;
+        let loss_of = |mlp: &Mlp| -> f64 {
+            let out = mlp.forward(&x);
+            mse_loss(&out, &y).0
+        };
+        // Spot-check several parameters in every layer.
+        for li in 0..mlp.layers().len() {
+            for &(r, c) in &[(0usize, 0usize), (0, 1)] {
+                if r >= mlp.layers()[li].out_dim() || c >= mlp.layers()[li].in_dim() {
+                    continue;
+                }
+                let orig = mlp.layers()[li].w[(r, c)];
+                mlp.layers_mut()[li].w[(r, c)] = orig + eps;
+                let up = loss_of(&mlp);
+                mlp.layers_mut()[li].w[(r, c)] = orig - eps;
+                let dn = loss_of(&mlp);
+                mlp.layers_mut()[li].w[(r, c)] = orig;
+                let fd = (up - dn) / (2.0 * eps);
+                let got = mlp.layers()[li].gw[(r, c)];
+                assert!(
+                    (got - fd).abs() < 1e-5,
+                    "layer {li} w({r},{c}): fd {fd} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_regression() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut mlp = Mlp::new(&[1, 8, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let xs: Vec<f64> = (0..16).map(|i| i as f64 / 8.0 - 1.0).collect();
+        let x = Matrix::from_vec(16, 1, xs.clone());
+        let y = Matrix::from_vec(16, 1, xs.iter().map(|&v| v * v).collect());
+        let mut sgd = Sgd::new(0.05);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..1000 {
+            let out = mlp.forward_train(&x);
+            let (loss, grad) = mse_loss(&out, &y);
+            mlp.zero_grad();
+            mlp.backward(&grad);
+            sgd.step(&mut mlp);
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(last < first.unwrap() * 0.2, "{last} vs {first:?}");
+    }
+
+    #[test]
+    fn flatten_set_params_round_trips() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let a = Mlp::new(&[3, 5, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let mut b = Mlp::new(&[3, 5, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let params = a.flatten_params();
+        assert_eq!(params.len(), a.num_params());
+        b.set_params(&params);
+        let x = Matrix::from_rows(&[&[0.4, -1.0, 2.0]]);
+        assert_eq!(a.forward(&x).data(), b.forward(&x).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count mismatch")]
+    fn set_params_rejects_wrong_length() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut a = Mlp::new(&[2, 2], Activation::Relu, Activation::Identity, &mut rng);
+        a.set_params(&[0.0; 3]);
+    }
+
+    #[test]
+    fn grad_clipping_bounds_norm() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut mlp = Mlp::new(&[2, 4, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let x = Matrix::from_rows(&[&[10.0, -10.0]]);
+        let out = mlp.forward_train(&x);
+        let big = out.map(|_| 100.0);
+        mlp.zero_grad();
+        mlp.backward(&big);
+        mlp.clip_grad_norm(1.0);
+        assert!(mlp.grad_norm() <= 1.0 + 1e-9);
+    }
+}

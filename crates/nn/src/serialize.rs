@@ -1,0 +1,211 @@
+//! Versioned text serialization of MLPs.
+//!
+//! DeepThermo redistributes retrained proposal networks to every walker
+//! (in the paper: an allreduce/broadcast of parameters between GPUs); the
+//! simulated cluster ships them as strings, so the format must be exact.
+//! `f64` values are written as hex-encoded IEEE-754 bits — lossless and
+//! locale-independent.
+
+use std::fmt;
+
+use crate::layer::{Activation, Linear};
+use crate::matrix::Matrix;
+use crate::mlp::Mlp;
+
+/// Format version written at the head of every serialized model.
+const FORMAT_VERSION: u32 = 1;
+
+/// Errors from [`load_mlp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnFormatError {
+    /// The header line is missing or malformed.
+    BadHeader,
+    /// The format version is not supported.
+    UnsupportedVersion(u32),
+    /// A structural line was malformed.
+    Malformed(String),
+    /// The data ended early.
+    Truncated,
+}
+
+impl fmt::Display for NnFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnFormatError::BadHeader => write!(f, "bad model header"),
+            NnFormatError::UnsupportedVersion(v) => write!(f, "unsupported model version {v}"),
+            NnFormatError::Malformed(what) => write!(f, "malformed model data: {what}"),
+            NnFormatError::Truncated => write!(f, "model data truncated"),
+        }
+    }
+}
+
+impl std::error::Error for NnFormatError {}
+
+/// Serialize an MLP to the versioned text format.
+pub fn save_mlp(mlp: &Mlp) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "dtnn v{FORMAT_VERSION}").expect("string write");
+    writeln!(
+        out,
+        "acts {} {}",
+        mlp.hidden_activation().tag(),
+        mlp.output_activation().tag()
+    )
+    .expect("string write");
+    writeln!(out, "layers {}", mlp.layers().len()).expect("string write");
+    for l in mlp.layers() {
+        writeln!(out, "layer {} {}", l.out_dim(), l.in_dim()).expect("string write");
+        for v in l.w.data() {
+            writeln!(out, "{:016x}", v.to_bits()).expect("string write");
+        }
+        for v in &l.b {
+            writeln!(out, "{:016x}", v.to_bits()).expect("string write");
+        }
+    }
+    out
+}
+
+/// Deserialize an MLP from [`save_mlp`] output.
+///
+/// # Errors
+/// Returns a [`NnFormatError`] on any structural or encoding problem.
+pub fn load_mlp(text: &str) -> Result<Mlp, NnFormatError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(NnFormatError::BadHeader)?;
+    let version: u32 = header
+        .strip_prefix("dtnn v")
+        .and_then(|v| v.parse().ok())
+        .ok_or(NnFormatError::BadHeader)?;
+    if version != FORMAT_VERSION {
+        return Err(NnFormatError::UnsupportedVersion(version));
+    }
+
+    let acts_line = lines.next().ok_or(NnFormatError::Truncated)?;
+    let mut acts = acts_line
+        .strip_prefix("acts ")
+        .ok_or_else(|| NnFormatError::Malformed("acts line".into()))?
+        .split_whitespace();
+    let hidden = acts
+        .next()
+        .and_then(Activation::from_tag)
+        .ok_or_else(|| NnFormatError::Malformed("hidden activation".into()))?;
+    let output = acts
+        .next()
+        .and_then(Activation::from_tag)
+        .ok_or_else(|| NnFormatError::Malformed("output activation".into()))?;
+
+    let count_line = lines.next().ok_or(NnFormatError::Truncated)?;
+    let num_layers: usize = count_line
+        .strip_prefix("layers ")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| NnFormatError::Malformed("layers line".into()))?;
+    if num_layers == 0 {
+        return Err(NnFormatError::Malformed("zero layers".into()));
+    }
+
+    let read_f64 = |lines: &mut std::str::Lines<'_>| -> Result<f64, NnFormatError> {
+        let line = lines.next().ok_or(NnFormatError::Truncated)?;
+        let bits = u64::from_str_radix(line.trim(), 16)
+            .map_err(|_| NnFormatError::Malformed(format!("bad f64 bits: {line}")))?;
+        Ok(f64::from_bits(bits))
+    };
+
+    let mut layers = Vec::with_capacity(num_layers);
+    for _ in 0..num_layers {
+        let shape_line = lines.next().ok_or(NnFormatError::Truncated)?;
+        let mut parts = shape_line
+            .strip_prefix("layer ")
+            .ok_or_else(|| NnFormatError::Malformed("layer line".into()))?
+            .split_whitespace();
+        let out_dim: usize = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| NnFormatError::Malformed("layer out_dim".into()))?;
+        let in_dim: usize = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| NnFormatError::Malformed("layer in_dim".into()))?;
+        let mut w = Vec::with_capacity(out_dim * in_dim);
+        for _ in 0..out_dim * in_dim {
+            w.push(read_f64(&mut lines)?);
+        }
+        let mut b = Vec::with_capacity(out_dim);
+        for _ in 0..out_dim {
+            b.push(read_f64(&mut lines)?);
+        }
+        layers.push(Linear::from_params(Matrix::from_vec(out_dim, in_dim, w), b));
+    }
+
+    Ok(Mlp::from_parts(layers, hidden, output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_mlp() -> Mlp {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        Mlp::new(&[4, 7, 3], Activation::Relu, Activation::Identity, &mut rng)
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let mlp = sample_mlp();
+        let text = save_mlp(&mlp);
+        let back = load_mlp(&text).unwrap();
+        assert_eq!(back.dims(), mlp.dims());
+        assert_eq!(back.hidden_activation(), mlp.hidden_activation());
+        for (a, b) in mlp.layers().iter().zip(back.layers()) {
+            assert_eq!(a.w.data(), b.w.data());
+            assert_eq!(a.b, b.b);
+        }
+        // Outputs must be bit-identical.
+        let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3, 7.0]]);
+        assert_eq!(mlp.forward(&x).data(), back.forward(&x).data());
+    }
+
+    #[test]
+    fn special_values_survive() {
+        let mut mlp = sample_mlp();
+        mlp.layers_mut()[0].w[(0, 0)] = f64::MIN_POSITIVE;
+        mlp.layers_mut()[0].w[(0, 1)] = -0.0;
+        mlp.layers_mut()[0].b[0] = 1e-300;
+        let back = load_mlp(&save_mlp(&mlp)).unwrap();
+        assert_eq!(back.layers()[0].w[(0, 0)], f64::MIN_POSITIVE);
+        assert!(back.layers()[0].w[(0, 1)].is_sign_negative());
+        assert_eq!(back.layers()[0].b[0], 1e-300);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert_eq!(load_mlp("garbage").unwrap_err(), NnFormatError::BadHeader);
+        assert_eq!(
+            load_mlp("dtnn v9\nacts relu id\nlayers 1\n").unwrap_err(),
+            NnFormatError::UnsupportedVersion(9)
+        );
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let text = save_mlp(&sample_mlp());
+        let cut: String = text.lines().take(10).collect::<Vec<_>>().join("\n");
+        assert!(matches!(
+            load_mlp(&cut),
+            Err(NnFormatError::Truncated) | Err(NnFormatError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_bits() {
+        let mut text = save_mlp(&sample_mlp());
+        text = text.replacen(
+            text.lines().nth(4).unwrap(),
+            "zzzznotvalidhex!",
+            1,
+        );
+        assert!(matches!(load_mlp(&text), Err(NnFormatError::Malformed(_))));
+    }
+}

@@ -1,0 +1,590 @@
+//! The deep, global, composition-conserving proposal — DeepThermo's core
+//! contribution.
+//!
+//! ## Mechanism
+//!
+//! A proposal updates `k` sites chosen uniformly at random. The species
+//! multiset currently on those sites is redistributed by **constrained
+//! autoregressive decoding**: sites are visited in ascending index order
+//! and a shared context network assigns each a species drawn from a
+//! masked softmax, where the mask forbids species whose multiset budget is
+//! exhausted — so composition is conserved *exactly*, by construction.
+//!
+//! The context features are local (decided-neighbor species histograms per
+//! coordination shell) plus the remaining multiset budget, so a trained
+//! network reproduces the short-range order of the ensemble it was trained
+//! on and proposes *plausible global rearrangements* rather than uniform
+//! noise.
+//!
+//! ## Exactness
+//!
+//! Metropolis–Hastings needs `q(x'|x)` and `q(x|x')`. Both are products of
+//! masked-softmax factors along the decoding order:
+//!
+//! * forward: contexts evolve with the **new** species as they are decoded;
+//! * reverse: the reverse move selects the same site set (selection
+//!   probability cancels) and decodes the **old** species, so its contexts
+//!   are the original configuration restricted to already-decoded sites.
+//!
+//! Both passes are replayed site-by-site in this module, giving log
+//! probabilities that are exact to `f64` round-off. The property tests
+//! verify the replay identity `log_prob(x' → x) == log_q_reverse` and that
+//! the per-site factors normalize.
+
+use dt_lattice::{Configuration, NeighborTable, SiteId, Species};
+use dt_nn::{log_softmax_masked, sample_categorical, Activation, Matrix, Mlp};
+use rand::Rng;
+
+use crate::kinds::{Proposal, ProposalContext, ProposalKernel, ProposedMove};
+use crate::local::sample_distinct_sites;
+
+/// Describes the feature vector consumed by the proposal network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureLayout {
+    /// Number of alloy species `m`.
+    pub num_species: usize,
+    /// Number of coordination shells read from the neighbor table.
+    pub num_shells: usize,
+}
+
+impl FeatureLayout {
+    /// Feature dimension:
+    /// `shells·species` (decided-neighbor histograms) + `shells`
+    /// (undecided fraction) + `species` (remaining multiset budget) + 1
+    /// (decode progress).
+    pub fn dim(&self) -> usize {
+        self.num_shells * self.num_species + self.num_shells + self.num_species + 1
+    }
+
+    /// Fill `out` with the context features of `site`.
+    ///
+    /// `species` is the working species array, `decided[i]` marks sites
+    /// whose species is part of the context, `remaining` is the unspent
+    /// multiset budget, `remaining_slots` the number of undecoded sites,
+    /// and `progress` the fraction of the move already decoded.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fill(
+        &self,
+        out: &mut [f64],
+        site: SiteId,
+        neighbors: &NeighborTable,
+        species: &[Species],
+        decided: &[bool],
+        remaining: &[usize],
+        remaining_slots: usize,
+        progress: f64,
+    ) {
+        debug_assert_eq!(out.len(), self.dim());
+        out.fill(0.0);
+        let m = self.num_species;
+        for shell in 0..self.num_shells {
+            let z = neighbors.coordination(shell) as f64;
+            let base = shell * m;
+            let mut undecided = 0usize;
+            for &j in neighbors.neighbors(site, shell) {
+                if decided[j as usize] {
+                    out[base + species[j as usize].index()] += 1.0;
+                } else {
+                    undecided += 1;
+                }
+            }
+            for v in &mut out[base..base + m] {
+                *v /= z;
+            }
+            out[self.num_shells * m + shell] = undecided as f64 / z;
+        }
+        let rem_base = self.num_shells * m + self.num_shells;
+        let slots = remaining_slots.max(1) as f64;
+        for (a, &r) in remaining.iter().enumerate() {
+            out[rem_base + a] = r as f64 / slots;
+        }
+        out[rem_base + m] = progress;
+    }
+}
+
+/// Configuration of a [`DeepProposal`] kernel.
+#[derive(Debug, Clone)]
+pub struct DeepProposalConfig {
+    /// Sites updated per proposal.
+    pub k: usize,
+    /// Hidden layer widths of the context network.
+    pub hidden: Vec<usize>,
+}
+
+impl Default for DeepProposalConfig {
+    fn default() -> Self {
+        DeepProposalConfig {
+            k: 32,
+            hidden: vec![64, 64],
+        }
+    }
+}
+
+/// The deep autoregressive proposal kernel.
+#[derive(Debug, Clone)]
+pub struct DeepProposal {
+    net: Mlp,
+    layout: FeatureLayout,
+    k: usize,
+    // Scratch buffers (reused across proposals; one kernel per walker).
+    site_buf: Vec<SiteId>,
+    decided: Vec<bool>,
+    work: Vec<Species>,
+    feat: Vec<f64>,
+}
+
+impl DeepProposal {
+    /// Fresh kernel with a randomly initialized network.
+    pub fn new<R: Rng + ?Sized>(
+        num_species: usize,
+        num_shells: usize,
+        cfg: &DeepProposalConfig,
+        rng: &mut R,
+    ) -> Self {
+        let layout = FeatureLayout {
+            num_species,
+            num_shells,
+        };
+        let mut dims = vec![layout.dim()];
+        dims.extend_from_slice(&cfg.hidden);
+        dims.push(num_species);
+        let net = Mlp::new(&dims, Activation::Relu, Activation::Identity, rng);
+        DeepProposal::with_net(net, layout, cfg.k)
+    }
+
+    /// Kernel around an existing (e.g. deserialized or freshly trained)
+    /// network.
+    ///
+    /// # Panics
+    /// Panics when the network shape does not match the layout.
+    pub fn with_net(net: Mlp, layout: FeatureLayout, k: usize) -> Self {
+        assert_eq!(net.in_dim(), layout.dim(), "network input dim mismatch");
+        assert_eq!(
+            net.out_dim(),
+            layout.num_species,
+            "network output dim mismatch"
+        );
+        assert!(k >= 2, "deep proposal needs k >= 2");
+        DeepProposal {
+            feat: vec![0.0; layout.dim()],
+            net,
+            layout,
+            k,
+            site_buf: Vec::new(),
+            decided: Vec::new(),
+            work: Vec::new(),
+        }
+    }
+
+    /// Sites updated per proposal.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Change the update size.
+    pub fn set_k(&mut self, k: usize) {
+        assert!(k >= 2);
+        self.k = k;
+    }
+
+    /// The feature layout.
+    pub fn layout(&self) -> FeatureLayout {
+        self.layout
+    }
+
+    /// Borrow the context network.
+    pub fn net(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// Mutable access for training.
+    pub fn net_mut(&mut self) -> &mut Mlp {
+        &mut self.net
+    }
+
+    /// Replace the network (e.g. after a broadcast of retrained weights).
+    pub fn set_net(&mut self, net: Mlp) {
+        assert_eq!(net.in_dim(), self.layout.dim());
+        assert_eq!(net.out_dim(), self.layout.num_species);
+        self.net = net;
+    }
+
+    /// Exact log-probability that, starting from `config`, the constrained
+    /// decoder would assign `targets[i]` to `sites[i]` (sites ascending).
+    ///
+    /// This is the teacher-forced replay used both for the reverse
+    /// probability inside [`ProposalKernel::propose`] and by the property
+    /// tests; `targets` must be a permutation of the species currently on
+    /// `sites`.
+    pub fn log_prob_of_reassignment(
+        &mut self,
+        config: &Configuration,
+        neighbors: &NeighborTable,
+        sites: &[SiteId],
+        targets: &[Species],
+    ) -> f64 {
+        assert_eq!(sites.len(), targets.len());
+        let m = self.layout.num_species;
+        let n = config.num_sites();
+        self.prepare_scratch(n, config, sites);
+        let mut remaining = multiset_counts(config, sites, m);
+        {
+            // Verify `targets` is a permutation of the multiset.
+            let mut t = remaining.clone();
+            for s in targets {
+                assert!(t[s.index()] > 0, "targets must match the site multiset");
+                t[s.index()] -= 1;
+            }
+        }
+        let mut logp_total = 0.0;
+        for (step, (&site, &target)) in sites.iter().zip(targets).enumerate() {
+            let logp = self.site_log_probs(site, neighbors, sites.len(), step, &remaining);
+            logp_total += logp[target.index()];
+            remaining[target.index()] -= 1;
+            self.work[site as usize] = target;
+            self.decided[site as usize] = true;
+        }
+        logp_total
+    }
+
+    /// Masked per-species log-probabilities for the next decode step.
+    fn site_log_probs(
+        &mut self,
+        site: SiteId,
+        neighbors: &NeighborTable,
+        k: usize,
+        step: usize,
+        remaining: &[usize],
+    ) -> Vec<f64> {
+        let remaining_slots = k - step;
+        let progress = step as f64 / k as f64;
+        // Split borrows: move feat out while the net runs.
+        let mut feat = std::mem::take(&mut self.feat);
+        self.layout.fill(
+            &mut feat,
+            site,
+            neighbors,
+            &self.work,
+            &self.decided,
+            remaining,
+            remaining_slots,
+            progress,
+        );
+        let logits = self.net.forward(&Matrix::row_vector(&feat));
+        self.feat = feat;
+        let mask: Vec<bool> = remaining.iter().map(|&r| r > 0).collect();
+        log_softmax_masked(logits.row(0), Some(&mask))
+    }
+
+    fn prepare_scratch(&mut self, n: usize, config: &Configuration, sites: &[SiteId]) {
+        self.work.clear();
+        self.work.extend_from_slice(config.species());
+        self.decided.clear();
+        self.decided.resize(n, true);
+        for &s in sites {
+            self.decided[s as usize] = false;
+        }
+    }
+}
+
+/// Per-species counts of the multiset on `sites`.
+fn multiset_counts(config: &Configuration, sites: &[SiteId], m: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; m];
+    for &s in sites {
+        counts[config.species_at(s).index()] += 1;
+    }
+    counts
+}
+
+impl ProposalKernel for DeepProposal {
+    fn propose(
+        &mut self,
+        config: &Configuration,
+        ctx: &ProposalContext<'_>,
+        rng: &mut dyn Rng,
+    ) -> Proposal {
+        let n = config.num_sites();
+        let k = self.k.min(n);
+        let m = self.layout.num_species;
+
+        let mut sites = std::mem::take(&mut self.site_buf);
+        sample_distinct_sites(n, k, &mut sites, rng);
+
+        // --- Forward decode: sample new species, contexts use new values.
+        self.prepare_scratch(n, config, &sites);
+        let mut remaining_f = multiset_counts(config, &sites, m);
+        let mut new_species = Vec::with_capacity(k);
+        let mut log_q_forward = 0.0;
+        for (step, &site) in sites.iter().enumerate() {
+            let logp = self.site_log_probs(site, ctx.neighbors, k, step, &remaining_f);
+            let (chosen, lp) = sample_categorical(&logp, rng);
+            log_q_forward += lp;
+            remaining_f[chosen] -= 1;
+            let s = Species(chosen as u8);
+            new_species.push(s);
+            self.work[site as usize] = s;
+            self.decided[site as usize] = true;
+        }
+
+        // --- Reverse replay: probability of decoding the old species when
+        // starting from the proposed configuration. Non-selected sites are
+        // identical in both states and decoded selected sites carry the old
+        // species, so the context is the *original* configuration.
+        self.prepare_scratch(n, config, &sites);
+        let mut remaining_r = multiset_counts(config, &sites, m);
+        let mut log_q_reverse = 0.0;
+        for (step, &site) in sites.iter().enumerate() {
+            let logp = self.site_log_probs(site, ctx.neighbors, k, step, &remaining_r);
+            let old = config.species_at(site);
+            log_q_reverse += logp[old.index()];
+            remaining_r[old.index()] -= 1;
+            // work already holds the old species; just mark decided.
+            self.decided[site as usize] = true;
+        }
+
+        let moves: Vec<(SiteId, Species)> = sites
+            .iter()
+            .copied()
+            .zip(new_species.iter().copied())
+            .collect();
+        self.site_buf = sites;
+        Proposal {
+            mv: ProposedMove::Reassign { moves },
+            log_q_forward,
+            log_q_reverse,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "deep-autoregressive"
+    }
+
+    fn typical_update_size(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds::apply_move;
+    use dt_lattice::{Composition, Structure, Supercell};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn fixture() -> (Supercell, NeighborTable, Composition) {
+        let cell = Supercell::cubic(Structure::bcc(), 3);
+        let nt = cell.neighbor_table(2);
+        let comp = Composition::equiatomic(4, cell.num_sites()).unwrap();
+        (cell, nt, comp)
+    }
+
+    fn kernel(k: usize, seed: u64) -> DeepProposal {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        DeepProposal::new(
+            4,
+            2,
+            &DeepProposalConfig {
+                k,
+                hidden: vec![16, 16],
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn proposals_conserve_composition() {
+        let (_, nt, comp) = fixture();
+        let ctx = ProposalContext {
+            neighbors: &nt,
+            composition: &comp,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut config = Configuration::random(&comp, &mut rng);
+        let mut kern = kernel(12, 7);
+        for _ in 0..30 {
+            let p = kern.propose(&config, &ctx, &mut rng);
+            apply_move(&mut config, &p.mv);
+            assert!(config.composition_matches(&comp));
+        }
+    }
+
+    #[test]
+    fn forward_logprob_matches_teacher_forced_replay() {
+        let (_, nt, comp) = fixture();
+        let ctx = ProposalContext {
+            neighbors: &nt,
+            composition: &comp,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let config = Configuration::random(&comp, &mut rng);
+        let mut kern = kernel(10, 8);
+        let p = kern.propose(&config, &ctx, &mut rng);
+        let ProposedMove::Reassign { moves } = &p.mv else {
+            panic!("expected reassign")
+        };
+        let sites: Vec<SiteId> = moves.iter().map(|&(s, _)| s).collect();
+        let targets: Vec<Species> = moves.iter().map(|&(_, t)| t).collect();
+        let replay = kern.log_prob_of_reassignment(&config, &nt, &sites, &targets);
+        assert!(
+            (replay - p.log_q_forward).abs() < 1e-10,
+            "{replay} vs {}",
+            p.log_q_forward
+        );
+    }
+
+    #[test]
+    fn reverse_logprob_matches_replay_from_proposed_state() {
+        let (_, nt, comp) = fixture();
+        let ctx = ProposalContext {
+            neighbors: &nt,
+            composition: &comp,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let config = Configuration::random(&comp, &mut rng);
+        let mut kern = kernel(8, 9);
+        let p = kern.propose(&config, &ctx, &mut rng);
+        let ProposedMove::Reassign { moves } = &p.mv else {
+            panic!("expected reassign")
+        };
+        let sites: Vec<SiteId> = moves.iter().map(|&(s, _)| s).collect();
+        let old: Vec<Species> = sites.iter().map(|&s| config.species_at(s)).collect();
+        let mut proposed = config.clone();
+        apply_move(&mut proposed, &p.mv);
+        let replay = kern.log_prob_of_reassignment(&proposed, &nt, &sites, &old);
+        assert!(
+            (replay - p.log_q_reverse).abs() < 1e-10,
+            "{replay} vs {}",
+            p.log_q_reverse
+        );
+    }
+
+    #[test]
+    fn decode_probabilities_normalize_over_all_outcomes() {
+        // Tiny system: 4 selected sites holding {0,0,1,1}; the 6 distinct
+        // assignments must have probabilities summing to 1.
+        let cell = Supercell::cubic(Structure::simple_cubic(), 2);
+        let nt = cell.neighbor_table(1);
+        let comp = Composition::equiatomic(2, 8).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let config = Configuration::random(&comp, &mut rng);
+        let mut kern = {
+            let mut krng = ChaCha8Rng::seed_from_u64(11);
+            DeepProposal::new(
+                2,
+                1,
+                &DeepProposalConfig {
+                    k: 4,
+                    hidden: vec![8],
+                },
+                &mut krng,
+            )
+        };
+        // Choose 4 sites with two of each species.
+        let mut sites = Vec::new();
+        let mut c0 = 0;
+        let mut c1 = 0;
+        for s in 0..8u32 {
+            match config.species_at(s).0 {
+                0 if c0 < 2 => {
+                    sites.push(s);
+                    c0 += 1;
+                }
+                1 if c1 < 2 => {
+                    sites.push(s);
+                    c1 += 1;
+                }
+                _ => {}
+            }
+        }
+        sites.sort_unstable();
+        assert_eq!(sites.len(), 4);
+
+        // All distinct arrangements of {0,0,1,1} over 4 slots.
+        let mut total = 0.0;
+        let mut count = 0;
+        for bits in 0u32..16 {
+            if bits.count_ones() != 2 {
+                continue;
+            }
+            let targets: Vec<Species> = (0..4)
+                .map(|i| Species(u8::from(bits & (1 << i) != 0)))
+                .collect();
+            total += kern
+                .log_prob_of_reassignment(&config, &nt, &sites, &targets)
+                .exp();
+            count += 1;
+        }
+        assert_eq!(count, 6);
+        assert!((total - 1.0).abs() < 1e-9, "total probability {total}");
+    }
+
+    #[test]
+    fn untrained_deep_proposal_behaves_like_random_on_average() {
+        // With a random network the proposal is still a valid distribution;
+        // log_q values must be finite and the identity move reachable.
+        let (_, nt, comp) = fixture();
+        let ctx = ProposalContext {
+            neighbors: &nt,
+            composition: &comp,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let config = Configuration::random(&comp, &mut rng);
+        let mut kern = kernel(6, 10);
+        for _ in 0..20 {
+            let p = kern.propose(&config, &ctx, &mut rng);
+            assert!(p.log_q_forward.is_finite());
+            assert!(p.log_q_reverse.is_finite());
+            assert!(p.log_q_forward <= 0.0 + 1e-12);
+            assert!(p.log_q_reverse <= 0.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn feature_layout_dim_matches_fill() {
+        let (_, nt, comp) = fixture();
+        let layout = FeatureLayout {
+            num_species: 4,
+            num_shells: 2,
+        };
+        assert_eq!(layout.dim(), 2 * 4 + 2 + 4 + 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let config = Configuration::random(&comp, &mut rng);
+        let mut out = vec![0.0; layout.dim()];
+        let decided = vec![true; config.num_sites()];
+        layout.fill(
+            &mut out,
+            0,
+            &nt,
+            config.species(),
+            &decided,
+            &[4, 4, 4, 4],
+            16,
+            0.0,
+        );
+        // Neighbor histograms normalize to <= 1 per shell.
+        let shell0: f64 = out[0..4].iter().sum();
+        assert!((shell0 - 1.0).abs() < 1e-12, "all decided: fractions sum to 1");
+        assert_eq!(out[8], 0.0, "no undecided neighbors");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiset")]
+    fn replay_rejects_non_permutation_targets() {
+        let (_, nt, comp) = fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let config = Configuration::random(&comp, &mut rng);
+        let mut kern = kernel(4, 3);
+        // Find 2 sites of species 0 and force targets that overdraw species 1.
+        let sites: Vec<SiteId> = (0..config.num_sites() as SiteId)
+            .filter(|&s| config.species_at(s) == Species(0))
+            .take(2)
+            .collect();
+        let _ = kern.log_prob_of_reassignment(
+            &config,
+            &nt,
+            &sites,
+            &[Species(1), Species(1)],
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # dt-proposal
+//!
+//! Monte Carlo proposal kernels for DeepThermo.
+//!
+//! The long-standing bottleneck the paper attacks is the *MC proposal*:
+//! classical samplers update one or two sites at a time, so decorrelating a
+//! large alloy supercell takes O(N) accepted moves and the Markov chain
+//! mixes slowly. This crate provides the full proposal family evaluated in
+//! the paper's reconstruction:
+//!
+//! * [`LocalSwap`] — the classical two-site exchange (baseline),
+//! * [`RandomReassign`] — a *naive* global update (uniform multiset
+//!   shuffle of k sites); its acceptance collapses exponentially with k,
+//!   which is exactly why naive global proposals are useless,
+//! * [`DeepProposal`] — the paper's contribution: a neural, autoregressive
+//!   reassignment of k sites with **exactly computable forward and reverse
+//!   log-probabilities**, so the Metropolis–Hastings correction preserves
+//!   the target ensemble while the network steers global updates toward
+//!   high-probability configurations,
+//! * [`ProposalMix`] — a weighted mixture of kernels (each kernel
+//!   individually satisfies detailed balance, so the state-independent
+//!   mixture does too).
+//!
+//! Every kernel conserves the alloy composition exactly: swaps trivially,
+//! reassignments by constrained (multiset) decoding.
+//!
+//! The [`train::ProposalTrainer`] fits the deep kernel on walker samples by
+//! teacher-forced maximum likelihood over the same constrained decoding
+//! process used at proposal time, so the training distribution matches the
+//! deployment distribution.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod deep;
+pub mod kinds;
+pub mod local;
+pub mod mix;
+pub mod stats;
+pub mod train;
+
+pub use deep::{DeepProposal, DeepProposalConfig, FeatureLayout};
+pub use kinds::{apply_move, move_delta, Proposal, ProposalContext, ProposalKernel, ProposedMove};
+pub use local::{LocalSwap, NeighborSwap, RandomReassign};
+pub use mix::ProposalMix;
+pub use stats::MoveStats;
+pub use train::{ProposalTrainer, SampleBuffer, TrainerConfig};

@@ -1,0 +1,117 @@
+//! Property tests of proposal-kernel invariants: composition conservation
+//! and the exactness of the deep kernel's forward/reverse log-probabilities
+//! (the requirements for Metropolis–Hastings detailed balance).
+
+use dt_lattice::{Composition, Configuration, SiteId, Species, Structure, Supercell};
+use dt_proposal::{
+    apply_move, DeepProposal, DeepProposalConfig, LocalSwap, ProposalContext, ProposalKernel,
+    ProposedMove, RandomReassign,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn fixture() -> (Supercell, dt_lattice::NeighborTable, Composition) {
+    let cell = Supercell::cubic(Structure::bcc(), 2);
+    let nt = cell.neighbor_table(2);
+    let comp = Composition::equiatomic(4, cell.num_sites()).unwrap();
+    (cell, nt, comp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every kernel conserves composition across long move sequences.
+    #[test]
+    fn all_kernels_conserve_composition(seed in any::<u64>(), k in 2usize..12) {
+        let (_, nt, comp) = fixture();
+        let ctx = ProposalContext { neighbors: &nt, composition: &comp };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut config = Configuration::random(&comp, &mut rng);
+        let mut kernels: Vec<Box<dyn ProposalKernel>> = vec![
+            Box::new(LocalSwap::new()),
+            Box::new(RandomReassign::new(k)),
+            Box::new(DeepProposal::new(4, 2, &DeepProposalConfig { k, hidden: vec![8] }, &mut rng)),
+        ];
+        for kern in &mut kernels {
+            for _ in 0..10 {
+                let p = kern.propose(&config, &ctx, &mut rng);
+                apply_move(&mut config, &p.mv);
+                prop_assert!(config.composition_matches(&comp));
+                prop_assert_eq!(config.recount(), comp.counts().to_vec());
+            }
+        }
+    }
+
+    /// Replay identity: the deep kernel's reported log q values equal an
+    /// independent teacher-forced recomputation in both directions.
+    #[test]
+    fn deep_kernel_logprobs_are_replay_exact(seed in any::<u64>(), k in 2usize..10) {
+        let (_, nt, comp) = fixture();
+        let ctx = ProposalContext { neighbors: &nt, composition: &comp };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let config = Configuration::random(&comp, &mut rng);
+        let mut kern = DeepProposal::new(
+            4, 2, &DeepProposalConfig { k, hidden: vec![12] }, &mut rng);
+        let p = kern.propose(&config, &ctx, &mut rng);
+        let ProposedMove::Reassign { moves } = &p.mv else { panic!() };
+        let sites: Vec<SiteId> = moves.iter().map(|&(s, _)| s).collect();
+        let new_s: Vec<Species> = moves.iter().map(|&(_, t)| t).collect();
+        let old_s: Vec<Species> = sites.iter().map(|&s| config.species_at(s)).collect();
+
+        let fwd = kern.log_prob_of_reassignment(&config, &nt, &sites, &new_s);
+        prop_assert!((fwd - p.log_q_forward).abs() < 1e-9);
+
+        let mut proposed = config.clone();
+        apply_move(&mut proposed, &p.mv);
+        let rev = kern.log_prob_of_reassignment(&proposed, &nt, &sites, &old_s);
+        prop_assert!((rev - p.log_q_reverse).abs() < 1e-9);
+
+        // Symmetry of the identity: proposing the same state back has
+        // q-ratio exactly zero.
+        if new_s == old_s {
+            prop_assert!((p.log_q_forward - p.log_q_reverse).abs() < 1e-9);
+        }
+    }
+
+    /// The deep kernel never leaks scratch state: proposing twice from the
+    /// same configuration with the same RNG stream gives identical moves.
+    #[test]
+    fn deep_kernel_is_deterministic_given_rng(seed in any::<u64>()) {
+        let (_, nt, comp) = fixture();
+        let ctx = ProposalContext { neighbors: &nt, composition: &comp };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let config = Configuration::random(&comp, &mut rng);
+        let mut kern = DeepProposal::new(
+            4, 2, &DeepProposalConfig { k: 6, hidden: vec![8] }, &mut rng);
+
+        let mut rng_a = ChaCha8Rng::seed_from_u64(seed ^ 0xabcd);
+        let p1 = kern.propose(&config, &ctx, &mut rng_a);
+        // Interleave an unrelated proposal to dirty the scratch buffers.
+        let mut rng_junk = ChaCha8Rng::seed_from_u64(!seed);
+        let _ = kern.propose(&config, &ctx, &mut rng_junk);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(seed ^ 0xabcd);
+        let p2 = kern.propose(&config, &ctx, &mut rng_b);
+        prop_assert_eq!(p1.mv, p2.mv);
+        prop_assert_eq!(p1.log_q_forward, p2.log_q_forward);
+        prop_assert_eq!(p1.log_q_reverse, p2.log_q_reverse);
+    }
+
+    /// Local swaps always exchange two existing species and never change
+    /// any other site.
+    #[test]
+    fn local_swap_touches_exactly_two_sites(seed in any::<u64>()) {
+        let (_, nt, comp) = fixture();
+        let ctx = ProposalContext { neighbors: &nt, composition: &comp };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let config = Configuration::random(&comp, &mut rng);
+        let mut kern = LocalSwap::new();
+        let p = kern.propose(&config, &ctx, &mut rng);
+        let mut after = config.clone();
+        apply_move(&mut after, &p.mv);
+        let changed = (0..config.num_sites() as SiteId)
+            .filter(|&s| config.species_at(s) != after.species_at(s))
+            .count();
+        prop_assert_eq!(changed, 2);
+    }
+}

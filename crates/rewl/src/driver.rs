@@ -1,0 +1,834 @@
+//! The REWL drivers.
+
+use dt_hamiltonian::EnergyModel;
+use dt_hpc::{rank_rng, Communicator, ThreadCluster};
+use dt_lattice::{sro::ordered_pair_counts, Composition, Configuration, NeighborTable};
+use dt_proposal::{
+    DeepProposal, LocalSwap, MoveStats, ProposalContext, ProposalKernel, ProposalMix,
+    ProposalTrainer, RandomReassign, SampleBuffer,
+};
+use dt_thermo::MicrocanonicalAccumulator;
+use dt_wanglandau::{DosEstimate, EnergyGrid, WlParams, WlWalker};
+
+use crate::merge::merge_windows;
+use crate::spec::{DeepSpec, KernelSpec};
+use crate::windows::WindowLayout;
+use crate::wire;
+
+/// Configuration of a REWL run.
+#[derive(Debug, Clone)]
+pub struct RewlConfig {
+    /// Number of energy windows `M`.
+    pub num_windows: usize,
+    /// Walkers per window `W` (total ranks = `M·W`).
+    pub walkers_per_window: usize,
+    /// Window overlap fraction (0.75 is the REWL standard).
+    pub overlap: f64,
+    /// Bins of the global energy grid.
+    pub num_bins: usize,
+    /// Wang–Landau parameters applied per walker.
+    pub wl: WlParams,
+    /// Attempt replica exchange every this many sweeps.
+    pub exchange_every_sweeps: u64,
+    /// Record an SRO observation every this many sweeps.
+    pub observe_every_sweeps: u64,
+    /// Hard sweep cap per walker.
+    pub max_sweeps: u64,
+    /// Master seed (per-rank streams derive from it).
+    pub seed: u64,
+    /// Proposal kernels.
+    pub kernel: KernelSpec,
+}
+
+impl Default for RewlConfig {
+    fn default() -> Self {
+        RewlConfig {
+            num_windows: 2,
+            walkers_per_window: 2,
+            overlap: 0.75,
+            num_bins: 64,
+            wl: WlParams::default(),
+            exchange_every_sweeps: 10,
+            observe_every_sweeps: 2,
+            max_sweeps: 1_000_000,
+            seed: 0,
+            kernel: KernelSpec::LocalSwap,
+        }
+    }
+}
+
+/// Per-window summary of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    /// Window index.
+    pub window: usize,
+    /// Exchange attempts with the next window.
+    pub exchange_attempts: u64,
+    /// Accepted exchanges with the next window.
+    pub exchange_accepted: u64,
+    /// Merged proposal statistics of the window's walkers.
+    pub stats: MoveStats,
+    /// Did every walker of the window converge?
+    pub converged: bool,
+    /// Final `ln f` (max over walkers).
+    pub ln_f: f64,
+}
+
+impl WindowReport {
+    /// Replica-exchange acceptance rate toward the next window.
+    pub fn exchange_rate(&self) -> f64 {
+        if self.exchange_attempts == 0 {
+            0.0
+        } else {
+            self.exchange_accepted as f64 / self.exchange_attempts as f64
+        }
+    }
+}
+
+/// The result of a REWL run.
+#[derive(Debug, Clone)]
+pub struct RewlOutput {
+    /// Merged global density of states (un-normalized; use
+    /// `normalize_total` with the composition's configuration count).
+    pub dos: DosEstimate,
+    /// Ever-visited mask over global bins.
+    pub mask: Vec<bool>,
+    /// Per-window reports.
+    pub windows: Vec<WindowReport>,
+    /// Did every walker converge before `max_sweeps`?
+    pub converged: bool,
+    /// Sweeps executed per walker.
+    pub sweeps: u64,
+    /// Merged microcanonical pair-probability accumulator
+    /// (`obs_dim = num_shells · m²`, values are directed-pair
+    /// probabilities `p_s(a,b)`), binned on the global grid.
+    pub sro: MicrocanonicalAccumulator,
+    /// Total MC moves across all walkers.
+    pub total_moves: u64,
+}
+
+/// Data one rank contributes to the final gather.
+struct RankPiece {
+    ln_g: Vec<f64>,
+    mask: Vec<bool>,
+    stats: MoveStats,
+    /// `[exchange_attempts, exchange_accepted, converged, ln_f bits, moves]`.
+    counts: Vec<u64>,
+}
+
+/// Per-rank deep-proposal state.
+struct DeepState {
+    deep: DeepProposal,
+    trainer: ProposalTrainer,
+    buffer: SampleBuffer,
+    spec: DeepSpec,
+}
+
+fn build_kernel(
+    spec: &KernelSpec,
+    deep_state: &Option<DeepState>,
+) -> Box<dyn ProposalKernel> {
+    match spec {
+        KernelSpec::LocalSwap => Box::new(LocalSwap::new()),
+        KernelSpec::RandomGlobal { k, weight } => Box::new(ProposalMix::new(vec![
+            (
+                Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>,
+                1.0 - weight,
+            ),
+            (Box::new(RandomReassign::new(*k)), *weight),
+        ])),
+        KernelSpec::Deep(ds) => {
+            let deep = deep_state
+                .as_ref()
+                .expect("deep state must exist for deep kernels")
+                .deep
+                .clone();
+            Box::new(ProposalMix::new(vec![
+                (
+                    Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>,
+                    1.0 - ds.deep_weight,
+                ),
+                (Box::new(deep), ds.deep_weight),
+            ]))
+        }
+    }
+}
+
+/// Run REWL on a simulated cluster of `M·W` ranks (threads).
+///
+/// `(e_min, e_max)` is the global energy range (discover it with
+/// [`dt_wanglandau::explore_energy_range`]).
+///
+/// # Panics
+/// Panics when a walker cannot reach its window or configuration is
+/// inconsistent.
+pub fn run_rewl<M: EnergyModel + Sync>(
+    model: &M,
+    neighbors: &NeighborTable,
+    comp: &Composition,
+    (e_min, e_max): (f64, f64),
+    cfg: &RewlConfig,
+) -> RewlOutput {
+    let layout = WindowLayout::new(
+        EnergyGrid::new(e_min, e_max, cfg.num_bins),
+        cfg.num_windows,
+        cfg.overlap,
+    );
+    let size = cfg.num_windows * cfg.walkers_per_window;
+    let m_species = comp.num_species();
+    let num_shells = model.num_shells();
+    let obs_dim = num_shells * m_species * m_species;
+
+    let results = ThreadCluster::run(size, |comm| {
+        run_rank(
+            comm, model, neighbors, comp, &layout, cfg, obs_dim, num_shells,
+        )
+    });
+    // Rank 0 produced the assembled output.
+    results
+        .into_iter()
+        .next()
+        .expect("cluster returns rank results")
+        .expect("rank 0 assembles the output")
+}
+
+/// Message tags.
+mod tags {
+    pub const EXCH_ENERGY: u64 = 1;
+    pub const EXCH_REPLY: u64 = 2;
+    pub const EXCH_DECISION: u64 = 3;
+    pub const EXCH_CONFIG: u64 = 4;
+    pub const SYNC_PARAMS: u64 = 5;
+    pub const SYNC_PARAMS_BACK: u64 = 6;
+    pub const GATHER_LN_G: u64 = 7;
+    pub const GATHER_MASK: u64 = 8;
+    pub const GATHER_STATS: u64 = 9;
+    pub const GATHER_COUNTS: u64 = 10;
+    pub const GATHER_SRO_SUMS: u64 = 11;
+    pub const GATHER_SRO_COUNTS: u64 = 12;
+
+    /// Pack a round number into the tag space.
+    pub fn with_round(tag: u64, round: u64) -> u64 {
+        (round << 8) | tag
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_rank<M: EnergyModel + Sync>(
+    comm: Communicator,
+    model: &M,
+    neighbors: &NeighborTable,
+    comp: &Composition,
+    layout: &WindowLayout,
+    cfg: &RewlConfig,
+    obs_dim: usize,
+    num_shells: usize,
+) -> Option<RewlOutput> {
+    let rank = comm.rank();
+    let w = cfg.walkers_per_window;
+    let window = rank / w;
+    let slot = rank % w;
+    let m_species = comp.num_species();
+    let grid = layout.window_grid(window);
+    let mut rng = rank_rng(cfg.seed, rank as u64);
+
+    // Deep-proposal state (per rank).
+    let mut deep_state = match &cfg.kernel {
+        KernelSpec::Deep(ds) => {
+            let deep = DeepProposal::new(m_species, num_shells, &ds.proposal, &mut rng);
+            let layout_f = deep.layout();
+            Some(DeepState {
+                deep,
+                trainer: ProposalTrainer::new(layout_f, ds.trainer.clone()),
+                buffer: SampleBuffer::new(ds.buffer_capacity),
+                spec: (**ds).clone(),
+            })
+        }
+        _ => None,
+    };
+
+    let config = Configuration::random(comp, &mut rng);
+    let kernel = build_kernel(&cfg.kernel, &deep_state);
+    let mut walker = WlWalker::new(
+        grid,
+        cfg.wl.clone(),
+        config,
+        model,
+        neighbors,
+        kernel,
+        cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    assert!(
+        walker.drive_into_window(model, neighbors, 20_000),
+        "rank {rank}: failed to reach window {window} {:?}",
+        layout.bin_range(window)
+    );
+
+    let ctx = ProposalContext {
+        neighbors,
+        composition: comp,
+    };
+    let mut sro = MicrocanonicalAccumulator::new(layout.global_grid().num_bins(), obs_dim);
+    let mut exchange_attempts = 0u64;
+    let mut exchange_accepted = 0u64;
+    let mut sweeps = 0u64;
+    let mut sweeps_since_check = 0u64;
+    let mut round = 0u64;
+    let mut obs_buf = vec![0.0f64; obs_dim];
+
+    loop {
+        // --- sampling phase ------------------------------------------
+        for _ in 0..cfg.exchange_every_sweeps {
+            walker.sweep(model, neighbors, &ctx);
+            sweeps += 1;
+            sweeps_since_check += 1;
+            if sweeps_since_check >= cfg.wl.sweeps_per_check as u64 {
+                walker.check_and_advance(model, neighbors);
+                sweeps_since_check = 0;
+            }
+            if sweeps % cfg.observe_every_sweeps == 0 {
+                if let Some(bin) = layout.global_grid().bin(walker.energy()) {
+                    fill_pair_probabilities(
+                        walker.config(),
+                        neighbors,
+                        num_shells,
+                        m_species,
+                        &mut obs_buf,
+                    );
+                    sro.record(bin, &obs_buf);
+                }
+            }
+            if let Some(ds) = deep_state.as_mut() {
+                if sweeps % ds.spec.sample_every_sweeps == 0 {
+                    ds.buffer.push(walker.config().clone(), walker.energy());
+                }
+            }
+        }
+
+        // --- deep retraining ------------------------------------------
+        let mut kernel_dirty = false;
+        if let Some(ds) = deep_state.as_mut() {
+            if sweeps % ds.spec.train_every_sweeps == 0 && !ds.buffer.is_empty() {
+                for _ in 0..ds.spec.epochs_per_round {
+                    ds.trainer.train_epoch(
+                        ds.deep.net_mut(),
+                        &ds.buffer,
+                        neighbors,
+                        walker.rng_mut(),
+                    );
+                }
+                kernel_dirty = true;
+            }
+        }
+        // Window-wide weight averaging (simulated allreduce). Every rank
+        // of the window participates every round so the message pattern
+        // stays aligned; it is a no-op when no training happened (weights
+        // are averaged regardless, which is idempotent for equal weights).
+        if let Some(ds) = deep_state.as_mut() {
+            if ds.spec.sync_weights && w > 1 {
+                let params = ds.deep.net().flatten_params();
+                let leader = window * w;
+                if slot == 0 {
+                    let mut acc = params.clone();
+                    for other in 1..w {
+                        let got = comm.recv(
+                            leader + other,
+                            tags::with_round(tags::SYNC_PARAMS, round),
+                        );
+                        for (a, b) in acc.iter_mut().zip(wire::decode_f64s(&got)) {
+                            *a += b;
+                        }
+                    }
+                    for a in &mut acc {
+                        *a /= w as f64;
+                    }
+                    let payload = wire::encode_f64s(&acc);
+                    for other in 1..w {
+                        comm.send(
+                            leader + other,
+                            tags::with_round(tags::SYNC_PARAMS_BACK, round),
+                            payload.clone(),
+                        );
+                    }
+                    ds.deep.net_mut().set_params(&acc);
+                } else {
+                    comm.send(
+                        leader,
+                        tags::with_round(tags::SYNC_PARAMS, round),
+                        wire::encode_f64s(&params),
+                    );
+                    let avg = comm.recv(leader, tags::with_round(tags::SYNC_PARAMS_BACK, round));
+                    ds.deep.net_mut().set_params(&wire::decode_f64s(&avg));
+                }
+                kernel_dirty = true;
+            }
+        }
+        if kernel_dirty {
+            walker.set_kernel(build_kernel(&cfg.kernel, &deep_state));
+        }
+
+        // --- replica exchange -----------------------------------------
+        if cfg.num_windows > 1 {
+            let parity = (round % 2) as usize;
+            // Am I the initiator ('a', lower window of an active pair)?
+            if window % 2 == parity && window + 1 < cfg.num_windows {
+                let partner_slot = (slot + round as usize) % w;
+                let partner = (window + 1) * w + partner_slot;
+                exchange_attempts += 1;
+                comm.send(
+                    partner,
+                    tags::with_round(tags::EXCH_ENERGY, round),
+                    wire::encode_f64s(&[walker.energy()]),
+                );
+                let reply =
+                    wire::decode_f64s(&comm.recv(partner, tags::with_round(tags::EXCH_REPLY, round)));
+                // reply = [valid, E_b, ln_gB(E_b) - ln_gB(E_a)]
+                let mut accepted = false;
+                if reply[0] > 0.5 {
+                    let e_b = reply[1];
+                    if let (Some(_), Some(_)) =
+                        (walker.ln_g_at(e_b), walker.ln_g_at(walker.energy()))
+                    {
+                        let ln_acc = walker.ln_g_at(walker.energy()).expect("own energy")
+                            - walker.ln_g_at(e_b).expect("checked")
+                            + reply[2];
+                        let u: f64 = rand::RngExt::random(walker.rng_mut());
+                        accepted = ln_acc >= 0.0 || u < ln_acc.exp();
+                    }
+                }
+                comm.send(
+                    partner,
+                    tags::with_round(tags::EXCH_DECISION, round),
+                    vec![u8::from(accepted)],
+                );
+                if accepted {
+                    exchange_accepted += 1;
+                    let mine = wire::encode_state(walker.energy(), walker.config());
+                    comm.send(partner, tags::with_round(tags::EXCH_CONFIG, round), mine);
+                    let theirs =
+                        comm.recv(partner, tags::with_round(tags::EXCH_CONFIG, round));
+                    let (e, c) = wire::decode_state(&theirs, m_species);
+                    walker.set_state(c, e);
+                }
+            } else if window % 2 != parity && window > 0 {
+                // I may be the responder 'b'.
+                let initiator_slot = (slot + w - (round as usize % w)) % w;
+                let initiator = (window - 1) * w + initiator_slot;
+                let e_a = wire::decode_f64s(
+                    &comm.recv(initiator, tags::with_round(tags::EXCH_ENERGY, round)),
+                )[0];
+                let reply = match (walker.ln_g_at(e_a), walker.ln_g_at(walker.energy())) {
+                    (Some(g_at_a), Some(g_at_mine)) => {
+                        vec![1.0, walker.energy(), g_at_mine - g_at_a]
+                    }
+                    _ => vec![0.0, 0.0, 0.0],
+                };
+                comm.send(
+                    initiator,
+                    tags::with_round(tags::EXCH_REPLY, round),
+                    wire::encode_f64s(&reply),
+                );
+                let decision =
+                    comm.recv(initiator, tags::with_round(tags::EXCH_DECISION, round));
+                if decision[0] == 1 {
+                    // Only the initiator counts the exchange, so window
+                    // reports read as "attempts toward the next window".
+                    let mine = wire::encode_state(walker.energy(), walker.config());
+                    let theirs =
+                        comm.recv(initiator, tags::with_round(tags::EXCH_CONFIG, round));
+                    comm.send(initiator, tags::with_round(tags::EXCH_CONFIG, round), mine);
+                    let (e, c) = wire::decode_state(&theirs, m_species);
+                    walker.set_state(c, e);
+                }
+            }
+        }
+
+        // --- convergence poll -----------------------------------------
+        let mut flags = [f64::from(u8::from(walker.ln_f() <= cfg.wl.ln_f_final))];
+        comm.allreduce_sum(&mut flags);
+        round += 1;
+        if flags[0] as usize == comm.size() || sweeps >= cfg.max_sweeps {
+            break;
+        }
+    }
+
+    // --- gather at rank 0 ---------------------------------------------
+    let converged = walker.ln_f() <= cfg.wl.ln_f_final;
+    let stats_text = serialize_stats(walker.stats());
+    let counts = vec![
+        exchange_attempts,
+        exchange_accepted,
+        u64::from(converged),
+        walker.ln_f().to_bits(),
+        walker.total_moves(),
+    ];
+    if rank != 0 {
+        comm.send(0, tags::GATHER_LN_G, wire::encode_f64s(walker.dos().ln_g()));
+        comm.send(0, tags::GATHER_MASK, wire::encode_mask(&walker.visited_mask()));
+        comm.send(0, tags::GATHER_STATS, stats_text.into_bytes());
+        comm.send(0, tags::GATHER_COUNTS, wire::encode_u64s(&counts));
+        send_accumulator(&comm, &sro, obs_dim);
+        return None;
+    }
+
+    // Rank 0: collect everyone (including itself).
+    let mut per_rank: Vec<RankPiece> = Vec::with_capacity(comm.size());
+    per_rank.push(RankPiece {
+        ln_g: walker.dos().ln_g().to_vec(),
+        mask: walker.visited_mask(),
+        stats: walker.stats().clone(),
+        counts,
+    });
+    let mut merged_sro = sro;
+    for other in 1..comm.size() {
+        let ln_g = wire::decode_f64s(&comm.recv(other, tags::GATHER_LN_G));
+        let mask = wire::decode_mask(&comm.recv(other, tags::GATHER_MASK));
+        let stats = deserialize_stats(
+            std::str::from_utf8(&comm.recv(other, tags::GATHER_STATS)).expect("utf8 stats"),
+        );
+        let counts = wire::decode_u64s(&comm.recv(other, tags::GATHER_COUNTS));
+        per_rank.push(RankPiece {
+            ln_g,
+            mask,
+            stats,
+            counts,
+        });
+        let acc = recv_accumulator(&comm, other, layout.global_grid().num_bins(), obs_dim);
+        merged_sro.merge(&acc);
+    }
+
+    // Average walkers within each window (aligning additive constants),
+    // then merge windows.
+    let mut pieces = Vec::with_capacity(cfg.num_windows);
+    let mut reports = Vec::with_capacity(cfg.num_windows);
+    for win in 0..cfg.num_windows {
+        let ranks = (win * w)..((win + 1) * w);
+        let members: Vec<&RankPiece> = ranks.clone().map(|r| &per_rank[r]).collect();
+        pieces.push(average_window(&members));
+        let mut stats = MoveStats::new();
+        let mut attempts = 0u64;
+        let mut accepted = 0u64;
+        let mut all_conv = true;
+        let mut ln_f_max = 0.0f64;
+        for p in &members {
+            stats.merge(&p.stats);
+            attempts += p.counts[0];
+            accepted += p.counts[1];
+            all_conv &= p.counts[2] == 1;
+            ln_f_max = ln_f_max.max(f64::from_bits(p.counts[3]));
+        }
+        reports.push(WindowReport {
+            window: win,
+            exchange_attempts: attempts,
+            exchange_accepted: accepted,
+            stats,
+            converged: all_conv,
+            ln_f: ln_f_max,
+        });
+    }
+    let (dos, mask) = merge_windows(layout, &pieces);
+    let total_moves = per_rank.iter().map(|p| p.counts[4]).sum();
+    let converged_all = reports.iter().all(|r| r.converged);
+    Some(RewlOutput {
+        dos,
+        mask,
+        windows: reports,
+        converged: converged_all,
+        sweeps,
+        sro: merged_sro,
+        total_moves,
+    })
+}
+
+/// Average the `ln_g` of a window's walkers after aligning their additive
+/// constants on co-visited bins; mask is the union of visited bins.
+fn average_window(members: &[&RankPiece]) -> (Vec<f64>, Vec<bool>) {
+    let bins = members[0].ln_g.len();
+    let reference = members[0];
+    let mut sum = vec![0.0f64; bins];
+    let mut count = vec![0u32; bins];
+    for (mi, piece) in members.iter().enumerate() {
+        // Align to the reference on co-visited bins.
+        let mut shift = 0.0;
+        if mi > 0 {
+            let mut acc = 0.0;
+            let mut n = 0usize;
+            for b in 0..bins {
+                if piece.mask[b] && reference.mask[b] {
+                    acc += reference.ln_g[b] - piece.ln_g[b];
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                shift = acc / n as f64;
+            }
+        }
+        for b in 0..bins {
+            if piece.mask[b] {
+                sum[b] += piece.ln_g[b] + shift;
+                count[b] += 1;
+            }
+        }
+    }
+    let mask: Vec<bool> = count.iter().map(|&c| c > 0).collect();
+    let avg = sum
+        .iter()
+        .zip(&count)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    (avg, mask)
+}
+
+fn fill_pair_probabilities(
+    config: &Configuration,
+    neighbors: &NeighborTable,
+    num_shells: usize,
+    m: usize,
+    out: &mut [f64],
+) {
+    for shell in 0..num_shells {
+        let counts = ordered_pair_counts(config, neighbors, shell, m);
+        let total = neighbors.directed_pair_count(shell) as f64;
+        for (o, &c) in out[shell * m * m..(shell + 1) * m * m]
+            .iter_mut()
+            .zip(&counts)
+        {
+            *o = c as f64 / total;
+        }
+    }
+}
+
+fn serialize_stats(stats: &MoveStats) -> String {
+    let mut s = String::new();
+    for (name, p, a) in stats.iter() {
+        s.push_str(&format!("{name} {p} {a}\n"));
+    }
+    s
+}
+
+fn deserialize_stats(text: &str) -> MoveStats {
+    let mut stats = MoveStats::new();
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        let name = parts.next().expect("kernel name");
+        let p: u64 = parts.next().expect("proposed").parse().expect("number");
+        let a: u64 = parts.next().expect("accepted").parse().expect("number");
+        for _ in 0..a {
+            stats.record(name, true);
+        }
+        for _ in 0..p - a {
+            stats.record(name, false);
+        }
+    }
+    stats
+}
+
+fn send_accumulator(comm: &Communicator, acc: &MicrocanonicalAccumulator, obs_dim: usize) {
+    let bins = acc.num_bins();
+    let mut sums = Vec::with_capacity(bins * obs_dim);
+    let mut counts = Vec::with_capacity(bins);
+    for b in 0..bins {
+        let c = acc.count(b);
+        counts.push(c);
+        match acc.bin_mean(b) {
+            Some(mean) => sums.extend(mean.iter().map(|&m| m * c as f64)),
+            None => sums.extend(std::iter::repeat_n(0.0, obs_dim)),
+        }
+    }
+    comm.send(0, tags::GATHER_SRO_SUMS, wire::encode_f64s(&sums));
+    comm.send(0, tags::GATHER_SRO_COUNTS, wire::encode_u64s(&counts));
+}
+
+fn recv_accumulator(
+    comm: &Communicator,
+    from: usize,
+    bins: usize,
+    obs_dim: usize,
+) -> MicrocanonicalAccumulator {
+    let sums = wire::decode_f64s(&comm.recv(from, tags::GATHER_SRO_SUMS));
+    let counts = wire::decode_u64s(&comm.recv(from, tags::GATHER_SRO_COUNTS));
+    let mut acc = MicrocanonicalAccumulator::new(bins, obs_dim);
+    let mut mean = vec![0.0; obs_dim];
+    for b in 0..bins {
+        let c = counts[b];
+        if c == 0 {
+            continue;
+        }
+        // Reconstruct by recording the mean c times (exact totals).
+        for (m, &s) in mean.iter_mut().zip(&sums[b * obs_dim..(b + 1) * obs_dim]) {
+            *m = s / c as f64;
+        }
+        for _ in 0..c {
+            acc.record(b, &mean);
+        }
+    }
+    acc
+}
+
+/// Serial baseline: run each window's walkers one after another (rayon
+/// across ranks, but no replica exchange and no weight sync). Useful as an
+/// ablation (what replica exchange buys) and as a debugging reference.
+pub fn run_windows_serial<M: EnergyModel + Sync>(
+    model: &M,
+    neighbors: &NeighborTable,
+    comp: &Composition,
+    (e_min, e_max): (f64, f64),
+    cfg: &RewlConfig,
+) -> RewlOutput {
+    use rayon::prelude::*;
+    let layout = WindowLayout::new(
+        EnergyGrid::new(e_min, e_max, cfg.num_bins),
+        cfg.num_windows,
+        cfg.overlap,
+    );
+    let size = cfg.num_windows * cfg.walkers_per_window;
+    let m_species = comp.num_species();
+    let num_shells = model.num_shells();
+    let obs_dim = num_shells * m_species * m_species;
+
+    let per_rank: Vec<_> = (0..size)
+        .into_par_iter()
+        .map(|rank| {
+            let window = rank / cfg.walkers_per_window;
+            let grid = layout.window_grid(window);
+            let mut rng = rank_rng(cfg.seed, rank as u64);
+            let deep_state = match &cfg.kernel {
+                KernelSpec::Deep(ds) => {
+                    let deep =
+                        DeepProposal::new(m_species, num_shells, &ds.proposal, &mut rng);
+                    let lay = deep.layout();
+                    Some(DeepState {
+                        deep,
+                        trainer: ProposalTrainer::new(lay, ds.trainer.clone()),
+                        buffer: SampleBuffer::new(ds.buffer_capacity),
+                        spec: (**ds).clone(),
+                    })
+                }
+                _ => None,
+            };
+            let mut deep_state = deep_state;
+            let config = Configuration::random(comp, &mut rng);
+            let kernel = build_kernel(&cfg.kernel, &deep_state);
+            let mut walker = WlWalker::new(
+                grid,
+                cfg.wl.clone(),
+                config,
+                model,
+                neighbors,
+                kernel,
+                cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            assert!(
+                walker.drive_into_window(model, neighbors, 20_000),
+                "rank {rank}: failed to reach window {window}"
+            );
+            let ctx = ProposalContext {
+                neighbors,
+                composition: comp,
+            };
+            let mut sro =
+                MicrocanonicalAccumulator::new(layout.global_grid().num_bins(), obs_dim);
+            let mut obs_buf = vec![0.0f64; obs_dim];
+            let mut sweeps = 0u64;
+            let mut since_check = 0u64;
+            while walker.ln_f() > cfg.wl.ln_f_final && sweeps < cfg.max_sweeps {
+                walker.sweep(model, neighbors, &ctx);
+                sweeps += 1;
+                since_check += 1;
+                if since_check >= cfg.wl.sweeps_per_check as u64 {
+                    walker.check_and_advance(model, neighbors);
+                    since_check = 0;
+                }
+                if sweeps % cfg.observe_every_sweeps == 0 {
+                    if let Some(bin) = layout.global_grid().bin(walker.energy()) {
+                        fill_pair_probabilities(
+                            walker.config(),
+                            neighbors,
+                            num_shells,
+                            m_species,
+                            &mut obs_buf,
+                        );
+                        sro.record(bin, &obs_buf);
+                    }
+                }
+                if let Some(ds) = deep_state.as_mut() {
+                    if sweeps % ds.spec.sample_every_sweeps == 0 {
+                        ds.buffer.push(walker.config().clone(), walker.energy());
+                    }
+                    if sweeps % ds.spec.train_every_sweeps == 0 && !ds.buffer.is_empty() {
+                        for _ in 0..ds.spec.epochs_per_round {
+                            ds.trainer.train_epoch(
+                                ds.deep.net_mut(),
+                                &ds.buffer,
+                                neighbors,
+                                walker.rng_mut(),
+                            );
+                        }
+                        walker.set_kernel(build_kernel(&cfg.kernel, &deep_state));
+                    }
+                }
+            }
+            let converged = walker.ln_f() <= cfg.wl.ln_f_final;
+            (
+                RankPiece {
+                    ln_g: walker.dos().ln_g().to_vec(),
+                    mask: walker.visited_mask(),
+                    stats: walker.stats().clone(),
+                    counts: vec![
+                        0u64,
+                        0,
+                        u64::from(converged),
+                        walker.ln_f().to_bits(),
+                        walker.total_moves(),
+                    ],
+                },
+                sro,
+                sweeps,
+            )
+        })
+        .collect();
+
+    let mut merged_sro = MicrocanonicalAccumulator::new(layout.global_grid().num_bins(), obs_dim);
+    for (_, s, _) in &per_rank {
+        merged_sro.merge(s);
+    }
+    let mut pieces = Vec::with_capacity(cfg.num_windows);
+    let mut reports = Vec::with_capacity(cfg.num_windows);
+    for win in 0..cfg.num_windows {
+        let members: Vec<&RankPiece> = per_rank
+            [win * cfg.walkers_per_window..(win + 1) * cfg.walkers_per_window]
+            .iter()
+            .map(|(p, _, _)| p)
+            .collect();
+        pieces.push(average_window(&members));
+        let mut stats = MoveStats::new();
+        let mut all_conv = true;
+        let mut ln_f_max = 0.0f64;
+        for p in &members {
+            stats.merge(&p.stats);
+            all_conv &= p.counts[2] == 1;
+            ln_f_max = ln_f_max.max(f64::from_bits(p.counts[3]));
+        }
+        reports.push(WindowReport {
+            window: win,
+            exchange_attempts: 0,
+            exchange_accepted: 0,
+            stats,
+            converged: all_conv,
+            ln_f: ln_f_max,
+        });
+    }
+    let (dos, mask) = merge_windows(&layout, &pieces);
+    let total_moves = per_rank.iter().map(|(p, _, _)| p.counts[4]).sum();
+    let sweeps = per_rank.iter().map(|(_, _, s)| *s).max().unwrap_or(0);
+    RewlOutput {
+        dos,
+        mask,
+        converged: reports.iter().all(|r| r.converged),
+        windows: reports,
+        sweeps,
+        sro: merged_sro,
+        total_moves,
+    }
+}
+

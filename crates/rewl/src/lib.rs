@@ -1,0 +1,43 @@
+//! # dt-rewl
+//!
+//! Replica-exchange Wang–Landau (REWL): the parallel sampling framework of
+//! DeepThermo.
+//!
+//! The global energy range is split into `M` overlapping windows with `W`
+//! walkers each (`M·W` ranks ≡ GPUs in the paper). Each walker runs
+//! Wang–Landau inside its window; periodically, walkers in adjacent
+//! windows attempt configuration exchanges with the acceptance
+//!
+//! `P = min(1, [g_i(E_x) · g_j(E_y)] / [g_i(E_y) · g_j(E_x)])`
+//!
+//! (valid only when both energies lie in the overlap), which lets
+//! configurations tunnel across the whole range while every walker keeps a
+//! local, rapidly-flattening histogram. At the end, per-window `ln g`
+//! pieces are averaged over the window's walkers and stitched into the
+//! global density of states at the overlap bin where the `ln g` slopes
+//! match best.
+//!
+//! Deep proposals plug in per window: each walker can carry a
+//! [`dt_proposal::DeepProposal`] trained on-the-fly from its own samples,
+//! with optional weight averaging across the walkers of a window
+//! (simulating the paper's NCCL/RCCL allreduce).
+//!
+//! Two drivers are provided:
+//! * [`run_rewl`] — ranks on a [`dt_hpc::ThreadCluster`], full exchange
+//!   protocol over tagged messages (the faithful parallel implementation);
+//! * [`run_windows_serial`] — windows run one after another without
+//!   exchange (a baseline and a debugging aid).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod merge;
+pub mod spec;
+pub mod wire;
+pub mod windows;
+
+pub use driver::{run_rewl, run_windows_serial, RewlConfig, RewlOutput, WindowReport};
+pub use merge::merge_windows;
+pub use spec::{DeepSpec, KernelSpec};
+pub use windows::WindowLayout;

@@ -1,0 +1,232 @@
+//! Stitching per-window `ln g` pieces into the global density of states.
+
+use dt_wanglandau::DosEstimate;
+
+use crate::windows::WindowLayout;
+
+/// Merge per-window `(ln_g, visited_mask)` pieces into a global DOS.
+///
+/// Wang–Landau determines `ln g` only up to an additive constant *per
+/// window*. Adjacent windows are joined at the overlap bin where their
+/// `ln g` slopes (the microcanonical inverse temperature `β(E) =
+/// d ln g / dE`) agree best — the standard REWL stitching rule — and the
+/// right-hand window is shifted to be continuous there. Left of the join
+/// the left window's values are used, right of it the right window's.
+///
+/// Returns `(global DosEstimate, global visited mask)`.
+///
+/// # Panics
+/// Panics when piece shapes disagree with the layout or when an overlap
+/// contains no co-visited interior bins.
+pub fn merge_windows(
+    layout: &WindowLayout,
+    pieces: &[(Vec<f64>, Vec<bool>)],
+) -> (DosEstimate, Vec<bool>) {
+    assert_eq!(pieces.len(), layout.num_windows(), "piece count mismatch");
+    let n = layout.global_grid().num_bins();
+    let mut ln_g = vec![f64::NEG_INFINITY; n];
+    let mut mask = vec![false; n];
+
+    // Place window 0 as-is.
+    {
+        let (lo, hi) = layout.bin_range(0);
+        let (piece, visited) = &pieces[0];
+        assert_eq!(piece.len(), hi - lo, "window 0 size mismatch");
+        for (b, (&v, &vis)) in piece.iter().zip(visited).enumerate() {
+            if vis {
+                ln_g[lo + b] = v;
+                mask[lo + b] = true;
+            }
+        }
+    }
+
+    let mut shift = 0.0;
+    for w in 1..layout.num_windows() {
+        let (lo_prev, hi_prev) = layout.bin_range(w - 1);
+        let (lo, hi) = layout.bin_range(w);
+        let (piece, visited) = &pieces[w];
+        assert_eq!(piece.len(), hi - lo, "window {w} size mismatch");
+        let (prev_piece, prev_visited) = &pieces[w - 1];
+
+        // Co-visited overlap bins (sparse spectra leave holes, so no
+        // contiguity is assumed).
+        let overlap_lo = lo.max(lo_prev);
+        let overlap_hi = hi_prev.min(hi);
+        let covisited: Vec<usize> = (overlap_lo..overlap_hi)
+            .filter(|&g| prev_visited[g - lo_prev] && visited[g - lo])
+            .collect();
+        assert!(
+            !covisited.is_empty(),
+            "windows {} and {w} share no co-visited interior bins",
+            w - 1
+        );
+
+        // Join bin: prefer the slope-matched bin (REWL standard) when
+        // enough visited neighbors exist for slope estimates; otherwise
+        // the median co-visited bin.
+        let mut best: Option<(usize, f64)> = None;
+        for &g in &covisited {
+            if g == overlap_lo || g + 1 >= overlap_hi {
+                continue;
+            }
+            let pl = g - lo_prev;
+            let pr = g - lo;
+            let ok = prev_visited[pl - 1]
+                && prev_visited[pl + 1]
+                && visited[pr - 1]
+                && visited[pr + 1];
+            if !ok {
+                continue;
+            }
+            let slope_prev = (prev_piece[pl + 1] - prev_piece[pl - 1]) / 2.0;
+            let slope_cur = (piece[pr + 1] - piece[pr - 1]) / 2.0;
+            let diff = (slope_prev - slope_cur).abs();
+            if best.is_none_or(|(_, d)| diff < d) {
+                best = Some((g, diff));
+            }
+        }
+        let join = best
+            .map(|(g, _)| g)
+            .unwrap_or_else(|| covisited[covisited.len() / 2]);
+
+        // Continuity shift: robust mean of the per-bin differences over all
+        // co-visited overlap bins (prev piece already carries `shift`).
+        let mean_diff = covisited
+            .iter()
+            .map(|&g| prev_piece[g - lo_prev] - piece[g - lo])
+            .sum::<f64>()
+            / covisited.len() as f64;
+        shift += mean_diff;
+
+        for (b, (&v, &vis)) in piece.iter().zip(visited).enumerate() {
+            let g = lo + b;
+            if vis && g >= join {
+                ln_g[g] = v + shift;
+                mask[g] = true;
+            }
+        }
+    }
+
+    // Zero unvisited bins for cleanliness (callers must consult the mask).
+    for (v, &m) in ln_g.iter_mut().zip(&mask) {
+        if !m {
+            *v = 0.0;
+        }
+    }
+    (
+        DosEstimate::from_parts(layout.global_grid().clone(), ln_g),
+        mask,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_wanglandau::EnergyGrid;
+
+    /// Synthetic truth: a smooth `ln g` curve sampled on a global grid,
+    /// split into windows with arbitrary per-window offsets. Merging must
+    /// recover the truth up to one global constant.
+    #[test]
+    fn merge_recovers_truth_up_to_constant() {
+        let n = 64;
+        let grid = EnergyGrid::new(0.0, 1.0, n);
+        let truth: Vec<f64> = (0..n)
+            .map(|b| {
+                let x = (b as f64 + 0.5) / n as f64;
+                // Asymmetric dome like a real DOS.
+                800.0 * (x * (1.0 - x)).sqrt() + 30.0 * x
+            })
+            .collect();
+        for (m, o) in [(2usize, 0.5), (4, 0.75), (8, 0.5)] {
+            let layout = WindowLayout::new(grid.clone(), m, o);
+            let pieces: Vec<(Vec<f64>, Vec<bool>)> = (0..m)
+                .map(|w| {
+                    let (lo, hi) = layout.bin_range(w);
+                    let offset = (w as f64 + 1.0) * 1234.5;
+                    let vals: Vec<f64> =
+                        truth[lo..hi].iter().map(|&v| v + offset).collect();
+                    let mask = vec![true; hi - lo];
+                    (vals, mask)
+                })
+                .collect();
+            let (merged, mask) = merge_windows(&layout, &pieces);
+            assert!(mask.iter().all(|&v| v), "all bins visited");
+            let delta = merged.ln_g()[0] - truth[0];
+            for b in 0..n {
+                assert!(
+                    (merged.ln_g()[b] - truth[b] - delta).abs() < 1e-9,
+                    "bin {b} (m={m}, o={o})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_with_noise_joins_at_best_slope_match() {
+        // Add small window-dependent noise: the merged curve should still
+        // track the truth to within the noise scale.
+        let n = 48;
+        let grid = EnergyGrid::new(0.0, 1.0, n);
+        let truth: Vec<f64> = (0..n).map(|b| -0.02 * (b as f64 - 30.0).powi(2)).collect();
+        let layout = WindowLayout::new(grid, 3, 0.5);
+        let pieces: Vec<(Vec<f64>, Vec<bool>)> = (0..3)
+            .map(|w| {
+                let (lo, hi) = layout.bin_range(w);
+                let vals: Vec<f64> = truth[lo..hi]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| v + w as f64 * 55.5 + 0.01 * ((i * 7 + w) % 3) as f64)
+                    .collect();
+                (vals, vec![true; hi - lo])
+            })
+            .collect();
+        let (merged, _) = merge_windows(&layout, &pieces);
+        let delta = merged.ln_g()[0] - truth[0];
+        for b in 0..n {
+            assert!(
+                (merged.ln_g()[b] - truth[b] - delta).abs() < 0.1,
+                "bin {b}: {} vs {}",
+                merged.ln_g()[b] - delta,
+                truth[b]
+            );
+        }
+    }
+
+    #[test]
+    fn unvisited_edges_are_masked_out() {
+        let n = 16;
+        let grid = EnergyGrid::new(0.0, 1.0, n);
+        let layout = WindowLayout::new(grid, 2, 0.5);
+        let (lo0, hi0) = layout.bin_range(0);
+        let (lo1, hi1) = layout.bin_range(1);
+        let mut mask0 = vec![true; hi0 - lo0];
+        mask0[0] = false; // unreachable lowest bin
+        let piece0: Vec<f64> = (0..hi0 - lo0).map(|i| i as f64).collect();
+        let mask1 = vec![true; hi1 - lo1];
+        let piece1: Vec<f64> = (0..hi1 - lo1).map(|i| 100.0 + i as f64).collect();
+        let (_, mask) = merge_windows(&layout, &[(piece0, mask0), (piece1, mask1)]);
+        assert!(!mask[0]);
+        assert!(mask[1]);
+        assert!(mask[n - 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no co-visited")]
+    fn disjoint_visits_panic() {
+        let grid = EnergyGrid::new(0.0, 1.0, 16);
+        let layout = WindowLayout::new(grid, 2, 0.5);
+        let (lo0, hi0) = layout.bin_range(0);
+        let (lo1, hi1) = layout.bin_range(1);
+        let piece0 = vec![0.0; hi0 - lo0];
+        let mut mask0 = vec![true; hi0 - lo0];
+        // Previous window never visited the overlap.
+        let (olo, ohi) = layout.overlap_range(0);
+        for g in olo..ohi {
+            mask0[g - lo0] = false;
+        }
+        let piece1 = vec![0.0; hi1 - lo1];
+        let mask1 = vec![true; hi1 - lo1];
+        let _ = merge_windows(&layout, &[(piece0, mask0), (piece1, mask1)]);
+    }
+}

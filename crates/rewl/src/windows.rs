@@ -1,0 +1,167 @@
+//! Overlapping energy-window layout.
+
+use dt_wanglandau::EnergyGrid;
+
+/// Partition of a global energy grid into `M` equal windows with a given
+/// pairwise overlap fraction. Windows are defined in *global bin* indices
+/// so every window grid shares bin boundaries with the global grid (which
+/// makes merging exact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowLayout {
+    global: EnergyGrid,
+    /// `(start_bin, end_bin)` per window, end exclusive.
+    ranges: Vec<(usize, usize)>,
+    overlap: f64,
+}
+
+impl WindowLayout {
+    /// Lay out `num_windows` windows over `global` with `overlap` ∈ [0, 0.95]
+    /// (fraction of each window shared with its successor).
+    ///
+    /// # Panics
+    /// Panics when parameters are out of range or the grid is too small to
+    /// give every window at least 2 bins and every overlap at least 1 bin.
+    pub fn new(global: EnergyGrid, num_windows: usize, overlap: f64) -> Self {
+        assert!(num_windows >= 1, "need at least one window");
+        assert!((0.0..=0.95).contains(&overlap), "overlap out of range");
+        let n = global.num_bins();
+        if num_windows == 1 {
+            return WindowLayout {
+                global,
+                ranges: vec![(0, n)],
+                overlap,
+            };
+        }
+        // Window width w satisfies: w + (M-1)·w·(1-o) = n.
+        let m = num_windows as f64;
+        let w = n as f64 / (1.0 + (m - 1.0) * (1.0 - overlap));
+        let stride = w * (1.0 - overlap);
+        let width = w.round().max(2.0) as usize;
+        let mut ranges = Vec::with_capacity(num_windows);
+        for i in 0..num_windows {
+            let start = (i as f64 * stride).round() as usize;
+            let end = (start + width).min(n);
+            ranges.push((start.min(n - 2), end));
+        }
+        // Force the last window to touch the top of the grid.
+        let last = ranges.last_mut().expect("nonempty");
+        last.1 = n;
+        if last.1 - last.0 < 2 {
+            last.0 = n - 2;
+        }
+        // Rounding of the fractional stride can collapse an overlap to
+        // zero bins (e.g. 30 bins, 4 windows, 10% overlap); pull window
+        // starts down so every adjacent pair shares at least one bin.
+        for i in 1..num_windows {
+            if ranges[i].0 >= ranges[i - 1].1 {
+                ranges[i].0 = ranges[i - 1].1 - 1;
+            }
+        }
+        // Validate: contiguous coverage with ≥1 bin overlaps.
+        for i in 0..num_windows - 1 {
+            assert!(
+                ranges[i + 1].0 < ranges[i].1,
+                "windows {i} and {} do not overlap: {:?}",
+                i + 1,
+                ranges
+            );
+            assert!(ranges[i].1 - ranges[i].0 >= 2, "window {i} too narrow");
+        }
+        WindowLayout {
+            global,
+            ranges,
+            overlap,
+        }
+    }
+
+    /// The global grid.
+    pub fn global_grid(&self) -> &EnergyGrid {
+        &self.global
+    }
+
+    /// Number of windows.
+    pub fn num_windows(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Overlap fraction used at construction.
+    pub fn overlap(&self) -> f64 {
+        self.overlap
+    }
+
+    /// Global bin range `(start, end)` of window `i`.
+    pub fn bin_range(&self, i: usize) -> (usize, usize) {
+        self.ranges[i]
+    }
+
+    /// The energy grid of window `i` (bin-aligned slice of the global
+    /// grid).
+    pub fn window_grid(&self, i: usize) -> EnergyGrid {
+        let (lo, hi) = self.ranges[i];
+        self.global.slice(lo, hi)
+    }
+
+    /// Global bin range of the overlap between windows `i` and `i+1`.
+    pub fn overlap_range(&self, i: usize) -> (usize, usize) {
+        (self.ranges[i + 1].0, self.ranges[i].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> EnergyGrid {
+        EnergyGrid::new(0.0, n as f64, n)
+    }
+
+    #[test]
+    fn single_window_covers_everything() {
+        let l = WindowLayout::new(grid(10), 1, 0.5);
+        assert_eq!(l.num_windows(), 1);
+        assert_eq!(l.bin_range(0), (0, 10));
+    }
+
+    #[test]
+    fn windows_cover_grid_with_overlaps() {
+        for (n, m, o) in [(64, 4, 0.75), (100, 8, 0.5), (40, 3, 0.25), (200, 16, 0.75)] {
+            let l = WindowLayout::new(grid(n), m, o);
+            assert_eq!(l.bin_range(0).0, 0, "first window starts at 0");
+            assert_eq!(l.bin_range(m - 1).1, n, "last window ends at n");
+            for i in 0..m - 1 {
+                let (lo, hi) = l.overlap_range(i);
+                assert!(hi > lo, "windows {i},{} overlap ({n},{m},{o})", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn window_grids_share_bin_boundaries() {
+        let l = WindowLayout::new(EnergyGrid::new(-2.0, 6.0, 32), 4, 0.5);
+        for i in 0..4 {
+            let wg = l.window_grid(i);
+            let (lo, hi) = l.bin_range(i);
+            assert_eq!(wg.num_bins(), hi - lo);
+            // Centers must coincide with global centers.
+            for b in 0..wg.num_bins() {
+                let global_center = l.global_grid().center(lo + b);
+                assert!((wg.center(b) - global_center).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_overlap_means_wider_windows() {
+        let narrow = WindowLayout::new(grid(100), 4, 0.25);
+        let wide = WindowLayout::new(grid(100), 4, 0.75);
+        let w_narrow = narrow.bin_range(0).1 - narrow.bin_range(0).0;
+        let w_wide = wide.bin_range(0).1 - wide.bin_range(0).0;
+        assert!(w_wide > w_narrow);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap out of range")]
+    fn rejects_full_overlap() {
+        let _ = WindowLayout::new(grid(10), 2, 0.99);
+    }
+}

@@ -1,0 +1,101 @@
+//! Byte-level encoding of the messages REWL ranks exchange.
+//!
+//! Kept deliberately simple (little-endian scalars, length-prefixed
+//! vectors) — this plays the role MPI derived datatypes play in the
+//! paper's implementation.
+
+use dt_lattice::{Configuration, Species};
+
+/// Encode `(energy, configuration)` for a replica-exchange transfer.
+pub fn encode_state(energy: f64, config: &Configuration) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + config.num_sites());
+    out.extend_from_slice(&energy.to_le_bytes());
+    out.extend(config.species().iter().map(|s| s.0));
+    out
+}
+
+/// Decode a [`encode_state`] payload.
+pub fn decode_state(bytes: &[u8], num_species: usize) -> (f64, Configuration) {
+    let energy = f64::from_le_bytes(bytes[..8].try_into().expect("energy bytes"));
+    let species: Vec<Species> = bytes[8..].iter().map(|&b| Species(b)).collect();
+    (energy, Configuration::from_species(species, num_species))
+}
+
+/// Encode a vector of `f64`.
+pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a [`encode_f64s`] payload.
+pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert_eq!(bytes.len() % 8, 0, "truncated f64 payload");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+/// Encode a vector of `u64`.
+pub fn encode_u64s(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a [`encode_u64s`] payload.
+pub fn decode_u64s(bytes: &[u8]) -> Vec<u64> {
+    assert_eq!(bytes.len() % 8, 0, "truncated u64 payload");
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+/// Encode a bool mask as bytes.
+pub fn encode_mask(mask: &[bool]) -> Vec<u8> {
+    mask.iter().map(|&b| u8::from(b)).collect()
+}
+
+/// Decode a [`encode_mask`] payload.
+pub fn decode_mask(bytes: &[u8]) -> Vec<bool> {
+    bytes.iter().map(|&b| b != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_lattice::Composition;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn state_round_trip() {
+        let comp = Composition::equiatomic(4, 32).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let c = Configuration::random(&comp, &mut rng);
+        let bytes = encode_state(-1.25, &c);
+        let (e, back) = decode_state(&bytes, 4);
+        assert_eq!(e, -1.25);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn f64_and_u64_round_trips() {
+        let f = vec![1.0, -2.5, f64::MIN_POSITIVE, 1e300];
+        assert_eq!(decode_f64s(&encode_f64s(&f)), f);
+        let u = vec![0u64, 7, u64::MAX];
+        assert_eq!(decode_u64s(&encode_u64s(&u)), u);
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        let m = vec![true, false, true, true];
+        assert_eq!(decode_mask(&encode_mask(&m)), m);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests of window layout and DOS merging.
+
+use dt_rewl::{merge_windows, WindowLayout};
+use dt_wanglandau::EnergyGrid;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any layout covers the grid contiguously with nonempty overlaps and
+    /// window grids that share bin boundaries with the global grid.
+    #[test]
+    fn layouts_are_well_formed(
+        bins in 16usize..200,
+        windows in 1usize..9,
+        overlap in 0.1f64..0.9,
+    ) {
+        prop_assume!(bins >= windows * 4);
+        let grid = EnergyGrid::new(0.0, 1.0, bins);
+        let layout = WindowLayout::new(grid, windows, overlap);
+        prop_assert_eq!(layout.bin_range(0).0, 0);
+        prop_assert_eq!(layout.bin_range(windows - 1).1, bins);
+        for w in 0..windows {
+            let (lo, hi) = layout.bin_range(w);
+            prop_assert!(hi - lo >= 2, "window {w} too narrow");
+            let wg = layout.window_grid(w);
+            prop_assert_eq!(wg.num_bins(), hi - lo);
+            for b in 0..wg.num_bins() {
+                let gc = layout.global_grid().center(lo + b);
+                prop_assert!((wg.center(b) - gc).abs() < 1e-12);
+            }
+            if w + 1 < windows {
+                let (olo, ohi) = layout.overlap_range(w);
+                prop_assert!(ohi > olo, "windows {w},{} disjoint", w + 1);
+            }
+        }
+    }
+
+    /// Merging fully-visited pieces with arbitrary per-window offsets
+    /// recovers the underlying curve up to one global constant, for any
+    /// smooth truth and layout.
+    #[test]
+    fn merge_inverts_window_offsets(
+        windows in 2usize..6,
+        overlap in 0.3f64..0.8,
+        amp in 10.0f64..2000.0,
+        skew in -20.0f64..20.0,
+        offsets in proptest::collection::vec(-5000.0f64..5000.0, 6),
+    ) {
+        let bins = 96;
+        let grid = EnergyGrid::new(0.0, 1.0, bins);
+        let layout = WindowLayout::new(grid, windows, overlap);
+        let truth: Vec<f64> = (0..bins)
+            .map(|b| {
+                let x = (b as f64 + 0.5) / bins as f64;
+                amp * (x * (1.0 - x)).sqrt() + skew * x
+            })
+            .collect();
+        let pieces: Vec<(Vec<f64>, Vec<bool>)> = (0..windows)
+            .map(|w| {
+                let (lo, hi) = layout.bin_range(w);
+                let vals: Vec<f64> =
+                    truth[lo..hi].iter().map(|&v| v + offsets[w]).collect();
+                (vals, vec![true; hi - lo])
+            })
+            .collect();
+        let (merged, mask) = merge_windows(&layout, &pieces);
+        prop_assert!(mask.iter().all(|&v| v));
+        let delta = merged.ln_g()[0] - truth[0];
+        for b in 0..bins {
+            prop_assert!(
+                (merged.ln_g()[b] - truth[b] - delta).abs() < 1e-6,
+                "bin {b}: {} vs {}",
+                merged.ln_g()[b] - delta,
+                truth[b]
+            );
+        }
+    }
+
+    /// Merging respects visited masks: bins unvisited by every covering
+    /// window stay masked out.
+    #[test]
+    fn merge_preserves_unvisited_holes(hole in 1usize..94) {
+        let bins = 96;
+        let grid = EnergyGrid::new(0.0, 1.0, bins);
+        let layout = WindowLayout::new(grid, 2, 0.5);
+        let (lo0, hi0) = layout.bin_range(0);
+        let (lo1, hi1) = layout.bin_range(1);
+        // Keep the hole outside the overlap so joins stay possible.
+        let (olo, ohi) = layout.overlap_range(0);
+        prop_assume!(hole < olo || hole >= ohi);
+        let mut m0 = vec![true; hi0 - lo0];
+        let mut m1 = vec![true; hi1 - lo1];
+        if hole >= lo0 && hole < hi0 {
+            m0[hole - lo0] = false;
+        }
+        if hole >= lo1 && hole < hi1 {
+            m1[hole - lo1] = false;
+        }
+        let p0: Vec<f64> = (lo0..hi0).map(|b| b as f64).collect();
+        let p1: Vec<f64> = (lo1..hi1).map(|b| b as f64 + 7.0).collect();
+        let (_, mask) = merge_windows(&layout, &[(p0, m0), (p1, m1)]);
+        prop_assert!(!mask[hole], "hole at {hole} must stay masked");
+    }
+}

@@ -1,0 +1,255 @@
+//! Configuration descriptors for the energy surrogate.
+
+use dt_lattice::{sro::ordered_pair_counts, Configuration, NeighborTable};
+
+/// Shell-resolved pair-correlation descriptor.
+///
+/// Features are the undirected pair probabilities `p_s(a,b)` for `a ≤ b`
+/// in each shell (a sufficient statistic for any pair Hamiltonian, and the
+/// leading terms of a cluster-expansion descriptor in general), plus the
+/// per-species concentrations. Dimension:
+/// `shells · m(m+1)/2 + m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairCorrelationDescriptor {
+    /// Number of species `m`.
+    pub num_species: usize,
+    /// Number of coordination shells.
+    pub num_shells: usize,
+}
+
+impl PairCorrelationDescriptor {
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        let m = self.num_species;
+        self.num_shells * m * (m + 1) / 2 + m
+    }
+
+    /// Compute features into `out`.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != dim()`.
+    pub fn fill(&self, out: &mut [f64], config: &Configuration, neighbors: &NeighborTable) {
+        assert_eq!(out.len(), self.dim(), "descriptor buffer size");
+        let m = self.num_species;
+        let mut k = 0usize;
+        for shell in 0..self.num_shells {
+            let counts = ordered_pair_counts(config, neighbors, shell, m);
+            let total = neighbors.directed_pair_count(shell) as f64;
+            for a in 0..m {
+                for b in a..m {
+                    // Undirected probability: diagonal pairs appear once in
+                    // the ordered table per direction; off-diagonal twice.
+                    let directed = if a == b {
+                        counts[a * m + b] as f64
+                    } else {
+                        (counts[a * m + b] + counts[b * m + a]) as f64
+                    };
+                    out[k] = directed / total;
+                    k += 1;
+                }
+            }
+        }
+        let n = config.num_sites() as f64;
+        for (o, &c) in out[k..].iter_mut().zip(config.species_counts()) {
+            *o = c as f64 / n;
+        }
+    }
+
+    /// Compute features into a fresh vector.
+    pub fn compute(&self, config: &Configuration, neighbors: &NeighborTable) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim()];
+        self.fill(&mut out, config, neighbors);
+        out
+    }
+
+    /// Feature-vector *change* caused by simultaneously applying `moves`
+    /// (`(site, new species)`, distinct sites), in O(k·z) — the incremental
+    /// path that lets [`crate::SurrogateModel`] serve as an
+    /// [`dt_hamiltonian::EnergyModel`].
+    pub fn delta(
+        &self,
+        config: &Configuration,
+        neighbors: &NeighborTable,
+        moves: &[(dt_lattice::SiteId, dt_lattice::Species)],
+    ) -> Vec<f64> {
+        let m = self.num_species;
+        let mut sorted: Vec<(dt_lattice::SiteId, dt_lattice::Species)> = moves.to_vec();
+        sorted.sort_unstable_by_key(|&(s, _)| s);
+        let new_species = |site: dt_lattice::SiteId| -> dt_lattice::Species {
+            match sorted.binary_search_by_key(&site, |&(s, _)| s) {
+                Ok(i) => sorted[i].1,
+                Err(_) => config.species_at(site),
+            }
+        };
+        let moved = |site: dt_lattice::SiteId| -> bool {
+            sorted.binary_search_by_key(&site, |&(s, _)| s).is_ok()
+        };
+
+        let mut out = vec![0.0; self.dim()];
+        let per_shell = m * (m + 1) / 2;
+        let tri = |a: usize, b: usize| -> usize {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            // Index of (lo, hi) in the upper triangle enumerated row-major.
+            lo * m - lo * (lo + 1) / 2 + hi
+        };
+        for shell in 0..self.num_shells {
+            let total = neighbors.directed_pair_count(shell) as f64;
+            let base = shell * per_shell;
+            // Every directed pair (i, j) with i or j moved changes exactly
+            // once in this enumeration (see module docs).
+            for &(i, new_i) in &sorted {
+                let old_i = config.species_at(i);
+                for &j in neighbors.neighbors(i, shell) {
+                    let old_j = config.species_at(j);
+                    let new_j = new_species(j);
+                    // Directed pair (i, j).
+                    out[base + tri(old_i.index(), old_j.index())] -= 1.0 / total;
+                    out[base + tri(new_i.index(), new_j.index())] += 1.0 / total;
+                    // Directed pair (j, i) when j did not move (otherwise
+                    // it is covered when enumerating j).
+                    if !moved(j) {
+                        out[base + tri(old_j.index(), old_i.index())] -= 1.0 / total;
+                        out[base + tri(old_j.index(), new_i.index())] += 1.0 / total;
+                    }
+                }
+            }
+        }
+        // Concentrations: canonical moves conserve them unless the caller
+        // reassigns off-multiset (allowed for generality).
+        let n = config.num_sites() as f64;
+        let conc_base = self.num_shells * per_shell;
+        for &(site, new_s) in &sorted {
+            let old_s = config.species_at(site);
+            if old_s != new_s {
+                out[conc_base + old_s.index()] -= 1.0 / n;
+                out[conc_base + new_s.index()] += 1.0 / n;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_lattice::{Composition, Structure, Supercell};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn fixture() -> (Supercell, NeighborTable, Composition) {
+        let cell = Supercell::cubic(Structure::bcc(), 3);
+        let nt = cell.neighbor_table(2);
+        let comp = Composition::equiatomic(4, cell.num_sites()).unwrap();
+        (cell, nt, comp)
+    }
+
+    #[test]
+    fn dim_formula() {
+        let d = PairCorrelationDescriptor {
+            num_species: 4,
+            num_shells: 2,
+        };
+        assert_eq!(d.dim(), 2 * 10 + 4);
+    }
+
+    #[test]
+    fn pair_probabilities_sum_to_one_per_shell() {
+        let (_, nt, comp) = fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let c = Configuration::random(&comp, &mut rng);
+        let d = PairCorrelationDescriptor {
+            num_species: 4,
+            num_shells: 2,
+        };
+        let f = d.compute(&c, &nt);
+        let per_shell = 10;
+        for shell in 0..2 {
+            let s: f64 = f[shell * per_shell..(shell + 1) * per_shell].iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "shell {shell}: {s}");
+        }
+        // Concentrations are the tail.
+        let conc: f64 = f[20..].iter().sum();
+        assert!((conc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn descriptor_distinguishes_order_from_disorder() {
+        let (cell, nt, comp) = fixture();
+        let d = PairCorrelationDescriptor {
+            num_species: 4,
+            num_shells: 2,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let random = d.compute(&Configuration::random(&comp, &mut rng), &nt);
+        let ordered = d.compute(&Configuration::b2_ordered(&cell, 4), &nt);
+        let dist: f64 = random
+            .iter()
+            .zip(&ordered)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 0.1, "descriptors too close: {dist}");
+    }
+
+    #[test]
+    fn delta_matches_full_recompute() {
+        use dt_lattice::{SiteId, Species};
+        use rand::RngExt;
+        let (_, nt, comp) = fixture();
+        let d = PairCorrelationDescriptor {
+            num_species: 4,
+            num_shells: 2,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut config = Configuration::random(&comp, &mut rng);
+        for trial in 0..50 {
+            let k = rng.random_range(1..=6usize);
+            let mut sites: Vec<SiteId> = (0..config.num_sites() as SiteId).collect();
+            for i in 0..k {
+                let j = rng.random_range(i..sites.len());
+                sites.swap(i, j);
+            }
+            let moves: Vec<(SiteId, Species)> = sites[..k]
+                .iter()
+                .map(|&s| (s, Species(rng.random_range(0..4u8))))
+                .collect();
+            let before = d.compute(&config, &nt);
+            let delta = d.delta(&config, &nt, &moves);
+            for &(s, sp) in &moves {
+                config.set(s, sp);
+            }
+            let after = d.compute(&config, &nt);
+            for (i, ((&b, &dl), &a)) in before.iter().zip(&delta).zip(&after).enumerate() {
+                assert!(
+                    (b + dl - a).abs() < 1e-10,
+                    "trial {trial} feature {i}: {b} + {dl} != {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn descriptor_is_permutation_invariant_in_space() {
+        // Global translation of the configuration (shift all cells by one)
+        // must not change pair correlations.
+        let (cell, nt, comp) = fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let c = Configuration::random(&comp, &mut rng);
+        let mut shifted_species = vec![dt_lattice::Species(0); c.num_sites()];
+        for site in 0..cell.num_sites() as u32 {
+            let (x, y, z, b) = cell.decompose(site);
+            let target = cell.site_at(x as isize + 1, y as isize, z as isize, b);
+            shifted_species[target as usize] = c.species_at(site);
+        }
+        let shifted = Configuration::from_species(shifted_species, 4);
+        let d = PairCorrelationDescriptor {
+            num_species: 4,
+            num_shells: 2,
+        };
+        let fa = d.compute(&c, &nt);
+        let fb = d.compute(&shifted, &nt);
+        for (a, b) in fa.iter().zip(&fb) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # dt-surrogate
+//!
+//! Deep-learning energy surrogates.
+//!
+//! In the paper, configuration energies come from a deep-learning potential
+//! trained on DFT data so that Monte Carlo sampling never touches DFT.
+//! Here the "expensive reference" is the EPI cluster expansion of
+//! `dt-hamiltonian` (see DESIGN.md, "Substitutions"); this crate implements
+//! the same train→deploy loop:
+//!
+//! * [`PairCorrelationDescriptor`] — shell-resolved pair-correlation
+//!   features, the natural on-lattice analogue of the local-environment
+//!   descriptors DFT-trained potentials use,
+//! * [`Dataset`] — reference-energy datasets sampled across the reachable
+//!   energy range (random + annealed configurations so ordered states are
+//!   represented),
+//! * [`SurrogateModel`] — a trained MLP that implements
+//!   [`dt_hamiltonian::EnergyModel`], so every sampler in the workspace can
+//!   run on the surrogate exactly as it runs on the reference model,
+//! * [`metrics`] — MAE / RMSE / R² and parity-plot data (experiment E1).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod descriptor;
+pub mod metrics;
+pub mod model;
+
+pub use dataset::{Dataset, SamplingStrategy};
+pub use descriptor::PairCorrelationDescriptor;
+pub use metrics::{mae, parity_points, r_squared, rmse};
+pub use model::{SurrogateModel, TrainReport, TrainingOptions};

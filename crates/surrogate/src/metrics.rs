@@ -1,0 +1,95 @@
+//! Regression metrics and parity-plot data.
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    assert!(!pred.is_empty());
+    pred.iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root-mean-square error.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    assert!(!pred.is_empty());
+    (pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64)
+        .sqrt()
+}
+
+/// Coefficient of determination `R² = 1 − SS_res / SS_tot` (can be
+/// negative for models worse than the mean predictor; 1 for a constant
+/// truth predicted exactly).
+pub fn r_squared(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    assert!(!pred.is_empty());
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// `(truth, prediction)` pairs for a parity plot (experiment E1).
+pub fn parity_points(pred: &[f64], truth: &[f64]) -> Vec<(f64, f64)> {
+    truth.iter().copied().zip(pred.iter().copied()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(rmse(&t, &t), 0.0);
+        assert_eq!(r_squared(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn known_errors() {
+        let p = [1.0, 3.0];
+        let t = [2.0, 1.0];
+        assert_eq!(mae(&p, &t), 1.5);
+        assert!((rmse(&p, &t) - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let p = [2.5; 4];
+        assert!(r_squared(&p, &t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_can_be_negative() {
+        let t = [1.0, 2.0];
+        let p = [10.0, -10.0];
+        assert!(r_squared(&p, &t) < 0.0);
+    }
+
+    #[test]
+    fn parity_points_zip() {
+        let pts = parity_points(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(pts, vec![(3.0, 1.0), (4.0, 2.0)]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Canonical thermodynamics from `(E, ln g)` pairs.
+
+/// One temperature point of the thermodynamic curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermoPoint {
+    /// Temperature (K).
+    pub t: f64,
+    /// Internal energy ⟨E⟩ (eV).
+    pub u: f64,
+    /// Heat capacity `C_v / k_B = β²(⟨E²⟩ − ⟨E⟩²)` (dimensionless, per
+    /// supercell; divide by N for per-atom).
+    pub cv: f64,
+    /// Helmholtz free energy `F = −k_B T ln Z` (eV). Absolute when `ln g`
+    /// carries the absolute normalization.
+    pub f: f64,
+    /// Entropy `S / k_B = β(U − F)` (dimensionless, per supercell).
+    pub s: f64,
+}
+
+/// Evaluate U, C_v, F, S on a temperature grid from a (possibly huge)
+/// density of states given as `(energies[i], ln_g[i])`.
+///
+/// All sums are taken in log space: with
+/// `w_i(β) = ln g_i − β E_i`, `ln Z = LSE_i w_i` and moments follow from
+/// ratios of shifted log-sum-exps, so `ln g` ranges of 10⁴ (the paper's
+/// `~e^10,000`) are handled exactly.
+///
+/// # Panics
+/// Panics when slices mismatch, are empty, or any temperature is ≤ 0.
+pub fn canonical_curve(
+    energies: &[f64],
+    ln_g: &[f64],
+    temps: &[f64],
+    kb: f64,
+) -> Vec<ThermoPoint> {
+    assert_eq!(energies.len(), ln_g.len(), "E / ln g length mismatch");
+    assert!(!energies.is_empty(), "empty density of states");
+    temps
+        .iter()
+        .map(|&t| {
+            assert!(t > 0.0, "temperature must be positive, got {t}");
+            let beta = 1.0 / (kb * t);
+            // w_i = ln g_i − β E_i, stabilized by the max.
+            let mut w_max = f64::NEG_INFINITY;
+            for (&e, &lg) in energies.iter().zip(ln_g) {
+                w_max = w_max.max(lg - beta * e);
+            }
+            let mut z = 0.0; // Σ exp(w_i − w_max)
+            let mut ez = 0.0; // Σ E_i exp(...)
+            let mut e2z = 0.0; // Σ E_i² exp(...)
+            for (&e, &lg) in energies.iter().zip(ln_g) {
+                let w = (lg - beta * e - w_max).exp();
+                z += w;
+                ez += w * e;
+                e2z += w * e * e;
+            }
+            let u = ez / z;
+            let var = (e2z / z - u * u).max(0.0);
+            let ln_z = w_max + z.ln();
+            let f = -kb * t * ln_z;
+            ThermoPoint {
+                t,
+                u,
+                cv: beta * beta * var,
+                f,
+                s: beta * (u - f),
+            }
+        })
+        .collect()
+}
+
+/// A uniformly spaced temperature grid `[t_min, t_max]` with `n` points.
+pub fn temperature_grid(t_min: f64, t_max: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2 && t_max > t_min && t_min > 0.0);
+    (0..n)
+        .map(|i| t_min + (t_max - t_min) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// Locate the heat-capacity peak — the order–disorder transition
+/// temperature estimate. Returns `(T_c, C_v(T_c))`.
+pub fn find_cv_peak(curve: &[ThermoPoint]) -> (f64, f64) {
+    assert!(!curve.is_empty());
+    curve
+        .iter()
+        .map(|p| (p.t, p.cv))
+        .fold((curve[0].t, f64::NEG_INFINITY), |best, (t, cv)| {
+            if cv > best.1 {
+                (t, cv)
+            } else {
+                best
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_hamiltonian::KB_EV_PER_K;
+
+    /// Two-level system: N-fold degenerate ground state at 0 and M-fold
+    /// excited state at ε — everything is known in closed form.
+    fn two_level(eps: f64, g0: f64, g1: f64) -> (Vec<f64>, Vec<f64>) {
+        (vec![0.0, eps], vec![g0.ln(), g1.ln()])
+    }
+
+    #[test]
+    fn two_level_system_matches_closed_form() {
+        let eps = 0.1;
+        let (e, lg) = two_level(eps, 1.0, 3.0);
+        let t = 500.0;
+        let beta = 1.0 / (KB_EV_PER_K * t);
+        let pts = canonical_curve(&e, &lg, &[t], KB_EV_PER_K);
+        let z = 1.0 + 3.0 * (-beta * eps).exp();
+        let u = 3.0 * eps * (-beta * eps).exp() / z;
+        assert!((pts[0].u - u).abs() < 1e-12);
+        let var = 3.0 * eps * eps * (-beta * eps).exp() / z - u * u;
+        assert!((pts[0].cv - beta * beta * var).abs() < 1e-9);
+        // F = -kT ln Z, S = β(U − F).
+        assert!((pts[0].f + KB_EV_PER_K * t * z.ln()).abs() < 1e-12);
+        assert!((pts[0].s - beta * (pts[0].u - pts[0].f)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_limits_are_correct() {
+        // At T→0 the system sits in the (g0-fold) ground state: S → ln g0;
+        // at T→∞ all states equally likely: S → ln(g0+g1).
+        let (e, lg) = two_level(0.05, 2.0, 6.0);
+        let lo = canonical_curve(&e, &lg, &[1.0], KB_EV_PER_K)[0];
+        let hi = canonical_curve(&e, &lg, &[1e7], KB_EV_PER_K)[0];
+        assert!((lo.s - 2.0f64.ln()).abs() < 1e-6, "S(0) = {}", lo.s);
+        assert!((hi.s - 8.0f64.ln()).abs() < 1e-3, "S(inf) = {}", hi.s);
+    }
+
+    #[test]
+    fn schottky_peak_is_found() {
+        let (e, lg) = two_level(0.1, 1.0, 1.0);
+        let temps = temperature_grid(50.0, 3000.0, 400);
+        let curve = canonical_curve(&e, &lg, &temps, KB_EV_PER_K);
+        let (tc, cv) = find_cv_peak(&curve);
+        // Schottky anomaly of a symmetric two-level system peaks at
+        // βε ≈ 2.3994 ⇒ T ≈ ε / (2.3994 k_B).
+        let expected = 0.1 / (2.3994 * KB_EV_PER_K);
+        assert!(
+            (tc - expected).abs() < 30.0,
+            "T_peak {tc} vs analytic {expected}"
+        );
+        assert!(cv > 0.4, "peak height {cv}");
+    }
+
+    #[test]
+    fn huge_ln_g_values_do_not_overflow() {
+        // DOS spanning e^10,000 — the paper's headline scale.
+        let e: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        let lg: Vec<f64> = (0..100).map(|i| 10_000.0 * (i as f64 / 99.0)).collect();
+        let pts = canonical_curve(&e, &lg, &[300.0, 3000.0], KB_EV_PER_K);
+        for p in pts {
+            assert!(p.u.is_finite());
+            assert!(p.cv.is_finite() && p.cv >= 0.0);
+            assert!(p.f.is_finite());
+            assert!(p.s.is_finite() && p.s > 0.0);
+        }
+    }
+
+    #[test]
+    fn u_is_monotone_in_t() {
+        let (e, lg) = two_level(0.2, 4.0, 4.0);
+        let temps = temperature_grid(10.0, 5000.0, 50);
+        let curve = canonical_curve(&e, &lg, &temps, KB_EV_PER_K);
+        for w in curve.windows(2) {
+            assert!(w[1].u >= w[0].u - 1e-12, "U must increase with T");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn negative_temperature_rejected() {
+        let (e, lg) = two_level(0.1, 1.0, 1.0);
+        let _ = canonical_curve(&e, &lg, &[-1.0], KB_EV_PER_K);
+    }
+
+    #[test]
+    fn temperature_grid_endpoints() {
+        let g = temperature_grid(100.0, 200.0, 5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g[0], 100.0);
+        assert_eq!(g[4], 200.0);
+    }
+}

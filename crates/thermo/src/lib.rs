@@ -1,0 +1,29 @@
+//! # dt-thermo
+//!
+//! Thermodynamics evaluation from a density of states — the final stage of
+//! the DeepThermo pipeline.
+//!
+//! Once Wang–Landau sampling has produced `ln g(E)`, every canonical
+//! quantity follows from reweighting sums of the form
+//! `Σ_E g(E) X(E) e^{−βE}`, evaluated here entirely in log space so a DOS
+//! spanning `e^10,000` (the paper's headline range) is handled without
+//! overflow:
+//!
+//! * [`canonical_curve`] — U(T), C_v(T), F(T), S(T) over a temperature grid,
+//! * [`find_cv_peak`] — order–disorder transition locator,
+//! * [`MicrocanonicalAccumulator`] — per-energy-bin observable averages
+//!   (collected during sampling) reweighted into canonical averages, used
+//!   for the Warren–Cowley SRO vs temperature curves.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod canonical;
+pub mod reweight;
+
+pub use canonical::{canonical_curve, find_cv_peak, temperature_grid, ThermoPoint};
+pub use reweight::MicrocanonicalAccumulator;
+
+/// Boltzmann constant in eV/K (re-exported from `dt-hamiltonian` so users
+/// of this crate need not depend on it directly for unit handling).
+pub use dt_hamiltonian::KB_EV_PER_K;

@@ -1,0 +1,198 @@
+//! Microcanonical observable accumulators and canonical reweighting.
+//!
+//! During flat-histogram sampling each walker records observables (e.g.
+//! Warren–Cowley pair counts) *per energy bin*. Because the walk is flat in
+//! energy, the per-bin averages estimate microcanonical expectations
+//! `⟨O⟩_E`; any canonical average then follows by reweighting with the
+//! sampled DOS:
+//!
+//! `⟨O⟩_T = Σ_E g(E) ⟨O⟩_E e^{−βE} / Σ_E g(E) e^{−βE}`.
+//!
+//! This is how DeepThermo turns one sampling run into whole
+//! SRO-vs-temperature curves without re-simulating at every temperature.
+
+/// Per-energy-bin accumulator of a vector-valued observable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicrocanonicalAccumulator {
+    num_bins: usize,
+    obs_dim: usize,
+    /// `sums[bin * obs_dim + j]`.
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl MicrocanonicalAccumulator {
+    /// Accumulator for `num_bins` energy bins and an `obs_dim`-dimensional
+    /// observable.
+    pub fn new(num_bins: usize, obs_dim: usize) -> Self {
+        assert!(num_bins > 0 && obs_dim > 0);
+        MicrocanonicalAccumulator {
+            num_bins,
+            obs_dim,
+            sums: vec![0.0; num_bins * obs_dim],
+            counts: vec![0; num_bins],
+        }
+    }
+
+    /// Number of energy bins.
+    pub fn num_bins(&self) -> usize {
+        self.num_bins
+    }
+
+    /// Observable dimension.
+    pub fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    /// Record one observation in `bin`.
+    pub fn record(&mut self, bin: usize, obs: &[f64]) {
+        assert_eq!(obs.len(), self.obs_dim);
+        let base = bin * self.obs_dim;
+        for (s, &o) in self.sums[base..base + self.obs_dim].iter_mut().zip(obs) {
+            *s += o;
+        }
+        self.counts[bin] += 1;
+    }
+
+    /// Samples recorded in a bin.
+    pub fn count(&self, bin: usize) -> u64 {
+        self.counts[bin]
+    }
+
+    /// Microcanonical mean `⟨O⟩_E` of a bin (`None` if unsampled).
+    pub fn bin_mean(&self, bin: usize) -> Option<Vec<f64>> {
+        (self.counts[bin] > 0).then(|| {
+            let base = bin * self.obs_dim;
+            self.sums[base..base + self.obs_dim]
+                .iter()
+                .map(|&s| s / self.counts[bin] as f64)
+                .collect()
+        })
+    }
+
+    /// Merge another walker's accumulator.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn merge(&mut self, other: &MicrocanonicalAccumulator) {
+        assert_eq!(self.num_bins, other.num_bins);
+        assert_eq!(self.obs_dim, other.obs_dim);
+        for (a, &b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Canonical average `⟨O⟩_T` by reweighting with `(energies, ln_g)`
+    /// (bin-aligned with this accumulator). Bins without samples are
+    /// skipped in both numerator and denominator, which is unbiased as
+    /// long as unsampled bins carry negligible canonical weight.
+    ///
+    /// `beta` is `1/(k_B T)` in the inverse units of `energies`.
+    pub fn canonical_average(&self, energies: &[f64], ln_g: &[f64], beta: f64) -> Vec<f64> {
+        assert_eq!(energies.len(), self.num_bins);
+        assert_eq!(ln_g.len(), self.num_bins);
+        // Stabilize in log space.
+        let mut w_max = f64::NEG_INFINITY;
+        for (bin, (&e, &lg)) in energies.iter().zip(ln_g).enumerate() {
+            if self.counts[bin] > 0 {
+                w_max = w_max.max(lg - beta * e);
+            }
+        }
+        let mut z = 0.0;
+        let mut num = vec![0.0; self.obs_dim];
+        for (bin, (&e, &lg)) in energies.iter().zip(ln_g).enumerate() {
+            if self.counts[bin] == 0 {
+                continue;
+            }
+            let w = (lg - beta * e - w_max).exp();
+            z += w;
+            let base = bin * self.obs_dim;
+            let inv_count = 1.0 / self.counts[bin] as f64;
+            for (n, &s) in num.iter_mut().zip(&self.sums[base..base + self.obs_dim]) {
+                *n += w * s * inv_count;
+            }
+        }
+        assert!(z > 0.0, "no sampled bins to reweight");
+        num.into_iter().map(|n| n / z).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_means_are_exact() {
+        let mut acc = MicrocanonicalAccumulator::new(3, 2);
+        acc.record(1, &[1.0, 10.0]);
+        acc.record(1, &[3.0, 30.0]);
+        assert_eq!(acc.bin_mean(1), Some(vec![2.0, 20.0]));
+        assert_eq!(acc.bin_mean(0), None);
+        assert_eq!(acc.count(1), 2);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut a = MicrocanonicalAccumulator::new(2, 1);
+        let mut b = MicrocanonicalAccumulator::new(2, 1);
+        a.record(0, &[1.0]);
+        b.record(0, &[3.0]);
+        b.record(1, &[5.0]);
+        a.merge(&b);
+        assert_eq!(a.bin_mean(0), Some(vec![2.0]));
+        assert_eq!(a.bin_mean(1), Some(vec![5.0]));
+    }
+
+    #[test]
+    fn canonical_average_two_level() {
+        // O = 0 in the ground bin, 1 in the excited bin; closed form is
+        // the excited-state occupation probability.
+        let mut acc = MicrocanonicalAccumulator::new(2, 1);
+        acc.record(0, &[0.0]);
+        acc.record(1, &[1.0]);
+        let energies = [0.0, 0.1];
+        let ln_g = [0.0, 3.0f64.ln()];
+        let beta = 20.0;
+        let avg = acc.canonical_average(&energies, &ln_g, beta)[0];
+        let p1 = 3.0 * (-beta * 0.1f64).exp() / (1.0 + 3.0 * (-beta * 0.1f64).exp());
+        assert!((avg - p1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_zero_gives_g_weighted_mean() {
+        let mut acc = MicrocanonicalAccumulator::new(2, 1);
+        acc.record(0, &[1.0]);
+        acc.record(1, &[2.0]);
+        let energies = [0.0, 1.0];
+        let ln_g = [1.0f64.ln(), 3.0f64.ln()];
+        let avg = acc.canonical_average(&energies, &ln_g, 0.0)[0];
+        assert!((avg - (1.0 + 3.0 * 2.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsampled_bins_are_skipped() {
+        let mut acc = MicrocanonicalAccumulator::new(3, 1);
+        acc.record(0, &[7.0]);
+        // Bin 1 unsampled but has huge ln g — must not contribute.
+        let energies = [0.0, 0.5, 1.0];
+        let ln_g = [0.0, 1000.0, 0.0];
+        let avg = acc.canonical_average(&energies, &ln_g, 1.0)[0];
+        assert_eq!(avg, 7.0);
+    }
+
+    #[test]
+    fn huge_ln_g_is_stable() {
+        let mut acc = MicrocanonicalAccumulator::new(2, 1);
+        acc.record(0, &[1.0]);
+        acc.record(1, &[2.0]);
+        let energies = [0.0, 10.0];
+        let ln_g = [0.0, 10_000.0];
+        let avg = acc.canonical_average(&energies, &ln_g, 1.0)[0];
+        assert!(avg.is_finite());
+        // The e^10000 bin dominates overwhelmingly.
+        assert!((avg - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,106 @@
+//! Thermodynamic identities that must hold for ANY density of states:
+//! positivity of C_v, monotonicity of U and F, entropy bounds, and
+//! consistency of the reweighting accumulator.
+
+use dt_thermo::{canonical_curve, MicrocanonicalAccumulator, KB_EV_PER_K};
+use proptest::prelude::*;
+
+/// Arbitrary small DOS: ascending energies with positive ln g.
+fn dos() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    proptest::collection::vec((0.001f64..0.5, 0.0f64..500.0), 2..12).prop_map(|pairs| {
+        let mut e = 0.0;
+        let mut energies = Vec::with_capacity(pairs.len());
+        let mut ln_g = Vec::with_capacity(pairs.len());
+        for (de, lg) in pairs {
+            e += de;
+            energies.push(e);
+            ln_g.push(lg);
+        }
+        (energies, ln_g)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For any DOS: Cv ≥ 0, U non-decreasing in T, F non-increasing in T,
+    /// S non-negative and non-decreasing.
+    #[test]
+    fn canonical_identities_hold((energies, ln_g) in dos()) {
+        let temps: Vec<f64> = (1..40).map(|i| 50.0 * i as f64).collect();
+        let curve = canonical_curve(&energies, &ln_g, &temps, KB_EV_PER_K);
+        for p in &curve {
+            prop_assert!(p.cv >= -1e-9, "Cv = {}", p.cv);
+            prop_assert!(p.u.is_finite() && p.f.is_finite() && p.s.is_finite());
+        }
+        for w in curve.windows(2) {
+            prop_assert!(w[1].u >= w[0].u - 1e-9, "U decreased");
+            prop_assert!(w[1].f <= w[0].f + 1e-9, "F increased");
+            prop_assert!(w[1].s >= w[0].s - 1e-9, "S decreased");
+        }
+    }
+
+    /// Entropy approaches ln(total states) at high temperature and
+    /// ln(ground degeneracy) at low temperature, relative to the minimum.
+    #[test]
+    fn entropy_limits((energies, ln_g) in dos()) {
+        let hot = canonical_curve(&energies, &ln_g, &[1e9], KB_EV_PER_K)[0];
+        let ln_total = {
+            let m = ln_g.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            m + ln_g.iter().map(|&v| (v - m).exp()).sum::<f64>().ln()
+        };
+        prop_assert!((hot.s - ln_total).abs() < 0.02 * ln_total.abs().max(1.0),
+            "S_hot {} vs ln_total {ln_total}", hot.s);
+
+        let cold = canonical_curve(&energies, &ln_g, &[0.01], KB_EV_PER_K)[0];
+        prop_assert!((cold.s - ln_g[0]).abs() < 1e-3 * ln_g[0].max(1.0) + 1e-6,
+            "S_cold {} vs ln g0 {}", cold.s, ln_g[0]);
+    }
+
+    /// Shifting ln g by a constant shifts F and S consistently but leaves
+    /// U and Cv untouched.
+    #[test]
+    fn ln_g_shift_covariance((energies, ln_g) in dos(), shift in -100.0f64..100.0) {
+        let t = 400.0;
+        let a = canonical_curve(&energies, &ln_g, &[t], KB_EV_PER_K)[0];
+        let shifted: Vec<f64> = ln_g.iter().map(|&v| v + shift).collect();
+        let b = canonical_curve(&energies, &shifted, &[t], KB_EV_PER_K)[0];
+        prop_assert!((a.u - b.u).abs() < 1e-9);
+        prop_assert!((a.cv - b.cv).abs() < 1e-9);
+        prop_assert!((b.s - a.s - shift).abs() < 1e-6, "S shift mismatch");
+        prop_assert!((a.f - b.f - KB_EV_PER_K * t * shift).abs() < 1e-9);
+    }
+
+    /// A constant observable reweights to itself at any temperature.
+    #[test]
+    fn constant_observable_is_fixed_point(
+        (energies, ln_g) in dos(),
+        value in -5.0f64..5.0,
+        beta in 0.0f64..50.0,
+    ) {
+        let mut acc = MicrocanonicalAccumulator::new(energies.len(), 1);
+        for bin in 0..energies.len() {
+            acc.record(bin, &[value]);
+        }
+        let avg = acc.canonical_average(&energies, &ln_g, beta)[0];
+        prop_assert!((avg - value).abs() < 1e-9);
+    }
+
+    /// Reweighted averages are bounded by the min/max of the bin means.
+    #[test]
+    fn reweighted_average_is_convex_combination(
+        (energies, ln_g) in dos(),
+        values in proptest::collection::vec(-3.0f64..3.0, 12),
+        beta in 0.0f64..20.0,
+    ) {
+        let n = energies.len();
+        let mut acc = MicrocanonicalAccumulator::new(n, 1);
+        for bin in 0..n {
+            acc.record(bin, &[values[bin % values.len()]]);
+        }
+        let avg = acc.canonical_average(&energies, &ln_g, beta)[0];
+        let lo = (0..n).map(|b| values[b % values.len()]).fold(f64::INFINITY, f64::min);
+        let hi = (0..n).map(|b| values[b % values.len()]).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9);
+    }
+}

@@ -1,0 +1,303 @@
+//! Walker checkpointing.
+//!
+//! Production Wang–Landau runs on a real machine survive node failures by
+//! periodically persisting each walker's state: the DOS estimate, visit
+//! histogram, configuration, and schedule position. The format is a
+//! versioned text format (hex-encoded IEEE-754, like `dt-nn`'s model
+//! format) so restores are bit-exact.
+
+use std::fmt;
+
+use dt_lattice::{Configuration, Species};
+
+use crate::histogram::{DosEstimate, EnergyGrid, VisitHistogram};
+
+/// Format version tag.
+const VERSION: u32 = 1;
+
+/// Errors from [`WalkerCheckpoint::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Header missing or wrong version.
+    BadHeader,
+    /// A field was malformed or missing.
+    Malformed(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadHeader => write!(f, "bad checkpoint header"),
+            CheckpointError::Malformed(w) => write!(f, "malformed checkpoint: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A serializable snapshot of a Wang–Landau walker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkerCheckpoint {
+    /// Energy window.
+    pub e_min: f64,
+    /// Energy window.
+    pub e_max: f64,
+    /// Bin count.
+    pub num_bins: usize,
+    /// `ln g` per bin.
+    pub ln_g: Vec<f64>,
+    /// Stage visits per bin.
+    pub visits: Vec<u64>,
+    /// Ever-visited mask.
+    pub ever_visited: Vec<bool>,
+    /// Species per site.
+    pub species: Vec<u8>,
+    /// Number of species.
+    pub num_species: usize,
+    /// Current energy.
+    pub energy: f64,
+    /// Current `ln f`.
+    pub ln_f: f64,
+    /// Total moves so far.
+    pub total_moves: u64,
+    /// Stage count so far.
+    pub stages: u32,
+    /// Is the 1/t schedule phase active?
+    pub one_over_t_phase: bool,
+}
+
+impl WalkerCheckpoint {
+    /// Serialize to the versioned text format.
+    pub fn encode(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "dtwl v{VERSION}").expect("write");
+        writeln!(
+            s,
+            "grid {:016x} {:016x} {}",
+            self.e_min.to_bits(),
+            self.e_max.to_bits(),
+            self.num_bins
+        )
+        .expect("write");
+        writeln!(
+            s,
+            "state {:016x} {:016x} {} {} {} {}",
+            self.energy.to_bits(),
+            self.ln_f.to_bits(),
+            self.total_moves,
+            self.stages,
+            self.num_species,
+            u8::from(self.one_over_t_phase)
+        )
+        .expect("write");
+        let ln_g: Vec<String> = self.ln_g.iter().map(|v| format!("{:016x}", v.to_bits())).collect();
+        writeln!(s, "ln_g {}", ln_g.join(" ")).expect("write");
+        let visits: Vec<String> = self.visits.iter().map(|v| v.to_string()).collect();
+        writeln!(s, "visits {}", visits.join(" ")).expect("write");
+        let ever: String = self
+            .ever_visited
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        writeln!(s, "ever {ever}").expect("write");
+        let species: Vec<String> = self.species.iter().map(|v| v.to_string()).collect();
+        writeln!(s, "species {}", species.join(" ")).expect("write");
+        s
+    }
+
+    /// Restore from [`WalkerCheckpoint::encode`] output.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError`] on structural problems.
+    pub fn decode(text: &str) -> Result<Self, CheckpointError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or(CheckpointError::BadHeader)?;
+        if header != format!("dtwl v{VERSION}") {
+            return Err(CheckpointError::BadHeader);
+        }
+        let field = |lines: &mut std::str::Lines<'_>, name: &str| -> Result<String, CheckpointError> {
+            let line = lines
+                .next()
+                .ok_or_else(|| CheckpointError::Malformed(format!("missing {name}")))?;
+            line.strip_prefix(&format!("{name} "))
+                .map(String::from)
+                .ok_or_else(|| CheckpointError::Malformed(format!("expected {name} line")))
+        };
+        let bits = |tok: &str| -> Result<f64, CheckpointError> {
+            u64::from_str_radix(tok, 16)
+                .map(f64::from_bits)
+                .map_err(|_| CheckpointError::Malformed(format!("bad f64: {tok}")))
+        };
+
+        let grid = field(&mut lines, "grid")?;
+        let mut g = grid.split_whitespace();
+        let e_min = bits(g.next().ok_or_else(|| CheckpointError::Malformed("e_min".into()))?)?;
+        let e_max = bits(g.next().ok_or_else(|| CheckpointError::Malformed("e_max".into()))?)?;
+        let num_bins: usize = g
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| CheckpointError::Malformed("num_bins".into()))?;
+
+        let state = field(&mut lines, "state")?;
+        let mut st = state.split_whitespace();
+        let energy = bits(st.next().ok_or_else(|| CheckpointError::Malformed("energy".into()))?)?;
+        let ln_f = bits(st.next().ok_or_else(|| CheckpointError::Malformed("ln_f".into()))?)?;
+        let total_moves: u64 = st
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| CheckpointError::Malformed("total_moves".into()))?;
+        let stages: u32 = st
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| CheckpointError::Malformed("stages".into()))?;
+        let num_species: usize = st
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| CheckpointError::Malformed("num_species".into()))?;
+        let one_over_t_phase = st
+            .next()
+            .and_then(|v| v.parse::<u8>().ok())
+            .map(|v| v != 0)
+            .ok_or_else(|| CheckpointError::Malformed("phase flag".into()))?;
+
+        let ln_g = field(&mut lines, "ln_g")?
+            .split_whitespace()
+            .map(bits)
+            .collect::<Result<Vec<f64>, _>>()?;
+        let visits = field(&mut lines, "visits")?
+            .split_whitespace()
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| CheckpointError::Malformed(format!("bad visit: {v}")))
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+        let ever_visited: Vec<bool> = field(&mut lines, "ever")?
+            .chars()
+            .map(|c| c == '1')
+            .collect();
+        let species = field(&mut lines, "species")?
+            .split_whitespace()
+            .map(|v| {
+                v.parse::<u8>()
+                    .map_err(|_| CheckpointError::Malformed(format!("bad species: {v}")))
+            })
+            .collect::<Result<Vec<u8>, _>>()?;
+
+        if ln_g.len() != num_bins || visits.len() != num_bins || ever_visited.len() != num_bins {
+            return Err(CheckpointError::Malformed("bin-count mismatch".into()));
+        }
+        Ok(WalkerCheckpoint {
+            e_min,
+            e_max,
+            num_bins,
+            ln_g,
+            visits,
+            ever_visited,
+            species,
+            num_species,
+            energy,
+            ln_f,
+            total_moves,
+            stages,
+            one_over_t_phase,
+        })
+    }
+
+    /// Rebuild the grid described by this checkpoint.
+    pub fn grid(&self) -> EnergyGrid {
+        EnergyGrid::new(self.e_min, self.e_max, self.num_bins)
+    }
+
+    /// Rebuild the DOS estimate.
+    pub fn dos(&self) -> DosEstimate {
+        DosEstimate::from_parts(self.grid(), self.ln_g.clone())
+    }
+
+    /// Rebuild the visit histogram.
+    pub fn histogram(&self) -> VisitHistogram {
+        let mut h = VisitHistogram::new(self.num_bins);
+        // Pass 1: set the ever-visited mask; pass 2: exact stage counts.
+        for (bin, &ever) in self.ever_visited.iter().enumerate() {
+            if ever {
+                h.record(bin);
+            }
+        }
+        h.reset_stage();
+        for (bin, &v) in self.visits.iter().enumerate() {
+            for _ in 0..v {
+                h.record(bin);
+            }
+        }
+        h
+    }
+
+    /// Rebuild the configuration.
+    pub fn configuration(&self) -> Configuration {
+        Configuration::from_species(
+            self.species.iter().map(|&b| Species(b)).collect(),
+            self.num_species,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WalkerCheckpoint {
+        WalkerCheckpoint {
+            e_min: -1.5,
+            e_max: 0.25,
+            num_bins: 3,
+            ln_g: vec![0.0, 12.5, 3.25e-300],
+            visits: vec![5, 0, 7],
+            ever_visited: vec![true, false, true],
+            species: vec![0, 1, 2, 3, 0, 1],
+            num_species: 4,
+            energy: -0.75,
+            ln_f: 0.03125,
+            total_moves: 123_456,
+            stages: 9,
+            one_over_t_phase: true,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let cp = sample();
+        let back = WalkerCheckpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn rebuilders_reconstruct_state() {
+        let cp = sample();
+        assert_eq!(cp.grid().num_bins(), 3);
+        assert_eq!(cp.dos().ln_g(), &cp.ln_g[..]);
+        let h = cp.histogram();
+        assert_eq!(h.visits(0), 5);
+        assert!(!h.ever_visited(1));
+        assert!(h.ever_visited(2));
+        let config = cp.configuration();
+        assert_eq!(config.num_sites(), 6);
+        assert_eq!(config.species_at(3), Species(3));
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let cp = sample();
+        let text = cp.encode();
+        assert_eq!(
+            WalkerCheckpoint::decode("nope"),
+            Err(CheckpointError::BadHeader)
+        );
+        let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(WalkerCheckpoint::decode(&truncated).is_err());
+        let tampered = text.replace("visits 5 0 7", "visits 5 0");
+        assert!(matches!(
+            WalkerCheckpoint::decode(&tampered),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,122 @@
+//! Quench-based energy-range discovery.
+//!
+//! Wang–Landau needs an energy window before sampling starts. The model's
+//! analytic bounds are safe but loose; these quenches find the physically
+//! reachable range so windows are not dominated by unreachable bins.
+
+use dt_hamiltonian::EnergyModel;
+use dt_lattice::{Composition, Configuration, NeighborTable, SiteId};
+use rand::{Rng, RngExt};
+
+/// Estimate the reachable `[E_min, E_max]` of a model by greedy quenches.
+///
+/// Runs `sweeps` sweeps of zero-temperature swap dynamics downhill (for
+/// `E_min`) and uphill (for `E_max`) from random starts, returning the
+/// extreme energies seen, padded by `pad` bin-widths' worth of margin
+/// (fractional: `pad` is a fraction of the discovered range).
+pub fn explore_energy_range<M: EnergyModel, R: Rng + ?Sized>(
+    model: &M,
+    neighbors: &NeighborTable,
+    comp: &Composition,
+    sweeps: usize,
+    pad: f64,
+    rng: &mut R,
+) -> (f64, f64) {
+    let e_min = quench(model, neighbors, comp, sweeps, true, rng);
+    let e_max = quench(model, neighbors, comp, sweeps, false, rng);
+    let span = (e_max - e_min).max(f64::MIN_POSITIVE);
+    (e_min - pad * span, e_max + pad * span)
+}
+
+/// Greedy quench: accept swaps that strictly improve the objective
+/// (decrease energy when `minimize`, increase otherwise). Returns the final
+/// energy.
+fn quench<M: EnergyModel, R: Rng + ?Sized>(
+    model: &M,
+    neighbors: &NeighborTable,
+    comp: &Composition,
+    sweeps: usize,
+    minimize: bool,
+    rng: &mut R,
+) -> f64 {
+    let n = comp.num_sites();
+    let mut config = Configuration::random(comp, rng);
+    let mut energy = model.total_energy(&config, neighbors);
+    for _ in 0..sweeps {
+        for _ in 0..n {
+            let a = rng.random_range(0..n) as SiteId;
+            let b = rng.random_range(0..n) as SiteId;
+            if config.species_at(a) == config.species_at(b) {
+                continue;
+            }
+            let d = model.swap_delta(&config, neighbors, a, b);
+            let improves = if minimize { d < 0.0 } else { d > 0.0 };
+            if improves {
+                config.swap(a, b);
+                energy += d;
+            }
+        }
+    }
+    energy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_hamiltonian::PairHamiltonian;
+    use dt_lattice::{Structure, Supercell};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn quench_brackets_random_alloy_energy() {
+        let cell = Supercell::cubic(Structure::bcc(), 3);
+        let nt = cell.neighbor_table(2);
+        let comp = Composition::equiatomic(4, cell.num_sites()).unwrap();
+        let h = dt_hamiltonian::nbmotaw();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let (lo, hi) = explore_energy_range(&h, &nt, &comp, 20, 0.02, &mut rng);
+        assert!(lo < hi);
+        // A random configuration must land inside the discovered range.
+        let c = Configuration::random(&comp, &mut rng);
+        use dt_hamiltonian::EnergyModel as _;
+        let e = h.total_energy(&c, &nt);
+        assert!(e > lo && e < hi, "{lo} < {e} < {hi}");
+    }
+
+    #[test]
+    fn range_is_tighter_than_analytic_bounds() {
+        let cell = Supercell::cubic(Structure::bcc(), 3);
+        let nt = cell.neighbor_table(2);
+        let comp = Composition::equiatomic(4, cell.num_sites()).unwrap();
+        let h = dt_hamiltonian::nbmotaw();
+        use dt_hamiltonian::EnergyModel as _;
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let (lo, hi) = explore_energy_range(&h, &nt, &comp, 20, 0.0, &mut rng);
+        assert!(lo >= h.energy_lower_bound(&nt));
+        assert!(hi <= h.energy_upper_bound(&nt));
+        // The analytic bounds assume every pair takes the extreme value,
+        // unreachable under composition constraints: quenches must be
+        // strictly tighter.
+        assert!(lo > h.energy_lower_bound(&nt) + 1e-9);
+        assert!(hi < h.energy_upper_bound(&nt) - 1e-9);
+    }
+
+    #[test]
+    fn binary_antiferro_quench_finds_ground_state() {
+        // B2 ground state of the unlike-preferring binary model is
+        // E = -N z/2 |V|; the quench should get all the way there on a
+        // small lattice.
+        let h = PairHamiltonian::from_pairs(2, 1, &[(0, 0, 1, -0.01)]);
+        let cell = Supercell::cubic(Structure::bcc(), 2);
+        let nt = cell.neighbor_table(1);
+        let comp = Composition::equiatomic(2, 16).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let (lo, _) = explore_energy_range(&h, &nt, &comp, 50, 0.0, &mut rng);
+        let ground = -0.01 * 16.0 * 8.0 / 2.0;
+        assert!(
+            (lo - ground).abs() < 0.02,
+            "quench {lo} vs ground {ground}"
+        );
+    }
+}

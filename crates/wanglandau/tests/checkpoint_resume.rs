@@ -1,0 +1,104 @@
+//! Functional checkpoint/restore: a run interrupted halfway and resumed
+//! from its checkpoint must still converge to the exact DOS.
+
+use dt_hamiltonian::{exact::ExactDos, PairHamiltonian};
+use dt_lattice::{Composition, Configuration, Structure, Supercell};
+use dt_proposal::{LocalSwap, ProposalContext};
+use dt_wanglandau::{EnergyGrid, LnfSchedule, WalkerCheckpoint, WlParams, WlWalker};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn interrupted_run_resumes_and_converges() {
+    let cell = Supercell::cubic(Structure::bcc(), 2);
+    let nt = cell.neighbor_table(1);
+    let comp = Composition::equiatomic(2, cell.num_sites()).unwrap();
+    let h = PairHamiltonian::from_pairs(2, 1, &[(0, 0, 1, -0.01)]);
+    let exact = ExactDos::enumerate(&h, &nt, &comp);
+    let ctx = ProposalContext {
+        neighbors: &nt,
+        composition: &comp,
+    };
+    let params = WlParams {
+        ln_f_initial: 1.0,
+        ln_f_final: 5e-6,
+        schedule: LnfSchedule::Flatness {
+            flatness: 0.8,
+            reduction: 0.5,
+        },
+        sweeps_per_check: 20,
+    };
+
+    // Phase 1: run partway.
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let grid = EnergyGrid::with_bin_width(-0.645, -0.155, 0.01);
+    let mut walker = WlWalker::new(
+        grid,
+        params.clone(),
+        Configuration::random(&comp, &mut rng),
+        &h,
+        &nt,
+        Box::new(LocalSwap::new()),
+        3,
+    );
+    assert!(walker.drive_into_window(&h, &nt, 500));
+    let partial = walker.run(&h, &nt, &ctx, 200);
+    assert!(!partial.converged, "phase 1 should be interrupted");
+
+    // Serialize / deserialize ("node failure").
+    let blob = walker.checkpoint().encode();
+    drop(walker);
+    let cp = WalkerCheckpoint::decode(&blob).unwrap();
+
+    // Phase 2: resume with a fresh kernel and RNG stream.
+    let mut resumed =
+        WlWalker::from_checkpoint(&cp, params, Box::new(LocalSwap::new()), 999);
+    assert_eq!(resumed.total_moves(), partial.moves);
+    assert!((resumed.ln_f() - partial.ln_f).abs() < 1e-15);
+    let progress = resumed.run(&h, &nt, &ctx, 400_000);
+    assert!(progress.converged, "resumed run must converge: {progress:?}");
+
+    // Accuracy against exact enumeration.
+    let mask = resumed.visited_mask();
+    let mut dos = resumed.dos().clone();
+    dos.normalize_total(comp.ln_num_configurations(), Some(&mask));
+    for (&e, &count) in exact.energies().iter().zip(exact.counts()) {
+        let bin = dos.grid().bin(e).expect("level in grid");
+        assert!(mask[bin], "level {e} unvisited after resume");
+        let err = (dos.ln_g_bin(bin) - (count as f64).ln()).abs();
+        assert!(err < 0.4, "level {e}: |Δ ln g| = {err}");
+    }
+}
+
+#[test]
+fn checkpoint_of_running_walker_round_trips() {
+    let cell = Supercell::cubic(Structure::bcc(), 2);
+    let nt = cell.neighbor_table(1);
+    let comp = Composition::equiatomic(2, cell.num_sites()).unwrap();
+    let h = PairHamiltonian::from_pairs(2, 1, &[(0, 0, 1, -0.01)]);
+    let ctx = ProposalContext {
+        neighbors: &nt,
+        composition: &comp,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut walker = WlWalker::new(
+        EnergyGrid::new(-0.645, -0.155, 30),
+        WlParams::fast(),
+        Configuration::random(&comp, &mut rng),
+        &h,
+        &nt,
+        Box::new(LocalSwap::new()),
+        7,
+    );
+    assert!(walker.drive_into_window(&h, &nt, 500));
+    for _ in 0..50 {
+        walker.sweep(&h, &nt, &ctx);
+    }
+    let cp = walker.checkpoint();
+    let back = WalkerCheckpoint::decode(&cp.encode()).unwrap();
+    assert_eq!(back, cp);
+    // The restored DOS and configuration must match exactly.
+    assert_eq!(back.dos().ln_g(), walker.dos().ln_g());
+    assert_eq!(&back.configuration(), walker.config());
+    assert_eq!(back.energy, walker.energy());
+}

@@ -1,0 +1,122 @@
+//! End-to-end correctness: Wang–Landau must reproduce the exact density of
+//! states of an enumerable system — with the classical local-swap kernel
+//! AND with the deep autoregressive kernel (whose asymmetric proposal
+//! probabilities exercise the full Metropolis–Hastings correction).
+
+use dt_hamiltonian::{exact::ExactDos, EnergyModel, PairHamiltonian};
+use dt_lattice::{Composition, Configuration, Structure, Supercell};
+use dt_proposal::{
+    DeepProposal, DeepProposalConfig, LocalSwap, ProposalContext, ProposalKernel, ProposalMix,
+};
+use dt_wanglandau::{EnergyGrid, LnfSchedule, WlParams, WlWalker};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Binary unlike-preferring model on BCC L=2: 12,870 configurations,
+/// enumerable exactly.
+fn system() -> (
+    Supercell,
+    dt_lattice::NeighborTable,
+    Composition,
+    PairHamiltonian,
+) {
+    let cell = Supercell::cubic(Structure::bcc(), 2);
+    let nt = cell.neighbor_table(1);
+    let comp = Composition::equiatomic(2, cell.num_sites()).unwrap();
+    let h = PairHamiltonian::from_pairs(2, 1, &[(0, 0, 1, -0.01)]);
+    (cell, nt, comp, h)
+}
+
+/// Compare a converged WL estimate against exact enumeration.
+///
+/// Returns the max abs error of `ln g` over bins containing exact levels,
+/// after imposing the exact total `ln Σ g = ln 12870`.
+fn run_and_compare(kernel: Box<dyn ProposalKernel>, seed: u64, max_sweeps: u64) -> f64 {
+    let (_, nt, comp, h) = system();
+    let exact = ExactDos::enumerate(&h, &nt, &comp);
+
+    // Grid aligned so each exact level falls in its own bin.
+    let grid = EnergyGrid::with_bin_width(-0.645, -0.155, 0.01);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let config = Configuration::random(&comp, &mut rng);
+    let params = WlParams {
+        ln_f_initial: 1.0,
+        ln_f_final: 5e-6,
+        schedule: LnfSchedule::Flatness {
+            flatness: 0.8,
+            reduction: 0.5,
+        },
+        sweeps_per_check: 20,
+    };
+    let mut walker = WlWalker::new(grid, params, config, &h, &nt, kernel, seed);
+    assert!(walker.drive_into_window(&h, &nt, 500));
+    let ctx = ProposalContext {
+        neighbors: &nt,
+        composition: &comp,
+    };
+    let progress = walker.run(&h, &nt, &ctx, max_sweeps);
+    assert!(progress.converged, "WL did not converge: {progress:?}");
+
+    let mask = walker.visited_mask();
+    let mut dos = walker.dos().clone();
+    dos.normalize_total(comp.ln_num_configurations(), Some(&mask));
+
+    // Every exact level must fall in a visited bin, and ln g must match.
+    let mut max_err: f64 = 0.0;
+    for (&e, &count) in exact.energies().iter().zip(exact.counts()) {
+        let bin = dos
+            .grid()
+            .bin(e)
+            .unwrap_or_else(|| panic!("exact level {e} outside grid"));
+        assert!(
+            mask[bin],
+            "exact level {e} (g={count}) in unvisited bin {bin}"
+        );
+        let err = (dos.ln_g_bin(bin) - (count as f64).ln()).abs();
+        max_err = max_err.max(err);
+    }
+    max_err
+}
+
+#[test]
+fn wang_landau_matches_exact_dos_with_local_swaps() {
+    let err = run_and_compare(Box::new(LocalSwap::new()), 11, 400_000);
+    assert!(err < 0.35, "max |Δ ln g| = {err}");
+}
+
+#[test]
+fn wang_landau_matches_exact_dos_with_deep_proposals() {
+    // Untrained network: proposals are poor but the MH correction must
+    // still deliver the exact stationary ensemble. Mixed with local swaps
+    // for mobility.
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let deep = DeepProposal::new(
+        2,
+        1,
+        &DeepProposalConfig {
+            k: 4,
+            hidden: vec![12],
+        },
+        &mut rng,
+    );
+    let mix = ProposalMix::new(vec![
+        (Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>, 0.7),
+        (Box::new(deep), 0.3),
+    ]);
+    let err = run_and_compare(Box::new(mix), 13, 400_000);
+    assert!(err < 0.35, "max |Δ ln g| = {err}");
+}
+
+#[test]
+fn exact_total_configuration_count_is_recovered() {
+    // Independent sanity: the exact enumeration itself matches the
+    // multinomial count the WL normalization uses.
+    let (_, nt, comp, h) = system();
+    let exact = ExactDos::enumerate(&h, &nt, &comp);
+    assert_eq!(exact.total_configurations(), 12_870);
+    assert!((comp.ln_num_configurations() - 12_870f64.ln()).abs() < 1e-9);
+    // Ground state: B2, doubly degenerate.
+    assert_eq!(exact.counts()[0], 2);
+    assert!((exact.ground_state_energy() + 0.64).abs() < 1e-9);
+    drop(nt);
+}

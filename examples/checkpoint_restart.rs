@@ -1,0 +1,84 @@
+//! Fault tolerance: checkpoint a Wang–Landau walker mid-run and resume.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_restart
+//! ```
+//!
+//! Production runs at the paper's scale live for hours across thousands of
+//! GPUs, so walkers persist their state (DOS estimate, histogram,
+//! configuration, schedule position) and resume after failures. This
+//! example interrupts a run, round-trips the state through the serialized
+//! checkpoint format, and finishes the run from the restore.
+
+use deepthermo::hamiltonian::nbmotaw;
+use deepthermo::lattice::{Composition, Configuration, Structure, Supercell};
+use deepthermo::proposal::{LocalSwap, ProposalContext};
+use deepthermo::wanglandau::{
+    explore_energy_range, EnergyGrid, LnfSchedule, WalkerCheckpoint, WlParams, WlWalker,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cell = Supercell::cubic(Structure::bcc(), 3);
+    let nt = cell.neighbor_table(2);
+    let comp = Composition::equiatomic(4, cell.num_sites()).expect("composition");
+    let h = nbmotaw();
+    let ctx = ProposalContext {
+        neighbors: &nt,
+        composition: &comp,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let range = explore_energy_range(&h, &nt, &comp, 30, 0.02, &mut rng);
+    let params = WlParams {
+        ln_f_initial: 1.0,
+        ln_f_final: 1e-4,
+        schedule: LnfSchedule::OneOverT {
+            flatness: 0.7,
+            reduction: 0.5,
+        },
+        sweeps_per_check: 10,
+    };
+
+    // Phase 1: sample, then "crash".
+    let mut walker = WlWalker::new(
+        EnergyGrid::new(range.0, range.1, 96),
+        params.clone(),
+        Configuration::random(&comp, &mut rng),
+        &h,
+        &nt,
+        Box::new(LocalSwap::new()),
+        7,
+    );
+    assert!(walker.drive_into_window(&h, &nt, 5_000));
+    let partial = walker.run(&h, &nt, &ctx, 500);
+    println!(
+        "phase 1: {} sweeps, ln f = {:.3e}, converged = {}",
+        partial.sweeps, partial.ln_f, partial.converged
+    );
+
+    let blob = walker.checkpoint().encode();
+    println!("checkpoint captured: {} bytes", blob.len());
+    drop(walker); // the "node failure"
+
+    // Phase 2: restore and finish.
+    let cp = WalkerCheckpoint::decode(&blob).expect("valid checkpoint");
+    let mut resumed = WlWalker::from_checkpoint(&cp, params, Box::new(LocalSwap::new()), 99);
+    println!(
+        "restored: {} prior moves, ln f = {:.3e}, energy = {:.4} eV",
+        resumed.total_moves(),
+        resumed.ln_f(),
+        resumed.energy()
+    );
+    let done = resumed.run(&h, &nt, &ctx, 200_000);
+    println!(
+        "phase 2: +{} sweeps, ln f = {:.3e}, converged = {}",
+        done.sweeps, done.ln_f, done.converged
+    );
+    let mask = resumed.visited_mask();
+    println!(
+        "final DOS: {} visited bins, ln g range {:.1}",
+        mask.iter().filter(|&&v| v).count(),
+        resumed.dos().ln_g_range(Some(&mask))
+    );
+}

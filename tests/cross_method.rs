@@ -1,0 +1,166 @@
+//! Cross-method validation: three independent estimators of the same
+//! canonical physics must agree — Wang–Landau reweighting, direct
+//! Metropolis, and parallel tempering; plus surrogate-driven sampling
+//! against reference-driven sampling.
+
+use deepthermo::hamiltonian::{nbmotaw, EnergyModel, PairHamiltonian, KB_EV_PER_K};
+use deepthermo::lattice::{Composition, Configuration, Structure, Supercell};
+use deepthermo::metropolis::{MetropolisSampler, ParallelTempering};
+use deepthermo::proposal::{LocalSwap, ProposalContext};
+use deepthermo::rewl::{run_rewl, KernelSpec, RewlConfig};
+use deepthermo::surrogate::{
+    Dataset, PairCorrelationDescriptor, SamplingStrategy, SurrogateModel, TrainingOptions,
+};
+use deepthermo::thermo::canonical_curve;
+use deepthermo::wanglandau::{explore_energy_range, LnfSchedule, WlParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn nbmotaw_small() -> (
+    Supercell,
+    deepthermo::lattice::NeighborTable,
+    Composition,
+    PairHamiltonian,
+) {
+    let cell = Supercell::cubic(Structure::bcc(), 3);
+    let nt = cell.neighbor_table(2);
+    let comp = Composition::equiatomic(4, cell.num_sites()).unwrap();
+    (cell, nt, comp, nbmotaw())
+}
+
+#[test]
+fn wang_landau_metropolis_and_tempering_agree() {
+    let (_, nt, comp, h) = nbmotaw_small();
+    let ctx = ProposalContext {
+        neighbors: &nt,
+        composition: &comp,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let range = explore_energy_range(&h, &nt, &comp, 40, 0.02, &mut rng);
+
+    // 1. Wang-Landau DOS + reweighting.
+    let cfg = RewlConfig {
+        num_windows: 2,
+        walkers_per_window: 2,
+        overlap: 0.75,
+        num_bins: 64,
+        wl: WlParams {
+            ln_f_initial: 1.0,
+            ln_f_final: 1e-5,
+            schedule: LnfSchedule::OneOverT {
+                flatness: 0.7,
+                reduction: 0.5,
+            },
+            sweeps_per_check: 10,
+        },
+        exchange_every_sweeps: 10,
+        observe_every_sweeps: 2,
+        max_sweeps: 400_000,
+        seed: 5,
+        kernel: KernelSpec::LocalSwap,
+    };
+    let out = run_rewl(&h, &nt, &comp, range, &cfg);
+    assert!(out.converged);
+    let mut dos = out.dos.clone();
+    dos.normalize_total(comp.ln_num_configurations(), Some(&out.mask));
+    let (mut energies, mut ln_g) = (Vec::new(), Vec::new());
+    for (b, &vis) in out.mask.iter().enumerate() {
+        if vis {
+            energies.push(dos.grid().center(b));
+            ln_g.push(dos.ln_g_bin(b));
+        }
+    }
+
+    // Temperatures above/around the transition where all methods mix well.
+    let temps = [1200.0, 2000.0];
+    let wl_curve = canonical_curve(&energies, &ln_g, &temps, KB_EV_PER_K);
+
+    // 2. Direct Metropolis at each temperature.
+    for (point, &t) in wl_curve.iter().zip(&temps) {
+        let mut rng2 = ChaCha8Rng::seed_from_u64(100 + t as u64);
+        let c0 = Configuration::random(&comp, &mut rng2);
+        let mut sampler =
+            MetropolisSampler::new(t, c0, &h, &nt, Box::new(LocalSwap::new()), t as u64);
+        let stats = sampler.run(&h, &nt, &ctx, 400, 3000, 3, |_, _| {});
+        assert!(
+            (point.u - stats.mean_energy).abs() < 0.08,
+            "T={t}: WL U {} vs Metropolis {}",
+            point.u,
+            stats.mean_energy
+        );
+    }
+
+    // 3. Parallel tempering across the same temperatures.
+    let ladder = [1200.0, 1500.0, 2000.0];
+    let mut init_rng = ChaCha8Rng::seed_from_u64(9);
+    let mut pt = ParallelTempering::new(&ladder, &h, &nt, &comp, 13, &mut init_rng);
+    let report = pt.run(&h, &nt, &ctx, 1600, 2, 1200);
+    let pt_curve = canonical_curve(&energies, &ln_g, &ladder, KB_EV_PER_K);
+    for (i, &t) in ladder.iter().enumerate() {
+        assert!(
+            (report.mean_energy[i] - pt_curve[i].u).abs() < 0.08,
+            "T={t}: PT {} vs WL {}",
+            report.mean_energy[i],
+            pt_curve[i].u
+        );
+    }
+}
+
+#[test]
+fn surrogate_driven_sampling_matches_reference_driven() {
+    let (_, nt, comp, h) = nbmotaw_small();
+    let descriptor = PairCorrelationDescriptor {
+        num_species: 4,
+        num_shells: 2,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let ds = Dataset::generate(
+        &h,
+        &nt,
+        &comp,
+        descriptor,
+        320,
+        SamplingStrategy::Annealed,
+        &mut rng,
+    );
+    let (train, test) = ds.split(0.8);
+    let (surrogate, report) = SurrogateModel::train(
+        descriptor,
+        &train,
+        &test,
+        &TrainingOptions::default(),
+        &mut rng,
+    );
+    assert!(report.test_mae < 0.005, "MAE {}", report.test_mae);
+
+    let ctx = ProposalContext {
+        neighbors: &nt,
+        composition: &comp,
+    };
+    for &t in &[800.0f64, 1600.0] {
+        let c0 = Configuration::random(&comp, &mut rng);
+        let mut on_ref =
+            MetropolisSampler::new(t, c0.clone(), &h, &nt, Box::new(LocalSwap::new()), 7);
+        let ref_stats = on_ref.run(&h, &nt, &ctx, 300, 1500, 3, |_, _| {});
+        let mut on_sur =
+            MetropolisSampler::new(t, c0, &surrogate, &nt, Box::new(LocalSwap::new()), 7);
+        let sur_stats = on_sur.run(&surrogate, &nt, &ctx, 300, 1500, 3, |_, _| {});
+        // Tolerance: the surrogate's ~3 meV/site error is amplified by
+        // Boltzmann reweighting at low T; 0.2 eV over 54 sites ≈ 3.7
+        // meV/site, consistent with the trained accuracy.
+        assert!(
+            (ref_stats.mean_energy - sur_stats.mean_energy).abs() < 0.2,
+            "T={t}: ref {} vs surrogate {}",
+            ref_stats.mean_energy,
+            sur_stats.mean_energy
+        );
+        // The surrogate chain's states must be genuinely equilibrated
+        // under the *reference* model too.
+        let replay = h.total_energy(on_sur.config(), &nt);
+        assert!(
+            (replay - ref_stats.mean_energy).abs() < 0.5,
+            "T={t}: replayed {replay} vs ref mean {}",
+            ref_stats.mean_energy
+        );
+    }
+}

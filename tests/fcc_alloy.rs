@@ -1,0 +1,114 @@
+//! Generality: DeepThermo's machinery is not BCC/quaternary-specific.
+//! Sample an FCC ternary alloy end to end and check its physics.
+
+use deepthermo::hamiltonian::{EnergyModel, PairHamiltonian, KB_EV_PER_K};
+use deepthermo::lattice::{Composition, Configuration, Species, Structure, Supercell};
+use deepthermo::metropolis::MetropolisSampler;
+use deepthermo::proposal::{LocalSwap, ProposalContext};
+use deepthermo::rewl::{run_rewl, KernelSpec, RewlConfig};
+use deepthermo::thermo::canonical_curve;
+use deepthermo::wanglandau::{explore_energy_range, LnfSchedule, WlParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// An FCC ternary with an L1₂-flavored ordering tendency.
+fn fcc_ternary() -> (
+    Supercell,
+    deepthermo::lattice::NeighborTable,
+    Composition,
+    PairHamiltonian,
+) {
+    let cell = Supercell::cubic(Structure::fcc(), 2); // 32 sites
+    let nt = cell.neighbor_table(2);
+    let comp = Composition::equiatomic(3, cell.num_sites()).unwrap();
+    let h = PairHamiltonian::from_pairs(
+        3,
+        2,
+        &[
+            (0, 0, 1, -0.030),
+            (0, 0, 2, -0.012),
+            (0, 1, 2, -0.020),
+            (1, 0, 1, 0.010),
+            (1, 1, 2, 0.006),
+        ],
+    );
+    (cell, nt, comp, h)
+}
+
+#[test]
+fn fcc_ternary_dos_reweighting_matches_metropolis() {
+    let (_, nt, comp, h) = fcc_ternary();
+    let ctx = ProposalContext {
+        neighbors: &nt,
+        composition: &comp,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let range = explore_energy_range(&h, &nt, &comp, 40, 0.02, &mut rng);
+
+    let cfg = RewlConfig {
+        num_windows: 2,
+        walkers_per_window: 2,
+        overlap: 0.75,
+        num_bins: 48,
+        wl: WlParams {
+            ln_f_initial: 1.0,
+            ln_f_final: 1e-5,
+            schedule: LnfSchedule::OneOverT {
+                flatness: 0.7,
+                reduction: 0.5,
+            },
+            sweeps_per_check: 10,
+        },
+        exchange_every_sweeps: 10,
+        observe_every_sweeps: 2,
+        max_sweeps: 300_000,
+        seed: 9,
+        kernel: KernelSpec::LocalSwap,
+    };
+    let out = run_rewl(&h, &nt, &comp, range, &cfg);
+    assert!(out.converged, "FCC REWL did not converge");
+
+    let mut dos = out.dos.clone();
+    dos.normalize_total(comp.ln_num_configurations(), Some(&out.mask));
+    let (mut energies, mut ln_g) = (Vec::new(), Vec::new());
+    for (b, &vis) in out.mask.iter().enumerate() {
+        if vis {
+            energies.push(dos.grid().center(b));
+            ln_g.push(dos.ln_g_bin(b));
+        }
+    }
+
+    for &t in &[900.0f64, 1800.0] {
+        let wl_u = canonical_curve(&energies, &ln_g, &[t], KB_EV_PER_K)[0].u;
+        let mut rng2 = ChaCha8Rng::seed_from_u64(t as u64);
+        let c0 = Configuration::random(&comp, &mut rng2);
+        let mut sampler =
+            MetropolisSampler::new(t, c0, &h, &nt, Box::new(LocalSwap::new()), 3);
+        let stats = sampler.run(&h, &nt, &ctx, 400, 3000, 3, |_, _| {});
+        assert!(
+            (wl_u - stats.mean_energy).abs() < 0.08,
+            "T={t}: WL {wl_u} vs Metropolis {}",
+            stats.mean_energy
+        );
+    }
+}
+
+#[test]
+fn fcc_first_shell_coordination_feeds_the_hamiltonian() {
+    let (_, nt, comp, h) = fcc_ternary();
+    assert_eq!(nt.coordination(0), 12, "FCC z1");
+    assert_eq!(nt.coordination(1), 6, "FCC z2");
+    // Mean random-alloy energy must match the analytic value.
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut mean = 0.0;
+    let n = 200;
+    for _ in 0..n {
+        mean += h.total_energy(&Configuration::random(&comp, &mut rng), &nt);
+    }
+    mean /= n as f64;
+    let analytic = h.random_alloy_energy_per_site(&nt, &comp.fractions()) * 32.0;
+    assert!((mean - analytic).abs() < 0.3, "{mean} vs {analytic}");
+    // Unlike pairs are favored in shell 1: ordered checkerboard-like
+    // arrangements must undercut the random mean. Use the strongest pair.
+    assert!(h.v(0, Species(0), Species(1)) < h.v(0, Species(0), Species(0)));
+}
