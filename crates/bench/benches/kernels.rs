@@ -7,9 +7,7 @@ use dt_bench::HeaSystem;
 use dt_hamiltonian::{DeltaWorkspace, EnergyModel};
 use dt_lattice::{Configuration, Species};
 use dt_nn::Matrix;
-use dt_proposal::{
-    DeepProposal, DeepProposalConfig, LocalSwap, ProposalContext, ProposalKernel,
-};
+use dt_proposal::{DeepProposal, DeepProposalConfig, LocalSwap, ProposalContext, ProposalKernel};
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
@@ -49,7 +47,10 @@ fn bench_kernels(c: &mut Criterion) {
                     .collect::<Vec<_>>()
             },
             |moves| {
-                black_box(sys.model.reassign_delta(&config, &sys.neighbors, &moves, &mut ws))
+                black_box(
+                    sys.model
+                        .reassign_delta(&config, &sys.neighbors, &moves, &mut ws),
+                )
             },
             BatchSize::SmallInput,
         )

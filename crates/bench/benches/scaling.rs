@@ -41,16 +41,9 @@ fn bench_rewl_threads(c: &mut Criterion) {
                     max_sweeps: 500,
                     seed: 1,
                     kernel: KernelSpec::LocalSwap,
+                    ..RewlConfig::default()
                 };
-                b.iter(|| {
-                    black_box(run_rewl(
-                        &sys.model,
-                        &sys.neighbors,
-                        &sys.comp,
-                        range,
-                        &cfg,
-                    ))
-                })
+                b.iter(|| black_box(run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg)))
             },
         );
     }

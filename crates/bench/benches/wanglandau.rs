@@ -52,10 +52,7 @@ fn bench_sweeps(c: &mut Criterion) {
 
     group.bench_function("random_global_mix", |b| {
         let mix = ProposalMix::new(vec![
-            (
-                Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>,
-                0.8,
-            ),
+            (Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>, 0.8),
             (Box::new(RandomReassign::new(32)), 0.2),
         ]);
         let mut w = walker_with(&sys, Box::new(mix), range);
@@ -77,10 +74,7 @@ fn bench_sweeps(c: &mut Criterion) {
             &mut rng2,
         );
         let mix = ProposalMix::new(vec![
-            (
-                Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>,
-                0.8,
-            ),
+            (Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>, 0.8),
             (Box::new(deep), 0.2),
         ]);
         let mut w = walker_with(&sys, Box::new(mix), range);

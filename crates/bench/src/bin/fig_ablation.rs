@@ -36,6 +36,7 @@ fn base_cfg(kernel: KernelSpec) -> RewlConfig {
         max_sweeps: 60_000,
         seed: 11,
         kernel,
+        ..RewlConfig::default()
     }
 }
 
@@ -118,11 +119,7 @@ fn main() {
         let mut cfg = base_cfg(KernelSpec::LocalSwap);
         cfg.wl.schedule = schedule;
         let out = run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg);
-        let ln_f_max = out
-            .windows
-            .iter()
-            .map(|w| w.ln_f)
-            .fold(0.0f64, f64::max);
+        let ln_f_max = out.windows.iter().map(|w| w.ln_f).fold(0.0f64, f64::max);
         rows.push(format!(
             "{name},{},{ln_f_max:.3e},{}",
             out.sweeps, out.converged

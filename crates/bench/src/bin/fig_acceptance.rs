@@ -14,8 +14,8 @@ use dt_bench::{arg, print_csv, HeaSystem};
 use dt_lattice::Configuration;
 use dt_metropolis::MetropolisSampler;
 use dt_proposal::{
-    DeepProposal, DeepProposalConfig, LocalSwap, ProposalContext, ProposalKernel,
-    ProposalTrainer, RandomReassign, SampleBuffer, TrainerConfig,
+    DeepProposal, DeepProposalConfig, LocalSwap, ProposalContext, ProposalKernel, ProposalTrainer,
+    RandomReassign, SampleBuffer, TrainerConfig,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

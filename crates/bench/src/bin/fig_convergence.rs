@@ -80,10 +80,7 @@ fn main() {
             "random_global",
             Box::new(move || {
                 Box::new(ProposalMix::new(vec![
-                    (
-                        Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>,
-                        0.8,
-                    ),
+                    (Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>, 0.8),
                     (Box::new(RandomReassign::new(k)), 0.2),
                 ]))
             }),
@@ -92,10 +89,7 @@ fn main() {
             "deepthermo",
             Box::new(move || {
                 Box::new(ProposalMix::new(vec![
-                    (
-                        Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>,
-                        0.8,
-                    ),
+                    (Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>, 0.8),
                     (Box::new(deep.clone()), 0.2),
                 ]))
             }),

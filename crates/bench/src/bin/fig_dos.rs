@@ -62,6 +62,7 @@ fn main() {
             deep_weight: 0.15,
             ..dt_rewl::DeepSpec::default()
         })),
+        ..RewlConfig::default()
     };
     let (out, secs) = timed(|| run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg));
     let mut dos = out.dos.clone();
@@ -72,13 +73,7 @@ fn main() {
         .iter()
         .enumerate()
         .filter(|&(_, &v)| v)
-        .map(|(b, _)| {
-            format!(
-                "{:.5},{:.4}",
-                dos.grid().center(b),
-                dos.ln_g_bin(b)
-            )
-        })
+        .map(|(b, _)| format!("{:.5},{:.4}", dos.grid().center(b), dos.ln_g_bin(b)))
         .collect();
     print_csv("E_eV,ln_g", &rows);
 

@@ -44,6 +44,7 @@ fn main() {
             max_sweeps: 100_000,
             seed: 5,
             kernel: KernelSpec::LocalSwap,
+            ..RewlConfig::default()
         };
         let out = run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg);
         for w in &out.windows {

@@ -30,7 +30,11 @@ fn main() {
     let report = runner.run();
 
     // Reweighted curves for every unlike pair.
-    let temps: Vec<f64> = report.sro_curves[0].points.iter().map(|&(t, _)| t).collect();
+    let temps: Vec<f64> = report.sro_curves[0]
+        .points
+        .iter()
+        .map(|&(t, _)| t)
+        .collect();
     let rows: Vec<String> = temps
         .iter()
         .enumerate()
@@ -95,7 +99,10 @@ fn main() {
             .points
             .iter()
             .min_by(|a, b| {
-                (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).expect("finite")
+                (a.0 - t)
+                    .abs()
+                    .partial_cmp(&(b.0 - t).abs())
+                    .expect("finite")
             })
             .expect("points")
             .1;

@@ -59,6 +59,7 @@ fn main() {
             max_sweeps: 300_000,
             seed: 3,
             kernel: KernelSpec::LocalSwap,
+            ..RewlConfig::default()
         };
         let (out, wall) = timed(|| run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg));
         rows.push(format!(

@@ -4,8 +4,13 @@
 //! deepthermo run   [--l 3] [--kernel deep|local|random] [--seed 2023]
 //!                  [--lnf 1e-4] [--max-sweeps 300000] [--windows 2]
 //!                  [--walkers 2] [--tmin 100] [--tmax 3000] [--out DIR]
+//!                  [--checkpoint DIR]
 //! deepthermo info  [--l 3]
 //! ```
+//!
+//! With `--checkpoint DIR` the cluster snapshots itself into `DIR` as it
+//! runs, and a rerun with the same flags resumes from the newest
+//! consistent snapshot instead of starting over.
 //!
 //! `run` executes the full pipeline on equiatomic NbMoTaW and writes
 //! `thermo.csv`, `dos.csv`, `sro.csv`, and `summary.txt` into `--out`
@@ -24,6 +29,10 @@ fn arg<T: std::str::FromStr>(flag: &str, default: T) -> T {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn opt_arg(flag: &str) -> Option<String> {
+    std::env::args().skip_while(|a| a != flag).nth(1)
 }
 
 fn main() -> ExitCode {
@@ -106,7 +115,14 @@ fn run() -> ExitCode {
         cfg.rewl.seed
     );
     let start = std::time::Instant::now();
-    let report = DeepThermo::nbmotaw(cfg).run();
+    let runner = DeepThermo::nbmotaw(cfg);
+    let report = match opt_arg("--checkpoint") {
+        Some(dir) => {
+            println!("checkpointing into {dir} (reruns resume from the newest snapshot)");
+            runner.run_resumable(dir)
+        }
+        None => runner.run(),
+    };
     println!(
         "sampling finished in {:.1} s ({} total moves)",
         start.elapsed().as_secs_f64(),
@@ -123,7 +139,10 @@ fn run() -> ExitCode {
         .and_then(|()| write("summary.txt", report.summary()));
     match result {
         Ok(()) => {
-            println!("wrote thermo.csv, dos.csv, sro.csv, summary.txt to {}", out_dir.display());
+            println!(
+                "wrote thermo.csv, dos.csv, sro.csv, summary.txt to {}",
+                out_dir.display()
+            );
             if !report.converged {
                 eprintln!("warning: run hit max sweeps before ln f target");
             }

@@ -78,6 +78,7 @@ impl DeepThermoConfig {
                 max_sweeps: 2_000_000,
                 seed: 2023,
                 kernel: KernelSpec::Deep(Box::default()),
+                ..RewlConfig::default()
             },
             range_quench_sweeps: 60,
             range_pad: 0.02,

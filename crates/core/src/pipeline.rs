@@ -41,9 +41,8 @@ impl DeepThermo {
             "model species must match the material"
         );
         let neighbors = cell.neighbor_table(cfg.material.num_shells);
-        let comp =
-            Composition::equiatomic(cfg.material.species.len(), cell.num_sites())
-                .expect("valid composition");
+        let comp = Composition::equiatomic(cfg.material.species.len(), cell.num_sites())
+            .expect("valid composition");
         DeepThermo {
             cfg,
             cell,
@@ -93,7 +92,35 @@ impl DeepThermo {
         );
 
         // 2. Parallel sampling.
-        let out = run_rewl(&self.model, &self.neighbors, &self.comp, range, &self.cfg.rewl);
+        let out = run_rewl(
+            &self.model,
+            &self.neighbors,
+            &self.comp,
+            range,
+            &self.cfg.rewl,
+        );
+        self.evaluate(out)
+    }
+
+    /// Run the full pipeline with periodic cluster checkpoints under
+    /// `dir`, resuming from the newest consistent snapshot when one
+    /// exists. Range discovery is seeded from the config, so a restarted
+    /// run rebuilds the same windows and the snapshot stays valid.
+    pub fn run_resumable(&self, dir: impl Into<std::path::PathBuf>) -> DeepThermoReport {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.rewl.seed ^ 0x5eed);
+        let range = explore_energy_range(
+            &self.model,
+            &self.neighbors,
+            &self.comp,
+            self.cfg.range_quench_sweeps,
+            self.cfg.range_pad,
+            &mut rng,
+        );
+        let mut rewl_cfg = self.cfg.rewl.clone();
+        if rewl_cfg.checkpoint.is_none() {
+            rewl_cfg.checkpoint = Some(dt_rewl::CheckpointSpec::new(dir));
+        }
+        let out = run_rewl(&self.model, &self.neighbors, &self.comp, range, &rewl_cfg);
         self.evaluate(out)
     }
 
@@ -124,7 +151,13 @@ impl DeepThermo {
             .map(|b| dos.grid().center(b))
             .collect();
         let grid_ln_g: Vec<f64> = (0..dos.grid().num_bins())
-            .map(|b| if out.mask[b] { dos.ln_g_bin(b) } else { f64::NEG_INFINITY })
+            .map(|b| {
+                if out.mask[b] {
+                    dos.ln_g_bin(b)
+                } else {
+                    f64::NEG_INFINITY
+                }
+            })
             .collect();
         let mut sro_curves = Vec::new();
         for a in 0..m as u8 {
@@ -169,6 +202,8 @@ impl DeepThermo {
             total_moves: out.total_moves,
             sweeps: out.sweeps,
             stats,
+            lost_ranks: out.lost_ranks,
+            resumed_from: out.resumed_from,
         }
     }
 }
@@ -184,11 +219,7 @@ mod tests {
         assert!(report.converged, "demo run should converge");
         // DOS range scales like N ln 4: for N=54, ≈ 75 ln-units; visited
         // bins exclude the extremes so expect a sizeable fraction.
-        assert!(
-            report.ln_g_range > 20.0,
-            "ln g range {}",
-            report.ln_g_range
-        );
+        assert!(report.ln_g_range > 20.0, "ln g range {}", report.ln_g_range);
         // Physical sanity of the thermodynamic curve.
         assert!(report.thermo.iter().all(|p| p.cv >= 0.0));
         let u_cold = report.thermo.first().unwrap().u;
@@ -205,6 +236,19 @@ mod tests {
             "Mo-Ta SRO at low T: {}",
             mo_ta.points.first().unwrap().1
         );
+    }
+
+    #[test]
+    fn resumable_run_writes_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("dtcore-resumable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo()).run_resumable(&dir);
+        assert!(report.converged);
+        assert!(
+            std::fs::read_dir(&dir).unwrap().count() > 0,
+            "resumable run must leave a snapshot behind"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

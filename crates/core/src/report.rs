@@ -46,6 +46,10 @@ pub struct DeepThermoReport {
     pub sweeps: u64,
     /// Merged acceptance statistics across all walkers.
     pub stats: MoveStats,
+    /// Ranks that died during the run (fault tolerance).
+    pub lost_ranks: Vec<usize>,
+    /// Checkpoint round the run resumed from, if it did.
+    pub resumed_from: Option<u64>,
 }
 
 impl DeepThermoReport {
@@ -94,6 +98,15 @@ impl DeepThermoReport {
             "converged: {} (sweeps/walker: {}, total moves: {})\n",
             self.converged, self.sweeps, self.total_moves
         ));
+        if let Some(round) = self.resumed_from {
+            s.push_str(&format!("resumed from checkpoint round {round}\n"));
+        }
+        if !self.lost_ranks.is_empty() {
+            s.push_str(&format!(
+                "ranks lost during the run: {:?}\n",
+                self.lost_ranks
+            ));
+        }
         s.push_str(&format!("ln g range: {:.1}\n", self.ln_g_range));
         s.push_str(&format!(
             "order-disorder transition: T_c ~ {:.0} K (Cv peak {:.2} kB)\n",
@@ -148,6 +161,8 @@ mod tests {
             total_moves: 10,
             sweeps: 1,
             stats: MoveStats::new(),
+            lost_ranks: vec![],
+            resumed_from: None,
         }
     }
 

@@ -50,11 +50,9 @@ impl ExactDos {
             levels: &mut Vec<(f64, u64)>,
         ) {
             if site == n {
-                let config =
-                    Configuration::from_species(assignment.to_vec(), comp.num_species());
+                let config = Configuration::from_species(assignment.to_vec(), comp.num_species());
                 let e = model.total_energy(&config, neighbors);
-                match levels
-                    .binary_search_by(|&(le, _)| le.partial_cmp(&e).expect("finite energy"))
+                match levels.binary_search_by(|&(le, _)| le.partial_cmp(&e).expect("finite energy"))
                 {
                     Ok(i) => levels[i].1 += 1,
                     Err(i) => {
@@ -76,7 +74,16 @@ impl ExactDos {
                 }
                 remaining[s] -= 1;
                 assignment[site] = Species(s as u8);
-                recurse(site + 1, n, remaining, assignment, model, neighbors, comp, levels);
+                recurse(
+                    site + 1,
+                    n,
+                    remaining,
+                    assignment,
+                    model,
+                    neighbors,
+                    comp,
+                    levels,
+                );
                 remaining[s] += 1;
             }
         }
@@ -261,9 +268,6 @@ mod tests {
         let h = PairHamiltonian::from_pairs(4, 1, &[(0, 0, 1, -0.01), (0, 2, 3, 0.02)]);
         let dos = ExactDos::enumerate(&h, &nt, &comp);
         assert_eq!(dos.total_configurations(), 2520);
-        assert_eq!(
-            dos.energies().len(),
-            dos.counts().len()
-        );
+        assert_eq!(dos.energies().len(), dos.counts().len());
     }
 }

@@ -178,7 +178,8 @@ impl EnergyModel for PairHamiltonian {
         // and after except that V(sb, σ_b→sa) terms need care. We evaluate
         // "after" energies with an explicit two-site override, which handles
         // adjacency (including multiple periodic images) exactly.
-        let before = self.site_energy(config, neighbors, a) + self.site_energy(config, neighbors, b)
+        let before = self.site_energy(config, neighbors, a)
+            + self.site_energy(config, neighbors, b)
             - self.pair_energy_between(config, neighbors, a, b);
         let lookup = |j: SiteId| {
             if j == a {
@@ -247,8 +248,8 @@ impl EnergyModel for PairHamiltonian {
             for shell in 0..self.v.len() {
                 for &j in neighbors.neighbors(site, shell) {
                     if workspace.in_move(j) {
-                        internal += self.v[shell]
-                            [new_s.index() * self.num_species + lookup(j).index()];
+                        internal +=
+                            self.v[shell][new_s.index() * self.num_species + lookup(j).index()];
                     }
                 }
             }
@@ -329,10 +330,7 @@ impl PairHamiltonian {
         let mut total = 0.0;
         for shell in 0..self.v.len() {
             let z = neighbors.coordination(shell) as f64;
-            let extreme = self.v[shell]
-                .iter()
-                .copied()
-                .fold(self.v[shell][0], pick);
+            let extreme = self.v[shell].iter().copied().fold(self.v[shell][0], pick);
             total += 0.5 * n * z * extreme;
         }
         total

@@ -1,24 +1,95 @@
-//! An MPI-flavored communicator over threads.
+//! An MPI-flavored communicator over threads, with fault awareness.
 //!
 //! Semantics mirror the subset of MPI the paper's REWL implementation
-//! needs: tagged blocking point-to-point messages, a barrier, a
-//! sum-allreduce, and a broadcast. Everything is backed by in-process
-//! mailboxes, so a "rank" is a thread and a "GPU" is a walker owned by
-//! that thread.
+//! needs: tagged point-to-point messages, a barrier, a sum-allreduce, and
+//! a broadcast. Everything is backed by in-process mailboxes, so a "rank"
+//! is a thread and a "GPU" is a walker owned by that thread.
+//!
+//! On top of the happy path, the fabric simulates an *unreliable*
+//! cluster:
+//!
+//! - a [`crate::FaultPlan`] can drop or delay specific messages and crash
+//!   ranks at chosen rounds, deterministically;
+//! - every receive has a deadline-bounded form ([`Communicator::recv_timeout`],
+//!   [`Communicator::try_recv`]) returning [`CommError`] instead of
+//!   hanging;
+//! - a rank death (injected or a genuine panic caught by
+//!   [`ThreadCluster::run_with_faults`]) is broadcast to the fabric:
+//!   pending receives from the dead rank fail fast with
+//!   [`CommError::RankDead`], and in-flight collectives complete over the
+//!   survivors instead of deadlocking.
+//!
+//! Collectives count *live* ranks: a barrier or allreduce entered by all
+//! survivors completes even while corpses hold unfilled slots. A
+//! broadcast whose root died before providing a payload fails with
+//! `RankDead` on every waiter rather than hanging.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+
+use crate::fault::{FaultPlan, FaultRuntime, SendFate};
+
+/// Upper bound applied to the legacy infallible blocking calls so that no
+/// wait — even one reached through an unexpected interleaving — is
+/// unbounded. Generous enough that it only trips on genuine deadlocks.
+const WATCHDOG: Duration = Duration::from_secs(300);
+
+/// Why a communication call could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The deadline elapsed before a matching message arrived.
+    Timeout {
+        /// Rank the receive was posted against.
+        from: usize,
+        /// Message tag the receive was posted against.
+        tag: u64,
+    },
+    /// The peer rank is dead and no matching message remains in flight.
+    RankDead(usize),
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { from, tag } => {
+                write!(f, "timed out waiting for tag {tag} from rank {from}")
+            }
+            CommError::RankDead(rank) => write!(f, "rank {rank} is dead"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Payload carried by [`ThreadCluster`] kill faults; recognized by the
+/// panic handler so an injected crash reports cleanly.
+#[derive(Debug, Clone)]
+pub struct SimulatedCrash {
+    /// Rank that was crashed.
+    pub rank: usize,
+    /// Round at which the kill fired.
+    pub round: u64,
+}
 
 /// Key of a pending message: (source rank, tag).
 type MsgKey = (usize, u64);
 
+/// A buffered message; `deliver_at` is in the future for delayed sends.
+struct Envelope {
+    deliver_at: Instant,
+    payload: Vec<u8>,
+}
+
 /// One rank's mailbox.
 #[derive(Default)]
 struct Mailbox {
-    queues: Mutex<HashMap<MsgKey, VecDeque<Vec<u8>>>>,
+    queues: Mutex<HashMap<MsgKey, VecDeque<Envelope>>>,
     signal: Condvar,
 }
 
@@ -30,6 +101,9 @@ struct Collectives {
 }
 
 struct CollectiveState {
+    /// Ranks still alive; collectives complete when `*_arrived` reaches
+    /// this count.
+    live: usize,
     barrier_arrived: usize,
     barrier_generation: u64,
     reduce_arrived: usize,
@@ -39,6 +113,33 @@ struct CollectiveState {
     bcast_arrived: usize,
     bcast_generation: u64,
     bcast_payload: Option<Vec<u8>>,
+    /// Generation the current `bcast_payload` was provided for; lets
+    /// waiters distinguish a fresh payload from a stale one left by a
+    /// previous round after the root died.
+    bcast_provided_generation: Option<u64>,
+}
+
+impl CollectiveState {
+    /// Complete any collective that the survivors have now fully entered.
+    /// Called after a death shrinks `live`.
+    fn settle_after_death(&mut self) {
+        if self.live == 0 {
+            return;
+        }
+        if self.barrier_arrived >= self.live {
+            self.barrier_arrived = 0;
+            self.barrier_generation += 1;
+        }
+        if self.reduce_arrived >= self.live {
+            self.reduce_arrived = 0;
+            self.reduce_result = std::mem::take(&mut self.reduce_accum);
+            self.reduce_generation += 1;
+        }
+        if self.bcast_arrived >= self.live {
+            self.bcast_arrived = 0;
+            self.bcast_generation += 1;
+        }
+    }
 }
 
 /// The shared fabric of a [`ThreadCluster`].
@@ -46,6 +147,57 @@ struct Fabric {
     size: usize,
     mailboxes: Vec<Mailbox>,
     collectives: Collectives,
+    dead: Vec<AtomicBool>,
+    faults: FaultRuntime,
+}
+
+impl Fabric {
+    fn new(size: usize, plan: FaultPlan) -> Self {
+        Fabric {
+            size,
+            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+            collectives: Collectives {
+                lock: Mutex::new(CollectiveState {
+                    live: size,
+                    barrier_arrived: 0,
+                    barrier_generation: 0,
+                    reduce_arrived: 0,
+                    reduce_generation: 0,
+                    reduce_accum: Vec::new(),
+                    reduce_result: Vec::new(),
+                    bcast_arrived: 0,
+                    bcast_generation: 0,
+                    bcast_payload: None,
+                    bcast_provided_generation: None,
+                }),
+                signal: Condvar::new(),
+            },
+            dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            faults: FaultRuntime::new(plan),
+        }
+    }
+
+    fn is_dead(&self, rank: usize) -> bool {
+        self.dead[rank].load(Ordering::SeqCst)
+    }
+
+    /// Record a rank death and wake everyone who may be waiting on it:
+    /// collective waiters (a now-complete round is settled first) and all
+    /// mailbox waiters (so receives from the corpse fail fast).
+    fn mark_dead(&self, rank: usize) {
+        if self.dead[rank].swap(true, Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut st = self.collectives.lock.lock();
+            st.live -= 1;
+            st.settle_after_death();
+            self.collectives.signal.notify_all();
+        }
+        for mb in &self.mailboxes {
+            mb.signal.notify_all();
+        }
+    }
 }
 
 /// A rank's handle to the cluster fabric.
@@ -63,57 +215,163 @@ impl Communicator {
         self.rank
     }
 
-    /// Number of ranks in the cluster.
+    /// Number of ranks in the cluster (including dead ones).
     pub fn size(&self) -> usize {
         self.fabric.size
     }
 
+    /// Whether `rank` is still alive.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        !self.fabric.is_dead(rank)
+    }
+
+    /// Number of ranks currently alive.
+    pub fn live_count(&self) -> usize {
+        self.fabric.collectives.lock.lock().live
+    }
+
+    /// Crash this rank (panic with a [`SimulatedCrash`] payload) if the
+    /// fault plan schedules a kill at or before `round`. Rank programs
+    /// call this once per round; [`ThreadCluster::run_with_faults`]
+    /// converts the unwind into a dead-rank outcome.
+    pub fn poll_faults(&self, round: u64) {
+        if let Some(kill_round) = self.fabric.faults.plan().kill_due(self.rank, round) {
+            std::panic::panic_any(SimulatedCrash {
+                rank: self.rank,
+                round: kill_round,
+            });
+        }
+    }
+
     /// Send `data` to rank `to` with a message `tag` (non-blocking,
-    /// buffered — like `MPI_Send` with an eager protocol).
+    /// buffered — like `MPI_Send` with an eager protocol). Sends to dead
+    /// ranks are silently discarded, as are messages the fault plan
+    /// drops; delayed messages become receivable only after their delay.
     pub fn send(&self, to: usize, tag: u64, data: Vec<u8>) {
         assert!(to < self.fabric.size, "send to invalid rank {to}");
+        let deliver_at = match self.fabric.faults.on_send(self.rank, to, tag) {
+            SendFate::Drop => return,
+            SendFate::Deliver => Instant::now(),
+            SendFate::Delay(d) => Instant::now() + d,
+        };
+        if self.fabric.is_dead(to) {
+            return;
+        }
         let mb = &self.fabric.mailboxes[to];
         mb.queues
             .lock()
             .entry((self.rank, tag))
             .or_default()
-            .push_back(data);
+            .push_back(Envelope {
+                deliver_at,
+                payload: data,
+            });
         mb.signal.notify_all();
     }
 
-    /// Blocking receive of a message from `from` with `tag`.
-    pub fn recv(&self, from: usize, tag: u64) -> Vec<u8> {
+    /// Non-blocking receive: `Ok(Some(..))` if a deliverable message is
+    /// queued, `Ok(None)` if not, `Err(RankDead)` if `from` is dead with
+    /// nothing in flight.
+    pub fn try_recv(&self, from: usize, tag: u64) -> Result<Option<Vec<u8>>, CommError> {
+        let mb = &self.fabric.mailboxes[self.rank];
+        let mut queues = mb.queues.lock();
+        let now = Instant::now();
+        if let Some(q) = queues.get_mut(&(from, tag)) {
+            if let Some(pos) = q.iter().position(|m| m.deliver_at <= now) {
+                return Ok(q.remove(pos).map(|m| m.payload));
+            }
+            if !q.is_empty() {
+                // Delayed messages still in flight; the sender's death
+                // does not recall them.
+                return Ok(None);
+            }
+        }
+        if self.fabric.is_dead(from) {
+            return Err(CommError::RankDead(from));
+        }
+        Ok(None)
+    }
+
+    /// Blocking receive with a deadline. Fails with
+    /// [`CommError::Timeout`] when `timeout` elapses and
+    /// [`CommError::RankDead`] as soon as `from` is known dead with no
+    /// matching message in flight (already-buffered messages from a dead
+    /// sender are still delivered first).
+    pub fn recv_timeout(
+        &self,
+        from: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, CommError> {
+        let deadline = Instant::now() + timeout;
         let mb = &self.fabric.mailboxes[self.rank];
         let mut queues = mb.queues.lock();
         loop {
+            let now = Instant::now();
+            let mut earliest_delayed: Option<Instant> = None;
             if let Some(q) = queues.get_mut(&(from, tag)) {
-                if let Some(msg) = q.pop_front() {
-                    return msg;
+                if let Some(pos) = q.iter().position(|m| m.deliver_at <= now) {
+                    return Ok(q.remove(pos).expect("position just found").payload);
                 }
+                earliest_delayed = q.iter().map(|m| m.deliver_at).min();
             }
-            mb.signal.wait(&mut queues);
+            if earliest_delayed.is_none() && self.fabric.is_dead(from) {
+                return Err(CommError::RankDead(from));
+            }
+            if now >= deadline {
+                return Err(CommError::Timeout { from, tag });
+            }
+            // Sleep until whichever comes first: the deadline or the
+            // moment a delayed message matures. Death notifications wake
+            // every mailbox waiter, so re-check on every wakeup.
+            let mut wake = deadline;
+            if let Some(t) = earliest_delayed {
+                wake = wake.min(t);
+            }
+            let nap = wake
+                .saturating_duration_since(now)
+                .max(Duration::from_millis(1));
+            mb.signal.wait_for(&mut queues, nap);
         }
     }
 
-    /// Block until every rank has entered the barrier.
+    /// Blocking receive of a message from `from` with `tag`.
+    ///
+    /// Kept for fault-free code paths; the wait is watchdog-bounded so
+    /// even a misused call cannot hang forever — it panics after
+    /// [`WATCHDOG`] or if the sender dies, rather than deadlocking.
+    pub fn recv(&self, from: usize, tag: u64) -> Vec<u8> {
+        self.recv_timeout(from, tag, WATCHDOG)
+            .unwrap_or_else(|e| panic!("rank {}: recv({from}, {tag}): {e}", self.rank))
+    }
+
+    /// Block until every *live* rank has entered the barrier. A rank that
+    /// dies while others wait releases the barrier over the survivors.
     pub fn barrier(&self) {
         let c = &self.fabric.collectives;
         let mut st = c.lock.lock();
         let generation = st.barrier_generation;
         st.barrier_arrived += 1;
-        if st.barrier_arrived == self.fabric.size {
+        if st.barrier_arrived >= st.live {
             st.barrier_arrived = 0;
             st.barrier_generation += 1;
             c.signal.notify_all();
         } else {
+            let deadline = Instant::now() + WATCHDOG;
             while st.barrier_generation == generation {
-                c.signal.wait(&mut st);
+                let r = c
+                    .signal
+                    .wait_for(&mut st, deadline.saturating_duration_since(Instant::now()));
+                if r.timed_out() && st.barrier_generation == generation {
+                    panic!("rank {}: barrier watchdog expired", self.rank);
+                }
             }
         }
     }
 
-    /// Element-wise sum allreduce: after the call every rank's `data`
-    /// holds the sum over all ranks. All ranks must pass equal lengths.
+    /// Element-wise sum allreduce over the *live* ranks: after the call
+    /// every surviving rank's `data` holds the sum over all survivors'
+    /// contributions. All ranks must pass equal lengths.
     pub fn allreduce_sum(&self, data: &mut [f64]) {
         let c = &self.fabric.collectives;
         let mut st = c.lock.lock();
@@ -130,48 +388,111 @@ impl Communicator {
             *a += d;
         }
         st.reduce_arrived += 1;
-        if st.reduce_arrived == self.fabric.size {
+        if st.reduce_arrived >= st.live {
             st.reduce_arrived = 0;
             st.reduce_result = std::mem::take(&mut st.reduce_accum);
             st.reduce_generation += 1;
             c.signal.notify_all();
         } else {
+            let deadline = Instant::now() + WATCHDOG;
             while st.reduce_generation == generation {
-                c.signal.wait(&mut st);
+                let r = c
+                    .signal
+                    .wait_for(&mut st, deadline.saturating_duration_since(Instant::now()));
+                if r.timed_out() && st.reduce_generation == generation {
+                    panic!("rank {}: allreduce watchdog expired", self.rank);
+                }
             }
         }
         data.copy_from_slice(&st.reduce_result);
     }
 
-    /// Broadcast from `root`: returns the root's payload on every rank.
-    pub fn broadcast(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
+    /// Broadcast from `root`, failing with [`CommError::RankDead`] on
+    /// every waiter if the root died before providing its payload.
+    pub fn broadcast_checked(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>, CommError> {
         let c = &self.fabric.collectives;
         let mut st = c.lock.lock();
         let generation = st.bcast_generation;
         if self.rank == root {
             st.bcast_payload = Some(data);
+            st.bcast_provided_generation = Some(generation);
         }
         st.bcast_arrived += 1;
-        if st.bcast_arrived == self.fabric.size {
+        if st.bcast_arrived >= st.live {
             st.bcast_arrived = 0;
             st.bcast_generation += 1;
             c.signal.notify_all();
         } else {
+            let deadline = Instant::now() + WATCHDOG;
             while st.bcast_generation == generation {
-                c.signal.wait(&mut st);
+                let r = c
+                    .signal
+                    .wait_for(&mut st, deadline.saturating_duration_since(Instant::now()));
+                if r.timed_out() && st.bcast_generation == generation {
+                    panic!("rank {}: broadcast watchdog expired", self.rank);
+                }
             }
         }
-        let payload = st
-            .bcast_payload
-            .clone()
-            .expect("root must provide a broadcast payload");
-        // Last rank out clears the slot for the next broadcast round.
-        if st.bcast_arrived == 0 && st.bcast_generation > generation {
-            // Note: payload intentionally left until overwritten by the
-            // next round's root; clearing requires another barrier, which
-            // the generation counter makes unnecessary.
+        // A payload left over from an earlier round must not masquerade
+        // as this round's: only accept one provided for `generation`.
+        if st.bcast_provided_generation == Some(generation) {
+            Ok(st
+                .bcast_payload
+                .clone()
+                .expect("payload present when provided"))
+        } else {
+            Err(CommError::RankDead(root))
         }
-        payload
+    }
+
+    /// Broadcast from `root`: returns the root's payload on every rank.
+    /// Panics if the root died before providing a payload — use
+    /// [`Communicator::broadcast_checked`] on fault-tolerant paths.
+    pub fn broadcast(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
+        self.broadcast_checked(root, data)
+            .unwrap_or_else(|e| panic!("rank {}: broadcast from {root}: {e}", self.rank))
+    }
+}
+
+/// How one rank's program ended under [`ThreadCluster::run_with_faults`].
+#[derive(Debug)]
+pub enum RankOutcome<T> {
+    /// The rank ran to completion.
+    Completed(T),
+    /// The rank died (injected kill or genuine panic) before finishing.
+    Died {
+        /// Human-readable cause extracted from the panic payload.
+        cause: String,
+    },
+}
+
+impl<T> RankOutcome<T> {
+    /// The completed value, if any.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            RankOutcome::Completed(v) => Some(v),
+            RankOutcome::Died { .. } => None,
+        }
+    }
+
+    /// Whether the rank died.
+    pub fn is_dead(&self) -> bool {
+        matches!(self, RankOutcome::Died { .. })
+    }
+}
+
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(crash) = payload.downcast_ref::<SimulatedCrash>() {
+        format!(
+            "simulated crash of rank {} at round {}",
+            crash.rank, crash.round
+        )
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "rank panicked".to_string()
     }
 }
 
@@ -186,24 +507,40 @@ impl ThreadCluster {
         T: Send,
         F: Fn(Communicator) -> T + Sync,
     {
+        Self::run_with_faults(size, FaultPlan::none(), f)
+            .into_iter()
+            .map(|outcome| match outcome {
+                RankOutcome::Completed(v) => v,
+                RankOutcome::Died { cause } => panic!("rank panicked: {cause}"),
+            })
+            .collect()
+    }
+
+    /// Run a cluster program under a fault plan. A rank that panics —
+    /// from an injected [`FaultEvent::KillAtRound`](crate::FaultEvent)
+    /// via [`Communicator::poll_faults`], or from a genuine bug — is
+    /// caught at the fabric boundary, announced to the survivors (its
+    /// death unblocks their receives and collectives), and reported as
+    /// [`RankOutcome::Died`] instead of tearing the cluster down.
+    pub fn run_with_faults<T, F>(size: usize, plan: FaultPlan, f: F) -> Vec<RankOutcome<T>>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Sync,
+    {
         assert!(size > 0, "cluster needs at least one rank");
-        let fabric = Arc::new(Fabric {
-            size,
-            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
-            collectives: Collectives {
-                lock: Mutex::new(CollectiveState {
-                    barrier_arrived: 0,
-                    barrier_generation: 0,
-                    reduce_arrived: 0,
-                    reduce_generation: 0,
-                    reduce_accum: Vec::new(),
-                    reduce_result: Vec::new(),
-                    bcast_arrived: 0,
-                    bcast_generation: 0,
-                    bcast_payload: None,
-                }),
-                signal: Condvar::new(),
-            },
+        let fabric = Arc::new(Fabric::new(size, plan));
+        // Injected crashes unwind through here by design; silence the
+        // default "thread panicked" stderr noise for them only. Installed
+        // once process-wide: hook swapping per call would race when
+        // multiple clusters run concurrently (e.g. parallel tests).
+        static HOOK: std::sync::Once = std::sync::Once::new();
+        HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<SimulatedCrash>().is_none() {
+                    prev(info);
+                }
+            }));
         });
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..size)
@@ -213,12 +550,23 @@ impl ThreadCluster {
                         fabric: Arc::clone(&fabric),
                     };
                     let f = &f;
-                    scope.spawn(move || f(comm))
+                    let fabric = Arc::clone(&fabric);
+                    scope.spawn(move || match catch_unwind(AssertUnwindSafe(|| f(comm))) {
+                        Ok(v) => RankOutcome::Completed(v),
+                        Err(payload) => {
+                            // Announce the death *before* returning so
+                            // peers blocked on this rank unblock promptly.
+                            fabric.mark_dead(rank);
+                            RankOutcome::Died {
+                                cause: describe_panic(payload.as_ref()),
+                            }
+                        }
+                    })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
+                .map(|h| h.join().expect("rank thread itself must not die"))
                 .collect()
         })
     }
@@ -227,6 +575,7 @@ impl ThreadCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     #[test]
     fn ping_pong_round_trip() {
@@ -334,6 +683,217 @@ mod tests {
         });
         for r in results {
             assert_eq!(r, 40.0);
+        }
+    }
+
+    #[test]
+    fn recv_timeout_expires_on_silence() {
+        let results = ThreadCluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.recv_timeout(1, 3, Duration::from_millis(50))
+            } else {
+                Ok(vec![]) // rank 1 stays silent but alive
+            }
+        });
+        assert_eq!(
+            results[0],
+            Err(CommError::Timeout { from: 1, tag: 3 }),
+            "silent peer must surface a timeout, not hang"
+        );
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let results = ThreadCluster::run(2, |comm| {
+            if comm.rank() == 0 {
+                let empty = comm.try_recv(1, 5);
+                let msg = comm.recv_timeout(1, 5, Duration::from_secs(5));
+                (empty, msg)
+            } else {
+                comm.send(0, 5, vec![42]);
+                (Ok(None), Ok(vec![]))
+            }
+        });
+        match &results[0] {
+            (Ok(first), Ok(second)) => {
+                // First poll may or may not have seen the message yet
+                // (the peer races), but the blocking receive must get it.
+                assert!(first.is_none() || first.as_deref() == Some(&[42][..]));
+                assert_eq!(second, &vec![42]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_message_surfaces_timeout_not_hang() {
+        let plan = FaultPlan::none().drop_message(1, 0, 0);
+        let started = Instant::now();
+        let outcomes = ThreadCluster::run_with_faults(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.recv_timeout(1, 9, Duration::from_millis(100))
+            } else {
+                comm.send(0, 9, vec![1]); // eaten by the plan
+                Ok(vec![])
+            }
+        });
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "watchdog: dropped message stalled the cluster"
+        );
+        let r0 = match &outcomes[0] {
+            RankOutcome::Completed(r) => r,
+            dead => panic!("rank 0 should complete, got {dead:?}"),
+        };
+        assert_eq!(r0, &Err(CommError::Timeout { from: 1, tag: 9 }));
+    }
+
+    #[test]
+    fn delayed_message_arrives_late_but_intact() {
+        let plan = FaultPlan::none().delay_message(1, 0, 0, Duration::from_millis(60));
+        let outcomes = ThreadCluster::run_with_faults(2, plan, |comm| {
+            if comm.rank() == 0 {
+                let early = comm.recv_timeout(1, 4, Duration::from_millis(5));
+                let late = comm.recv_timeout(1, 4, Duration::from_secs(5));
+                (early, late)
+            } else {
+                comm.send(0, 4, vec![7, 7]);
+                (Ok(vec![]), Ok(vec![]))
+            }
+        });
+        match &outcomes[0] {
+            RankOutcome::Completed((early, late)) => {
+                assert_eq!(early, &Err(CommError::Timeout { from: 1, tag: 4 }));
+                assert_eq!(late, &Ok(vec![7, 7]));
+            }
+            dead => panic!("rank 0 died: {dead:?}"),
+        }
+    }
+
+    #[test]
+    fn killed_rank_unblocks_peer_recv_with_rank_dead() {
+        let plan = FaultPlan::none().kill_at_round(1, 0);
+        let outcomes = ThreadCluster::run_with_faults(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.recv_timeout(1, 2, Duration::from_secs(30))
+            } else {
+                comm.poll_faults(0); // dies here
+                comm.send(0, 2, vec![1]);
+                Ok(vec![])
+            }
+        });
+        assert!(outcomes[1].is_dead());
+        match &outcomes[0] {
+            RankOutcome::Completed(r) => assert_eq!(r, &Err(CommError::RankDead(1))),
+            dead => panic!("rank 0 died: {dead:?}"),
+        }
+    }
+
+    #[test]
+    fn buffered_messages_from_dead_rank_still_deliver() {
+        let plan = FaultPlan::none().kill_at_round(1, 0);
+        let outcomes = ThreadCluster::run_with_faults(2, plan, |comm| {
+            if comm.rank() == 0 {
+                let first = comm.recv_timeout(1, 6, Duration::from_secs(30));
+                let second = comm.recv_timeout(1, 6, Duration::from_secs(30));
+                (first, second)
+            } else {
+                comm.send(0, 6, vec![5]); // in flight before the crash
+                comm.poll_faults(0);
+                unreachable!("rank 1 must die at poll");
+            }
+        });
+        match &outcomes[0] {
+            RankOutcome::Completed((first, second)) => {
+                assert_eq!(first, &Ok(vec![5]), "in-flight message must survive");
+                assert_eq!(second, &Err(CommError::RankDead(1)));
+            }
+            dead => panic!("rank 0 died: {dead:?}"),
+        }
+    }
+
+    #[test]
+    fn collectives_complete_over_survivors_after_death() {
+        // Rank 2 dies before ever entering the collectives; the other
+        // three must still complete barrier + allreduce, with the sum
+        // covering survivors only.
+        let plan = FaultPlan::none().kill_at_round(2, 0);
+        let outcomes = ThreadCluster::run_with_faults(4, plan, |comm| {
+            if comm.rank() == 2 {
+                // Give peers a chance to block in the barrier first, so
+                // the death must actively release them.
+                std::thread::sleep(Duration::from_millis(30));
+                comm.poll_faults(0);
+                unreachable!();
+            }
+            comm.barrier();
+            let mut v = vec![1.0];
+            comm.allreduce_sum(&mut v);
+            v[0]
+        });
+        assert!(outcomes[2].is_dead());
+        for (rank, outcome) in outcomes.iter().enumerate() {
+            if rank == 2 {
+                continue;
+            }
+            match outcome {
+                RankOutcome::Completed(sum) => assert_eq!(*sum, 3.0),
+                dead => panic!("rank {rank} died: {dead:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_dead_root_fails_cleanly() {
+        let plan = FaultPlan::none().kill_at_round(0, 0);
+        let outcomes = ThreadCluster::run_with_faults(3, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.poll_faults(0);
+                unreachable!();
+            }
+            comm.broadcast_checked(0, vec![])
+        });
+        for outcome in &outcomes[1..] {
+            match outcome {
+                RankOutcome::Completed(r) => assert_eq!(r, &Err(CommError::RankDead(0))),
+                dead => panic!("survivor died: {dead:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn live_count_tracks_deaths() {
+        let plan = FaultPlan::none().kill_at_round(3, 1);
+        let outcomes = ThreadCluster::run_with_faults(4, plan, |comm| {
+            comm.poll_faults(0); // round 0: nobody dies
+                                 // Sample before the barrier: rank 3 cannot die until every
+                                 // rank has passed it, so all ranks must observe 4 here.
+            let before = comm.live_count();
+            comm.barrier();
+            if comm.rank() == 3 {
+                comm.poll_faults(1);
+                unreachable!();
+            }
+            // Wait until the death is visible, deadline-bounded.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while comm.is_alive(3) {
+                assert!(Instant::now() < deadline, "death never became visible");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            (before, comm.live_count())
+        });
+        for (rank, outcome) in outcomes.iter().enumerate() {
+            if rank == 3 {
+                assert!(outcome.is_dead());
+                continue;
+            }
+            match outcome {
+                RankOutcome::Completed((before, after)) => {
+                    assert_eq!(*before, 4);
+                    assert_eq!(*after, 3);
+                }
+                dead => panic!("rank {rank} died: {dead:?}"),
+            }
         }
     }
 }

@@ -1,0 +1,298 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! A [`FaultPlan`] is a declarative list of failures — kill a rank at a
+//! given round, drop or delay the n-th matching message between two
+//! ranks — that the [`crate::ThreadCluster`] fabric applies while a
+//! program runs. Plans contain no randomness of their own: the same plan
+//! against the same program produces the same failure interleaving, which
+//! is what makes failure *tests* possible. The seeded constructors derive
+//! their choices from a caller-provided seed via a splitmix step, so
+//! randomized fault campaigns are reproducible too.
+
+use std::time::Duration;
+
+/// One injected failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Crash `rank` the first time it polls faults at `round` or later.
+    ///
+    /// The crash is delivered as a panic at the poll site, unwound to the
+    /// fabric boundary, and converted into a dead-rank outcome — the same
+    /// path a genuine panic in rank code takes.
+    KillAtRound {
+        /// Victim rank.
+        rank: usize,
+        /// First round at which the kill fires.
+        round: u64,
+    },
+    /// Silently discard the `nth_match`-th (0-based) message from `from`
+    /// to `to` whose tag matches `tag` (`None` matches any tag).
+    DropMessage {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// Required tag, or `None` for any.
+        tag: Option<u64>,
+        /// Which matching message to drop (0-based).
+        nth_match: u64,
+    },
+    /// Hold the `nth_match`-th matching message for `delay` before it
+    /// becomes receivable.
+    DelayMessage {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// Required tag, or `None` for any.
+        tag: Option<u64>,
+        /// Which matching message to delay (0-based).
+        nth_match: u64,
+        /// How long the message is held.
+        delay: Duration,
+    },
+}
+
+impl FaultEvent {
+    fn matches_send(&self, from: usize, to: usize, tag: u64) -> bool {
+        match self {
+            FaultEvent::DropMessage {
+                from: f,
+                to: t,
+                tag: tg,
+                ..
+            }
+            | FaultEvent::DelayMessage {
+                from: f,
+                to: t,
+                tag: tg,
+                ..
+            } => *f == from && *t == to && tg.map(|x| x == tag).unwrap_or(true),
+            FaultEvent::KillAtRound { .. } => false,
+        }
+    }
+}
+
+/// What the fabric does with an outgoing message after consulting the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendFate {
+    /// Deliver immediately (no fault matched).
+    Deliver,
+    /// Discard silently.
+    Drop,
+    /// Deliver after the duration elapses.
+    Delay(Duration),
+}
+
+/// A reproducible schedule of injected failures.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Build a plan from explicit events.
+    pub fn new(events: Vec<FaultEvent>) -> Self {
+        FaultPlan { events }
+    }
+
+    /// Add an event.
+    pub fn push(&mut self, event: FaultEvent) -> &mut Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Crash `rank` at `round`.
+    pub fn kill_at_round(mut self, rank: usize, round: u64) -> Self {
+        self.events.push(FaultEvent::KillAtRound { rank, round });
+        self
+    }
+
+    /// Drop the `nth`-th message from `from` to `to` (any tag).
+    pub fn drop_message(mut self, from: usize, to: usize, nth: u64) -> Self {
+        self.events.push(FaultEvent::DropMessage {
+            from,
+            to,
+            tag: None,
+            nth_match: nth,
+        });
+        self
+    }
+
+    /// Delay the `nth`-th message from `from` to `to` (any tag).
+    pub fn delay_message(mut self, from: usize, to: usize, nth: u64, delay: Duration) -> Self {
+        self.events.push(FaultEvent::DelayMessage {
+            from,
+            to,
+            tag: None,
+            nth_match: nth,
+            delay,
+        });
+        self
+    }
+
+    /// Whether the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// A reproducible one-victim plan: derive the victim rank and kill
+    /// round from `seed`. `max_round` bounds the kill round (exclusive,
+    /// min 1 so a kill always fires).
+    pub fn seeded_kill(seed: u64, num_ranks: usize, max_round: u64) -> Self {
+        assert!(num_ranks > 0);
+        let a = splitmix(seed);
+        let b = splitmix(a);
+        let rank = (a % num_ranks as u64) as usize;
+        let round = b % max_round.max(1);
+        FaultPlan::none().kill_at_round(rank, round)
+    }
+
+    /// First kill round scheduled for `rank` that has come due by `round`.
+    pub fn kill_due(&self, rank: usize, round: u64) -> Option<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::KillAtRound { rank: r, round: k } if *r == rank && *k <= round => {
+                    Some(*k)
+                }
+                _ => None,
+            })
+            .min()
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mutable runtime view of a plan: per-event match counters, consulted by
+/// the fabric on every send.
+#[derive(Debug)]
+pub(crate) struct FaultRuntime {
+    plan: FaultPlan,
+    /// How many sends have matched each drop/delay event so far.
+    counters: parking_lot::Mutex<Vec<u64>>,
+}
+
+impl FaultRuntime {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let n = plan.events.len();
+        FaultRuntime {
+            plan,
+            counters: parking_lot::Mutex::new(vec![0; n]),
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide the fate of a message. The first matching event whose
+    /// `nth_match` is hit wins; drops shadow delays scheduled later in
+    /// the plan for the same message.
+    pub(crate) fn on_send(&self, from: usize, to: usize, tag: u64) -> SendFate {
+        if self.plan.events.is_empty() {
+            return SendFate::Deliver;
+        }
+        let mut counters = self.counters.lock();
+        let mut fate = SendFate::Deliver;
+        for (i, event) in self.plan.events.iter().enumerate() {
+            if !event.matches_send(from, to, tag) {
+                continue;
+            }
+            let seen = counters[i];
+            counters[i] += 1;
+            if fate != SendFate::Deliver {
+                continue; // already decided; still advance other counters
+            }
+            match event {
+                FaultEvent::DropMessage { nth_match, .. } if seen == *nth_match => {
+                    fate = SendFate::Drop;
+                }
+                FaultEvent::DelayMessage {
+                    nth_match, delay, ..
+                } if seen == *nth_match => {
+                    fate = SendFate::Delay(*delay);
+                }
+                _ => {}
+            }
+        }
+        fate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_kill_is_reproducible_and_in_range() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::seeded_kill(seed, 4, 10);
+            let b = FaultPlan::seeded_kill(seed, 4, 10);
+            assert_eq!(a, b);
+            match a.events()[0] {
+                FaultEvent::KillAtRound { rank, round } => {
+                    assert!(rank < 4);
+                    assert!(round < 10);
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn kill_due_fires_at_and_after_round() {
+        let plan = FaultPlan::none().kill_at_round(2, 5);
+        assert_eq!(plan.kill_due(2, 4), None);
+        assert_eq!(plan.kill_due(2, 5), Some(5));
+        assert_eq!(plan.kill_due(2, 9), Some(5));
+        assert_eq!(plan.kill_due(1, 9), None);
+    }
+
+    #[test]
+    fn runtime_counts_matches_per_event() {
+        let plan = FaultPlan::none().drop_message(0, 1, 1).delay_message(
+            0,
+            1,
+            2,
+            Duration::from_millis(50),
+        );
+        let rt = FaultRuntime::new(plan);
+        assert_eq!(rt.on_send(0, 1, 7), SendFate::Deliver); // match #0
+        assert_eq!(rt.on_send(1, 0, 7), SendFate::Deliver); // no match
+        assert_eq!(rt.on_send(0, 1, 8), SendFate::Drop); // match #1
+        assert_eq!(
+            rt.on_send(0, 1, 9),
+            SendFate::Delay(Duration::from_millis(50)) // match #2
+        );
+        assert_eq!(rt.on_send(0, 1, 9), SendFate::Deliver); // match #3
+    }
+
+    #[test]
+    fn tag_filters_restrict_matches() {
+        let plan = FaultPlan::new(vec![FaultEvent::DropMessage {
+            from: 0,
+            to: 1,
+            tag: Some(42),
+            nth_match: 0,
+        }]);
+        let rt = FaultRuntime::new(plan);
+        assert_eq!(rt.on_send(0, 1, 41), SendFate::Deliver);
+        assert_eq!(rt.on_send(0, 1, 42), SendFate::Drop);
+    }
+}

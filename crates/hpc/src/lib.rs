@@ -25,13 +25,22 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+//!
+//! For robustness work the fabric also simulates an *unreliable* cluster:
+//! [`FaultPlan`] injects deterministic message drops/delays and rank
+//! kills, receives are deadline-bounded ([`CommError`]), and
+//! [`ThreadCluster::run_with_faults`] converts rank panics into
+//! [`RankOutcome::Died`] while survivors keep running.
+
 pub mod comm;
+pub mod fault;
 pub mod gpu;
 pub mod perf;
 pub mod rngstream;
 pub mod scaling;
 
-pub use comm::{Communicator, ThreadCluster};
+pub use comm::{CommError, Communicator, RankOutcome, SimulatedCrash, ThreadCluster};
+pub use fault::{FaultEvent, FaultPlan, SendFate};
 pub use gpu::GpuSpec;
 pub use perf::{CostBreakdown, PerfModel, WorkloadShape};
 pub use rngstream::rank_rng;

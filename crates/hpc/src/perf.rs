@@ -62,7 +62,10 @@ pub struct CostBreakdown {
 impl CostBreakdown {
     /// Total seconds per iteration.
     pub fn total(&self) -> f64 {
-        self.energy_eval_s + self.nn_inference_s + self.training_s + self.exchange_s
+        self.energy_eval_s
+            + self.nn_inference_s
+            + self.training_s
+            + self.exchange_s
             + self.allreduce_s
     }
 
@@ -106,8 +109,7 @@ impl PerfModel {
     pub fn nn_inference_time(&self) -> f64 {
         let s = &self.shape;
         let deep_moves = s.moves_per_iteration as f64 * s.deep_fraction;
-        let flops =
-            deep_moves * 2.0 * s.deep_update_sites as f64 * 2.0 * s.net_params as f64;
+        let flops = deep_moves * 2.0 * s.deep_update_sites as f64 * 2.0 * s.net_params as f64;
         flops / self.gpu.effective_flops()
     }
 

@@ -33,7 +33,9 @@ mod tests {
     fn different_ranks_are_different_streams() {
         let mut a = rank_rng(42, 0);
         let mut b = rank_rng(42, 1);
-        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 

@@ -19,7 +19,11 @@ pub struct ScalingRow {
 
 /// Weak scaling: one walker (fixed workload) per GPU; the iteration time
 /// grows only through collectives. Efficiency = T(1-ish)/T(p).
-pub fn weak_scaling_table(gpu: &GpuSpec, shape: &WorkloadShape, ranks: &[usize]) -> Vec<ScalingRow> {
+pub fn weak_scaling_table(
+    gpu: &GpuSpec,
+    shape: &WorkloadShape,
+    ranks: &[usize],
+) -> Vec<ScalingRow> {
     assert!(!ranks.is_empty());
     let model = PerfModel::new(gpu.clone(), shape.clone());
     let base = model.iteration(ranks[0]).total();
@@ -81,11 +85,7 @@ mod tests {
 
     #[test]
     fn weak_scaling_efficiency_declines_gracefully() {
-        let rows = weak_scaling_table(
-            &GpuSpec::v100(),
-            &WorkloadShape::paper_default(),
-            &RANKS,
-        );
+        let rows = weak_scaling_table(&GpuSpec::v100(), &WorkloadShape::paper_default(), &RANKS);
         assert_eq!(rows.len(), 6);
         assert!((rows[0].efficiency - 1.0).abs() < 1e-12);
         for w in rows.windows(2) {

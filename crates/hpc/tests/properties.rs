@@ -2,7 +2,9 @@
 //! MPI counterparts under arbitrary payloads and rank counts, and the
 //! performance model respects its structural invariants.
 
-use dt_hpc::{rank_rng, strong_scaling_table, weak_scaling_table, GpuSpec, ThreadCluster, WorkloadShape};
+use dt_hpc::{
+    rank_rng, strong_scaling_table, weak_scaling_table, GpuSpec, ThreadCluster, WorkloadShape,
+};
 use proptest::prelude::*;
 
 proptest! {

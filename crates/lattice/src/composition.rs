@@ -144,7 +144,8 @@ pub fn ln_factorial(n: usize) -> f64 {
     }
     let x = (n + 1) as f64;
     let inv = 1.0 / x;
-    (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
+    (x - 0.5) * x.ln() - x
+        + 0.5 * (2.0 * std::f64::consts::PI).ln()
         + inv * (1.0 / 12.0 - inv * inv * (1.0 / 360.0 - inv * inv / 1260.0))
 }
 

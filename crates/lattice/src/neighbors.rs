@@ -82,10 +82,7 @@ impl NeighborTable {
         d2s.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
         let mut shells_d2: Vec<f64> = Vec::new();
         for d2 in d2s {
-            if shells_d2
-                .last()
-                .is_none_or(|&last| d2 > last + SHELL_TOL)
-            {
+            if shells_d2.last().is_none_or(|&last| d2 > last + SHELL_TOL) {
                 shells_d2.push(d2);
             }
         }
@@ -202,9 +199,8 @@ impl NeighborTable {
 
     /// Iterate over all directed pairs `(i, j)` of `shell`.
     pub fn pairs(&self, shell: usize) -> impl Iterator<Item = (SiteId, SiteId)> + '_ {
-        (0..self.num_sites as SiteId).flat_map(move |i| {
-            self.neighbors(i, shell).iter().map(move |&j| (i, j))
-        })
+        (0..self.num_sites as SiteId)
+            .flat_map(move |i| self.neighbors(i, shell).iter().map(move |&j| (i, j)))
     }
 
     /// Approximate heap size in bytes (used by the HPC performance model to

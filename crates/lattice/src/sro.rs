@@ -26,11 +26,7 @@ pub struct WarrenCowley {
 
 impl WarrenCowley {
     /// Compute all Warren–Cowley parameters of a configuration.
-    pub fn compute(
-        config: &Configuration,
-        neighbors: &NeighborTable,
-        comp: &Composition,
-    ) -> Self {
+    pub fn compute(config: &Configuration, neighbors: &NeighborTable, comp: &Composition) -> Self {
         let m = comp.num_species();
         let fracs = comp.fractions();
         let mut alpha = Vec::with_capacity(neighbors.num_shells());

@@ -90,7 +90,11 @@ mod tests {
 
     #[test]
     fn basis_positions_are_fractional() {
-        for s in [Structure::bcc(), Structure::fcc(), Structure::simple_cubic()] {
+        for s in [
+            Structure::bcc(),
+            Structure::fcc(),
+            Structure::simple_cubic(),
+        ] {
             for p in s.basis() {
                 for &x in p {
                     assert!((0.0..1.0).contains(&x));

@@ -101,11 +101,7 @@ impl Supercell {
     pub fn position(&self, site: SiteId) -> [f64; 3] {
         let (x, y, z, b) = self.decompose(site);
         let base = self.structure.basis()[b];
-        [
-            x as f64 + base[0],
-            y as f64 + base[1],
-            z as f64 + base[2],
-        ]
+        [x as f64 + base[0], y as f64 + base[1], z as f64 + base[2]]
     }
 
     /// Build a shell-resolved neighbor table with `num_shells` coordination

@@ -59,7 +59,10 @@ pub fn blocking_error(series: &[f64], num_blocks: usize) -> Option<f64> {
         })
         .collect();
     let grand = means.iter().sum::<f64>() / num_blocks as f64;
-    let var = means.iter().map(|&m| (m - grand) * (m - grand)).sum::<f64>()
+    let var = means
+        .iter()
+        .map(|&m| (m - grand) * (m - grand))
+        .sum::<f64>()
         / (num_blocks as f64 - 1.0);
     Some((var / num_blocks as f64).sqrt())
 }
@@ -120,14 +123,10 @@ mod tests {
         let series = ar1(0.0, 16_384, 4);
         let n = series.len() as f64;
         let mean = series.iter().sum::<f64>() / n;
-        let sd =
-            (series.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)).sqrt();
+        let sd = (series.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)).sqrt();
         let sem = sd / n.sqrt();
         let be = blocking_error(&series, 32).unwrap();
-        assert!(
-            (be - sem).abs() < sem,
-            "blocking {be} vs naive sem {sem}"
-        );
+        assert!((be - sem).abs() < sem, "blocking {be} vs naive sem {sem}");
     }
 
     #[test]

@@ -189,12 +189,7 @@ mod tests {
     use dt_lattice::{Composition, Structure, Supercell};
     use dt_proposal::LocalSwap;
 
-    fn system() -> (
-        Supercell,
-        NeighborTable,
-        Composition,
-        PairHamiltonian,
-    ) {
+    fn system() -> (Supercell, NeighborTable, Composition, PairHamiltonian) {
         let cell = Supercell::cubic(Structure::bcc(), 2);
         let nt = cell.neighbor_table(1);
         let comp = Composition::equiatomic(2, cell.num_sites()).unwrap();
@@ -216,8 +211,7 @@ mod tests {
             neighbors: &nt,
             composition: &comp,
         };
-        let mut sampler =
-            MetropolisSampler::new(t, config, &h, &nt, Box::new(LocalSwap::new()), 1);
+        let mut sampler = MetropolisSampler::new(t, config, &h, &nt, Box::new(LocalSwap::new()), 1);
         let stats = sampler.run(&h, &nt, &ctx, 200, 4000, 2, |_, _| {});
         assert!(
             (stats.mean_energy - exact_u).abs() < 0.01,
@@ -276,8 +270,7 @@ mod tests {
         for (i, t) in [5000.0, 500.0, 100.0].into_iter().enumerate() {
             let mut rng = ChaCha8Rng::seed_from_u64(10 + i as u64);
             let config = Configuration::random(&comp, &mut rng);
-            let mut s =
-                MetropolisSampler::new(t, config, &h, &nt, Box::new(LocalSwap::new()), 20);
+            let mut s = MetropolisSampler::new(t, config, &h, &nt, Box::new(LocalSwap::new()), 20);
             let _ = s.run(&h, &nt, &ctx, 100, 300, 1, |_, _| {});
             rates.push(s.stats().acceptance("local-swap").unwrap());
         }
@@ -290,8 +283,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let c1 = Configuration::random(&comp, &mut rng);
         let c2 = Configuration::random(&comp, &mut rng);
-        let mut s1 = MetropolisSampler::new(100.0, c1.clone(), &h, &nt, Box::new(LocalSwap::new()), 1);
-        let mut s2 = MetropolisSampler::new(200.0, c2.clone(), &h, &nt, Box::new(LocalSwap::new()), 2);
+        let mut s1 =
+            MetropolisSampler::new(100.0, c1.clone(), &h, &nt, Box::new(LocalSwap::new()), 1);
+        let mut s2 =
+            MetropolisSampler::new(200.0, c2.clone(), &h, &nt, Box::new(LocalSwap::new()), 2);
         s1.swap_state_with(&mut s2);
         assert_eq!(s1.config(), &c2);
         assert_eq!(s2.config(), &c1);

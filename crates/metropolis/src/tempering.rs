@@ -66,7 +66,8 @@ impl ParallelTempering {
                     model,
                     neighbors,
                     Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>,
-                    seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    seed.wrapping_add(i as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 )
             })
             .collect::<Vec<_>>();
@@ -167,12 +168,7 @@ mod tests {
     use dt_hamiltonian::{exact::ExactDos, PairHamiltonian, KB_EV_PER_K};
     use dt_lattice::{Composition, Structure, Supercell};
 
-    fn system() -> (
-        Supercell,
-        NeighborTable,
-        Composition,
-        PairHamiltonian,
-    ) {
+    fn system() -> (Supercell, NeighborTable, Composition, PairHamiltonian) {
         let cell = Supercell::cubic(Structure::bcc(), 2);
         let nt = cell.neighbor_table(1);
         let comp = Composition::equiatomic(2, cell.num_sites()).unwrap();

@@ -147,7 +147,7 @@ fn deep_kernel_beats_local_acceptance_after_training_here_too() {
     );
     eq.run(&h, &nt, &ctx, 300, 400, 4, |c, e| buffer.push(c.clone(), e));
 
-    let mut acc = |kern: Box<dyn ProposalKernel>| -> f64 {
+    let acc = |kern: Box<dyn ProposalKernel>| -> f64 {
         let mut s = MetropolisSampler::new(t, eq.config().clone(), &h, &nt, kern, 9);
         for _ in 0..3000 {
             s.step(&h, &nt, &ctx);

@@ -250,8 +250,7 @@ mod tests {
     fn he_init_scale_is_reasonable() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let l = Linear::new(100, 50, &mut rng);
-        let var: f64 =
-            l.w.data().iter().map(|&v| v * v).sum::<f64>() / l.w.data().len() as f64;
+        let var: f64 = l.w.data().iter().map(|&v| v * v).sum::<f64>() / l.w.data().len() as f64;
         assert!((var - 0.02).abs() < 0.005, "He variance 2/100, got {var}");
         assert!(l.b.iter().all(|&b| b == 0.0));
     }

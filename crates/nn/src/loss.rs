@@ -63,7 +63,13 @@ pub fn log_softmax_masked(logits: &[f64], mask: Option<&[bool]>) -> Vec<f64> {
     logits
         .iter()
         .enumerate()
-        .map(|(i, &v)| if allowed(i) { v - lse } else { f64::NEG_INFINITY })
+        .map(|(i, &v)| {
+            if allowed(i) {
+                v - lse
+            } else {
+                f64::NEG_INFINITY
+            }
+        })
         .collect()
 }
 

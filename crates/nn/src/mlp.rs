@@ -179,7 +179,8 @@ impl Mlp {
         let mut offset = 0;
         for l in &mut self.layers {
             let wlen = l.w.data().len();
-            l.w.data_mut().copy_from_slice(&params[offset..offset + wlen]);
+            l.w.data_mut()
+                .copy_from_slice(&params[offset..offset + wlen]);
             offset += wlen;
             let blen = l.b.len();
             l.b.copy_from_slice(&params[offset..offset + blen]);

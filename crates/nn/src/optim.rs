@@ -167,7 +167,12 @@ mod tests {
 
     fn train(opt_is_adam: bool, steps: usize) -> f64 {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let mut mlp = Mlp::new(&[2, 12, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let mut mlp = Mlp::new(
+            &[2, 12, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
         // XOR-ish continuous target: y = x0 * x1.
         let x = Matrix::from_rows(&[
             &[-1.0, -1.0],
@@ -177,11 +182,7 @@ mod tests {
             &[0.5, 0.5],
             &[-0.5, 0.5],
         ]);
-        let y = Matrix::from_vec(
-            6,
-            1,
-            x.data().chunks(2).map(|p| p[0] * p[1]).collect(),
-        );
+        let y = Matrix::from_vec(6, 1, x.data().chunks(2).map(|p| p[0] * p[1]).collect());
         let mut sgd = Sgd::with_momentum(0.05, 0.9);
         let mut adam = Adam::with_lr(0.01);
         let mut last = 0.0;
@@ -223,7 +224,12 @@ mod tests {
         // With bias correction, |Δw| ≈ lr on the first step regardless of
         // gradient magnitude.
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let mut mlp = Mlp::new(&[1, 1], Activation::Identity, Activation::Identity, &mut rng);
+        let mut mlp = Mlp::new(
+            &[1, 1],
+            Activation::Identity,
+            Activation::Identity,
+            &mut rng,
+        );
         let w0 = mlp.layers()[0].w[(0, 0)];
         let x = Matrix::from_rows(&[&[1000.0]]);
         let out = mlp.forward_train(&x);

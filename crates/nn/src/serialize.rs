@@ -201,11 +201,7 @@ mod tests {
     #[test]
     fn rejects_bad_bits() {
         let mut text = save_mlp(&sample_mlp());
-        text = text.replacen(
-            text.lines().nth(4).unwrap(),
-            "zzzznotvalidhex!",
-            1,
-        );
+        text = text.replacen(text.lines().nth(4).unwrap(), "zzzznotvalidhex!", 1);
         assert!(matches!(load_mlp(&text), Err(NnFormatError::Malformed(_))));
     }
 }

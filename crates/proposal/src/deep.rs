@@ -564,7 +564,10 @@ mod tests {
         );
         // Neighbor histograms normalize to <= 1 per shell.
         let shell0: f64 = out[0..4].iter().sum();
-        assert!((shell0 - 1.0).abs() < 1e-12, "all decided: fractions sum to 1");
+        assert!(
+            (shell0 - 1.0).abs() < 1e-12,
+            "all decided: fractions sum to 1"
+        );
         assert_eq!(out[8], 0.0, "no undecided neighbors");
     }
 
@@ -580,11 +583,6 @@ mod tests {
             .filter(|&s| config.species_at(s) == Species(0))
             .take(2)
             .collect();
-        let _ = kern.log_prob_of_reassignment(
-            &config,
-            &nt,
-            &sites,
-            &[Species(1), Species(1)],
-        );
+        let _ = kern.log_prob_of_reassignment(&config, &nt, &sites, &[Species(1), Species(1)]);
     }
 }

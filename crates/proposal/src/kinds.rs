@@ -133,10 +133,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut c = Configuration::random(&comp, &mut rng);
         let before = c.species().to_vec();
-        apply_move(
-            &mut c,
-            &ProposedMove::Swap { a: 0, b: 3 },
-        );
+        apply_move(&mut c, &ProposedMove::Swap { a: 0, b: 3 });
         assert_eq!(c.species_at(0), before[3]);
         assert_eq!(c.species_at(3), before[0]);
 

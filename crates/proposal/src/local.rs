@@ -146,12 +146,7 @@ impl RandomReassign {
 }
 
 /// Choose `k` distinct sites uniformly (partial Fisher–Yates), ascending.
-pub(crate) fn sample_distinct_sites(
-    n: usize,
-    k: usize,
-    buf: &mut Vec<SiteId>,
-    rng: &mut dyn Rng,
-) {
+pub(crate) fn sample_distinct_sites(n: usize, k: usize, buf: &mut Vec<SiteId>, rng: &mut dyn Rng) {
     assert!(k <= n, "cannot choose {k} distinct sites from {n}");
     buf.clear();
     buf.extend(0..n as SiteId);
@@ -286,7 +281,7 @@ mod tests {
     fn sample_distinct_sites_is_uniformish() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let mut buf = Vec::new();
-        let mut hits = vec![0u32; 10];
+        let mut hits = [0u32; 10];
         for _ in 0..20_000 {
             sample_distinct_sites(10, 3, &mut buf, &mut rng);
             for &s in &buf {

@@ -24,6 +24,22 @@ impl MoveStats {
         }
     }
 
+    /// Record `proposed` proposals of which `accepted` were accepted, in
+    /// one step — used when reconstructing statistics from serialized
+    /// counters, where replaying `record` per move would be O(count).
+    ///
+    /// # Panics
+    /// Panics when `accepted > proposed`.
+    pub fn record_n(&mut self, kernel: &str, proposed: u64, accepted: u64) {
+        assert!(
+            accepted <= proposed,
+            "{kernel}: accepted {accepted} > proposed {proposed}"
+        );
+        let entry = self.counts.entry(kernel.to_string()).or_insert((0, 0));
+        entry.0 += proposed;
+        entry.1 += accepted;
+    }
+
     /// `(proposed, accepted)` for a kernel, zero if unseen.
     pub fn counts(&self, kernel: &str) -> (u64, u64) {
         self.counts.get(kernel).copied().unwrap_or((0, 0))

@@ -284,9 +284,7 @@ mod tests {
                 configs_per_batch: 4,
             },
         );
-        let first = trainer
-            .train_epoch(&mut net, &buf, &nt, &mut rng)
-            .unwrap();
+        let first = trainer.train_epoch(&mut net, &buf, &nt, &mut rng).unwrap();
         let mut last = first;
         for _ in 0..40 {
             last = trainer.train_epoch(&mut net, &buf, &nt, &mut rng).unwrap();

@@ -1,0 +1,703 @@
+//! Cluster-level checkpoint/restart for REWL runs.
+//!
+//! Production REWL campaigns on real machines outlive node failures by
+//! periodically persisting every rank's state and restarting from the
+//! newest *consistent* snapshot. This module provides the three pieces:
+//!
+//! * [`RankCheckpoint`] — one rank's full resumable state: the embedded
+//!   [`WalkerCheckpoint`] plus the driver-level counters a plain walker
+//!   snapshot does not know about (exchange counters, RNG stream
+//!   position, deep-proposal weights, the SRO accumulator);
+//! * [`RunManifest`] — the per-round commit record rank 0 writes *after*
+//!   every surviving rank has persisted its file. A manifest names the
+//!   round, a digest of the run configuration, and the set of ranks that
+//!   contributed — a snapshot without its manifest is treated as
+//!   non-existent, which makes the write protocol crash-consistent;
+//! * [`load_resume_point`] — the recovery scan: newest manifest whose
+//!   digest matches and whose listed rank files all decode wins; ranks
+//!   absent from it (they were already dead at checkpoint time) fall back
+//!   to their own newest earlier file, or to a fresh start.
+//!
+//! All files are written to a temporary name and atomically renamed into
+//! place, so a crash mid-write can never corrupt an existing snapshot.
+//! The formats are versioned line-oriented text with hex-encoded IEEE-754
+//! (like `dt-nn`'s model format), so restores are bit-exact.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use dt_proposal::MoveStats;
+use dt_wanglandau::WalkerCheckpoint;
+
+use crate::driver::RewlConfig;
+
+/// Format version of both the manifest and the rank file.
+const VERSION: u32 = 1;
+
+/// Where and how often a REWL run checkpoints itself.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Directory holding manifests and rank files (created on demand).
+    pub dir: PathBuf,
+    /// Snapshot every this many exchange rounds.
+    pub every_rounds: u64,
+}
+
+impl CheckpointSpec {
+    /// Checkpoint into `dir` every 10 rounds.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointSpec {
+            dir: dir.into(),
+            every_rounds: 10,
+        }
+    }
+
+    /// Override the snapshot cadence.
+    ///
+    /// # Panics
+    /// Panics when `every_rounds == 0`.
+    pub fn every_rounds(mut self, every_rounds: u64) -> Self {
+        assert!(every_rounds > 0, "checkpoint cadence must be positive");
+        self.every_rounds = every_rounds;
+        self
+    }
+}
+
+/// Errors from checkpoint persistence.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Header missing or wrong version.
+    BadHeader,
+    /// A field was malformed or missing.
+    Malformed(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint io: {e}"),
+            CkptError::BadHeader => write!(f, "bad checkpoint header"),
+            CkptError::Malformed(w) => write!(f, "malformed checkpoint: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<io::Error> for CkptError {
+    fn from(e: io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+fn malformed(what: impl Into<String>) -> CkptError {
+    CkptError::Malformed(what.into())
+}
+
+/// One rank's complete resumable state at a checkpoint round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankCheckpoint {
+    /// Exchange attempts so far (initiator side).
+    pub exchange_attempts: u64,
+    /// Accepted exchanges so far.
+    pub exchange_accepted: u64,
+    /// Sweeps executed so far.
+    pub sweeps: u64,
+    /// Sweeps since the last flatness check.
+    pub sweeps_since_check: u64,
+    /// The walker RNG's stream position (restored with `set_word_pos` on
+    /// the same per-rank seed, so the stream continues bit-exactly).
+    pub rng_word_pos: u128,
+    /// Flattened deep-proposal weights, when the run uses a deep kernel.
+    pub deep_params: Option<Vec<f64>>,
+    /// Acceptance statistics by kernel.
+    pub stats: MoveStats,
+    /// Observable dimension of the SRO accumulator.
+    pub obs_dim: usize,
+    /// Per-bin SRO observation totals (`bins · obs_dim` values).
+    pub sro_sums: Vec<f64>,
+    /// Per-bin SRO observation counts.
+    pub sro_counts: Vec<u64>,
+    /// The Wang–Landau walker snapshot.
+    pub walker: WalkerCheckpoint,
+}
+
+fn hex_f64s(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{:016x}", v.to_bits()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn parse_hex_f64s(text: &str) -> Result<Vec<f64>, CkptError> {
+    text.split_whitespace()
+        .map(|tok| {
+            u64::from_str_radix(tok, 16)
+                .map(f64::from_bits)
+                .map_err(|_| malformed(format!("bad f64: {tok}")))
+        })
+        .collect()
+}
+
+fn expect_line<'a>(lines: &mut std::str::Lines<'a>, name: &str) -> Result<&'a str, CkptError> {
+    let line = lines
+        .next()
+        .ok_or_else(|| malformed(format!("missing {name}")))?;
+    line.strip_prefix(name)
+        .map(str::trim_start)
+        .ok_or_else(|| malformed(format!("expected {name} line")))
+}
+
+impl RankCheckpoint {
+    /// Serialize to the versioned text format.
+    pub fn encode(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "dtrewlrank v{VERSION}").expect("write");
+        writeln!(
+            s,
+            "counters {} {} {} {}",
+            self.exchange_attempts, self.exchange_accepted, self.sweeps, self.sweeps_since_check
+        )
+        .expect("write");
+        writeln!(s, "rng {:032x}", self.rng_word_pos).expect("write");
+        match &self.deep_params {
+            Some(p) => writeln!(s, "deep {}", hex_f64s(p)).expect("write"),
+            None => writeln!(s, "deep -").expect("write"),
+        }
+        let entries: Vec<_> = self.stats.iter().collect();
+        writeln!(s, "stats {}", entries.len()).expect("write");
+        for (name, p, a) in entries {
+            writeln!(s, "{name} {p} {a}").expect("write");
+        }
+        writeln!(s, "sro {} {}", self.sro_counts.len(), self.obs_dim).expect("write");
+        writeln!(s, "sums {}", hex_f64s(&self.sro_sums)).expect("write");
+        writeln!(
+            s,
+            "counts {}",
+            self.sro_counts
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        )
+        .expect("write");
+        writeln!(s, "walker").expect("write");
+        s.push_str(&self.walker.encode());
+        s
+    }
+
+    /// Restore from [`RankCheckpoint::encode`] output.
+    ///
+    /// # Errors
+    /// [`CkptError`] on structural problems.
+    pub fn decode(text: &str) -> Result<Self, CkptError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or(CkptError::BadHeader)?;
+        if header != format!("dtrewlrank v{VERSION}") {
+            return Err(CkptError::BadHeader);
+        }
+        let counters = expect_line(&mut lines, "counters")?;
+        let nums: Vec<u64> = counters
+            .split_whitespace()
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| malformed(format!("bad counter: {v}")))
+            })
+            .collect::<Result<_, _>>()?;
+        if nums.len() != 4 {
+            return Err(malformed("counters needs 4 fields"));
+        }
+        let rng_word_pos = u128::from_str_radix(expect_line(&mut lines, "rng")?, 16)
+            .map_err(|_| malformed("bad rng position"))?;
+        let deep = expect_line(&mut lines, "deep")?;
+        let deep_params = if deep == "-" {
+            None
+        } else {
+            Some(parse_hex_f64s(deep)?)
+        };
+        let num_kernels: usize = expect_line(&mut lines, "stats")?
+            .parse()
+            .map_err(|_| malformed("bad stats count"))?;
+        let mut stats = MoveStats::new();
+        for _ in 0..num_kernels {
+            let line = lines
+                .next()
+                .ok_or_else(|| malformed("missing stats entry"))?;
+            let mut parts = line.split_whitespace();
+            let name = parts.next().ok_or_else(|| malformed("stats kernel name"))?;
+            let p: u64 = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| malformed("stats proposed"))?;
+            let a: u64 = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| malformed("stats accepted"))?;
+            if a > p {
+                return Err(malformed(format!("{name}: accepted {a} > proposed {p}")));
+            }
+            stats.record_n(name, p, a);
+        }
+        let sro = expect_line(&mut lines, "sro")?;
+        let mut sro_parts = sro.split_whitespace();
+        let bins: usize = sro_parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| malformed("sro bins"))?;
+        let obs_dim: usize = sro_parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| malformed("sro obs_dim"))?;
+        let sro_sums = parse_hex_f64s(expect_line(&mut lines, "sums")?)?;
+        let sro_counts: Vec<u64> = expect_line(&mut lines, "counts")?
+            .split_whitespace()
+            .map(|v| v.parse().map_err(|_| malformed(format!("bad count: {v}"))))
+            .collect::<Result<_, _>>()?;
+        if sro_sums.len() != bins * obs_dim || sro_counts.len() != bins {
+            return Err(malformed("sro shape mismatch"));
+        }
+        let walker_marker = lines.next().ok_or_else(|| malformed("missing walker"))?;
+        if walker_marker != "walker" {
+            return Err(malformed("expected walker marker"));
+        }
+        let walker_text: String = lines.collect::<Vec<_>>().join("\n");
+        let walker = WalkerCheckpoint::decode(&walker_text)
+            .map_err(|e| malformed(format!("embedded walker: {e}")))?;
+        Ok(RankCheckpoint {
+            exchange_attempts: nums[0],
+            exchange_accepted: nums[1],
+            sweeps: nums[2],
+            sweeps_since_check: nums[3],
+            rng_word_pos,
+            deep_params,
+            stats,
+            obs_dim,
+            sro_sums,
+            sro_counts,
+            walker,
+        })
+    }
+
+    /// Persist atomically as `dir/walker-<round>-<rank>.txt`.
+    ///
+    /// # Errors
+    /// Propagates filesystem failures.
+    pub fn write(&self, dir: &Path, round: u64, rank: usize) -> Result<(), CkptError> {
+        write_atomic(&rank_path(dir, round, rank), &self.encode())?;
+        Ok(())
+    }
+
+    /// Load `dir/walker-<round>-<rank>.txt`.
+    ///
+    /// # Errors
+    /// [`CkptError`] on missing, unreadable, or malformed files.
+    pub fn load(dir: &Path, round: u64, rank: usize) -> Result<Self, CkptError> {
+        let text = fs::read_to_string(rank_path(dir, round, rank))?;
+        RankCheckpoint::decode(&text)
+    }
+}
+
+/// The commit record of one cluster snapshot. A snapshot exists iff its
+/// manifest exists: rank 0 writes the manifest only after every surviving
+/// rank confirmed its rank file is on disk (write-data-then-commit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// Exchange round the snapshot was taken at (start of round).
+    pub round: u64,
+    /// Total ranks of the run (`M · W`), dead or alive.
+    pub ranks: usize,
+    /// Digest of the run configuration (see [`config_digest`]).
+    pub digest: u64,
+    /// Which ranks contributed a rank file to this snapshot.
+    pub alive: Vec<bool>,
+}
+
+impl RunManifest {
+    /// Serialize to the versioned text format.
+    pub fn encode(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "dtrewl v{VERSION}").expect("write");
+        writeln!(s, "round {}", self.round).expect("write");
+        writeln!(s, "ranks {}", self.ranks).expect("write");
+        writeln!(s, "digest {:016x}", self.digest).expect("write");
+        let alive: String = self
+            .alive
+            .iter()
+            .map(|&a| if a { '1' } else { '0' })
+            .collect();
+        writeln!(s, "alive {alive}").expect("write");
+        s
+    }
+
+    /// Restore from [`RunManifest::encode`] output.
+    ///
+    /// # Errors
+    /// [`CkptError`] on structural problems.
+    pub fn decode(text: &str) -> Result<Self, CkptError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or(CkptError::BadHeader)?;
+        if header != format!("dtrewl v{VERSION}") {
+            return Err(CkptError::BadHeader);
+        }
+        let round: u64 = expect_line(&mut lines, "round")?
+            .parse()
+            .map_err(|_| malformed("bad round"))?;
+        let ranks: usize = expect_line(&mut lines, "ranks")?
+            .parse()
+            .map_err(|_| malformed("bad ranks"))?;
+        let digest = u64::from_str_radix(expect_line(&mut lines, "digest")?, 16)
+            .map_err(|_| malformed("bad digest"))?;
+        let alive: Vec<bool> = expect_line(&mut lines, "alive")?
+            .chars()
+            .map(|c| c == '1')
+            .collect();
+        if alive.len() != ranks {
+            return Err(malformed("alive mask length mismatch"));
+        }
+        Ok(RunManifest {
+            round,
+            ranks,
+            digest,
+            alive,
+        })
+    }
+
+    /// Persist atomically as `dir/manifest-<round>.txt`.
+    ///
+    /// # Errors
+    /// Propagates filesystem failures.
+    pub fn write(&self, dir: &Path) -> Result<(), CkptError> {
+        write_atomic(&manifest_path(dir, self.round), &self.encode())?;
+        Ok(())
+    }
+}
+
+/// Path of a rank file within a checkpoint directory.
+pub fn rank_path(dir: &Path, round: u64, rank: usize) -> PathBuf {
+    dir.join(format!("walker-{round:012}-{rank:04}.txt"))
+}
+
+/// Path of a manifest within a checkpoint directory.
+pub fn manifest_path(dir: &Path, round: u64) -> PathBuf {
+    dir.join(format!("manifest-{round:012}.txt"))
+}
+
+/// Write `contents` to `path` via a temporary sibling and an atomic
+/// rename, so readers never observe a half-written file.
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+/// Digest of the configuration fields that determine checkpoint
+/// compatibility. Deliberately EXCLUDES `max_sweeps`, `faults`, and
+/// `checkpoint` so a resumed run may extend its sweep budget, change the
+/// injected-fault plan, or move the checkpoint directory; everything that
+/// shapes rank state (windows, bins, seeds, kernels, schedules) is in.
+pub fn config_digest(cfg: &RewlConfig) -> u64 {
+    let stable = format!(
+        "M={} W={} overlap={:016x} bins={} wl={:?} exch={} obs={} seed={} kernel={:?}",
+        cfg.num_windows,
+        cfg.walkers_per_window,
+        cfg.overlap.to_bits(),
+        cfg.num_bins,
+        cfg.wl,
+        cfg.exchange_every_sweeps,
+        cfg.observe_every_sweeps,
+        cfg.seed,
+        cfg.kernel,
+    );
+    fnv1a(stable.as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The state a resumed run starts from: a committed round plus each
+/// rank's restored state (`None` ⇒ that rank starts fresh).
+#[derive(Debug)]
+pub struct ResumePoint {
+    /// Round the winning manifest was committed at.
+    pub round: u64,
+    /// Per-rank restored state.
+    pub ranks: Vec<Option<RankCheckpoint>>,
+}
+
+/// All committed manifest rounds in `dir`, newest first. Unreadable or
+/// foreign files are ignored.
+fn manifest_rounds(dir: &Path) -> Vec<u64> {
+    let mut rounds = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return rounds;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(stem) = name
+            .strip_prefix("manifest-")
+            .and_then(|s| s.strip_suffix(".txt"))
+        {
+            if let Ok(round) = stem.parse::<u64>() {
+                rounds.push(round);
+            }
+        }
+    }
+    rounds.sort_unstable_by(|a, b| b.cmp(a));
+    rounds
+}
+
+/// Newest round (≤ `max_round`) at which `rank` has a decodable rank
+/// file — the fallback for ranks missing from the winning manifest.
+fn newest_rank_checkpoint(
+    dir: &Path,
+    rank: usize,
+    max_round: u64,
+) -> Option<(u64, RankCheckpoint)> {
+    let mut rounds = Vec::new();
+    let entries = fs::read_dir(dir).ok()?;
+    let suffix = format!("-{rank:04}.txt");
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(stem) = name
+            .strip_prefix("walker-")
+            .and_then(|s| s.strip_suffix(&suffix))
+        {
+            if let Ok(round) = stem.parse::<u64>() {
+                if round <= max_round {
+                    rounds.push(round);
+                }
+            }
+        }
+    }
+    rounds.sort_unstable_by(|a, b| b.cmp(a));
+    for round in rounds {
+        if let Ok(cp) = RankCheckpoint::load(dir, round, rank) {
+            return Some((round, cp));
+        }
+    }
+    None
+}
+
+/// Scan `dir` for the newest *consistent* snapshot: a manifest whose
+/// digest and rank count match this run and whose every listed rank file
+/// decodes. Inconsistent or partially-corrupt snapshots are skipped in
+/// favor of older ones. Ranks the manifest lists as dead are restored
+/// from their own newest earlier file when one survives, else `None`.
+pub fn load_resume_point(dir: &Path, digest: u64, num_ranks: usize) -> Option<ResumePoint> {
+    'manifests: for round in manifest_rounds(dir) {
+        let Ok(text) = fs::read_to_string(manifest_path(dir, round)) else {
+            continue;
+        };
+        let Ok(manifest) = RunManifest::decode(&text) else {
+            continue;
+        };
+        if manifest.digest != digest || manifest.ranks != num_ranks || manifest.round != round {
+            continue;
+        }
+        let mut ranks: Vec<Option<RankCheckpoint>> = Vec::with_capacity(num_ranks);
+        for (rank, &alive) in manifest.alive.iter().enumerate() {
+            if alive {
+                match RankCheckpoint::load(dir, round, rank) {
+                    Ok(cp) => ranks.push(Some(cp)),
+                    // A listed file that fails to decode voids the whole
+                    // snapshot — fall back to an older manifest.
+                    Err(_) => continue 'manifests,
+                }
+            } else {
+                ranks.push(newest_rank_checkpoint(dir, rank, round).map(|(_, cp)| cp));
+            }
+        }
+        return Some(ResumePoint { round, ranks });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_walker() -> WalkerCheckpoint {
+        WalkerCheckpoint {
+            e_min: -2.0,
+            e_max: 1.0,
+            num_bins: 3,
+            ln_g: vec![0.5, 1.5, 0.0],
+            visits: vec![3, 1, 0],
+            ever_visited: vec![true, true, false],
+            species: vec![0, 1, 1, 0],
+            num_species: 2,
+            energy: -0.5,
+            ln_f: 0.25,
+            total_moves: 420,
+            stages: 3,
+            one_over_t_phase: false,
+        }
+    }
+
+    fn sample_rank() -> RankCheckpoint {
+        let mut stats = MoveStats::new();
+        stats.record_n("local-swap", 100, 37);
+        stats.record_n("deep", 20, 5);
+        RankCheckpoint {
+            exchange_attempts: 12,
+            exchange_accepted: 4,
+            sweeps: 1234,
+            sweeps_since_check: 7,
+            rng_word_pos: 0xDEAD_BEEF_0123_4567_89AB_CDEF_u128,
+            deep_params: Some(vec![0.25, -1.5, 3e-9]),
+            stats,
+            obs_dim: 2,
+            sro_sums: vec![1.0, 2.0, 0.0, 0.0, 5.5, -0.5],
+            sro_counts: vec![4, 0, 2],
+            walker: sample_walker(),
+        }
+    }
+
+    #[test]
+    fn rank_checkpoint_round_trip_is_exact() {
+        let cp = sample_rank();
+        let back = RankCheckpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(back, cp);
+        let mut no_deep = cp;
+        no_deep.deep_params = None;
+        let back = RankCheckpoint::decode(&no_deep.encode()).unwrap();
+        assert_eq!(back, no_deep);
+    }
+
+    #[test]
+    fn rank_checkpoint_rejects_corruption() {
+        let text = sample_rank().encode();
+        assert!(matches!(
+            RankCheckpoint::decode("garbage"),
+            Err(CkptError::BadHeader)
+        ));
+        let truncated: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(RankCheckpoint::decode(&truncated).is_err());
+        let tampered = text.replace("counts 4 0 2", "counts 4 0");
+        assert!(RankCheckpoint::decode(&tampered).is_err());
+    }
+
+    #[test]
+    fn manifest_round_trip_and_rejection() {
+        let m = RunManifest {
+            round: 40,
+            ranks: 4,
+            digest: 0x1234_5678_9abc_def0,
+            alive: vec![true, true, false, true],
+        };
+        assert_eq!(RunManifest::decode(&m.encode()).unwrap(), m);
+        assert!(matches!(
+            RunManifest::decode("nope"),
+            Err(CkptError::BadHeader)
+        ));
+        let tampered = m.encode().replace("alive 1101", "alive 110");
+        assert!(RunManifest::decode(&tampered).is_err());
+    }
+
+    #[test]
+    fn resume_scan_prefers_newest_consistent_snapshot() {
+        let dir = std::env::temp_dir().join(format!("dtrewl-ckpt-scan-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let digest = 42u64;
+
+        // Round 10: complete snapshot of 2 ranks.
+        for rank in 0..2 {
+            sample_rank().write(&dir, 10, rank).unwrap();
+        }
+        RunManifest {
+            round: 10,
+            ranks: 2,
+            digest,
+            alive: vec![true, true],
+        }
+        .write(&dir)
+        .unwrap();
+
+        // Round 20: manifest lists rank 1 but its file is corrupt — the
+        // whole snapshot must be skipped.
+        sample_rank().write(&dir, 20, 0).unwrap();
+        fs::write(rank_path(&dir, 20, 1), "corrupt").unwrap();
+        RunManifest {
+            round: 20,
+            ranks: 2,
+            digest,
+            alive: vec![true, true],
+        }
+        .write(&dir)
+        .unwrap();
+
+        let rp = load_resume_point(&dir, digest, 2).expect("resume point");
+        assert_eq!(rp.round, 10);
+        assert!(rp.ranks.iter().all(Option::is_some));
+
+        // Wrong digest ⇒ nothing to resume.
+        assert!(load_resume_point(&dir, digest + 1, 2).is_none());
+        // Wrong rank count ⇒ nothing to resume.
+        assert!(load_resume_point(&dir, digest, 3).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_rank_falls_back_to_its_newest_earlier_file() {
+        let dir = std::env::temp_dir().join(format!("dtrewl-ckpt-dead-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let digest = 7u64;
+
+        // Rank 1 checkpointed at round 5, then died; round 15 snapshot
+        // has rank 0 only.
+        let mut old = sample_rank();
+        old.sweeps = 500;
+        old.write(&dir, 5, 1).unwrap();
+        sample_rank().write(&dir, 15, 0).unwrap();
+        RunManifest {
+            round: 15,
+            ranks: 2,
+            digest,
+            alive: vec![true, false],
+        }
+        .write(&dir)
+        .unwrap();
+
+        let rp = load_resume_point(&dir, digest, 2).expect("resume point");
+        assert_eq!(rp.round, 15);
+        assert_eq!(rp.ranks[1].as_ref().unwrap().sweeps, 500);
+
+        // A rank with no file at all starts fresh.
+        fs::remove_file(rank_path(&dir, 5, 1)).unwrap();
+        let rp = load_resume_point(&dir, digest, 2).expect("resume point");
+        assert!(rp.ranks[1].is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_file() {
+        let dir = std::env::temp_dir().join(format!("dtrewl-ckpt-atomic-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.txt");
+        write_atomic(&path, "one").unwrap();
+        write_atomic(&path, "two").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "two");
+        assert!(!dir.join("m.txt.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,7 +1,9 @@
 //! The REWL drivers.
 
+use std::time::Duration;
+
 use dt_hamiltonian::EnergyModel;
-use dt_hpc::{rank_rng, Communicator, ThreadCluster};
+use dt_hpc::{rank_rng, CommError, Communicator, FaultPlan, RankOutcome, ThreadCluster};
 use dt_lattice::{sro::ordered_pair_counts, Composition, Configuration, NeighborTable};
 use dt_proposal::{
     DeepProposal, LocalSwap, MoveStats, ProposalContext, ProposalKernel, ProposalMix,
@@ -10,6 +12,7 @@ use dt_proposal::{
 use dt_thermo::MicrocanonicalAccumulator;
 use dt_wanglandau::{DosEstimate, EnergyGrid, WlParams, WlWalker};
 
+use crate::checkpoint::{self, CheckpointSpec, RankCheckpoint, ResumePoint, RunManifest};
 use crate::merge::merge_windows;
 use crate::spec::{DeepSpec, KernelSpec};
 use crate::windows::WindowLayout;
@@ -38,6 +41,13 @@ pub struct RewlConfig {
     pub seed: u64,
     /// Proposal kernels.
     pub kernel: KernelSpec,
+    /// Injected failures applied by the simulated fabric (kills, message
+    /// drops/delays) — [`FaultPlan::none`] for a reliable cluster.
+    pub faults: FaultPlan,
+    /// Periodic cluster checkpointing; `None` disables persistence. When
+    /// set, [`run_rewl`] also *resumes* from the newest consistent
+    /// snapshot found in the directory (see [`crate::checkpoint`]).
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl Default for RewlConfig {
@@ -53,6 +63,8 @@ impl Default for RewlConfig {
             max_sweeps: 1_000_000,
             seed: 0,
             kernel: KernelSpec::LocalSwap,
+            faults: FaultPlan::none(),
+            checkpoint: None,
         }
     }
 }
@@ -68,10 +80,13 @@ pub struct WindowReport {
     pub exchange_accepted: u64,
     /// Merged proposal statistics of the window's walkers.
     pub stats: MoveStats,
-    /// Did every walker of the window converge?
+    /// Did every surviving walker of the window converge?
     pub converged: bool,
     /// Final `ln f` (max over walkers).
     pub ln_f: f64,
+    /// Walkers of this window that died (or could not be gathered) and
+    /// therefore contribute nothing to the merged DOS.
+    pub lost_walkers: usize,
 }
 
 impl WindowReport {
@@ -95,7 +110,7 @@ pub struct RewlOutput {
     pub mask: Vec<bool>,
     /// Per-window reports.
     pub windows: Vec<WindowReport>,
-    /// Did every walker converge before `max_sweeps`?
+    /// Did every surviving walker converge before `max_sweeps`?
     pub converged: bool,
     /// Sweeps executed per walker.
     pub sweeps: u64,
@@ -105,6 +120,10 @@ pub struct RewlOutput {
     pub sro: MicrocanonicalAccumulator,
     /// Total MC moves across all walkers.
     pub total_moves: u64,
+    /// Ranks that died or were dropped from the final gather.
+    pub lost_ranks: Vec<usize>,
+    /// The checkpoint round this run resumed from, when it did.
+    pub resumed_from: Option<u64>,
 }
 
 /// Data one rank contributes to the final gather.
@@ -124,10 +143,7 @@ struct DeepState {
     spec: DeepSpec,
 }
 
-fn build_kernel(
-    spec: &KernelSpec,
-    deep_state: &Option<DeepState>,
-) -> Box<dyn ProposalKernel> {
+fn build_kernel(spec: &KernelSpec, deep_state: &Option<DeepState>) -> Box<dyn ProposalKernel> {
     match spec {
         KernelSpec::LocalSwap => Box::new(LocalSwap::new()),
         KernelSpec::RandomGlobal { k, weight } => Box::new(ProposalMix::new(vec![
@@ -159,9 +175,16 @@ fn build_kernel(
 /// `(e_min, e_max)` is the global energy range (discover it with
 /// [`dt_wanglandau::explore_energy_range`]).
 ///
+/// Fault tolerance: with `cfg.faults` the fabric injects failures; dead
+/// walkers are skipped by survivors and reported via
+/// [`WindowReport::lost_walkers`] / [`RewlOutput::lost_ranks`]. With
+/// `cfg.checkpoint` the cluster snapshots itself periodically and this
+/// function resumes from the newest consistent snapshot on the next call.
+///
 /// # Panics
-/// Panics when a walker cannot reach its window or configuration is
-/// inconsistent.
+/// Panics when a walker cannot reach its window, when an entire window
+/// loses all of its walkers, or when rank 0 (the gather root) dies —
+/// every other rank is expendable.
 pub fn run_rewl<M: EnergyModel + Sync>(
     model: &M,
     neighbors: &NeighborTable,
@@ -179,17 +202,37 @@ pub fn run_rewl<M: EnergyModel + Sync>(
     let num_shells = model.num_shells();
     let obs_dim = num_shells * m_species * m_species;
 
-    let results = ThreadCluster::run(size, |comm| {
+    let digest = checkpoint::config_digest(cfg);
+    let resume = cfg.checkpoint.as_ref().and_then(|spec| {
+        if let Err(e) = std::fs::create_dir_all(&spec.dir) {
+            eprintln!(
+                "rewl: cannot create checkpoint dir {}: {e}; checkpointing disabled",
+                spec.dir.display()
+            );
+            return None;
+        }
+        checkpoint::load_resume_point(&spec.dir, digest, size)
+    });
+    let resume_ref = resume.as_ref();
+
+    let outcomes = ThreadCluster::run_with_faults(size, cfg.faults.clone(), |comm| {
         run_rank(
-            comm, model, neighbors, comp, &layout, cfg, obs_dim, num_shells,
+            comm, model, neighbors, comp, &layout, cfg, obs_dim, num_shells, digest, resume_ref,
         )
     });
     // Rank 0 produced the assembled output.
-    results
+    match outcomes
         .into_iter()
         .next()
         .expect("cluster returns rank results")
-        .expect("rank 0 assembles the output")
+    {
+        RankOutcome::Completed(Some(out)) => out,
+        RankOutcome::Completed(None) => unreachable!("rank 0 assembles the output"),
+        RankOutcome::Died { cause } => panic!(
+            "rank 0 (the gather root) died: {cause}. Rank 0 must survive a run; \
+             point fault plans at non-zero ranks."
+        ),
+    }
 }
 
 /// Message tags.
@@ -206,11 +249,38 @@ mod tags {
     pub const GATHER_COUNTS: u64 = 10;
     pub const GATHER_SRO_SUMS: u64 = 11;
     pub const GATHER_SRO_COUNTS: u64 = 12;
+    pub const CKPT_META: u64 = 13;
 
     /// Pack a round number into the tag space.
     pub fn with_round(tag: u64, round: u64) -> u64 {
         (round << 8) | tag
     }
+}
+
+/// First receive timeout of the bounded retry schedule.
+const RECV_BASE: Duration = Duration::from_millis(100);
+/// Retries with doubling timeout: total patience ≈ 6.3 s before a peer
+/// is written off for this protocol step.
+const RECV_RETRIES: u32 = 6;
+/// Patience for the final gather and checkpoint commits, where peers are
+/// known to be at (or past) the same protocol point.
+const COLLECT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Deadline-bounded receive with exponential backoff. Returns the first
+/// hard failure: a dead peer immediately, a timeout after the full retry
+/// budget. Never blocks unboundedly.
+fn recv_resilient(comm: &Communicator, from: usize, tag: u64) -> Result<Vec<u8>, CommError> {
+    let mut timeout = RECV_BASE;
+    let mut last = CommError::Timeout { from, tag };
+    for _ in 0..RECV_RETRIES {
+        match comm.recv_timeout(from, tag, timeout) {
+            Ok(bytes) => return Ok(bytes),
+            Err(dead @ CommError::RankDead(_)) => return Err(dead),
+            Err(timed_out) => last = timed_out,
+        }
+        timeout *= 2;
+    }
+    Err(last)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -223,6 +293,8 @@ fn run_rank<M: EnergyModel + Sync>(
     cfg: &RewlConfig,
     obs_dim: usize,
     num_shells: usize,
+    digest: u64,
+    resume: Option<&ResumePoint>,
 ) -> Option<RewlOutput> {
     let rank = comm.rank();
     let w = cfg.walkers_per_window;
@@ -230,6 +302,7 @@ fn run_rank<M: EnergyModel + Sync>(
     let slot = rank % w;
     let m_species = comp.num_species();
     let grid = layout.window_grid(window);
+    let global_bins = layout.global_grid().num_bins();
     let mut rng = rank_rng(cfg.seed, rank as u64);
 
     // Deep-proposal state (per rank).
@@ -247,36 +320,109 @@ fn run_rank<M: EnergyModel + Sync>(
         _ => None,
     };
 
-    let config = Configuration::random(comp, &mut rng);
-    let kernel = build_kernel(&cfg.kernel, &deep_state);
-    let mut walker = WlWalker::new(
-        grid,
-        cfg.wl.clone(),
-        config,
-        model,
-        neighbors,
-        kernel,
-        cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-    );
-    assert!(
-        walker.drive_into_window(model, neighbors, 20_000),
-        "rank {rank}: failed to reach window {window} {:?}",
-        layout.bin_range(window)
-    );
+    let walker_seed = cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut sro = MicrocanonicalAccumulator::new(global_bins, obs_dim);
+    let mut exchange_attempts = 0u64;
+    let mut exchange_accepted = 0u64;
+    let mut sweeps = 0u64;
+    let mut sweeps_since_check = 0u64;
+    let resumed_round = resume.map(|rp| rp.round);
+    let mut round = resumed_round.unwrap_or(0);
+
+    // A usable per-rank snapshot must have been taken on the same window
+    // grid (the digest guards the config, not the energy range).
+    let rank_state = resume.and_then(|rp| rp.ranks[rank].as_ref()).filter(|rc| {
+        rc.walker.num_bins == grid.num_bins()
+            && rc.walker.e_min.to_bits() == grid.e_min().to_bits()
+            && rc.walker.e_max.to_bits() == grid.e_max().to_bits()
+    });
+
+    let mut walker = match rank_state {
+        Some(rc) => {
+            // Restore the deep net BEFORE building the kernel so the
+            // walker samples with the trained weights. (The deep sample
+            // buffer is not persisted; it refills during sampling.)
+            if let (Some(ds), Some(params)) = (deep_state.as_mut(), rc.deep_params.as_ref()) {
+                ds.deep.net_mut().set_params(params);
+            }
+            let kernel = build_kernel(&cfg.kernel, &deep_state);
+            let mut walker =
+                WlWalker::from_checkpoint(&rc.walker, cfg.wl.clone(), kernel, walker_seed);
+            // Same seed + saved stream position ⇒ the RNG continues
+            // bit-exactly where the snapshot left off.
+            walker.rng_mut().set_word_pos(rc.rng_word_pos);
+            walker.set_stats(rc.stats.clone());
+            exchange_attempts = rc.exchange_attempts;
+            exchange_accepted = rc.exchange_accepted;
+            sweeps = rc.sweeps;
+            sweeps_since_check = rc.sweeps_since_check;
+            if rc.obs_dim == obs_dim
+                && rc.sro_counts.len() == global_bins
+                && rc.sro_sums.len() == global_bins * obs_dim
+            {
+                for b in 0..global_bins {
+                    sro.record_sum(
+                        b,
+                        &rc.sro_sums[b * obs_dim..(b + 1) * obs_dim],
+                        rc.sro_counts[b],
+                    );
+                }
+            }
+            walker
+        }
+        None => {
+            let config = Configuration::random(comp, &mut rng);
+            let kernel = build_kernel(&cfg.kernel, &deep_state);
+            let mut walker = WlWalker::new(
+                grid,
+                cfg.wl.clone(),
+                config,
+                model,
+                neighbors,
+                kernel,
+                walker_seed,
+            );
+            assert!(
+                walker.drive_into_window(model, neighbors, 20_000),
+                "rank {rank}: failed to reach window {window} {:?}",
+                layout.bin_range(window)
+            );
+            walker
+        }
+    };
 
     let ctx = ProposalContext {
         neighbors,
         composition: comp,
     };
-    let mut sro = MicrocanonicalAccumulator::new(layout.global_grid().num_bins(), obs_dim);
-    let mut exchange_attempts = 0u64;
-    let mut exchange_accepted = 0u64;
-    let mut sweeps = 0u64;
-    let mut sweeps_since_check = 0u64;
-    let mut round = 0u64;
     let mut obs_buf = vec![0.0f64; obs_dim];
 
     loop {
+        // Injected kills fire here, at a deterministic protocol point.
+        comm.poll_faults(round);
+
+        // --- periodic cluster checkpoint (start of round) -------------
+        if let Some(spec) = cfg.checkpoint.as_ref() {
+            if round > 0 && round % spec.every_rounds == 0 && Some(round) != resumed_round {
+                checkpoint_cluster(
+                    &comm,
+                    spec,
+                    digest,
+                    round,
+                    &mut walker,
+                    &deep_state,
+                    &sro,
+                    obs_dim,
+                    [
+                        exchange_attempts,
+                        exchange_accepted,
+                        sweeps,
+                        sweeps_since_check,
+                    ],
+                );
+            }
+        }
+
         // --- sampling phase ------------------------------------------
         for _ in 0..cfg.exchange_every_sweeps {
             walker.sweep(model, neighbors, &ctx);
@@ -320,45 +466,70 @@ fn run_rank<M: EnergyModel + Sync>(
                 kernel_dirty = true;
             }
         }
-        // Window-wide weight averaging (simulated allreduce). Every rank
-        // of the window participates every round so the message pattern
-        // stays aligned; it is a no-op when no training happened (weights
-        // are averaged regardless, which is idempotent for equal weights).
+        // Window-wide weight averaging (simulated allreduce). The leader
+        // slot is fixed (first rank of the window): if the leader is dead
+        // the window skips syncing and every walker keeps local weights;
+        // if a member is dead (or its message lost) the leader averages
+        // over whatever arrived. A fixed leader cannot race the failure
+        // detector the way electing "first live rank" would.
         if let Some(ds) = deep_state.as_mut() {
             if ds.spec.sync_weights && w > 1 {
                 let params = ds.deep.net().flatten_params();
                 let leader = window * w;
                 if slot == 0 {
                     let mut acc = params.clone();
-                    for other in 1..w {
-                        let got = comm.recv(
-                            leader + other,
+                    let mut contributors = 1.0f64;
+                    for other in (leader + 1)..(leader + w) {
+                        if !comm.is_alive(other) {
+                            continue;
+                        }
+                        let got = recv_resilient(
+                            &comm,
+                            other,
                             tags::with_round(tags::SYNC_PARAMS, round),
-                        );
-                        for (a, b) in acc.iter_mut().zip(wire::decode_f64s(&got)) {
-                            *a += b;
+                        )
+                        .ok()
+                        .and_then(|bytes| wire::decode_f64s(&bytes).ok());
+                        match got {
+                            Some(theirs) if theirs.len() == acc.len() => {
+                                for (a, b) in acc.iter_mut().zip(theirs) {
+                                    *a += b;
+                                }
+                                contributors += 1.0;
+                            }
+                            _ => {}
                         }
                     }
                     for a in &mut acc {
-                        *a /= w as f64;
+                        *a /= contributors;
                     }
                     let payload = wire::encode_f64s(&acc);
-                    for other in 1..w {
+                    for other in (leader + 1)..(leader + w) {
                         comm.send(
-                            leader + other,
+                            other,
                             tags::with_round(tags::SYNC_PARAMS_BACK, round),
                             payload.clone(),
                         );
                     }
                     ds.deep.net_mut().set_params(&acc);
-                } else {
+                } else if comm.is_alive(leader) {
                     comm.send(
                         leader,
                         tags::with_round(tags::SYNC_PARAMS, round),
                         wire::encode_f64s(&params),
                     );
-                    let avg = comm.recv(leader, tags::with_round(tags::SYNC_PARAMS_BACK, round));
-                    ds.deep.net_mut().set_params(&wire::decode_f64s(&avg));
+                    let avg = recv_resilient(
+                        &comm,
+                        leader,
+                        tags::with_round(tags::SYNC_PARAMS_BACK, round),
+                    )
+                    .ok()
+                    .and_then(|bytes| wire::decode_f64s(&bytes).ok());
+                    if let Some(avg) = avg {
+                        if avg.len() == params.len() {
+                            ds.deep.net_mut().set_params(&avg);
+                        }
+                    }
                 }
                 kernel_dirty = true;
             }
@@ -374,87 +545,48 @@ fn run_rank<M: EnergyModel + Sync>(
             if window % 2 == parity && window + 1 < cfg.num_windows {
                 let partner_slot = (slot + round as usize) % w;
                 let partner = (window + 1) * w + partner_slot;
-                exchange_attempts += 1;
-                comm.send(
-                    partner,
-                    tags::with_round(tags::EXCH_ENERGY, round),
-                    wire::encode_f64s(&[walker.energy()]),
-                );
-                let reply =
-                    wire::decode_f64s(&comm.recv(partner, tags::with_round(tags::EXCH_REPLY, round)));
-                // reply = [valid, E_b, ln_gB(E_b) - ln_gB(E_a)]
-                let mut accepted = false;
-                if reply[0] > 0.5 {
-                    let e_b = reply[1];
-                    if let (Some(_), Some(_)) =
-                        (walker.ln_g_at(e_b), walker.ln_g_at(walker.energy()))
-                    {
-                        let ln_acc = walker.ln_g_at(walker.energy()).expect("own energy")
-                            - walker.ln_g_at(e_b).expect("checked")
-                            + reply[2];
-                        let u: f64 = rand::RngExt::random(walker.rng_mut());
-                        accepted = ln_acc >= 0.0 || u < ln_acc.exp();
+                // Dead slots are skipped outright; a partner that dies
+                // mid-protocol surfaces as a bounded comm error below.
+                if comm.is_alive(partner) {
+                    exchange_attempts += 1;
+                    match exchange_as_initiator(&comm, &mut walker, partner, round, m_species) {
+                        Ok(true) => exchange_accepted += 1,
+                        Ok(false) => {}
+                        // Lost partner or lost message: abandon this
+                        // exchange, keep local state, carry on.
+                        Err(_) => {}
                     }
-                }
-                comm.send(
-                    partner,
-                    tags::with_round(tags::EXCH_DECISION, round),
-                    vec![u8::from(accepted)],
-                );
-                if accepted {
-                    exchange_accepted += 1;
-                    let mine = wire::encode_state(walker.energy(), walker.config());
-                    comm.send(partner, tags::with_round(tags::EXCH_CONFIG, round), mine);
-                    let theirs =
-                        comm.recv(partner, tags::with_round(tags::EXCH_CONFIG, round));
-                    let (e, c) = wire::decode_state(&theirs, m_species);
-                    walker.set_state(c, e);
                 }
             } else if window % 2 != parity && window > 0 {
                 // I may be the responder 'b'.
                 let initiator_slot = (slot + w - (round as usize % w)) % w;
                 let initiator = (window - 1) * w + initiator_slot;
-                let e_a = wire::decode_f64s(
-                    &comm.recv(initiator, tags::with_round(tags::EXCH_ENERGY, round)),
-                )[0];
-                let reply = match (walker.ln_g_at(e_a), walker.ln_g_at(walker.energy())) {
-                    (Some(g_at_a), Some(g_at_mine)) => {
-                        vec![1.0, walker.energy(), g_at_mine - g_at_a]
-                    }
-                    _ => vec![0.0, 0.0, 0.0],
-                };
-                comm.send(
-                    initiator,
-                    tags::with_round(tags::EXCH_REPLY, round),
-                    wire::encode_f64s(&reply),
-                );
-                let decision =
-                    comm.recv(initiator, tags::with_round(tags::EXCH_DECISION, round));
-                if decision[0] == 1 {
-                    // Only the initiator counts the exchange, so window
-                    // reports read as "attempts toward the next window".
-                    let mine = wire::encode_state(walker.energy(), walker.config());
-                    let theirs =
-                        comm.recv(initiator, tags::with_round(tags::EXCH_CONFIG, round));
-                    comm.send(initiator, tags::with_round(tags::EXCH_CONFIG, round), mine);
-                    let (e, c) = wire::decode_state(&theirs, m_species);
-                    walker.set_state(c, e);
+                if comm.is_alive(initiator) {
+                    let _ = exchange_as_responder(&comm, &mut walker, initiator, round, m_species);
                 }
             }
         }
 
         // --- convergence poll -----------------------------------------
-        let mut flags = [f64::from(u8::from(walker.ln_f() <= cfg.wl.ln_f_final))];
+        // All survivors of one allreduce generation see identical sums,
+        // so the stop decision is collective and no rank can exit the
+        // round loop while a peer keeps waiting for it:
+        //   [Σ converged, Σ 1 (= contributors), Σ hit-sweep-cap].
+        let mut flags = [
+            f64::from(u8::from(walker.ln_f() <= cfg.wl.ln_f_final)),
+            1.0,
+            f64::from(u8::from(sweeps >= cfg.max_sweeps)),
+        ];
         comm.allreduce_sum(&mut flags);
         round += 1;
-        if flags[0] as usize == comm.size() || sweeps >= cfg.max_sweeps {
+        let contributors = flags[1].round() as usize;
+        if flags[0].round() as usize >= contributors || flags[2] > 0.5 {
             break;
         }
     }
 
     // --- gather at rank 0 ---------------------------------------------
     let converged = walker.ln_f() <= cfg.wl.ln_f_final;
-    let stats_text = serialize_stats(walker.stats());
     let counts = vec![
         exchange_attempts,
         exchange_accepted,
@@ -464,46 +596,60 @@ fn run_rank<M: EnergyModel + Sync>(
     ];
     if rank != 0 {
         comm.send(0, tags::GATHER_LN_G, wire::encode_f64s(walker.dos().ln_g()));
-        comm.send(0, tags::GATHER_MASK, wire::encode_mask(&walker.visited_mask()));
-        comm.send(0, tags::GATHER_STATS, stats_text.into_bytes());
+        comm.send(
+            0,
+            tags::GATHER_MASK,
+            wire::encode_mask(&walker.visited_mask()),
+        );
+        comm.send(
+            0,
+            tags::GATHER_STATS,
+            serialize_stats(walker.stats()).into_bytes(),
+        );
         comm.send(0, tags::GATHER_COUNTS, wire::encode_u64s(&counts));
         send_accumulator(&comm, &sro, obs_dim);
         return None;
     }
 
-    // Rank 0: collect everyone (including itself).
-    let mut per_rank: Vec<RankPiece> = Vec::with_capacity(comm.size());
-    per_rank.push(RankPiece {
+    // Rank 0: collect every surviving rank (including itself). A rank
+    // that died (or whose payload is missing/corrupt) is dropped from
+    // the merge and recorded as lost.
+    let mut per_rank: Vec<Option<RankPiece>> = Vec::with_capacity(comm.size());
+    per_rank.push(Some(RankPiece {
         ln_g: walker.dos().ln_g().to_vec(),
         mask: walker.visited_mask(),
         stats: walker.stats().clone(),
         counts,
-    });
+    }));
     let mut merged_sro = sro;
+    let mut lost_ranks = Vec::new();
     for other in 1..comm.size() {
-        let ln_g = wire::decode_f64s(&comm.recv(other, tags::GATHER_LN_G));
-        let mask = wire::decode_mask(&comm.recv(other, tags::GATHER_MASK));
-        let stats = deserialize_stats(
-            std::str::from_utf8(&comm.recv(other, tags::GATHER_STATS)).expect("utf8 stats"),
-        );
-        let counts = wire::decode_u64s(&comm.recv(other, tags::GATHER_COUNTS));
-        per_rank.push(RankPiece {
-            ln_g,
-            mask,
-            stats,
-            counts,
-        });
-        let acc = recv_accumulator(&comm, other, layout.global_grid().num_bins(), obs_dim);
-        merged_sro.merge(&acc);
+        let (lo, hi) = layout.bin_range(other / w);
+        match recv_rank_piece(&comm, other, hi - lo, global_bins, obs_dim) {
+            Ok((piece, acc)) => {
+                merged_sro.merge(&acc);
+                per_rank.push(Some(piece));
+            }
+            Err(why) => {
+                eprintln!("rewl: dropping rank {other} from the gather: {why}");
+                per_rank.push(None);
+                lost_ranks.push(other);
+            }
+        }
     }
 
     // Average walkers within each window (aligning additive constants),
-    // then merge windows.
+    // then merge windows. Lost walkers simply don't contribute; a window
+    // that lost everyone cannot be reconstructed at all.
     let mut pieces = Vec::with_capacity(cfg.num_windows);
     let mut reports = Vec::with_capacity(cfg.num_windows);
     for win in 0..cfg.num_windows {
-        let ranks = (win * w)..((win + 1) * w);
-        let members: Vec<&RankPiece> = ranks.clone().map(|r| &per_rank[r]).collect();
+        let members: Vec<&RankPiece> = per_rank[win * w..(win + 1) * w].iter().flatten().collect();
+        assert!(
+            !members.is_empty(),
+            "window {win}: all {w} walkers lost — the DOS piece is unrecoverable \
+             (resume from a checkpoint instead)"
+        );
         pieces.push(average_window(&members));
         let mut stats = MoveStats::new();
         let mut attempts = 0u64;
@@ -524,10 +670,11 @@ fn run_rank<M: EnergyModel + Sync>(
             stats,
             converged: all_conv,
             ln_f: ln_f_max,
+            lost_walkers: w - members.len(),
         });
     }
     let (dos, mask) = merge_windows(layout, &pieces);
-    let total_moves = per_rank.iter().map(|p| p.counts[4]).sum();
+    let total_moves = per_rank.iter().flatten().map(|p| p.counts[4]).sum();
     let converged_all = reports.iter().all(|r| r.converged);
     Some(RewlOutput {
         dos,
@@ -537,7 +684,222 @@ fn run_rank<M: EnergyModel + Sync>(
         sweeps,
         sro: merged_sro,
         total_moves,
+        lost_ranks,
+        resumed_from: resumed_round,
     })
+}
+
+/// The initiator ('a') side of one replica-exchange attempt. Returns
+/// whether the swap was applied locally. Any comm failure aborts the
+/// attempt without touching walker state; the partner, if alive, aborts
+/// symmetrically via its own timeouts.
+fn exchange_as_initiator(
+    comm: &Communicator,
+    walker: &mut WlWalker,
+    partner: usize,
+    round: u64,
+    m_species: usize,
+) -> Result<bool, CommError> {
+    comm.send(
+        partner,
+        tags::with_round(tags::EXCH_ENERGY, round),
+        wire::encode_f64s(&[walker.energy()]),
+    );
+    let reply_bytes = recv_resilient(comm, partner, tags::with_round(tags::EXCH_REPLY, round))?;
+    // reply = [valid, E_b, ln_gB(E_b) - ln_gB(E_a)]
+    let reply = wire::decode_f64s(&reply_bytes).unwrap_or_default();
+    let mut accepted = false;
+    if reply.len() == 3 && reply[0] > 0.5 {
+        let e_b = reply[1];
+        if let (Some(g_mine), Some(g_at_b)) = (walker.ln_g_at(walker.energy()), walker.ln_g_at(e_b))
+        {
+            let ln_acc = g_mine - g_at_b + reply[2];
+            let u: f64 = rand::RngExt::random(walker.rng_mut());
+            accepted = ln_acc >= 0.0 || u < ln_acc.exp();
+        }
+    }
+    comm.send(
+        partner,
+        tags::with_round(tags::EXCH_DECISION, round),
+        vec![u8::from(accepted)],
+    );
+    if !accepted {
+        return Ok(false);
+    }
+    let mine = wire::encode_state(walker.energy(), walker.config());
+    comm.send(partner, tags::with_round(tags::EXCH_CONFIG, round), mine);
+    let theirs = recv_resilient(comm, partner, tags::with_round(tags::EXCH_CONFIG, round))?;
+    match wire::decode_state(&theirs, m_species) {
+        // The accepted partner state must land in this walker's window;
+        // a malformed or out-of-window payload voids the swap (the
+        // partner may then hold a duplicate of our configuration, which
+        // is harmless: any in-window configuration is a valid WL state).
+        Ok((e, c)) if walker.ln_g_at(e).is_some() => {
+            walker.set_state(c, e);
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// The responder ('b') side of one replica-exchange attempt.
+fn exchange_as_responder(
+    comm: &Communicator,
+    walker: &mut WlWalker,
+    initiator: usize,
+    round: u64,
+    m_species: usize,
+) -> Result<bool, CommError> {
+    let e_a_bytes = recv_resilient(comm, initiator, tags::with_round(tags::EXCH_ENERGY, round))?;
+    let e_a = wire::decode_f64s(&e_a_bytes)
+        .ok()
+        .and_then(|v| v.first().copied());
+    let reply = match e_a {
+        Some(e_a) => match (walker.ln_g_at(e_a), walker.ln_g_at(walker.energy())) {
+            (Some(g_at_a), Some(g_at_mine)) => {
+                vec![1.0, walker.energy(), g_at_mine - g_at_a]
+            }
+            _ => vec![0.0, 0.0, 0.0],
+        },
+        None => vec![0.0, 0.0, 0.0],
+    };
+    comm.send(
+        initiator,
+        tags::with_round(tags::EXCH_REPLY, round),
+        wire::encode_f64s(&reply),
+    );
+    let decision = recv_resilient(
+        comm,
+        initiator,
+        tags::with_round(tags::EXCH_DECISION, round),
+    )?;
+    if decision.first() != Some(&1) {
+        return Ok(false);
+    }
+    // Only the initiator counts the exchange, so window reports read as
+    // "attempts toward the next window".
+    let mine = wire::encode_state(walker.energy(), walker.config());
+    let theirs = recv_resilient(comm, initiator, tags::with_round(tags::EXCH_CONFIG, round))?;
+    comm.send(initiator, tags::with_round(tags::EXCH_CONFIG, round), mine);
+    match wire::decode_state(&theirs, m_species) {
+        Ok((e, c)) if walker.ln_g_at(e).is_some() => {
+            walker.set_state(c, e);
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// One cluster snapshot: every rank persists its state, then rank 0
+/// commits the round by writing the manifest listing who made it. The
+/// data-then-commit order means a crash anywhere in here leaves either a
+/// complete committed snapshot or garbage no reader will trust.
+#[allow(clippy::too_many_arguments)]
+fn checkpoint_cluster(
+    comm: &Communicator,
+    spec: &CheckpointSpec,
+    digest: u64,
+    round: u64,
+    walker: &mut WlWalker,
+    deep_state: &Option<DeepState>,
+    sro: &MicrocanonicalAccumulator,
+    obs_dim: usize,
+    [exchange_attempts, exchange_accepted, sweeps, sweeps_since_check]: [u64; 4],
+) {
+    let rank = comm.rank();
+    let (sro_sums, sro_counts) = accumulator_totals(sro, obs_dim);
+    let rng_word_pos = walker.rng_mut().get_word_pos();
+    let rc = RankCheckpoint {
+        exchange_attempts,
+        exchange_accepted,
+        sweeps,
+        sweeps_since_check,
+        rng_word_pos,
+        deep_params: deep_state.as_ref().map(|ds| ds.deep.net().flatten_params()),
+        stats: walker.stats().clone(),
+        obs_dim,
+        sro_sums,
+        sro_counts,
+        walker: walker.checkpoint(),
+    };
+    let wrote = match rc.write(&spec.dir, round, rank) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("rewl: rank {rank}: checkpoint write at round {round} failed: {e}");
+            false
+        }
+    };
+    if rank != 0 {
+        comm.send(
+            0,
+            tags::with_round(tags::CKPT_META, round),
+            vec![u8::from(wrote)],
+        );
+        return;
+    }
+    // Rank 0 commits: collect confirmations, then write the manifest.
+    let mut alive = vec![false; comm.size()];
+    alive[0] = wrote;
+    for (other, made_it) in alive.iter_mut().enumerate().skip(1) {
+        if let Ok(meta) = comm.recv_timeout(
+            other,
+            tags::with_round(tags::CKPT_META, round),
+            COLLECT_DEADLINE,
+        ) {
+            *made_it = meta.first() == Some(&1);
+        }
+    }
+    let manifest = RunManifest {
+        round,
+        ranks: comm.size(),
+        digest,
+        alive,
+    };
+    if let Err(e) = manifest.write(&spec.dir) {
+        eprintln!("rewl: manifest write at round {round} failed: {e}");
+    }
+}
+
+/// Receive one rank's gather contribution, validating every shape; any
+/// timeout, dead peer, or malformed payload drops the whole rank.
+fn recv_rank_piece(
+    comm: &Communicator,
+    other: usize,
+    window_bins: usize,
+    global_bins: usize,
+    obs_dim: usize,
+) -> Result<(RankPiece, MicrocanonicalAccumulator), String> {
+    let grab = |tag: u64| -> Result<Vec<u8>, String> {
+        comm.recv_timeout(other, tag, COLLECT_DEADLINE)
+            .map_err(|e| e.to_string())
+    };
+    let ln_g = wire::decode_f64s(&grab(tags::GATHER_LN_G)?).map_err(|e| e.to_string())?;
+    let mask = wire::decode_mask(&grab(tags::GATHER_MASK)?);
+    let stats_bytes = grab(tags::GATHER_STATS)?;
+    let stats_text =
+        std::str::from_utf8(&stats_bytes).map_err(|_| "stats not utf-8".to_string())?;
+    let stats = deserialize_stats(stats_text)?;
+    let counts = wire::decode_u64s(&grab(tags::GATHER_COUNTS)?).map_err(|e| e.to_string())?;
+    if ln_g.len() != window_bins || mask.len() != window_bins {
+        return Err(format!(
+            "piece shape mismatch: {} ln_g / {} mask bins, expected {window_bins}",
+            ln_g.len(),
+            mask.len()
+        ));
+    }
+    if counts.len() != 5 {
+        return Err(format!("counts has {} fields, expected 5", counts.len()));
+    }
+    let acc = recv_accumulator(comm, other, global_bins, obs_dim)?;
+    Ok((
+        RankPiece {
+            ln_g,
+            mask,
+            stats,
+            counts,
+        },
+        acc,
+    ))
 }
 
 /// Average the `ln_g` of a window's walkers after aligning their additive
@@ -606,24 +968,30 @@ fn serialize_stats(stats: &MoveStats) -> String {
     s
 }
 
-fn deserialize_stats(text: &str) -> MoveStats {
+fn deserialize_stats(text: &str) -> Result<MoveStats, String> {
     let mut stats = MoveStats::new();
     for line in text.lines() {
         let mut parts = line.split_whitespace();
-        let name = parts.next().expect("kernel name");
-        let p: u64 = parts.next().expect("proposed").parse().expect("number");
-        let a: u64 = parts.next().expect("accepted").parse().expect("number");
-        for _ in 0..a {
-            stats.record(name, true);
+        let name = parts.next().ok_or("stats line missing kernel name")?;
+        let p: u64 = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or("stats line missing proposed count")?;
+        let a: u64 = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or("stats line missing accepted count")?;
+        if a > p {
+            return Err(format!("{name}: accepted {a} exceeds proposed {p}"));
         }
-        for _ in 0..p - a {
-            stats.record(name, false);
-        }
+        stats.record_n(name, p, a);
     }
-    stats
+    Ok(stats)
 }
 
-fn send_accumulator(comm: &Communicator, acc: &MicrocanonicalAccumulator, obs_dim: usize) {
+/// Per-bin `(totals, counts)` of an accumulator — the wire/checkpoint
+/// representation (means are re-derived from totals on merge).
+fn accumulator_totals(acc: &MicrocanonicalAccumulator, obs_dim: usize) -> (Vec<f64>, Vec<u64>) {
     let bins = acc.num_bins();
     let mut sums = Vec::with_capacity(bins * obs_dim);
     let mut counts = Vec::with_capacity(bins);
@@ -635,6 +1003,11 @@ fn send_accumulator(comm: &Communicator, acc: &MicrocanonicalAccumulator, obs_di
             None => sums.extend(std::iter::repeat_n(0.0, obs_dim)),
         }
     }
+    (sums, counts)
+}
+
+fn send_accumulator(comm: &Communicator, acc: &MicrocanonicalAccumulator, obs_dim: usize) {
+    let (sums, counts) = accumulator_totals(acc, obs_dim);
     comm.send(0, tags::GATHER_SRO_SUMS, wire::encode_f64s(&sums));
     comm.send(0, tags::GATHER_SRO_COUNTS, wire::encode_u64s(&counts));
 }
@@ -644,25 +1017,31 @@ fn recv_accumulator(
     from: usize,
     bins: usize,
     obs_dim: usize,
-) -> MicrocanonicalAccumulator {
-    let sums = wire::decode_f64s(&comm.recv(from, tags::GATHER_SRO_SUMS));
-    let counts = wire::decode_u64s(&comm.recv(from, tags::GATHER_SRO_COUNTS));
-    let mut acc = MicrocanonicalAccumulator::new(bins, obs_dim);
-    let mut mean = vec![0.0; obs_dim];
-    for b in 0..bins {
-        let c = counts[b];
-        if c == 0 {
-            continue;
-        }
-        // Reconstruct by recording the mean c times (exact totals).
-        for (m, &s) in mean.iter_mut().zip(&sums[b * obs_dim..(b + 1) * obs_dim]) {
-            *m = s / c as f64;
-        }
-        for _ in 0..c {
-            acc.record(b, &mean);
-        }
+) -> Result<MicrocanonicalAccumulator, String> {
+    let sums = wire::decode_f64s(
+        &comm
+            .recv_timeout(from, tags::GATHER_SRO_SUMS, COLLECT_DEADLINE)
+            .map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let counts = wire::decode_u64s(
+        &comm
+            .recv_timeout(from, tags::GATHER_SRO_COUNTS, COLLECT_DEADLINE)
+            .map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    if sums.len() != bins * obs_dim || counts.len() != bins {
+        return Err(format!(
+            "accumulator shape mismatch: {} sums / {} counts for {bins} bins × {obs_dim}",
+            sums.len(),
+            counts.len()
+        ));
     }
-    acc
+    let mut acc = MicrocanonicalAccumulator::new(bins, obs_dim);
+    for b in 0..bins {
+        acc.record_sum(b, &sums[b * obs_dim..(b + 1) * obs_dim], counts[b]);
+    }
+    Ok(acc)
 }
 
 /// Serial baseline: run each window's walkers one after another (rayon
@@ -694,8 +1073,7 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
             let mut rng = rank_rng(cfg.seed, rank as u64);
             let deep_state = match &cfg.kernel {
                 KernelSpec::Deep(ds) => {
-                    let deep =
-                        DeepProposal::new(m_species, num_shells, &ds.proposal, &mut rng);
+                    let deep = DeepProposal::new(m_species, num_shells, &ds.proposal, &mut rng);
                     let lay = deep.layout();
                     Some(DeepState {
                         deep,
@@ -726,8 +1104,7 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
                 neighbors,
                 composition: comp,
             };
-            let mut sro =
-                MicrocanonicalAccumulator::new(layout.global_grid().num_bins(), obs_dim);
+            let mut sro = MicrocanonicalAccumulator::new(layout.global_grid().num_bins(), obs_dim);
             let mut obs_buf = vec![0.0f64; obs_dim];
             let mut sweeps = 0u64;
             let mut since_check = 0u64;
@@ -816,6 +1193,7 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
             stats,
             converged: all_conv,
             ln_f: ln_f_max,
+            lost_walkers: 0,
         });
     }
     let (dos, mask) = merge_windows(&layout, &pieces);
@@ -829,6 +1207,7 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
         sweeps,
         sro: merged_sro,
         total_moves,
+        lost_ranks: Vec::new(),
+        resumed_from: None,
     }
 }
-

@@ -27,17 +27,35 @@
 //!   protocol over tagged messages (the faithful parallel implementation);
 //! * [`run_windows_serial`] — windows run one after another without
 //!   exchange (a baseline and a debugging aid).
+//!
+//! ## Fault tolerance
+//!
+//! [`run_rewl`] is built to survive a lossy cluster: a
+//! [`dt_hpc::FaultPlan`] on [`RewlConfig::faults`] injects rank kills and
+//! message drops/delays; every protocol receive is timeout-bounded, so a
+//! dead or silent partner degrades an exchange or a weight sync instead
+//! of hanging it; convergence is decided by a collective vote that only
+//! counts survivors. Losses are reported through
+//! [`WindowReport::lost_walkers`] and [`RewlOutput::lost_ranks`]. With
+//! [`RewlConfig::checkpoint`] set, the cluster additionally snapshots
+//! itself every few rounds (see [`checkpoint`]) and the next run over the
+//! same directory resumes from the newest consistent snapshot.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod driver;
 pub mod merge;
 pub mod spec;
-pub mod wire;
 pub mod windows;
+pub mod wire;
 
+pub use checkpoint::{
+    load_resume_point, CheckpointSpec, CkptError, RankCheckpoint, ResumePoint, RunManifest,
+};
 pub use driver::{run_rewl, run_windows_serial, RewlConfig, RewlOutput, WindowReport};
 pub use merge::merge_windows;
 pub use spec::{DeepSpec, KernelSpec};
 pub use windows::WindowLayout;
+pub use wire::WireError;

@@ -71,10 +71,8 @@ pub fn merge_windows(
             }
             let pl = g - lo_prev;
             let pr = g - lo;
-            let ok = prev_visited[pl - 1]
-                && prev_visited[pl + 1]
-                && visited[pr - 1]
-                && visited[pr + 1];
+            let ok =
+                prev_visited[pl - 1] && prev_visited[pl + 1] && visited[pr - 1] && visited[pr + 1];
             if !ok {
                 continue;
             }
@@ -144,8 +142,7 @@ mod tests {
                 .map(|w| {
                     let (lo, hi) = layout.bin_range(w);
                     let offset = (w as f64 + 1.0) * 1234.5;
-                    let vals: Vec<f64> =
-                        truth[lo..hi].iter().map(|&v| v + offset).collect();
+                    let vals: Vec<f64> = truth[lo..hi].iter().map(|&v| v + offset).collect();
                     let mask = vec![true; hi - lo];
                     (vals, mask)
                 })
@@ -153,9 +150,9 @@ mod tests {
             let (merged, mask) = merge_windows(&layout, &pieces);
             assert!(mask.iter().all(|&v| v), "all bins visited");
             let delta = merged.ln_g()[0] - truth[0];
-            for b in 0..n {
+            for (b, &t) in truth.iter().enumerate() {
                 assert!(
-                    (merged.ln_g()[b] - truth[b] - delta).abs() < 1e-9,
+                    (merged.ln_g()[b] - t - delta).abs() < 1e-9,
                     "bin {b} (m={m}, o={o})"
                 );
             }
@@ -183,12 +180,12 @@ mod tests {
             .collect();
         let (merged, _) = merge_windows(&layout, &pieces);
         let delta = merged.ln_g()[0] - truth[0];
-        for b in 0..n {
+        for (b, &t) in truth.iter().enumerate() {
             assert!(
-                (merged.ln_g()[b] - truth[b] - delta).abs() < 0.1,
+                (merged.ln_g()[b] - t - delta).abs() < 0.1,
                 "bin {b}: {} vs {}",
                 merged.ln_g()[b] - delta,
-                truth[b]
+                t
             );
         }
     }

@@ -3,8 +3,65 @@
 //! Kept deliberately simple (little-endian scalars, length-prefixed
 //! vectors) — this plays the role MPI derived datatypes play in the
 //! paper's implementation.
+//!
+//! Decoders return [`WireError`] instead of panicking: on a faulty
+//! cluster a payload may arrive truncated or be paired with the wrong
+//! tag, and a malformed message must surface as a recoverable protocol
+//! error on the receiving rank, never abort it.
+
+use std::fmt;
 
 use dt_lattice::{Configuration, Species};
+
+/// A malformed wire payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload shorter than the fixed-size prefix it must carry.
+    Truncated {
+        /// Minimum bytes required.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Payload length is not a multiple of the element size.
+    Ragged {
+        /// Element size in bytes.
+        element: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// A species label is outside `0..num_species`.
+    BadSpecies {
+        /// The offending label.
+        species: u8,
+        /// Number of species in the system.
+        num_species: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated payload: need {needed} bytes, got {got}")
+            }
+            WireError::Ragged { element, got } => {
+                write!(f, "ragged payload: {got} bytes not a multiple of {element}")
+            }
+            WireError::BadSpecies {
+                species,
+                num_species,
+            } => {
+                write!(
+                    f,
+                    "species {species} out of range (num_species {num_species})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
 
 /// Encode `(energy, configuration)` for a replica-exchange transfer.
 pub fn encode_state(energy: f64, config: &Configuration) -> Vec<u8> {
@@ -14,11 +71,31 @@ pub fn encode_state(energy: f64, config: &Configuration) -> Vec<u8> {
     out
 }
 
-/// Decode a [`encode_state`] payload.
-pub fn decode_state(bytes: &[u8], num_species: usize) -> (f64, Configuration) {
-    let energy = f64::from_le_bytes(bytes[..8].try_into().expect("energy bytes"));
-    let species: Vec<Species> = bytes[8..].iter().map(|&b| Species(b)).collect();
-    (energy, Configuration::from_species(species, num_species))
+/// Decode a [`encode_state`] payload, validating every species label
+/// against `num_species`.
+///
+/// # Errors
+/// [`WireError::Truncated`] when the energy prefix is missing,
+/// [`WireError::BadSpecies`] on an out-of-range label.
+pub fn decode_state(bytes: &[u8], num_species: usize) -> Result<(f64, Configuration), WireError> {
+    if bytes.len() < 8 {
+        return Err(WireError::Truncated {
+            needed: 8,
+            got: bytes.len(),
+        });
+    }
+    let energy = f64::from_le_bytes(bytes[..8].try_into().expect("checked length"));
+    let mut species = Vec::with_capacity(bytes.len() - 8);
+    for &b in &bytes[8..] {
+        if usize::from(b) >= num_species {
+            return Err(WireError::BadSpecies {
+                species: b,
+                num_species,
+            });
+        }
+        species.push(Species(b));
+    }
+    Ok((energy, Configuration::from_species(species, num_species)))
 }
 
 /// Encode a vector of `f64`.
@@ -31,12 +108,20 @@ pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
 }
 
 /// Decode a [`encode_f64s`] payload.
-pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
-    assert_eq!(bytes.len() % 8, 0, "truncated f64 payload");
-    bytes
+///
+/// # Errors
+/// [`WireError::Ragged`] when the length is not a multiple of 8.
+pub fn decode_f64s(bytes: &[u8]) -> Result<Vec<f64>, WireError> {
+    if bytes.len() % 8 != 0 {
+        return Err(WireError::Ragged {
+            element: 8,
+            got: bytes.len(),
+        });
+    }
+    Ok(bytes
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
-        .collect()
+        .collect())
 }
 
 /// Encode a vector of `u64`.
@@ -49,12 +134,20 @@ pub fn encode_u64s(values: &[u64]) -> Vec<u8> {
 }
 
 /// Decode a [`encode_u64s`] payload.
-pub fn decode_u64s(bytes: &[u8]) -> Vec<u64> {
-    assert_eq!(bytes.len() % 8, 0, "truncated u64 payload");
-    bytes
+///
+/// # Errors
+/// [`WireError::Ragged`] when the length is not a multiple of 8.
+pub fn decode_u64s(bytes: &[u8]) -> Result<Vec<u64>, WireError> {
+    if bytes.len() % 8 != 0 {
+        return Err(WireError::Ragged {
+            element: 8,
+            got: bytes.len(),
+        });
+    }
+    Ok(bytes
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
-        .collect()
+        .collect())
 }
 
 /// Encode a bool mask as bytes.
@@ -80,7 +173,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let c = Configuration::random(&comp, &mut rng);
         let bytes = encode_state(-1.25, &c);
-        let (e, back) = decode_state(&bytes, 4);
+        let (e, back) = decode_state(&bytes, 4).unwrap();
         assert_eq!(e, -1.25);
         assert_eq!(back, c);
     }
@@ -88,14 +181,53 @@ mod tests {
     #[test]
     fn f64_and_u64_round_trips() {
         let f = vec![1.0, -2.5, f64::MIN_POSITIVE, 1e300];
-        assert_eq!(decode_f64s(&encode_f64s(&f)), f);
+        assert_eq!(decode_f64s(&encode_f64s(&f)).unwrap(), f);
         let u = vec![0u64, 7, u64::MAX];
-        assert_eq!(decode_u64s(&encode_u64s(&u)), u);
+        assert_eq!(decode_u64s(&encode_u64s(&u)).unwrap(), u);
     }
 
     #[test]
     fn mask_round_trip() {
         let m = vec![true, false, true, true];
         assert_eq!(decode_mask(&encode_mask(&m)), m);
+    }
+
+    #[test]
+    fn truncated_state_is_rejected() {
+        assert_eq!(
+            decode_state(&[0u8; 5], 2),
+            Err(WireError::Truncated { needed: 8, got: 5 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_species_is_rejected() {
+        let comp = Composition::equiatomic(2, 16).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let c = Configuration::random(&comp, &mut rng);
+        let mut bytes = encode_state(0.0, &c);
+        *bytes.last_mut().unwrap() = 7;
+        assert_eq!(
+            decode_state(&bytes, 2),
+            Err(WireError::BadSpecies {
+                species: 7,
+                num_species: 2
+            })
+        );
+    }
+
+    #[test]
+    fn ragged_vectors_are_rejected() {
+        assert_eq!(
+            decode_f64s(&[0u8; 12]),
+            Err(WireError::Ragged {
+                element: 8,
+                got: 12
+            })
+        );
+        assert_eq!(
+            decode_u64s(&[0u8; 9]),
+            Err(WireError::Ragged { element: 8, got: 9 })
+        );
     }
 }

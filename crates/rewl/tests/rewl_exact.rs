@@ -45,6 +45,7 @@ fn base_config(kernel: KernelSpec, seed: u64) -> RewlConfig {
         max_sweeps: 300_000,
         seed,
         kernel,
+        ..RewlConfig::default()
     }
 }
 
@@ -86,7 +87,11 @@ fn rewl_is_deterministic() {
     let cfg = base_config(KernelSpec::LocalSwap, 11);
     let a = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg);
     let b = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg);
-    assert_eq!(a.dos.ln_g(), b.dos.ln_g(), "same seed must give identical DOS");
+    assert_eq!(
+        a.dos.ln_g(),
+        b.dos.ln_g(),
+        "same seed must give identical DOS"
+    );
     assert_eq!(a.mask, b.mask);
     assert_eq!(a.sweeps, b.sweeps);
     assert_eq!(a.total_moves, b.total_moves);

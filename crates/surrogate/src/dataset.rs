@@ -177,7 +177,10 @@ mod tests {
             Dataset::generate(&h, &nt, &comp, d, 48, SamplingStrategy::Annealed, &mut rng);
         let (rl, rh) = random.energy_range();
         let (al, ah) = annealed.energy_range();
-        assert!(ah - al > rh - rl, "annealed {al}..{ah} vs random {rl}..{rh}");
+        assert!(
+            ah - al > rh - rl,
+            "annealed {al}..{ah} vs random {rl}..{rh}"
+        );
     }
 
     #[test]

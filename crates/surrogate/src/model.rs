@@ -143,7 +143,10 @@ impl SurrogateModel {
     /// Per-site energy predictions for a feature matrix.
     pub fn predict_rows(&self, x: &Matrix) -> Vec<f64> {
         let out = self.net.forward(x);
-        out.data().iter().map(|&v| v * self.y_std + self.y_mean).collect()
+        out.data()
+            .iter()
+            .map(|&v| v * self.y_std + self.y_mean)
+            .collect()
     }
 
     /// Per-site energy of a configuration.
@@ -293,12 +296,7 @@ mod tests {
     use rand::{RngExt, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
-    fn trained() -> (
-        SurrogateModel,
-        TrainReport,
-        NeighborTable,
-        Composition,
-    ) {
+    fn trained() -> (SurrogateModel, TrainReport, NeighborTable, Composition) {
         let cell = Supercell::cubic(Structure::bcc(), 3);
         let nt = cell.neighbor_table(2);
         let comp = Composition::equiatomic(4, cell.num_sites()).unwrap();
@@ -329,7 +327,11 @@ mod tests {
         let (_, report, _, _) = trained();
         // The descriptor is a sufficient statistic for the EPI model, so
         // the fit should be tight: MAE well under k_B·300 K ≈ 26 meV.
-        assert!(report.test_mae < 0.005, "test MAE {} eV/site", report.test_mae);
+        assert!(
+            report.test_mae < 0.005,
+            "test MAE {} eV/site",
+            report.test_mae
+        );
         assert!(report.test_r2 > 0.95, "R² {}", report.test_r2);
         assert!(report.train_mae <= report.test_mae * 3.0);
     }
@@ -369,10 +371,7 @@ mod tests {
             let c = Configuration::random(&comp, &mut rng);
             let truth = h.total_energy(&c, &nt) / c.num_sites() as f64;
             let pred = model.predict_per_site(&c, &nt);
-            assert!(
-                (truth - pred).abs() < 0.01,
-                "pred {pred} vs truth {truth}"
-            );
+            assert!((truth - pred).abs() < 0.01, "pred {pred} vs truth {truth}");
         }
     }
 

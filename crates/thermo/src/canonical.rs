@@ -27,12 +27,7 @@ pub struct ThermoPoint {
 ///
 /// # Panics
 /// Panics when slices mismatch, are empty, or any temperature is ≤ 0.
-pub fn canonical_curve(
-    energies: &[f64],
-    ln_g: &[f64],
-    temps: &[f64],
-    kb: f64,
-) -> Vec<ThermoPoint> {
+pub fn canonical_curve(energies: &[f64], ln_g: &[f64], temps: &[f64], kb: f64) -> Vec<ThermoPoint> {
     assert_eq!(energies.len(), ln_g.len(), "E / ln g length mismatch");
     assert!(!energies.is_empty(), "empty density of states");
     temps

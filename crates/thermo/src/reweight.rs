@@ -54,6 +54,22 @@ impl MicrocanonicalAccumulator {
         self.counts[bin] += 1;
     }
 
+    /// Record `count` observations in `bin` whose element-wise totals are
+    /// already summed in `sums` — used when reconstructing an accumulator
+    /// from serialized per-bin totals, where replaying `record` per sample
+    /// would be O(count).
+    ///
+    /// # Panics
+    /// Panics when `sums.len() != obs_dim`.
+    pub fn record_sum(&mut self, bin: usize, sums: &[f64], count: u64) {
+        assert_eq!(sums.len(), self.obs_dim);
+        let base = bin * self.obs_dim;
+        for (s, &o) in self.sums[base..base + self.obs_dim].iter_mut().zip(sums) {
+            *s += o;
+        }
+        self.counts[bin] += count;
+    }
+
     /// Samples recorded in a bin.
     pub fn count(&self, bin: usize) -> u64 {
         self.counts[bin]

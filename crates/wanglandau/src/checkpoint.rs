@@ -91,7 +91,11 @@ impl WalkerCheckpoint {
             u8::from(self.one_over_t_phase)
         )
         .expect("write");
-        let ln_g: Vec<String> = self.ln_g.iter().map(|v| format!("{:016x}", v.to_bits())).collect();
+        let ln_g: Vec<String> = self
+            .ln_g
+            .iter()
+            .map(|v| format!("{:016x}", v.to_bits()))
+            .collect();
         writeln!(s, "ln_g {}", ln_g.join(" ")).expect("write");
         let visits: Vec<String> = self.visits.iter().map(|v| v.to_string()).collect();
         writeln!(s, "visits {}", visits.join(" ")).expect("write");
@@ -116,14 +120,15 @@ impl WalkerCheckpoint {
         if header != format!("dtwl v{VERSION}") {
             return Err(CheckpointError::BadHeader);
         }
-        let field = |lines: &mut std::str::Lines<'_>, name: &str| -> Result<String, CheckpointError> {
-            let line = lines
-                .next()
-                .ok_or_else(|| CheckpointError::Malformed(format!("missing {name}")))?;
-            line.strip_prefix(&format!("{name} "))
-                .map(String::from)
-                .ok_or_else(|| CheckpointError::Malformed(format!("expected {name} line")))
-        };
+        let field =
+            |lines: &mut std::str::Lines<'_>, name: &str| -> Result<String, CheckpointError> {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| CheckpointError::Malformed(format!("missing {name}")))?;
+                line.strip_prefix(&format!("{name} "))
+                    .map(String::from)
+                    .ok_or_else(|| CheckpointError::Malformed(format!("expected {name} line")))
+            };
         let bits = |tok: &str| -> Result<f64, CheckpointError> {
             u64::from_str_radix(tok, 16)
                 .map(f64::from_bits)
@@ -132,8 +137,14 @@ impl WalkerCheckpoint {
 
         let grid = field(&mut lines, "grid")?;
         let mut g = grid.split_whitespace();
-        let e_min = bits(g.next().ok_or_else(|| CheckpointError::Malformed("e_min".into()))?)?;
-        let e_max = bits(g.next().ok_or_else(|| CheckpointError::Malformed("e_max".into()))?)?;
+        let e_min = bits(
+            g.next()
+                .ok_or_else(|| CheckpointError::Malformed("e_min".into()))?,
+        )?;
+        let e_max = bits(
+            g.next()
+                .ok_or_else(|| CheckpointError::Malformed("e_max".into()))?,
+        )?;
         let num_bins: usize = g
             .next()
             .and_then(|v| v.parse().ok())
@@ -141,8 +152,14 @@ impl WalkerCheckpoint {
 
         let state = field(&mut lines, "state")?;
         let mut st = state.split_whitespace();
-        let energy = bits(st.next().ok_or_else(|| CheckpointError::Malformed("energy".into()))?)?;
-        let ln_f = bits(st.next().ok_or_else(|| CheckpointError::Malformed("ln_f".into()))?)?;
+        let energy = bits(
+            st.next()
+                .ok_or_else(|| CheckpointError::Malformed("energy".into()))?,
+        )?;
+        let ln_f = bits(
+            st.next()
+                .ok_or_else(|| CheckpointError::Malformed("ln_f".into()))?,
+        )?;
         let total_moves: u64 = st
             .next()
             .and_then(|v| v.parse().ok())
@@ -217,16 +234,12 @@ impl WalkerCheckpoint {
     /// Rebuild the visit histogram.
     pub fn histogram(&self) -> VisitHistogram {
         let mut h = VisitHistogram::new(self.num_bins);
-        // Pass 1: set the ever-visited mask; pass 2: exact stage counts.
-        for (bin, &ever) in self.ever_visited.iter().enumerate() {
-            if ever {
-                h.record(bin);
-            }
-        }
-        h.reset_stage();
-        for (bin, &v) in self.visits.iter().enumerate() {
-            for _ in 0..v {
-                h.record(bin);
+        // Bulk restore: one `record_n` per bin regardless of how many
+        // visits the checkpoint carries (`n == 0` still marks the
+        // ever-visited bit for bins visited only in earlier stages).
+        for (bin, (&v, &ever)) in self.visits.iter().zip(&self.ever_visited).enumerate() {
+            if ever || v > 0 {
+                h.record_n(bin, v);
             }
         }
         h

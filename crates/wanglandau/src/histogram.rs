@@ -119,6 +119,16 @@ impl VisitHistogram {
         self.ever_visited[bin] = true;
     }
 
+    /// Record `n` visits to a bin at once — used when restoring a
+    /// histogram from a checkpoint, where replaying `record` per visit
+    /// would be O(total visits). `n == 0` marks the bin ever-visited
+    /// without adding stage visits.
+    #[inline]
+    pub fn record_n(&mut self, bin: usize, n: u64) {
+        self.visits[bin] += n;
+        self.ever_visited[bin] = true;
+    }
+
     /// Visits of one bin in the current stage.
     pub fn visits(&self, bin: usize) -> u64 {
         self.visits[bin]

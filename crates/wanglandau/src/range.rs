@@ -114,9 +114,6 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let (lo, _) = explore_energy_range(&h, &nt, &comp, 50, 0.0, &mut rng);
         let ground = -0.01 * 16.0 * 8.0 / 2.0;
-        assert!(
-            (lo - ground).abs() < 0.02,
-            "quench {lo} vs ground {ground}"
-        );
+        assert!((lo - ground).abs() < 0.02, "quench {lo} vs ground {ground}");
     }
 }

@@ -143,7 +143,13 @@ impl WlWalker {
         debug_assert!(self.in_window(), "step() outside the energy window");
         self.total_moves += 1;
         let proposal = self.kernel.propose(&self.config, ctx, &mut self.rng);
-        let delta = move_delta(model, &self.config, neighbors, &proposal.mv, &mut self.workspace);
+        let delta = move_delta(
+            model,
+            &self.config,
+            neighbors,
+            &proposal.mv,
+            &mut self.workspace,
+        );
         let e_new = self.energy + delta;
 
         let accepted = match self.grid.bin(e_new) {
@@ -195,9 +201,7 @@ impl WlWalker {
         // least once per stage — the strict flatness criterion is exactly
         // what the 1/t method removes.
         let flat = match self.params.schedule {
-            crate::schedule::LnfSchedule::Flatness { flatness, .. } => {
-                self.hist.is_flat(flatness)
-            }
+            crate::schedule::LnfSchedule::Flatness { flatness, .. } => self.hist.is_flat(flatness),
             crate::schedule::LnfSchedule::OneOverT { .. } => self.hist.flatness() > 0.0,
         };
         let advanced = self.schedule.advance(
@@ -319,6 +323,14 @@ impl WlWalker {
         &self.stats
     }
 
+    /// Replace the acceptance statistics wholesale — used on
+    /// checkpoint restore, where the saved counters belong to this
+    /// walker's earlier life ([`WlWalker::from_checkpoint`] starts with
+    /// empty statistics otherwise).
+    pub fn set_stats(&mut self, stats: MoveStats) {
+        self.stats = stats;
+    }
+
     /// Swap in a new proposal kernel (e.g. after retraining the deep
     /// proposal network).
     pub fn set_kernel(&mut self, kernel: Box<dyn ProposalKernel>) {
@@ -399,12 +411,7 @@ mod tests {
     use dt_lattice::{Composition, Structure, Supercell};
     use dt_proposal::LocalSwap;
 
-    fn fixture() -> (
-        Supercell,
-        NeighborTable,
-        Composition,
-        PairHamiltonian,
-    ) {
+    fn fixture() -> (Supercell, NeighborTable, Composition, PairHamiltonian) {
         let cell = Supercell::cubic(Structure::bcc(), 2);
         let nt = cell.neighbor_table(1);
         let comp = Composition::equiatomic(2, cell.num_sites()).unwrap();

@@ -51,12 +51,14 @@ fn interrupted_run_resumes_and_converges() {
     let cp = WalkerCheckpoint::decode(&blob).unwrap();
 
     // Phase 2: resume with a fresh kernel and RNG stream.
-    let mut resumed =
-        WlWalker::from_checkpoint(&cp, params, Box::new(LocalSwap::new()), 999);
+    let mut resumed = WlWalker::from_checkpoint(&cp, params, Box::new(LocalSwap::new()), 999);
     assert_eq!(resumed.total_moves(), partial.moves);
     assert!((resumed.ln_f() - partial.ln_f).abs() < 1e-15);
     let progress = resumed.run(&h, &nt, &ctx, 400_000);
-    assert!(progress.converged, "resumed run must converge: {progress:?}");
+    assert!(
+        progress.converged,
+        "resumed run must converge: {progress:?}"
+    );
 
     // Accuracy against exact enumeration.
     let mask = resumed.visited_mask();

@@ -43,11 +43,10 @@ fn main() {
     let runner = DeepThermo::nbmotaw(config);
     let report = runner.run();
 
-    println!("sampled ln g(E) over {} visited bins:", report
-        .mask
-        .iter()
-        .filter(|&&v| v)
-        .count());
+    println!(
+        "sampled ln g(E) over {} visited bins:",
+        report.mask.iter().filter(|&&v| v).count()
+    );
     println!("{:>12} {:>14}", "E [eV]", "ln g");
     let visited: Vec<usize> = report
         .mask

@@ -29,10 +29,7 @@ fn main() {
 
     let runner = DeepThermo::nbmotaw(config);
     let report = runner.run();
-    assert!(matches!(
-        runner.config().rewl.kernel,
-        KernelSpec::Deep(_)
-    ));
+    assert!(matches!(runner.config().rewl.kernel, KernelSpec::Deep(_)));
 
     println!("{}", report.summary());
 

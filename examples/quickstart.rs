@@ -27,12 +27,12 @@ fn main() {
     print!("{}", report.summary());
 
     println!("\n== thermodynamics (every 10th point) ===========");
-    println!("{:>8} {:>12} {:>12} {:>12}", "T [K]", "U [eV]", "Cv/kB", "S/kB");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "T [K]", "U [eV]", "Cv/kB", "S/kB"
+    );
     for p in report.thermo.iter().step_by(10) {
-        println!(
-            "{:>8.0} {:>12.4} {:>12.3} {:>12.3}",
-            p.t, p.u, p.cv, p.s
-        );
+        println!("{:>8.0} {:>12.4} {:>12.3} {:>12.3}", p.t, p.u, p.cv, p.s);
     }
 
     println!("\n== first-shell Warren-Cowley SRO at the ends ===");

@@ -74,6 +74,7 @@ fn main() {
             max_sweeps: 20_000,
             seed: 1,
             kernel: KernelSpec::LocalSwap,
+            ..RewlConfig::default()
         };
         let start = Instant::now();
         let out = run_rewl(&h, &nt, &comp, range, &cfg);

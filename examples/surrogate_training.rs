@@ -32,7 +32,10 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(42);
 
     println!("== learning curve (MAE vs training-set size) ==\n");
-    println!("{:>8} {:>14} {:>14} {:>8}", "configs", "MAE [meV/site]", "RMSE", "R^2");
+    println!(
+        "{:>8} {:>14} {:>14} {:>8}",
+        "configs", "MAE [meV/site]", "RMSE", "R^2"
+    );
     let mut final_model = None;
     for &size in &[32usize, 64, 128, 256, 512] {
         let ds = Dataset::generate(

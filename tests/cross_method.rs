@@ -58,6 +58,7 @@ fn wang_landau_metropolis_and_tempering_agree() {
         max_sweeps: 400_000,
         seed: 5,
         kernel: KernelSpec::LocalSwap,
+        ..RewlConfig::default()
     };
     let out = run_rewl(&h, &nt, &comp, range, &cfg);
     assert!(out.converged);
@@ -71,8 +72,10 @@ fn wang_landau_metropolis_and_tempering_agree() {
         }
     }
 
-    // Temperatures above/around the transition where all methods mix well.
-    let temps = [1200.0, 2000.0];
+    // Temperatures safely above the ~1100 K transition, where local-swap
+    // Metropolis mixes honestly (at 1200 K, critical slowing-down leaves
+    // every estimator seed-biased at the 0.1 eV level).
+    let temps = [1400.0, 2000.0];
     let wl_curve = canonical_curve(&energies, &ln_g, &temps, KB_EV_PER_K);
 
     // 2. Direct Metropolis at each temperature.
@@ -91,7 +94,7 @@ fn wang_landau_metropolis_and_tempering_agree() {
     }
 
     // 3. Parallel tempering across the same temperatures.
-    let ladder = [1200.0, 1500.0, 2000.0];
+    let ladder = [1400.0, 1600.0, 2000.0];
     let mut init_rng = ChaCha8Rng::seed_from_u64(9);
     let mut pt = ParallelTempering::new(&ladder, &h, &nt, &comp, 13, &mut init_rng);
     let report = pt.run(&h, &nt, &ctx, 1600, 2, 1200);

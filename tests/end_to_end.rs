@@ -44,6 +44,7 @@ fn rewl_cfg(kernel: KernelSpec, seed: u64) -> RewlConfig {
         max_sweeps: 300_000,
         seed,
         kernel,
+        ..RewlConfig::default()
     }
 }
 

@@ -64,6 +64,7 @@ fn fcc_ternary_dos_reweighting_matches_metropolis() {
         max_sweeps: 300_000,
         seed: 9,
         kernel: KernelSpec::LocalSwap,
+        ..RewlConfig::default()
     };
     let out = run_rewl(&h, &nt, &comp, range, &cfg);
     assert!(out.converged, "FCC REWL did not converge");
@@ -82,8 +83,7 @@ fn fcc_ternary_dos_reweighting_matches_metropolis() {
         let wl_u = canonical_curve(&energies, &ln_g, &[t], KB_EV_PER_K)[0].u;
         let mut rng2 = ChaCha8Rng::seed_from_u64(t as u64);
         let c0 = Configuration::random(&comp, &mut rng2);
-        let mut sampler =
-            MetropolisSampler::new(t, c0, &h, &nt, Box::new(LocalSwap::new()), 3);
+        let mut sampler = MetropolisSampler::new(t, c0, &h, &nt, Box::new(LocalSwap::new()), 3);
         let stats = sampler.run(&h, &nt, &ctx, 400, 3000, 3, |_, _| {});
         assert!(
             (wl_u - stats.mean_energy).abs() < 0.08,

@@ -1,0 +1,261 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Keeps the bench suite compiling and runnable without the registry. By
+//! default every benchmark body is *skipped* so `cargo test` / `cargo
+//! bench` finish instantly in CI; set `DT_RUN_BENCH=1` to actually execute
+//! each routine a few times and print crude per-iteration wall-clock
+//! timings (no statistics, no HTML reports).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+fn bench_enabled() -> bool {
+    std::env::var_os("DT_RUN_BENCH").is_some_and(|v| v != "0")
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier of a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over a handful of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        report_elapsed(start, self.iters);
+    }
+
+    /// Time `routine` with a fresh `setup` product per iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut inputs = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            inputs.push(setup());
+        }
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        report_elapsed(start, self.iters);
+    }
+
+    /// Like [`Bencher::iter_batched`] but passing the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut inputs = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            inputs.push(setup());
+        }
+        let start = Instant::now();
+        for mut input in inputs {
+            black_box(routine(&mut input));
+        }
+        report_elapsed(start, self.iters);
+    }
+}
+
+fn report_elapsed(start: Instant, iters: u64) {
+    let elapsed = start.elapsed();
+    let per_iter = elapsed / iters.max(1) as u32;
+    println!("    {iters} iters in {elapsed:?} ({per_iter:?}/iter)");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted, scaled down).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark of the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_named(&full, f);
+        self
+    }
+
+    /// Run one parameterized benchmark of the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_named(&full, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the sample count (accepted; this shim runs min(3, n) iters).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the measurement time (accepted, ignored).
+    pub fn measurement_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    fn run_named<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if !bench_enabled() {
+            println!("bench {name}: skipped (set DT_RUN_BENCH=1 to run)");
+            return;
+        }
+        println!("bench {name}:");
+        let mut b = Bencher {
+            iters: self.sample_size.clamp(1, 3) as u64,
+        };
+        f(&mut b);
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_named(name, f);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+
+    /// Parse CLI args (no-op shim for `criterion_main!`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Final summary (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a benchmark group, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_compiles_and_skips_by_default() {
+        let mut c = Criterion::default().sample_size(30);
+        a_bench(&mut c);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

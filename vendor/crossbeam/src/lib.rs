@@ -1,0 +1,11 @@
+//! Vendored placeholder for `crossbeam`.
+//!
+//! `dt-hpc` declares the dependency but the sources only use std threading
+//! plus the vendored `parking_lot`; this empty crate satisfies the
+//! manifest without a registry. Re-exports [`std::thread::scope`] as
+//! `crossbeam::scope`'s closest std equivalent should future code want it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use std::thread::scope;

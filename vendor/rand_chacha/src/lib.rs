@@ -1,0 +1,245 @@
+//! Vendored ChaCha generators over the vendored `rand` traits.
+//!
+//! Implements the genuine ChaCha block function (D. J. Bernstein) with a
+//! 64-bit block counter and a 64-bit stream id, which gives the two
+//! properties DeepThermo relies on:
+//!
+//! * **determinism** — the stream is a pure function of `(seed, stream)`;
+//! * **seekability** — `get_word_pos`/`set_word_pos` allow a run to record
+//!   its RNG position in a checkpoint manifest and resume bit-exactly.
+//!
+//! Streams are *not* bit-compatible with upstream `rand_chacha` (the seed
+//! expansion differs), which is irrelevant in-repo: all reproducibility
+//! guarantees are stated against this implementation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::{Rng, SeedableRng};
+
+const WORDS_PER_BLOCK: usize = 16;
+
+/// The ChaCha quarter round.
+#[inline]
+fn quarter(state: &mut [u32; WORDS_PER_BLOCK], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha generator with `R` double-rounds per block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaChaRng<const DR: usize> {
+    key: [u32; 8],
+    stream: u64,
+    counter: u64,
+    buffer: [u32; WORDS_PER_BLOCK],
+    index: usize,
+}
+
+impl<const DR: usize> ChaChaRng<DR> {
+    fn block(&self) -> [u32; WORDS_PER_BLOCK] {
+        let mut st: [u32; WORDS_PER_BLOCK] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let init = st;
+        for _ in 0..DR {
+            // Column rounds.
+            quarter(&mut st, 0, 4, 8, 12);
+            quarter(&mut st, 1, 5, 9, 13);
+            quarter(&mut st, 2, 6, 10, 14);
+            quarter(&mut st, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter(&mut st, 0, 5, 10, 15);
+            quarter(&mut st, 1, 6, 11, 12);
+            quarter(&mut st, 2, 7, 8, 13);
+            quarter(&mut st, 3, 4, 9, 14);
+        }
+        for (s, i) in st.iter_mut().zip(init) {
+            *s = s.wrapping_add(i);
+        }
+        st
+    }
+
+    fn refill(&mut self) {
+        self.buffer = self.block();
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    /// The 64-bit stream id (orthogonal to the seed).
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    /// Select an independent stream; restarts output at that stream's
+    /// beginning so `(seed, stream)` fully determines what follows.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.index = WORDS_PER_BLOCK; // force refill
+    }
+
+    /// The seed as bytes (for checkpoint manifests).
+    pub fn get_seed(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.key) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Absolute position in the output stream, in 32-bit words.
+    pub fn get_word_pos(&self) -> u128 {
+        if self.index >= WORDS_PER_BLOCK {
+            // Buffer exhausted (or never filled): `counter` is the next
+            // block to generate, and everything before it was consumed.
+            (self.counter as u128) * WORDS_PER_BLOCK as u128
+        } else {
+            // Mid-buffer: `counter` was already advanced past the
+            // buffered block, so back it off by one.
+            (self.counter.wrapping_sub(1) as u128) * WORDS_PER_BLOCK as u128 + self.index as u128
+        }
+    }
+
+    /// Seek to an absolute word position (inverse of
+    /// [`ChaChaRng::get_word_pos`]).
+    pub fn set_word_pos(&mut self, pos: u128) {
+        self.counter = (pos / WORDS_PER_BLOCK as u128) as u64;
+        self.refill();
+        self.index = (pos % WORDS_PER_BLOCK as u128) as usize;
+    }
+}
+
+impl<const DR: usize> SeedableRng for ChaChaRng<DR> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaChaRng {
+            key,
+            stream: 0,
+            counter: 0,
+            buffer: [0; WORDS_PER_BLOCK],
+            index: WORDS_PER_BLOCK,
+        }
+    }
+}
+
+impl<const DR: usize> Rng for ChaChaRng<DR> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= WORDS_PER_BLOCK {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+/// ChaCha with 8 rounds (4 double-rounds): the fast variant the paper's
+/// per-walker streams use.
+pub type ChaCha8Rng = ChaChaRng<4>;
+
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<6>;
+
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        b.set_stream(1);
+        let matches = (0..128).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn word_pos_round_trip_resumes_exactly() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        a.set_stream(3);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let pos = a.get_word_pos();
+        let upcoming: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        b.set_stream(3);
+        b.set_word_pos(pos);
+        let replay: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(upcoming, replay);
+    }
+
+    #[test]
+    fn word_pos_counts_words() {
+        let mut r = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(r.get_word_pos(), 0);
+        r.next_u32();
+        assert_eq!(r.get_word_pos(), 1);
+        for _ in 0..16 {
+            r.next_u32();
+        }
+        assert_eq!(r.get_word_pos(), 17);
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let mut ones = 0u32;
+        let mut r2 = ChaCha8Rng::seed_from_u64(10);
+        for _ in 0..1000 {
+            ones += r2.next_u64().count_ones();
+        }
+        let frac = ones as f64 / 64_000.0;
+        assert!((frac - 0.5).abs() < 0.01, "bit fraction {frac}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Vendored stand-in for `rayon`: the `par_iter` API shape backed by
+//! ordinary sequential iterators.
+//!
+//! The registry is unreachable in this build environment, so the
+//! work-stealing pool is replaced by a drop-in shim: `into_par_iter()` /
+//! `par_iter()` hand back the corresponding *sequential* iterator, and all
+//! downstream combinators (`map`, `filter`, `collect`, `sum`, …) are the
+//! std `Iterator` methods, which have identical semantics and ordering
+//! guarantees to rayon's indexed parallel iterators. Code written against
+//! this shim stays source-compatible with real rayon.
+//!
+//! Parallel REWL does not go through this shim at all — it runs on
+//! `dt_hpc::ThreadCluster`'s real threads — so only ancillary paths
+//! (dataset preparation, the serial-baseline driver) lose parallelism.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Conversion into a "parallel" (here: sequential) iterator by value.
+pub trait IntoParallelIterator {
+    /// The iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+
+    /// Convert into an iterator (sequential in this shim).
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Conversion into a "parallel" iterator over shared references.
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+
+    /// Iterate over `&self` (sequential in this shim).
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Item = <&'data C as IntoIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Conversion into a "parallel" iterator over mutable references.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+
+    /// Iterate over `&mut self` (sequential in this shim).
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    type Item = <&'data mut C as IntoIterator>::Item;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Run two closures (sequentially in this shim) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The traits user code is expected to glob-import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_matches_sequential() {
+        let squares: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..10usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_vec_preserves_order() {
+        let v = vec![3, 1, 4, 1, 5];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        let total: i32 = v.par_iter().sum();
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+}
