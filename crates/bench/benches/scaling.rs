@@ -43,7 +43,9 @@ fn bench_rewl_threads(c: &mut Criterion) {
                     kernel: KernelSpec::LocalSwap,
                     ..RewlConfig::default()
                 };
-                b.iter(|| black_box(run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg)))
+                b.iter(|| {
+                    black_box(run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg).unwrap())
+                })
             },
         );
     }

@@ -69,7 +69,8 @@ fn main() {
     let mut rows = Vec::new();
     for weight in [0.05f64, 0.2, 0.5] {
         let cfg = base_cfg(KernelSpec::Deep(Box::new(deep_spec(weight, 50))));
-        let out = run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg);
+        let out =
+            run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg).expect("sampling failed");
         let mut deep_acc = 0.0;
         for w in &out.windows {
             if let Some(a) = w.stats.acceptance("deep-autoregressive") {
@@ -87,7 +88,8 @@ fn main() {
     let mut rows = Vec::new();
     for cadence in [25u64, 100, 1000] {
         let cfg = base_cfg(KernelSpec::Deep(Box::new(deep_spec(0.2, cadence))));
-        let out = run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg);
+        let out =
+            run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg).expect("sampling failed");
         let mut deep_acc = 0.0;
         for w in &out.windows {
             if let Some(a) = w.stats.acceptance("deep-autoregressive") {
@@ -118,7 +120,8 @@ fn main() {
     ] {
         let mut cfg = base_cfg(KernelSpec::LocalSwap);
         cfg.wl.schedule = schedule;
-        let out = run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg);
+        let out =
+            run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg).expect("sampling failed");
         let ln_f_max = out.windows.iter().map(|w| w.ln_f).fold(0.0f64, f64::max);
         rows.push(format!(
             "{name},{},{ln_f_max:.3e},{}",

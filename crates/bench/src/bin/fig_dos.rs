@@ -64,7 +64,9 @@ fn main() {
         })),
         ..RewlConfig::default()
     };
-    let (out, secs) = timed(|| run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg));
+    let (out, secs) = timed(|| {
+        run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg).expect("sampling failed")
+    });
     let mut dos = out.dos.clone();
     dos.normalize_total(sys.comp.ln_num_configurations(), Some(&out.mask));
 

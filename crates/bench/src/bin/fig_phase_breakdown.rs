@@ -1,0 +1,89 @@
+//! E11 — Measured phase breakdown vs the roofline cost model.
+//!
+//! Runs a small telemetry-instrumented REWL sampling of NbMoTaW with the
+//! deep proposal kernel, prints the per-rank phase-timing table, and then
+//! compares the measured cross-rank phase *shares* (energy evaluation,
+//! proposal-network inference, training, replica exchange, weight
+//! allreduce) against the analytic performance model's projected cost
+//! breakdown for the paper workload.
+//!
+//! ```text
+//! cargo run -p dt-bench --release --bin fig_phase_breakdown [-- --l 3]
+//! ```
+
+use dt_bench::{arg, timed, HeaSystem};
+use dt_hpc::{comparison_table, measured_vs_modeled, GpuSpec, PerfModel, WorkloadShape};
+use dt_proposal::DeepProposalConfig;
+use dt_rewl::{run_rewl, DeepSpec, KernelSpec, RewlConfig};
+use dt_telemetry::PhaseBreakdown;
+use dt_wanglandau::{explore_energy_range, LnfSchedule, WlParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let l: usize = arg("--l", 3);
+    let sys = HeaSystem::nbmotaw(l);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let range = explore_energy_range(&sys.model, &sys.neighbors, &sys.comp, 30, 0.02, &mut rng);
+
+    let cfg = RewlConfig {
+        num_windows: 2,
+        walkers_per_window: 2,
+        overlap: 0.75,
+        num_bins: (16 * l * l).min(512),
+        wl: WlParams {
+            ln_f_initial: 1.0,
+            ln_f_final: 1e-2,
+            schedule: LnfSchedule::OneOverT {
+                flatness: 0.7,
+                reduction: 0.5,
+            },
+            sweeps_per_check: 10,
+        },
+        exchange_every_sweeps: 10,
+        observe_every_sweeps: 4,
+        max_sweeps: arg("--max-sweeps", 30_000u64),
+        seed: arg("--seed", 1),
+        kernel: KernelSpec::Deep(Box::new(DeepSpec {
+            proposal: DeepProposalConfig {
+                k: 8,
+                hidden: vec![24],
+            },
+            deep_weight: 0.2,
+            ..DeepSpec::default()
+        })),
+        telemetry: true,
+        ..RewlConfig::default()
+    };
+
+    println!(
+        "# E11: measured phase breakdown, NbMoTaW N={}, {} windows x {} walkers, deep proposals",
+        sys.num_sites(),
+        cfg.num_windows,
+        cfg.walkers_per_window
+    );
+    let (out, wall) = timed(|| {
+        run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg).expect("sampling failed")
+    });
+    println!(
+        "# wall {wall:.2} s, {} total moves, converged: {}\n",
+        out.total_moves, out.converged
+    );
+
+    println!("{}", dt_telemetry::phase_table(&out.telemetry));
+
+    let measured = PhaseBreakdown::aggregate(&out.telemetry);
+    let modeled = PerfModel::new(GpuSpec::v100(), WorkloadShape::paper_default())
+        .iteration(cfg.num_windows * cfg.walkers_per_window);
+    println!("# measured shares (this machine) vs modeled shares (V100 roofline, paper workload)");
+    print!(
+        "{}",
+        comparison_table(&measured_vs_modeled(&measured, &modeled))
+    );
+    println!(
+        "\n# accounted phase time: {:.2} s of {:.2} s aggregate wall across {} ranks",
+        measured.accounted_s(),
+        wall * out.telemetry.len() as f64,
+        out.telemetry.len()
+    );
+}

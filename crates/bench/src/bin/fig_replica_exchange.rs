@@ -46,7 +46,8 @@ fn main() {
             kernel: KernelSpec::LocalSwap,
             ..RewlConfig::default()
         };
-        let out = run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg);
+        let out =
+            run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg).expect("sampling failed");
         for w in &out.windows {
             if w.exchange_attempts > 0 {
                 rows.push(format!(

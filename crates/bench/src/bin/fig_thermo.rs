@@ -24,7 +24,10 @@ fn main() {
     let n = cfg.material.num_sites();
 
     println!("# E4: thermodynamics of NbMoTaW N={n}");
-    let report = DeepThermo::nbmotaw(cfg).run();
+    let report = DeepThermo::nbmotaw(cfg)
+        .expect("valid config")
+        .run()
+        .expect("sampling failed");
 
     let rows: Vec<String> = report
         .thermo

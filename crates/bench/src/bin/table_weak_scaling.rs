@@ -61,7 +61,9 @@ fn main() {
             kernel: KernelSpec::LocalSwap,
             ..RewlConfig::default()
         };
-        let (out, wall) = timed(|| run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg));
+        let (out, wall) = timed(|| {
+            run_rewl(&sys.model, &sys.neighbors, &sys.comp, range, &cfg).expect("sampling failed")
+        });
         rows.push(format!(
             "{},{windows},{wall:.2},{:.4e}",
             windows * per_window,

@@ -4,7 +4,7 @@
 //! deepthermo run   [--l 3] [--kernel deep|local|random] [--seed 2023]
 //!                  [--lnf 1e-4] [--max-sweeps 300000] [--windows 2]
 //!                  [--walkers 2] [--tmin 100] [--tmax 3000] [--out DIR]
-//!                  [--checkpoint DIR]
+//!                  [--checkpoint DIR] [--telemetry]
 //! deepthermo info  [--l 3]
 //! ```
 //!
@@ -14,14 +14,20 @@
 //!
 //! `run` executes the full pipeline on equiatomic NbMoTaW and writes
 //! `thermo.csv`, `dos.csv`, `sro.csv`, and `summary.txt` into `--out`
-//! (default `deepthermo-out/`).
+//! (default `deepthermo-out/`). With `--telemetry` it also records
+//! per-rank phase timings, prints the phase table, and writes
+//! `telemetry.jsonl` (one JSON object per rank, per line).
+//!
+//! Pipeline failures (inconsistent flags, a dead root rank, unreadable
+//! checkpoint directories) are rendered with their full error chain and
+//! exit nonzero instead of panicking.
 
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use deepthermo::rewl::{DeepSpec, KernelSpec};
-use deepthermo::{DeepThermo, DeepThermoConfig, MaterialSpec};
+use deepthermo::{DeepThermo, DeepThermoConfig, DeepThermoError, MaterialSpec};
 
 fn arg<T: std::str::FromStr>(flag: &str, default: T) -> T {
     std::env::args()
@@ -33,6 +39,20 @@ fn arg<T: std::str::FromStr>(flag: &str, default: T) -> T {
 
 fn opt_arg(flag: &str) -> Option<String> {
     std::env::args().skip_while(|a| a != flag).nth(1)
+}
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Render a pipeline error with its full source chain.
+fn render_error(e: &DeepThermoError) {
+    eprintln!("error: {e}");
+    let mut source = std::error::Error::source(e);
+    while let Some(cause) = source {
+        eprintln!("  caused by: {cause}");
+        source = cause.source();
+    }
 }
 
 fn main() -> ExitCode {
@@ -77,12 +97,18 @@ fn build_config() -> DeepThermoConfig {
             ..DeepSpec::default()
         })),
     };
-    cfg
+    cfg.with_telemetry(has_flag("--telemetry"))
 }
 
 fn info() -> ExitCode {
     let cfg = build_config();
-    let runner = DeepThermo::nbmotaw(cfg);
+    let runner = match DeepThermo::nbmotaw(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            render_error(&e);
+            return ExitCode::FAILURE;
+        }
+    };
     let comp = runner.composition();
     println!("material: NbMoTaW (equiatomic) on BCC");
     println!("sites: {}", comp.num_sites());
@@ -115,13 +141,26 @@ fn run() -> ExitCode {
         cfg.rewl.seed
     );
     let start = std::time::Instant::now();
-    let runner = DeepThermo::nbmotaw(cfg);
-    let report = match opt_arg("--checkpoint") {
+    let runner = match DeepThermo::nbmotaw(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            render_error(&e);
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match opt_arg("--checkpoint") {
         Some(dir) => {
             println!("checkpointing into {dir} (reruns resume from the newest snapshot)");
             runner.run_resumable(dir)
         }
         None => runner.run(),
+    };
+    let report = match outcome {
+        Ok(r) => r,
+        Err(e) => {
+            render_error(&e);
+            return ExitCode::FAILURE;
+        }
     };
     println!(
         "sampling finished in {:.1} s ({} total moves)",
@@ -129,20 +168,25 @@ fn run() -> ExitCode {
         report.total_moves
     );
     print!("{}", report.summary());
+    if !report.telemetry.is_empty() {
+        println!("{}", report.phase_table());
+    }
 
     let write = |name: &str, contents: String| -> std::io::Result<()> {
         fs::write(out_dir.join(name), contents)
     };
-    let result = write("thermo.csv", report.thermo_csv())
+    let mut result = write("thermo.csv", report.thermo_csv())
         .and_then(|()| write("dos.csv", report.dos_csv()))
         .and_then(|()| write("sro.csv", report.sro_csv()))
         .and_then(|()| write("summary.txt", report.summary()));
+    let mut written = "thermo.csv, dos.csv, sro.csv, summary.txt".to_string();
+    if !report.telemetry.is_empty() {
+        result = result.and_then(|()| write("telemetry.jsonl", report.telemetry_jsonl()));
+        written.push_str(", telemetry.jsonl");
+    }
     match result {
         Ok(()) => {
-            println!(
-                "wrote thermo.csv, dos.csv, sro.csv, summary.txt to {}",
-                out_dir.display()
-            );
+            println!("wrote {written} to {}", out_dir.display());
             if !report.converged {
                 eprintln!("warning: run hit max sweeps before ln f target");
             }

@@ -4,6 +4,8 @@ use dt_lattice::{SpeciesSet, Structure};
 use dt_rewl::{DeepSpec, KernelSpec, RewlConfig};
 use dt_wanglandau::{LnfSchedule, WlParams};
 
+use crate::error::ConfigError;
+
 /// The material to simulate.
 #[derive(Debug, Clone)]
 pub struct MaterialSpec {
@@ -123,6 +125,146 @@ impl DeepThermoConfig {
         self.rewl.seed = seed;
         self
     }
+
+    /// Record per-rank telemetry during sampling (see
+    /// [`crate::DeepThermoReport::telemetry`]).
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.rewl.telemetry = on;
+        self
+    }
+
+    /// A validating builder seeded from [`DeepThermoConfig::standard`].
+    pub fn builder() -> DeepThermoConfigBuilder {
+        DeepThermoConfigBuilder {
+            cfg: DeepThermoConfig::standard(),
+        }
+    }
+
+    /// Check the configuration for inconsistencies that would make a run
+    /// meaningless (or panic deep inside the sampler).
+    ///
+    /// # Errors
+    /// The first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.material.species.is_empty() {
+            return Err(ConfigError::EmptyComposition);
+        }
+        if self.material.l == 0 {
+            return Err(ConfigError::EmptySupercell);
+        }
+        if self.rewl.num_windows == 0 {
+            return Err(ConfigError::NoWindows);
+        }
+        if self.rewl.walkers_per_window == 0 {
+            return Err(ConfigError::NoWalkers);
+        }
+        if self.rewl.num_windows > 1 && !(self.rewl.overlap > 0.0 && self.rewl.overlap < 1.0) {
+            return Err(ConfigError::BadOverlap(self.rewl.overlap));
+        }
+        if self.rewl.num_bins < 2 * self.rewl.num_windows {
+            return Err(ConfigError::TooFewBins {
+                bins: self.rewl.num_bins,
+                windows: self.rewl.num_windows,
+            });
+        }
+        if self.temperatures.is_empty() {
+            return Err(ConfigError::NoTemperatures);
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`DeepThermoConfig`]; obtained from
+/// [`DeepThermoConfig::builder`]. Starts from the `standard()` preset;
+/// [`build`](DeepThermoConfigBuilder::build) rejects inconsistent
+/// settings instead of letting them panic mid-run.
+#[derive(Debug, Clone)]
+pub struct DeepThermoConfigBuilder {
+    cfg: DeepThermoConfig,
+}
+
+impl DeepThermoConfigBuilder {
+    /// Replace the whole material specification.
+    pub fn material(mut self, material: MaterialSpec) -> Self {
+        self.cfg.material = material;
+        self
+    }
+
+    /// Supercell edge (NbMoTaW material).
+    pub fn supercell_l(mut self, l: usize) -> Self {
+        self.cfg.material = MaterialSpec::nbmotaw(l);
+        self
+    }
+
+    /// Number of energy windows `M`.
+    pub fn windows(mut self, m: usize) -> Self {
+        self.cfg.rewl.num_windows = m;
+        self
+    }
+
+    /// Walkers per window `W`.
+    pub fn walkers_per_window(mut self, w: usize) -> Self {
+        self.cfg.rewl.walkers_per_window = w;
+        self
+    }
+
+    /// Window overlap fraction.
+    pub fn overlap(mut self, overlap: f64) -> Self {
+        self.cfg.rewl.overlap = overlap;
+        self
+    }
+
+    /// Global energy bins.
+    pub fn num_bins(mut self, bins: usize) -> Self {
+        self.cfg.rewl.num_bins = bins;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.rewl.seed = seed;
+        self
+    }
+
+    /// Proposal kernel.
+    pub fn kernel(mut self, kernel: KernelSpec) -> Self {
+        self.cfg.rewl.kernel = kernel;
+        self
+    }
+
+    /// Hard sweep cap per walker.
+    pub fn max_sweeps(mut self, sweeps: u64) -> Self {
+        self.cfg.rewl.max_sweeps = sweeps;
+        self
+    }
+
+    /// Wang–Landau convergence target.
+    pub fn ln_f_final(mut self, ln_f: f64) -> Self {
+        self.cfg.rewl.wl.ln_f_final = ln_f;
+        self
+    }
+
+    /// Temperature grid (K) for the thermodynamic curves.
+    pub fn temperatures(mut self, temperatures: Vec<f64>) -> Self {
+        self.cfg.temperatures = temperatures;
+        self
+    }
+
+    /// Record per-rank telemetry during sampling.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.cfg.rewl.telemetry = on;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Errors
+    /// The first [`ConfigError`] found by
+    /// [`DeepThermoConfig::validate`].
+    pub fn build(self) -> Result<DeepThermoConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -153,5 +295,68 @@ mod tests {
             DeepThermoConfig::standard().rewl.kernel,
             KernelSpec::Deep(_)
         ));
+    }
+
+    #[test]
+    fn builder_accepts_consistent_settings() {
+        let cfg = DeepThermoConfig::builder()
+            .supercell_l(3)
+            .windows(2)
+            .walkers_per_window(2)
+            .num_bins(48)
+            .seed(9)
+            .telemetry(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.rewl.num_windows, 2);
+        assert_eq!(cfg.rewl.seed, 9);
+        assert!(cfg.rewl.telemetry);
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_settings() {
+        assert_eq!(
+            DeepThermoConfig::builder().windows(0).build().unwrap_err(),
+            ConfigError::NoWindows
+        );
+        assert_eq!(
+            DeepThermoConfig::builder()
+                .walkers_per_window(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::NoWalkers
+        );
+        assert_eq!(
+            DeepThermoConfig::builder()
+                .overlap(1.5)
+                .build()
+                .unwrap_err(),
+            ConfigError::BadOverlap(1.5)
+        );
+        assert_eq!(
+            DeepThermoConfig::builder()
+                .windows(8)
+                .num_bins(10)
+                .build()
+                .unwrap_err(),
+            ConfigError::TooFewBins {
+                bins: 10,
+                windows: 8
+            }
+        );
+        assert_eq!(
+            DeepThermoConfig::builder()
+                .supercell_l(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::EmptySupercell
+        );
+        assert_eq!(
+            DeepThermoConfig::builder()
+                .temperatures(vec![])
+                .build()
+                .unwrap_err(),
+            ConfigError::NoTemperatures
+        );
     }
 }

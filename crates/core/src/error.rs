@@ -1,0 +1,202 @@
+//! The workspace-level error type.
+//!
+//! Every fallible public entry point of the pipeline —
+//! [`DeepThermo::run`](crate::DeepThermo::run),
+//! [`run_resumable`](crate::DeepThermo::run_resumable),
+//! [`evaluate`](crate::DeepThermo::evaluate) — returns
+//! [`DeepThermoError`], which wraps the typed errors of the sub-crates
+//! (sampling, communication, wire decoding, model serialization) plus
+//! configuration and I/O failures of the pipeline itself. Degraded but
+//! survivable situations (dead walkers, lost messages) are *not* errors;
+//! they are reported inside the [`DeepThermoReport`](crate::DeepThermoReport).
+
+use std::path::PathBuf;
+
+use dt_hpc::CommError;
+use dt_rewl::{RewlError, WireError};
+use dt_surrogate::SerializeError;
+
+/// An inconsistency in a [`DeepThermoConfig`](crate::DeepThermoConfig),
+/// caught at construction time by
+/// [`DeepThermoConfig::validate`](crate::DeepThermoConfig::validate) and
+/// the [`builder`](crate::DeepThermoConfig::builder).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `num_windows` is zero.
+    NoWindows,
+    /// `walkers_per_window` is zero.
+    NoWalkers,
+    /// The window overlap fraction is outside `(0, 1)`.
+    BadOverlap(f64),
+    /// Too few global energy bins for the window count: every window
+    /// needs at least two bins of its own.
+    TooFewBins {
+        /// Configured global bin count.
+        bins: usize,
+        /// Configured window count.
+        windows: usize,
+    },
+    /// The material has no species (an empty composition).
+    EmptyComposition,
+    /// The supercell edge is zero — no lattice sites at all.
+    EmptySupercell,
+    /// The temperature grid is empty, so no thermodynamic curve can be
+    /// evaluated.
+    NoTemperatures,
+    /// The energy model's species count disagrees with the material's.
+    SpeciesMismatch {
+        /// Species the model was parameterized for.
+        model: usize,
+        /// Species the material declares.
+        material: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoWindows => write!(f, "num_windows must be at least 1"),
+            ConfigError::NoWalkers => write!(f, "walkers_per_window must be at least 1"),
+            ConfigError::BadOverlap(v) => {
+                write!(f, "window overlap must lie in (0, 1), got {v}")
+            }
+            ConfigError::TooFewBins { bins, windows } => write!(
+                f,
+                "{bins} global bins cannot cover {windows} windows (need at least 2 per window)"
+            ),
+            ConfigError::EmptyComposition => write!(f, "the material declares no species"),
+            ConfigError::EmptySupercell => write!(f, "supercell edge L must be at least 1"),
+            ConfigError::NoTemperatures => write!(f, "the temperature grid is empty"),
+            ConfigError::SpeciesMismatch { model, material } => write!(
+                f,
+                "energy model has {model} species but the material has {material}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Any unrecoverable failure of a DeepThermo pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeepThermoError {
+    /// The run configuration is inconsistent.
+    Config(ConfigError),
+    /// The parallel sampler failed unrecoverably (root rank death, a
+    /// whole window lost).
+    Sampling(RewlError),
+    /// A communication failure surfaced outside the sampler's own
+    /// degraded-mode handling.
+    Comm(CommError),
+    /// A wire payload could not be decoded.
+    Wire(WireError),
+    /// A serialized surrogate/proposal model could not be loaded.
+    Model(SerializeError),
+    /// A filesystem operation of the pipeline failed.
+    Io {
+        /// Path the operation targeted.
+        path: PathBuf,
+        /// Rendered `std::io::Error` (stored as text so this enum stays
+        /// `Clone + PartialEq`).
+        message: String,
+    },
+    /// Sampling visited no energy bins, so there is no density of
+    /// states to evaluate.
+    NoVisitedBins,
+}
+
+impl std::fmt::Display for DeepThermoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeepThermoError::Config(e) => write!(f, "invalid configuration: {e}"),
+            DeepThermoError::Sampling(e) => write!(f, "sampling failed: {e}"),
+            DeepThermoError::Comm(e) => write!(f, "communication failed: {e}"),
+            DeepThermoError::Wire(e) => write!(f, "malformed wire payload: {e}"),
+            DeepThermoError::Model(e) => write!(f, "model deserialization failed: {e}"),
+            DeepThermoError::Io { path, message } => {
+                write!(f, "I/O failed on {}: {message}", path.display())
+            }
+            DeepThermoError::NoVisitedBins => {
+                write!(f, "sampling visited no energy bins; nothing to evaluate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeepThermoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeepThermoError::Config(e) => Some(e),
+            DeepThermoError::Sampling(e) => Some(e),
+            DeepThermoError::Comm(e) => Some(e),
+            DeepThermoError::Wire(e) => Some(e),
+            DeepThermoError::Model(e) => Some(e),
+            DeepThermoError::Io { .. } | DeepThermoError::NoVisitedBins => None,
+        }
+    }
+}
+
+impl From<ConfigError> for DeepThermoError {
+    fn from(e: ConfigError) -> Self {
+        DeepThermoError::Config(e)
+    }
+}
+
+impl From<RewlError> for DeepThermoError {
+    fn from(e: RewlError) -> Self {
+        DeepThermoError::Sampling(e)
+    }
+}
+
+impl From<CommError> for DeepThermoError {
+    fn from(e: CommError) -> Self {
+        DeepThermoError::Comm(e)
+    }
+}
+
+impl From<WireError> for DeepThermoError {
+    fn from(e: WireError) -> Self {
+        DeepThermoError::Wire(e)
+    }
+}
+
+impl From<SerializeError> for DeepThermoError {
+    fn from(e: SerializeError) -> Self {
+        DeepThermoError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = DeepThermoError::from(ConfigError::BadOverlap(1.5));
+        assert!(e.to_string().contains("overlap"));
+        assert!(e.source().is_some());
+        let e = DeepThermoError::Io {
+            path: PathBuf::from("/nope"),
+            message: "denied".into(),
+        };
+        assert!(e.to_string().contains("/nope"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn wraps_every_subcrate_error() {
+        assert!(matches!(
+            DeepThermoError::from(RewlError::RootRankDied("boom".into())),
+            DeepThermoError::Sampling(_)
+        ));
+        assert!(matches!(
+            DeepThermoError::from(CommError::RankDead(3)),
+            DeepThermoError::Comm(_)
+        ));
+        assert!(matches!(
+            DeepThermoError::from(SerializeError::BadHeader),
+            DeepThermoError::Model(_)
+        ));
+    }
+}

@@ -18,14 +18,17 @@
 //! ## Quickstart
 //!
 //! ```
+//! # fn main() -> Result<(), deepthermo::DeepThermoError> {
 //! use deepthermo::{DeepThermo, DeepThermoConfig};
 //!
 //! // A small NbMoTaW supercell with fast-converging settings.
 //! let config = DeepThermoConfig::quick_demo();
-//! let report = DeepThermo::nbmotaw(config).run();
+//! let report = DeepThermo::nbmotaw(config)?.run()?;
 //! assert!(report.converged);
 //! // The order–disorder transition shows up as a heat-capacity peak.
 //! assert!(report.transition_temperature > 0.0);
+//! # Ok(())
+//! # }
 //! ```
 //!
 //! ## Crate map
@@ -42,15 +45,18 @@
 //! | canonical baselines | [`dt_metropolis`] |
 //! | DOS → thermodynamics | [`dt_thermo`] |
 //! | simulated cluster & perf models | [`dt_hpc`] |
+//! | metrics, spans & phase reports | [`dt_telemetry`] |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod error;
 pub mod pipeline;
 pub mod report;
 
-pub use config::{DeepThermoConfig, MaterialSpec};
+pub use config::{DeepThermoConfig, DeepThermoConfigBuilder, MaterialSpec};
+pub use error::{ConfigError, DeepThermoError};
 pub use pipeline::DeepThermo;
 pub use report::{DeepThermoReport, SroCurve};
 
@@ -63,5 +69,6 @@ pub use dt_nn as nn;
 pub use dt_proposal as proposal;
 pub use dt_rewl as rewl;
 pub use dt_surrogate as surrogate;
+pub use dt_telemetry as telemetry;
 pub use dt_thermo as thermo;
 pub use dt_wanglandau as wanglandau;

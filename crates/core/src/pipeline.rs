@@ -10,6 +10,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::config::DeepThermoConfig;
+use crate::error::{ConfigError, DeepThermoError};
 use crate::report::{DeepThermoReport, SroCurve};
 
 /// A configured DeepThermo run: the material, its energy model, and the
@@ -24,32 +25,44 @@ pub struct DeepThermo {
 
 impl DeepThermo {
     /// Equiatomic NbMoTaW with the built-in EPI Hamiltonian.
-    pub fn nbmotaw(cfg: DeepThermoConfig) -> Self {
+    ///
+    /// # Errors
+    /// [`DeepThermoError::Config`] when the configuration is
+    /// inconsistent (see [`DeepThermoConfig::validate`]).
+    pub fn nbmotaw(cfg: DeepThermoConfig) -> Result<Self, DeepThermoError> {
         let model = nbmotaw();
         DeepThermo::with_model(cfg, model)
     }
 
     /// Any pair Hamiltonian over the configured material.
     ///
-    /// # Panics
-    /// Panics when the model's species count disagrees with the material.
-    pub fn with_model(cfg: DeepThermoConfig, model: PairHamiltonian) -> Self {
+    /// # Errors
+    /// [`DeepThermoError::Config`] when the configuration is
+    /// inconsistent or the model's species count disagrees with the
+    /// material's.
+    pub fn with_model(
+        cfg: DeepThermoConfig,
+        model: PairHamiltonian,
+    ) -> Result<Self, DeepThermoError> {
+        cfg.validate()?;
+        if model.num_species() != cfg.material.species.len() {
+            return Err(ConfigError::SpeciesMismatch {
+                model: model.num_species(),
+                material: cfg.material.species.len(),
+            }
+            .into());
+        }
         let cell = Supercell::cubic(cfg.material.structure.clone(), cfg.material.l);
-        assert_eq!(
-            model.num_species(),
-            cfg.material.species.len(),
-            "model species must match the material"
-        );
         let neighbors = cell.neighbor_table(cfg.material.num_shells);
         let comp = Composition::equiatomic(cfg.material.species.len(), cell.num_sites())
-            .expect("valid composition");
-        DeepThermo {
+            .map_err(|_| ConfigError::EmptyComposition)?;
+        Ok(DeepThermo {
             cfg,
             cell,
             neighbors,
             comp,
             model,
-        }
+        })
     }
 
     /// The supercell.
@@ -79,7 +92,12 @@ impl DeepThermo {
 
     /// Run the full pipeline: range discovery → REWL sampling → DOS
     /// normalization → thermodynamics + SRO curves.
-    pub fn run(&self) -> DeepThermoReport {
+    ///
+    /// # Errors
+    /// [`DeepThermoError::Sampling`] when the parallel sampler fails
+    /// unrecoverably, [`DeepThermoError::NoVisitedBins`] when it
+    /// produces nothing to evaluate.
+    pub fn run(&self) -> Result<DeepThermoReport, DeepThermoError> {
         // 1. Discover the reachable energy range.
         let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.rewl.seed ^ 0x5eed);
         let range = explore_energy_range(
@@ -98,7 +116,7 @@ impl DeepThermo {
             &self.comp,
             range,
             &self.cfg.rewl,
-        );
+        )?;
         self.evaluate(out)
     }
 
@@ -106,7 +124,19 @@ impl DeepThermo {
     /// `dir`, resuming from the newest consistent snapshot when one
     /// exists. Range discovery is seeded from the config, so a restarted
     /// run rebuilds the same windows and the snapshot stays valid.
-    pub fn run_resumable(&self, dir: impl Into<std::path::PathBuf>) -> DeepThermoReport {
+    ///
+    /// # Errors
+    /// [`DeepThermoError::Io`] when the checkpoint directory cannot be
+    /// created, plus everything [`DeepThermo::run`] can return.
+    pub fn run_resumable(
+        &self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<DeepThermoReport, DeepThermoError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| DeepThermoError::Io {
+            path: dir.clone(),
+            message: e.to_string(),
+        })?;
         let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.rewl.seed ^ 0x5eed);
         let range = explore_energy_range(
             &self.model,
@@ -120,13 +150,17 @@ impl DeepThermo {
         if rewl_cfg.checkpoint.is_none() {
             rewl_cfg.checkpoint = Some(dt_rewl::CheckpointSpec::new(dir));
         }
-        let out = run_rewl(&self.model, &self.neighbors, &self.comp, range, &rewl_cfg);
+        let out = run_rewl(&self.model, &self.neighbors, &self.comp, range, &rewl_cfg)?;
         self.evaluate(out)
     }
 
     /// Turn a raw REWL output into the thermodynamic report (exposed so
     /// benchmarks can re-evaluate saved outputs).
-    pub fn evaluate(&self, out: RewlOutput) -> DeepThermoReport {
+    ///
+    /// # Errors
+    /// [`DeepThermoError::NoVisitedBins`] when the output visited no
+    /// energy bins at all.
+    pub fn evaluate(&self, out: RewlOutput) -> Result<DeepThermoReport, DeepThermoError> {
         let mut dos = out.dos.clone();
         dos.normalize_total(self.comp.ln_num_configurations(), Some(&out.mask));
         let ln_g_range = dos.ln_g_range(Some(&out.mask));
@@ -139,6 +173,9 @@ impl DeepThermo {
                 energies.push(dos.grid().center(bin));
                 ln_g.push(dos.ln_g_bin(bin));
             }
+        }
+        if energies.is_empty() {
+            return Err(DeepThermoError::NoVisitedBins);
         }
         let thermo = canonical_curve(&energies, &ln_g, &self.cfg.temperatures, KB_EV_PER_K);
         let (tc, cv_peak) = find_cv_peak(&thermo);
@@ -189,7 +226,7 @@ impl DeepThermo {
         for w in &out.windows {
             stats.merge(&w.stats);
         }
-        DeepThermoReport {
+        Ok(DeepThermoReport {
             dos,
             mask: out.mask,
             ln_g_range,
@@ -204,7 +241,8 @@ impl DeepThermo {
             stats,
             lost_ranks: out.lost_ranks,
             resumed_from: out.resumed_from,
-        }
+            telemetry: out.telemetry,
+        })
     }
 }
 
@@ -215,7 +253,10 @@ mod tests {
 
     #[test]
     fn quick_demo_runs_end_to_end() {
-        let report = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo()).run();
+        let report = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo())
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(report.converged, "demo run should converge");
         // DOS range scales like N ln 4: for N=54, ≈ 75 ln-units; visited
         // bins exclude the extremes so expect a sizeable fraction.
@@ -242,7 +283,10 @@ mod tests {
     fn resumable_run_writes_checkpoints() {
         let dir = std::env::temp_dir().join(format!("dtcore-resumable-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let report = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo()).run_resumable(&dir);
+        let report = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo())
+            .unwrap()
+            .run_resumable(&dir)
+            .unwrap();
         assert!(report.converged);
         assert!(
             std::fs::read_dir(&dir).unwrap().count() > 0,
@@ -253,7 +297,10 @@ mod tests {
 
     #[test]
     fn report_csvs_are_well_formed() {
-        let report = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo().with_seed(5)).run();
+        let report = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo().with_seed(5))
+            .unwrap()
+            .run()
+            .unwrap();
         let csv = report.thermo_csv();
         assert_eq!(csv.lines().count(), 61); // header + 60 temperatures
         assert!(report.dos_csv().lines().count() > 10);

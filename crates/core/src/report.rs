@@ -2,6 +2,7 @@
 
 use dt_proposal::MoveStats;
 use dt_rewl::WindowReport;
+use dt_telemetry::RankTelemetry;
 use dt_thermo::ThermoPoint;
 use dt_wanglandau::DosEstimate;
 
@@ -50,6 +51,9 @@ pub struct DeepThermoReport {
     pub lost_ranks: Vec<usize>,
     /// Checkpoint round the run resumed from, if it did.
     pub resumed_from: Option<u64>,
+    /// Per-rank telemetry snapshots; empty unless the run sampled with
+    /// `RewlConfig::telemetry` on (see `DeepThermoConfig::with_telemetry`).
+    pub telemetry: Vec<RankTelemetry>,
 }
 
 impl DeepThermoReport {
@@ -89,6 +93,18 @@ impl DeepThermoReport {
             }
         }
         s
+    }
+
+    /// The telemetry snapshots as JSONL (one JSON object per rank, per
+    /// line); empty string when telemetry was off.
+    pub fn telemetry_jsonl(&self) -> String {
+        dt_telemetry::to_jsonl(&self.telemetry)
+    }
+
+    /// Human-readable per-rank phase-timing table; header-only when
+    /// telemetry was off.
+    pub fn phase_table(&self) -> String {
+        dt_telemetry::phase_table(&self.telemetry)
     }
 
     /// Short human-readable summary.
@@ -163,6 +179,7 @@ mod tests {
             stats: MoveStats::new(),
             lost_ranks: vec![],
             resumed_from: None,
+            telemetry: vec![],
         }
     }
 

@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -75,6 +75,43 @@ pub struct SimulatedCrash {
     pub rank: usize,
     /// Round at which the kill fired.
     pub round: u64,
+}
+
+/// Per-rank message-traffic counters, accumulated lock-free inside the
+/// fabric as the rank communicates.
+#[derive(Debug, Default)]
+struct TrafficCounters {
+    sends: AtomicU64,
+    send_bytes: AtomicU64,
+    recvs: AtomicU64,
+    recv_bytes: AtomicU64,
+    timeouts: AtomicU64,
+    dead_peer_errors: AtomicU64,
+    dropped_sends: AtomicU64,
+    delayed_sends: AtomicU64,
+}
+
+/// A point-in-time copy of one rank's traffic counters
+/// ([`Communicator::traffic`]). Feeds the per-rank telemetry snapshot in
+/// the REWL driver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    /// Messages this rank sent (including delayed, excluding dropped).
+    pub sends: u64,
+    /// Payload bytes across all sends that entered the fabric.
+    pub send_bytes: u64,
+    /// Messages this rank successfully received.
+    pub recvs: u64,
+    /// Payload bytes across all successful receives.
+    pub recv_bytes: u64,
+    /// Receives that failed with [`CommError::Timeout`].
+    pub timeouts: u64,
+    /// Receives that failed with [`CommError::RankDead`].
+    pub dead_peer_errors: u64,
+    /// Sends eaten by the fault plan.
+    pub dropped_sends: u64,
+    /// Sends the fault plan put in flight with a delay.
+    pub delayed_sends: u64,
 }
 
 /// Key of a pending message: (source rank, tag).
@@ -149,6 +186,7 @@ struct Fabric {
     collectives: Collectives,
     dead: Vec<AtomicBool>,
     faults: FaultRuntime,
+    traffic: Vec<TrafficCounters>,
 }
 
 impl Fabric {
@@ -156,6 +194,7 @@ impl Fabric {
         Fabric {
             size,
             mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+            traffic: (0..size).map(|_| TrafficCounters::default()).collect(),
             collectives: Collectives {
                 lock: Mutex::new(CollectiveState {
                     live: size,
@@ -230,6 +269,21 @@ impl Communicator {
         self.fabric.collectives.lock.lock().live
     }
 
+    /// A point-in-time copy of this rank's message-traffic counters.
+    pub fn traffic(&self) -> TrafficSnapshot {
+        let c = &self.fabric.traffic[self.rank];
+        TrafficSnapshot {
+            sends: c.sends.load(Ordering::Relaxed),
+            send_bytes: c.send_bytes.load(Ordering::Relaxed),
+            recvs: c.recvs.load(Ordering::Relaxed),
+            recv_bytes: c.recv_bytes.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            dead_peer_errors: c.dead_peer_errors.load(Ordering::Relaxed),
+            dropped_sends: c.dropped_sends.load(Ordering::Relaxed),
+            delayed_sends: c.delayed_sends.load(Ordering::Relaxed),
+        }
+    }
+
     /// Crash this rank (panic with a [`SimulatedCrash`] payload) if the
     /// fault plan schedules a kill at or before `round`. Rank programs
     /// call this once per round; [`ThreadCluster::run_with_faults`]
@@ -249,11 +303,22 @@ impl Communicator {
     /// drops; delayed messages become receivable only after their delay.
     pub fn send(&self, to: usize, tag: u64, data: Vec<u8>) {
         assert!(to < self.fabric.size, "send to invalid rank {to}");
+        let counters = &self.fabric.traffic[self.rank];
         let deliver_at = match self.fabric.faults.on_send(self.rank, to, tag) {
-            SendFate::Drop => return,
+            SendFate::Drop => {
+                counters.dropped_sends.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             SendFate::Deliver => Instant::now(),
-            SendFate::Delay(d) => Instant::now() + d,
+            SendFate::Delay(d) => {
+                counters.delayed_sends.fetch_add(1, Ordering::Relaxed);
+                Instant::now() + d
+            }
         };
+        counters.sends.fetch_add(1, Ordering::Relaxed);
+        counters
+            .send_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         if self.fabric.is_dead(to) {
             return;
         }
@@ -273,12 +338,18 @@ impl Communicator {
     /// queued, `Ok(None)` if not, `Err(RankDead)` if `from` is dead with
     /// nothing in flight.
     pub fn try_recv(&self, from: usize, tag: u64) -> Result<Option<Vec<u8>>, CommError> {
+        let counters = &self.fabric.traffic[self.rank];
         let mb = &self.fabric.mailboxes[self.rank];
         let mut queues = mb.queues.lock();
         let now = Instant::now();
         if let Some(q) = queues.get_mut(&(from, tag)) {
             if let Some(pos) = q.iter().position(|m| m.deliver_at <= now) {
-                return Ok(q.remove(pos).map(|m| m.payload));
+                let payload = q.remove(pos).expect("position just found").payload;
+                counters.recvs.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .recv_bytes
+                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                return Ok(Some(payload));
             }
             if !q.is_empty() {
                 // Delayed messages still in flight; the sender's death
@@ -287,6 +358,7 @@ impl Communicator {
             }
         }
         if self.fabric.is_dead(from) {
+            counters.dead_peer_errors.fetch_add(1, Ordering::Relaxed);
             return Err(CommError::RankDead(from));
         }
         Ok(None)
@@ -304,6 +376,7 @@ impl Communicator {
         timeout: Duration,
     ) -> Result<Vec<u8>, CommError> {
         let deadline = Instant::now() + timeout;
+        let counters = &self.fabric.traffic[self.rank];
         let mb = &self.fabric.mailboxes[self.rank];
         let mut queues = mb.queues.lock();
         loop {
@@ -311,14 +384,21 @@ impl Communicator {
             let mut earliest_delayed: Option<Instant> = None;
             if let Some(q) = queues.get_mut(&(from, tag)) {
                 if let Some(pos) = q.iter().position(|m| m.deliver_at <= now) {
-                    return Ok(q.remove(pos).expect("position just found").payload);
+                    let payload = q.remove(pos).expect("position just found").payload;
+                    counters.recvs.fetch_add(1, Ordering::Relaxed);
+                    counters
+                        .recv_bytes
+                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    return Ok(payload);
                 }
                 earliest_delayed = q.iter().map(|m| m.deliver_at).min();
             }
             if earliest_delayed.is_none() && self.fabric.is_dead(from) {
+                counters.dead_peer_errors.fetch_add(1, Ordering::Relaxed);
                 return Err(CommError::RankDead(from));
             }
             if now >= deadline {
+                counters.timeouts.fetch_add(1, Ordering::Relaxed);
                 return Err(CommError::Timeout { from, tag });
             }
             // Sleep until whichever comes first: the deadline or the
@@ -339,7 +419,7 @@ impl Communicator {
     ///
     /// Kept for fault-free code paths; the wait is watchdog-bounded so
     /// even a misused call cannot hang forever — it panics after
-    /// [`WATCHDOG`] or if the sender dies, rather than deadlocking.
+    /// the watchdog interval or if the sender dies, rather than deadlocking.
     pub fn recv(&self, from: usize, tag: u64) -> Vec<u8> {
         self.recv_timeout(from, tag, WATCHDOG)
             .unwrap_or_else(|e| panic!("rank {}: recv({from}, {tag}): {e}", self.rank))
@@ -859,6 +939,34 @@ mod tests {
                 dead => panic!("survivor died: {dead:?}"),
             }
         }
+    }
+
+    #[test]
+    fn traffic_counters_track_messages_and_failures() {
+        let plan = FaultPlan::none().drop_message(0, 1, 0);
+        let outcomes = ThreadCluster::run_with_faults(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![0; 8]); // eaten by the plan
+                comm.send(1, 2, vec![0; 16]);
+                comm.barrier();
+                comm.traffic()
+            } else {
+                let _ = comm.recv(0, 2);
+                let timed_out = comm.recv_timeout(0, 99, Duration::from_millis(20));
+                assert!(matches!(timed_out, Err(CommError::Timeout { .. })));
+                comm.barrier();
+                comm.traffic()
+            }
+        });
+        let mut outcomes = outcomes.into_iter();
+        let t0 = outcomes.next().unwrap().completed().expect("rank 0 alive");
+        let t1 = outcomes.next().unwrap().completed().expect("rank 1 alive");
+        assert_eq!(t0.sends, 1, "dropped send must not count as delivered");
+        assert_eq!(t0.dropped_sends, 1);
+        assert_eq!(t0.send_bytes, 16);
+        assert_eq!(t1.recvs, 1);
+        assert_eq!(t1.recv_bytes, 16);
+        assert_eq!(t1.timeouts, 1);
     }
 
     #[test]

@@ -39,9 +39,13 @@ pub mod perf;
 pub mod rngstream;
 pub mod scaling;
 
-pub use comm::{CommError, Communicator, RankOutcome, SimulatedCrash, ThreadCluster};
+pub use comm::{
+    CommError, Communicator, RankOutcome, SimulatedCrash, ThreadCluster, TrafficSnapshot,
+};
 pub use fault::{FaultEvent, FaultPlan, SendFate};
 pub use gpu::GpuSpec;
-pub use perf::{CostBreakdown, PerfModel, WorkloadShape};
+pub use perf::{
+    comparison_table, measured_vs_modeled, CostBreakdown, PerfModel, PhaseComparison, WorkloadShape,
+};
 pub use rngstream::rank_rng;
 pub use scaling::{strong_scaling_table, weak_scaling_table, ScalingRow};

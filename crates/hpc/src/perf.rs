@@ -8,6 +8,7 @@
 //! reproduce the *shape* of the paper's results.
 
 use crate::gpu::GpuSpec;
+use dt_telemetry::{Phase, PhaseBreakdown};
 
 /// Workload parameters of one walker.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +74,111 @@ impl CostBreakdown {
     pub fn compute(&self) -> f64 {
         self.energy_eval_s + self.nn_inference_s + self.training_s
     }
+
+    /// The modeled seconds for a telemetry phase, if the model covers it
+    /// (the roofline has no notion of checkpoint/gather overheads).
+    pub fn phase_s(&self, phase: Phase) -> Option<f64> {
+        match phase {
+            Phase::EnergyEval => Some(self.energy_eval_s),
+            Phase::Inference => Some(self.nn_inference_s),
+            Phase::Train => Some(self.training_s),
+            Phase::Exchange => Some(self.exchange_s),
+            Phase::Allreduce => Some(self.allreduce_s),
+            _ => None,
+        }
+    }
+}
+
+/// One phase of a measured-vs-modeled comparison
+/// ([`measured_vs_modeled`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseComparison {
+    /// Which phase.
+    pub phase: Phase,
+    /// Measured seconds summed across ranks.
+    pub measured_s: f64,
+    /// Measured fraction of the total across the modeled phases.
+    pub measured_share: f64,
+    /// Modeled fraction of the total across the modeled phases.
+    pub modeled_share: f64,
+    /// Modeled share rescaled to the measured total — what the roofline
+    /// predicts this phase *should* have cost in this run's seconds.
+    pub scaled_model_s: f64,
+}
+
+impl PhaseComparison {
+    /// Signed model error in share space (measured − modeled); 0 when
+    /// the measured split matches the roofline exactly.
+    pub fn share_error(&self) -> f64 {
+        self.measured_share - self.modeled_share
+    }
+}
+
+/// Compare a measured cross-rank [`PhaseBreakdown`] against a modeled
+/// [`CostBreakdown`], phase by phase.
+///
+/// Absolute seconds are not comparable — the measurement comes from
+/// laptop threads, the model from GPU rooflines — so the comparison is
+/// over *shares*: each side is normalized by its own total across the
+/// five modeled phases, and the modeled share is also rescaled into
+/// measured seconds (`scaled_model_s`) for readable tables. Phases the
+/// model does not cover (checkpoint, gather, move-batch envelope) are
+/// excluded.
+pub fn measured_vs_modeled(
+    measured: &PhaseBreakdown,
+    modeled: &CostBreakdown,
+) -> Vec<PhaseComparison> {
+    let phases: Vec<Phase> = Phase::ALL
+        .into_iter()
+        .filter(|&p| modeled.phase_s(p).is_some())
+        .collect();
+    let measured_total: f64 = phases.iter().map(|&p| measured.total(p)).sum();
+    let modeled_total: f64 = phases.iter().filter_map(|&p| modeled.phase_s(p)).sum();
+    phases
+        .into_iter()
+        .map(|phase| {
+            let measured_s = measured.total(phase);
+            let model_s = modeled.phase_s(phase).expect("phase filtered as modeled");
+            let measured_share = if measured_total > 0.0 {
+                measured_s / measured_total
+            } else {
+                0.0
+            };
+            let modeled_share = if modeled_total > 0.0 {
+                model_s / modeled_total
+            } else {
+                0.0
+            };
+            PhaseComparison {
+                phase,
+                measured_s,
+                measured_share,
+                modeled_share,
+                scaled_model_s: modeled_share * measured_total,
+            }
+        })
+        .collect()
+}
+
+/// Render a measured-vs-modeled comparison as an aligned text table.
+pub fn comparison_table(rows: &[PhaseComparison]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<11} {:>12} {:>10} {:>10} {:>14} {:>10}\n",
+        "phase", "measured_s", "meas_%", "model_%", "scaled_model_s", "err_pp"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11} {:>12.6} {:>9.1}% {:>9.1}% {:>14.6} {:>+9.1}\n",
+            r.phase.name(),
+            r.measured_s,
+            r.measured_share * 100.0,
+            r.modeled_share * 100.0,
+            r.scaled_model_s,
+            r.share_error() * 100.0,
+        ));
+    }
+    out
 }
 
 /// The analytic model: a GPU spec + workload shape.
@@ -221,6 +327,45 @@ mod tests {
         let eff = m.throughput(3000) / (3000.0 * m.throughput(1));
         assert!(eff < 1.0, "eff {eff}");
         assert!(eff > 0.3, "eff {eff}");
+    }
+
+    #[test]
+    fn measured_vs_modeled_shares_sum_to_one() {
+        use dt_telemetry::{RankTelemetry, Telemetry};
+        let tel = Telemetry::enabled();
+        tel.record_ns(Phase::EnergyEval, 6_000_000);
+        tel.record_ns(Phase::Inference, 2_000_000);
+        tel.record_ns(Phase::Exchange, 1_000_000);
+        tel.record_ns(Phase::Allreduce, 1_000_000);
+        tel.record_ns(Phase::Checkpoint, 50_000_000); // not modeled: excluded
+        let ranks: Vec<RankTelemetry> = vec![tel.snapshot(0)];
+        let measured = PhaseBreakdown::aggregate(&ranks);
+        let modeled = model(GpuSpec::v100()).iteration(8);
+        let rows = measured_vs_modeled(&measured, &modeled);
+        assert_eq!(rows.len(), 5, "all five modeled phases compared");
+        let meas_sum: f64 = rows.iter().map(|r| r.measured_share).sum();
+        let model_sum: f64 = rows.iter().map(|r| r.modeled_share).sum();
+        assert!((meas_sum - 1.0).abs() < 1e-9, "measured shares {meas_sum}");
+        assert!((model_sum - 1.0).abs() < 1e-9, "modeled shares {model_sum}");
+        // Scaled model seconds reconstruct the measured total (10 ms).
+        let scaled_sum: f64 = rows.iter().map(|r| r.scaled_model_s).sum();
+        assert!((scaled_sum - 0.01).abs() < 1e-9, "scaled sum {scaled_sum}");
+        // EnergyEval row carries the measured 6 ms.
+        let ee = rows.iter().find(|r| r.phase == Phase::EnergyEval).unwrap();
+        assert!((ee.measured_s - 6e-3).abs() < 1e-12);
+        assert!((ee.measured_share - 0.6).abs() < 1e-9);
+        let table = comparison_table(&rows);
+        assert!(table.contains("energy_eval"));
+        assert!(table.contains("allreduce"));
+    }
+
+    #[test]
+    fn measured_vs_modeled_handles_empty_measurement() {
+        let measured = PhaseBreakdown::default();
+        let modeled = model(GpuSpec::v100()).iteration(1);
+        let rows = measured_vs_modeled(&measured, &modeled);
+        assert!(rows.iter().all(|r| r.measured_share == 0.0));
+        assert!(rows.iter().all(|r| r.scaled_model_s == 0.0));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use dt_hamiltonian::{DeltaWorkspace, EnergyModel, KB_EV_PER_K};
 use dt_lattice::{Configuration, NeighborTable};
 use dt_proposal::{apply_move, move_delta, MoveStats, ProposalContext, ProposalKernel};
+use dt_telemetry::{Phase, Telemetry};
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -34,6 +35,7 @@ pub struct MetropolisSampler {
     stats: MoveStats,
     rng: ChaCha8Rng,
     total_moves: u64,
+    tel: Telemetry,
 }
 
 impl MetropolisSampler {
@@ -59,7 +61,14 @@ impl MetropolisSampler {
             stats: MoveStats::new(),
             rng: ChaCha8Rng::seed_from_u64(seed),
             total_moves: 0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle; subsequent sweeps record
+    /// [`Phase::MoveBatch`] and [`Phase::EnergyEval`] spans into it.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// One proposal; returns whether it was accepted.
@@ -71,13 +80,16 @@ impl MetropolisSampler {
     ) -> bool {
         self.total_moves += 1;
         let proposal = self.kernel.propose(&self.config, ctx, &mut self.rng);
-        let delta = move_delta(
-            model,
-            &self.config,
-            neighbors,
-            &proposal.mv,
-            &mut self.workspace,
-        );
+        let delta = {
+            let _span = self.tel.span(Phase::EnergyEval);
+            move_delta(
+                model,
+                &self.config,
+                neighbors,
+                &proposal.mv,
+                &mut self.workspace,
+            )
+        };
         let ln_a = -self.beta * delta + proposal.log_q_ratio();
         let accepted = ln_a >= 0.0 || self.rng.random::<f64>() < ln_a.exp();
         if accepted {
@@ -96,6 +108,9 @@ impl MetropolisSampler {
         neighbors: &NeighborTable,
         ctx: &ProposalContext<'_>,
     ) {
+        // Clone the handle so the span's borrow does not pin `self`.
+        let tel = self.tel.clone();
+        let _span = tel.span(Phase::MoveBatch);
         for _ in 0..self.config.num_sites() {
             self.step(model, neighbors, ctx);
         }
@@ -275,6 +290,27 @@ mod tests {
             rates.push(s.stats().acceptance("local-swap").unwrap());
         }
         assert!(rates[0] > rates[1] && rates[1] > rates[2], "{rates:?}");
+    }
+
+    #[test]
+    fn telemetry_counts_sweeps_and_evals() {
+        let (_, nt, comp, h) = system();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let config = Configuration::random(&comp, &mut rng);
+        let ctx = ProposalContext {
+            neighbors: &nt,
+            composition: &comp,
+        };
+        let mut s = MetropolisSampler::new(500.0, config, &h, &nt, Box::new(LocalSwap::new()), 9);
+        let tel = Telemetry::enabled();
+        s.set_telemetry(tel.clone());
+        s.sweep(&h, &nt, &ctx);
+        let snap = tel.snapshot(0);
+        assert_eq!(snap.phase_stat(Phase::MoveBatch).unwrap().count, 1);
+        assert_eq!(
+            snap.phase_stat(Phase::EnergyEval).unwrap().count,
+            s.config().num_sites() as u64
+        );
     }
 
     #[test]

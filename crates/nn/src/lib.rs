@@ -55,4 +55,4 @@ pub use loss::{
 pub use matrix::Matrix;
 pub use mlp::Mlp;
 pub use optim::{Adam, Sgd};
-pub use serialize::{load_mlp, save_mlp, NnFormatError};
+pub use serialize::{load_mlp, load_mlp_from_file, save_mlp, save_mlp_to_file, NnFormatError};

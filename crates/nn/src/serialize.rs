@@ -15,7 +15,7 @@ use crate::mlp::Mlp;
 /// Format version written at the head of every serialized model.
 const FORMAT_VERSION: u32 = 1;
 
-/// Errors from [`load_mlp`].
+/// Errors from [`load_mlp`] and the file round-trip helpers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NnFormatError {
     /// The header line is missing or malformed.
@@ -26,6 +26,10 @@ pub enum NnFormatError {
     Malformed(String),
     /// The data ended early.
     Truncated,
+    /// Reading or writing the model file failed. The message carries the
+    /// rendered `std::io::Error` (stored as text so this enum stays
+    /// `Clone + PartialEq`).
+    Io(String),
 }
 
 impl fmt::Display for NnFormatError {
@@ -35,11 +39,18 @@ impl fmt::Display for NnFormatError {
             NnFormatError::UnsupportedVersion(v) => write!(f, "unsupported model version {v}"),
             NnFormatError::Malformed(what) => write!(f, "malformed model data: {what}"),
             NnFormatError::Truncated => write!(f, "model data truncated"),
+            NnFormatError::Io(what) => write!(f, "model file I/O failed: {what}"),
         }
     }
 }
 
 impl std::error::Error for NnFormatError {}
+
+impl From<std::io::Error> for NnFormatError {
+    fn from(e: std::io::Error) -> Self {
+        NnFormatError::Io(e.to_string())
+    }
+}
 
 /// Serialize an MLP to the versioned text format.
 pub fn save_mlp(mlp: &Mlp) -> String {
@@ -140,6 +151,24 @@ pub fn load_mlp(text: &str) -> Result<Mlp, NnFormatError> {
     Ok(Mlp::from_parts(layers, hidden, output))
 }
 
+/// Write an MLP to `path` in the versioned text format.
+///
+/// # Errors
+/// Returns [`NnFormatError::Io`] if the file cannot be written.
+pub fn save_mlp_to_file(mlp: &Mlp, path: impl AsRef<std::path::Path>) -> Result<(), NnFormatError> {
+    std::fs::write(path, save_mlp(mlp))?;
+    Ok(())
+}
+
+/// Read an MLP previously written by [`save_mlp_to_file`].
+///
+/// # Errors
+/// Returns [`NnFormatError::Io`] if the file cannot be read, or any other
+/// [`NnFormatError`] if its contents are not a valid model.
+pub fn load_mlp_from_file(path: impl AsRef<std::path::Path>) -> Result<Mlp, NnFormatError> {
+    load_mlp(&std::fs::read_to_string(path)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +225,23 @@ mod tests {
             load_mlp(&cut),
             Err(NnFormatError::Truncated) | Err(NnFormatError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn file_round_trip_and_io_errors() {
+        let mlp = sample_mlp();
+        let dir = std::env::temp_dir().join("dtnn-serialize-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.dtnn");
+        save_mlp_to_file(&mlp, &path).unwrap();
+        let back = load_mlp_from_file(&path).unwrap();
+        assert_eq!(back.dims(), mlp.dims());
+        let missing = dir.join("does-not-exist.dtnn");
+        assert!(matches!(
+            load_mlp_from_file(&missing),
+            Err(NnFormatError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 use dt_lattice::{Configuration, NeighborTable, SiteId, Species};
 use dt_nn::{log_softmax_masked, sample_categorical, Activation, Matrix, Mlp};
+use dt_telemetry::{Phase, Telemetry};
 use rand::Rng;
 
 use crate::kinds::{Proposal, ProposalContext, ProposalKernel, ProposedMove};
@@ -126,6 +127,7 @@ pub struct DeepProposal {
     net: Mlp,
     layout: FeatureLayout,
     k: usize,
+    tel: Telemetry,
     // Scratch buffers (reused across proposals; one kernel per walker).
     site_buf: Vec<SiteId>,
     decided: Vec<bool>,
@@ -170,10 +172,18 @@ impl DeepProposal {
             net,
             layout,
             k,
+            tel: Telemetry::disabled(),
             site_buf: Vec::new(),
             decided: Vec::new(),
             work: Vec::new(),
         }
+    }
+
+    /// Attach a telemetry handle; each proposal records one
+    /// [`Phase::Inference`] span covering the forward decode and reverse
+    /// replay network passes.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Sites updated per proposal.
@@ -306,6 +316,10 @@ impl ProposalKernel for DeepProposal {
         let n = config.num_sites();
         let k = self.k.min(n);
         let m = self.layout.num_species;
+
+        // Clone the handle so the span's borrow does not pin `self`.
+        let tel = self.tel.clone();
+        let _span = tel.span(Phase::Inference);
 
         let mut sites = std::mem::take(&mut self.site_buf);
         sample_distinct_sites(n, k, &mut sites, rng);

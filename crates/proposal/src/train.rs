@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 
 use dt_lattice::{Configuration, NeighborTable, SiteId};
 use dt_nn::{softmax_cross_entropy_masked, Adam, Matrix, Mlp};
+use dt_telemetry::{Phase, Telemetry};
 use rand::Rng;
 
 use crate::deep::FeatureLayout;
@@ -95,6 +96,7 @@ pub struct ProposalTrainer {
     layout: FeatureLayout,
     adam: Adam,
     site_buf: Vec<SiteId>,
+    tel: Telemetry,
 }
 
 impl ProposalTrainer {
@@ -105,7 +107,14 @@ impl ProposalTrainer {
             cfg,
             layout,
             site_buf: Vec::new(),
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle; each epoch records one [`Phase::Train`]
+    /// span.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// The trainer configuration.
@@ -126,6 +135,9 @@ impl ProposalTrainer {
             return None;
         }
         assert_eq!(net.in_dim(), self.layout.dim(), "net/layout mismatch");
+        // Clone the handle so the span's borrow does not pin `self`.
+        let tel = self.tel.clone();
+        let _span = tel.span(Phase::Train);
         let m = self.layout.num_species;
         let k = self.cfg.k;
         let dim = self.layout.dim();

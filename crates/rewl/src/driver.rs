@@ -3,12 +3,15 @@
 use std::time::Duration;
 
 use dt_hamiltonian::EnergyModel;
-use dt_hpc::{rank_rng, CommError, Communicator, FaultPlan, RankOutcome, ThreadCluster};
+use dt_hpc::{
+    rank_rng, CommError, Communicator, FaultPlan, RankOutcome, ThreadCluster, TrafficSnapshot,
+};
 use dt_lattice::{sro::ordered_pair_counts, Composition, Configuration, NeighborTable};
 use dt_proposal::{
     DeepProposal, LocalSwap, MoveStats, ProposalContext, ProposalKernel, ProposalMix,
     ProposalTrainer, RandomReassign, SampleBuffer,
 };
+use dt_telemetry::{Phase, RankTelemetry, Telemetry};
 use dt_thermo::MicrocanonicalAccumulator;
 use dt_wanglandau::{DosEstimate, EnergyGrid, WlParams, WlWalker};
 
@@ -48,6 +51,10 @@ pub struct RewlConfig {
     /// set, [`run_rewl`] also *resumes* from the newest consistent
     /// snapshot found in the directory (see [`crate::checkpoint`]).
     pub checkpoint: Option<CheckpointSpec>,
+    /// Record per-rank phase timings, acceptance counters, and message
+    /// traffic into [`RewlOutput::telemetry`]. Off by default; when off
+    /// the instrumentation reduces to a single branch per site.
+    pub telemetry: bool,
 }
 
 impl Default for RewlConfig {
@@ -65,9 +72,50 @@ impl Default for RewlConfig {
             kernel: KernelSpec::LocalSwap,
             faults: FaultPlan::none(),
             checkpoint: None,
+            telemetry: false,
         }
     }
 }
+
+/// Unrecoverable failures of a REWL run.
+///
+/// Degraded-but-survivable situations (a dead non-root walker, a lost
+/// message, a failed checkpoint write) are *not* errors — they are
+/// reported through [`WindowReport::lost_walkers`] and
+/// [`RewlOutput::lost_ranks`]. These variants cover the cases where no
+/// meaningful output exists at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewlError {
+    /// Rank 0 — the gather root that assembles the output — died.
+    /// Every other rank is expendable; point fault plans away from
+    /// rank 0.
+    RootRankDied(String),
+    /// Every walker of one window died or was dropped from the final
+    /// gather, so that window's DOS piece is unrecoverable (resume from
+    /// a checkpoint instead).
+    WindowLost {
+        /// Index of the unrecoverable window.
+        window: usize,
+        /// Walkers the window started with (all lost).
+        walkers: usize,
+    },
+}
+
+impl std::fmt::Display for RewlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewlError::RootRankDied(cause) => {
+                write!(f, "rank 0 (the gather root) died: {cause}")
+            }
+            RewlError::WindowLost { window, walkers } => write!(
+                f,
+                "window {window}: all {walkers} walkers lost — the DOS piece is unrecoverable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RewlError {}
 
 /// Per-window summary of a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,6 +172,9 @@ pub struct RewlOutput {
     pub lost_ranks: Vec<usize>,
     /// The checkpoint round this run resumed from, when it did.
     pub resumed_from: Option<u64>,
+    /// Per-rank telemetry snapshots (surviving ranks only, in rank
+    /// order). Empty unless [`RewlConfig::telemetry`] was set.
+    pub telemetry: Vec<RankTelemetry>,
 }
 
 /// Data one rank contributes to the final gather.
@@ -181,17 +232,22 @@ fn build_kernel(spec: &KernelSpec, deep_state: &Option<DeepState>) -> Box<dyn Pr
 /// `cfg.checkpoint` the cluster snapshots itself periodically and this
 /// function resumes from the newest consistent snapshot on the next call.
 ///
+/// # Errors
+/// [`RewlError::RootRankDied`] when rank 0 (the gather root) dies —
+/// every other rank is expendable — and [`RewlError::WindowLost`] when
+/// an entire window loses all of its walkers, leaving a hole no merge
+/// can bridge.
+///
 /// # Panics
-/// Panics when a walker cannot reach its window, when an entire window
-/// loses all of its walkers, or when rank 0 (the gather root) dies —
-/// every other rank is expendable.
+/// Panics when a walker cannot reach its assigned energy window during
+/// warm-up (a configuration problem, not a runtime fault).
 pub fn run_rewl<M: EnergyModel + Sync>(
     model: &M,
     neighbors: &NeighborTable,
     comp: &Composition,
     (e_min, e_max): (f64, f64),
     cfg: &RewlConfig,
-) -> RewlOutput {
+) -> Result<RewlOutput, RewlError> {
     let layout = WindowLayout::new(
         EnergyGrid::new(e_min, e_max, cfg.num_bins),
         cfg.num_windows,
@@ -220,19 +276,28 @@ pub fn run_rewl<M: EnergyModel + Sync>(
             comm, model, neighbors, comp, &layout, cfg, obs_dim, num_shells, digest, resume_ref,
         )
     });
-    // Rank 0 produced the assembled output.
-    match outcomes
-        .into_iter()
-        .next()
-        .expect("cluster returns rank results")
-    {
-        RankOutcome::Completed(Some(out)) => out,
-        RankOutcome::Completed(None) => unreachable!("rank 0 assembles the output"),
-        RankOutcome::Died { cause } => panic!(
-            "rank 0 (the gather root) died: {cause}. Rank 0 must survive a run; \
-             point fault plans at non-zero ranks."
-        ),
+    // Rank 0 produced the assembled output; every surviving rank
+    // contributed a telemetry snapshot (when enabled).
+    let mut telemetry = Vec::new();
+    let mut root = None;
+    for (rank, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            RankOutcome::Completed((result, tel)) => {
+                telemetry.extend(tel);
+                if rank == 0 {
+                    root = Some(result.expect("rank 0 assembles the output"));
+                }
+            }
+            RankOutcome::Died { cause } => {
+                if rank == 0 {
+                    return Err(RewlError::RootRankDied(cause));
+                }
+            }
+        }
     }
+    let mut out = root.expect("rank 0 completes or dies")?;
+    out.telemetry = telemetry;
+    Ok(out)
 }
 
 /// Message tags.
@@ -283,6 +348,11 @@ fn recv_resilient(comm: &Communicator, from: usize, tag: u64) -> Result<Vec<u8>,
     Err(last)
 }
 
+/// What one rank hands back to [`run_rewl`]: the assembled output (rank 0
+/// only, or the error that prevented assembly) plus this rank's telemetry
+/// snapshot (when enabled).
+type RankReturn = (Option<Result<RewlOutput, RewlError>>, Option<RankTelemetry>);
+
 #[allow(clippy::too_many_arguments)]
 fn run_rank<M: EnergyModel + Sync>(
     comm: Communicator,
@@ -295,7 +365,7 @@ fn run_rank<M: EnergyModel + Sync>(
     num_shells: usize,
     digest: u64,
     resume: Option<&ResumePoint>,
-) -> Option<RewlOutput> {
+) -> RankReturn {
     let rank = comm.rank();
     let w = cfg.walkers_per_window;
     let window = rank / w;
@@ -304,15 +374,19 @@ fn run_rank<M: EnergyModel + Sync>(
     let grid = layout.window_grid(window);
     let global_bins = layout.global_grid().num_bins();
     let mut rng = rank_rng(cfg.seed, rank as u64);
+    let tel = Telemetry::new(cfg.telemetry);
 
     // Deep-proposal state (per rank).
     let mut deep_state = match &cfg.kernel {
         KernelSpec::Deep(ds) => {
-            let deep = DeepProposal::new(m_species, num_shells, &ds.proposal, &mut rng);
+            let mut deep = DeepProposal::new(m_species, num_shells, &ds.proposal, &mut rng);
+            deep.set_telemetry(tel.clone());
             let layout_f = deep.layout();
+            let mut trainer = ProposalTrainer::new(layout_f, ds.trainer.clone());
+            trainer.set_telemetry(tel.clone());
             Some(DeepState {
                 deep,
-                trainer: ProposalTrainer::new(layout_f, ds.trainer.clone()),
+                trainer,
                 buffer: SampleBuffer::new(ds.buffer_capacity),
                 spec: (**ds).clone(),
             })
@@ -390,6 +464,7 @@ fn run_rank<M: EnergyModel + Sync>(
             walker
         }
     };
+    walker.set_telemetry(tel.clone());
 
     let ctx = ProposalContext {
         neighbors,
@@ -404,6 +479,7 @@ fn run_rank<M: EnergyModel + Sync>(
         // --- periodic cluster checkpoint (start of round) -------------
         if let Some(spec) = cfg.checkpoint.as_ref() {
             if round > 0 && round % spec.every_rounds == 0 && Some(round) != resumed_round {
+                let _span = tel.span(Phase::Checkpoint);
                 checkpoint_cluster(
                     &comm,
                     spec,
@@ -474,6 +550,7 @@ fn run_rank<M: EnergyModel + Sync>(
         // detector the way electing "first live rank" would.
         if let Some(ds) = deep_state.as_mut() {
             if ds.spec.sync_weights && w > 1 {
+                let _span = tel.span(Phase::Allreduce);
                 let params = ds.deep.net().flatten_params();
                 let leader = window * w;
                 if slot == 0 {
@@ -548,6 +625,7 @@ fn run_rank<M: EnergyModel + Sync>(
                 // Dead slots are skipped outright; a partner that dies
                 // mid-protocol surfaces as a bounded comm error below.
                 if comm.is_alive(partner) {
+                    let _span = tel.span(Phase::Exchange);
                     exchange_attempts += 1;
                     match exchange_as_initiator(&comm, &mut walker, partner, round, m_species) {
                         Ok(true) => exchange_accepted += 1,
@@ -562,6 +640,7 @@ fn run_rank<M: EnergyModel + Sync>(
                 let initiator_slot = (slot + w - (round as usize % w)) % w;
                 let initiator = (window - 1) * w + initiator_slot;
                 if comm.is_alive(initiator) {
+                    let _span = tel.span(Phase::Exchange);
                     let _ = exchange_as_responder(&comm, &mut walker, initiator, round, m_species);
                 }
             }
@@ -577,7 +656,10 @@ fn run_rank<M: EnergyModel + Sync>(
             1.0,
             f64::from(u8::from(sweeps >= cfg.max_sweeps)),
         ];
-        comm.allreduce_sum(&mut flags);
+        {
+            let _span = tel.span(Phase::Allreduce);
+            comm.allreduce_sum(&mut flags);
+        }
         round += 1;
         let contributors = flags[1].round() as usize;
         if flags[0].round() as usize >= contributors || flags[2] > 0.5 {
@@ -595,20 +677,30 @@ fn run_rank<M: EnergyModel + Sync>(
         walker.total_moves(),
     ];
     if rank != 0 {
-        comm.send(0, tags::GATHER_LN_G, wire::encode_f64s(walker.dos().ln_g()));
-        comm.send(
-            0,
-            tags::GATHER_MASK,
-            wire::encode_mask(&walker.visited_mask()),
+        {
+            let _span = tel.span(Phase::Gather);
+            comm.send(0, tags::GATHER_LN_G, wire::encode_f64s(walker.dos().ln_g()));
+            comm.send(
+                0,
+                tags::GATHER_MASK,
+                wire::encode_mask(&walker.visited_mask()),
+            );
+            comm.send(
+                0,
+                tags::GATHER_STATS,
+                serialize_stats(walker.stats()).into_bytes(),
+            );
+            comm.send(0, tags::GATHER_COUNTS, wire::encode_u64s(&counts));
+            send_accumulator(&comm, &sro, obs_dim);
+        }
+        let snap = snapshot_rank_telemetry(
+            &tel,
+            rank,
+            &walker,
+            [exchange_attempts, exchange_accepted, sweeps],
+            Some(comm.traffic()),
         );
-        comm.send(
-            0,
-            tags::GATHER_STATS,
-            serialize_stats(walker.stats()).into_bytes(),
-        );
-        comm.send(0, tags::GATHER_COUNTS, wire::encode_u64s(&counts));
-        send_accumulator(&comm, &sro, obs_dim);
-        return None;
+        return (None, snap);
     }
 
     // Rank 0: collect every surviving rank (including itself). A rank
@@ -623,20 +715,30 @@ fn run_rank<M: EnergyModel + Sync>(
     }));
     let mut merged_sro = sro;
     let mut lost_ranks = Vec::new();
-    for other in 1..comm.size() {
-        let (lo, hi) = layout.bin_range(other / w);
-        match recv_rank_piece(&comm, other, hi - lo, global_bins, obs_dim) {
-            Ok((piece, acc)) => {
-                merged_sro.merge(&acc);
-                per_rank.push(Some(piece));
-            }
-            Err(why) => {
-                eprintln!("rewl: dropping rank {other} from the gather: {why}");
-                per_rank.push(None);
-                lost_ranks.push(other);
+    {
+        let _span = tel.span(Phase::Gather);
+        for other in 1..comm.size() {
+            let (lo, hi) = layout.bin_range(other / w);
+            match recv_rank_piece(&comm, other, hi - lo, global_bins, obs_dim) {
+                Ok((piece, acc)) => {
+                    merged_sro.merge(&acc);
+                    per_rank.push(Some(piece));
+                }
+                Err(why) => {
+                    eprintln!("rewl: dropping rank {other} from the gather: {why}");
+                    per_rank.push(None);
+                    lost_ranks.push(other);
+                }
             }
         }
     }
+    let rank_tel = snapshot_rank_telemetry(
+        &tel,
+        rank,
+        &walker,
+        [exchange_attempts, exchange_accepted, sweeps],
+        Some(comm.traffic()),
+    );
 
     // Average walkers within each window (aligning additive constants),
     // then merge windows. Lost walkers simply don't contribute; a window
@@ -645,11 +747,15 @@ fn run_rank<M: EnergyModel + Sync>(
     let mut reports = Vec::with_capacity(cfg.num_windows);
     for win in 0..cfg.num_windows {
         let members: Vec<&RankPiece> = per_rank[win * w..(win + 1) * w].iter().flatten().collect();
-        assert!(
-            !members.is_empty(),
-            "window {win}: all {w} walkers lost — the DOS piece is unrecoverable \
-             (resume from a checkpoint instead)"
-        );
+        if members.is_empty() {
+            return (
+                Some(Err(RewlError::WindowLost {
+                    window: win,
+                    walkers: w,
+                })),
+                rank_tel,
+            );
+        }
         pieces.push(average_window(&members));
         let mut stats = MoveStats::new();
         let mut attempts = 0u64;
@@ -676,17 +782,63 @@ fn run_rank<M: EnergyModel + Sync>(
     let (dos, mask) = merge_windows(layout, &pieces);
     let total_moves = per_rank.iter().flatten().map(|p| p.counts[4]).sum();
     let converged_all = reports.iter().all(|r| r.converged);
-    Some(RewlOutput {
-        dos,
-        mask,
-        windows: reports,
-        converged: converged_all,
-        sweeps,
-        sro: merged_sro,
-        total_moves,
-        lost_ranks,
-        resumed_from: resumed_round,
-    })
+    (
+        Some(Ok(RewlOutput {
+            dos,
+            mask,
+            windows: reports,
+            converged: converged_all,
+            sweeps,
+            sro: merged_sro,
+            total_moves,
+            lost_ranks,
+            resumed_from: resumed_round,
+            // Filled by `run_rewl` from every surviving rank's snapshot.
+            telemetry: Vec::new(),
+        })),
+        rank_tel,
+    )
+}
+
+/// Snapshot one rank's telemetry, folding in the sampler's acceptance
+/// statistics, exchange counters, and (on the cluster driver) the
+/// fabric's message-traffic counters. Returns `None` when disabled.
+fn snapshot_rank_telemetry(
+    tel: &Telemetry,
+    rank: usize,
+    walker: &WlWalker,
+    [exchange_attempts, exchange_accepted, sweeps]: [u64; 3],
+    traffic: Option<TrafficSnapshot>,
+) -> Option<RankTelemetry> {
+    if !tel.is_enabled() {
+        return None;
+    }
+    tel.set_gauge("ln_f", walker.ln_f());
+    let mut snap = tel.snapshot(rank);
+    for (name, proposed, accepted) in walker.stats().iter() {
+        snap.counters.push((format!("proposed_{name}"), proposed));
+        snap.counters.push((format!("accepted_{name}"), accepted));
+    }
+    snap.counters
+        .push(("exchange_attempts".into(), exchange_attempts));
+    snap.counters
+        .push(("exchange_accepted".into(), exchange_accepted));
+    snap.counters.push(("sweeps".into(), sweeps));
+    if let Some(t) = traffic {
+        snap.counters.push(("comm_sends".into(), t.sends));
+        snap.counters.push(("comm_send_bytes".into(), t.send_bytes));
+        snap.counters.push(("comm_recvs".into(), t.recvs));
+        snap.counters.push(("comm_recv_bytes".into(), t.recv_bytes));
+        snap.counters.push(("comm_timeouts".into(), t.timeouts));
+        snap.counters
+            .push(("comm_dead_peer_errors".into(), t.dead_peer_errors));
+        snap.counters
+            .push(("comm_dropped_sends".into(), t.dropped_sends));
+        snap.counters
+            .push(("comm_delayed_sends".into(), t.delayed_sends));
+    }
+    snap.counters.sort();
+    Some(snap)
 }
 
 /// The initiator ('a') side of one replica-exchange attempt. Returns
@@ -1047,13 +1199,17 @@ fn recv_accumulator(
 /// Serial baseline: run each window's walkers one after another (rayon
 /// across ranks, but no replica exchange and no weight sync). Useful as an
 /// ablation (what replica exchange buys) and as a debugging reference.
+///
+/// # Errors
+/// Never fails today (there is no cluster to lose ranks on); the
+/// signature matches [`run_rewl`] so callers can switch drivers freely.
 pub fn run_windows_serial<M: EnergyModel + Sync>(
     model: &M,
     neighbors: &NeighborTable,
     comp: &Composition,
     (e_min, e_max): (f64, f64),
     cfg: &RewlConfig,
-) -> RewlOutput {
+) -> Result<RewlOutput, RewlError> {
     use rayon::prelude::*;
     let layout = WindowLayout::new(
         EnergyGrid::new(e_min, e_max, cfg.num_bins),
@@ -1071,13 +1227,17 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
             let window = rank / cfg.walkers_per_window;
             let grid = layout.window_grid(window);
             let mut rng = rank_rng(cfg.seed, rank as u64);
+            let tel = Telemetry::new(cfg.telemetry);
             let deep_state = match &cfg.kernel {
                 KernelSpec::Deep(ds) => {
-                    let deep = DeepProposal::new(m_species, num_shells, &ds.proposal, &mut rng);
+                    let mut deep = DeepProposal::new(m_species, num_shells, &ds.proposal, &mut rng);
+                    deep.set_telemetry(tel.clone());
                     let lay = deep.layout();
+                    let mut trainer = ProposalTrainer::new(lay, ds.trainer.clone());
+                    trainer.set_telemetry(tel.clone());
                     Some(DeepState {
                         deep,
-                        trainer: ProposalTrainer::new(lay, ds.trainer.clone()),
+                        trainer,
                         buffer: SampleBuffer::new(ds.buffer_capacity),
                         spec: (**ds).clone(),
                     })
@@ -1100,6 +1260,7 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
                 walker.drive_into_window(model, neighbors, 20_000),
                 "rank {rank}: failed to reach window {window}"
             );
+            walker.set_telemetry(tel.clone());
             let ctx = ProposalContext {
                 neighbors,
                 composition: comp,
@@ -1146,6 +1307,7 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
                 }
             }
             let converged = walker.ln_f() <= cfg.wl.ln_f_final;
+            let snap = snapshot_rank_telemetry(&tel, rank, &walker, [0, 0, sweeps], None);
             (
                 RankPiece {
                     ln_g: walker.dos().ln_g().to_vec(),
@@ -1161,12 +1323,13 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
                 },
                 sro,
                 sweeps,
+                snap,
             )
         })
         .collect();
 
     let mut merged_sro = MicrocanonicalAccumulator::new(layout.global_grid().num_bins(), obs_dim);
-    for (_, s, _) in &per_rank {
+    for (_, s, _, _) in &per_rank {
         merged_sro.merge(s);
     }
     let mut pieces = Vec::with_capacity(cfg.num_windows);
@@ -1175,7 +1338,7 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
         let members: Vec<&RankPiece> = per_rank
             [win * cfg.walkers_per_window..(win + 1) * cfg.walkers_per_window]
             .iter()
-            .map(|(p, _, _)| p)
+            .map(|(p, _, _, _)| p)
             .collect();
         pieces.push(average_window(&members));
         let mut stats = MoveStats::new();
@@ -1197,9 +1360,10 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
         });
     }
     let (dos, mask) = merge_windows(&layout, &pieces);
-    let total_moves = per_rank.iter().map(|(p, _, _)| p.counts[4]).sum();
-    let sweeps = per_rank.iter().map(|(_, _, s)| *s).max().unwrap_or(0);
-    RewlOutput {
+    let total_moves = per_rank.iter().map(|(p, _, _, _)| p.counts[4]).sum();
+    let sweeps = per_rank.iter().map(|(_, _, s, _)| *s).max().unwrap_or(0);
+    let telemetry = per_rank.into_iter().filter_map(|(_, _, _, t)| t).collect();
+    Ok(RewlOutput {
         dos,
         mask,
         converged: reports.iter().all(|r| r.converged),
@@ -1209,5 +1373,6 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
         total_moves,
         lost_ranks: Vec::new(),
         resumed_from: None,
-    }
+        telemetry,
+    })
 }

@@ -54,7 +54,7 @@ pub mod wire;
 pub use checkpoint::{
     load_resume_point, CheckpointSpec, CkptError, RankCheckpoint, ResumePoint, RunManifest,
 };
-pub use driver::{run_rewl, run_windows_serial, RewlConfig, RewlOutput, WindowReport};
+pub use driver::{run_rewl, run_windows_serial, RewlConfig, RewlError, RewlOutput, WindowReport};
 pub use merge::merge_windows;
 pub use spec::{DeepSpec, KernelSpec};
 pub use windows::WindowLayout;

@@ -74,7 +74,7 @@ fn killed_walker_degrades_gracefully() {
     let mut cfg = base_config(3);
     // Rank 3 = window 1, slot 1. Rank 0 (the gather root) must survive.
     cfg.faults = FaultPlan::none().kill_at_round(3, 4);
-    let out = run_rewl(&h, &nt, &comp, RANGE, &cfg);
+    let out = run_rewl(&h, &nt, &comp, RANGE, &cfg).unwrap();
     assert_eq!(out.lost_ranks, vec![3]);
     assert_eq!(out.windows[0].lost_walkers, 0);
     assert_eq!(out.windows[1].lost_walkers, 1);
@@ -101,7 +101,7 @@ fn checkpointed_run_resumes_after_kill() {
     cfg.checkpoint = Some(CheckpointSpec::new(&dir).every_rounds(5));
     // Kill rank 2 (window 1, slot 0) after the round-10 checkpoint exists.
     cfg.faults = FaultPlan::none().kill_at_round(2, 12);
-    let crashed = run_rewl(&h, &nt, &comp, RANGE, &cfg);
+    let crashed = run_rewl(&h, &nt, &comp, RANGE, &cfg).unwrap();
     assert_eq!(crashed.lost_ranks, vec![2]);
     assert_eq!(crashed.resumed_from, None);
     assert!(
@@ -113,7 +113,7 @@ fn checkpointed_run_resumes_after_kill() {
     // rather than start over, and must recover the lost walker.
     let mut cfg_retry = cfg.clone();
     cfg_retry.faults = FaultPlan::none();
-    let out = run_rewl(&h, &nt, &comp, RANGE, &cfg_retry);
+    let out = run_rewl(&h, &nt, &comp, RANGE, &cfg_retry).unwrap();
     assert!(
         out.resumed_from.is_some(),
         "second run must resume from a snapshot"
@@ -140,7 +140,7 @@ fn dropped_messages_never_hang_the_run() {
         .drop_message(0, 2, 0)
         .drop_message(2, 0, 1);
     let start = Instant::now();
-    let out = run_rewl(&h, &nt, &comp, RANGE, &cfg);
+    let out = run_rewl(&h, &nt, &comp, RANGE, &cfg).unwrap();
     let elapsed = start.elapsed();
     assert!(
         elapsed.as_secs() < 120,
@@ -150,4 +150,19 @@ fn dropped_messages_never_hang_the_run() {
     assert!(out.converged);
     let err = compare_to_exact(&out, &comp, &h);
     assert!(err < 0.6, "DOS err {err} after dropped messages");
+}
+
+/// Rank 0 is the gather root: losing it is unrecoverable and surfaces
+/// as a typed error instead of a panic.
+#[test]
+fn root_rank_death_is_a_typed_error() {
+    let (_, nt, comp, h) = system();
+    let mut cfg = base_config(3);
+    cfg.faults = FaultPlan::none().kill_at_round(0, 2);
+    match run_rewl(&h, &nt, &comp, RANGE, &cfg) {
+        Err(dt_rewl::RewlError::RootRankDied(cause)) => {
+            assert!(cause.contains("rank 0"), "cause: {cause}");
+        }
+        other => panic!("expected RootRankDied, got {other:?}"),
+    }
 }

@@ -68,7 +68,7 @@ fn compare_to_exact(out: &dt_rewl::RewlOutput, comp: &Composition, h: &PairHamil
 fn rewl_matches_exact_dos() {
     let (_, nt, comp, h) = system();
     let cfg = base_config(KernelSpec::LocalSwap, 3);
-    let out = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg);
+    let out = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg).unwrap();
     assert!(out.converged, "REWL did not converge");
     // Replica exchange must actually fire.
     assert!(out.windows[0].exchange_attempts > 0);
@@ -85,8 +85,8 @@ fn rewl_matches_exact_dos() {
 fn rewl_is_deterministic() {
     let (_, nt, comp, h) = system();
     let cfg = base_config(KernelSpec::LocalSwap, 11);
-    let a = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg);
-    let b = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg);
+    let a = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg).unwrap();
+    let b = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg).unwrap();
     assert_eq!(
         a.dos.ln_g(),
         b.dos.ln_g(),
@@ -102,7 +102,8 @@ fn rewl_is_deterministic() {
         &comp,
         (-0.645, -0.155),
         &base_config(KernelSpec::LocalSwap, 12),
-    );
+    )
+    .unwrap();
     assert_ne!(a.dos.ln_g(), c.dos.ln_g(), "different seeds must differ");
 }
 
@@ -111,7 +112,7 @@ fn serial_windows_match_exact_too() {
     let (_, nt, comp, h) = system();
     let mut cfg = base_config(KernelSpec::LocalSwap, 5);
     cfg.max_sweeps = 400_000;
-    let out = run_windows_serial(&h, &nt, &comp, (-0.645, -0.155), &cfg);
+    let out = run_windows_serial(&h, &nt, &comp, (-0.645, -0.155), &cfg).unwrap();
     assert!(out.converged);
     let err = compare_to_exact(&out, &comp, &h);
     assert!(err < 0.4, "max |Δ ln g| = {err}");
@@ -140,7 +141,7 @@ fn deep_rewl_with_training_matches_exact() {
     };
     let mut cfg = base_config(KernelSpec::Deep(Box::new(deep)), 7);
     cfg.max_sweeps = 300_000;
-    let out = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg);
+    let out = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg).unwrap();
     assert!(out.converged, "deep REWL did not converge");
     let err = compare_to_exact(&out, &comp, &h);
     assert!(err < 0.4, "max |Δ ln g| = {err}");
@@ -166,7 +167,7 @@ fn sro_accumulator_is_populated() {
     let mut cfg = base_config(KernelSpec::LocalSwap, 9);
     cfg.max_sweeps = 50_000;
     cfg.wl.ln_f_final = 1e-4; // quick run; SRO only needs coverage
-    let out = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg);
+    let out = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg).unwrap();
     // The L=2 spectrum is sparse (levels every 2-4 bins), so only a
     // fraction of the 49 bins is reachable at all.
     let sampled_bins = (0..cfg.num_bins).filter(|&b| out.sro.count(b) > 0).count();
@@ -178,4 +179,39 @@ fn sro_accumulator_is_populated() {
             assert!((total - 1.0).abs() < 1e-9, "bin {b}: Σp = {total}");
         }
     }
+}
+
+/// With telemetry on, every rank contributes a snapshot with phase
+/// timings, acceptance counters, and fabric traffic counters.
+#[test]
+fn telemetry_snapshots_cover_every_rank() {
+    let (_, nt, comp, h) = system();
+    let mut cfg = base_config(KernelSpec::LocalSwap, 21);
+    cfg.telemetry = true;
+    cfg.wl.ln_f_final = 1e-3; // short run; telemetry only needs coverage
+    let out = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg).unwrap();
+    assert_eq!(out.telemetry.len(), 4, "one snapshot per surviving rank");
+    for (rank, t) in out.telemetry.iter().enumerate() {
+        assert_eq!(t.rank, rank);
+        let mb = t.phase_stat(dt_telemetry::Phase::MoveBatch).unwrap();
+        assert!(mb.count > 0, "rank {rank} recorded no sweeps");
+        let ee = t.phase_stat(dt_telemetry::Phase::EnergyEval).unwrap();
+        assert!(ee.count > mb.count, "ΔE evals outnumber sweeps");
+        assert!(t.phase_stat(dt_telemetry::Phase::Allreduce).unwrap().count > 0);
+        assert!(t.counter("sweeps").unwrap() > 0);
+        assert!(t.counter("comm_sends").unwrap() > 0);
+        assert!(t.counter("proposed_local-swap").unwrap() > 0);
+        assert!(t.gauge("ln_f").is_some());
+    }
+    // The JSONL export of a real run must be syntactically valid.
+    for line in dt_telemetry::to_jsonl(&out.telemetry).lines() {
+        dt_telemetry::validate_json(line).expect("telemetry JSONL line parses");
+    }
+    // Telemetry must not perturb sampling: a telemetry-off run with the
+    // same seed produces the identical DOS.
+    let mut cfg_off = cfg.clone();
+    cfg_off.telemetry = false;
+    let base = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg_off).unwrap();
+    assert_eq!(out.dos.ln_g(), base.dos.ln_g());
+    assert!(base.telemetry.is_empty());
 }

@@ -30,4 +30,4 @@ pub mod model;
 pub use dataset::{Dataset, SamplingStrategy};
 pub use descriptor::PairCorrelationDescriptor;
 pub use metrics::{mae, parity_points, r_squared, rmse};
-pub use model::{SurrogateModel, TrainReport, TrainingOptions};
+pub use model::{SerializeError, SurrogateModel, TrainReport, TrainingOptions};

@@ -2,12 +2,73 @@
 
 use dt_hamiltonian::{DeltaWorkspace, EnergyModel};
 use dt_lattice::{Configuration, NeighborTable, SiteId, Species};
-use dt_nn::{mse_loss, Activation, Adam, Matrix, Mlp};
+use dt_nn::{mse_loss, Activation, Adam, Matrix, Mlp, NnFormatError};
 use rand::Rng;
 
 use crate::dataset::Dataset;
 use crate::descriptor::PairCorrelationDescriptor;
 use crate::metrics::{mae, r_squared, rmse};
+
+/// Errors from [`SurrogateModel::load`] and the file round-trip helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerializeError {
+    /// The `dtsur` header line is missing or names an unknown version.
+    BadHeader,
+    /// A required structural line is absent.
+    MissingField(&'static str),
+    /// A structural line is present but unparseable.
+    BadField(&'static str),
+    /// The embedded network's input width does not match the descriptor.
+    DimensionMismatch {
+        /// Input dimension of the deserialized network.
+        net_in: usize,
+        /// Feature dimension implied by the descriptor line.
+        descriptor: usize,
+    },
+    /// The embedded network failed to deserialize.
+    Net(NnFormatError),
+    /// Reading or writing the model file failed. The message carries the
+    /// rendered `std::io::Error` (stored as text so this enum stays
+    /// `Clone + PartialEq`).
+    Io(String),
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::BadHeader => write!(f, "bad surrogate header"),
+            SerializeError::MissingField(what) => write!(f, "missing {what}"),
+            SerializeError::BadField(what) => write!(f, "unparseable {what}"),
+            SerializeError::DimensionMismatch { net_in, descriptor } => write!(
+                f,
+                "network input dim {net_in} does not match descriptor dim {descriptor}"
+            ),
+            SerializeError::Net(e) => write!(f, "embedded network: {e}"),
+            SerializeError::Io(what) => write!(f, "surrogate file I/O failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SerializeError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnFormatError> for SerializeError {
+    fn from(e: NnFormatError) -> Self {
+        SerializeError::Net(e)
+    }
+}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> Self {
+        SerializeError::Io(e.to_string())
+    }
+}
 
 /// Hyperparameters for surrogate training.
 #[derive(Debug, Clone)]
@@ -171,45 +232,53 @@ impl SurrogateModel {
     /// Restore a model written by [`SurrogateModel::save`].
     ///
     /// # Errors
-    /// Returns a human-readable message on any structural problem.
-    pub fn load(text: &str) -> Result<SurrogateModel, String> {
+    /// Returns a [`SerializeError`] describing the first structural or
+    /// encoding problem encountered.
+    pub fn load(text: &str) -> Result<SurrogateModel, SerializeError> {
         let mut lines = text.lines();
         if lines.next() != Some("dtsur v1") {
-            return Err("bad surrogate header".into());
+            return Err(SerializeError::BadHeader);
         }
-        let desc = lines.next().ok_or("missing desc line")?;
+        let desc = lines
+            .next()
+            .ok_or(SerializeError::MissingField("desc line"))?;
         let mut d = desc
             .strip_prefix("desc ")
-            .ok_or("expected desc line")?
+            .ok_or(SerializeError::BadField("desc line"))?
             .split_whitespace();
         let num_species: usize = d
             .next()
             .and_then(|v| v.parse().ok())
-            .ok_or("bad num_species")?;
+            .ok_or(SerializeError::BadField("num_species"))?;
         let num_shells: usize = d
             .next()
             .and_then(|v| v.parse().ok())
-            .ok_or("bad num_shells")?;
-        let norm = lines.next().ok_or("missing norm line")?;
+            .ok_or(SerializeError::BadField("num_shells"))?;
+        let norm = lines
+            .next()
+            .ok_or(SerializeError::MissingField("norm line"))?;
         let mut n = norm
             .strip_prefix("norm ")
-            .ok_or("expected norm line")?
+            .ok_or(SerializeError::BadField("norm line"))?
             .split_whitespace();
-        let bits = |tok: Option<&str>| -> Result<f64, String> {
+        let bits = |tok: Option<&str>| -> Result<f64, SerializeError> {
             tok.and_then(|t| u64::from_str_radix(t, 16).ok())
                 .map(f64::from_bits)
-                .ok_or_else(|| "bad normalization bits".to_string())
+                .ok_or(SerializeError::BadField("normalization bits"))
         };
         let y_mean = bits(n.next())?;
         let y_std = bits(n.next())?;
         let net_text: String = lines.collect::<Vec<_>>().join("\n");
-        let net = dt_nn::load_mlp(&net_text).map_err(|e| e.to_string())?;
+        let net = dt_nn::load_mlp(&net_text)?;
         let descriptor = PairCorrelationDescriptor {
             num_species,
             num_shells,
         };
         if net.in_dim() != descriptor.dim() {
-            return Err("network input does not match descriptor".into());
+            return Err(SerializeError::DimensionMismatch {
+                net_in: net.in_dim(),
+                descriptor: descriptor.dim(),
+            });
         }
         Ok(SurrogateModel {
             descriptor,
@@ -217,6 +286,26 @@ impl SurrogateModel {
             y_mean,
             y_std,
         })
+    }
+
+    /// Write the model to `path` ([`SurrogateModel::save`] format).
+    ///
+    /// # Errors
+    /// Returns [`SerializeError::Io`] if the file cannot be written.
+    pub fn save_to_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), SerializeError> {
+        std::fs::write(path, self.save())?;
+        Ok(())
+    }
+
+    /// Read a model previously written by [`SurrogateModel::save_to_file`].
+    ///
+    /// # Errors
+    /// Returns [`SerializeError::Io`] if the file cannot be read, or any
+    /// other [`SerializeError`] if its contents are not a valid model.
+    pub fn load_from_file(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<SurrogateModel, SerializeError> {
+        SurrogateModel::load(&std::fs::read_to_string(path)?)
     }
 
     fn delta_via_features(
@@ -392,14 +481,47 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_corruption() {
+    fn load_rejects_corruption_with_typed_errors() {
         let (model, _, _, _) = trained();
-        assert!(SurrogateModel::load("garbage").is_err());
+        assert_eq!(
+            SurrogateModel::load("garbage").unwrap_err(),
+            SerializeError::BadHeader
+        );
+        assert_eq!(
+            SurrogateModel::load("dtsur v1").unwrap_err(),
+            SerializeError::MissingField("desc line")
+        );
+        assert_eq!(
+            SurrogateModel::load("dtsur v1\ndesc x 2\nnorm 0 0").unwrap_err(),
+            SerializeError::BadField("num_species")
+        );
         let text = model.save();
         let truncated: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
-        assert!(SurrogateModel::load(&truncated).is_err());
+        assert!(matches!(
+            SurrogateModel::load(&truncated).unwrap_err(),
+            SerializeError::Net(_)
+        ));
         let tampered = text.replacen("desc 4 2", "desc 3 2", 1);
-        assert!(SurrogateModel::load(&tampered).is_err());
+        assert!(matches!(
+            SurrogateModel::load(&tampered).unwrap_err(),
+            SerializeError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_and_io_errors() {
+        let (model, _, _, _) = trained();
+        let dir = std::env::temp_dir().join("dtsur-serialize-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.dtsur");
+        model.save_to_file(&path).unwrap();
+        let back = SurrogateModel::load_from_file(&path).unwrap();
+        assert_eq!(back.save(), model.save());
+        assert!(matches!(
+            SurrogateModel::load_from_file(dir.join("missing.dtsur")),
+            Err(SerializeError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

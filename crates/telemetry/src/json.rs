@@ -1,0 +1,307 @@
+//! A minimal JSON well-formedness checker.
+//!
+//! The workspace has no serde; telemetry JSON is hand-written in
+//! `report`. This validator is the other half of that contract: tests
+//! and the CI smoke job can assert every exported line is valid JSON
+//! without pulling in a parser dependency. It checks syntax only — it
+//! builds no value tree.
+
+/// Where and why validation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// What the validator expected.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid JSON at byte {}: expected {}",
+            self.at, self.expected
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Check that `text` is exactly one well-formed JSON value (object,
+/// array, string, number, or literal) with nothing but whitespace after.
+pub fn validate_json(text: &str) -> Result<(), JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError {
+            at: pos,
+            expected: "end of input",
+        });
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn value(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    match bytes.get(*pos) {
+        Some(b'{') => object(bytes, pos),
+        Some(b'[') => array(bytes, pos),
+        Some(b'"') => string(bytes, pos),
+        Some(b'-' | b'0'..=b'9') => number(bytes, pos),
+        Some(b't') => literal(bytes, pos, b"true"),
+        Some(b'f') => literal(bytes, pos, b"false"),
+        Some(b'n') => literal(bytes, pos, b"null"),
+        _ => Err(JsonError {
+            at: *pos,
+            expected: "a JSON value",
+        }),
+    }
+}
+
+fn object(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    *pos += 1; // '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(JsonError {
+                at: *pos,
+                expected: "':' after object key",
+            });
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => {
+                return Err(JsonError {
+                    at: *pos,
+                    expected: "',' or '}' in object",
+                })
+            }
+        }
+    }
+}
+
+fn array(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    *pos += 1; // '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => {
+                return Err(JsonError {
+                    at: *pos,
+                    expected: "',' or ']' in array",
+                })
+            }
+        }
+    }
+}
+
+fn string(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(JsonError {
+            at: *pos,
+            expected: "'\"' to open a string",
+        });
+    }
+    *pos += 1;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match bytes.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => {
+                                    return Err(JsonError {
+                                        at: *pos,
+                                        expected: "4 hex digits after \\u",
+                                    })
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            at: *pos,
+                            expected: "a valid escape character",
+                        })
+                    }
+                }
+            }
+            0x00..=0x1f => {
+                return Err(JsonError {
+                    at: *pos,
+                    expected: "no raw control characters in string",
+                })
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err(JsonError {
+        at: *pos,
+        expected: "'\"' to close a string",
+    })
+}
+
+fn number(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_digits = digits(bytes, pos);
+    if int_digits == 0 {
+        return Err(JsonError {
+            at: *pos,
+            expected: "a digit",
+        });
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if digits(bytes, pos) == 0 {
+            return Err(JsonError {
+                at: *pos,
+                expected: "a digit after '.'",
+            });
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if digits(bytes, pos) == 0 {
+            return Err(JsonError {
+                at: *pos,
+                expected: "a digit in exponent",
+            });
+        }
+    }
+    // Reject leading zeros like 01 (but allow 0, 0.5, -0).
+    let mut digs = &bytes[start..*pos];
+    if digs.first() == Some(&b'-') {
+        digs = &digs[1..];
+    }
+    if digs.len() > 1 && digs[0] == b'0' && digs[1].is_ascii_digit() {
+        return Err(JsonError {
+            at: start,
+            expected: "no leading zeros",
+        });
+    }
+    Ok(())
+}
+
+fn digits(bytes: &[u8], pos: &mut usize) -> usize {
+    let start = *pos;
+    while matches!(bytes.get(*pos), Some(b) if b.is_ascii_digit()) {
+        *pos += 1;
+    }
+    *pos - start
+}
+
+fn literal(bytes: &[u8], pos: &mut usize, word: &'static [u8]) -> Result<(), JsonError> {
+    if bytes.len() >= *pos + word.len() && &bytes[*pos..*pos + word.len()] == word {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(JsonError {
+            at: *pos,
+            expected: "a JSON literal (true/false/null)",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-0.5e-3",
+            "1e9",
+            r#""hi \n é""#,
+            r#"{"a":[1,2,{"b":null}],"c":"x"}"#,
+            "  { \"k\" : [ 1 , 2 ] }  ",
+        ] {
+            validate_json(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "{\"a\"}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "01",
+            "1.",
+            "+1",
+            "nul",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "{} extra",
+            "{1: 2}",
+        ] {
+            assert!(validate_json(doc).is_err(), "{doc:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = validate_json("[1, ]").unwrap_err();
+        assert_eq!(err.at, 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Named counters, gauges, and monotonic histograms.
+//!
+//! Handles are `Arc`-backed: fetch one once (outside a hot loop) and
+//! increment it lock-free thereafter. The registry itself is a small
+//! mutex-guarded name table — only handle *lookup* takes the lock.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically-increasing event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A free-standing counter (not registered anywhere).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n` events.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A free-standing gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log₂ buckets: covers `1 ns` to `~2⁶³ ns` (≈ 292 years), so
+/// any duration or positive magnitude lands in a bucket.
+const BUCKETS: usize = 64;
+
+/// A lock-free monotonic histogram over log₂-spaced buckets.
+///
+/// Designed for durations in nanoseconds but usable for any non-negative
+/// `u64` magnitude. Buckets only ever grow (no decrement, no reset), so
+/// concurrent recorders never need coordination and snapshots are
+/// monotone: a percentile read during recording is a valid percentile of
+/// *some* prefix of the event stream.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Bucket index of a value: its log₂ magnitude (0 maps to bucket 0).
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).saturating_sub(1)
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0 ≤ q ≤ 1.0`): the geometric midpoint
+    /// of the bucket holding the q-th observation. Bucket resolution is a
+    /// factor of two, so the estimate is within ~√2 of the true value.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Bucket i spans [2^i, 2^(i+1)); geometric midpoint.
+                return 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
+            }
+        }
+        2f64.powi((BUCKETS - 1) as i32)
+    }
+}
+
+/// Interior of a [`MetricsRegistry`]; name tables are `BTreeMap` so
+/// snapshots iterate in a stable order.
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<&'static str, Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+/// A shared table of named metrics. Cloning shares the underlying
+/// storage, so every clone observes the same counters.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.inner
+            .counters
+            .lock()
+            .expect("registry lock")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.inner
+            .gauges
+            .lock()
+            .expect("registry lock")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        self.inner
+            .histograms
+            .lock()
+            .expect("registry lock")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// All counters as `(name, value)`, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.inner
+            .counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect()
+    }
+
+    /// All gauges as `(name, value)`, sorted by name.
+    pub fn gauge_values(&self) -> Vec<(String, f64)> {
+        self.inner
+            .gauges
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("moves");
+        let b = reg.counter("moves");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter("moves").get(), 4);
+        assert_eq!(reg.counter_values(), vec![("moves".to_string(), 4)]);
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("ln_f").set(0.5);
+        reg.gauge("ln_f").set(0.25);
+        assert_eq!(reg.gauge("ln_f").get(), 0.25);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        let p50 = h.quantile(0.5);
+        // True median 500; log2 buckets put it in [256, 512).
+        assert!((256.0..=724.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= 512.0, "p99 {p99}");
+        assert!(h.quantile(1.0) >= p99);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn zero_and_huge_values_land_in_range() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Satellite test coverage for the metrics registry: concurrent counter
+//! increments, histogram percentiles under contention, and the
+//! disabled-mode no-op guarantee.
+
+use std::thread;
+
+use dt_telemetry::{validate_json, MetricsRegistry, Phase, Telemetry};
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let reg = MetricsRegistry::new();
+    thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = reg.counter("moves");
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(reg.counter("moves").get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn concurrent_histogram_records_are_lossless() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 5_000;
+    let reg = MetricsRegistry::new();
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let hist = reg.histogram("latency_ns");
+            scope.spawn(move || {
+                for i in 1..=PER_THREAD {
+                    hist.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let hist = reg.histogram("latency_ns");
+    assert_eq!(hist.count(), THREADS * PER_THREAD);
+    // Values span 1..=20000; the p50 log2-bucket estimate must land
+    // within a factor of √2·2 of the true median (10000).
+    let p50 = hist.quantile(0.5);
+    assert!(
+        (4096.0..=23_171.0).contains(&p50),
+        "p50 estimate {p50} out of range"
+    );
+    assert!(hist.quantile(0.99) >= p50);
+    assert!(hist.quantile(0.0) <= p50);
+}
+
+#[test]
+fn histogram_percentiles_are_monotone_in_q() {
+    let reg = MetricsRegistry::new();
+    let hist = reg.histogram("h");
+    for v in [1u64, 10, 100, 1_000, 10_000, 100_000] {
+        hist.record(v);
+    }
+    let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+    let estimates: Vec<f64> = qs.iter().map(|&q| hist.quantile(q)).collect();
+    for pair in estimates.windows(2) {
+        assert!(pair[0] <= pair[1], "quantiles not monotone: {estimates:?}");
+    }
+}
+
+#[test]
+fn disabled_telemetry_is_a_complete_noop() {
+    let tel = Telemetry::disabled();
+    // Spans, counters, gauges: all inert.
+    for phase in Phase::ALL {
+        let _span = tel.span(phase);
+    }
+    tel.add("anything", 42);
+    tel.set_gauge("anything", 42.0);
+    tel.record_ns(Phase::MoveBatch, 42);
+
+    assert!(!tel.is_enabled());
+    assert!(tel.registry().is_none());
+    let snap = tel.snapshot(7);
+    assert_eq!(snap.rank, 7);
+    assert!(snap.phases.is_empty());
+    assert!(snap.counters.is_empty());
+    assert!(snap.gauges.is_empty());
+    // An empty snapshot still exports valid JSON.
+    validate_json(&snap.to_json()).expect("empty snapshot JSON parses");
+}
+
+#[test]
+fn concurrent_spans_from_cloned_handles_accumulate() {
+    let tel = Telemetry::enabled();
+    thread::scope(|scope| {
+        for _ in 0..4 {
+            let tel = tel.clone();
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    tel.record_ns(Phase::EnergyEval, 1_000);
+                    tel.add("evals", 1);
+                }
+            });
+        }
+    });
+    let snap = tel.snapshot(0);
+    let stat = snap.phase_stat(Phase::EnergyEval).expect("stat present");
+    assert_eq!(stat.count, 400);
+    assert!((stat.total_s - 400e-6).abs() < 1e-12);
+    assert_eq!(snap.counter("evals"), Some(400));
+}

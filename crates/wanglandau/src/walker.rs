@@ -3,6 +3,7 @@
 use dt_hamiltonian::{DeltaWorkspace, EnergyModel};
 use dt_lattice::{Configuration, NeighborTable, SiteId};
 use dt_proposal::{apply_move, move_delta, MoveStats, ProposalContext, ProposalKernel};
+use dt_telemetry::{Phase, Telemetry};
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -46,6 +47,7 @@ pub struct WlWalker {
     total_sweeps: u64,
     stages: u32,
     rng: ChaCha8Rng,
+    tel: Telemetry,
 }
 
 impl WlWalker {
@@ -80,6 +82,7 @@ impl WlWalker {
             total_sweeps: 0,
             stages: 0,
             rng: ChaCha8Rng::seed_from_u64(seed),
+            tel: Telemetry::disabled(),
         }
     }
 
@@ -143,13 +146,16 @@ impl WlWalker {
         debug_assert!(self.in_window(), "step() outside the energy window");
         self.total_moves += 1;
         let proposal = self.kernel.propose(&self.config, ctx, &mut self.rng);
-        let delta = move_delta(
-            model,
-            &self.config,
-            neighbors,
-            &proposal.mv,
-            &mut self.workspace,
-        );
+        let delta = {
+            let _span = self.tel.span(Phase::EnergyEval);
+            move_delta(
+                model,
+                &self.config,
+                neighbors,
+                &proposal.mv,
+                &mut self.workspace,
+            )
+        };
         let e_new = self.energy + delta;
 
         let accepted = match self.grid.bin(e_new) {
@@ -182,6 +188,9 @@ impl WlWalker {
         neighbors: &NeighborTable,
         ctx: &ProposalContext<'_>,
     ) {
+        // Clone the handle so the span's borrow does not pin `self`.
+        let tel = self.tel.clone();
+        let _span = tel.span(Phase::MoveBatch);
         for _ in 0..self.config.num_sites() {
             self.step(model, neighbors, ctx);
         }
@@ -337,6 +346,17 @@ impl WlWalker {
         self.kernel = kernel;
     }
 
+    /// Attach a telemetry handle; subsequent sweeps record
+    /// [`Phase::MoveBatch`] and [`Phase::EnergyEval`] spans into it.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// The walker's telemetry handle (disabled unless one was attached).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
     /// Borrow the kernel mutably (for in-place retraining).
     pub fn kernel_mut(&mut self) -> &mut dyn ProposalKernel {
         &mut *self.kernel
@@ -400,6 +420,7 @@ impl WlWalker {
             total_sweeps: 0,
             stages: cp.stages,
             rng: ChaCha8Rng::seed_from_u64(seed),
+            tel: Telemetry::disabled(),
         }
     }
 }
@@ -530,6 +551,25 @@ mod tests {
         }
         let (proposed, _) = w.stats().counts("local-swap");
         assert_eq!(proposed, 100);
+    }
+
+    #[test]
+    fn telemetry_records_sweep_and_delta_spans() {
+        let (_, nt, comp, h) = fixture();
+        let mut w = make_walker(&nt, &comp, &h, 8);
+        let tel = Telemetry::enabled();
+        w.set_telemetry(tel.clone());
+        let ctx = ProposalContext {
+            neighbors: &nt,
+            composition: &comp,
+        };
+        w.sweep(&h, &nt, &ctx);
+        let snap = tel.snapshot(0);
+        assert_eq!(snap.phase_stat(Phase::MoveBatch).unwrap().count, 1);
+        assert_eq!(
+            snap.phase_stat(Phase::EnergyEval).unwrap().count,
+            w.config().num_sites() as u64
+        );
     }
 
     #[test]

@@ -14,9 +14,9 @@
 //! is CPU-hours on a laptop.)
 
 use deepthermo::lattice::Composition;
-use deepthermo::{DeepThermo, DeepThermoConfig, MaterialSpec};
+use deepthermo::{DeepThermo, DeepThermoConfig, DeepThermoError, MaterialSpec};
 
-fn main() {
+fn main() -> Result<(), DeepThermoError> {
     let l = std::env::args()
         .skip_while(|a| a != "--l")
         .nth(1)
@@ -40,8 +40,8 @@ fn main() {
             .ln_num_configurations()
     });
 
-    let runner = DeepThermo::nbmotaw(config);
-    let report = runner.run();
+    let runner = DeepThermo::nbmotaw(config)?;
+    let report = runner.run()?;
 
     println!(
         "sampled ln g(E) over {} visited bins:",
@@ -73,4 +73,5 @@ fn main() {
         ),
         comp.ln_num_configurations()
     );
+    Ok(())
 }

@@ -14,8 +14,9 @@ use deepthermo::hpc::FaultPlan;
 use deepthermo::lattice::{Composition, Structure, Supercell};
 use deepthermo::rewl::{run_rewl, KernelSpec, RewlConfig};
 use deepthermo::wanglandau::{LnfSchedule, WlParams};
+use deepthermo::DeepThermoError;
 
-fn main() {
+fn main() -> Result<(), DeepThermoError> {
     // BCC 2x2x2, 2 species: small enough to enumerate exactly.
     let cell = Supercell::cubic(Structure::bcc(), 2);
     let nt = cell.neighbor_table(1);
@@ -51,7 +52,7 @@ fn main() {
     };
 
     println!("running 2 windows x 2 walkers with a fault plan (kill rank 3 at round 4)...");
-    let out = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg);
+    let out = run_rewl(&h, &nt, &comp, (-0.645, -0.155), &cfg)?;
 
     println!("converged: {}", out.converged);
     println!("lost ranks: {:?}", out.lost_ranks);
@@ -81,4 +82,5 @@ fn main() {
     assert_eq!(out.lost_ranks, vec![3], "exactly rank 3 should be lost");
     assert!(max_err < 0.8, "degraded run must stay accurate");
     println!("ok: the cluster degraded gracefully and stayed accurate");
+    Ok(())
 }

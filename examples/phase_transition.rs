@@ -12,9 +12,9 @@
 
 use deepthermo::hamiltonian::KB_EV_PER_K;
 use deepthermo::rewl::{DeepSpec, KernelSpec};
-use deepthermo::{DeepThermo, DeepThermoConfig};
+use deepthermo::{DeepThermo, DeepThermoConfig, DeepThermoError};
 
-fn main() {
+fn main() -> Result<(), DeepThermoError> {
     let l = std::env::args()
         .skip_while(|a| a != "--l")
         .nth(1)
@@ -27,8 +27,8 @@ fn main() {
     let n = config.material.num_sites();
     println!("Phase transition of NbMoTaW, {n} atoms, deep proposals on\n");
 
-    let runner = DeepThermo::nbmotaw(config);
-    let report = runner.run();
+    let runner = DeepThermo::nbmotaw(config)?;
+    let report = runner.run()?;
     assert!(matches!(runner.config().rewl.kernel, KernelSpec::Deep(_)));
 
     println!("{}", report.summary());
@@ -70,4 +70,5 @@ fn main() {
         "\nordering strength decays {:.2} -> {:.2} across the transition",
         a_cold, a_hot
     );
+    Ok(())
 }

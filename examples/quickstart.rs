@@ -9,9 +9,9 @@
 //! and evaluation of U(T), C_v(T), S(T) plus Warren–Cowley short-range
 //! order, finishing with the order–disorder transition estimate.
 
-use deepthermo::{DeepThermo, DeepThermoConfig};
+use deepthermo::{DeepThermo, DeepThermoConfig, DeepThermoError};
 
-fn main() {
+fn main() -> Result<(), DeepThermoError> {
     let config = DeepThermoConfig::quick_demo();
     println!(
         "DeepThermo quickstart: NbMoTaW, {} sites, {} windows x {} walkers",
@@ -20,8 +20,8 @@ fn main() {
         config.rewl.walkers_per_window
     );
 
-    let runner = DeepThermo::nbmotaw(config);
-    let report = runner.run();
+    let runner = DeepThermo::nbmotaw(config)?;
+    let report = runner.run()?;
 
     println!("\n== summary =====================================");
     print!("{}", report.summary());
@@ -49,4 +49,5 @@ fn main() {
         "\nDensity of states spans e^{:.0}; transition near {:.0} K.",
         report.ln_g_range, report.transition_temperature
     );
+    Ok(())
 }

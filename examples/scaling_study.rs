@@ -20,10 +20,11 @@ use deepthermo::hpc::{weak_scaling_table, GpuSpec, WorkloadShape};
 use deepthermo::lattice::{Composition, Structure, Supercell};
 use deepthermo::rewl::{run_rewl, KernelSpec, RewlConfig};
 use deepthermo::wanglandau::{explore_energy_range, LnfSchedule, WlParams};
+use deepthermo::DeepThermoError;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn main() {
+fn main() -> Result<(), DeepThermoError> {
     println!("== projected weak scaling (perf model, 1 walker/GPU) ==\n");
     let shape = WorkloadShape::paper_default();
     let ranks = [8usize, 32, 128, 512, 1024, 2048, 3000];
@@ -77,7 +78,7 @@ fn main() {
             ..RewlConfig::default()
         };
         let start = Instant::now();
-        let out = run_rewl(&h, &nt, &comp, range, &cfg);
+        let out = run_rewl(&h, &nt, &comp, range, &cfg)?;
         let wall = start.elapsed().as_secs_f64();
         println!(
             "{:>8} {:>10} {:>12.2} {:>14.3e}",
@@ -90,4 +91,5 @@ fn main() {
     println!("\n(the projected table is what reproduces the paper's Fig/Tab");
     println!(" shapes at 3,000 GPUs; the measured table exercises the same");
     println!(" code path with real threads)");
+    Ok(())
 }

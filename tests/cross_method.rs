@@ -60,7 +60,7 @@ fn wang_landau_metropolis_and_tempering_agree() {
         kernel: KernelSpec::LocalSwap,
         ..RewlConfig::default()
     };
-    let out = run_rewl(&h, &nt, &comp, range, &cfg);
+    let out = run_rewl(&h, &nt, &comp, range, &cfg).unwrap();
     assert!(out.converged);
     let mut dos = out.dos.clone();
     dos.normalize_total(comp.ln_num_configurations(), Some(&out.mask));

@@ -6,7 +6,10 @@ use deepthermo::{DeepThermo, DeepThermoConfig};
 #[test]
 fn pipeline_is_bitwise_deterministic() {
     let run = |seed: u64| {
-        let report = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo().with_seed(seed)).run();
+        let report = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo().with_seed(seed))
+            .unwrap()
+            .run()
+            .unwrap();
         (
             report.dos.ln_g().to_vec(),
             report.mask.clone(),
@@ -50,7 +53,7 @@ fn deep_kernel_pipeline_is_deterministic_too() {
             .with_seed(seed);
         cfg.rewl.max_sweeps = 20_000;
         cfg.rewl.wl.ln_f_final = 1e-2;
-        let report = DeepThermo::nbmotaw(cfg).run();
+        let report = DeepThermo::nbmotaw(cfg).unwrap().run().unwrap();
         (report.dos.ln_g().to_vec(), report.total_moves)
     };
     let a = run(55);

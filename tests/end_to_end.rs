@@ -58,7 +58,8 @@ fn canonical_curve_from_sampled_dos_matches_exact() {
         &comp,
         (-0.645, -0.155),
         &rewl_cfg(KernelSpec::LocalSwap, 21),
-    );
+    )
+    .unwrap();
     assert!(out.converged);
     let mut dos = out.dos.clone();
     dos.normalize_total(comp.ln_num_configurations(), Some(&out.mask));
@@ -99,7 +100,8 @@ fn deep_and_local_kernels_sample_the_same_dos() {
         &comp,
         (-0.645, -0.155),
         &rewl_cfg(KernelSpec::LocalSwap, 31),
-    );
+    )
+    .unwrap();
     let deep_spec = DeepSpec {
         proposal: deepthermo::proposal::DeepProposalConfig {
             k: 4,
@@ -114,7 +116,8 @@ fn deep_and_local_kernels_sample_the_same_dos() {
         &comp,
         (-0.645, -0.155),
         &rewl_cfg(KernelSpec::Deep(Box::new(deep_spec)), 32),
-    );
+    )
+    .unwrap();
     assert!(local.converged && deep.converged);
 
     let mut dl = local.dos.clone();
@@ -137,7 +140,10 @@ fn deep_and_local_kernels_sample_the_same_dos() {
 
 #[test]
 fn full_pipeline_physics_is_sane() {
-    let report = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo().with_seed(77)).run();
+    let report = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo().with_seed(77))
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(report.converged);
 
     // Entropy per atom must approach ln 4 from below at high T and stay
@@ -179,7 +185,8 @@ fn window_exchange_statistics_are_consistent() {
         &comp,
         (-0.645, -0.155),
         &rewl_cfg(KernelSpec::LocalSwap, 41),
-    );
+    )
+    .unwrap();
     // Only initiators (here: window 0) count attempts; accepted ≤ attempts.
     let w0 = &out.windows[0];
     assert!(w0.exchange_attempts > 0);

@@ -1,0 +1,78 @@
+//! Every [`DeepThermoError`] variant a user can hit must be reachable
+//! through the public API — and arrive as a typed error, not a panic.
+
+use deepthermo::hpc::FaultPlan;
+use deepthermo::surrogate::{SerializeError, SurrogateModel};
+use deepthermo::{ConfigError, DeepThermo, DeepThermoConfig, DeepThermoError};
+
+#[test]
+fn inconsistent_config_is_a_typed_error() {
+    let mut cfg = DeepThermoConfig::quick_demo();
+    cfg.rewl.num_windows = 0;
+    match DeepThermo::nbmotaw(cfg) {
+        Err(DeepThermoError::Config(ConfigError::NoWindows)) => {}
+        Ok(_) => panic!("expected Config(NoWindows), got Ok"),
+        Err(other) => panic!("expected Config(NoWindows), got {other:?}"),
+    }
+
+    let mut cfg = DeepThermoConfig::quick_demo();
+    cfg.rewl.overlap = 2.0;
+    assert!(matches!(
+        DeepThermo::nbmotaw(cfg),
+        Err(DeepThermoError::Config(ConfigError::BadOverlap(_)))
+    ));
+}
+
+#[test]
+fn mismatched_model_is_a_typed_error() {
+    // A binary Hamiltonian against the quaternary NbMoTaW material.
+    let h = deepthermo::hamiltonian::PairHamiltonian::from_pairs(2, 1, &[(0, 0, 1, -0.01)]);
+    match DeepThermo::with_model(DeepThermoConfig::quick_demo(), h) {
+        Err(DeepThermoError::Config(ConfigError::SpeciesMismatch {
+            model: 2,
+            material: 4,
+        })) => {}
+        Ok(_) => panic!("expected SpeciesMismatch, got Ok"),
+        Err(other) => panic!("expected SpeciesMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn unusable_checkpoint_dir_is_an_io_error() {
+    // A plain file where the checkpoint directory should go.
+    let blocker = std::env::temp_dir().join(format!("dt-error-paths-{}", std::process::id()));
+    std::fs::write(&blocker, b"not a directory").unwrap();
+    let runner = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo()).unwrap();
+    match runner.run_resumable(blocker.join("snapshots")) {
+        Err(DeepThermoError::Io { path, message }) => {
+            assert!(path.ends_with("snapshots"));
+            assert!(!message.is_empty());
+        }
+        other => panic!("expected Io, got {other:?}"),
+    }
+    std::fs::remove_file(&blocker).unwrap();
+}
+
+#[test]
+fn corrupt_model_text_converts_into_the_workspace_error() {
+    let err = SurrogateModel::load("dtsur v1\nnot a real body").unwrap_err();
+    let wrapped = DeepThermoError::from(err);
+    assert!(matches!(wrapped, DeepThermoError::Model(_)));
+    assert!(wrapped.to_string().contains("model"));
+    // The source chain bottoms out in the typed serializer error.
+    let source = std::error::Error::source(&wrapped).expect("wrapped errors keep their source");
+    assert!(source.downcast_ref::<SerializeError>().is_some());
+}
+
+#[test]
+fn root_rank_death_surfaces_as_a_sampling_error() {
+    let mut cfg = DeepThermoConfig::quick_demo();
+    cfg.rewl.faults = FaultPlan::none().kill_at_round(0, 2);
+    let runner = DeepThermo::nbmotaw(cfg).unwrap();
+    match runner.run() {
+        Err(DeepThermoError::Sampling(e)) => {
+            assert!(e.to_string().contains("rank 0"), "cause: {e}");
+        }
+        other => panic!("expected Sampling, got {other:?}"),
+    }
+}

@@ -66,7 +66,7 @@ fn fcc_ternary_dos_reweighting_matches_metropolis() {
         kernel: KernelSpec::LocalSwap,
         ..RewlConfig::default()
     };
-    let out = run_rewl(&h, &nt, &comp, range, &cfg);
+    let out = run_rewl(&h, &nt, &comp, range, &cfg).unwrap();
     assert!(out.converged, "FCC REWL did not converge");
 
     let mut dos = out.dos.clone();
