@@ -1,0 +1,178 @@
+//! E12 — serving throughput and latency, cached versus uncached.
+//!
+//! Starts an in-process `dt-serve` server over the fixture artifact and
+//! drives it with keep-alive loopback clients in two phases:
+//!
+//! * **cached** — every client repeats one identical `/v1/thermo`
+//!   request, so after the first miss the whole phase is LRU hits;
+//! * **uncached** — every request asks for a unique temperature grid
+//!   (`t_max` perturbed per request), so every one re-evaluates
+//!   `canonical_curve`.
+//!
+//! Reports aggregate throughput and client-observed p50/p99 latency for
+//! each phase plus the cached-vs-uncached p50 speedup.
+//!
+//! ```text
+//! cargo run -p dt-bench --release --bin bench_serve \
+//!     [-- --connections 8 --requests 2000 --num-t 256 --serve-workers 8]
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use dt_bench::{arg, print_csv};
+use dt_serve::fixture::fixture_artifact;
+use dt_serve::{ArtifactRegistry, ServeConfig, Server};
+
+/// Read one HTTP response off a keep-alive stream; returns the status.
+fn read_response<R: BufRead>(reader: &mut R) -> u16 {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"))
+        .parse()
+        .expect("numeric status");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    status
+}
+
+/// Drive `requests` keep-alive requests per connection; `body_of(i)`
+/// builds the i-th request body. Returns (latencies ns, wall time).
+fn drive(
+    addr: SocketAddr,
+    connections: usize,
+    requests: usize,
+    body_of: impl Fn(usize) -> String + Send + Sync + Copy + 'static,
+) -> (Vec<u64>, Duration) {
+    let started = Instant::now();
+    let threads: Vec<_> = (0..connections)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .expect("timeout");
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let mut latencies = Vec::with_capacity(requests);
+                for i in 0..requests {
+                    let body = body_of(c * requests + i);
+                    let raw = format!(
+                        "POST /v1/thermo HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                    let t0 = Instant::now();
+                    writer.write_all(raw.as_bytes()).expect("write");
+                    let status = read_response(&mut reader);
+                    latencies.push(t0.elapsed().as_nanos() as u64);
+                    assert_eq!(status, 200, "request {i} on connection {c}");
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut all = Vec::with_capacity(connections * requests);
+    for t in threads {
+        all.extend(t.join().expect("client thread"));
+    }
+    let wall = started.elapsed();
+    all.sort_unstable();
+    (all, wall)
+}
+
+fn quantile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    let idx = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len()) - 1;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+fn main() {
+    let connections: usize = arg("--connections", 8);
+    let requests: usize = arg("--requests", 2000);
+    let num_t: usize = arg("--num-t", 256);
+    let workers: usize = arg("--serve-workers", 8);
+
+    let mut registry = ArtifactRegistry::new();
+    registry.insert(fixture_artifact("bench"));
+    let handle = Server::start(
+        registry,
+        ServeConfig {
+            workers,
+            queue_depth: 4 * connections.max(1),
+            cache_capacity: 1024,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = handle.local_addr();
+    println!(
+        "# E12: serve throughput/latency — {connections} connections x {requests} requests, \
+         {num_t}-point curves, {workers} workers"
+    );
+
+    // Phase 1: cached. One warmup miss populates the entry, then every
+    // request is a pure LRU hit.
+    let cached_body = move |_i: usize| {
+        format!("{{\"artifact\":\"fixture-bench\",\"t_min\":300,\"t_max\":3000,\"num_t\":{num_t}}}")
+    };
+    drive(addr, 1, 1, cached_body); // warmup: populate the cache
+    let (cached, cached_wall) = drive(addr, connections, requests, cached_body);
+
+    // Phase 2: uncached. A per-request t_max perturbation makes every
+    // cache key unique, so each request re-evaluates the curve.
+    let uncached_body = move |i: usize| {
+        format!(
+            "{{\"artifact\":\"fixture-bench\",\"t_min\":300,\"t_max\":{},\"num_t\":{num_t}}}",
+            3000.0 + 0.001 * i as f64
+        )
+    };
+    let (uncached, uncached_wall) = drive(addr, connections, requests, uncached_body);
+
+    handle.shutdown();
+    let stats = handle.join();
+    assert_eq!(stats.handler_panics, 0, "bench must not panic a worker");
+
+    let total = (connections * requests) as f64;
+    let rps = |wall: Duration| total / wall.as_secs_f64();
+    let rows = vec![
+        format!(
+            "cached,{:.0},{:.1},{:.1},{:.1}",
+            rps(cached_wall),
+            quantile_us(&cached, 0.50),
+            quantile_us(&cached, 0.99),
+            cached_wall.as_secs_f64()
+        ),
+        format!(
+            "uncached,{:.0},{:.1},{:.1},{:.1}",
+            rps(uncached_wall),
+            quantile_us(&uncached, 0.50),
+            quantile_us(&uncached, 0.99),
+            uncached_wall.as_secs_f64()
+        ),
+    ];
+    print_csv("phase,req_per_s,p50_us,p99_us,wall_s", &rows);
+    println!(
+        "# cached p50 speedup over uncached: {:.1}x",
+        quantile_us(&uncached, 0.50) / quantile_us(&cached, 0.50)
+    );
+    println!(
+        "# server: {} requests handled, {} rejected, {} deadline-expired",
+        stats.requests_handled, stats.queue_rejections, stats.deadline_expired
+    );
+}

@@ -1,22 +1,20 @@
 //! The `deepthermo` command-line interface.
 //!
-//! ```text
-//! deepthermo run   [--l 3] [--kernel deep|local|random] [--seed 2023]
-//!                  [--lnf 1e-4] [--max-sweeps 300000] [--windows 2]
-//!                  [--walkers 2] [--tmin 100] [--tmax 3000] [--out DIR]
-//!                  [--checkpoint DIR] [--telemetry]
-//! deepthermo info  [--l 3]
-//! ```
+//! Run `deepthermo help` for the full usage text. Modes:
 //!
-//! With `--checkpoint DIR` the cluster snapshots itself into `DIR` as it
-//! runs, and a rerun with the same flags resumes from the newest
-//! consistent snapshot instead of starting over.
-//!
-//! `run` executes the full pipeline on equiatomic NbMoTaW and writes
-//! `thermo.csv`, `dos.csv`, `sro.csv`, and `summary.txt` into `--out`
-//! (default `deepthermo-out/`). With `--telemetry` it also records
-//! per-rank phase timings, prints the phase table, and writes
-//! `telemetry.jsonl` (one JSON object per rank, per line).
+//! * `run` — execute the full pipeline on equiatomic NbMoTaW and write
+//!   `thermo.csv`, `dos.csv`, `sro.csv`, and `summary.txt` into `--out`.
+//!   With `--checkpoint DIR` the cluster snapshots itself as it runs and
+//!   a rerun resumes from the newest consistent snapshot. With
+//!   `--telemetry` it records per-rank phase timings. With
+//!   `--export-artifact DIR` the converged run is also exported into a
+//!   serving registry.
+//! * `info` — print the configured material and sampling plan.
+//! * `serve` — load an artifact registry and answer thermodynamics
+//!   queries over HTTP until `POST /v1/shutdown` (see DESIGN.md,
+//!   "Serving architecture").
+//! * `fixture` — write a synthetic demo artifact into a registry, so
+//!   `serve` can be exercised without a converged run.
 //!
 //! Pipeline failures (inconsistent flags, a dead root rank, unreadable
 //! checkpoint directories) are rendered with their full error chain and
@@ -28,6 +26,49 @@ use std::process::ExitCode;
 
 use deepthermo::rewl::{DeepSpec, KernelSpec};
 use deepthermo::{DeepThermo, DeepThermoConfig, DeepThermoError, MaterialSpec};
+use dt_serve::{ArtifactRegistry, ServeConfig, Server};
+
+const USAGE: &str = "\
+deepthermo — deep-learning accelerated parallel Monte Carlo for HEA thermodynamics
+
+usage: deepthermo <mode> [flags]
+
+modes:
+  run       Sample equiatomic NbMoTaW and write thermo/DOS/SRO curves.
+  info      Print the configured material and sampling plan.
+  serve     Serve converged artifacts over an HTTP/JSON API.
+  fixture   Write a synthetic demo artifact into a registry.
+  help      Show this message.
+
+run / info flags:
+  --l N                  supercell edge in unit cells (default 3)
+  --kernel K             deep | local | random        (default deep)
+  --seed S               master RNG seed              (default 2023)
+  --windows N            REWL energy windows          (default 2)
+  --walkers N            walkers per window           (default 2)
+  --bins N               global energy bins           (default 16·L², ≤512)
+  --lnf X                final ln f target            (default 1e-4)
+  --max-sweeps N         sweeps budget per walker     (default 300000)
+  --tmin K --tmax K      temperature range            (default 100..3000)
+  --tpoints N            temperature grid points      (default 100)
+  --out DIR              output directory             (default deepthermo-out)
+  --checkpoint DIR       snapshot into DIR and resume from it on rerun
+  --export-artifact DIR  also export the run into a serving registry
+  --telemetry            record per-rank phase timings
+
+serve flags:
+  --registry DIR         artifact registry to load    (default deepthermo-registry)
+  --addr HOST:PORT       listen address               (default 127.0.0.1:8080)
+  --serve-workers N      worker threads               (default 4)
+  --queue-depth N        bounded admission queue      (default 128)
+  --cache N              /v1/thermo LRU cache entries (default 256)
+
+fixture flags:
+  --registry DIR         registry to write into       (default deepthermo-registry)
+
+endpoints (serve): GET /healthz /metrics /v1/artifacts,
+POST /v1/thermo /v1/sro /v1/predict /v1/shutdown — see DESIGN.md.
+";
 
 fn arg<T: std::str::FromStr>(flag: &str, default: T) -> T {
     std::env::args()
@@ -60,8 +101,88 @@ fn main() -> ExitCode {
     match mode.as_str() {
         "run" => run(),
         "info" => info(),
-        _ => {
-            eprintln!("usage: deepthermo <run|info> [flags]   (see --help in README)");
+        "serve" => serve(),
+        "fixture" => write_fixture(),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        "" => {
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        other => {
+            eprintln!("unknown mode {other:?}\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve() -> ExitCode {
+    let registry_dir = arg("--registry", "deepthermo-registry".to_string());
+    let registry = match ArtifactRegistry::open(&registry_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("  (populate a registry with `deepthermo run --export-artifact {registry_dir}` or `deepthermo fixture --registry {registry_dir}`)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if registry.is_empty() {
+        eprintln!("warning: registry {registry_dir} holds no artifacts; only /healthz and /metrics will be useful");
+    }
+    let loaded: Vec<String> = registry.ids().iter().map(|s| s.to_string()).collect();
+    let config = ServeConfig {
+        addr: arg("--addr", "127.0.0.1:8080".to_string()),
+        workers: arg("--serve-workers", 4),
+        queue_depth: arg("--queue-depth", 128),
+        cache_capacity: arg("--cache", 256),
+        ..ServeConfig::default()
+    };
+    let handle = match Server::start(registry, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "deepthermo serve: listening on http://{} ({} artifacts: {})",
+        handle.local_addr(),
+        loaded.len(),
+        loaded.join(", ")
+    );
+    println!(
+        "stop with: curl -X POST http://{}/v1/shutdown",
+        handle.local_addr()
+    );
+    let stats = handle.join();
+    println!(
+        "drained: {} requests handled, {} connections admitted, {} rejected (429), {} deadline-expired (503), {} handler panics",
+        stats.requests_handled,
+        stats.connections_admitted,
+        stats.queue_rejections,
+        stats.deadline_expired,
+        stats.handler_panics
+    );
+    ExitCode::SUCCESS
+}
+
+fn write_fixture() -> ExitCode {
+    let registry_dir = arg("--registry", "deepthermo-registry".to_string());
+    let artifact = dt_serve::fixture::fixture_artifact("demo");
+    match artifact.save(&registry_dir) {
+        Ok(dir) => {
+            println!(
+                "wrote fixture artifact {} to {}",
+                artifact.manifest.id,
+                dir.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
@@ -183,6 +304,15 @@ fn run() -> ExitCode {
     if !report.telemetry.is_empty() {
         result = result.and_then(|()| write("telemetry.jsonl", report.telemetry_jsonl()));
         written.push_str(", telemetry.jsonl");
+    }
+    if let Some(registry_dir) = opt_arg("--export-artifact") {
+        match runner.export_artifact(&report, &registry_dir) {
+            Ok(dir) => println!("exported serving artifact to {}", dir.display()),
+            Err(e) => {
+                render_error(&e);
+                return ExitCode::FAILURE;
+            }
+        }
     }
     match result {
         Ok(()) => {

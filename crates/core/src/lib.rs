@@ -68,6 +68,7 @@ pub use dt_metropolis as metropolis;
 pub use dt_nn as nn;
 pub use dt_proposal as proposal;
 pub use dt_rewl as rewl;
+pub use dt_serve as serve;
 pub use dt_surrogate as surrogate;
 pub use dt_telemetry as telemetry;
 pub use dt_thermo as thermo;

@@ -154,6 +154,69 @@ impl DeepThermo {
         self.evaluate(out)
     }
 
+    /// Export a finished run into `registry_dir` in the `dt-serve`
+    /// artifact-registry format, under the conventional id
+    /// `material-lN-seedS`. The artifact carries the normalized
+    /// `ln g(E)` with its visited mask and the microcanonical SRO
+    /// accumulator, so `deepthermo serve` can answer thermo/SRO queries
+    /// bit-identically to this report. Returns the artifact directory.
+    ///
+    /// # Errors
+    /// [`DeepThermoError::Io`] when the registry directory cannot be
+    /// written.
+    pub fn export_artifact(
+        &self,
+        report: &DeepThermoReport,
+        registry_dir: impl AsRef<std::path::Path>,
+    ) -> Result<std::path::PathBuf, DeepThermoError> {
+        let material: String = self
+            .cfg
+            .material
+            .species
+            .iter()
+            .map(|(_, name)| name)
+            .collect();
+        let manifest = dt_serve::ArtifactManifest {
+            id: dt_serve::ArtifactManifest::conventional_id(
+                &material,
+                self.cfg.material.l,
+                self.cfg.rewl.seed,
+            ),
+            material,
+            structure: self.cfg.material.structure.name().to_string(),
+            l: self.cfg.material.l,
+            num_sites: self.cell.num_sites(),
+            species: self
+                .cfg
+                .material
+                .species
+                .iter()
+                .map(|(_, name)| name.to_string())
+                .collect(),
+            counts: self.comp.counts().to_vec(),
+            seed: self.cfg.rewl.seed,
+            num_shells: self.cfg.material.num_shells,
+            sweeps: report.sweeps,
+            converged: report.converged,
+        };
+        let artifact = dt_serve::Artifact {
+            manifest,
+            grid: report.dos.grid().clone(),
+            ln_g: (0..report.dos.grid().num_bins())
+                .map(|b| report.dos.ln_g_bin(b))
+                .collect(),
+            mask: report.mask.clone(),
+            sro: Some(report.sro.clone()),
+            surrogate_text: None,
+        };
+        artifact
+            .save(registry_dir.as_ref())
+            .map_err(|e| DeepThermoError::Io {
+                path: registry_dir.as_ref().to_path_buf(),
+                message: e.to_string(),
+            })
+    }
+
     /// Turn a raw REWL output into the thermodynamic report (exposed so
     /// benchmarks can re-evaluate saved outputs).
     ///
@@ -234,6 +297,7 @@ impl DeepThermo {
             transition_temperature: tc,
             cv_peak,
             sro_curves,
+            sro: out.sro,
             windows: out.windows,
             converged: out.converged,
             total_moves: out.total_moves,
@@ -292,6 +356,35 @@ mod tests {
             std::fs::read_dir(&dir).unwrap().count() > 0,
             "resumable run must leave a snapshot behind"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exported_artifact_reproduces_the_report_bit_exactly() {
+        let dir = std::env::temp_dir().join(format!("dtcore-export-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner = DeepThermo::nbmotaw(DeepThermoConfig::quick_demo().with_seed(11)).unwrap();
+        let report = runner.run().unwrap();
+        let adir = runner.export_artifact(&report, &dir).unwrap();
+
+        let art = dt_serve::Artifact::load(&adir).unwrap();
+        assert_eq!(art.manifest.material, "NbMoTaW");
+        assert_eq!(art.manifest.seed, 11);
+        assert_eq!(art.manifest.converged, report.converged);
+        assert!(art.sro.is_some());
+
+        // A thermo curve evaluated on the loaded artifact must be
+        // bit-identical to the report's — the serving contract.
+        let (e, lg) = art.visited_dos();
+        let curve = canonical_curve(&e, &lg, &runner.config().temperatures, KB_EV_PER_K);
+        assert_eq!(curve.len(), report.thermo.len());
+        for (a, b) in curve.iter().zip(&report.thermo) {
+            assert_eq!(a.t.to_bits(), b.t.to_bits());
+            assert_eq!(a.u.to_bits(), b.u.to_bits());
+            assert_eq!(a.cv.to_bits(), b.cv.to_bits());
+            assert_eq!(a.f.to_bits(), b.f.to_bits());
+            assert_eq!(a.s.to_bits(), b.s.to_bits());
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -3,7 +3,7 @@
 use dt_proposal::MoveStats;
 use dt_rewl::WindowReport;
 use dt_telemetry::RankTelemetry;
-use dt_thermo::ThermoPoint;
+use dt_thermo::{MicrocanonicalAccumulator, ThermoPoint};
 use dt_wanglandau::DosEstimate;
 
 /// Warren–Cowley SRO of one ordered species pair versus temperature.
@@ -37,6 +37,11 @@ pub struct DeepThermoReport {
     pub cv_peak: f64,
     /// Warren–Cowley SRO curves for every unlike pair, first shell.
     pub sro_curves: Vec<SroCurve>,
+    /// Merged microcanonical pair-probability accumulator, binned on the
+    /// DOS grid (`obs_dim = num_shells · m²`). Kept in the report so a
+    /// converged run can be exported as a serving artifact and
+    /// re-reweighted at any temperature later.
+    pub sro: MicrocanonicalAccumulator,
     /// Per-window sampling reports.
     pub windows: Vec<WindowReport>,
     /// Whether every walker converged.
@@ -172,6 +177,7 @@ mod tests {
                 label: "Mo-Ta".into(),
                 points: vec![(300.0, -0.4)],
             }],
+            sro: MicrocanonicalAccumulator::new(2, 1),
             windows: vec![],
             converged: true,
             total_moves: 10,

@@ -1,0 +1,145 @@
+//! A small LRU cache for pure-function responses.
+//!
+//! `canonical_curve` is a pure function of `(artifact, T-grid)`, so the
+//! `/v1/thermo` endpoint memoizes whole response bodies. The cache is a
+//! hash map plus a recency index kept in a `BTreeMap<u64, K>` keyed by a
+//! monotonically increasing use-stamp: both lookup-bump and eviction are
+//! `O(log n)`, and there is no unsafe linked-list juggling.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A least-recently-used cache with a fixed capacity.
+#[derive(Debug, Clone)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    capacity: usize,
+    next_stamp: u64,
+    map: HashMap<K, (V, u64)>,
+    recency: BTreeMap<u64, K>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries. A zero capacity is a
+    /// legal "cache disabled" configuration: every `get` misses and
+    /// every `put` is dropped.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            next_stamp: 0,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let stamp = self.next_stamp;
+        let entry = self.map.get_mut(key)?;
+        self.recency.remove(&entry.1);
+        entry.1 = stamp;
+        self.recency.insert(stamp, key.clone());
+        self.next_stamp += 1;
+        Some(&entry.0)
+    }
+
+    /// Insert `key → value`, evicting the least recently used entry if
+    /// the cache is full. Replacing an existing key refreshes its
+    /// recency.
+    pub fn put(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some((_, old_stamp)) = self.map.remove(&key) {
+            self.recency.remove(&old_stamp);
+        } else if self.map.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.recency.iter().next() {
+                if let Some(victim) = self.recency.remove(&oldest) {
+                    self.map.remove(&victim);
+                }
+            }
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.map.insert(key.clone(), (value, stamp));
+        self.recency.insert(stamp, key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_the_stored_value() {
+        let mut c = LruCache::new(4);
+        c.put("a", 1);
+        c.put("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"b"), Some(&2));
+        assert_eq!(c.get(&"missing"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        // Touch "a" so "b" is the LRU victim.
+        assert_eq!(c.get(&"a"), Some(&1));
+        c.put("c", 3);
+        assert_eq!(c.get(&"b"), None, "LRU entry must be evicted");
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replacing_a_key_refreshes_it() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.put("a", 10); // refresh, not insert
+        c.put("c", 3); // evicts "b", the true LRU
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.put("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn heavy_churn_keeps_len_bounded() {
+        let mut c = LruCache::new(8);
+        for i in 0..1000u32 {
+            c.put(i, i * 2);
+            assert!(c.len() <= 8);
+        }
+        // The 8 most recent keys survive.
+        for i in 992..1000 {
+            assert_eq!(c.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(c.get(&0), None);
+    }
+}

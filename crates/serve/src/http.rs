@@ -1,0 +1,407 @@
+//! A minimal HTTP/1.1 layer over `std::io` streams.
+//!
+//! The workspace builds fully offline from vendored crates, so there is
+//! no external HTTP stack; this module implements exactly the subset
+//! the query service needs: request-line + header parsing with hard
+//! size limits, `Content-Length` bodies (chunked transfer is refused
+//! with `501`), keep-alive accounting, and response serialization.
+//! Every parse failure is a typed [`HttpReadError`] that the server
+//! maps to a `4xx` — malformed traffic must never panic a worker.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request line plus all headers.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path + optional query), e.g. `/v1/thermo`.
+    pub target: String,
+    /// `true` for HTTP/1.1 (keep-alive default), `false` for HTTP/1.0.
+    pub http11: bool,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (or is HTTP/1.0 without `keep-alive`).
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => !self.http11,
+        }
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpReadError {
+    /// The peer closed the connection before sending a request line —
+    /// the normal end of a keep-alive session, not an error condition.
+    Closed,
+    /// The socket read timed out.
+    Timeout,
+    /// Syntactically invalid request (maps to `400`).
+    Malformed(&'static str),
+    /// Headers exceeded [`MAX_HEADER_BYTES`] (maps to `431`).
+    HeadersTooLarge,
+    /// Declared `Content-Length` exceeds the configured body limit
+    /// (maps to `413`).
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A protocol feature this server does not implement (maps to
+    /// `501`).
+    Unsupported(&'static str),
+    /// The underlying transport failed mid-request.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpReadError::Closed => write!(f, "connection closed"),
+            HttpReadError::Timeout => write!(f, "read timed out"),
+            HttpReadError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpReadError::HeadersTooLarge => write!(f, "headers exceed {MAX_HEADER_BYTES} bytes"),
+            HttpReadError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds limit {limit}")
+            }
+            HttpReadError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            HttpReadError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpReadError {}
+
+fn io_error(e: std::io::Error) -> HttpReadError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpReadError::Timeout,
+        std::io::ErrorKind::UnexpectedEof => HttpReadError::Malformed("truncated request"),
+        _ => HttpReadError::Io(e.to_string()),
+    }
+}
+
+/// Read one line (through `\n`), bounding total header bytes consumed.
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    consumed: &mut usize,
+    first: bool,
+) -> Result<String, HttpReadError> {
+    let mut buf = Vec::new();
+    loop {
+        let available = reader.fill_buf().map_err(io_error)?;
+        if available.is_empty() {
+            return if first && buf.is_empty() {
+                Err(HttpReadError::Closed)
+            } else {
+                Err(HttpReadError::Malformed("truncated request"))
+            };
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(available.len(), |i| i + 1);
+        if *consumed + take > MAX_HEADER_BYTES {
+            return Err(HttpReadError::HeadersTooLarge);
+        }
+        buf.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        *consumed += take;
+        if newline.is_some() {
+            break;
+        }
+    }
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| HttpReadError::Malformed("non-UTF-8 header bytes"))
+}
+
+/// Read and parse one request from a buffered stream, bounding the body
+/// at `max_body` bytes.
+///
+/// # Errors
+/// [`HttpReadError::Closed`] on clean EOF before the request line; any
+/// other variant for timeouts, oversized, or malformed input.
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, HttpReadError> {
+    let mut consumed = 0usize;
+    let request_line = read_line(reader, &mut consumed, true)?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or(HttpReadError::Malformed("bad method"))?
+        .to_string();
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or(HttpReadError::Malformed("bad request target"))?
+        .to_string();
+    let http11 = match parts.next() {
+        Some("HTTP/1.1") => true,
+        Some("HTTP/1.0") => false,
+        _ => return Err(HttpReadError::Malformed("bad HTTP version")),
+    };
+    if parts.next().is_some() {
+        return Err(HttpReadError::Malformed("extra tokens in request line"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut consumed, false)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpReadError::Malformed("header without ':'"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpReadError::Malformed("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpReadError::Unsupported("chunked transfer encoding"));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpReadError::Malformed("bad content-length"))?,
+    };
+    if content_length > max_body {
+        return Err(HttpReadError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(io_error)?;
+
+    Ok(Request {
+        method,
+        target,
+        http11,
+        headers,
+        body,
+    })
+}
+
+/// An outgoing response, built by the handlers.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (always sent with `Content-Length`).
+    pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers, e.g. `("x-cache", "hit")`.
+    pub extra_headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A JSON error response with a standard `{"error": ...}` shape.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut body = String::from("{\"error\":");
+        dt_telemetry::push_json_string(&mut body, message);
+        body.push('}');
+        Response::json(status, body)
+    }
+
+    /// The standard reason phrase for this status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// Serialize `response` onto `stream`. `close` controls the
+/// `Connection` header (and should match what the caller then does).
+///
+/// # Errors
+/// Propagates transport write errors.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    response: &Response,
+    close: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len()
+    );
+    for (k, v) in &response.extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str(if close {
+        "connection: close\r\n\r\n"
+    } else {
+        "connection: keep-alive\r\n\r\n"
+    });
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse("POST /v1/thermo HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/thermo");
+        assert!(req.http11);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"{\"a\":1}");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn connection_close_semantics() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.wants_close());
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(req.wants_close());
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert_eq!(parse(""), Err(HttpReadError::Closed));
+        assert!(matches!(
+            parse("NOT-HTTP\r\n\r\n"),
+            Err(HttpReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET noslash HTTP/1.1\r\n\r\n"),
+            Err(HttpReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/2.0\r\n\r\n"),
+            Err(HttpReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(HttpReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_bodies_and_headers_are_rejected() {
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(HttpReadError::BodyTooLarge {
+                declared: 9999,
+                limit: 1024
+            })
+        );
+        let huge = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "y".repeat(MAX_HEADER_BYTES)
+        );
+        assert_eq!(parse(&huge), Err(HttpReadError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn chunked_transfer_is_unsupported() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpReadError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn responses_serialize_with_content_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"ok\":true}"), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: keep-alive"));
+        assert!(text.ends_with("{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::error(404, "no such artifact"), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("connection: close"));
+        assert!(text.contains("{\"error\":\"no such artifact\"}"));
+    }
+}

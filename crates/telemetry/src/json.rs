@@ -1,10 +1,17 @@
-//! A minimal JSON well-formedness checker.
+//! A minimal JSON well-formedness checker and value parser.
 //!
 //! The workspace has no serde; telemetry JSON is hand-written in
-//! `report`. This validator is the other half of that contract: tests
-//! and the CI smoke job can assert every exported line is valid JSON
-//! without pulling in a parser dependency. It checks syntax only — it
-//! builds no value tree.
+//! `report`. This module is the other half of that contract:
+//!
+//! * [`validate_json`] — syntax-only checker; tests and the CI smoke job
+//!   assert every exported line is valid JSON without a value tree.
+//! * [`parse_json`] / [`JsonValue`] — a small value-building parser for
+//!   consumers that must *read* JSON, most notably the `dt-serve`
+//!   request path, which decodes untrusted HTTP bodies and needs a
+//!   typed error (not a panic) for every malformed input.
+//!
+//! Numbers are parsed as `f64` (like JavaScript); object keys keep their
+//! textual order so hand-written JSON round-trips recognizably.
 
 /// Where and why validation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,13 +34,117 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
-/// Check that `text` is exactly one well-formed JSON value (object,
-/// array, string, number, or literal) with nothing but whitespace after.
-pub fn validate_json(text: &str) -> Result<(), JsonError> {
+/// Write `v` as a JSON number (JSON has no NaN/Infinity; they become 0).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v:e}");
+        out.push_str(&s);
+    } else {
+        out.push('0');
+    }
+}
+
+/// Write `s` as a JSON string literal with escaping.
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed JSON value.
+///
+/// Object members keep their textual order (no map semantics); duplicate
+/// keys are preserved as-is and [`JsonValue::get`] returns the first.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Number(f64),
+    /// A string, with escapes decoded.
+    String(String),
+    /// `[ ... ]`.
+    Array(Vec<JsonValue>),
+    /// `{ ... }`, members in textual order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member of an object by key (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `text` as exactly one JSON value (object, array, string,
+/// number, or literal) with nothing but whitespace after.
+///
+/// # Errors
+/// A [`JsonError`] locating the first offending byte.
+pub fn parse_json(text: &str) -> Result<JsonValue, JsonError> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);
-    value(bytes, &mut pos)?;
+    let v = value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(JsonError {
@@ -41,7 +152,13 @@ pub fn validate_json(text: &str) -> Result<(), JsonError> {
             expected: "end of input",
         });
     }
-    Ok(())
+    Ok(v)
+}
+
+/// Check that `text` is exactly one well-formed JSON value (object,
+/// array, string, number, or literal) with nothing but whitespace after.
+pub fn validate_json(text: &str) -> Result<(), JsonError> {
+    parse_json(text).map(|_| ())
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -54,15 +171,15 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn value(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+fn value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
     match bytes.get(*pos) {
         Some(b'{') => object(bytes, pos),
         Some(b'[') => array(bytes, pos),
-        Some(b'"') => string(bytes, pos),
-        Some(b'-' | b'0'..=b'9') => number(bytes, pos),
-        Some(b't') => literal(bytes, pos, b"true"),
-        Some(b'f') => literal(bytes, pos, b"false"),
-        Some(b'n') => literal(bytes, pos, b"null"),
+        Some(b'"') => string(bytes, pos).map(JsonValue::String),
+        Some(b'-' | b'0'..=b'9') => number(bytes, pos).map(JsonValue::Number),
+        Some(b't') => literal(bytes, pos, b"true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => literal(bytes, pos, b"false").map(|()| JsonValue::Bool(false)),
+        Some(b'n') => literal(bytes, pos, b"null").map(|()| JsonValue::Null),
         _ => Err(JsonError {
             at: *pos,
             expected: "a JSON value",
@@ -70,16 +187,17 @@ fn value(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
     }
 }
 
-fn object(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+fn object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
     *pos += 1; // '{'
     skip_ws(bytes, pos);
+    let mut members = Vec::new();
     if bytes.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(JsonValue::Object(members));
     }
     loop {
         skip_ws(bytes, pos);
-        string(bytes, pos)?;
+        let key = string(bytes, pos)?;
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b':') {
             return Err(JsonError {
@@ -89,13 +207,14 @@ fn object(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
         }
         *pos += 1;
         skip_ws(bytes, pos);
-        value(bytes, pos)?;
+        let val = value(bytes, pos)?;
+        members.push((key, val));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Object(members));
             }
             _ => {
                 return Err(JsonError {
@@ -107,22 +226,23 @@ fn object(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
     }
 }
 
-fn array(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+fn array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
     *pos += 1; // '['
     skip_ws(bytes, pos);
+    let mut elems = Vec::new();
     if bytes.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(JsonValue::Array(elems));
     }
     loop {
         skip_ws(bytes, pos);
-        value(bytes, pos)?;
+        elems.push(value(bytes, pos)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Array(elems));
             }
             _ => {
                 return Err(JsonError {
@@ -134,7 +254,7 @@ fn array(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
     }
 }
 
-fn string(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+fn string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     if bytes.get(*pos) != Some(&b'"') {
         return Err(JsonError {
             at: *pos,
@@ -142,27 +262,78 @@ fn string(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
         });
     }
     *pos += 1;
+    let mut out = String::new();
     while let Some(&b) = bytes.get(*pos) {
         match b {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 *pos += 1;
                 match bytes.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'"') => {
+                        out.push('"');
+                        *pos += 1;
+                    }
+                    Some(b'\\') => {
+                        out.push('\\');
+                        *pos += 1;
+                    }
+                    Some(b'/') => {
+                        out.push('/');
+                        *pos += 1;
+                    }
+                    Some(b'b') => {
+                        out.push('\u{0008}');
+                        *pos += 1;
+                    }
+                    Some(b'f') => {
+                        out.push('\u{000c}');
+                        *pos += 1;
+                    }
+                    Some(b'n') => {
+                        out.push('\n');
+                        *pos += 1;
+                    }
+                    Some(b'r') => {
+                        out.push('\r');
+                        *pos += 1;
+                    }
+                    Some(b't') => {
+                        out.push('\t');
+                        *pos += 1;
+                    }
                     Some(b'u') => {
                         *pos += 1;
-                        for _ in 0..4 {
-                            match bytes.get(*pos) {
-                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
-                                _ => {
+                        let hi = hex4(bytes, pos)?;
+                        let c = if (0xd800..0xdc00).contains(&hi) {
+                            // High surrogate: require a \uXXXX low half.
+                            if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let lo = hex4(bytes, pos)?;
+                                if !(0xdc00..0xe000).contains(&lo) {
                                     return Err(JsonError {
                                         at: *pos,
-                                        expected: "4 hex digits after \\u",
-                                    })
+                                        expected: "a low surrogate after a high surrogate",
+                                    });
                                 }
+                                let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(cp)
+                            } else {
+                                None
+                            }
+                        } else {
+                            char::from_u32(hi)
+                        };
+                        match c {
+                            Some(c) => out.push(c),
+                            None => {
+                                return Err(JsonError {
+                                    at: *pos,
+                                    expected: "a valid unicode escape",
+                                })
                             }
                         }
                     }
@@ -180,7 +351,17 @@ fn string(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
                     expected: "no raw control characters in string",
                 })
             }
-            _ => *pos += 1,
+            _ => {
+                // Input is &str, so multi-byte UTF-8 runs are valid;
+                // copy the whole scalar in one step.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| JsonError {
+                    at: *pos,
+                    expected: "valid UTF-8",
+                })?;
+                let c = rest.chars().next().expect("non-empty by loop guard");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
         }
     }
     Err(JsonError {
@@ -189,7 +370,26 @@ fn string(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
     })
 }
 
-fn number(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
+fn hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        match bytes.get(*pos) {
+            Some(h) if h.is_ascii_hexdigit() => {
+                v = v * 16 + (*h as char).to_digit(16).expect("hex digit");
+                *pos += 1;
+            }
+            _ => {
+                return Err(JsonError {
+                    at: *pos,
+                    expected: "4 hex digits after \\u",
+                })
+            }
+        }
+    }
+    Ok(v)
+}
+
+fn number(bytes: &[u8], pos: &mut usize) -> Result<f64, JsonError> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -233,7 +433,11 @@ fn number(bytes: &[u8], pos: &mut usize) -> Result<(), JsonError> {
             expected: "no leading zeros",
         });
     }
-    Ok(())
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII number syntax");
+    text.parse().map_err(|_| JsonError {
+        at: start,
+        expected: "a representable number",
+    })
 }
 
 fn digits(bytes: &[u8], pos: &mut usize) -> usize {
@@ -303,5 +507,40 @@ mod tests {
         let err = validate_json("[1, ]").unwrap_err();
         assert_eq!(err.at, 4);
         assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn parser_builds_the_value_tree() {
+        let v = parse_json(r#"{"a":[1,2.5,{"b":null}],"c":"x","d":true}"#).unwrap();
+        assert_eq!(v.get("c").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.get("d").and_then(JsonValue::as_bool), Some(true));
+        let a = v.get("a").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(2.5));
+        assert_eq!(a[1].as_u64(), None);
+        assert_eq!(a[2].get("b"), Some(&JsonValue::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parser_decodes_escapes_and_unicode() {
+        let v = parse_json(r#""a\n\t\"\\\/ é 😀 é""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\n\t\"\\/ é 😀 é"));
+        // Lone high surrogate must be rejected.
+        assert!(parse_json(r#""\ud83d""#).is_err());
+        assert!(parse_json(r#""\ud83dA""#).is_err());
+    }
+
+    #[test]
+    fn parsed_numbers_round_trip_f64_display() {
+        // Rust's f64 Display prints the shortest round-trippable form, so
+        // a value written with `{}` must parse back bit-identically —
+        // the property dt-serve's cached-vs-direct equality rests on.
+        for x in [0.1, 1.0 / 3.0, 1e-300, -2.5e17, f64::MIN_POSITIVE] {
+            let v = parse_json(&format!("{x}")).unwrap();
+            assert_eq!(v.as_f64().map(f64::to_bits), Some(x.to_bits()));
+        }
     }
 }

@@ -46,7 +46,7 @@ pub mod registry;
 pub mod report;
 pub mod span;
 
-pub use json::validate_json;
+pub use json::{parse_json, push_f64, push_json_string, validate_json, JsonError, JsonValue};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use report::{phase_table, to_jsonl, PhaseBreakdown, PhaseStat, RankTelemetry};
 pub use span::{Phase, SpanGuard, Telemetry};

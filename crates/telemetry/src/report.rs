@@ -1,5 +1,6 @@
 //! Per-rank telemetry snapshots, JSONL export, and phase tables.
 
+use crate::json::{push_f64, push_json_string};
 use crate::span::Phase;
 
 /// Accumulated statistics for one phase on one rank.
@@ -116,35 +117,6 @@ impl RankTelemetry {
         out.push_str("}}");
         out
     }
-}
-
-/// Write `v` as a JSON number (JSON has no NaN/Infinity; they become 0).
-fn push_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        let s = format!("{v:e}");
-        out.push_str(&s);
-    } else {
-        out.push('0');
-    }
-}
-
-/// Write `s` as a JSON string literal with escaping.
-fn push_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
 }
 
 /// Export rank snapshots as JSONL: one JSON object per line, trailing

@@ -1,5 +1,57 @@
 //! Canonical thermodynamics from `(E, ln g)` pairs.
 
+/// Why a canonical evaluation cannot proceed.
+///
+/// Returned by the `try_` variants ([`try_canonical_curve`],
+/// [`try_temperature_grid`]) so callers that receive untrusted input —
+/// the `dt-serve` HTTP endpoints in particular — can map a bad request
+/// to an error response instead of a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermoError {
+    /// `energies` and `ln_g` have different lengths.
+    LengthMismatch {
+        /// Length of the energy slice.
+        energies: usize,
+        /// Length of the `ln g` slice.
+        ln_g: usize,
+    },
+    /// The density of states is empty.
+    EmptyDos,
+    /// A temperature grid point is zero or negative.
+    NonPositiveTemperature(f64),
+    /// A requested uniform grid is degenerate: fewer than two points,
+    /// inverted bounds, or a non-positive lower bound.
+    BadGrid {
+        /// Requested lower bound (K).
+        t_min: f64,
+        /// Requested upper bound (K).
+        t_max: f64,
+        /// Requested number of points.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for ThermoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThermoError::LengthMismatch { energies, ln_g } => {
+                write!(f, "E / ln g length mismatch ({energies} vs {ln_g})")
+            }
+            ThermoError::EmptyDos => write!(f, "empty density of states"),
+            ThermoError::NonPositiveTemperature(t) => {
+                write!(f, "temperature must be positive, got {t}")
+            }
+            ThermoError::BadGrid { t_min, t_max, n } => write!(
+                f,
+                "bad temperature grid: need n >= 2 and 0 < t_min < t_max, \
+                 got t_min {t_min}, t_max {t_max}, n {n}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ThermoError {}
+
 /// One temperature point of the thermodynamic curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermoPoint {
@@ -27,13 +79,39 @@ pub struct ThermoPoint {
 ///
 /// # Panics
 /// Panics when slices mismatch, are empty, or any temperature is ≤ 0.
+/// Use [`try_canonical_curve`] to get a [`ThermoError`] instead.
 pub fn canonical_curve(energies: &[f64], ln_g: &[f64], temps: &[f64], kb: f64) -> Vec<ThermoPoint> {
-    assert_eq!(energies.len(), ln_g.len(), "E / ln g length mismatch");
-    assert!(!energies.is_empty(), "empty density of states");
+    try_canonical_curve(energies, ln_g, temps, kb).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`canonical_curve`]: validates the inputs and returns a
+/// [`ThermoError`] describing the first problem found.
+///
+/// # Errors
+/// [`ThermoError::LengthMismatch`] / [`ThermoError::EmptyDos`] for a
+/// malformed DOS, [`ThermoError::NonPositiveTemperature`] for a bad grid
+/// point.
+pub fn try_canonical_curve(
+    energies: &[f64],
+    ln_g: &[f64],
+    temps: &[f64],
+    kb: f64,
+) -> Result<Vec<ThermoPoint>, ThermoError> {
+    if energies.len() != ln_g.len() {
+        return Err(ThermoError::LengthMismatch {
+            energies: energies.len(),
+            ln_g: ln_g.len(),
+        });
+    }
+    if energies.is_empty() {
+        return Err(ThermoError::EmptyDos);
+    }
     temps
         .iter()
         .map(|&t| {
-            assert!(t > 0.0, "temperature must be positive, got {t}");
+            if t.is_nan() || t <= 0.0 {
+                return Err(ThermoError::NonPositiveTemperature(t));
+            }
             let beta = 1.0 / (kb * t);
             // w_i = ln g_i − β E_i, stabilized by the max.
             let mut w_max = f64::NEG_INFINITY;
@@ -53,23 +131,37 @@ pub fn canonical_curve(energies: &[f64], ln_g: &[f64], temps: &[f64], kb: f64) -
             let var = (e2z / z - u * u).max(0.0);
             let ln_z = w_max + z.ln();
             let f = -kb * t * ln_z;
-            ThermoPoint {
+            Ok(ThermoPoint {
                 t,
                 u,
                 cv: beta * beta * var,
                 f,
                 s: beta * (u - f),
-            }
+            })
         })
         .collect()
 }
 
 /// A uniformly spaced temperature grid `[t_min, t_max]` with `n` points.
+///
+/// # Panics
+/// Panics on a degenerate grid; use [`try_temperature_grid`] to get a
+/// [`ThermoError`] instead.
 pub fn temperature_grid(t_min: f64, t_max: f64, n: usize) -> Vec<f64> {
-    assert!(n >= 2 && t_max > t_min && t_min > 0.0);
-    (0..n)
+    try_temperature_grid(t_min, t_max, n).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`temperature_grid`].
+///
+/// # Errors
+/// [`ThermoError::BadGrid`] unless `n >= 2` and `0 < t_min < t_max`.
+pub fn try_temperature_grid(t_min: f64, t_max: f64, n: usize) -> Result<Vec<f64>, ThermoError> {
+    if !(n >= 2 && t_max > t_min && t_min > 0.0) {
+        return Err(ThermoError::BadGrid { t_min, t_max, n });
+    }
+    Ok((0..n)
         .map(|i| t_min + (t_max - t_min) * i as f64 / (n - 1) as f64)
-        .collect()
+        .collect())
 }
 
 /// Locate the heat-capacity peak — the order–disorder transition
@@ -172,6 +264,53 @@ mod tests {
     fn negative_temperature_rejected() {
         let (e, lg) = two_level(0.1, 1.0, 1.0);
         let _ = canonical_curve(&e, &lg, &[-1.0], KB_EV_PER_K);
+    }
+
+    #[test]
+    fn try_variants_return_errors_instead_of_panicking() {
+        let (e, lg) = two_level(0.1, 1.0, 1.0);
+        assert_eq!(
+            try_canonical_curve(&e, &lg[..1], &[300.0], KB_EV_PER_K),
+            Err(ThermoError::LengthMismatch {
+                energies: 2,
+                ln_g: 1
+            })
+        );
+        assert_eq!(
+            try_canonical_curve(&[], &[], &[300.0], KB_EV_PER_K),
+            Err(ThermoError::EmptyDos)
+        );
+        assert_eq!(
+            try_canonical_curve(&e, &lg, &[300.0, -5.0], KB_EV_PER_K),
+            Err(ThermoError::NonPositiveTemperature(-5.0))
+        );
+        assert!(matches!(
+            try_canonical_curve(&e, &lg, &[f64::NAN], KB_EV_PER_K),
+            Err(ThermoError::NonPositiveTemperature(_))
+        ));
+        assert_eq!(
+            try_temperature_grid(200.0, 100.0, 5),
+            Err(ThermoError::BadGrid {
+                t_min: 200.0,
+                t_max: 100.0,
+                n: 5
+            })
+        );
+        assert!(try_temperature_grid(100.0, 200.0, 1).is_err());
+    }
+
+    #[test]
+    fn try_variants_agree_with_panicking_wrappers() {
+        let (e, lg) = two_level(0.1, 1.0, 3.0);
+        let temps = temperature_grid(100.0, 2000.0, 17);
+        assert_eq!(
+            try_temperature_grid(100.0, 2000.0, 17).unwrap(),
+            temps,
+            "grid variants must agree"
+        );
+        let a = canonical_curve(&e, &lg, &temps, KB_EV_PER_K);
+        let b = try_canonical_curve(&e, &lg, &temps, KB_EV_PER_K).unwrap();
+        assert_eq!(a, b, "curve variants must agree bit-for-bit");
     }
 
     #[test]

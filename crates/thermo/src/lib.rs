@@ -9,7 +9,9 @@
 //! spanning `e^10,000` (the paper's headline range) is handled without
 //! overflow:
 //!
-//! * [`canonical_curve`] — U(T), C_v(T), F(T), S(T) over a temperature grid,
+//! * [`canonical_curve`] — U(T), C_v(T), F(T), S(T) over a temperature grid
+//!   (with a non-panicking [`try_canonical_curve`] for untrusted input,
+//!   e.g. the `dt-serve` HTTP endpoints),
 //! * [`find_cv_peak`] — order–disorder transition locator,
 //! * [`MicrocanonicalAccumulator`] — per-energy-bin observable averages
 //!   (collected during sampling) reweighted into canonical averages, used
@@ -21,7 +23,10 @@
 pub mod canonical;
 pub mod reweight;
 
-pub use canonical::{canonical_curve, find_cv_peak, temperature_grid, ThermoPoint};
+pub use canonical::{
+    canonical_curve, find_cv_peak, temperature_grid, try_canonical_curve, try_temperature_grid,
+    ThermoError, ThermoPoint,
+};
 pub use reweight::MicrocanonicalAccumulator;
 
 /// Boltzmann constant in eV/K (re-exported from `dt-hamiltonian` so users

@@ -75,6 +75,17 @@ impl MicrocanonicalAccumulator {
         self.counts[bin]
     }
 
+    /// Raw per-bin state: the element-wise observation totals and the
+    /// sample count. This is the exact internal representation, exposed
+    /// so serializers (the `dt-serve` artifact registry) can round-trip
+    /// an accumulator bit-identically via [`record_sum`].
+    ///
+    /// [`record_sum`]: MicrocanonicalAccumulator::record_sum
+    pub fn bin_data(&self, bin: usize) -> (&[f64], u64) {
+        let base = bin * self.obs_dim;
+        (&self.sums[base..base + self.obs_dim], self.counts[bin])
+    }
+
     /// Microcanonical mean `⟨O⟩_E` of a bin (`None` if unsampled).
     pub fn bin_mean(&self, bin: usize) -> Option<Vec<f64>> {
         (self.counts[bin] > 0).then(|| {

@@ -1,11 +1,14 @@
-//! Vendored placeholder for `crossbeam`.
+//! Vendored minimal `crossbeam`.
 //!
-//! `dt-hpc` declares the dependency but the sources only use std threading
-//! plus the vendored `parking_lot`; this empty crate satisfies the
-//! manifest without a registry. Re-exports [`std::thread::scope`] as
-//! `crossbeam::scope`'s closest std equivalent should future code want it.
+//! Covers the API surface this workspace uses, offline: bounded MPMC
+//! [`channel`]s (the job queue behind `dt-serve`'s worker pool and 429
+//! backpressure) built on std sync primitives, plus
+//! [`std::thread::scope`] re-exported as `crossbeam::scope`'s closest
+//! std equivalent.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod channel;
 
 pub use std::thread::scope;
