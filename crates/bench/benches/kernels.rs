@@ -96,6 +96,32 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| black_box(net.forward(black_box(&x))))
     });
 
+    c.bench_function("mlp_forward_into_batch1_15x64x64x4", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        let net = dt_nn::Mlp::new(
+            &[15, 64, 64, 4],
+            dt_nn::Activation::Relu,
+            dt_nn::Activation::Identity,
+            &mut r,
+        );
+        let x: Vec<f64> = (0..15).map(|i| i as f64 / 15.0).collect();
+        let mut scratch = dt_nn::ForwardScratch::for_mlp(&net, 1);
+        b.iter(|| black_box(net.forward_into(black_box(&x), 1, &mut scratch)[0]))
+    });
+
+    c.bench_function("mlp_forward_into_batch32_15x64x64x4", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        let net = dt_nn::Mlp::new(
+            &[15, 64, 64, 4],
+            dt_nn::Activation::Relu,
+            dt_nn::Activation::Identity,
+            &mut r,
+        );
+        let x: Vec<f64> = (0..32 * 15).map(|i| (i % 15) as f64 / 15.0).collect();
+        let mut scratch = dt_nn::ForwardScratch::for_mlp(&net, 32);
+        b.iter(|| black_box(net.forward_into(black_box(&x), 32, &mut scratch)[0]))
+    });
+
     c.bench_function("neighbor_table_build_l8", |b| {
         b.iter(|| {
             let cell = dt_lattice::Supercell::cubic(dt_lattice::Structure::bcc(), 8);

@@ -16,12 +16,29 @@ pub enum Activation {
 }
 
 impl Activation {
+    /// Apply the activation to one value. This is the scalar kernel both
+    /// [`Activation::forward`] and the fused inference path build on, so
+    /// the two are bit-identical by construction.
+    #[inline]
+    pub fn apply(self, v: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if v > 0.0 {
+                    v
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => v.tanh(),
+            Activation::Identity => v,
+        }
+    }
+
     /// Apply the activation element-wise.
     pub fn forward(self, x: &Matrix) -> Matrix {
         match self {
-            Activation::Relu => x.map(|v| if v > 0.0 { v } else { 0.0 }),
-            Activation::Tanh => x.map(f64::tanh),
             Activation::Identity => x.clone(),
+            _ => x.map(|v| self.apply(v)),
         }
     }
 

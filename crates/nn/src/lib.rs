@@ -15,6 +15,12 @@
 //! log-probabilities* for Metropolis–Hastings corrections, which is why the
 //! whole crate works in `f64`.
 //!
+//! Inference has two tiers: the allocating reference path
+//! ([`Mlp::forward`]) and the batched, steady-state-allocation-free
+//! engine ([`Mlp::forward_into`] + [`ForwardScratch`], see the [`infer`]
+//! module). The two are bit-identical; samplers run on the engine, tests
+//! and training diagnostics on the reference.
+//!
 //! ```
 //! use dt_nn::{Activation, Adam, Matrix, Mlp};
 //! use rand::SeedableRng;
@@ -40,6 +46,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod infer;
 pub mod layer;
 pub mod loss;
 pub mod matrix;
@@ -47,10 +54,13 @@ pub mod mlp;
 pub mod optim;
 pub mod serialize;
 
+pub use infer::{
+    linear_forward_fused, linear_forward_fused_packed, pack_weights_transposed, ForwardScratch,
+};
 pub use layer::{Activation, Linear};
 pub use loss::{
-    log_softmax_masked, mse_loss, sample_categorical, softmax_cross_entropy,
-    softmax_cross_entropy_masked,
+    log_softmax_masked, log_softmax_masked_into, mse_loss, sample_categorical,
+    softmax_cross_entropy, softmax_cross_entropy_masked, softmax_cross_entropy_masked_flat,
 };
 pub use matrix::Matrix;
 pub use mlp::Mlp;

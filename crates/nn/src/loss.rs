@@ -42,6 +42,18 @@ pub fn mse_loss(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
 /// Masked-out entries get `-inf`. `mask.len()` must equal the row length
 /// when provided, and at least one entry must be allowed.
 pub fn log_softmax_masked(logits: &[f64], mask: Option<&[bool]>) -> Vec<f64> {
+    let mut out = Vec::with_capacity(logits.len());
+    log_softmax_masked_into(logits, mask, &mut out);
+    out
+}
+
+/// [`log_softmax_masked`] writing into a reused buffer.
+///
+/// `out` is cleared and refilled; a buffer with enough capacity makes the
+/// call allocation-free, which matters in the deep proposal's per-site
+/// decode loop. The arithmetic is identical to [`log_softmax_masked`], so
+/// results are bit-identical.
+pub fn log_softmax_masked_into(logits: &[f64], mask: Option<&[bool]>, out: &mut Vec<f64>) {
     if let Some(m) = mask {
         assert_eq!(m.len(), logits.len(), "mask length mismatch");
         assert!(m.iter().any(|&a| a), "mask must allow at least one class");
@@ -60,24 +72,21 @@ pub fn log_softmax_masked(logits: &[f64], mask: Option<&[bool]>) -> Vec<f64> {
         }
     }
     let lse = max + lse.ln();
-    logits
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| {
-            if allowed(i) {
-                v - lse
-            } else {
-                f64::NEG_INFINITY
-            }
-        })
-        .collect()
+    out.clear();
+    out.extend(logits.iter().enumerate().map(|(i, &v)| {
+        if allowed(i) {
+            v - lse
+        } else {
+            f64::NEG_INFINITY
+        }
+    }));
 }
 
 /// Softmax cross-entropy over a batch with integer targets.
 ///
 /// Returns `(mean loss, dL/d_logits)`.
 pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f64, Matrix) {
-    softmax_cross_entropy_impl(logits, targets, None)
+    softmax_cross_entropy_impl(logits, targets, MaskSource::None)
 }
 
 /// Masked softmax cross-entropy: per-row class masks (e.g. exhausted
@@ -88,25 +97,55 @@ pub fn softmax_cross_entropy_masked(
     targets: &[usize],
     masks: &[Vec<bool>],
 ) -> (f64, Matrix) {
-    softmax_cross_entropy_impl(logits, targets, Some(masks))
+    assert_eq!(masks.len(), targets.len(), "mask count mismatch");
+    softmax_cross_entropy_impl(logits, targets, MaskSource::Rows(masks))
+}
+
+/// [`softmax_cross_entropy_masked`] with the per-row masks flattened into
+/// one `rows × cols` slice — the reusable-buffer form the proposal
+/// trainer feeds so building a minibatch allocates no per-row `Vec`s.
+pub fn softmax_cross_entropy_masked_flat(
+    logits: &Matrix,
+    targets: &[usize],
+    masks: &[bool],
+) -> (f64, Matrix) {
+    assert_eq!(
+        masks.len(),
+        logits.rows() * logits.cols(),
+        "flat mask length mismatch"
+    );
+    softmax_cross_entropy_impl(logits, targets, MaskSource::Flat(masks))
+}
+
+/// Where per-row class masks come from, if anywhere.
+enum MaskSource<'a> {
+    None,
+    Rows(&'a [Vec<bool>]),
+    Flat(&'a [bool]),
+}
+
+impl<'a> MaskSource<'a> {
+    fn row(&self, r: usize, cols: usize) -> Option<&'a [bool]> {
+        match self {
+            MaskSource::None => None,
+            MaskSource::Rows(m) => Some(m[r].as_slice()),
+            MaskSource::Flat(m) => Some(&m[r * cols..(r + 1) * cols]),
+        }
+    }
 }
 
 fn softmax_cross_entropy_impl(
     logits: &Matrix,
     targets: &[usize],
-    masks: Option<&[Vec<bool>]>,
+    masks: MaskSource<'_>,
 ) -> (f64, Matrix) {
     assert_eq!(logits.rows(), targets.len(), "target count mismatch");
-    if let Some(m) = masks {
-        assert_eq!(m.len(), targets.len(), "mask count mismatch");
-    }
     let rows = logits.rows();
     let mut grad = Matrix::zeros(rows, logits.cols());
     let mut loss = 0.0;
-    for r in 0..rows {
-        let mask = masks.map(|m| m[r].as_slice());
+    for (r, &t) in targets.iter().enumerate() {
+        let mask = masks.row(r, logits.cols());
         let logp = log_softmax_masked(logits.row(r), mask);
-        let t = targets[r];
         debug_assert!(
             mask.is_none_or(|m| m[t]),
             "target {t} masked out in row {r}"

@@ -114,10 +114,9 @@ impl Matrix {
         for i in 0..self.rows {
             let a_row = self.row(i);
             let o_row = out.row_mut(i);
+            // No zero-skip fast path here: `0.0 * NaN` must stay NaN so a
+            // poisoned operand surfaces instead of silently vanishing.
             for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
                 let b_row = other.row(k);
                 for (o, &b) in o_row.iter_mut().zip(b_row) {
                     *o += aik * b;
@@ -296,6 +295,17 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_coefficients() {
+        // 0.0 · NaN is NaN; a poisoned weight must not be masked by a
+        // zero activation.
+        let a = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[f64::NAN, 0.0], &[1.0, 1.0]]);
+        let c = a.matmul(&b);
+        assert!(c[(0, 0)].is_nan(), "NaN must propagate, got {}", c[(0, 0)]);
+        assert_eq!(c[(0, 1)], 1.0);
     }
 
     #[test]

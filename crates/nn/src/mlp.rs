@@ -2,6 +2,9 @@
 
 use rand::Rng;
 
+use crate::infer::{
+    linear_forward_fused, linear_forward_fused_packed, pack_weights_transposed, ForwardScratch,
+};
 use crate::layer::{Activation, Linear};
 use crate::matrix::Matrix;
 
@@ -108,6 +111,78 @@ impl Mlp {
             h = act.forward(&pre);
         }
         h
+    }
+
+    /// Batched inference into reusable scratch buffers — the hot-path
+    /// twin of [`Mlp::forward`].
+    ///
+    /// `x` holds `rows` row-major feature rows of width
+    /// [`Mlp::in_dim`]; the returned slice holds `rows` rows of width
+    /// [`Mlp::out_dim`], borrowed from `scratch`. Results are
+    /// bit-identical to [`Mlp::forward`] (see
+    /// [`linear_forward_fused`]). A scratch warmed by
+    /// [`ForwardScratch::reserve`] — or by a first call at the largest
+    /// batch size — makes this perform **zero heap allocations**.
+    ///
+    /// # Panics
+    /// Panics when `x` is shorter than `rows · in_dim`.
+    pub fn forward_into<'a>(
+        &self,
+        x: &[f64],
+        rows: usize,
+        scratch: &'a mut ForwardScratch,
+    ) -> &'a [f64] {
+        assert!(x.len() >= rows * self.in_dim(), "input rows too short");
+        scratch.reserve(self, rows);
+        let ForwardScratch {
+            buf_a,
+            buf_b,
+            packed_w,
+        } = scratch;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let act = if i == last {
+                self.out_act
+            } else {
+                self.hidden_act
+            };
+            // Ping-pong: x → a → b → a → …
+            let (src, dst): (&[f64], &mut [f64]) = if i == 0 {
+                (x, buf_a.as_mut_slice())
+            } else if i % 2 == 1 {
+                (buf_a.as_slice(), buf_b.as_mut_slice())
+            } else {
+                (buf_b.as_slice(), buf_a.as_mut_slice())
+            };
+            if rows >= 2 && cfg!(target_feature = "avx") {
+                // Multi-row batch: repack the layer's weights so the
+                // column loop vectorizes; the pack cost amortizes over
+                // the rows. Bit-identical to the scalar tile. Without
+                // AVX the vector lanes are too narrow to beat the
+                // scalar tile's eight accumulator chains, so the packed
+                // path is compiled out on baseline targets.
+                let wn = layer.w.data().len();
+                pack_weights_transposed(&layer.w, &mut packed_w[..wn]);
+                linear_forward_fused_packed(
+                    src,
+                    rows,
+                    &packed_w[..wn],
+                    layer.w.cols(),
+                    layer.w.rows(),
+                    &layer.b,
+                    act,
+                    dst,
+                );
+            } else {
+                linear_forward_fused(src, rows, &layer.w, &layer.b, act, dst);
+            }
+        }
+        let out = rows * self.out_dim();
+        if last % 2 == 0 {
+            &buf_a[..out]
+        } else {
+            &buf_b[..out]
+        }
     }
 
     /// Training forward pass: caches pre-activations for [`Mlp::backward`].

@@ -1,0 +1,97 @@
+//! Asserts the acceptance criterion that steady-state `forward_into`
+//! performs **zero heap allocations**, using a counting global allocator.
+//!
+//! This file must stay a single `#[test]`: the counter is process-global,
+//! and concurrent tests in the same binary would race it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use dt_nn::{log_softmax_masked_into, Activation, ForwardScratch, Mlp};
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Count heap allocations performed by `f`.
+fn allocations_in(f: impl FnOnce()) -> usize {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_forward_into_is_allocation_free() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mlp = Mlp::new(
+        &[31, 64, 64, 4],
+        Activation::Relu,
+        Activation::Identity,
+        &mut rng,
+    );
+    let batch = 32usize;
+    let x: Vec<f64> = (0..batch * 31)
+        .map(|_| rng.random::<f64>() * 2.0 - 1.0)
+        .collect();
+    let mut scratch = ForwardScratch::new();
+    let mut logp = Vec::with_capacity(4);
+    let mask = [true, true, false, true];
+
+    // Warm-up: first calls may grow the scratch and logp buffers.
+    let _ = mlp.forward_into(&x, batch, &mut scratch);
+    let out = mlp.forward_into(&x[..31], 1, &mut scratch);
+    log_softmax_masked_into(&out[..4], Some(&mask), &mut logp);
+
+    // Steady state: batched, batch-1, and the decode-loop softmax must
+    // all run without touching the allocator.
+    let mut sink = 0.0;
+    let count = allocations_in(|| {
+        for _ in 0..100 {
+            let out = mlp.forward_into(&x, batch, &mut scratch);
+            sink += out[0];
+            let out1 = mlp.forward_into(&x[..31], 1, &mut scratch);
+            log_softmax_masked_into(&out1[..4], Some(&mask), &mut logp);
+            sink += logp[0];
+        }
+    });
+    assert!(sink.is_finite());
+    assert_eq!(
+        count, 0,
+        "steady-state forward_into must not allocate, saw {count} allocations"
+    );
+
+    // Sanity check that the counter actually counts.
+    let count = allocations_in(|| {
+        let v: Vec<f64> = Vec::with_capacity(64);
+        std::hint::black_box(&v);
+    });
+    assert!(count >= 1, "counter should see an explicit allocation");
+}

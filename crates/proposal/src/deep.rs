@@ -32,7 +32,7 @@
 //! the per-site factors normalize.
 
 use dt_lattice::{Configuration, NeighborTable, SiteId, Species};
-use dt_nn::{log_softmax_masked, sample_categorical, Activation, Matrix, Mlp};
+use dt_nn::{log_softmax_masked_into, sample_categorical, Activation, ForwardScratch, Mlp};
 use dt_telemetry::{Phase, Telemetry};
 use rand::Rng;
 
@@ -122,6 +122,15 @@ impl Default for DeepProposalConfig {
 }
 
 /// The deep autoregressive proposal kernel.
+///
+/// All inference runs on the batched engine in `dt-nn`: the forward
+/// decode is genuinely autoregressive (each step's context depends on the
+/// previous step's sampled species) and therefore runs batch-1 out of a
+/// reused [`ForwardScratch`], but teacher-forced replay — the reverse
+/// log-probability inside [`ProposalKernel::propose`] and
+/// [`DeepProposal::log_prob_of_reassignment`] — knows every context row
+/// upfront and runs **one k-row forward** instead of k batch-1 passes.
+/// After warm-up a proposal allocates only its returned move list.
 #[derive(Debug, Clone)]
 pub struct DeepProposal {
     net: Mlp,
@@ -133,6 +142,24 @@ pub struct DeepProposal {
     decided: Vec<bool>,
     work: Vec<Species>,
     feat: Vec<f64>,
+    /// Activation ping-pong buffers for the inference engine.
+    scratch: ForwardScratch,
+    /// `k × dim` feature rows for batched teacher-forced replay.
+    batch_feat: Vec<f64>,
+    /// `k × m` per-step species masks for batched replay.
+    batch_mask: Vec<bool>,
+    /// Per-step log-probabilities (`m`), written by the masked softmax.
+    logp: Vec<f64>,
+    /// Per-step species mask (`m`) for batch-1 decoding.
+    mask: Vec<bool>,
+    /// Remaining multiset budget (`m`).
+    remaining: Vec<usize>,
+    /// Second budget buffer: permutation checks and reverse replay.
+    remaining_chk: Vec<usize>,
+    /// Species sampled by the forward decode (`k`).
+    new_species: Vec<Species>,
+    /// Old species on the selected sites (`k`), for reverse replay.
+    old_species: Vec<Species>,
 }
 
 impl DeepProposal {
@@ -167,8 +194,18 @@ impl DeepProposal {
             "network output dim mismatch"
         );
         assert!(k >= 2, "deep proposal needs k >= 2");
+        let m = layout.num_species;
         DeepProposal {
             feat: vec![0.0; layout.dim()],
+            scratch: ForwardScratch::for_mlp(&net, k),
+            batch_feat: vec![0.0; k * layout.dim()],
+            batch_mask: vec![false; k * m],
+            logp: Vec::with_capacity(m),
+            mask: Vec::with_capacity(m),
+            remaining: vec![0; m],
+            remaining_chk: vec![0; m],
+            new_species: Vec::with_capacity(k),
+            old_species: Vec::with_capacity(k),
             net,
             layout,
             k,
@@ -177,6 +214,29 @@ impl DeepProposal {
             decided: Vec::new(),
             work: Vec::new(),
         }
+    }
+
+    /// Pre-size every internal buffer for a system of `num_sites` sites so
+    /// the first proposal is already steady-state (no warm-up
+    /// allocations). Drivers call this once per rank before sampling.
+    pub fn warm_up(&mut self, num_sites: usize) {
+        let k = self.k.min(num_sites);
+        let dim = self.layout.dim();
+        let m = self.layout.num_species;
+        self.site_buf.reserve(num_sites);
+        if self.decided.len() < num_sites {
+            self.decided.resize(num_sites, true);
+        }
+        self.work.reserve(num_sites);
+        if self.batch_feat.len() < k * dim {
+            self.batch_feat.resize(k * dim, 0.0);
+        }
+        if self.batch_mask.len() < k * m {
+            self.batch_mask.resize(k * m, false);
+        }
+        self.new_species.reserve(k);
+        self.old_species.reserve(k);
+        self.scratch.reserve(&self.net, k);
     }
 
     /// Attach a telemetry handle; each proposal records one
@@ -225,7 +285,10 @@ impl DeepProposal {
     /// This is the teacher-forced replay used both for the reverse
     /// probability inside [`ProposalKernel::propose`] and by the property
     /// tests; `targets` must be a permutation of the species currently on
-    /// `sites`.
+    /// `sites`. Because every target is known upfront, all `k` context
+    /// rows are built first and the network runs **once** on the whole
+    /// batch — bit-identical to k sequential batch-1 passes (see the
+    /// `dt-nn` equivalence suite) but several times faster.
     pub fn log_prob_of_reassignment(
         &mut self,
         config: &Configuration,
@@ -234,38 +297,97 @@ impl DeepProposal {
         targets: &[Species],
     ) -> f64 {
         assert_eq!(sites.len(), targets.len());
-        let m = self.layout.num_species;
-        let n = config.num_sites();
-        self.prepare_scratch(n, config, sites);
-        let mut remaining = multiset_counts(config, sites, m);
         {
             // Verify `targets` is a permutation of the multiset.
-            let mut t = remaining.clone();
+            let chk = std::mem::take(&mut self.remaining_chk);
+            let mut chk = multiset_counts_into(config, sites, self.layout.num_species, chk);
             for s in targets {
-                assert!(t[s.index()] > 0, "targets must match the site multiset");
-                t[s.index()] -= 1;
+                assert!(chk[s.index()] > 0, "targets must match the site multiset");
+                chk[s.index()] -= 1;
             }
+            self.remaining_chk = chk;
         }
-        let mut logp_total = 0.0;
+        self.replay_log_prob(config, neighbors, sites, targets)
+    }
+
+    /// Batched teacher-forced replay core (no permutation check).
+    ///
+    /// Builds the `k × dim` feature rows and `k × m` masks by walking the
+    /// decode order with the known targets, runs one k-row forward, then
+    /// sums the masked log-softmax factors. Zero heap allocations at
+    /// steady state.
+    fn replay_log_prob(
+        &mut self,
+        config: &Configuration,
+        neighbors: &NeighborTable,
+        sites: &[SiteId],
+        targets: &[Species],
+    ) -> f64 {
+        let m = self.layout.num_species;
+        let dim = self.layout.dim();
+        let k = sites.len();
+        let n = config.num_sites();
+        self.prepare_scratch(n, config, sites);
+        let mut remaining =
+            multiset_counts_into(config, sites, m, std::mem::take(&mut self.remaining));
+        if self.batch_feat.len() < k * dim {
+            self.batch_feat.resize(k * dim, 0.0);
+        }
+        if self.batch_mask.len() < k * m {
+            self.batch_mask.resize(k * m, false);
+        }
+        let mut batch_feat = std::mem::take(&mut self.batch_feat);
         for (step, (&site, &target)) in sites.iter().zip(targets).enumerate() {
-            let logp = self.site_log_probs(site, neighbors, sites.len(), step, &remaining);
-            logp_total += logp[target.index()];
+            self.layout.fill(
+                &mut batch_feat[step * dim..(step + 1) * dim],
+                site,
+                neighbors,
+                &self.work,
+                &self.decided,
+                &remaining,
+                k - step,
+                step as f64 / k as f64,
+            );
+            for (allowed, &r) in self.batch_mask[step * m..(step + 1) * m]
+                .iter_mut()
+                .zip(&remaining)
+            {
+                *allowed = r > 0;
+            }
             remaining[target.index()] -= 1;
             self.work[site as usize] = target;
             self.decided[site as usize] = true;
         }
+        // ONE k-row forward instead of k batch-1 passes.
+        let logits = self
+            .net
+            .forward_into(&batch_feat[..k * dim], k, &mut self.scratch);
+        let mut logp_total = 0.0;
+        for (step, &target) in targets.iter().enumerate() {
+            log_softmax_masked_into(
+                &logits[step * m..(step + 1) * m],
+                Some(&self.batch_mask[step * m..(step + 1) * m]),
+                &mut self.logp,
+            );
+            logp_total += self.logp[target.index()];
+        }
+        self.batch_feat = batch_feat;
+        self.remaining = remaining;
         logp_total
     }
 
-    /// Masked per-species log-probabilities for the next decode step.
-    fn site_log_probs(
+    /// Masked per-species log-probabilities for the next decode step,
+    /// written into `self.logp` (batch-1: the forward decode is genuinely
+    /// autoregressive, but it runs out of the reused scratch, so no heap
+    /// allocation happens per step).
+    fn site_log_probs_into(
         &mut self,
         site: SiteId,
         neighbors: &NeighborTable,
         k: usize,
         step: usize,
         remaining: &[usize],
-    ) -> Vec<f64> {
+    ) {
         let remaining_slots = k - step;
         let progress = step as f64 / k as f64;
         // Split borrows: move feat out while the net runs.
@@ -280,10 +402,11 @@ impl DeepProposal {
             remaining_slots,
             progress,
         );
-        let logits = self.net.forward(&Matrix::row_vector(&feat));
+        let logits = self.net.forward_into(&feat, 1, &mut self.scratch);
+        self.mask.clear();
+        self.mask.extend(remaining.iter().map(|&r| r > 0));
+        log_softmax_masked_into(logits, Some(&self.mask), &mut self.logp);
         self.feat = feat;
-        let mask: Vec<bool> = remaining.iter().map(|&r| r > 0).collect();
-        log_softmax_masked(logits.row(0), Some(&mask))
     }
 
     fn prepare_scratch(&mut self, n: usize, config: &Configuration, sites: &[SiteId]) {
@@ -297,13 +420,19 @@ impl DeepProposal {
     }
 }
 
-/// Per-species counts of the multiset on `sites`.
-fn multiset_counts(config: &Configuration, sites: &[SiteId], m: usize) -> Vec<usize> {
-    let mut counts = vec![0usize; m];
+/// Per-species counts of the multiset on `sites`, reusing `buf`.
+fn multiset_counts_into(
+    config: &Configuration,
+    sites: &[SiteId],
+    m: usize,
+    mut buf: Vec<usize>,
+) -> Vec<usize> {
+    buf.clear();
+    buf.resize(m, 0);
     for &s in sites {
-        counts[config.species_at(s).index()] += 1;
+        buf[config.species_at(s).index()] += 1;
     }
-    counts
+    buf
 }
 
 impl ProposalKernel for DeepProposal {
@@ -325,41 +454,42 @@ impl ProposalKernel for DeepProposal {
         sample_distinct_sites(n, k, &mut sites, rng);
 
         // --- Forward decode: sample new species, contexts use new values.
+        // Genuinely autoregressive (step t+1's context depends on the
+        // species sampled at step t), so this is the one place batch-1
+        // inference is unavoidable; it runs out of the reused scratch.
         self.prepare_scratch(n, config, &sites);
-        let mut remaining_f = multiset_counts(config, &sites, m);
-        let mut new_species = Vec::with_capacity(k);
+        let mut remaining_f =
+            multiset_counts_into(config, &sites, m, std::mem::take(&mut self.remaining));
+        self.new_species.clear();
         let mut log_q_forward = 0.0;
         for (step, &site) in sites.iter().enumerate() {
-            let logp = self.site_log_probs(site, ctx.neighbors, k, step, &remaining_f);
-            let (chosen, lp) = sample_categorical(&logp, rng);
+            self.site_log_probs_into(site, ctx.neighbors, k, step, &remaining_f);
+            let (chosen, lp) = sample_categorical(&self.logp, rng);
             log_q_forward += lp;
             remaining_f[chosen] -= 1;
             let s = Species(chosen as u8);
-            new_species.push(s);
+            self.new_species.push(s);
             self.work[site as usize] = s;
             self.decided[site as usize] = true;
         }
+        self.remaining = remaining_f;
 
         // --- Reverse replay: probability of decoding the old species when
         // starting from the proposed configuration. Non-selected sites are
         // identical in both states and decoded selected sites carry the old
-        // species, so the context is the *original* configuration.
-        self.prepare_scratch(n, config, &sites);
-        let mut remaining_r = multiset_counts(config, &sites, m);
-        let mut log_q_reverse = 0.0;
-        for (step, &site) in sites.iter().enumerate() {
-            let logp = self.site_log_probs(site, ctx.neighbors, k, step, &remaining_r);
-            let old = config.species_at(site);
-            log_q_reverse += logp[old.index()];
-            remaining_r[old.index()] -= 1;
-            // work already holds the old species; just mark decided.
-            self.decided[site as usize] = true;
-        }
+        // species, so the context is the *original* configuration — and
+        // every target is known upfront, so the whole replay is ONE k-row
+        // batched forward.
+        let mut old = std::mem::take(&mut self.old_species);
+        old.clear();
+        old.extend(sites.iter().map(|&s| config.species_at(s)));
+        let log_q_reverse = self.replay_log_prob(config, ctx.neighbors, &sites, &old);
+        self.old_species = old;
 
         let moves: Vec<(SiteId, Species)> = sites
             .iter()
             .copied()
-            .zip(new_species.iter().copied())
+            .zip(self.new_species.iter().copied())
             .collect();
         self.site_buf = sites;
         Proposal {

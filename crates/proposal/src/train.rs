@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 
 use dt_lattice::{Configuration, NeighborTable, SiteId};
-use dt_nn::{softmax_cross_entropy_masked, Adam, Matrix, Mlp};
+use dt_nn::{softmax_cross_entropy_masked_flat, Adam, Matrix, Mlp};
 use dt_telemetry::{Phase, Telemetry};
 use rand::Rng;
 
@@ -90,20 +90,36 @@ impl Default for TrainerConfig {
 }
 
 /// Trains a proposal network from buffered walker samples.
+///
+/// Minibatch assembly is fully batched: every teacher-forced context row
+/// of a chunk goes into one feature matrix and the network runs one
+/// multi-row forward/backward per chunk. The per-row species masks are
+/// kept in a single flat reused buffer (no per-row `Vec<bool>`), and the
+/// decode bookkeeping buffers are reused across configurations.
 #[derive(Debug)]
 pub struct ProposalTrainer {
     cfg: TrainerConfig,
     layout: FeatureLayout,
     adam: Adam,
     site_buf: Vec<SiteId>,
+    /// Flat `rows × m` mask buffer, reused across chunks.
+    mask_buf: Vec<bool>,
+    /// Per-config decided flags, reused across configurations.
+    decided_buf: Vec<bool>,
+    /// Per-config multiset budget, reused across configurations.
+    remaining_buf: Vec<usize>,
     tel: Telemetry,
 }
 
 impl ProposalTrainer {
     /// New trainer for networks with the given feature layout.
     pub fn new(layout: FeatureLayout, cfg: TrainerConfig) -> Self {
+        let m = layout.num_species;
         ProposalTrainer {
             adam: Adam::with_lr(cfg.lr),
+            mask_buf: Vec::with_capacity(cfg.configs_per_batch * cfg.k * m),
+            decided_buf: Vec::new(),
+            remaining_buf: vec![0; m],
             cfg,
             layout,
             site_buf: Vec::new(),
@@ -150,7 +166,7 @@ impl ProposalTrainer {
             let rows = chunk.len() * k.min(chunk[0].num_sites());
             let mut features = Matrix::zeros(rows, dim);
             let mut targets = Vec::with_capacity(rows);
-            let mut masks = Vec::with_capacity(rows);
+            self.mask_buf.clear();
             let mut row = 0usize;
 
             for config in chunk {
@@ -160,13 +176,15 @@ impl ProposalTrainer {
                 sample_distinct_sites(n, kk, &mut sites, rng);
 
                 // Teacher-forced decode with the configuration's own species.
-                let mut decided = vec![true; n];
+                self.decided_buf.clear();
+                self.decided_buf.resize(n, true);
                 for &s in &sites {
-                    decided[s as usize] = false;
+                    self.decided_buf[s as usize] = false;
                 }
-                let mut remaining = vec![0usize; m];
+                self.remaining_buf.clear();
+                self.remaining_buf.resize(m, 0);
                 for &s in &sites {
-                    remaining[config.species_at(s).index()] += 1;
+                    self.remaining_buf[config.species_at(s).index()] += 1;
                 }
                 for (step, &site) in sites.iter().enumerate() {
                     self.layout.fill(
@@ -174,24 +192,27 @@ impl ProposalTrainer {
                         site,
                         neighbors,
                         config.species(),
-                        &decided,
-                        &remaining,
+                        &self.decided_buf,
+                        &self.remaining_buf,
                         kk - step,
                         step as f64 / kk as f64,
                     );
                     let target = config.species_at(site);
                     targets.push(target.index());
-                    masks.push(remaining.iter().map(|&r| r > 0).collect::<Vec<bool>>());
-                    remaining[target.index()] -= 1;
-                    decided[site as usize] = true;
+                    self.mask_buf
+                        .extend(self.remaining_buf.iter().map(|&r| r > 0));
+                    self.remaining_buf[target.index()] -= 1;
+                    self.decided_buf[site as usize] = true;
                     row += 1;
                 }
                 self.site_buf = sites;
             }
             debug_assert_eq!(row, rows);
 
+            // All rows were built upfront, so the whole chunk runs one
+            // multi-row forward (and one backward) — never row-by-row.
             let out = net.forward_train(&features);
-            let (loss, grad) = softmax_cross_entropy_masked(&out, &targets, &masks);
+            let (loss, grad) = softmax_cross_entropy_masked_flat(&out, &targets, &self.mask_buf);
             net.zero_grad();
             net.backward(&grad);
             net.clip_grad_norm(self.cfg.grad_clip);

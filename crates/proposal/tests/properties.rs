@@ -2,10 +2,13 @@
 //! and the exactness of the deep kernel's forward/reverse log-probabilities
 //! (the requirements for Metropolis–Hastings detailed balance).
 
-use dt_lattice::{Composition, Configuration, SiteId, Species, Structure, Supercell};
+use dt_lattice::{
+    Composition, Configuration, NeighborTable, SiteId, Species, Structure, Supercell,
+};
+use dt_nn::{log_softmax_masked, Matrix};
 use dt_proposal::{
-    apply_move, DeepProposal, DeepProposalConfig, LocalSwap, ProposalContext, ProposalKernel,
-    ProposedMove, RandomReassign,
+    apply_move, DeepProposal, DeepProposalConfig, FeatureLayout, LocalSwap, ProposalContext,
+    ProposalKernel, ProposedMove, RandomReassign,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -16,6 +19,53 @@ fn fixture() -> (Supercell, dt_lattice::NeighborTable, Composition) {
     let nt = cell.neighbor_table(2);
     let comp = Composition::equiatomic(4, cell.num_sites()).unwrap();
     (cell, nt, comp)
+}
+
+/// The seed implementation of teacher-forced replay: one allocating
+/// batch-1 forward per site. Kept as the reference the batched engine
+/// must reproduce bit-for-bit.
+fn replay_batch1_reference(
+    kern: &DeepProposal,
+    layout: FeatureLayout,
+    config: &Configuration,
+    neighbors: &NeighborTable,
+    sites: &[SiteId],
+    targets: &[Species],
+) -> f64 {
+    let m = layout.num_species;
+    let n = config.num_sites();
+    let mut work = config.species().to_vec();
+    let mut decided = vec![true; n];
+    for &s in sites {
+        decided[s as usize] = false;
+    }
+    let mut remaining = vec![0usize; m];
+    for &s in sites {
+        remaining[config.species_at(s).index()] += 1;
+    }
+    let k = sites.len();
+    let mut feat = vec![0.0; layout.dim()];
+    let mut total = 0.0;
+    for (step, (&site, &target)) in sites.iter().zip(targets).enumerate() {
+        layout.fill(
+            &mut feat,
+            site,
+            neighbors,
+            &work,
+            &decided,
+            &remaining,
+            k - step,
+            step as f64 / k as f64,
+        );
+        let logits = kern.net().forward(&Matrix::row_vector(&feat));
+        let mask: Vec<bool> = remaining.iter().map(|&r| r > 0).collect();
+        let logp = log_softmax_masked(logits.row(0), Some(&mask));
+        total += logp[target.index()];
+        remaining[target.index()] -= 1;
+        work[site as usize] = target;
+        decided[site as usize] = true;
+    }
+    total
 }
 
 proptest! {
@@ -72,6 +122,42 @@ proptest! {
         if new_s == old_s {
             prop_assert!((p.log_q_forward - p.log_q_reverse).abs() < 1e-9);
         }
+    }
+
+    /// The batched k-row replay is **bit-identical** to the seed's
+    /// sequential batch-1 decode loop, in both the forward and reverse
+    /// directions. Metropolis–Hastings acceptance depends on these exact
+    /// values, so the batching must not perturb a single bit.
+    #[test]
+    fn batched_replay_is_bit_identical_to_batch1_reference(
+        seed in any::<u64>(),
+        k in 2usize..10,
+        hidden in 4usize..16,
+    ) {
+        let (_, nt, comp) = fixture();
+        let ctx = ProposalContext { neighbors: &nt, composition: &comp };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let config = Configuration::random(&comp, &mut rng);
+        let mut kern = DeepProposal::new(
+            4, 2, &DeepProposalConfig { k, hidden: vec![hidden] }, &mut rng);
+        let p = kern.propose(&config, &ctx, &mut rng);
+        let ProposedMove::Reassign { moves } = &p.mv else { panic!() };
+        let sites: Vec<SiteId> = moves.iter().map(|&(s, _)| s).collect();
+        let new_s: Vec<Species> = moves.iter().map(|&(_, t)| t).collect();
+        let old_s: Vec<Species> = sites.iter().map(|&s| config.species_at(s)).collect();
+        let layout = kern.layout();
+
+        let fwd_ref = replay_batch1_reference(&kern, layout, &config, &nt, &sites, &new_s);
+        let fwd = kern.log_prob_of_reassignment(&config, &nt, &sites, &new_s);
+        prop_assert_eq!(fwd.to_bits(), fwd_ref.to_bits(), "{} vs {}", fwd, fwd_ref);
+        prop_assert_eq!(fwd.to_bits(), p.log_q_forward.to_bits());
+
+        let mut proposed = config.clone();
+        apply_move(&mut proposed, &p.mv);
+        let rev_ref = replay_batch1_reference(&kern, layout, &proposed, &nt, &sites, &old_s);
+        let rev = kern.log_prob_of_reassignment(&proposed, &nt, &sites, &old_s);
+        prop_assert_eq!(rev.to_bits(), rev_ref.to_bits(), "{} vs {}", rev, rev_ref);
+        prop_assert_eq!(rev.to_bits(), p.log_q_reverse.to_bits());
     }
 
     /// The deep kernel never leaks scratch state: proposing twice from the

@@ -380,6 +380,9 @@ fn run_rank<M: EnergyModel + Sync>(
     let mut deep_state = match &cfg.kernel {
         KernelSpec::Deep(ds) => {
             let mut deep = DeepProposal::new(m_species, num_shells, &ds.proposal, &mut rng);
+            // Pre-size every inference buffer so the sampling loop never
+            // allocates on a proposal.
+            deep.warm_up(comp.num_sites());
             deep.set_telemetry(tel.clone());
             let layout_f = deep.layout();
             let mut trainer = ProposalTrainer::new(layout_f, ds.trainer.clone());
@@ -1231,6 +1234,8 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
             let deep_state = match &cfg.kernel {
                 KernelSpec::Deep(ds) => {
                     let mut deep = DeepProposal::new(m_species, num_shells, &ds.proposal, &mut rng);
+                    // Pre-size inference buffers before the sampling loop.
+                    deep.warm_up(comp.num_sites());
                     deep.set_telemetry(tel.clone());
                     let lay = deep.layout();
                     let mut trainer = ProposalTrainer::new(lay, ds.trainer.clone());

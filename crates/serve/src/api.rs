@@ -408,8 +408,11 @@ impl AppState {
                 }
             }
         }
-        let x = dt_nn::Matrix::from_vec(rows.len(), dim, features);
-        let preds = model.predict_rows(&x);
+        // One batched forward over every requested row on the dt-nn
+        // inference engine.
+        let mut scratch = model.forward_scratch(rows.len());
+        let mut preds = Vec::with_capacity(rows.len());
+        model.predict_rows_with(&features, rows.len(), &mut scratch, &mut preds);
 
         let mut body = String::from("{\"artifact\":");
         push_json_string(&mut body, &artifact.manifest.id);

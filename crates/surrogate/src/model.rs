@@ -2,7 +2,7 @@
 
 use dt_hamiltonian::{DeltaWorkspace, EnergyModel};
 use dt_lattice::{Configuration, NeighborTable, SiteId, Species};
-use dt_nn::{mse_loss, Activation, Adam, Matrix, Mlp, NnFormatError};
+use dt_nn::{mse_loss, Activation, Adam, ForwardScratch, Matrix, Mlp, NnFormatError};
 use rand::Rng;
 
 use crate::dataset::Dataset;
@@ -202,12 +202,36 @@ impl SurrogateModel {
     }
 
     /// Per-site energy predictions for a feature matrix.
+    ///
+    /// Runs one batched forward over all rows on the `dt-nn` inference
+    /// engine. Allocates a fresh scratch; callers on a hot loop should
+    /// hold a [`ForwardScratch`] and use
+    /// [`SurrogateModel::predict_rows_with`] instead.
     pub fn predict_rows(&self, x: &Matrix) -> Vec<f64> {
-        let out = self.net.forward(x);
-        out.data()
-            .iter()
-            .map(|&v| v * self.y_std + self.y_mean)
-            .collect()
+        let mut scratch = ForwardScratch::for_mlp(&self.net, x.rows());
+        let mut out = Vec::with_capacity(x.rows());
+        self.predict_rows_with(x.data(), x.rows(), &mut scratch, &mut out);
+        out
+    }
+
+    /// A scratch sized for batched prediction of up to `max_rows` rows.
+    pub fn forward_scratch(&self, max_rows: usize) -> ForwardScratch {
+        ForwardScratch::for_mlp(&self.net, max_rows)
+    }
+
+    /// Per-site energy predictions for `rows` feature rows stored
+    /// row-major in `x`, written into `out` through a caller-provided
+    /// scratch — allocation-free once both are warm.
+    pub fn predict_rows_with(
+        &self,
+        x: &[f64],
+        rows: usize,
+        scratch: &mut ForwardScratch,
+        out: &mut Vec<f64>,
+    ) {
+        let pred = self.net.forward_into(x, rows, scratch);
+        out.clear();
+        out.extend(pred.iter().map(|&v| v * self.y_std + self.y_mean));
     }
 
     /// Per-site energy of a configuration.
@@ -314,11 +338,28 @@ impl SurrogateModel {
         neighbors: &NeighborTable,
         moves: &[(SiteId, Species)],
     ) -> f64 {
+        // Before/after descriptors stacked into a 2-row batch so the
+        // network runs ONCE per delta instead of twice; bit-identical to
+        // two batch-1 passes (see the dt-nn equivalence suite). The
+        // scratch is thread-local because `EnergyModel` deltas take
+        // `&self` on the swap path.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<(ForwardScratch, Vec<f64>)> =
+                std::cell::RefCell::default();
+        }
         let base = self.descriptor.compute(config, neighbors);
         let delta = self.descriptor.delta(config, neighbors, moves);
-        let after: Vec<f64> = base.iter().zip(&delta).map(|(&b, &d)| b + d).collect();
         let n = config.num_sites() as f64;
-        (self.predict_features(&after) - self.predict_features(&base)) * n
+        SCRATCH.with(|cell| {
+            let (scratch, x2) = &mut *cell.borrow_mut();
+            x2.clear();
+            x2.extend_from_slice(&base);
+            x2.extend(base.iter().zip(&delta).map(|(&b, &d)| b + d));
+            let out = self.net.forward_into(x2, 2, scratch);
+            let before = out[0] * self.y_std + self.y_mean;
+            let after = out[1] * self.y_std + self.y_mean;
+            (after - before) * n
+        })
     }
 }
 
