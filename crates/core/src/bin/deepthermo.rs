@@ -24,8 +24,10 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use deepthermo::rewl::{DeepSpec, KernelSpec};
-use deepthermo::{DeepThermo, DeepThermoConfig, DeepThermoError, MaterialSpec};
+use deepthermo::cluster::{self, ClusterSpec, WorkerOutcome};
+use deepthermo::hpc::FaultPlan;
+use deepthermo::rewl::{CheckpointSpec, DeepSpec, KernelSpec};
+use deepthermo::{DeepThermo, DeepThermoConfig, DeepThermoError, DeepThermoReport, MaterialSpec};
 use dt_serve::{ArtifactRegistry, ServeConfig, Server};
 
 const USAGE: &str = "\
@@ -55,6 +57,11 @@ run / info flags:
   --checkpoint DIR       snapshot into DIR and resume from it on rerun
   --export-artifact DIR  also export the run into a serving registry
   --telemetry            record per-rank phase timings
+  --cluster tcp:N        run N ranks as separate processes over loopback
+                         TCP (N must equal windows x walkers); the result
+                         is bit-identical to the in-process run
+  --kill R:ROUND         (with --cluster) crash worker rank R at exchange
+                         round ROUND to exercise degraded mode
 
 serve flags:
   --registry DIR         artifact registry to load    (default deepthermo-registry)
@@ -97,6 +104,11 @@ fn render_error(e: &DeepThermoError) {
 }
 
 fn main() -> ExitCode {
+    // A worker process re-launched by `--cluster` carries hidden flags;
+    // it runs its rank silently and never touches the filesystem.
+    if opt_arg(cluster::WORKER_RANK_FLAG).is_some() {
+        return worker();
+    }
     let mode = std::env::args().nth(1).unwrap_or_default();
     match mode.as_str() {
         "run" => run(),
@@ -246,13 +258,111 @@ fn info() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// In cluster mode every process must hold the same checkpoint spec in
+/// its config *before* sampling starts (there is no shared
+/// `run_resumable` call to inject it), so `--checkpoint` is applied to
+/// the config directly.
+fn apply_cluster_checkpoint(cfg: &mut DeepThermoConfig) {
+    if let Some(dir) = opt_arg("--checkpoint") {
+        if cfg.rewl.checkpoint.is_none() {
+            cfg.rewl.checkpoint = Some(CheckpointSpec::new(dir));
+        }
+    }
+}
+
+/// The fault plan shared by every process of a cluster run.
+fn cluster_fault_plan() -> Result<FaultPlan, DeepThermoError> {
+    match opt_arg("--kill") {
+        Some(v) => cluster::parse_kill(&v).map_err(|message| DeepThermoError::Cluster { message }),
+        None => Ok(FaultPlan::none()),
+    }
+}
+
+/// Entry point of a `--worker-rank` process: dial the rendezvous, run
+/// one rank, exit. A simulated crash exits with a reserved code so the
+/// root can tell it apart from a real failure.
+fn worker() -> ExitCode {
+    let (rank, rendezvous, spec) = match (
+        opt_arg(cluster::WORKER_RANK_FLAG).and_then(|v| v.parse::<usize>().ok()),
+        opt_arg(cluster::RENDEZVOUS_FLAG),
+        opt_arg("--cluster").map(|v| ClusterSpec::parse(&v)),
+    ) {
+        (Some(rank), Some(addr), Some(Ok(spec))) => (rank, addr, spec),
+        _ => {
+            eprintln!("error: malformed worker invocation (these flags are internal)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = build_config();
+    apply_cluster_checkpoint(&mut cfg);
+    let plan = match cluster_fault_plan() {
+        Ok(p) => p,
+        Err(e) => {
+            render_error(&e);
+            return ExitCode::FAILURE;
+        }
+    };
+    let runner = match DeepThermo::nbmotaw(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            render_error(&e);
+            return ExitCode::FAILURE;
+        }
+    };
+    match cluster::run_cluster_worker(&runner, rank, spec.size, &rendezvous, plan) {
+        Ok(WorkerOutcome::Killed) => ExitCode::from(cluster::KILLED_EXIT_CODE),
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            render_error(&e);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Root side of `run --cluster`: spawn the workers, run rank 0, report
+/// per-worker outcomes.
+fn run_cluster(
+    runner: &DeepThermo,
+    spec: ClusterSpec,
+) -> Result<DeepThermoReport, DeepThermoError> {
+    let plan = cluster_fault_plan()?;
+    let worker_args: Vec<String> = std::env::args().skip(1).collect();
+    println!(
+        "cluster: {} ranks as separate processes over loopback TCP (this process is rank 0)",
+        spec.size
+    );
+    let (report, outcomes) = cluster::run_cluster_root(runner, spec, plan, &worker_args)?;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let rank = i + 1;
+        match outcome {
+            WorkerOutcome::Completed => {}
+            WorkerOutcome::Killed => {
+                println!("worker rank {rank} died from the injected fault; survivors degraded")
+            }
+            WorkerOutcome::Failed => eprintln!("warning: worker rank {rank} exited abnormally"),
+        }
+    }
+    Ok(report)
+}
+
 fn run() -> ExitCode {
     let out_dir: PathBuf = PathBuf::from(arg("--out", "deepthermo-out".to_string()));
     if let Err(e) = fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
     }
-    let cfg = build_config();
+    let cluster_spec = match opt_arg("--cluster").map(|v| ClusterSpec::parse(&v)) {
+        Some(Ok(spec)) => Some(spec),
+        Some(Err(msg)) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
+    let mut cfg = build_config();
+    if cluster_spec.is_some() {
+        apply_cluster_checkpoint(&mut cfg);
+    }
     println!(
         "deepthermo: NbMoTaW N={}, kernel={}, {} windows x {} walkers, seed {}",
         cfg.material.num_sites(),
@@ -269,12 +379,18 @@ fn run() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let outcome = match opt_arg("--checkpoint") {
-        Some(dir) => {
+    let outcome = match (cluster_spec, opt_arg("--checkpoint")) {
+        (Some(spec), dir) => {
+            if let Some(dir) = dir {
+                println!("checkpointing into {dir} (reruns resume from the newest snapshot)");
+            }
+            run_cluster(&runner, spec)
+        }
+        (None, Some(dir)) => {
             println!("checkpointing into {dir} (reruns resume from the newest snapshot)");
             runner.run_resumable(dir)
         }
-        None => runner.run(),
+        (None, None) => runner.run(),
     };
     let report = match outcome {
         Ok(r) => r,

@@ -1,0 +1,268 @@
+//! Multi-process cluster orchestration for `deepthermo run --cluster`.
+//!
+//! The in-process drivers ([`DeepThermo::run`] over the thread fabric)
+//! and this module run the *same* rank program
+//! ([`DeepThermo::run_cluster_rank`]); only the transport differs. Here
+//! each rank is a separate OS process talking TCP:
+//!
+//! * The **root** process binds a loopback rendezvous socket, spawns
+//!   `size - 1` worker copies of its own executable (forwarding the
+//!   original CLI flags plus hidden `--worker-rank R --rendezvous ADDR`
+//!   flags), then becomes rank 0 of the mesh.
+//! * Each **worker** rebuilds the identical configuration from the
+//!   forwarded flags, dials the rendezvous, and runs its rank. Workers
+//!   write no files; their window pieces (and telemetry) travel back to
+//!   rank 0 over the wire.
+//!
+//! A fault-free cluster run is bit-identical to the thread backend under
+//! the same seed, and `--kill R:ROUND` injects the same simulated rank
+//! death the thread fabric supports — the process exits cleanly with
+//! [`WorkerOutcome::Killed`] and the survivors degrade exactly as they
+//! do in-process.
+
+use std::panic::AssertUnwindSafe;
+use std::process::{Child, Command};
+
+use dt_hpc::{
+    install_crash_hook, Communicator, FaultPlan, SimulatedCrash, TcpRendezvous, TcpTransport,
+};
+
+use crate::error::DeepThermoError;
+use crate::pipeline::DeepThermo;
+use crate::report::DeepThermoReport;
+
+/// Hidden flag carrying a worker's rank (never shown in usage text).
+pub const WORKER_RANK_FLAG: &str = "--worker-rank";
+/// Hidden flag carrying the rendezvous address.
+pub const RENDEZVOUS_FLAG: &str = "--rendezvous";
+
+/// A parsed `--cluster` argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Total rank count, including the root process.
+    pub size: usize,
+}
+
+impl ClusterSpec {
+    /// Parse a `--cluster` value of the form `tcp:<ranks>`.
+    ///
+    /// # Errors
+    /// A human-readable message when the backend is not `tcp` or the
+    /// rank count is missing, malformed, or below 2.
+    pub fn parse(arg: &str) -> Result<ClusterSpec, String> {
+        let ranks = arg
+            .strip_prefix("tcp:")
+            .ok_or_else(|| format!("unsupported cluster spec {arg:?} (expected tcp:<ranks>)"))?;
+        let size: usize = ranks
+            .parse()
+            .map_err(|_| format!("bad rank count in cluster spec {arg:?}"))?;
+        if size < 2 {
+            return Err(format!(
+                "a cluster needs at least 2 ranks, got {size} (drop --cluster to run in-process)"
+            ));
+        }
+        Ok(ClusterSpec { size })
+    }
+
+    /// Check the rank count against the sampling plan: the REWL driver
+    /// needs exactly one rank per walker.
+    ///
+    /// # Errors
+    /// [`DeepThermoError::Cluster`] when `size != windows × walkers`.
+    pub fn validate_against(&self, runner: &DeepThermo) -> Result<(), DeepThermoError> {
+        let rewl = &runner.config().rewl;
+        let need = rewl.num_windows * rewl.walkers_per_window;
+        if self.size != need {
+            return Err(DeepThermoError::Cluster {
+                message: format!(
+                    "--cluster tcp:{} does not match the sampling plan: {} windows x {} walkers \
+                     need exactly {} ranks",
+                    self.size, rewl.num_windows, rewl.walkers_per_window, need
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Parse a `--kill R:ROUND` value into a fault plan. Every process of
+/// the cluster parses the same forwarded flag, so they all hold the same
+/// plan — kill events fire on the owning rank's own communicator, just
+/// like on the thread fabric.
+///
+/// # Errors
+/// A human-readable message when the value is not `rank:round`.
+pub fn parse_kill(arg: &str) -> Result<FaultPlan, String> {
+    let (rank, round) = arg
+        .split_once(':')
+        .ok_or_else(|| format!("bad --kill value {arg:?} (expected RANK:ROUND)"))?;
+    let rank: usize = rank
+        .parse()
+        .map_err(|_| format!("bad rank in --kill {arg:?}"))?;
+    let round: u64 = round
+        .parse()
+        .map_err(|_| format!("bad round in --kill {arg:?}"))?;
+    Ok(FaultPlan::none().kill_at_round(rank, round))
+}
+
+fn cluster_err(what: &str, e: impl std::fmt::Display) -> DeepThermoError {
+    DeepThermoError::Cluster {
+        message: format!("{what}: {e}"),
+    }
+}
+
+/// How a worker process ended, as judged by the root from its exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerOutcome {
+    /// The worker ran its rank to completion.
+    Completed,
+    /// The worker died from an injected [`SimulatedCrash`] (exit code
+    /// [`KILLED_EXIT_CODE`]); the survivors degraded around it.
+    Killed,
+    /// The worker failed for a real reason (nonzero exit, signal, or a
+    /// wait failure).
+    Failed,
+}
+
+/// Exit code a worker uses to report a *simulated* crash, so the root
+/// can tell injected faults apart from real failures.
+pub const KILLED_EXIT_CODE: u8 = 86;
+
+/// Root side of a multi-process run: bind the rendezvous, spawn the
+/// workers, run rank 0, evaluate, then reap the children. `worker_args`
+/// is the argv (minus the program name) each worker is re-launched with;
+/// it must rebuild the same configuration this process holds.
+///
+/// Returns the report plus one [`WorkerOutcome`] per worker rank
+/// (`1..size`).
+///
+/// # Errors
+/// [`DeepThermoError::Cluster`] when the mesh cannot be assembled, plus
+/// everything [`DeepThermo::run_cluster_rank`] can return.
+pub fn run_cluster_root(
+    runner: &DeepThermo,
+    spec: ClusterSpec,
+    plan: FaultPlan,
+    worker_args: &[String],
+) -> Result<(DeepThermoReport, Vec<WorkerOutcome>), DeepThermoError> {
+    spec.validate_against(runner)?;
+    let rendezvous =
+        TcpRendezvous::bind("127.0.0.1:0").map_err(|e| cluster_err("bind rendezvous", e))?;
+    let addr = rendezvous
+        .local_addr()
+        .map_err(|e| cluster_err("read rendezvous address", e))?
+        .to_string();
+    let exe = std::env::current_exe().map_err(|e| cluster_err("locate own executable", e))?;
+
+    let mut children: Vec<Child> = Vec::with_capacity(spec.size - 1);
+    for rank in 1..spec.size {
+        let spawned = Command::new(&exe)
+            .args(worker_args)
+            .arg(WORKER_RANK_FLAG)
+            .arg(rank.to_string())
+            .arg(RENDEZVOUS_FLAG)
+            .arg(&addr)
+            .spawn()
+            .map_err(|e| cluster_err(&format!("spawn worker rank {rank}"), e));
+        match spawned {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                // Don't leave already-spawned workers dialing a mesh
+                // that will never assemble.
+                for mut child in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return Err(e);
+            }
+        }
+    }
+
+    let transport = rendezvous
+        .into_transport(spec.size)
+        .map_err(|e| cluster_err("assemble TCP mesh", e))?;
+    let comm = Communicator::new(transport, plan);
+    let result = runner.run_cluster_rank(comm);
+
+    let mut outcomes = Vec::with_capacity(children.len());
+    for child in &mut children {
+        outcomes.push(match child.wait() {
+            Ok(status) if status.success() => WorkerOutcome::Completed,
+            Ok(status) if status.code() == Some(KILLED_EXIT_CODE as i32) => WorkerOutcome::Killed,
+            _ => WorkerOutcome::Failed,
+        });
+    }
+
+    let report = result?.ok_or_else(|| DeepThermoError::Cluster {
+        message: "rank 0 produced no report".to_string(),
+    })?;
+    Ok((report, outcomes))
+}
+
+/// Worker side of a multi-process run: dial the rendezvous as `rank`,
+/// run the rank program, and report how it ended. An injected
+/// [`SimulatedCrash`] is caught and returned as
+/// [`WorkerOutcome::Killed`] (the caller should exit with
+/// [`KILLED_EXIT_CODE`]); any other panic is resumed.
+///
+/// # Errors
+/// [`DeepThermoError::Cluster`] when the rendezvous cannot be reached,
+/// plus everything [`DeepThermo::run_cluster_rank`] can return.
+pub fn run_cluster_worker(
+    runner: &DeepThermo,
+    rank: usize,
+    size: usize,
+    rendezvous: &str,
+    plan: FaultPlan,
+) -> Result<WorkerOutcome, DeepThermoError> {
+    install_crash_hook();
+    let transport = TcpTransport::connect(rendezvous, rank, size)
+        .map_err(|e| cluster_err(&format!("rank {rank} dial rendezvous {rendezvous}"), e))?;
+    let comm = Communicator::new(transport, plan);
+    match std::panic::catch_unwind(AssertUnwindSafe(|| runner.run_cluster_rank(comm))) {
+        Ok(Ok(report)) => {
+            debug_assert!(report.is_none(), "only rank 0 assembles a report");
+            Ok(WorkerOutcome::Completed)
+        }
+        Ok(Err(e)) => Err(e),
+        Err(payload) if payload.downcast_ref::<SimulatedCrash>().is_some() => {
+            Ok(WorkerOutcome::Killed)
+        }
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_spec_parses_tcp_sizes() {
+        assert_eq!(ClusterSpec::parse("tcp:4"), Ok(ClusterSpec { size: 4 }));
+        assert!(ClusterSpec::parse("tcp:1").is_err());
+        assert!(ClusterSpec::parse("tcp:").is_err());
+        assert!(ClusterSpec::parse("mpi:4").is_err());
+        assert!(ClusterSpec::parse("4").is_err());
+    }
+
+    #[test]
+    fn cluster_spec_must_match_the_sampling_plan() {
+        let runner = DeepThermo::nbmotaw(crate::DeepThermoConfig::quick_demo()).unwrap();
+        let rewl = &runner.config().rewl;
+        let need = rewl.num_windows * rewl.walkers_per_window;
+        assert!(ClusterSpec { size: need }.validate_against(&runner).is_ok());
+        let err = ClusterSpec { size: need + 1 }
+            .validate_against(&runner)
+            .unwrap_err();
+        assert!(matches!(err, DeepThermoError::Cluster { .. }));
+        assert!(err.to_string().contains("ranks"));
+    }
+
+    #[test]
+    fn kill_flag_parses_into_a_fault_plan() {
+        assert!(parse_kill("3:5").is_ok());
+        assert!(parse_kill("3").is_err());
+        assert!(parse_kill("a:5").is_err());
+        assert!(parse_kill("3:b").is_err());
+    }
+}

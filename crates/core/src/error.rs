@@ -103,6 +103,14 @@ pub enum DeepThermoError {
     /// Sampling visited no energy bins, so there is no density of
     /// states to evaluate.
     NoVisitedBins,
+    /// The multi-process cluster could not be assembled: a socket bind,
+    /// worker spawn, or rendezvous handshake failed before sampling
+    /// started. (Rank deaths *during* sampling are degraded-mode events,
+    /// not errors.)
+    Cluster {
+        /// What the orchestrator was doing when it failed.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for DeepThermoError {
@@ -119,6 +127,9 @@ impl std::fmt::Display for DeepThermoError {
             DeepThermoError::NoVisitedBins => {
                 write!(f, "sampling visited no energy bins; nothing to evaluate")
             }
+            DeepThermoError::Cluster { message } => {
+                write!(f, "cluster setup failed: {message}")
+            }
         }
     }
 }
@@ -131,7 +142,9 @@ impl std::error::Error for DeepThermoError {
             DeepThermoError::Comm(e) => Some(e),
             DeepThermoError::Wire(e) => Some(e),
             DeepThermoError::Model(e) => Some(e),
-            DeepThermoError::Io { .. } | DeepThermoError::NoVisitedBins => None,
+            DeepThermoError::Io { .. }
+            | DeepThermoError::NoVisitedBins
+            | DeepThermoError::Cluster { .. } => None,
         }
     }
 }

@@ -50,11 +50,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cluster;
 pub mod config;
 pub mod error;
 pub mod pipeline;
 pub mod report;
 
+pub use cluster::{ClusterSpec, WorkerOutcome};
 pub use config::{DeepThermoConfig, DeepThermoConfigBuilder, MaterialSpec};
 pub use error::{ConfigError, DeepThermoError};
 pub use pipeline::DeepThermo;

@@ -1,9 +1,10 @@
 //! The DeepThermo pipeline: material → parallel sampling → thermodynamics.
 
 use dt_hamiltonian::{nbmotaw, EnergyModel, PairHamiltonian, KB_EV_PER_K};
+use dt_hpc::{Communicator, Transport};
 use dt_lattice::{Composition, NeighborTable, Species, Supercell};
 use dt_proposal::MoveStats;
-use dt_rewl::{run_rewl, RewlOutput};
+use dt_rewl::{run_rewl, run_rewl_on, RewlOutput};
 use dt_thermo::{canonical_curve, find_cv_peak};
 use dt_wanglandau::explore_energy_range;
 use rand::SeedableRng;
@@ -99,15 +100,7 @@ impl DeepThermo {
     /// produces nothing to evaluate.
     pub fn run(&self) -> Result<DeepThermoReport, DeepThermoError> {
         // 1. Discover the reachable energy range.
-        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.rewl.seed ^ 0x5eed);
-        let range = explore_energy_range(
-            &self.model,
-            &self.neighbors,
-            &self.comp,
-            self.cfg.range_quench_sweeps,
-            self.cfg.range_pad,
-            &mut rng,
-        );
+        let range = self.discover_range();
 
         // 2. Parallel sampling.
         let out = run_rewl(
@@ -137,21 +130,64 @@ impl DeepThermo {
             path: dir.clone(),
             message: e.to_string(),
         })?;
-        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.rewl.seed ^ 0x5eed);
-        let range = explore_energy_range(
-            &self.model,
-            &self.neighbors,
-            &self.comp,
-            self.cfg.range_quench_sweeps,
-            self.cfg.range_pad,
-            &mut rng,
-        );
+        let range = self.discover_range();
         let mut rewl_cfg = self.cfg.rewl.clone();
         if rewl_cfg.checkpoint.is_none() {
             rewl_cfg.checkpoint = Some(dt_rewl::CheckpointSpec::new(dir));
         }
         let out = run_rewl(&self.model, &self.neighbors, &self.comp, range, &rewl_cfg)?;
         self.evaluate(out)
+    }
+
+    /// Discover the reachable energy range by seeded quenches. The RNG
+    /// is derived from the config seed alone, so every process of a
+    /// multi-process cluster (and every restart of a resumable run)
+    /// rebuilds the exact same windows.
+    fn discover_range(&self) -> (f64, f64) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.rewl.seed ^ 0x5eed);
+        explore_energy_range(
+            &self.model,
+            &self.neighbors,
+            &self.comp,
+            self.cfg.range_quench_sweeps,
+            self.cfg.range_pad,
+            &mut rng,
+        )
+    }
+
+    /// Run ONE rank of a multi-process cluster over a caller-supplied
+    /// communicator — the per-process pipeline entry behind
+    /// `deepthermo run --cluster tcp:<n>`. Every process performs the
+    /// same seeded range discovery (no coordination needed), samples its
+    /// rank via [`dt_rewl::run_rewl_on`], and then rank 0 — the gather
+    /// root — evaluates the merged output into the usual report. All
+    /// other ranks return `Ok(None)` once their pieces are shipped.
+    ///
+    /// Checkpointing honors `config().rewl.checkpoint` exactly as the
+    /// in-process driver does: every rank snapshots into the shared
+    /// directory and a rerun resumes from the newest consistent round.
+    ///
+    /// # Errors
+    /// Everything [`DeepThermo::run`] can return; rank deaths during
+    /// sampling degrade the run instead of failing it unless rank 0
+    /// itself is lost.
+    pub fn run_cluster_rank<T: Transport>(
+        &self,
+        comm: Communicator<T>,
+    ) -> Result<Option<DeepThermoReport>, DeepThermoError> {
+        let range = self.discover_range();
+        let run = run_rewl_on(
+            comm,
+            &self.model,
+            &self.neighbors,
+            &self.comp,
+            range,
+            &self.cfg.rewl,
+        )?;
+        match run.output {
+            Some(out) => self.evaluate(out).map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Export a finished run into `registry_dir` in the `dt-serve`

@@ -1,44 +1,37 @@
-//! An MPI-flavored communicator over threads, with fault awareness.
+//! An MPI-flavored communicator with fault awareness, generic over the
+//! message-passing backend.
 //!
 //! Semantics mirror the subset of MPI the paper's REWL implementation
 //! needs: tagged point-to-point messages, a barrier, a sum-allreduce, and
-//! a broadcast. Everything is backed by in-process mailboxes, so a "rank"
-//! is a thread and a "GPU" is a walker owned by that thread.
-//!
-//! On top of the happy path, the fabric simulates an *unreliable*
-//! cluster:
+//! a broadcast. The bytes move through a pluggable [`Transport`] — the
+//! in-memory thread fabric ([`crate::ThreadTransport`]) or real loopback
+//! sockets ([`crate::TcpTransport`]) — while everything here stays
+//! backend-agnostic:
 //!
 //! - a [`crate::FaultPlan`] can drop or delay specific messages and crash
 //!   ranks at chosen rounds, deterministically;
-//! - every receive has a deadline-bounded form ([`Communicator::recv_timeout`],
-//!   [`Communicator::try_recv`]) returning [`CommError`] instead of
-//!   hanging;
-//! - a rank death (injected or a genuine panic caught by
-//!   [`ThreadCluster::run_with_faults`]) is broadcast to the fabric:
-//!   pending receives from the dead rank fail fast with
-//!   [`CommError::RankDead`], and in-flight collectives complete over the
-//!   survivors instead of deadlocking.
+//! - every receive has a deadline-bounded form
+//!   ([`Communicator::recv_timeout`], [`Communicator::try_recv`])
+//!   returning [`CommError`] instead of hanging;
+//! - per-rank traffic counters ([`Communicator::traffic`]) feed the
+//!   telemetry snapshots.
 //!
-//! Collectives count *live* ranks: a barrier or allreduce entered by all
-//! survivors completes even while corpses hold unfilled slots. A
-//! broadcast whose root died before providing a payload fails with
-//! `RankDead` on every waiter rather than hanging.
+//! A rank death (injected or a genuine panic caught by
+//! [`crate::ThreadCluster::run_with_faults`], or a closed connection on
+//! the TCP backend) is announced to the fabric: pending receives from the
+//! dead rank fail fast with [`CommError::RankDead`], and in-flight
+//! collectives complete over the survivors instead of deadlocking.
+//!
+//! There are deliberately no infallible `recv`/`broadcast` wrappers: a
+//! dead peer must surface as a [`CommError`] at the call site, never as a
+//! panic deep in the fabric.
 
-use std::collections::HashMap;
-use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use crate::fault::{FaultPlan, FaultRuntime, SendFate};
-
-/// Upper bound applied to the legacy infallible blocking calls so that no
-/// wait — even one reached through an unexpected interleaving — is
-/// unbounded. Generous enough that it only trips on genuine deadlocks.
-const WATCHDOG: Duration = Duration::from_secs(300);
+use crate::thread_fabric::ThreadTransport;
+use crate::transport::Transport;
 
 /// Why a communication call could not complete.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,8 +60,8 @@ impl std::fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
-/// Payload carried by [`ThreadCluster`] kill faults; recognized by the
-/// panic handler so an injected crash reports cleanly.
+/// Payload carried by kill faults; recognized by the panic handler so an
+/// injected crash reports cleanly.
 #[derive(Debug, Clone)]
 pub struct SimulatedCrash {
     /// Rank that was crashed.
@@ -77,8 +70,8 @@ pub struct SimulatedCrash {
     pub round: u64,
 }
 
-/// Per-rank message-traffic counters, accumulated lock-free inside the
-/// fabric as the rank communicates.
+/// Per-rank message-traffic counters, accumulated lock-free as the rank
+/// communicates.
 #[derive(Debug, Default)]
 struct TrafficCounters {
     sends: AtomicU64,
@@ -114,164 +107,58 @@ pub struct TrafficSnapshot {
     pub delayed_sends: u64,
 }
 
-/// Key of a pending message: (source rank, tag).
-type MsgKey = (usize, u64);
-
-/// A buffered message; `deliver_at` is in the future for delayed sends.
-struct Envelope {
-    deliver_at: Instant,
-    payload: Vec<u8>,
-}
-
-/// One rank's mailbox.
-#[derive(Default)]
-struct Mailbox {
-    queues: Mutex<HashMap<MsgKey, VecDeque<Envelope>>>,
-    signal: Condvar,
-}
-
-/// Shared collective state (barrier / allreduce / broadcast), generation
-/// counted so it can be reused round after round.
-struct Collectives {
-    lock: Mutex<CollectiveState>,
-    signal: Condvar,
-}
-
-struct CollectiveState {
-    /// Ranks still alive; collectives complete when `*_arrived` reaches
-    /// this count.
-    live: usize,
-    barrier_arrived: usize,
-    barrier_generation: u64,
-    reduce_arrived: usize,
-    reduce_generation: u64,
-    reduce_accum: Vec<f64>,
-    reduce_result: Vec<f64>,
-    bcast_arrived: usize,
-    bcast_generation: u64,
-    bcast_payload: Option<Vec<u8>>,
-    /// Generation the current `bcast_payload` was provided for; lets
-    /// waiters distinguish a fresh payload from a stale one left by a
-    /// previous round after the root died.
-    bcast_provided_generation: Option<u64>,
-}
-
-impl CollectiveState {
-    /// Complete any collective that the survivors have now fully entered.
-    /// Called after a death shrinks `live`.
-    fn settle_after_death(&mut self) {
-        if self.live == 0 {
-            return;
-        }
-        if self.barrier_arrived >= self.live {
-            self.barrier_arrived = 0;
-            self.barrier_generation += 1;
-        }
-        if self.reduce_arrived >= self.live {
-            self.reduce_arrived = 0;
-            self.reduce_result = std::mem::take(&mut self.reduce_accum);
-            self.reduce_generation += 1;
-        }
-        if self.bcast_arrived >= self.live {
-            self.bcast_arrived = 0;
-            self.bcast_generation += 1;
-        }
-    }
-}
-
-/// The shared fabric of a [`ThreadCluster`].
-struct Fabric {
-    size: usize,
-    mailboxes: Vec<Mailbox>,
-    collectives: Collectives,
-    dead: Vec<AtomicBool>,
-    faults: FaultRuntime,
-    traffic: Vec<TrafficCounters>,
-}
-
-impl Fabric {
-    fn new(size: usize, plan: FaultPlan) -> Self {
-        Fabric {
-            size,
-            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
-            traffic: (0..size).map(|_| TrafficCounters::default()).collect(),
-            collectives: Collectives {
-                lock: Mutex::new(CollectiveState {
-                    live: size,
-                    barrier_arrived: 0,
-                    barrier_generation: 0,
-                    reduce_arrived: 0,
-                    reduce_generation: 0,
-                    reduce_accum: Vec::new(),
-                    reduce_result: Vec::new(),
-                    bcast_arrived: 0,
-                    bcast_generation: 0,
-                    bcast_payload: None,
-                    bcast_provided_generation: None,
-                }),
-                signal: Condvar::new(),
-            },
-            dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
-            faults: FaultRuntime::new(plan),
-        }
-    }
-
-    fn is_dead(&self, rank: usize) -> bool {
-        self.dead[rank].load(Ordering::SeqCst)
-    }
-
-    /// Record a rank death and wake everyone who may be waiting on it:
-    /// collective waiters (a now-complete round is settled first) and all
-    /// mailbox waiters (so receives from the corpse fail fast).
-    fn mark_dead(&self, rank: usize) {
-        if self.dead[rank].swap(true, Ordering::SeqCst) {
-            return;
-        }
-        {
-            let mut st = self.collectives.lock.lock();
-            st.live -= 1;
-            st.settle_after_death();
-            self.collectives.signal.notify_all();
-        }
-        for mb in &self.mailboxes {
-            mb.signal.notify_all();
-        }
-    }
-}
-
-/// A rank's handle to the cluster fabric.
+/// A rank's handle to the cluster.
 ///
-/// Mirrors an MPI communicator: cheap to clone *conceptually* (but owned
-/// per rank here), `Send` so it can move into the rank's thread.
-pub struct Communicator {
-    rank: usize,
-    fabric: Arc<Fabric>,
+/// Mirrors an MPI communicator: owned per rank, `Send` so it can move
+/// into the rank's thread (or live in the rank's process on the TCP
+/// backend). Generic over the [`Transport`] moving the bytes; fault
+/// injection and traffic accounting live here, above the backend.
+pub struct Communicator<T: Transport = ThreadTransport> {
+    transport: T,
+    faults: FaultRuntime,
+    traffic: TrafficCounters,
 }
 
-impl Communicator {
+impl<T: Transport> Communicator<T> {
+    /// Wrap a transport with a fault plan. Drop/delay events match on the
+    /// *sending* rank, so per-rank runtimes (one per communicator) count
+    /// exactly the same matches a cluster-wide runtime would.
+    pub fn new(transport: T, plan: FaultPlan) -> Self {
+        Communicator {
+            transport,
+            faults: FaultRuntime::new(plan),
+            traffic: TrafficCounters::default(),
+        }
+    }
+
     /// This rank's id.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.transport.rank()
     }
 
     /// Number of ranks in the cluster (including dead ones).
     pub fn size(&self) -> usize {
-        self.fabric.size
+        self.transport.size()
     }
 
     /// Whether `rank` is still alive.
     pub fn is_alive(&self, rank: usize) -> bool {
-        !self.fabric.is_dead(rank)
+        self.transport.is_alive(rank)
     }
 
     /// Number of ranks currently alive.
     pub fn live_count(&self) -> usize {
-        self.fabric.collectives.lock.lock().live
+        self.transport.live_count()
+    }
+
+    /// The underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
     }
 
     /// A point-in-time copy of this rank's message-traffic counters.
     pub fn traffic(&self) -> TrafficSnapshot {
-        let c = &self.fabric.traffic[self.rank];
+        let c = &self.traffic;
         TrafficSnapshot {
             sends: c.sends.load(Ordering::Relaxed),
             send_bytes: c.send_bytes.load(Ordering::Relaxed),
@@ -286,12 +173,14 @@ impl Communicator {
 
     /// Crash this rank (panic with a [`SimulatedCrash`] payload) if the
     /// fault plan schedules a kill at or before `round`. Rank programs
-    /// call this once per round; [`ThreadCluster::run_with_faults`]
-    /// converts the unwind into a dead-rank outcome.
+    /// call this once per round; the cluster harness
+    /// ([`crate::ThreadCluster::run_with_faults`], or the worker process
+    /// boundary on the TCP backend) converts the unwind into a dead-rank
+    /// outcome.
     pub fn poll_faults(&self, round: u64) {
-        if let Some(kill_round) = self.fabric.faults.plan().kill_due(self.rank, round) {
+        if let Some(kill_round) = self.faults.plan().kill_due(self.rank(), round) {
             std::panic::panic_any(SimulatedCrash {
-                rank: self.rank,
+                rank: self.rank(),
                 round: kill_round,
             });
         }
@@ -302,353 +191,111 @@ impl Communicator {
     /// ranks are silently discarded, as are messages the fault plan
     /// drops; delayed messages become receivable only after their delay.
     pub fn send(&self, to: usize, tag: u64, data: Vec<u8>) {
-        assert!(to < self.fabric.size, "send to invalid rank {to}");
-        let counters = &self.fabric.traffic[self.rank];
-        let deliver_at = match self.fabric.faults.on_send(self.rank, to, tag) {
+        let delay = match self.faults.on_send(self.rank(), to, tag) {
             SendFate::Drop => {
-                counters.dropped_sends.fetch_add(1, Ordering::Relaxed);
+                self.traffic.dropped_sends.fetch_add(1, Ordering::Relaxed);
                 return;
             }
-            SendFate::Deliver => Instant::now(),
+            SendFate::Deliver => None,
             SendFate::Delay(d) => {
-                counters.delayed_sends.fetch_add(1, Ordering::Relaxed);
-                Instant::now() + d
+                self.traffic.delayed_sends.fetch_add(1, Ordering::Relaxed);
+                Some(d)
             }
         };
-        counters.sends.fetch_add(1, Ordering::Relaxed);
-        counters
+        self.traffic.sends.fetch_add(1, Ordering::Relaxed);
+        self.traffic
             .send_bytes
             .fetch_add(data.len() as u64, Ordering::Relaxed);
-        if self.fabric.is_dead(to) {
-            return;
-        }
-        let mb = &self.fabric.mailboxes[to];
-        mb.queues
-            .lock()
-            .entry((self.rank, tag))
-            .or_default()
-            .push_back(Envelope {
-                deliver_at,
-                payload: data,
-            });
-        mb.signal.notify_all();
+        self.transport.send(to, tag, data, delay);
     }
 
     /// Non-blocking receive: `Ok(Some(..))` if a deliverable message is
-    /// queued, `Ok(None)` if not, `Err(RankDead)` if `from` is dead with
-    /// nothing in flight.
+    /// queued, `Ok(None)` if not.
+    ///
+    /// # Errors
+    /// [`CommError::RankDead`] if `from` is dead with nothing in flight.
     pub fn try_recv(&self, from: usize, tag: u64) -> Result<Option<Vec<u8>>, CommError> {
-        let counters = &self.fabric.traffic[self.rank];
-        let mb = &self.fabric.mailboxes[self.rank];
-        let mut queues = mb.queues.lock();
-        let now = Instant::now();
-        if let Some(q) = queues.get_mut(&(from, tag)) {
-            if let Some(pos) = q.iter().position(|m| m.deliver_at <= now) {
-                let payload = q.remove(pos).expect("position just found").payload;
-                counters.recvs.fetch_add(1, Ordering::Relaxed);
-                counters
-                    .recv_bytes
-                    .fetch_add(payload.len() as u64, Ordering::Relaxed);
-                return Ok(Some(payload));
+        match self.transport.try_recv(from, tag) {
+            Ok(Some(payload)) => {
+                self.count_recv(payload.len());
+                Ok(Some(payload))
             }
-            if !q.is_empty() {
-                // Delayed messages still in flight; the sender's death
-                // does not recall them.
-                return Ok(None);
-            }
+            Ok(None) => Ok(None),
+            Err(e) => Err(self.count_recv_error(e)),
         }
-        if self.fabric.is_dead(from) {
-            counters.dead_peer_errors.fetch_add(1, Ordering::Relaxed);
-            return Err(CommError::RankDead(from));
-        }
-        Ok(None)
     }
 
-    /// Blocking receive with a deadline. Fails with
-    /// [`CommError::Timeout`] when `timeout` elapses and
+    /// Blocking receive with a deadline. Already-buffered messages from a
+    /// dead sender are still delivered first.
+    ///
+    /// # Errors
+    /// [`CommError::Timeout`] when `timeout` elapses,
     /// [`CommError::RankDead`] as soon as `from` is known dead with no
-    /// matching message in flight (already-buffered messages from a dead
-    /// sender are still delivered first).
+    /// matching message in flight.
     pub fn recv_timeout(
         &self,
         from: usize,
         tag: u64,
         timeout: Duration,
     ) -> Result<Vec<u8>, CommError> {
-        let deadline = Instant::now() + timeout;
-        let counters = &self.fabric.traffic[self.rank];
-        let mb = &self.fabric.mailboxes[self.rank];
-        let mut queues = mb.queues.lock();
-        loop {
-            let now = Instant::now();
-            let mut earliest_delayed: Option<Instant> = None;
-            if let Some(q) = queues.get_mut(&(from, tag)) {
-                if let Some(pos) = q.iter().position(|m| m.deliver_at <= now) {
-                    let payload = q.remove(pos).expect("position just found").payload;
-                    counters.recvs.fetch_add(1, Ordering::Relaxed);
-                    counters
-                        .recv_bytes
-                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
-                    return Ok(payload);
-                }
-                earliest_delayed = q.iter().map(|m| m.deliver_at).min();
+        match self.transport.recv_timeout(from, tag, timeout) {
+            Ok(payload) => {
+                self.count_recv(payload.len());
+                Ok(payload)
             }
-            if earliest_delayed.is_none() && self.fabric.is_dead(from) {
-                counters.dead_peer_errors.fetch_add(1, Ordering::Relaxed);
-                return Err(CommError::RankDead(from));
-            }
-            if now >= deadline {
-                counters.timeouts.fetch_add(1, Ordering::Relaxed);
-                return Err(CommError::Timeout { from, tag });
-            }
-            // Sleep until whichever comes first: the deadline or the
-            // moment a delayed message matures. Death notifications wake
-            // every mailbox waiter, so re-check on every wakeup.
-            let mut wake = deadline;
-            if let Some(t) = earliest_delayed {
-                wake = wake.min(t);
-            }
-            let nap = wake
-                .saturating_duration_since(now)
-                .max(Duration::from_millis(1));
-            mb.signal.wait_for(&mut queues, nap);
+            Err(e) => Err(self.count_recv_error(e)),
         }
-    }
-
-    /// Blocking receive of a message from `from` with `tag`.
-    ///
-    /// Kept for fault-free code paths; the wait is watchdog-bounded so
-    /// even a misused call cannot hang forever — it panics after
-    /// the watchdog interval or if the sender dies, rather than deadlocking.
-    pub fn recv(&self, from: usize, tag: u64) -> Vec<u8> {
-        self.recv_timeout(from, tag, WATCHDOG)
-            .unwrap_or_else(|e| panic!("rank {}: recv({from}, {tag}): {e}", self.rank))
     }
 
     /// Block until every *live* rank has entered the barrier. A rank that
     /// dies while others wait releases the barrier over the survivors.
-    pub fn barrier(&self) {
-        let c = &self.fabric.collectives;
-        let mut st = c.lock.lock();
-        let generation = st.barrier_generation;
-        st.barrier_arrived += 1;
-        if st.barrier_arrived >= st.live {
-            st.barrier_arrived = 0;
-            st.barrier_generation += 1;
-            c.signal.notify_all();
-        } else {
-            let deadline = Instant::now() + WATCHDOG;
-            while st.barrier_generation == generation {
-                let r = c
-                    .signal
-                    .wait_for(&mut st, deadline.saturating_duration_since(Instant::now()));
-                if r.timed_out() && st.barrier_generation == generation {
-                    panic!("rank {}: barrier watchdog expired", self.rank);
-                }
-            }
-        }
+    ///
+    /// # Errors
+    /// [`CommError::RankDead`] when the barrier's coordinator died (TCP
+    /// backend; the thread fabric completes over survivors).
+    pub fn barrier(&self) -> Result<(), CommError> {
+        self.transport.barrier()
     }
 
     /// Element-wise sum allreduce over the *live* ranks: after the call
     /// every surviving rank's `data` holds the sum over all survivors'
     /// contributions. All ranks must pass equal lengths.
-    pub fn allreduce_sum(&self, data: &mut [f64]) {
-        let c = &self.fabric.collectives;
-        let mut st = c.lock.lock();
-        let generation = st.reduce_generation;
-        if st.reduce_arrived == 0 {
-            st.reduce_accum = vec![0.0; data.len()];
-        }
-        assert_eq!(
-            st.reduce_accum.len(),
-            data.len(),
-            "allreduce length mismatch across ranks"
-        );
-        for (a, &d) in st.reduce_accum.iter_mut().zip(data.iter()) {
-            *a += d;
-        }
-        st.reduce_arrived += 1;
-        if st.reduce_arrived >= st.live {
-            st.reduce_arrived = 0;
-            st.reduce_result = std::mem::take(&mut st.reduce_accum);
-            st.reduce_generation += 1;
-            c.signal.notify_all();
-        } else {
-            let deadline = Instant::now() + WATCHDOG;
-            while st.reduce_generation == generation {
-                let r = c
-                    .signal
-                    .wait_for(&mut st, deadline.saturating_duration_since(Instant::now()));
-                if r.timed_out() && st.reduce_generation == generation {
-                    panic!("rank {}: allreduce watchdog expired", self.rank);
-                }
-            }
-        }
-        data.copy_from_slice(&st.reduce_result);
-    }
-
-    /// Broadcast from `root`, failing with [`CommError::RankDead`] on
-    /// every waiter if the root died before providing its payload.
-    pub fn broadcast_checked(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>, CommError> {
-        let c = &self.fabric.collectives;
-        let mut st = c.lock.lock();
-        let generation = st.bcast_generation;
-        if self.rank == root {
-            st.bcast_payload = Some(data);
-            st.bcast_provided_generation = Some(generation);
-        }
-        st.bcast_arrived += 1;
-        if st.bcast_arrived >= st.live {
-            st.bcast_arrived = 0;
-            st.bcast_generation += 1;
-            c.signal.notify_all();
-        } else {
-            let deadline = Instant::now() + WATCHDOG;
-            while st.bcast_generation == generation {
-                let r = c
-                    .signal
-                    .wait_for(&mut st, deadline.saturating_duration_since(Instant::now()));
-                if r.timed_out() && st.bcast_generation == generation {
-                    panic!("rank {}: broadcast watchdog expired", self.rank);
-                }
-            }
-        }
-        // A payload left over from an earlier round must not masquerade
-        // as this round's: only accept one provided for `generation`.
-        if st.bcast_provided_generation == Some(generation) {
-            Ok(st
-                .bcast_payload
-                .clone()
-                .expect("payload present when provided"))
-        } else {
-            Err(CommError::RankDead(root))
-        }
+    ///
+    /// # Errors
+    /// [`CommError::RankDead`] when the reduction's coordinator died (TCP
+    /// backend); `data` is left untouched in that case.
+    pub fn allreduce_sum(&self, data: &mut [f64]) -> Result<(), CommError> {
+        self.transport.allreduce_sum(data)
     }
 
     /// Broadcast from `root`: returns the root's payload on every rank.
-    /// Panics if the root died before providing a payload — use
-    /// [`Communicator::broadcast_checked`] on fault-tolerant paths.
-    pub fn broadcast(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
-        self.broadcast_checked(root, data)
-            .unwrap_or_else(|e| panic!("rank {}: broadcast from {root}: {e}", self.rank))
+    ///
+    /// # Errors
+    /// [`CommError::RankDead`] on every waiter if the root died before
+    /// providing its payload.
+    pub fn broadcast_checked(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>, CommError> {
+        self.transport.broadcast_checked(root, data)
     }
-}
 
-/// How one rank's program ended under [`ThreadCluster::run_with_faults`].
-#[derive(Debug)]
-pub enum RankOutcome<T> {
-    /// The rank ran to completion.
-    Completed(T),
-    /// The rank died (injected kill or genuine panic) before finishing.
-    Died {
-        /// Human-readable cause extracted from the panic payload.
-        cause: String,
-    },
-}
+    fn count_recv(&self, bytes: usize) {
+        self.traffic.recvs.fetch_add(1, Ordering::Relaxed);
+        self.traffic
+            .recv_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
 
-impl<T> RankOutcome<T> {
-    /// The completed value, if any.
-    pub fn completed(self) -> Option<T> {
-        match self {
-            RankOutcome::Completed(v) => Some(v),
-            RankOutcome::Died { .. } => None,
+    fn count_recv_error(&self, e: CommError) -> CommError {
+        match e {
+            CommError::Timeout { .. } => {
+                self.traffic.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            CommError::RankDead(_) => {
+                self.traffic
+                    .dead_peer_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
-    }
-
-    /// Whether the rank died.
-    pub fn is_dead(&self) -> bool {
-        matches!(self, RankOutcome::Died { .. })
-    }
-}
-
-fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(crash) = payload.downcast_ref::<SimulatedCrash>() {
-        format!(
-            "simulated crash of rank {} at round {}",
-            crash.rank, crash.round
-        )
-    } else if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "rank panicked".to_string()
-    }
-}
-
-/// Launches `size` ranks on threads and runs `f(comm)` on each; returns
-/// the per-rank results in rank order.
-pub struct ThreadCluster;
-
-impl ThreadCluster {
-    /// Run a cluster program. Panics in any rank propagate.
-    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
-    where
-        T: Send,
-        F: Fn(Communicator) -> T + Sync,
-    {
-        Self::run_with_faults(size, FaultPlan::none(), f)
-            .into_iter()
-            .map(|outcome| match outcome {
-                RankOutcome::Completed(v) => v,
-                RankOutcome::Died { cause } => panic!("rank panicked: {cause}"),
-            })
-            .collect()
-    }
-
-    /// Run a cluster program under a fault plan. A rank that panics —
-    /// from an injected [`FaultEvent::KillAtRound`](crate::FaultEvent)
-    /// via [`Communicator::poll_faults`], or from a genuine bug — is
-    /// caught at the fabric boundary, announced to the survivors (its
-    /// death unblocks their receives and collectives), and reported as
-    /// [`RankOutcome::Died`] instead of tearing the cluster down.
-    pub fn run_with_faults<T, F>(size: usize, plan: FaultPlan, f: F) -> Vec<RankOutcome<T>>
-    where
-        T: Send,
-        F: Fn(Communicator) -> T + Sync,
-    {
-        assert!(size > 0, "cluster needs at least one rank");
-        let fabric = Arc::new(Fabric::new(size, plan));
-        // Injected crashes unwind through here by design; silence the
-        // default "thread panicked" stderr noise for them only. Installed
-        // once process-wide: hook swapping per call would race when
-        // multiple clusters run concurrently (e.g. parallel tests).
-        static HOOK: std::sync::Once = std::sync::Once::new();
-        HOOK.call_once(|| {
-            let prev = std::panic::take_hook();
-            std::panic::set_hook(Box::new(move |info| {
-                if info.payload().downcast_ref::<SimulatedCrash>().is_none() {
-                    prev(info);
-                }
-            }));
-        });
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..size)
-                .map(|rank| {
-                    let comm = Communicator {
-                        rank,
-                        fabric: Arc::clone(&fabric),
-                    };
-                    let f = &f;
-                    let fabric = Arc::clone(&fabric);
-                    scope.spawn(move || match catch_unwind(AssertUnwindSafe(|| f(comm))) {
-                        Ok(v) => RankOutcome::Completed(v),
-                        Err(payload) => {
-                            // Announce the death *before* returning so
-                            // peers blocked on this rank unblock promptly.
-                            fabric.mark_dead(rank);
-                            RankOutcome::Died {
-                                cause: describe_panic(payload.as_ref()),
-                            }
-                        }
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread itself must not die"))
-                .collect()
-        })
+        e
     }
 }
 
@@ -656,15 +303,21 @@ impl ThreadCluster {
 mod tests {
     use super::*;
     use crate::fault::FaultPlan;
+    use crate::thread_fabric::{RankOutcome, ThreadCluster};
+    use std::time::{Duration, Instant};
+
+    /// Receive deadline for test paths where the message is known to be
+    /// on its way.
+    const PATIENCE: Duration = Duration::from_secs(30);
 
     #[test]
     fn ping_pong_round_trip() {
         let results = ThreadCluster::run(2, |comm| {
             if comm.rank() == 0 {
                 comm.send(1, 7, vec![1, 2, 3]);
-                comm.recv(1, 8)
+                comm.recv_timeout(1, 8, PATIENCE).unwrap()
             } else {
-                let got = comm.recv(0, 7);
+                let got = comm.recv_timeout(0, 7, PATIENCE).unwrap();
                 comm.send(0, 8, got.iter().map(|b| b * 2).collect());
                 vec![]
             }
@@ -681,8 +334,8 @@ mod tests {
                 vec![]
             } else {
                 // Receive in the opposite order of sending.
-                let b = comm.recv(0, 2);
-                let a = comm.recv(0, 1);
+                let b = comm.recv_timeout(0, 2, PATIENCE).unwrap();
+                let a = comm.recv_timeout(0, 1, PATIENCE).unwrap();
                 vec![a[0], b[0]]
             }
         });
@@ -694,7 +347,7 @@ mod tests {
         let size = 5;
         let results = ThreadCluster::run(size, |comm| {
             let mut v = vec![comm.rank() as f64, 1.0];
-            comm.allreduce_sum(&mut v);
+            comm.allreduce_sum(&mut v).unwrap();
             v
         });
         let expected = vec![(0..5).sum::<usize>() as f64, 5.0];
@@ -709,7 +362,7 @@ mod tests {
             let mut out = Vec::new();
             for round in 0..4u64 {
                 let mut v = vec![(comm.rank() as u64 + round) as f64];
-                comm.allreduce_sum(&mut v);
+                comm.allreduce_sum(&mut v).unwrap();
                 out.push(v[0]);
             }
             out
@@ -727,7 +380,7 @@ mod tests {
             } else {
                 vec![]
             };
-            comm.broadcast(2, mine)
+            comm.broadcast_checked(2, mine).unwrap()
         });
         for r in results {
             assert_eq!(r, vec![9, 9, 9]);
@@ -740,7 +393,7 @@ mod tests {
         let phase1 = AtomicUsize::new(0);
         let results = ThreadCluster::run(8, |comm| {
             phase1.fetch_add(1, Ordering::SeqCst);
-            comm.barrier();
+            comm.barrier().unwrap();
             // After the barrier every rank must observe all 8 arrivals.
             phase1.load(Ordering::SeqCst)
         });
@@ -752,11 +405,13 @@ mod tests {
         let results = ThreadCluster::run(4, |comm| {
             let mut acc = 0.0;
             for round in 0..10 {
-                comm.barrier();
+                comm.barrier().unwrap();
                 let mut v = vec![1.0];
-                comm.allreduce_sum(&mut v);
+                comm.allreduce_sum(&mut v).unwrap();
                 acc += v[0];
-                let b = comm.broadcast(round % 4, vec![round as u8]);
+                let b = comm
+                    .broadcast_checked(round % 4, vec![round as u8])
+                    .unwrap();
                 assert_eq!(b, vec![round as u8]);
             }
             acc
@@ -906,9 +561,9 @@ mod tests {
                 comm.poll_faults(0);
                 unreachable!();
             }
-            comm.barrier();
+            comm.barrier().unwrap();
             let mut v = vec![1.0];
-            comm.allreduce_sum(&mut v);
+            comm.allreduce_sum(&mut v).unwrap();
             v[0]
         });
         assert!(outcomes[2].is_dead());
@@ -948,13 +603,13 @@ mod tests {
             if comm.rank() == 0 {
                 comm.send(1, 1, vec![0; 8]); // eaten by the plan
                 comm.send(1, 2, vec![0; 16]);
-                comm.barrier();
+                comm.barrier().unwrap();
                 comm.traffic()
             } else {
-                let _ = comm.recv(0, 2);
+                let _ = comm.recv_timeout(0, 2, PATIENCE).unwrap();
                 let timed_out = comm.recv_timeout(0, 99, Duration::from_millis(20));
                 assert!(matches!(timed_out, Err(CommError::Timeout { .. })));
-                comm.barrier();
+                comm.barrier().unwrap();
                 comm.traffic()
             }
         });
@@ -977,7 +632,7 @@ mod tests {
                                  // Sample before the barrier: rank 3 cannot die until every
                                  // rank has passed it, so all ranks must observe 4 here.
             let before = comm.live_count();
-            comm.barrier();
+            comm.barrier().unwrap();
             if comm.rank() == 3 {
                 comm.poll_faults(1);
                 unreachable!();

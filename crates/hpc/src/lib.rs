@@ -38,10 +38,11 @@ pub mod gpu;
 pub mod perf;
 pub mod rngstream;
 pub mod scaling;
+pub mod tcp;
+pub mod thread_fabric;
+pub mod transport;
 
-pub use comm::{
-    CommError, Communicator, RankOutcome, SimulatedCrash, ThreadCluster, TrafficSnapshot,
-};
+pub use comm::{CommError, Communicator, SimulatedCrash, TrafficSnapshot};
 pub use fault::{FaultEvent, FaultPlan, SendFate};
 pub use gpu::GpuSpec;
 pub use perf::{
@@ -49,3 +50,6 @@ pub use perf::{
 };
 pub use rngstream::rank_rng;
 pub use scaling::{strong_scaling_table, weak_scaling_table, ScalingRow};
+pub use tcp::{TcpCluster, TcpRendezvous, TcpTransport};
+pub use thread_fabric::{install_crash_hook, RankOutcome, ThreadCluster, ThreadTransport};
+pub use transport::Transport;

@@ -1,0 +1,548 @@
+//! The TCP backend: ranks are processes (or threads, in tests) connected
+//! by real `std::net` loopback sockets.
+//!
+//! Implements the same [`Transport`] contract as the thread fabric, so the
+//! whole REWL stack — fault injection, timeouts, the exchange protocol,
+//! checkpointing — runs unchanged over genuine inter-process message
+//! passing (`deepthermo run --cluster tcp:<n>`).
+//!
+//! ## Topology
+//!
+//! A run bootstraps through a **rank-0 rendezvous**: rank 0 binds a
+//! [`TcpRendezvous`] listener whose address workers are given. Each worker
+//! binds its own data listener, dials the rendezvous, and announces
+//! `[rank: u32][data_port: u16]`; once all workers have checked in, rank 0
+//! answers every worker with the full port table. The mesh is then built
+//! deterministically: rank *i* dials every rank *j < i* at its data port
+//! (announcing itself with a `[rank: u32]` hello), so every pair of ranks
+//! shares exactly one connection.
+//!
+//! ## Wire format
+//!
+//! Each message is one length-prefixed frame:
+//! `[payload_len: u32][tag: u64][delay_micros: u64][payload]`, all little
+//! endian. `delay_micros` carries fault-injected delivery delays: the
+//! *receiver* holds the message until the delay elapses, mirroring the
+//! thread fabric's in-flight delay semantics.
+//!
+//! A reader thread per peer connection demultiplexes frames into the
+//! rank's `Inbox`. A closed or broken connection marks that peer dead,
+//! which unblocks pending receives with [`CommError::RankDead`] — process
+//! exit (clean or crashed) is death notification, no extra protocol
+//! needed. Orderly TCP shutdown delivers buffered frames before the EOF,
+//! so messages sent just before a rank exits still arrive.
+//!
+//! ## Collectives
+//!
+//! Barrier, sum-allreduce, and broadcast run over reserved tags (bit 63
+//! set, disjoint from all driver tags) with rank 0 coordinating barrier
+//! and reduction; each call uses a fresh generation number so rounds never
+//! collide. Dead ranks are skipped — collectives complete over the
+//! survivors, as on the thread fabric — but if the *coordinator* (rank 0)
+//! dies, waiters get [`CommError::RankDead`]`(0)` instead.
+
+use std::cell::Cell;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::comm::{CommError, Communicator};
+use crate::fault::FaultPlan;
+use crate::thread_fabric::{describe_panic, install_crash_hook, RankOutcome};
+use crate::transport::{Inbox, Transport, WATCHDOG};
+
+/// Collective tags live above bit 63; driver tags (`with_round` included)
+/// stay below it.
+const COLL_BIT: u64 = 1 << 63;
+const K_BARRIER_ARRIVE: u64 = 1;
+const K_BARRIER_RELEASE: u64 = 2;
+const K_REDUCE_CONTRIB: u64 = 3;
+const K_REDUCE_RESULT: u64 = 4;
+const K_BCAST: u64 = 5;
+
+fn coll_tag(kind: u64, generation: u64) -> u64 {
+    debug_assert!(generation < 1 << 56, "collective generation overflow");
+    COLL_BIT | (kind << 56) | generation
+}
+
+/// State shared between a rank's main thread and its per-peer reader
+/// threads.
+struct Shared {
+    inbox: Inbox,
+    dead: Vec<AtomicBool>,
+    live: AtomicUsize,
+}
+
+impl Shared {
+    fn is_dead(&self, rank: usize) -> bool {
+        self.dead[rank].load(Ordering::SeqCst)
+    }
+
+    fn mark_dead(&self, rank: usize) {
+        if self.dead[rank].swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.live.fetch_sub(1, Ordering::SeqCst);
+        self.inbox.notify_all();
+    }
+}
+
+/// The rank-0 rendezvous point workers dial to join a run.
+pub struct TcpRendezvous {
+    listener: TcpListener,
+}
+
+impl TcpRendezvous {
+    /// Bind the rendezvous listener. Use `"127.0.0.1:0"` to let the OS
+    /// pick a free port, then read it back with [`Self::local_addr`].
+    ///
+    /// # Errors
+    /// Any `bind(2)` failure.
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        Ok(TcpRendezvous {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The address workers must dial.
+    ///
+    /// # Errors
+    /// Any `getsockname(2)` failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Complete the rendezvous as rank 0 of a `size`-rank cluster: wait
+    /// for all `size - 1` workers to check in, distribute the port table,
+    /// and accept the mesh connections. Blocks until the cluster is
+    /// fully connected.
+    ///
+    /// # Errors
+    /// Socket failures, or a malformed/duplicate worker hello.
+    pub fn into_transport(self, size: usize) -> io::Result<TcpTransport> {
+        assert!(size > 0, "cluster needs at least one rank");
+        let data_listener = TcpListener::bind("127.0.0.1:0")?;
+        let mut ports = vec![0u16; size];
+        ports[0] = data_listener.local_addr()?.port();
+
+        // Phase 1: collect worker hellos over the rendezvous listener.
+        let mut worker_streams: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+        for _ in 1..size {
+            let (mut s, _) = self.listener.accept()?;
+            let rank = read_u32(&mut s)? as usize;
+            let port = read_u16(&mut s)?;
+            if rank == 0 || rank >= size || worker_streams[rank].is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad or duplicate worker hello for rank {rank}"),
+                ));
+            }
+            ports[rank] = port;
+            worker_streams[rank] = Some(s);
+        }
+
+        // Phase 2: every listener is now bound — publish the table.
+        let mut table = Vec::with_capacity(2 * size);
+        for p in &ports {
+            table.extend_from_slice(&p.to_le_bytes());
+        }
+        for s in worker_streams.iter_mut().flatten() {
+            s.write_all(&table)?;
+        }
+
+        // Phase 3: rank 0 dials nobody; accept all mesh connections.
+        TcpTransport::finish(0, size, accept_mesh(&data_listener, size, &[])?)
+    }
+}
+
+/// Accept the inbound half of the mesh: one connection from every rank
+/// not in `outbound` (and not ourselves), identified by its hello.
+fn accept_mesh(
+    listener: &TcpListener,
+    size: usize,
+    outbound: &[usize],
+) -> io::Result<Vec<Option<TcpStream>>> {
+    let mut peers: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+    let expected = size - 1 - outbound.len();
+    for _ in 0..expected {
+        let (mut s, _) = listener.accept()?;
+        let rank = read_u32(&mut s)? as usize;
+        if rank >= size || peers[rank].is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad or duplicate mesh hello for rank {rank}"),
+            ));
+        }
+        peers[rank] = Some(s);
+    }
+    Ok(peers)
+}
+
+/// A rank's handle to the socket mesh — the TCP backend of [`Transport`].
+pub struct TcpTransport {
+    rank: usize,
+    size: usize,
+    shared: Arc<Shared>,
+    /// Write halves, one per peer (`None` at our own index). Reader
+    /// threads own cloned handles.
+    peers: Vec<Option<Mutex<TcpStream>>>,
+    barrier_gen: Cell<u64>,
+    reduce_gen: Cell<u64>,
+    bcast_gen: Cell<u64>,
+}
+
+impl TcpTransport {
+    /// Join a cluster as worker `rank` by dialing rank 0's rendezvous at
+    /// `addr`. Blocks until the mesh is fully connected.
+    ///
+    /// # Errors
+    /// Socket failures, or a malformed rendezvous reply.
+    pub fn connect(addr: &str, rank: usize, size: usize) -> io::Result<TcpTransport> {
+        assert!(rank > 0 && rank < size, "worker rank out of range");
+        let data_listener = TcpListener::bind("127.0.0.1:0")?;
+
+        // Check in with rank 0 and learn everyone's data port.
+        let mut rendezvous = TcpStream::connect(addr)?;
+        rendezvous.write_all(&(rank as u32).to_le_bytes())?;
+        rendezvous.write_all(&data_listener.local_addr()?.port().to_le_bytes())?;
+        let mut table = vec![0u8; 2 * size];
+        rendezvous.read_exact(&mut table)?;
+        let ports: Vec<u16> = table
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
+
+        // Dial every lower rank, then accept every higher one.
+        let lower: Vec<usize> = (0..rank).collect();
+        let mut peers = accept_mesh(&data_listener, size, &lower)?;
+        for &j in &lower {
+            let mut s = TcpStream::connect(("127.0.0.1", ports[j]))?;
+            s.write_all(&(rank as u32).to_le_bytes())?;
+            peers[j] = Some(s);
+        }
+        Self::finish(rank, size, peers)
+    }
+
+    /// Wrap a fully connected mesh: spawn reader threads and assemble the
+    /// transport.
+    fn finish(rank: usize, size: usize, peers: Vec<Option<TcpStream>>) -> io::Result<TcpTransport> {
+        let shared = Arc::new(Shared {
+            inbox: Inbox::default(),
+            dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            live: AtomicUsize::new(size),
+        });
+        let mut write_halves: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(size);
+        for (peer, stream) in peers.into_iter().enumerate() {
+            match stream {
+                None => write_halves.push(None),
+                Some(s) => {
+                    s.set_nodelay(true)?;
+                    let reader = s.try_clone()?;
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("tcp-reader-{rank}-from-{peer}"))
+                        .spawn(move || reader_loop(reader, peer, shared))?;
+                    write_halves.push(Some(Mutex::new(s)));
+                }
+            }
+        }
+        Ok(TcpTransport {
+            rank,
+            size,
+            shared,
+            peers: write_halves,
+            barrier_gen: Cell::new(0),
+            reduce_gen: Cell::new(0),
+            bcast_gen: Cell::new(0),
+        })
+    }
+
+    /// Receive on a collective tag as the coordinator: a dead peer is
+    /// skipped (`None`), a timeout is a protocol violation.
+    fn coll_recv(&self, from: usize, tag: u64, what: &str) -> Option<Vec<u8>> {
+        match self.recv_timeout(from, tag, WATCHDOG) {
+            Ok(payload) => Some(payload),
+            Err(CommError::RankDead(_)) => None,
+            Err(CommError::Timeout { .. }) => {
+                panic!("rank {}: {what} watchdog expired", self.rank)
+            }
+        }
+    }
+}
+
+/// Demultiplex frames from one peer into the rank's inbox; runs until the
+/// connection closes, then announces the peer's death.
+fn reader_loop(mut stream: TcpStream, from: usize, shared: Arc<Shared>) {
+    loop {
+        let mut head = [0u8; 20];
+        if stream.read_exact(&mut head).is_err() {
+            break;
+        }
+        let len = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes")) as usize;
+        let tag = u64::from_le_bytes(head[4..12].try_into().expect("8 bytes"));
+        let delay_us = u64::from_le_bytes(head[12..20].try_into().expect("8 bytes"));
+        let mut payload = vec![0u8; len];
+        if stream.read_exact(&mut payload).is_err() {
+            break;
+        }
+        let deliver_at = Instant::now() + Duration::from_micros(delay_us);
+        shared.inbox.push(from, tag, payload, deliver_at);
+    }
+    // EOF is reached only after every buffered frame above was pushed, so
+    // the death can never overtake a delivered message.
+    shared.mark_dead(from);
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn is_alive(&self, rank: usize) -> bool {
+        !self.shared.is_dead(rank)
+    }
+
+    fn live_count(&self) -> usize {
+        self.shared.live.load(Ordering::SeqCst)
+    }
+
+    fn send(&self, to: usize, tag: u64, data: Vec<u8>, delay: Option<Duration>) {
+        assert!(to < self.size, "send to invalid rank {to}");
+        if self.shared.is_dead(to) {
+            return;
+        }
+        let delay_us = delay.map_or(0, |d| d.as_micros() as u64);
+        if to == self.rank {
+            let deliver_at = Instant::now() + Duration::from_micros(delay_us);
+            self.shared.inbox.push(to, tag, data, deliver_at);
+            return;
+        }
+        let mut frame = Vec::with_capacity(20 + data.len());
+        frame.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&tag.to_le_bytes());
+        frame.extend_from_slice(&delay_us.to_le_bytes());
+        frame.extend_from_slice(&data);
+        let stream = self.peers[to].as_ref().expect("peer stream exists");
+        // A write failure means the peer is gone; its reader thread will
+        // notice the EOF — drop the message like any send to the dead.
+        let _ = stream.lock().write_all(&frame);
+    }
+
+    fn try_recv(&self, from: usize, tag: u64) -> Result<Option<Vec<u8>>, CommError> {
+        self.shared
+            .inbox
+            .try_take(from, tag, &|| self.shared.is_dead(from))
+    }
+
+    fn recv_timeout(&self, from: usize, tag: u64, timeout: Duration) -> Result<Vec<u8>, CommError> {
+        self.shared
+            .inbox
+            .take_deadline(from, tag, timeout, &|| self.shared.is_dead(from))
+    }
+
+    fn barrier(&self) -> Result<(), CommError> {
+        let generation = self.barrier_gen.get();
+        self.barrier_gen.set(generation + 1);
+        let arrive = coll_tag(K_BARRIER_ARRIVE, generation);
+        let release = coll_tag(K_BARRIER_RELEASE, generation);
+        if self.rank == 0 {
+            for r in 1..self.size {
+                self.coll_recv(r, arrive, "barrier");
+            }
+            for r in 1..self.size {
+                self.send(r, release, Vec::new(), None);
+            }
+            Ok(())
+        } else {
+            self.send(0, arrive, Vec::new(), None);
+            match self.recv_timeout(0, release, WATCHDOG) {
+                Ok(_) => Ok(()),
+                Err(CommError::RankDead(_)) => Err(CommError::RankDead(0)),
+                Err(CommError::Timeout { .. }) => {
+                    panic!("rank {}: barrier watchdog expired", self.rank)
+                }
+            }
+        }
+    }
+
+    fn allreduce_sum(&self, data: &mut [f64]) -> Result<(), CommError> {
+        let generation = self.reduce_gen.get();
+        self.reduce_gen.set(generation + 1);
+        let contrib = coll_tag(K_REDUCE_CONTRIB, generation);
+        let result = coll_tag(K_REDUCE_RESULT, generation);
+        if self.rank == 0 {
+            // Sum in rank order so the reduction is deterministic.
+            let mut accum = data.to_vec();
+            for r in 1..self.size {
+                let Some(bytes) = self.coll_recv(r, contrib, "allreduce") else {
+                    continue;
+                };
+                let v = decode_f64s(&bytes);
+                assert_eq!(
+                    v.len(),
+                    accum.len(),
+                    "allreduce length mismatch across ranks"
+                );
+                for (a, x) in accum.iter_mut().zip(v) {
+                    *a += x;
+                }
+            }
+            let bytes = encode_f64s(&accum);
+            for r in 1..self.size {
+                self.send(r, result, bytes.clone(), None);
+            }
+            data.copy_from_slice(&accum);
+            Ok(())
+        } else {
+            self.send(0, contrib, encode_f64s(data), None);
+            match self.recv_timeout(0, result, WATCHDOG) {
+                Ok(bytes) => {
+                    let v = decode_f64s(&bytes);
+                    assert_eq!(
+                        v.len(),
+                        data.len(),
+                        "allreduce length mismatch across ranks"
+                    );
+                    data.copy_from_slice(&v);
+                    Ok(())
+                }
+                Err(CommError::RankDead(_)) => Err(CommError::RankDead(0)),
+                Err(CommError::Timeout { .. }) => {
+                    panic!("rank {}: allreduce watchdog expired", self.rank)
+                }
+            }
+        }
+    }
+
+    fn broadcast_checked(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>, CommError> {
+        let generation = self.bcast_gen.get();
+        self.bcast_gen.set(generation + 1);
+        let tag = coll_tag(K_BCAST, generation);
+        if self.rank == root {
+            for r in 0..self.size {
+                if r != root {
+                    self.send(r, tag, data.clone(), None);
+                }
+            }
+            Ok(data)
+        } else {
+            match self.recv_timeout(root, tag, WATCHDOG) {
+                Ok(payload) => Ok(payload),
+                Err(CommError::RankDead(_)) => Err(CommError::RankDead(root)),
+                Err(CommError::Timeout { .. }) => {
+                    panic!("rank {}: broadcast watchdog expired", self.rank)
+                }
+            }
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    /// Shut every peer connection down explicitly. The FIN is sent after
+    /// all queued data, so peers drain our remaining messages and *then*
+    /// observe the death — this is what makes "send results, then exit"
+    /// and "panic mid-round" both behave correctly.
+    fn drop(&mut self) {
+        for stream in self.peers.iter().flatten() {
+            let _ = stream.lock().shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+fn encode_f64s(data: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 * data.len());
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+fn read_u32(s: &mut TcpStream) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    s.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u16(s: &mut TcpStream) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    s.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+/// In-process harness for the TCP backend: runs `size` ranks on threads,
+/// each owning a real socket-mesh [`TcpTransport`] over loopback. Gives
+/// tests the full wire path (rendezvous, framing, reader threads, death
+/// by disconnect) without spawning processes.
+pub struct TcpCluster;
+
+impl TcpCluster {
+    /// Run a cluster program over loopback sockets under a fault plan.
+    /// Mirrors [`crate::ThreadCluster::run_with_faults`]: a panicking
+    /// rank becomes [`RankOutcome::Died`] and its dropped transport's
+    /// disconnects announce the death to the survivors.
+    pub fn run_loopback<T, F>(size: usize, plan: FaultPlan, f: F) -> Vec<RankOutcome<T>>
+    where
+        T: Send,
+        F: Fn(Communicator<TcpTransport>) -> T + Sync,
+    {
+        assert!(size > 0, "cluster needs at least one rank");
+        install_crash_hook();
+        let rendezvous = TcpRendezvous::bind("127.0.0.1:0").expect("bind rendezvous");
+        let addr = rendezvous
+            .local_addr()
+            .expect("rendezvous address")
+            .to_string();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            let root_plan = plan.clone();
+            let f_ref = &f;
+            handles.push(scope.spawn(move || {
+                let transport = rendezvous.into_transport(size).expect("rank 0 mesh setup");
+                run_rank(transport, root_plan, f_ref)
+            }));
+            for rank in 1..size {
+                let plan = plan.clone();
+                let addr = addr.clone();
+                let f_ref = &f;
+                handles.push(scope.spawn(move || {
+                    let transport =
+                        TcpTransport::connect(&addr, rank, size).expect("worker mesh setup");
+                    run_rank(transport, plan, f_ref)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread itself must not die"))
+                .collect()
+        })
+    }
+}
+
+fn run_rank<T, F>(transport: TcpTransport, plan: FaultPlan, f: &F) -> RankOutcome<T>
+where
+    F: Fn(Communicator<TcpTransport>) -> T,
+{
+    let comm = Communicator::new(transport, plan);
+    match catch_unwind(AssertUnwindSafe(|| f(comm))) {
+        Ok(v) => RankOutcome::Completed(v),
+        Err(payload) => RankOutcome::Died {
+            cause: describe_panic(payload.as_ref()),
+        },
+    }
+}

@@ -20,7 +20,7 @@ proptest! {
         let expected: Vec<f64> = payload.iter().map(|&v| v * size as f64).collect();
         let results = ThreadCluster::run(size, |comm| {
             let mut v = payload.clone();
-            comm.allreduce_sum(&mut v);
+            comm.allreduce_sum(&mut v).unwrap();
             v
         });
         for r in results {
@@ -43,7 +43,10 @@ proptest! {
             }
             let mut got = Vec::new();
             for _ in 0..rounds {
-                got.push(comm.recv(prev, 7));
+                got.push(
+                    comm.recv_timeout(prev, 7, std::time::Duration::from_secs(30))
+                        .unwrap(),
+                );
             }
             (prev, got)
         });
@@ -61,7 +64,7 @@ proptest! {
         let root = root_pick % size;
         let results = ThreadCluster::run(size, move |comm| {
             let mine = if comm.rank() == root { vec![byte] } else { vec![] };
-            comm.broadcast(root, mine)
+            comm.broadcast_checked(root, mine).unwrap()
         });
         for r in results {
             prop_assert_eq!(&r, &vec![byte]);

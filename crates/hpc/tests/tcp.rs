@@ -1,0 +1,201 @@
+//! Integration tests of the TCP transport: the same cluster semantics as
+//! the thread fabric, exercised over real loopback sockets (rendezvous,
+//! framing, reader threads, death by disconnect).
+
+use std::time::{Duration, Instant};
+
+use dt_hpc::{CommError, FaultPlan, RankOutcome, TcpCluster};
+
+/// Receive deadline for paths where the message is known to be coming.
+const PATIENCE: Duration = Duration::from_secs(30);
+
+#[test]
+fn single_rank_cluster_bootstraps() {
+    let results = TcpCluster::run_loopback(1, FaultPlan::none(), |comm| {
+        comm.barrier().unwrap();
+        let mut v = vec![2.5];
+        comm.allreduce_sum(&mut v).unwrap();
+        (comm.rank(), comm.size(), v[0])
+    });
+    match &results[0] {
+        RankOutcome::Completed(r) => assert_eq!(r, &(0, 1, 2.5)),
+        dead => panic!("rank died: {dead:?}"),
+    }
+}
+
+#[test]
+fn ring_ping_pong_over_sockets() {
+    let size = 4;
+    let results = TcpCluster::run_loopback(size, FaultPlan::none(), |comm| {
+        let me = comm.rank();
+        let next = (me + 1) % comm.size();
+        let prev = (me + comm.size() - 1) % comm.size();
+        for round in 0..5u8 {
+            comm.send(next, 7, vec![me as u8, round]);
+        }
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            got.push(comm.recv_timeout(prev, 7, PATIENCE).unwrap());
+        }
+        (prev, got)
+    });
+    for outcome in results {
+        let (prev, got) = outcome.completed().expect("rank completed");
+        for (round, msg) in got.iter().enumerate() {
+            assert_eq!(msg[0] as usize, prev, "messages must arrive from prev");
+            assert_eq!(msg[1] as usize, round, "per-(peer, tag) FIFO order");
+        }
+    }
+}
+
+#[test]
+fn collectives_match_thread_semantics() {
+    let size = 4;
+    let results = TcpCluster::run_loopback(size, FaultPlan::none(), |comm| {
+        let mut acc = 0.0;
+        for round in 0..6 {
+            comm.barrier().unwrap();
+            let mut v = vec![comm.rank() as f64, 1.0];
+            comm.allreduce_sum(&mut v).unwrap();
+            acc += v[0] + v[1];
+            let payload = if comm.rank() == round % 4 {
+                vec![round as u8; 3]
+            } else {
+                vec![]
+            };
+            let b = comm.broadcast_checked(round % 4, payload).unwrap();
+            assert_eq!(b, vec![round as u8; 3]);
+        }
+        acc
+    });
+    let expected = 6.0 * ((1 + 2 + 3) as f64 + 4.0);
+    for outcome in results {
+        assert_eq!(outcome.completed().expect("completed"), expected);
+    }
+}
+
+#[test]
+fn messages_sent_before_exit_survive_the_disconnect() {
+    // Rank 1 sends its payload and returns immediately; its transport is
+    // dropped and the socket closed. Rank 0 must still receive the
+    // buffered frame (orderly shutdown delivers data before EOF), and
+    // only then see the death.
+    let results = TcpCluster::run_loopback(2, FaultPlan::none(), |comm| {
+        if comm.rank() == 0 {
+            std::thread::sleep(Duration::from_millis(100));
+            let first = comm.recv_timeout(1, 3, PATIENCE);
+            let second = comm.recv_timeout(1, 3, PATIENCE);
+            (first, second)
+        } else {
+            comm.send(0, 3, vec![42]);
+            (Ok(vec![]), Ok(vec![]))
+        }
+    });
+    match &results[0] {
+        RankOutcome::Completed((first, second)) => {
+            assert_eq!(first, &Ok(vec![42]), "buffered frame must be drained");
+            assert_eq!(second, &Err(CommError::RankDead(1)));
+        }
+        dead => panic!("rank 0 died: {dead:?}"),
+    }
+}
+
+#[test]
+fn killed_rank_surfaces_as_rank_dead_and_collectives_survive() {
+    // Rank 2 (non-coordinator) dies at round 0; the others must see
+    // RankDead on receives and still complete a barrier + allreduce over
+    // the survivors.
+    let plan = FaultPlan::none().kill_at_round(2, 0);
+    let results = TcpCluster::run_loopback(3, plan, |comm| {
+        if comm.rank() == 2 {
+            comm.poll_faults(0);
+            unreachable!("rank 2 must die at poll");
+        }
+        let r = comm.recv_timeout(2, 9, PATIENCE);
+        assert_eq!(r, Err(CommError::RankDead(2)));
+        // Sample live_count before the barrier: the other survivor cannot
+        // have exited yet (it is blocked in the same barrier), so exactly
+        // rank 2's death is visible here.
+        let live = comm.live_count();
+        comm.barrier().unwrap();
+        let mut v = vec![1.0];
+        comm.allreduce_sum(&mut v).unwrap();
+        (v[0], live)
+    });
+    assert!(results[2].is_dead());
+    for (rank, outcome) in results.into_iter().enumerate() {
+        if rank == 2 {
+            continue;
+        }
+        let (sum, live) = outcome.completed().expect("survivor completed");
+        assert_eq!(sum, 2.0, "allreduce must cover exactly the survivors");
+        assert_eq!(live, 2);
+    }
+}
+
+#[test]
+fn dead_coordinator_fails_collectives_cleanly() {
+    let plan = FaultPlan::none().kill_at_round(0, 0);
+    let results = TcpCluster::run_loopback(2, plan, |comm| {
+        if comm.rank() == 0 {
+            comm.poll_faults(0);
+            unreachable!();
+        }
+        comm.barrier()
+    });
+    assert!(results[0].is_dead());
+    match &results[1] {
+        RankOutcome::Completed(r) => assert_eq!(r, &Err(CommError::RankDead(0))),
+        dead => panic!("rank 1 died: {dead:?}"),
+    }
+}
+
+#[test]
+fn fault_plan_drops_and_delays_apply_on_the_wire() {
+    let plan =
+        FaultPlan::none()
+            .drop_message(1, 0, 0)
+            .delay_message(1, 0, 1, Duration::from_millis(80));
+    let results = TcpCluster::run_loopback(2, plan, |comm| {
+        if comm.rank() == 0 {
+            let dropped = comm.recv_timeout(1, 5, Duration::from_millis(60));
+            let started = Instant::now();
+            let delayed = comm.recv_timeout(1, 5, PATIENCE);
+            (dropped, delayed, started.elapsed())
+        } else {
+            comm.send(0, 5, vec![1]); // dropped by the plan
+            comm.send(0, 5, vec![2]); // delayed by the plan
+            std::thread::sleep(Duration::from_millis(300)); // stay alive
+            (Ok(vec![]), Ok(vec![]), Duration::ZERO)
+        }
+    });
+    match &results[0] {
+        RankOutcome::Completed((dropped, delayed, _)) => {
+            assert_eq!(dropped, &Err(CommError::Timeout { from: 1, tag: 5 }));
+            assert_eq!(delayed, &Ok(vec![2]), "delayed frame must still arrive");
+        }
+        dead => panic!("rank 0 died: {dead:?}"),
+    }
+}
+
+#[test]
+fn traffic_counters_work_over_tcp() {
+    let results = TcpCluster::run_loopback(2, FaultPlan::none(), |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, 1, vec![0; 10]);
+            comm.barrier().unwrap();
+            comm.traffic()
+        } else {
+            let got = comm.recv_timeout(0, 1, PATIENCE).unwrap();
+            assert_eq!(got.len(), 10);
+            comm.barrier().unwrap();
+            comm.traffic()
+        }
+    });
+    let mut it = results.into_iter();
+    let t0 = it.next().unwrap().completed().expect("rank 0");
+    let t1 = it.next().unwrap().completed().expect("rank 1");
+    // Collective traffic is not counted, matching the thread backend.
+    assert_eq!((t0.sends, t0.send_bytes), (1, 10));
+    assert_eq!((t1.recvs, t1.recv_bytes), (1, 10));
+}

@@ -1,25 +1,25 @@
-//! The REWL drivers.
-
-use std::time::Duration;
+//! The REWL drivers: configuration/result types and the thin
+//! orchestration that wires a `RankEngine` (in `rank`) to a cluster.
+//!
+//! The per-rank work lives in `rank` (the phase state machine),
+//! [`crate::exchange`] (the swap protocol), and `gather` (the
+//! final merge). This module only decides *where* the ranks run:
+//! [`run_rewl`] spawns them as threads on the in-memory fabric, while
+//! [`run_rewl_on`] runs exactly one rank on a caller-supplied transport
+//! (e.g. a TCP worker process).
 
 use dt_hamiltonian::EnergyModel;
-use dt_hpc::{
-    rank_rng, CommError, Communicator, FaultPlan, RankOutcome, ThreadCluster, TrafficSnapshot,
-};
-use dt_lattice::{sro::ordered_pair_counts, Composition, Configuration, NeighborTable};
-use dt_proposal::{
-    DeepProposal, LocalSwap, MoveStats, ProposalContext, ProposalKernel, ProposalMix,
-    ProposalTrainer, RandomReassign, SampleBuffer,
-};
-use dt_telemetry::{Phase, RankTelemetry, Telemetry};
+use dt_hpc::{Communicator, FaultPlan, RankOutcome, ThreadCluster, Transport};
+use dt_lattice::{Composition, NeighborTable};
+use dt_proposal::MoveStats;
+use dt_telemetry::RankTelemetry;
 use dt_thermo::MicrocanonicalAccumulator;
-use dt_wanglandau::{DosEstimate, EnergyGrid, WlParams, WlWalker};
+use dt_wanglandau::{DosEstimate, EnergyGrid, WlParams};
 
-use crate::checkpoint::{self, CheckpointSpec, RankCheckpoint, ResumePoint, RunManifest};
-use crate::merge::merge_windows;
-use crate::spec::{DeepSpec, KernelSpec};
+use crate::checkpoint::{self, CheckpointSpec, ResumePoint};
+use crate::rank::RankEngine;
+use crate::spec::KernelSpec;
 use crate::windows::WindowLayout;
-use crate::wire;
 
 /// Configuration of a REWL run.
 #[derive(Debug, Clone)]
@@ -45,7 +45,9 @@ pub struct RewlConfig {
     /// Proposal kernels.
     pub kernel: KernelSpec,
     /// Injected failures applied by the simulated fabric (kills, message
-    /// drops/delays) — [`FaultPlan::none`] for a reliable cluster.
+    /// drops/delays) — [`FaultPlan::none`] for a reliable cluster. Only
+    /// [`run_rewl`] reads this; [`run_rewl_on`] inherits whatever plan
+    /// its communicator was built with.
     pub faults: FaultPlan,
     /// Periodic cluster checkpointing; `None` disables persistence. When
     /// set, [`run_rewl`] also *resumes* from the newest consistent
@@ -177,48 +179,19 @@ pub struct RewlOutput {
     pub telemetry: Vec<RankTelemetry>,
 }
 
-/// Data one rank contributes to the final gather.
-struct RankPiece {
-    ln_g: Vec<f64>,
-    mask: Vec<bool>,
-    stats: MoveStats,
-    /// `[exchange_attempts, exchange_accepted, converged, ln_f bits, moves]`.
-    counts: Vec<u64>,
-}
-
-/// Per-rank deep-proposal state.
-struct DeepState {
-    deep: DeepProposal,
-    trainer: ProposalTrainer,
-    buffer: SampleBuffer,
-    spec: DeepSpec,
-}
-
-fn build_kernel(spec: &KernelSpec, deep_state: &Option<DeepState>) -> Box<dyn ProposalKernel> {
-    match spec {
-        KernelSpec::LocalSwap => Box::new(LocalSwap::new()),
-        KernelSpec::RandomGlobal { k, weight } => Box::new(ProposalMix::new(vec![
-            (
-                Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>,
-                1.0 - weight,
-            ),
-            (Box::new(RandomReassign::new(*k)), *weight),
-        ])),
-        KernelSpec::Deep(ds) => {
-            let deep = deep_state
-                .as_ref()
-                .expect("deep state must exist for deep kernels")
-                .deep
-                .clone();
-            Box::new(ProposalMix::new(vec![
-                (
-                    Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>,
-                    1.0 - ds.deep_weight,
-                ),
-                (Box::new(deep), ds.deep_weight),
-            ]))
-        }
+/// Locate the newest usable resume point for this config, creating the
+/// checkpoint directory as a side effect. `None` when checkpointing is
+/// off, the directory is unusable, or no consistent snapshot exists.
+fn find_resume_point(cfg: &RewlConfig, digest: u64, size: usize) -> Option<ResumePoint> {
+    let spec = cfg.checkpoint.as_ref()?;
+    if let Err(e) = std::fs::create_dir_all(&spec.dir) {
+        eprintln!(
+            "rewl: cannot create checkpoint dir {}: {e}; checkpointing disabled",
+            spec.dir.display()
+        );
+        return None;
     }
+    checkpoint::load_resume_point(&spec.dir, digest, size)
 }
 
 /// Run REWL on a simulated cluster of `M·W` ranks (threads).
@@ -254,27 +227,15 @@ pub fn run_rewl<M: EnergyModel + Sync>(
         cfg.overlap,
     );
     let size = cfg.num_windows * cfg.walkers_per_window;
-    let m_species = comp.num_species();
-    let num_shells = model.num_shells();
-    let obs_dim = num_shells * m_species * m_species;
-
     let digest = checkpoint::config_digest(cfg);
-    let resume = cfg.checkpoint.as_ref().and_then(|spec| {
-        if let Err(e) = std::fs::create_dir_all(&spec.dir) {
-            eprintln!(
-                "rewl: cannot create checkpoint dir {}: {e}; checkpointing disabled",
-                spec.dir.display()
-            );
-            return None;
-        }
-        checkpoint::load_resume_point(&spec.dir, digest, size)
-    });
+    let resume = find_resume_point(cfg, digest, size);
     let resume_ref = resume.as_ref();
 
     let outcomes = ThreadCluster::run_with_faults(size, cfg.faults.clone(), |comm| {
-        run_rank(
-            comm, model, neighbors, comp, &layout, cfg, obs_dim, num_shells, digest, resume_ref,
+        RankEngine::new(
+            comm, model, neighbors, comp, &layout, cfg, digest, resume_ref, false,
         )
+        .run()
     });
     // Rank 0 produced the assembled output; every surviving rank
     // contributed a telemetry snapshot (when enabled).
@@ -300,1084 +261,81 @@ pub fn run_rewl<M: EnergyModel + Sync>(
     Ok(out)
 }
 
-/// Message tags.
-mod tags {
-    pub const EXCH_ENERGY: u64 = 1;
-    pub const EXCH_REPLY: u64 = 2;
-    pub const EXCH_DECISION: u64 = 3;
-    pub const EXCH_CONFIG: u64 = 4;
-    pub const SYNC_PARAMS: u64 = 5;
-    pub const SYNC_PARAMS_BACK: u64 = 6;
-    pub const GATHER_LN_G: u64 = 7;
-    pub const GATHER_MASK: u64 = 8;
-    pub const GATHER_STATS: u64 = 9;
-    pub const GATHER_COUNTS: u64 = 10;
-    pub const GATHER_SRO_SUMS: u64 = 11;
-    pub const GATHER_SRO_COUNTS: u64 = 12;
-    pub const CKPT_META: u64 = 13;
-
-    /// Pack a round number into the tag space.
-    pub fn with_round(tag: u64, round: u64) -> u64 {
-        (round << 8) | tag
-    }
+/// What [`run_rewl_on`] hands back for one rank of a cluster.
+#[derive(Debug)]
+pub struct RankRun {
+    /// The assembled run output — `Some` only on rank 0 (the gather
+    /// root); every other rank contributes its piece over the wire and
+    /// returns `None` here.
+    pub output: Option<RewlOutput>,
+    /// This rank's own telemetry snapshot (when enabled). On rank 0 the
+    /// cluster-wide snapshots are also in
+    /// [`RewlOutput::telemetry`].
+    pub telemetry: Option<RankTelemetry>,
 }
 
-/// First receive timeout of the bounded retry schedule.
-const RECV_BASE: Duration = Duration::from_millis(100);
-/// Retries with doubling timeout: total patience ≈ 6.3 s before a peer
-/// is written off for this protocol step.
-const RECV_RETRIES: u32 = 6;
-/// Patience for the final gather and checkpoint commits, where peers are
-/// known to be at (or past) the same protocol point.
-const COLLECT_DEADLINE: Duration = Duration::from_secs(30);
-
-/// Deadline-bounded receive with exponential backoff. Returns the first
-/// hard failure: a dead peer immediately, a timeout after the full retry
-/// budget. Never blocks unboundedly.
-fn recv_resilient(comm: &Communicator, from: usize, tag: u64) -> Result<Vec<u8>, CommError> {
-    let mut timeout = RECV_BASE;
-    let mut last = CommError::Timeout { from, tag };
-    for _ in 0..RECV_RETRIES {
-        match comm.recv_timeout(from, tag, timeout) {
-            Ok(bytes) => return Ok(bytes),
-            Err(dead @ CommError::RankDead(_)) => return Err(dead),
-            Err(timed_out) => last = timed_out,
-        }
-        timeout *= 2;
-    }
-    Err(last)
-}
-
-/// What one rank hands back to [`run_rewl`]: the assembled output (rank 0
-/// only, or the error that prevented assembly) plus this rank's telemetry
-/// snapshot (when enabled).
-type RankReturn = (Option<Result<RewlOutput, RewlError>>, Option<RankTelemetry>);
-
-#[allow(clippy::too_many_arguments)]
-fn run_rank<M: EnergyModel + Sync>(
-    comm: Communicator,
-    model: &M,
-    neighbors: &NeighborTable,
-    comp: &Composition,
-    layout: &WindowLayout,
-    cfg: &RewlConfig,
-    obs_dim: usize,
-    num_shells: usize,
-    digest: u64,
-    resume: Option<&ResumePoint>,
-) -> RankReturn {
-    let rank = comm.rank();
-    let w = cfg.walkers_per_window;
-    let window = rank / w;
-    let slot = rank % w;
-    let m_species = comp.num_species();
-    let grid = layout.window_grid(window);
-    let global_bins = layout.global_grid().num_bins();
-    let mut rng = rank_rng(cfg.seed, rank as u64);
-    let tel = Telemetry::new(cfg.telemetry);
-
-    // Deep-proposal state (per rank).
-    let mut deep_state = match &cfg.kernel {
-        KernelSpec::Deep(ds) => {
-            let mut deep = DeepProposal::new(m_species, num_shells, &ds.proposal, &mut rng);
-            // Pre-size every inference buffer so the sampling loop never
-            // allocates on a proposal.
-            deep.warm_up(comp.num_sites());
-            deep.set_telemetry(tel.clone());
-            let layout_f = deep.layout();
-            let mut trainer = ProposalTrainer::new(layout_f, ds.trainer.clone());
-            trainer.set_telemetry(tel.clone());
-            Some(DeepState {
-                deep,
-                trainer,
-                buffer: SampleBuffer::new(ds.buffer_capacity),
-                spec: (**ds).clone(),
-            })
-        }
-        _ => None,
-    };
-
-    let walker_seed = cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    let mut sro = MicrocanonicalAccumulator::new(global_bins, obs_dim);
-    let mut exchange_attempts = 0u64;
-    let mut exchange_accepted = 0u64;
-    let mut sweeps = 0u64;
-    let mut sweeps_since_check = 0u64;
-    let resumed_round = resume.map(|rp| rp.round);
-    let mut round = resumed_round.unwrap_or(0);
-
-    // A usable per-rank snapshot must have been taken on the same window
-    // grid (the digest guards the config, not the energy range).
-    let rank_state = resume.and_then(|rp| rp.ranks[rank].as_ref()).filter(|rc| {
-        rc.walker.num_bins == grid.num_bins()
-            && rc.walker.e_min.to_bits() == grid.e_min().to_bits()
-            && rc.walker.e_max.to_bits() == grid.e_max().to_bits()
-    });
-
-    let mut walker = match rank_state {
-        Some(rc) => {
-            // Restore the deep net BEFORE building the kernel so the
-            // walker samples with the trained weights. (The deep sample
-            // buffer is not persisted; it refills during sampling.)
-            if let (Some(ds), Some(params)) = (deep_state.as_mut(), rc.deep_params.as_ref()) {
-                ds.deep.net_mut().set_params(params);
-            }
-            let kernel = build_kernel(&cfg.kernel, &deep_state);
-            let mut walker =
-                WlWalker::from_checkpoint(&rc.walker, cfg.wl.clone(), kernel, walker_seed);
-            // Same seed + saved stream position ⇒ the RNG continues
-            // bit-exactly where the snapshot left off.
-            walker.rng_mut().set_word_pos(rc.rng_word_pos);
-            walker.set_stats(rc.stats.clone());
-            exchange_attempts = rc.exchange_attempts;
-            exchange_accepted = rc.exchange_accepted;
-            sweeps = rc.sweeps;
-            sweeps_since_check = rc.sweeps_since_check;
-            if rc.obs_dim == obs_dim
-                && rc.sro_counts.len() == global_bins
-                && rc.sro_sums.len() == global_bins * obs_dim
-            {
-                for b in 0..global_bins {
-                    sro.record_sum(
-                        b,
-                        &rc.sro_sums[b * obs_dim..(b + 1) * obs_dim],
-                        rc.sro_counts[b],
-                    );
-                }
-            }
-            walker
-        }
-        None => {
-            let config = Configuration::random(comp, &mut rng);
-            let kernel = build_kernel(&cfg.kernel, &deep_state);
-            let mut walker = WlWalker::new(
-                grid,
-                cfg.wl.clone(),
-                config,
-                model,
-                neighbors,
-                kernel,
-                walker_seed,
-            );
-            assert!(
-                walker.drive_into_window(model, neighbors, 20_000),
-                "rank {rank}: failed to reach window {window} {:?}",
-                layout.bin_range(window)
-            );
-            walker
-        }
-    };
-    walker.set_telemetry(tel.clone());
-
-    let ctx = ProposalContext {
-        neighbors,
-        composition: comp,
-    };
-    let mut obs_buf = vec![0.0f64; obs_dim];
-
-    loop {
-        // Injected kills fire here, at a deterministic protocol point.
-        comm.poll_faults(round);
-
-        // --- periodic cluster checkpoint (start of round) -------------
-        if let Some(spec) = cfg.checkpoint.as_ref() {
-            if round > 0 && round % spec.every_rounds == 0 && Some(round) != resumed_round {
-                let _span = tel.span(Phase::Checkpoint);
-                checkpoint_cluster(
-                    &comm,
-                    spec,
-                    digest,
-                    round,
-                    &mut walker,
-                    &deep_state,
-                    &sro,
-                    obs_dim,
-                    [
-                        exchange_attempts,
-                        exchange_accepted,
-                        sweeps,
-                        sweeps_since_check,
-                    ],
-                );
-            }
-        }
-
-        // --- sampling phase ------------------------------------------
-        for _ in 0..cfg.exchange_every_sweeps {
-            walker.sweep(model, neighbors, &ctx);
-            sweeps += 1;
-            sweeps_since_check += 1;
-            if sweeps_since_check >= cfg.wl.sweeps_per_check as u64 {
-                walker.check_and_advance(model, neighbors);
-                sweeps_since_check = 0;
-            }
-            if sweeps % cfg.observe_every_sweeps == 0 {
-                if let Some(bin) = layout.global_grid().bin(walker.energy()) {
-                    fill_pair_probabilities(
-                        walker.config(),
-                        neighbors,
-                        num_shells,
-                        m_species,
-                        &mut obs_buf,
-                    );
-                    sro.record(bin, &obs_buf);
-                }
-            }
-            if let Some(ds) = deep_state.as_mut() {
-                if sweeps % ds.spec.sample_every_sweeps == 0 {
-                    ds.buffer.push(walker.config().clone(), walker.energy());
-                }
-            }
-        }
-
-        // --- deep retraining ------------------------------------------
-        let mut kernel_dirty = false;
-        if let Some(ds) = deep_state.as_mut() {
-            if sweeps % ds.spec.train_every_sweeps == 0 && !ds.buffer.is_empty() {
-                for _ in 0..ds.spec.epochs_per_round {
-                    ds.trainer.train_epoch(
-                        ds.deep.net_mut(),
-                        &ds.buffer,
-                        neighbors,
-                        walker.rng_mut(),
-                    );
-                }
-                kernel_dirty = true;
-            }
-        }
-        // Window-wide weight averaging (simulated allreduce). The leader
-        // slot is fixed (first rank of the window): if the leader is dead
-        // the window skips syncing and every walker keeps local weights;
-        // if a member is dead (or its message lost) the leader averages
-        // over whatever arrived. A fixed leader cannot race the failure
-        // detector the way electing "first live rank" would.
-        if let Some(ds) = deep_state.as_mut() {
-            if ds.spec.sync_weights && w > 1 {
-                let _span = tel.span(Phase::Allreduce);
-                let params = ds.deep.net().flatten_params();
-                let leader = window * w;
-                if slot == 0 {
-                    let mut acc = params.clone();
-                    let mut contributors = 1.0f64;
-                    for other in (leader + 1)..(leader + w) {
-                        if !comm.is_alive(other) {
-                            continue;
-                        }
-                        let got = recv_resilient(
-                            &comm,
-                            other,
-                            tags::with_round(tags::SYNC_PARAMS, round),
-                        )
-                        .ok()
-                        .and_then(|bytes| wire::decode_f64s(&bytes).ok());
-                        match got {
-                            Some(theirs) if theirs.len() == acc.len() => {
-                                for (a, b) in acc.iter_mut().zip(theirs) {
-                                    *a += b;
-                                }
-                                contributors += 1.0;
-                            }
-                            _ => {}
-                        }
-                    }
-                    for a in &mut acc {
-                        *a /= contributors;
-                    }
-                    let payload = wire::encode_f64s(&acc);
-                    for other in (leader + 1)..(leader + w) {
-                        comm.send(
-                            other,
-                            tags::with_round(tags::SYNC_PARAMS_BACK, round),
-                            payload.clone(),
-                        );
-                    }
-                    ds.deep.net_mut().set_params(&acc);
-                } else if comm.is_alive(leader) {
-                    comm.send(
-                        leader,
-                        tags::with_round(tags::SYNC_PARAMS, round),
-                        wire::encode_f64s(&params),
-                    );
-                    let avg = recv_resilient(
-                        &comm,
-                        leader,
-                        tags::with_round(tags::SYNC_PARAMS_BACK, round),
-                    )
-                    .ok()
-                    .and_then(|bytes| wire::decode_f64s(&bytes).ok());
-                    if let Some(avg) = avg {
-                        if avg.len() == params.len() {
-                            ds.deep.net_mut().set_params(&avg);
-                        }
-                    }
-                }
-                kernel_dirty = true;
-            }
-        }
-        if kernel_dirty {
-            walker.set_kernel(build_kernel(&cfg.kernel, &deep_state));
-        }
-
-        // --- replica exchange -----------------------------------------
-        if cfg.num_windows > 1 {
-            let parity = (round % 2) as usize;
-            // Am I the initiator ('a', lower window of an active pair)?
-            if window % 2 == parity && window + 1 < cfg.num_windows {
-                let partner_slot = (slot + round as usize) % w;
-                let partner = (window + 1) * w + partner_slot;
-                // Dead slots are skipped outright; a partner that dies
-                // mid-protocol surfaces as a bounded comm error below.
-                if comm.is_alive(partner) {
-                    let _span = tel.span(Phase::Exchange);
-                    exchange_attempts += 1;
-                    match exchange_as_initiator(&comm, &mut walker, partner, round, m_species) {
-                        Ok(true) => exchange_accepted += 1,
-                        Ok(false) => {}
-                        // Lost partner or lost message: abandon this
-                        // exchange, keep local state, carry on.
-                        Err(_) => {}
-                    }
-                }
-            } else if window % 2 != parity && window > 0 {
-                // I may be the responder 'b'.
-                let initiator_slot = (slot + w - (round as usize % w)) % w;
-                let initiator = (window - 1) * w + initiator_slot;
-                if comm.is_alive(initiator) {
-                    let _span = tel.span(Phase::Exchange);
-                    let _ = exchange_as_responder(&comm, &mut walker, initiator, round, m_species);
-                }
-            }
-        }
-
-        // --- convergence poll -----------------------------------------
-        // All survivors of one allreduce generation see identical sums,
-        // so the stop decision is collective and no rank can exit the
-        // round loop while a peer keeps waiting for it:
-        //   [Σ converged, Σ 1 (= contributors), Σ hit-sweep-cap].
-        let mut flags = [
-            f64::from(u8::from(walker.ln_f() <= cfg.wl.ln_f_final)),
-            1.0,
-            f64::from(u8::from(sweeps >= cfg.max_sweeps)),
-        ];
-        {
-            let _span = tel.span(Phase::Allreduce);
-            comm.allreduce_sum(&mut flags);
-        }
-        round += 1;
-        let contributors = flags[1].round() as usize;
-        if flags[0].round() as usize >= contributors || flags[2] > 0.5 {
-            break;
-        }
-    }
-
-    // --- gather at rank 0 ---------------------------------------------
-    let converged = walker.ln_f() <= cfg.wl.ln_f_final;
-    let counts = vec![
-        exchange_attempts,
-        exchange_accepted,
-        u64::from(converged),
-        walker.ln_f().to_bits(),
-        walker.total_moves(),
-    ];
-    if rank != 0 {
-        {
-            let _span = tel.span(Phase::Gather);
-            comm.send(0, tags::GATHER_LN_G, wire::encode_f64s(walker.dos().ln_g()));
-            comm.send(
-                0,
-                tags::GATHER_MASK,
-                wire::encode_mask(&walker.visited_mask()),
-            );
-            comm.send(
-                0,
-                tags::GATHER_STATS,
-                serialize_stats(walker.stats()).into_bytes(),
-            );
-            comm.send(0, tags::GATHER_COUNTS, wire::encode_u64s(&counts));
-            send_accumulator(&comm, &sro, obs_dim);
-        }
-        let snap = snapshot_rank_telemetry(
-            &tel,
-            rank,
-            &walker,
-            [exchange_attempts, exchange_accepted, sweeps],
-            Some(comm.traffic()),
-        );
-        return (None, snap);
-    }
-
-    // Rank 0: collect every surviving rank (including itself). A rank
-    // that died (or whose payload is missing/corrupt) is dropped from
-    // the merge and recorded as lost.
-    let mut per_rank: Vec<Option<RankPiece>> = Vec::with_capacity(comm.size());
-    per_rank.push(Some(RankPiece {
-        ln_g: walker.dos().ln_g().to_vec(),
-        mask: walker.visited_mask(),
-        stats: walker.stats().clone(),
-        counts,
-    }));
-    let mut merged_sro = sro;
-    let mut lost_ranks = Vec::new();
-    {
-        let _span = tel.span(Phase::Gather);
-        for other in 1..comm.size() {
-            let (lo, hi) = layout.bin_range(other / w);
-            match recv_rank_piece(&comm, other, hi - lo, global_bins, obs_dim) {
-                Ok((piece, acc)) => {
-                    merged_sro.merge(&acc);
-                    per_rank.push(Some(piece));
-                }
-                Err(why) => {
-                    eprintln!("rewl: dropping rank {other} from the gather: {why}");
-                    per_rank.push(None);
-                    lost_ranks.push(other);
-                }
-            }
-        }
-    }
-    let rank_tel = snapshot_rank_telemetry(
-        &tel,
-        rank,
-        &walker,
-        [exchange_attempts, exchange_accepted, sweeps],
-        Some(comm.traffic()),
-    );
-
-    // Average walkers within each window (aligning additive constants),
-    // then merge windows. Lost walkers simply don't contribute; a window
-    // that lost everyone cannot be reconstructed at all.
-    let mut pieces = Vec::with_capacity(cfg.num_windows);
-    let mut reports = Vec::with_capacity(cfg.num_windows);
-    for win in 0..cfg.num_windows {
-        let members: Vec<&RankPiece> = per_rank[win * w..(win + 1) * w].iter().flatten().collect();
-        if members.is_empty() {
-            return (
-                Some(Err(RewlError::WindowLost {
-                    window: win,
-                    walkers: w,
-                })),
-                rank_tel,
-            );
-        }
-        pieces.push(average_window(&members));
-        let mut stats = MoveStats::new();
-        let mut attempts = 0u64;
-        let mut accepted = 0u64;
-        let mut all_conv = true;
-        let mut ln_f_max = 0.0f64;
-        for p in &members {
-            stats.merge(&p.stats);
-            attempts += p.counts[0];
-            accepted += p.counts[1];
-            all_conv &= p.counts[2] == 1;
-            ln_f_max = ln_f_max.max(f64::from_bits(p.counts[3]));
-        }
-        reports.push(WindowReport {
-            window: win,
-            exchange_attempts: attempts,
-            exchange_accepted: accepted,
-            stats,
-            converged: all_conv,
-            ln_f: ln_f_max,
-            lost_walkers: w - members.len(),
-        });
-    }
-    let (dos, mask) = merge_windows(layout, &pieces);
-    let total_moves = per_rank.iter().flatten().map(|p| p.counts[4]).sum();
-    let converged_all = reports.iter().all(|r| r.converged);
-    (
-        Some(Ok(RewlOutput {
-            dos,
-            mask,
-            windows: reports,
-            converged: converged_all,
-            sweeps,
-            sro: merged_sro,
-            total_moves,
-            lost_ranks,
-            resumed_from: resumed_round,
-            // Filled by `run_rewl` from every surviving rank's snapshot.
-            telemetry: Vec::new(),
-        })),
-        rank_tel,
-    )
-}
-
-/// Snapshot one rank's telemetry, folding in the sampler's acceptance
-/// statistics, exchange counters, and (on the cluster driver) the
-/// fabric's message-traffic counters. Returns `None` when disabled.
-fn snapshot_rank_telemetry(
-    tel: &Telemetry,
-    rank: usize,
-    walker: &WlWalker,
-    [exchange_attempts, exchange_accepted, sweeps]: [u64; 3],
-    traffic: Option<TrafficSnapshot>,
-) -> Option<RankTelemetry> {
-    if !tel.is_enabled() {
-        return None;
-    }
-    tel.set_gauge("ln_f", walker.ln_f());
-    let mut snap = tel.snapshot(rank);
-    for (name, proposed, accepted) in walker.stats().iter() {
-        snap.counters.push((format!("proposed_{name}"), proposed));
-        snap.counters.push((format!("accepted_{name}"), accepted));
-    }
-    snap.counters
-        .push(("exchange_attempts".into(), exchange_attempts));
-    snap.counters
-        .push(("exchange_accepted".into(), exchange_accepted));
-    snap.counters.push(("sweeps".into(), sweeps));
-    if let Some(t) = traffic {
-        snap.counters.push(("comm_sends".into(), t.sends));
-        snap.counters.push(("comm_send_bytes".into(), t.send_bytes));
-        snap.counters.push(("comm_recvs".into(), t.recvs));
-        snap.counters.push(("comm_recv_bytes".into(), t.recv_bytes));
-        snap.counters.push(("comm_timeouts".into(), t.timeouts));
-        snap.counters
-            .push(("comm_dead_peer_errors".into(), t.dead_peer_errors));
-        snap.counters
-            .push(("comm_dropped_sends".into(), t.dropped_sends));
-        snap.counters
-            .push(("comm_delayed_sends".into(), t.delayed_sends));
-    }
-    snap.counters.sort();
-    Some(snap)
-}
-
-/// The initiator ('a') side of one replica-exchange attempt. Returns
-/// whether the swap was applied locally. Any comm failure aborts the
-/// attempt without touching walker state; the partner, if alive, aborts
-/// symmetrically via its own timeouts.
-fn exchange_as_initiator(
-    comm: &Communicator,
-    walker: &mut WlWalker,
-    partner: usize,
-    round: u64,
-    m_species: usize,
-) -> Result<bool, CommError> {
-    comm.send(
-        partner,
-        tags::with_round(tags::EXCH_ENERGY, round),
-        wire::encode_f64s(&[walker.energy()]),
-    );
-    let reply_bytes = recv_resilient(comm, partner, tags::with_round(tags::EXCH_REPLY, round))?;
-    // reply = [valid, E_b, ln_gB(E_b) - ln_gB(E_a)]
-    let reply = wire::decode_f64s(&reply_bytes).unwrap_or_default();
-    let mut accepted = false;
-    if reply.len() == 3 && reply[0] > 0.5 {
-        let e_b = reply[1];
-        if let (Some(g_mine), Some(g_at_b)) = (walker.ln_g_at(walker.energy()), walker.ln_g_at(e_b))
-        {
-            let ln_acc = g_mine - g_at_b + reply[2];
-            let u: f64 = rand::RngExt::random(walker.rng_mut());
-            accepted = ln_acc >= 0.0 || u < ln_acc.exp();
-        }
-    }
-    comm.send(
-        partner,
-        tags::with_round(tags::EXCH_DECISION, round),
-        vec![u8::from(accepted)],
-    );
-    if !accepted {
-        return Ok(false);
-    }
-    let mine = wire::encode_state(walker.energy(), walker.config());
-    comm.send(partner, tags::with_round(tags::EXCH_CONFIG, round), mine);
-    let theirs = recv_resilient(comm, partner, tags::with_round(tags::EXCH_CONFIG, round))?;
-    match wire::decode_state(&theirs, m_species) {
-        // The accepted partner state must land in this walker's window;
-        // a malformed or out-of-window payload voids the swap (the
-        // partner may then hold a duplicate of our configuration, which
-        // is harmless: any in-window configuration is a valid WL state).
-        Ok((e, c)) if walker.ln_g_at(e).is_some() => {
-            walker.set_state(c, e);
-            Ok(true)
-        }
-        _ => Ok(false),
-    }
-}
-
-/// The responder ('b') side of one replica-exchange attempt.
-fn exchange_as_responder(
-    comm: &Communicator,
-    walker: &mut WlWalker,
-    initiator: usize,
-    round: u64,
-    m_species: usize,
-) -> Result<bool, CommError> {
-    let e_a_bytes = recv_resilient(comm, initiator, tags::with_round(tags::EXCH_ENERGY, round))?;
-    let e_a = wire::decode_f64s(&e_a_bytes)
-        .ok()
-        .and_then(|v| v.first().copied());
-    let reply = match e_a {
-        Some(e_a) => match (walker.ln_g_at(e_a), walker.ln_g_at(walker.energy())) {
-            (Some(g_at_a), Some(g_at_mine)) => {
-                vec![1.0, walker.energy(), g_at_mine - g_at_a]
-            }
-            _ => vec![0.0, 0.0, 0.0],
-        },
-        None => vec![0.0, 0.0, 0.0],
-    };
-    comm.send(
-        initiator,
-        tags::with_round(tags::EXCH_REPLY, round),
-        wire::encode_f64s(&reply),
-    );
-    let decision = recv_resilient(
-        comm,
-        initiator,
-        tags::with_round(tags::EXCH_DECISION, round),
-    )?;
-    if decision.first() != Some(&1) {
-        return Ok(false);
-    }
-    // Only the initiator counts the exchange, so window reports read as
-    // "attempts toward the next window".
-    let mine = wire::encode_state(walker.energy(), walker.config());
-    let theirs = recv_resilient(comm, initiator, tags::with_round(tags::EXCH_CONFIG, round))?;
-    comm.send(initiator, tags::with_round(tags::EXCH_CONFIG, round), mine);
-    match wire::decode_state(&theirs, m_species) {
-        Ok((e, c)) if walker.ln_g_at(e).is_some() => {
-            walker.set_state(c, e);
-            Ok(true)
-        }
-        _ => Ok(false),
-    }
-}
-
-/// One cluster snapshot: every rank persists its state, then rank 0
-/// commits the round by writing the manifest listing who made it. The
-/// data-then-commit order means a crash anywhere in here leaves either a
-/// complete committed snapshot or garbage no reader will trust.
-#[allow(clippy::too_many_arguments)]
-fn checkpoint_cluster(
-    comm: &Communicator,
-    spec: &CheckpointSpec,
-    digest: u64,
-    round: u64,
-    walker: &mut WlWalker,
-    deep_state: &Option<DeepState>,
-    sro: &MicrocanonicalAccumulator,
-    obs_dim: usize,
-    [exchange_attempts, exchange_accepted, sweeps, sweeps_since_check]: [u64; 4],
-) {
-    let rank = comm.rank();
-    let (sro_sums, sro_counts) = accumulator_totals(sro, obs_dim);
-    let rng_word_pos = walker.rng_mut().get_word_pos();
-    let rc = RankCheckpoint {
-        exchange_attempts,
-        exchange_accepted,
-        sweeps,
-        sweeps_since_check,
-        rng_word_pos,
-        deep_params: deep_state.as_ref().map(|ds| ds.deep.net().flatten_params()),
-        stats: walker.stats().clone(),
-        obs_dim,
-        sro_sums,
-        sro_counts,
-        walker: walker.checkpoint(),
-    };
-    let wrote = match rc.write(&spec.dir, round, rank) {
-        Ok(()) => true,
-        Err(e) => {
-            eprintln!("rewl: rank {rank}: checkpoint write at round {round} failed: {e}");
-            false
-        }
-    };
-    if rank != 0 {
-        comm.send(
-            0,
-            tags::with_round(tags::CKPT_META, round),
-            vec![u8::from(wrote)],
-        );
-        return;
-    }
-    // Rank 0 commits: collect confirmations, then write the manifest.
-    let mut alive = vec![false; comm.size()];
-    alive[0] = wrote;
-    for (other, made_it) in alive.iter_mut().enumerate().skip(1) {
-        if let Ok(meta) = comm.recv_timeout(
-            other,
-            tags::with_round(tags::CKPT_META, round),
-            COLLECT_DEADLINE,
-        ) {
-            *made_it = meta.first() == Some(&1);
-        }
-    }
-    let manifest = RunManifest {
-        round,
-        ranks: comm.size(),
-        digest,
-        alive,
-    };
-    if let Err(e) = manifest.write(&spec.dir) {
-        eprintln!("rewl: manifest write at round {round} failed: {e}");
-    }
-}
-
-/// Receive one rank's gather contribution, validating every shape; any
-/// timeout, dead peer, or malformed payload drops the whole rank.
-fn recv_rank_piece(
-    comm: &Communicator,
-    other: usize,
-    window_bins: usize,
-    global_bins: usize,
-    obs_dim: usize,
-) -> Result<(RankPiece, MicrocanonicalAccumulator), String> {
-    let grab = |tag: u64| -> Result<Vec<u8>, String> {
-        comm.recv_timeout(other, tag, COLLECT_DEADLINE)
-            .map_err(|e| e.to_string())
-    };
-    let ln_g = wire::decode_f64s(&grab(tags::GATHER_LN_G)?).map_err(|e| e.to_string())?;
-    let mask = wire::decode_mask(&grab(tags::GATHER_MASK)?);
-    let stats_bytes = grab(tags::GATHER_STATS)?;
-    let stats_text =
-        std::str::from_utf8(&stats_bytes).map_err(|_| "stats not utf-8".to_string())?;
-    let stats = deserialize_stats(stats_text)?;
-    let counts = wire::decode_u64s(&grab(tags::GATHER_COUNTS)?).map_err(|e| e.to_string())?;
-    if ln_g.len() != window_bins || mask.len() != window_bins {
-        return Err(format!(
-            "piece shape mismatch: {} ln_g / {} mask bins, expected {window_bins}",
-            ln_g.len(),
-            mask.len()
-        ));
-    }
-    if counts.len() != 5 {
-        return Err(format!("counts has {} fields, expected 5", counts.len()));
-    }
-    let acc = recv_accumulator(comm, other, global_bins, obs_dim)?;
-    Ok((
-        RankPiece {
-            ln_g,
-            mask,
-            stats,
-            counts,
-        },
-        acc,
-    ))
-}
-
-/// Average the `ln_g` of a window's walkers after aligning their additive
-/// constants on co-visited bins; mask is the union of visited bins.
-fn average_window(members: &[&RankPiece]) -> (Vec<f64>, Vec<bool>) {
-    let bins = members[0].ln_g.len();
-    let reference = members[0];
-    let mut sum = vec![0.0f64; bins];
-    let mut count = vec![0u32; bins];
-    for (mi, piece) in members.iter().enumerate() {
-        // Align to the reference on co-visited bins.
-        let mut shift = 0.0;
-        if mi > 0 {
-            let mut acc = 0.0;
-            let mut n = 0usize;
-            for b in 0..bins {
-                if piece.mask[b] && reference.mask[b] {
-                    acc += reference.ln_g[b] - piece.ln_g[b];
-                    n += 1;
-                }
-            }
-            if n > 0 {
-                shift = acc / n as f64;
-            }
-        }
-        for b in 0..bins {
-            if piece.mask[b] {
-                sum[b] += piece.ln_g[b] + shift;
-                count[b] += 1;
-            }
-        }
-    }
-    let mask: Vec<bool> = count.iter().map(|&c| c > 0).collect();
-    let avg = sum
-        .iter()
-        .zip(&count)
-        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
-        .collect();
-    (avg, mask)
-}
-
-fn fill_pair_probabilities(
-    config: &Configuration,
-    neighbors: &NeighborTable,
-    num_shells: usize,
-    m: usize,
-    out: &mut [f64],
-) {
-    for shell in 0..num_shells {
-        let counts = ordered_pair_counts(config, neighbors, shell, m);
-        let total = neighbors.directed_pair_count(shell) as f64;
-        for (o, &c) in out[shell * m * m..(shell + 1) * m * m]
-            .iter_mut()
-            .zip(&counts)
-        {
-            *o = c as f64 / total;
-        }
-    }
-}
-
-fn serialize_stats(stats: &MoveStats) -> String {
-    let mut s = String::new();
-    for (name, p, a) in stats.iter() {
-        s.push_str(&format!("{name} {p} {a}\n"));
-    }
-    s
-}
-
-fn deserialize_stats(text: &str) -> Result<MoveStats, String> {
-    let mut stats = MoveStats::new();
-    for line in text.lines() {
-        let mut parts = line.split_whitespace();
-        let name = parts.next().ok_or("stats line missing kernel name")?;
-        let p: u64 = parts
-            .next()
-            .and_then(|v| v.parse().ok())
-            .ok_or("stats line missing proposed count")?;
-        let a: u64 = parts
-            .next()
-            .and_then(|v| v.parse().ok())
-            .ok_or("stats line missing accepted count")?;
-        if a > p {
-            return Err(format!("{name}: accepted {a} exceeds proposed {p}"));
-        }
-        stats.record_n(name, p, a);
-    }
-    Ok(stats)
-}
-
-/// Per-bin `(totals, counts)` of an accumulator — the wire/checkpoint
-/// representation (means are re-derived from totals on merge).
-fn accumulator_totals(acc: &MicrocanonicalAccumulator, obs_dim: usize) -> (Vec<f64>, Vec<u64>) {
-    let bins = acc.num_bins();
-    let mut sums = Vec::with_capacity(bins * obs_dim);
-    let mut counts = Vec::with_capacity(bins);
-    for b in 0..bins {
-        let c = acc.count(b);
-        counts.push(c);
-        match acc.bin_mean(b) {
-            Some(mean) => sums.extend(mean.iter().map(|&m| m * c as f64)),
-            None => sums.extend(std::iter::repeat_n(0.0, obs_dim)),
-        }
-    }
-    (sums, counts)
-}
-
-fn send_accumulator(comm: &Communicator, acc: &MicrocanonicalAccumulator, obs_dim: usize) {
-    let (sums, counts) = accumulator_totals(acc, obs_dim);
-    comm.send(0, tags::GATHER_SRO_SUMS, wire::encode_f64s(&sums));
-    comm.send(0, tags::GATHER_SRO_COUNTS, wire::encode_u64s(&counts));
-}
-
-fn recv_accumulator(
-    comm: &Communicator,
-    from: usize,
-    bins: usize,
-    obs_dim: usize,
-) -> Result<MicrocanonicalAccumulator, String> {
-    let sums = wire::decode_f64s(
-        &comm
-            .recv_timeout(from, tags::GATHER_SRO_SUMS, COLLECT_DEADLINE)
-            .map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| e.to_string())?;
-    let counts = wire::decode_u64s(
-        &comm
-            .recv_timeout(from, tags::GATHER_SRO_COUNTS, COLLECT_DEADLINE)
-            .map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| e.to_string())?;
-    if sums.len() != bins * obs_dim || counts.len() != bins {
-        return Err(format!(
-            "accumulator shape mismatch: {} sums / {} counts for {bins} bins × {obs_dim}",
-            sums.len(),
-            counts.len()
-        ));
-    }
-    let mut acc = MicrocanonicalAccumulator::new(bins, obs_dim);
-    for b in 0..bins {
-        acc.record_sum(b, &sums[b * obs_dim..(b + 1) * obs_dim], counts[b]);
-    }
-    Ok(acc)
-}
-
-/// Serial baseline: run each window's walkers one after another (rayon
-/// across ranks, but no replica exchange and no weight sync). Useful as an
-/// ablation (what replica exchange buys) and as a debugging reference.
+/// Run ONE rank of a REWL cluster on a caller-supplied [`Transport`] —
+/// the entry point for multi-process backends (each TCP worker process
+/// calls this with its own [`Communicator`]).
+///
+/// The communicator's `rank`/`size` must match the
+/// `num_windows · walkers_per_window` layout in `cfg`. Fault injection
+/// comes from the plan the communicator was built with (`cfg.faults` is
+/// not consulted). Checkpoint/resume behaves exactly as in [`run_rewl`]:
+/// every rank reads the shared checkpoint directory and restores its own
+/// slice. A fault-free run produces bit-identical `ln g` to the thread
+/// backend under the same seed.
 ///
 /// # Errors
-/// Never fails today (there is no cluster to lose ranks on); the
-/// signature matches [`run_rewl`] so callers can switch drivers freely.
-pub fn run_windows_serial<M: EnergyModel + Sync>(
+/// Same failure modes as [`run_rewl`], surfaced on rank 0:
+/// [`RewlError::WindowLost`] when a window loses every walker. (A dead
+/// rank 0 cannot return at all — supervise the process instead.)
+///
+/// # Panics
+/// Panics when a walker cannot reach its assigned energy window during
+/// warm-up, or when the communicator size does not match the layout.
+pub fn run_rewl_on<M: EnergyModel, T: Transport>(
+    comm: Communicator<T>,
     model: &M,
     neighbors: &NeighborTable,
     comp: &Composition,
     (e_min, e_max): (f64, f64),
     cfg: &RewlConfig,
-) -> Result<RewlOutput, RewlError> {
-    use rayon::prelude::*;
+) -> Result<RankRun, RewlError> {
+    let size = cfg.num_windows * cfg.walkers_per_window;
+    assert_eq!(
+        comm.size(),
+        size,
+        "communicator size must equal num_windows × walkers_per_window"
+    );
     let layout = WindowLayout::new(
         EnergyGrid::new(e_min, e_max, cfg.num_bins),
         cfg.num_windows,
         cfg.overlap,
     );
-    let size = cfg.num_windows * cfg.walkers_per_window;
-    let m_species = comp.num_species();
-    let num_shells = model.num_shells();
-    let obs_dim = num_shells * m_species * m_species;
-
-    let per_rank: Vec<_> = (0..size)
-        .into_par_iter()
-        .map(|rank| {
-            let window = rank / cfg.walkers_per_window;
-            let grid = layout.window_grid(window);
-            let mut rng = rank_rng(cfg.seed, rank as u64);
-            let tel = Telemetry::new(cfg.telemetry);
-            let deep_state = match &cfg.kernel {
-                KernelSpec::Deep(ds) => {
-                    let mut deep = DeepProposal::new(m_species, num_shells, &ds.proposal, &mut rng);
-                    // Pre-size inference buffers before the sampling loop.
-                    deep.warm_up(comp.num_sites());
-                    deep.set_telemetry(tel.clone());
-                    let lay = deep.layout();
-                    let mut trainer = ProposalTrainer::new(lay, ds.trainer.clone());
-                    trainer.set_telemetry(tel.clone());
-                    Some(DeepState {
-                        deep,
-                        trainer,
-                        buffer: SampleBuffer::new(ds.buffer_capacity),
-                        spec: (**ds).clone(),
-                    })
-                }
-                _ => None,
-            };
-            let mut deep_state = deep_state;
-            let config = Configuration::random(comp, &mut rng);
-            let kernel = build_kernel(&cfg.kernel, &deep_state);
-            let mut walker = WlWalker::new(
-                grid,
-                cfg.wl.clone(),
-                config,
-                model,
-                neighbors,
-                kernel,
-                cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
-            assert!(
-                walker.drive_into_window(model, neighbors, 20_000),
-                "rank {rank}: failed to reach window {window}"
-            );
-            walker.set_telemetry(tel.clone());
-            let ctx = ProposalContext {
-                neighbors,
-                composition: comp,
-            };
-            let mut sro = MicrocanonicalAccumulator::new(layout.global_grid().num_bins(), obs_dim);
-            let mut obs_buf = vec![0.0f64; obs_dim];
-            let mut sweeps = 0u64;
-            let mut since_check = 0u64;
-            while walker.ln_f() > cfg.wl.ln_f_final && sweeps < cfg.max_sweeps {
-                walker.sweep(model, neighbors, &ctx);
-                sweeps += 1;
-                since_check += 1;
-                if since_check >= cfg.wl.sweeps_per_check as u64 {
-                    walker.check_and_advance(model, neighbors);
-                    since_check = 0;
-                }
-                if sweeps % cfg.observe_every_sweeps == 0 {
-                    if let Some(bin) = layout.global_grid().bin(walker.energy()) {
-                        fill_pair_probabilities(
-                            walker.config(),
-                            neighbors,
-                            num_shells,
-                            m_species,
-                            &mut obs_buf,
-                        );
-                        sro.record(bin, &obs_buf);
-                    }
-                }
-                if let Some(ds) = deep_state.as_mut() {
-                    if sweeps % ds.spec.sample_every_sweeps == 0 {
-                        ds.buffer.push(walker.config().clone(), walker.energy());
-                    }
-                    if sweeps % ds.spec.train_every_sweeps == 0 && !ds.buffer.is_empty() {
-                        for _ in 0..ds.spec.epochs_per_round {
-                            ds.trainer.train_epoch(
-                                ds.deep.net_mut(),
-                                &ds.buffer,
-                                neighbors,
-                                walker.rng_mut(),
-                            );
-                        }
-                        walker.set_kernel(build_kernel(&cfg.kernel, &deep_state));
-                    }
-                }
-            }
-            let converged = walker.ln_f() <= cfg.wl.ln_f_final;
-            let snap = snapshot_rank_telemetry(&tel, rank, &walker, [0, 0, sweeps], None);
-            (
-                RankPiece {
-                    ln_g: walker.dos().ln_g().to_vec(),
-                    mask: walker.visited_mask(),
-                    stats: walker.stats().clone(),
-                    counts: vec![
-                        0u64,
-                        0,
-                        u64::from(converged),
-                        walker.ln_f().to_bits(),
-                        walker.total_moves(),
-                    ],
-                },
-                sro,
-                sweeps,
-                snap,
-            )
-        })
-        .collect();
-
-    let mut merged_sro = MicrocanonicalAccumulator::new(layout.global_grid().num_bins(), obs_dim);
-    for (_, s, _, _) in &per_rank {
-        merged_sro.merge(s);
+    let digest = checkpoint::config_digest(cfg);
+    let resume = find_resume_point(cfg, digest, size);
+    let (result, telemetry) = RankEngine::new(
+        comm,
+        model,
+        neighbors,
+        comp,
+        &layout,
+        cfg,
+        digest,
+        resume.as_ref(),
+        true,
+    )
+    .run();
+    match result {
+        Some(Ok(output)) => Ok(RankRun {
+            output: Some(output),
+            telemetry,
+        }),
+        Some(Err(e)) => Err(e),
+        None => Ok(RankRun {
+            output: None,
+            telemetry,
+        }),
     }
-    let mut pieces = Vec::with_capacity(cfg.num_windows);
-    let mut reports = Vec::with_capacity(cfg.num_windows);
-    for win in 0..cfg.num_windows {
-        let members: Vec<&RankPiece> = per_rank
-            [win * cfg.walkers_per_window..(win + 1) * cfg.walkers_per_window]
-            .iter()
-            .map(|(p, _, _, _)| p)
-            .collect();
-        pieces.push(average_window(&members));
-        let mut stats = MoveStats::new();
-        let mut all_conv = true;
-        let mut ln_f_max = 0.0f64;
-        for p in &members {
-            stats.merge(&p.stats);
-            all_conv &= p.counts[2] == 1;
-            ln_f_max = ln_f_max.max(f64::from_bits(p.counts[3]));
-        }
-        reports.push(WindowReport {
-            window: win,
-            exchange_attempts: 0,
-            exchange_accepted: 0,
-            stats,
-            converged: all_conv,
-            ln_f: ln_f_max,
-            lost_walkers: 0,
-        });
-    }
-    let (dos, mask) = merge_windows(&layout, &pieces);
-    let total_moves = per_rank.iter().map(|(p, _, _, _)| p.counts[4]).sum();
-    let sweeps = per_rank.iter().map(|(_, _, s, _)| *s).max().unwrap_or(0);
-    let telemetry = per_rank.into_iter().filter_map(|(_, _, _, t)| t).collect();
-    Ok(RewlOutput {
-        dos,
-        mask,
-        converged: reports.iter().all(|r| r.converged),
-        windows: reports,
-        sweeps,
-        sro: merged_sro,
-        total_moves,
-        lost_ranks: Vec::new(),
-        resumed_from: None,
-        telemetry,
-    })
 }

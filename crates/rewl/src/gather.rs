@@ -1,0 +1,270 @@
+//! The final gather: rank pieces, window averaging, accumulator
+//! reduction, and output assembly at rank 0.
+//!
+//! Every rank ends its run by shipping its window `ln g` piece, visited
+//! mask, move statistics, counters, and SRO accumulator to rank 0 (tags
+//! `GATHER_*`). Rank 0 validates every payload shape — a dead peer, a
+//! timeout, or a malformed message drops that *rank* from the merge, not
+//! the run — averages each window's surviving walkers (aligning their
+//! additive `ln g` constants on co-visited bins), and stitches the
+//! windows into the global density of states.
+
+use dt_hpc::{Communicator, Transport};
+use dt_proposal::MoveStats;
+use dt_telemetry::RankTelemetry;
+use dt_thermo::MicrocanonicalAccumulator;
+use dt_wanglandau::WlWalker;
+
+use crate::driver::{RewlConfig, RewlError, RewlOutput, WindowReport};
+use crate::exchange::{tags, COLLECT_DEADLINE};
+use crate::merge::merge_windows;
+use crate::windows::WindowLayout;
+use crate::wire;
+
+/// Data one rank contributes to the final gather.
+pub(crate) struct RankPiece {
+    pub(crate) ln_g: Vec<f64>,
+    pub(crate) mask: Vec<bool>,
+    pub(crate) stats: MoveStats,
+    /// `[exchange_attempts, exchange_accepted, converged, ln_f bits, moves]`.
+    pub(crate) counts: Vec<u64>,
+}
+
+impl RankPiece {
+    /// Capture this rank's own contribution (rank 0 keeps its piece
+    /// local; every other rank encodes it onto the wire).
+    pub(crate) fn from_walker(walker: &WlWalker, counts: Vec<u64>) -> RankPiece {
+        RankPiece {
+            ln_g: walker.dos().ln_g().to_vec(),
+            mask: walker.visited_mask(),
+            stats: walker.stats().clone(),
+            counts,
+        }
+    }
+}
+
+/// Ship this rank's gather contribution to rank 0.
+pub(crate) fn send_piece<T: Transport>(
+    comm: &Communicator<T>,
+    walker: &WlWalker,
+    counts: &[u64],
+    sro: &MicrocanonicalAccumulator,
+    obs_dim: usize,
+) {
+    comm.send(0, tags::GATHER_LN_G, wire::encode_f64s(walker.dos().ln_g()));
+    comm.send(
+        0,
+        tags::GATHER_MASK,
+        wire::encode_mask(&walker.visited_mask()),
+    );
+    comm.send(0, tags::GATHER_STATS, wire::encode_stats(walker.stats()));
+    comm.send(0, tags::GATHER_COUNTS, wire::encode_u64s(counts));
+    send_accumulator(comm, sro, obs_dim);
+}
+
+/// Receive one rank's gather contribution, validating every shape; any
+/// timeout, dead peer, or malformed payload drops the whole rank.
+pub(crate) fn recv_rank_piece<T: Transport>(
+    comm: &Communicator<T>,
+    other: usize,
+    window_bins: usize,
+    global_bins: usize,
+    obs_dim: usize,
+) -> Result<(RankPiece, MicrocanonicalAccumulator), String> {
+    let grab = |tag: u64| -> Result<Vec<u8>, String> {
+        comm.recv_timeout(other, tag, COLLECT_DEADLINE)
+            .map_err(|e| e.to_string())
+    };
+    let ln_g = wire::decode_f64s(&grab(tags::GATHER_LN_G)?).map_err(|e| e.to_string())?;
+    let mask = wire::decode_mask(&grab(tags::GATHER_MASK)?);
+    let stats = wire::decode_stats(&grab(tags::GATHER_STATS)?).map_err(|e| e.to_string())?;
+    let counts = wire::decode_u64s(&grab(tags::GATHER_COUNTS)?).map_err(|e| e.to_string())?;
+    if ln_g.len() != window_bins || mask.len() != window_bins {
+        return Err(format!(
+            "piece shape mismatch: {} ln_g / {} mask bins, expected {window_bins}",
+            ln_g.len(),
+            mask.len()
+        ));
+    }
+    if counts.len() != 5 {
+        return Err(format!("counts has {} fields, expected 5", counts.len()));
+    }
+    let acc = recv_accumulator(comm, other, global_bins, obs_dim)?;
+    Ok((
+        RankPiece {
+            ln_g,
+            mask,
+            stats,
+            counts,
+        },
+        acc,
+    ))
+}
+
+/// Average the `ln_g` of a window's walkers after aligning their additive
+/// constants on co-visited bins; mask is the union of visited bins.
+pub(crate) fn average_window(members: &[&RankPiece]) -> (Vec<f64>, Vec<bool>) {
+    let bins = members[0].ln_g.len();
+    let reference = members[0];
+    let mut sum = vec![0.0f64; bins];
+    let mut count = vec![0u32; bins];
+    for (mi, piece) in members.iter().enumerate() {
+        // Align to the reference on co-visited bins.
+        let mut shift = 0.0;
+        if mi > 0 {
+            let mut acc = 0.0;
+            let mut n = 0usize;
+            for b in 0..bins {
+                if piece.mask[b] && reference.mask[b] {
+                    acc += reference.ln_g[b] - piece.ln_g[b];
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                shift = acc / n as f64;
+            }
+        }
+        for b in 0..bins {
+            if piece.mask[b] {
+                sum[b] += piece.ln_g[b] + shift;
+                count[b] += 1;
+            }
+        }
+    }
+    let mask: Vec<bool> = count.iter().map(|&c| c > 0).collect();
+    let avg = sum
+        .iter()
+        .zip(&count)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    (avg, mask)
+}
+
+/// Per-bin `(totals, counts)` of an accumulator — the wire/checkpoint
+/// representation (means are re-derived from totals on merge).
+pub(crate) fn accumulator_totals(
+    acc: &MicrocanonicalAccumulator,
+    obs_dim: usize,
+) -> (Vec<f64>, Vec<u64>) {
+    let bins = acc.num_bins();
+    let mut sums = Vec::with_capacity(bins * obs_dim);
+    let mut counts = Vec::with_capacity(bins);
+    for b in 0..bins {
+        let c = acc.count(b);
+        counts.push(c);
+        match acc.bin_mean(b) {
+            Some(mean) => sums.extend(mean.iter().map(|&m| m * c as f64)),
+            None => sums.extend(std::iter::repeat_n(0.0, obs_dim)),
+        }
+    }
+    (sums, counts)
+}
+
+fn send_accumulator<T: Transport>(
+    comm: &Communicator<T>,
+    acc: &MicrocanonicalAccumulator,
+    obs_dim: usize,
+) {
+    let (sums, counts) = accumulator_totals(acc, obs_dim);
+    comm.send(0, tags::GATHER_SRO_SUMS, wire::encode_f64s(&sums));
+    comm.send(0, tags::GATHER_SRO_COUNTS, wire::encode_u64s(&counts));
+}
+
+fn recv_accumulator<T: Transport>(
+    comm: &Communicator<T>,
+    from: usize,
+    bins: usize,
+    obs_dim: usize,
+) -> Result<MicrocanonicalAccumulator, String> {
+    let sums = wire::decode_f64s(
+        &comm
+            .recv_timeout(from, tags::GATHER_SRO_SUMS, COLLECT_DEADLINE)
+            .map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let counts = wire::decode_u64s(
+        &comm
+            .recv_timeout(from, tags::GATHER_SRO_COUNTS, COLLECT_DEADLINE)
+            .map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    if sums.len() != bins * obs_dim || counts.len() != bins {
+        return Err(format!(
+            "accumulator shape mismatch: {} sums / {} counts for {bins} bins × {obs_dim}",
+            sums.len(),
+            counts.len()
+        ));
+    }
+    let mut acc = MicrocanonicalAccumulator::new(bins, obs_dim);
+    for b in 0..bins {
+        acc.record_sum(b, &sums[b * obs_dim..(b + 1) * obs_dim], counts[b]);
+    }
+    Ok(acc)
+}
+
+/// Rank 0's final step: average each window's surviving walkers, build
+/// the per-window reports, and merge the windows into the global DOS.
+///
+/// # Errors
+/// [`RewlError::WindowLost`] when a window has no surviving pieces.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_output(
+    layout: &WindowLayout,
+    cfg: &RewlConfig,
+    per_rank: &[Option<RankPiece>],
+    merged_sro: MicrocanonicalAccumulator,
+    lost_ranks: Vec<usize>,
+    sweeps: u64,
+    resumed_round: Option<u64>,
+    telemetry: Vec<RankTelemetry>,
+) -> Result<RewlOutput, RewlError> {
+    let w = cfg.walkers_per_window;
+    let mut pieces = Vec::with_capacity(cfg.num_windows);
+    let mut reports = Vec::with_capacity(cfg.num_windows);
+    for win in 0..cfg.num_windows {
+        let members: Vec<&RankPiece> = per_rank[win * w..(win + 1) * w].iter().flatten().collect();
+        if members.is_empty() {
+            return Err(RewlError::WindowLost {
+                window: win,
+                walkers: w,
+            });
+        }
+        pieces.push(average_window(&members));
+        let mut stats = MoveStats::new();
+        let mut attempts = 0u64;
+        let mut accepted = 0u64;
+        let mut all_conv = true;
+        let mut ln_f_max = 0.0f64;
+        for p in &members {
+            stats.merge(&p.stats);
+            attempts += p.counts[0];
+            accepted += p.counts[1];
+            all_conv &= p.counts[2] == 1;
+            ln_f_max = ln_f_max.max(f64::from_bits(p.counts[3]));
+        }
+        reports.push(WindowReport {
+            window: win,
+            exchange_attempts: attempts,
+            exchange_accepted: accepted,
+            stats,
+            converged: all_conv,
+            ln_f: ln_f_max,
+            lost_walkers: w - members.len(),
+        });
+    }
+    let (dos, mask) = merge_windows(layout, &pieces);
+    let total_moves = per_rank.iter().flatten().map(|p| p.counts[4]).sum();
+    let converged_all = reports.iter().all(|r| r.converged);
+    Ok(RewlOutput {
+        dos,
+        mask,
+        windows: reports,
+        converged: converged_all,
+        sweeps,
+        sro: merged_sro,
+        total_moves,
+        lost_ranks,
+        resumed_from: resumed_round,
+        telemetry,
+    })
+}

@@ -22,11 +22,19 @@
 //! with optional weight averaging across the walkers of a window
 //! (simulating the paper's NCCL/RCCL allreduce).
 //!
-//! Two drivers are provided:
+//! Three drivers are provided:
 //! * [`run_rewl`] — ranks on a [`dt_hpc::ThreadCluster`], full exchange
 //!   protocol over tagged messages (the faithful parallel implementation);
+//! * [`run_rewl_on`] — ONE rank of the same protocol on any
+//!   [`dt_hpc::Transport`] (the entry point for multi-process clusters,
+//!   e.g. TCP workers — see [`dt_hpc::TcpTransport`]);
 //! * [`run_windows_serial`] — windows run one after another without
 //!   exchange (a baseline and a debugging aid).
+//!
+//! The per-rank logic itself lives in `rank` (a phase state machine),
+//! [`exchange`] (the swap protocol and message tags), and `gather`
+//! (the final merge at rank 0); it is identical on every backend, so a
+//! fault-free run yields bit-identical `ln g` regardless of transport.
 //!
 //! ## Fault tolerance
 //!
@@ -46,7 +54,11 @@
 
 pub mod checkpoint;
 pub mod driver;
+pub mod exchange;
+pub(crate) mod gather;
 pub mod merge;
+pub(crate) mod rank;
+pub mod serial;
 pub mod spec;
 pub mod windows;
 pub mod wire;
@@ -54,8 +66,10 @@ pub mod wire;
 pub use checkpoint::{
     load_resume_point, CheckpointSpec, CkptError, RankCheckpoint, ResumePoint, RunManifest,
 };
-pub use driver::{run_rewl, run_windows_serial, RewlConfig, RewlError, RewlOutput, WindowReport};
+pub use driver::{run_rewl, run_rewl_on, RankRun, RewlConfig, RewlError, RewlOutput, WindowReport};
+pub use exchange::{exchange_role, ExchangeRole};
 pub use merge::merge_windows;
+pub use serial::run_windows_serial;
 pub use spec::{DeepSpec, KernelSpec};
 pub use windows::WindowLayout;
-pub use wire::WireError;
+pub use wire::{StatsWireError, WireError};

@@ -1,0 +1,760 @@
+//! The per-rank REWL engine: one walker's life as an explicit state
+//! machine over a pluggable [`Transport`].
+//!
+//! Each round steps through the phases
+//!
+//! ```text
+//! Checkpoint → Sample → Retrain → Exchange → Converge
+//!      ↑                                        │
+//!      └────────── not converged ───────────────┘
+//!                                               ↓ converged / cap
+//!                                            Gather
+//! ```
+//!
+//! The engine is backend-agnostic: [`crate::run_rewl`] drives it on the
+//! in-memory thread fabric, [`crate::run_rewl_on`] on any transport
+//! (e.g. TCP worker processes). Phase order, message schedule, and RNG
+//! consumption are identical on every backend, so a fault-free run
+//! produces bit-identical `ln g` regardless of the wire underneath.
+
+use dt_hamiltonian::EnergyModel;
+use dt_hpc::{rank_rng, Communicator, TrafficSnapshot, Transport};
+use dt_lattice::{sro::ordered_pair_counts, Composition, Configuration, NeighborTable};
+use dt_proposal::{
+    DeepProposal, LocalSwap, ProposalContext, ProposalKernel, ProposalMix, ProposalTrainer,
+    RandomReassign, SampleBuffer,
+};
+use dt_telemetry::{Phase, RankTelemetry, Telemetry};
+use dt_thermo::MicrocanonicalAccumulator;
+use dt_wanglandau::WlWalker;
+
+use crate::checkpoint::{CheckpointSpec, RankCheckpoint, ResumePoint, RunManifest};
+use crate::driver::{RewlConfig, RewlError, RewlOutput};
+use crate::exchange::{self, exchange_role, recv_resilient, tags, ExchangeRole, COLLECT_DEADLINE};
+use crate::gather::{self, accumulator_totals, RankPiece};
+use crate::spec::{DeepSpec, KernelSpec};
+use crate::windows::WindowLayout;
+use crate::wire;
+
+/// What one rank hands back to its driver: the assembled output (rank 0
+/// only, or the error that prevented assembly) plus this rank's telemetry
+/// snapshot (when enabled).
+pub(crate) type RankReturn = (Option<Result<RewlOutput, RewlError>>, Option<RankTelemetry>);
+
+/// Per-rank deep-proposal state.
+pub(crate) struct DeepState {
+    pub(crate) deep: DeepProposal,
+    pub(crate) trainer: ProposalTrainer,
+    pub(crate) buffer: SampleBuffer,
+    pub(crate) spec: DeepSpec,
+}
+
+pub(crate) fn build_kernel(
+    spec: &KernelSpec,
+    deep_state: &Option<DeepState>,
+) -> Box<dyn ProposalKernel> {
+    match spec {
+        KernelSpec::LocalSwap => Box::new(LocalSwap::new()),
+        KernelSpec::RandomGlobal { k, weight } => Box::new(ProposalMix::new(vec![
+            (
+                Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>,
+                1.0 - weight,
+            ),
+            (Box::new(RandomReassign::new(*k)), *weight),
+        ])),
+        KernelSpec::Deep(ds) => {
+            let deep = deep_state
+                .as_ref()
+                .expect("deep state must exist for deep kernels")
+                .deep
+                .clone();
+            Box::new(ProposalMix::new(vec![
+                (
+                    Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>,
+                    1.0 - ds.deep_weight,
+                ),
+                (Box::new(deep), ds.deep_weight),
+            ]))
+        }
+    }
+}
+
+/// Build per-rank deep-proposal state (when the kernel spec asks for it),
+/// consuming setup RNG exactly as the walker-construction path expects.
+pub(crate) fn init_deep_state(
+    kernel: &KernelSpec,
+    comp: &Composition,
+    num_shells: usize,
+    tel: &Telemetry,
+    rng: &mut impl rand::Rng,
+) -> Option<DeepState> {
+    match kernel {
+        KernelSpec::Deep(ds) => {
+            let mut deep = DeepProposal::new(comp.num_species(), num_shells, &ds.proposal, rng);
+            // Pre-size every inference buffer so the sampling loop never
+            // allocates on a proposal.
+            deep.warm_up(comp.num_sites());
+            deep.set_telemetry(tel.clone());
+            let layout = deep.layout();
+            let mut trainer = ProposalTrainer::new(layout, ds.trainer.clone());
+            trainer.set_telemetry(tel.clone());
+            Some(DeepState {
+                deep,
+                trainer,
+                buffer: SampleBuffer::new(ds.buffer_capacity),
+                spec: (**ds).clone(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Directed pair probabilities `p_s(a,b)` of a configuration, written
+/// shell-major into `out` (`len = num_shells · m²`).
+pub(crate) fn fill_pair_probabilities(
+    config: &Configuration,
+    neighbors: &NeighborTable,
+    num_shells: usize,
+    m: usize,
+    out: &mut [f64],
+) {
+    for shell in 0..num_shells {
+        let counts = ordered_pair_counts(config, neighbors, shell, m);
+        let total = neighbors.directed_pair_count(shell) as f64;
+        for (o, &c) in out[shell * m * m..(shell + 1) * m * m]
+            .iter_mut()
+            .zip(&counts)
+        {
+            *o = c as f64 / total;
+        }
+    }
+}
+
+/// Snapshot one rank's telemetry, folding in the sampler's acceptance
+/// statistics, exchange counters, and (on the cluster drivers) the
+/// transport's message-traffic counters. Returns `None` when disabled.
+pub(crate) fn snapshot_rank_telemetry(
+    tel: &Telemetry,
+    rank: usize,
+    walker: &WlWalker,
+    [exchange_attempts, exchange_accepted, sweeps]: [u64; 3],
+    traffic: Option<TrafficSnapshot>,
+) -> Option<RankTelemetry> {
+    if !tel.is_enabled() {
+        return None;
+    }
+    tel.set_gauge("ln_f", walker.ln_f());
+    let mut snap = tel.snapshot(rank);
+    for (name, proposed, accepted) in walker.stats().iter() {
+        snap.counters.push((format!("proposed_{name}"), proposed));
+        snap.counters.push((format!("accepted_{name}"), accepted));
+    }
+    snap.counters
+        .push(("exchange_attempts".into(), exchange_attempts));
+    snap.counters
+        .push(("exchange_accepted".into(), exchange_accepted));
+    snap.counters.push(("sweeps".into(), sweeps));
+    if let Some(t) = traffic {
+        snap.counters.push(("comm_sends".into(), t.sends));
+        snap.counters.push(("comm_send_bytes".into(), t.send_bytes));
+        snap.counters.push(("comm_recvs".into(), t.recvs));
+        snap.counters.push(("comm_recv_bytes".into(), t.recv_bytes));
+        snap.counters.push(("comm_timeouts".into(), t.timeouts));
+        snap.counters
+            .push(("comm_dead_peer_errors".into(), t.dead_peer_errors));
+        snap.counters
+            .push(("comm_dropped_sends".into(), t.dropped_sends));
+        snap.counters
+            .push(("comm_delayed_sends".into(), t.delayed_sends));
+    }
+    snap.counters.sort();
+    Some(snap)
+}
+
+/// The phases of one rank's life. Each round visits
+/// `Checkpoint → Sample → Retrain → Exchange → Converge`; the converge
+/// decision loops back or falls through to the terminal `Gather`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EnginePhase {
+    /// Fault poll + periodic cluster snapshot (start of round).
+    Checkpoint,
+    /// `exchange_every_sweeps` WL sweeps with SRO observation.
+    Sample,
+    /// Deep-proposal retraining and window-wide weight averaging.
+    Retrain,
+    /// Replica exchange with the paired rank (if any).
+    Exchange,
+    /// Collective convergence poll; decides loop-back vs gather.
+    Converge,
+    /// Terminal: ship (or collect) the gather pieces.
+    Gather,
+}
+
+/// One rank's REWL run as a state machine over an arbitrary transport.
+pub(crate) struct RankEngine<'a, M, T: Transport> {
+    comm: Communicator<T>,
+    model: &'a M,
+    neighbors: &'a NeighborTable,
+    comp: &'a Composition,
+    layout: &'a WindowLayout,
+    cfg: &'a RewlConfig,
+    digest: u64,
+    /// Ship telemetry snapshots over the wire at gather time (multi-
+    /// process backends). The thread driver collects snapshots in memory
+    /// instead and keeps this off, so its message schedule is unchanged.
+    wire_telemetry: bool,
+
+    rank: usize,
+    w: usize,
+    window: usize,
+    slot: usize,
+    m_species: usize,
+    num_shells: usize,
+    obs_dim: usize,
+    global_bins: usize,
+
+    tel: Telemetry,
+    deep_state: Option<DeepState>,
+    walker: WlWalker,
+    sro: MicrocanonicalAccumulator,
+    obs_buf: Vec<f64>,
+    exchange_attempts: u64,
+    exchange_accepted: u64,
+    sweeps: u64,
+    sweeps_since_check: u64,
+    resumed_round: Option<u64>,
+    round: u64,
+}
+
+impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
+    /// Set up this rank's walker (fresh or restored from `resume`),
+    /// deep-proposal state, and accumulators. Setup draws from the rank
+    /// RNG in a fixed order, so every backend consumes the stream
+    /// identically.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        comm: Communicator<T>,
+        model: &'a M,
+        neighbors: &'a NeighborTable,
+        comp: &'a Composition,
+        layout: &'a WindowLayout,
+        cfg: &'a RewlConfig,
+        digest: u64,
+        resume: Option<&'a ResumePoint>,
+        wire_telemetry: bool,
+    ) -> Self {
+        let rank = comm.rank();
+        let w = cfg.walkers_per_window;
+        let window = rank / w;
+        let m_species = comp.num_species();
+        let num_shells = model.num_shells();
+        let obs_dim = num_shells * m_species * m_species;
+        let grid = layout.window_grid(window);
+        let global_bins = layout.global_grid().num_bins();
+        let mut rng = rank_rng(cfg.seed, rank as u64);
+        let tel = Telemetry::new(cfg.telemetry);
+
+        let mut deep_state = init_deep_state(&cfg.kernel, comp, num_shells, &tel, &mut rng);
+
+        let walker_seed = cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut sro = MicrocanonicalAccumulator::new(global_bins, obs_dim);
+        let mut exchange_attempts = 0u64;
+        let mut exchange_accepted = 0u64;
+        let mut sweeps = 0u64;
+        let mut sweeps_since_check = 0u64;
+        let resumed_round = resume.map(|rp| rp.round);
+
+        // A usable per-rank snapshot must have been taken on the same
+        // window grid (the digest guards the config, not the energy range).
+        let rank_state = resume.and_then(|rp| rp.ranks[rank].as_ref()).filter(|rc| {
+            rc.walker.num_bins == grid.num_bins()
+                && rc.walker.e_min.to_bits() == grid.e_min().to_bits()
+                && rc.walker.e_max.to_bits() == grid.e_max().to_bits()
+        });
+
+        let mut walker = match rank_state {
+            Some(rc) => {
+                // Restore the deep net BEFORE building the kernel so the
+                // walker samples with the trained weights. (The deep
+                // sample buffer is not persisted; it refills during
+                // sampling.)
+                if let (Some(ds), Some(params)) = (deep_state.as_mut(), rc.deep_params.as_ref()) {
+                    ds.deep.net_mut().set_params(params);
+                }
+                let kernel = build_kernel(&cfg.kernel, &deep_state);
+                let mut walker =
+                    WlWalker::from_checkpoint(&rc.walker, cfg.wl.clone(), kernel, walker_seed);
+                // Same seed + saved stream position ⇒ the RNG continues
+                // bit-exactly where the snapshot left off.
+                walker.rng_mut().set_word_pos(rc.rng_word_pos);
+                walker.set_stats(rc.stats.clone());
+                exchange_attempts = rc.exchange_attempts;
+                exchange_accepted = rc.exchange_accepted;
+                sweeps = rc.sweeps;
+                sweeps_since_check = rc.sweeps_since_check;
+                if rc.obs_dim == obs_dim
+                    && rc.sro_counts.len() == global_bins
+                    && rc.sro_sums.len() == global_bins * obs_dim
+                {
+                    for b in 0..global_bins {
+                        sro.record_sum(
+                            b,
+                            &rc.sro_sums[b * obs_dim..(b + 1) * obs_dim],
+                            rc.sro_counts[b],
+                        );
+                    }
+                }
+                walker
+            }
+            None => {
+                let config = Configuration::random(comp, &mut rng);
+                let kernel = build_kernel(&cfg.kernel, &deep_state);
+                let mut walker = WlWalker::new(
+                    grid,
+                    cfg.wl.clone(),
+                    config,
+                    model,
+                    neighbors,
+                    kernel,
+                    walker_seed,
+                );
+                assert!(
+                    walker.drive_into_window(model, neighbors, 20_000),
+                    "rank {rank}: failed to reach window {window} {:?}",
+                    layout.bin_range(window)
+                );
+                walker
+            }
+        };
+        walker.set_telemetry(tel.clone());
+
+        RankEngine {
+            comm,
+            model,
+            neighbors,
+            comp,
+            layout,
+            cfg,
+            digest,
+            wire_telemetry,
+            rank,
+            w,
+            window,
+            slot: rank % w,
+            m_species,
+            num_shells,
+            obs_dim,
+            global_bins,
+            tel,
+            deep_state,
+            walker,
+            sro,
+            obs_buf: vec![0.0f64; obs_dim],
+            exchange_attempts,
+            exchange_accepted,
+            sweeps,
+            sweeps_since_check,
+            resumed_round,
+            round: resumed_round.unwrap_or(0),
+        }
+    }
+
+    /// Drive the state machine to completion.
+    pub(crate) fn run(mut self) -> RankReturn {
+        let mut phase = EnginePhase::Checkpoint;
+        loop {
+            phase = match phase {
+                EnginePhase::Checkpoint => self.phase_checkpoint(),
+                EnginePhase::Sample => self.phase_sample(),
+                EnginePhase::Retrain => self.phase_retrain(),
+                EnginePhase::Exchange => self.phase_exchange(),
+                EnginePhase::Converge => self.phase_converge(),
+                EnginePhase::Gather => return self.phase_gather(),
+            };
+        }
+    }
+
+    /// Start of round: injected kills fire here, at a deterministic
+    /// protocol point, then the periodic cluster snapshot (if due).
+    fn phase_checkpoint(&mut self) -> EnginePhase {
+        self.comm.poll_faults(self.round);
+        let cfg = self.cfg;
+        if let Some(spec) = cfg.checkpoint.as_ref() {
+            if self.round > 0
+                && self.round % spec.every_rounds == 0
+                && Some(self.round) != self.resumed_round
+            {
+                let tel = self.tel.clone();
+                let _span = tel.span(Phase::Checkpoint);
+                self.checkpoint_cluster(spec);
+            }
+        }
+        EnginePhase::Sample
+    }
+
+    /// `exchange_every_sweeps` WL sweeps, with flatness checks, SRO
+    /// observations, and deep-sample collection on their own cadences.
+    fn phase_sample(&mut self) -> EnginePhase {
+        let ctx = ProposalContext {
+            neighbors: self.neighbors,
+            composition: self.comp,
+        };
+        for _ in 0..self.cfg.exchange_every_sweeps {
+            self.walker.sweep(self.model, self.neighbors, &ctx);
+            self.sweeps += 1;
+            self.sweeps_since_check += 1;
+            if self.sweeps_since_check >= self.cfg.wl.sweeps_per_check as u64 {
+                self.walker.check_and_advance(self.model, self.neighbors);
+                self.sweeps_since_check = 0;
+            }
+            if self.sweeps % self.cfg.observe_every_sweeps == 0 {
+                if let Some(bin) = self.layout.global_grid().bin(self.walker.energy()) {
+                    fill_pair_probabilities(
+                        self.walker.config(),
+                        self.neighbors,
+                        self.num_shells,
+                        self.m_species,
+                        &mut self.obs_buf,
+                    );
+                    self.sro.record(bin, &self.obs_buf);
+                }
+            }
+            if let Some(ds) = self.deep_state.as_mut() {
+                if self.sweeps % ds.spec.sample_every_sweeps == 0 {
+                    ds.buffer
+                        .push(self.walker.config().clone(), self.walker.energy());
+                }
+            }
+        }
+        EnginePhase::Retrain
+    }
+
+    /// Deep retraining plus window-wide weight averaging (simulated
+    /// allreduce). The leader slot is fixed (first rank of the window):
+    /// if the leader is dead the window skips syncing and every walker
+    /// keeps local weights; if a member is dead (or its message lost)
+    /// the leader averages over whatever arrived. A fixed leader cannot
+    /// race the failure detector the way electing "first live rank"
+    /// would.
+    fn phase_retrain(&mut self) -> EnginePhase {
+        let mut kernel_dirty = false;
+        if let Some(ds) = self.deep_state.as_mut() {
+            if self.sweeps % ds.spec.train_every_sweeps == 0 && !ds.buffer.is_empty() {
+                for _ in 0..ds.spec.epochs_per_round {
+                    ds.trainer.train_epoch(
+                        ds.deep.net_mut(),
+                        &ds.buffer,
+                        self.neighbors,
+                        self.walker.rng_mut(),
+                    );
+                }
+                kernel_dirty = true;
+            }
+        }
+        if let Some(ds) = self.deep_state.as_mut() {
+            if ds.spec.sync_weights && self.w > 1 {
+                let _span = self.tel.span(Phase::Allreduce);
+                let params = ds.deep.net().flatten_params();
+                let leader = self.window * self.w;
+                if self.slot == 0 {
+                    let mut acc = params.clone();
+                    let mut contributors = 1.0f64;
+                    for other in (leader + 1)..(leader + self.w) {
+                        if !self.comm.is_alive(other) {
+                            continue;
+                        }
+                        let got = recv_resilient(
+                            &self.comm,
+                            other,
+                            tags::with_round(tags::SYNC_PARAMS, self.round),
+                        )
+                        .ok()
+                        .and_then(|bytes| wire::decode_f64s(&bytes).ok());
+                        match got {
+                            Some(theirs) if theirs.len() == acc.len() => {
+                                for (a, b) in acc.iter_mut().zip(theirs) {
+                                    *a += b;
+                                }
+                                contributors += 1.0;
+                            }
+                            _ => {}
+                        }
+                    }
+                    for a in &mut acc {
+                        *a /= contributors;
+                    }
+                    let payload = wire::encode_f64s(&acc);
+                    for other in (leader + 1)..(leader + self.w) {
+                        self.comm.send(
+                            other,
+                            tags::with_round(tags::SYNC_PARAMS_BACK, self.round),
+                            payload.clone(),
+                        );
+                    }
+                    ds.deep.net_mut().set_params(&acc);
+                } else if self.comm.is_alive(leader) {
+                    self.comm.send(
+                        leader,
+                        tags::with_round(tags::SYNC_PARAMS, self.round),
+                        wire::encode_f64s(&params),
+                    );
+                    let avg = recv_resilient(
+                        &self.comm,
+                        leader,
+                        tags::with_round(tags::SYNC_PARAMS_BACK, self.round),
+                    )
+                    .ok()
+                    .and_then(|bytes| wire::decode_f64s(&bytes).ok());
+                    if let Some(avg) = avg {
+                        if avg.len() == params.len() {
+                            ds.deep.net_mut().set_params(&avg);
+                        }
+                    }
+                }
+                kernel_dirty = true;
+            }
+        }
+        if kernel_dirty {
+            self.walker
+                .set_kernel(build_kernel(&self.cfg.kernel, &self.deep_state));
+        }
+        EnginePhase::Exchange
+    }
+
+    /// Replica exchange with this round's paired rank, if the pairing
+    /// function names one and it is alive. Dead partners are skipped
+    /// outright; a partner that dies mid-protocol surfaces as a bounded
+    /// comm error inside the handshake and voids the attempt.
+    fn phase_exchange(&mut self) -> EnginePhase {
+        match exchange_role(self.rank, self.round, self.w, self.cfg.num_windows) {
+            ExchangeRole::Initiator { partner } => {
+                if self.comm.is_alive(partner) {
+                    let _span = self.tel.span(Phase::Exchange);
+                    self.exchange_attempts += 1;
+                    match exchange::exchange_as_initiator(
+                        &self.comm,
+                        &mut self.walker,
+                        partner,
+                        self.round,
+                        self.m_species,
+                    ) {
+                        Ok(true) => self.exchange_accepted += 1,
+                        Ok(false) => {}
+                        // Lost partner or lost message: abandon this
+                        // exchange, keep local state, carry on.
+                        Err(_) => {}
+                    }
+                }
+            }
+            ExchangeRole::Responder { initiator } => {
+                if self.comm.is_alive(initiator) {
+                    let _span = self.tel.span(Phase::Exchange);
+                    let _ = exchange::exchange_as_responder(
+                        &self.comm,
+                        &mut self.walker,
+                        initiator,
+                        self.round,
+                        self.m_species,
+                    );
+                }
+            }
+            ExchangeRole::Idle => {}
+        }
+        EnginePhase::Converge
+    }
+
+    /// Collective convergence poll. All survivors of one allreduce
+    /// generation see identical sums, so the stop decision is collective
+    /// and no rank can exit the round loop while a peer keeps waiting
+    /// for it: `[Σ converged, Σ 1 (= contributors), Σ hit-sweep-cap]`.
+    fn phase_converge(&mut self) -> EnginePhase {
+        let mut flags = [
+            f64::from(u8::from(self.walker.ln_f() <= self.cfg.wl.ln_f_final)),
+            1.0,
+            f64::from(u8::from(self.sweeps >= self.cfg.max_sweeps)),
+        ];
+        let reduced = {
+            let _span = self.tel.span(Phase::Allreduce);
+            self.comm.allreduce_sum(&mut flags)
+        };
+        if reduced.is_err() {
+            // The collective coordinator died. No collective decision is
+            // possible any more; fall through to the gather (sends to a
+            // dead rank 0 are discarded harmlessly).
+            return EnginePhase::Gather;
+        }
+        self.round += 1;
+        let contributors = flags[1].round() as usize;
+        if flags[0].round() as usize >= contributors || flags[2] > 0.5 {
+            EnginePhase::Gather
+        } else {
+            EnginePhase::Checkpoint
+        }
+    }
+
+    /// Terminal phase: non-root ranks ship their piece to rank 0; rank 0
+    /// collects every survivor, merges, and assembles the output.
+    fn phase_gather(mut self) -> RankReturn {
+        let converged = self.walker.ln_f() <= self.cfg.wl.ln_f_final;
+        let counts = vec![
+            self.exchange_attempts,
+            self.exchange_accepted,
+            u64::from(converged),
+            self.walker.ln_f().to_bits(),
+            self.walker.total_moves(),
+        ];
+        let wire_tel = self.wire_telemetry && self.tel.is_enabled();
+        if self.rank != 0 {
+            {
+                let _span = self.tel.span(Phase::Gather);
+                gather::send_piece(&self.comm, &self.walker, &counts, &self.sro, self.obs_dim);
+            }
+            let snap = self.snapshot();
+            if wire_tel {
+                if let Some(snap) = snap.as_ref() {
+                    self.comm
+                        .send(0, tags::GATHER_TELEMETRY, wire::encode_telemetry(snap));
+                }
+            }
+            return (None, snap);
+        }
+
+        // Rank 0: collect every surviving rank (including itself). A rank
+        // that died (or whose payload is missing/corrupt) is dropped from
+        // the merge and recorded as lost.
+        let mut per_rank: Vec<Option<RankPiece>> = Vec::with_capacity(self.comm.size());
+        per_rank.push(Some(RankPiece::from_walker(&self.walker, counts)));
+        let mut merged_sro = std::mem::replace(&mut self.sro, MicrocanonicalAccumulator::new(1, 1));
+        let mut lost_ranks = Vec::new();
+        {
+            let _span = self.tel.span(Phase::Gather);
+            for other in 1..self.comm.size() {
+                let (lo, hi) = self.layout.bin_range(other / self.w);
+                match gather::recv_rank_piece(
+                    &self.comm,
+                    other,
+                    hi - lo,
+                    self.global_bins,
+                    self.obs_dim,
+                ) {
+                    Ok((piece, acc)) => {
+                        merged_sro.merge(&acc);
+                        per_rank.push(Some(piece));
+                    }
+                    Err(why) => {
+                        eprintln!("rewl: dropping rank {other} from the gather: {why}");
+                        per_rank.push(None);
+                        lost_ranks.push(other);
+                    }
+                }
+            }
+        }
+        let rank_tel = self.snapshot();
+        // Multi-process backends gather telemetry over the wire (the
+        // thread driver collects the in-memory snapshots instead).
+        let mut telemetry = Vec::new();
+        if wire_tel {
+            telemetry.extend(rank_tel.clone());
+            for (other, piece) in per_rank.iter().enumerate().skip(1) {
+                if piece.is_none() {
+                    continue;
+                }
+                if let Ok(bytes) =
+                    self.comm
+                        .recv_timeout(other, tags::GATHER_TELEMETRY, COLLECT_DEADLINE)
+                {
+                    if let Ok(snap) = wire::decode_telemetry(&bytes) {
+                        telemetry.push(snap);
+                    }
+                }
+            }
+        }
+        let result = gather::assemble_output(
+            self.layout,
+            self.cfg,
+            &per_rank,
+            merged_sro,
+            lost_ranks,
+            self.sweeps,
+            self.resumed_round,
+            telemetry,
+        );
+        (Some(result), rank_tel)
+    }
+
+    fn snapshot(&self) -> Option<RankTelemetry> {
+        snapshot_rank_telemetry(
+            &self.tel,
+            self.rank,
+            &self.walker,
+            [self.exchange_attempts, self.exchange_accepted, self.sweeps],
+            Some(self.comm.traffic()),
+        )
+    }
+
+    /// One cluster snapshot: every rank persists its state, then rank 0
+    /// commits the round by writing the manifest listing who made it. The
+    /// data-then-commit order means a crash anywhere in here leaves
+    /// either a complete committed snapshot or garbage no reader will
+    /// trust.
+    fn checkpoint_cluster(&mut self, spec: &CheckpointSpec) {
+        let round = self.round;
+        let (sro_sums, sro_counts) = accumulator_totals(&self.sro, self.obs_dim);
+        let rng_word_pos = self.walker.rng_mut().get_word_pos();
+        let rc = RankCheckpoint {
+            exchange_attempts: self.exchange_attempts,
+            exchange_accepted: self.exchange_accepted,
+            sweeps: self.sweeps,
+            sweeps_since_check: self.sweeps_since_check,
+            rng_word_pos,
+            deep_params: self
+                .deep_state
+                .as_ref()
+                .map(|ds| ds.deep.net().flatten_params()),
+            stats: self.walker.stats().clone(),
+            obs_dim: self.obs_dim,
+            sro_sums,
+            sro_counts,
+            walker: self.walker.checkpoint(),
+        };
+        let wrote = match rc.write(&spec.dir, round, self.rank) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!(
+                    "rewl: rank {}: checkpoint write at round {round} failed: {e}",
+                    self.rank
+                );
+                false
+            }
+        };
+        if self.rank != 0 {
+            self.comm.send(
+                0,
+                tags::with_round(tags::CKPT_META, round),
+                vec![u8::from(wrote)],
+            );
+            return;
+        }
+        // Rank 0 commits: collect confirmations, then write the manifest.
+        let mut alive = vec![false; self.comm.size()];
+        alive[0] = wrote;
+        for (other, made_it) in alive.iter_mut().enumerate().skip(1) {
+            if let Ok(meta) = self.comm.recv_timeout(
+                other,
+                tags::with_round(tags::CKPT_META, round),
+                COLLECT_DEADLINE,
+            ) {
+                *made_it = meta.first() == Some(&1);
+            }
+        }
+        let manifest = RunManifest {
+            round,
+            ranks: self.comm.size(),
+            digest: self.digest,
+            alive,
+        };
+        if let Err(e) = manifest.write(&spec.dir) {
+            eprintln!("rewl: manifest write at round {round} failed: {e}");
+        }
+    }
+}

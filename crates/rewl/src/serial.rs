@@ -1,0 +1,174 @@
+//! Serial baseline driver: independent windows, no cluster.
+
+use dt_hamiltonian::EnergyModel;
+use dt_hpc::rank_rng;
+use dt_lattice::{Composition, Configuration, NeighborTable};
+use dt_proposal::{MoveStats, ProposalContext};
+use dt_telemetry::Telemetry;
+use dt_thermo::MicrocanonicalAccumulator;
+use dt_wanglandau::{EnergyGrid, WlWalker};
+
+use crate::driver::{RewlConfig, RewlError, RewlOutput, WindowReport};
+use crate::gather::{average_window, RankPiece};
+use crate::merge::merge_windows;
+use crate::rank::{
+    build_kernel, fill_pair_probabilities, init_deep_state, snapshot_rank_telemetry,
+};
+use crate::windows::WindowLayout;
+
+/// Serial baseline: run each window's walkers one after another (rayon
+/// across ranks, but no replica exchange and no weight sync). Useful as an
+/// ablation (what replica exchange buys) and as a debugging reference.
+///
+/// # Errors
+/// Never fails today (there is no cluster to lose ranks on); the
+/// signature matches [`crate::run_rewl`] so callers can switch drivers
+/// freely.
+pub fn run_windows_serial<M: EnergyModel + Sync>(
+    model: &M,
+    neighbors: &NeighborTable,
+    comp: &Composition,
+    (e_min, e_max): (f64, f64),
+    cfg: &RewlConfig,
+) -> Result<RewlOutput, RewlError> {
+    use rayon::prelude::*;
+    let layout = WindowLayout::new(
+        EnergyGrid::new(e_min, e_max, cfg.num_bins),
+        cfg.num_windows,
+        cfg.overlap,
+    );
+    let size = cfg.num_windows * cfg.walkers_per_window;
+    let m_species = comp.num_species();
+    let num_shells = model.num_shells();
+    let obs_dim = num_shells * m_species * m_species;
+
+    let per_rank: Vec<_> = (0..size)
+        .into_par_iter()
+        .map(|rank| {
+            let window = rank / cfg.walkers_per_window;
+            let grid = layout.window_grid(window);
+            let mut rng = rank_rng(cfg.seed, rank as u64);
+            let tel = Telemetry::new(cfg.telemetry);
+            let mut deep_state = init_deep_state(&cfg.kernel, comp, num_shells, &tel, &mut rng);
+            let config = Configuration::random(comp, &mut rng);
+            let kernel = build_kernel(&cfg.kernel, &deep_state);
+            let mut walker = WlWalker::new(
+                grid,
+                cfg.wl.clone(),
+                config,
+                model,
+                neighbors,
+                kernel,
+                cfg.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            assert!(
+                walker.drive_into_window(model, neighbors, 20_000),
+                "rank {rank}: failed to reach window {window}"
+            );
+            walker.set_telemetry(tel.clone());
+            let ctx = ProposalContext {
+                neighbors,
+                composition: comp,
+            };
+            let mut sro = MicrocanonicalAccumulator::new(layout.global_grid().num_bins(), obs_dim);
+            let mut obs_buf = vec![0.0f64; obs_dim];
+            let mut sweeps = 0u64;
+            let mut since_check = 0u64;
+            while walker.ln_f() > cfg.wl.ln_f_final && sweeps < cfg.max_sweeps {
+                walker.sweep(model, neighbors, &ctx);
+                sweeps += 1;
+                since_check += 1;
+                if since_check >= cfg.wl.sweeps_per_check as u64 {
+                    walker.check_and_advance(model, neighbors);
+                    since_check = 0;
+                }
+                if sweeps % cfg.observe_every_sweeps == 0 {
+                    if let Some(bin) = layout.global_grid().bin(walker.energy()) {
+                        fill_pair_probabilities(
+                            walker.config(),
+                            neighbors,
+                            num_shells,
+                            m_species,
+                            &mut obs_buf,
+                        );
+                        sro.record(bin, &obs_buf);
+                    }
+                }
+                if let Some(ds) = deep_state.as_mut() {
+                    if sweeps % ds.spec.sample_every_sweeps == 0 {
+                        ds.buffer.push(walker.config().clone(), walker.energy());
+                    }
+                    if sweeps % ds.spec.train_every_sweeps == 0 && !ds.buffer.is_empty() {
+                        for _ in 0..ds.spec.epochs_per_round {
+                            ds.trainer.train_epoch(
+                                ds.deep.net_mut(),
+                                &ds.buffer,
+                                neighbors,
+                                walker.rng_mut(),
+                            );
+                        }
+                        walker.set_kernel(build_kernel(&cfg.kernel, &deep_state));
+                    }
+                }
+            }
+            let converged = walker.ln_f() <= cfg.wl.ln_f_final;
+            let snap = snapshot_rank_telemetry(&tel, rank, &walker, [0, 0, sweeps], None);
+            let counts = vec![
+                0u64,
+                0,
+                u64::from(converged),
+                walker.ln_f().to_bits(),
+                walker.total_moves(),
+            ];
+            (RankPiece::from_walker(&walker, counts), sro, sweeps, snap)
+        })
+        .collect();
+
+    let mut merged_sro = MicrocanonicalAccumulator::new(layout.global_grid().num_bins(), obs_dim);
+    for (_, s, _, _) in &per_rank {
+        merged_sro.merge(s);
+    }
+    let mut pieces = Vec::with_capacity(cfg.num_windows);
+    let mut reports = Vec::with_capacity(cfg.num_windows);
+    for win in 0..cfg.num_windows {
+        let members: Vec<&RankPiece> = per_rank
+            [win * cfg.walkers_per_window..(win + 1) * cfg.walkers_per_window]
+            .iter()
+            .map(|(p, _, _, _)| p)
+            .collect();
+        pieces.push(average_window(&members));
+        let mut stats = MoveStats::new();
+        let mut all_conv = true;
+        let mut ln_f_max = 0.0f64;
+        for p in &members {
+            stats.merge(&p.stats);
+            all_conv &= p.counts[2] == 1;
+            ln_f_max = ln_f_max.max(f64::from_bits(p.counts[3]));
+        }
+        reports.push(WindowReport {
+            window: win,
+            exchange_attempts: 0,
+            exchange_accepted: 0,
+            stats,
+            converged: all_conv,
+            ln_f: ln_f_max,
+            lost_walkers: 0,
+        });
+    }
+    let (dos, mask) = merge_windows(&layout, &pieces);
+    let total_moves = per_rank.iter().map(|(p, _, _, _)| p.counts[4]).sum();
+    let sweeps = per_rank.iter().map(|(_, _, s, _)| *s).max().unwrap_or(0);
+    let telemetry = per_rank.into_iter().filter_map(|(_, _, _, t)| t).collect();
+    Ok(RewlOutput {
+        dos,
+        mask,
+        converged: reports.iter().all(|r| r.converged),
+        windows: reports,
+        sweeps,
+        sro: merged_sro,
+        total_moves,
+        lost_ranks: Vec::new(),
+        resumed_from: None,
+        telemetry,
+    })
+}

@@ -12,6 +12,8 @@
 use std::fmt;
 
 use dt_lattice::{Configuration, Species};
+use dt_proposal::MoveStats;
+use dt_telemetry::{Phase, PhaseStat, RankTelemetry};
 
 /// A malformed wire payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +39,10 @@ pub enum WireError {
         /// Number of species in the system.
         num_species: usize,
     },
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// A phase name does not match any [`Phase`].
+    BadPhase,
 }
 
 impl fmt::Display for WireError {
@@ -57,6 +63,8 @@ impl fmt::Display for WireError {
                     "species {species} out of range (num_species {num_species})"
                 )
             }
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::BadPhase => write!(f, "unknown telemetry phase name"),
         }
     }
 }
@@ -160,6 +168,221 @@ pub fn decode_mask(bytes: &[u8]) -> Vec<bool> {
     bytes.iter().map(|&b| b != 0).collect()
 }
 
+/// A malformed [`MoveStats`] payload ([`decode_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsWireError {
+    /// The payload is not UTF-8 text.
+    NotUtf8,
+    /// A line is missing one of its three fields, or a count failed to
+    /// parse.
+    MissingField {
+        /// 0-based line index.
+        line: usize,
+        /// Which field was missing or malformed.
+        field: &'static str,
+    },
+    /// A line claims more accepted than proposed moves.
+    AcceptedExceedsProposed {
+        /// Kernel name of the offending line.
+        kernel: String,
+        /// Proposed count.
+        proposed: u64,
+        /// Accepted count.
+        accepted: u64,
+    },
+}
+
+impl fmt::Display for StatsWireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsWireError::NotUtf8 => write!(f, "stats payload is not utf-8"),
+            StatsWireError::MissingField { line, field } => {
+                write!(f, "stats line {line}: missing or malformed {field}")
+            }
+            StatsWireError::AcceptedExceedsProposed {
+                kernel,
+                proposed,
+                accepted,
+            } => write!(
+                f,
+                "{kernel}: accepted {accepted} exceeds proposed {proposed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StatsWireError {}
+
+/// Encode per-kernel move statistics as newline-separated
+/// `name proposed accepted` records.
+pub fn encode_stats(stats: &MoveStats) -> Vec<u8> {
+    let mut s = String::new();
+    for (name, p, a) in stats.iter() {
+        s.push_str(&format!("{name} {p} {a}\n"));
+    }
+    s.into_bytes()
+}
+
+/// Decode an [`encode_stats`] payload.
+///
+/// # Errors
+/// [`StatsWireError`] on non-UTF-8 payloads, missing/malformed fields, or
+/// an accepted count exceeding its proposed count.
+pub fn decode_stats(bytes: &[u8]) -> Result<MoveStats, StatsWireError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| StatsWireError::NotUtf8)?;
+    let mut stats = MoveStats::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let mut parts = line.split_whitespace();
+        let name = parts.next().ok_or(StatsWireError::MissingField {
+            line: line_no,
+            field: "kernel name",
+        })?;
+        let p: u64 =
+            parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or(StatsWireError::MissingField {
+                    line: line_no,
+                    field: "proposed count",
+                })?;
+        let a: u64 =
+            parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or(StatsWireError::MissingField {
+                    line: line_no,
+                    field: "accepted count",
+                })?;
+        if a > p {
+            return Err(StatsWireError::AcceptedExceedsProposed {
+                kernel: name.to_string(),
+                proposed: p,
+                accepted: a,
+            });
+        }
+        stats.record_n(name, p, a);
+    }
+    Ok(stats)
+}
+
+fn push_str_field(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A byte cursor for the length-prefixed telemetry payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(WireError::Truncated {
+                needed: self.pos + n,
+                got: self.bytes.len(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn str_field(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?)
+            .map(str::to_string)
+            .map_err(|_| WireError::BadUtf8)
+    }
+}
+
+/// Encode one rank's telemetry snapshot for a cross-process gather (the
+/// TCP backend ships these to rank 0; the thread backend passes them in
+/// memory).
+pub fn encode_telemetry(tel: &RankTelemetry) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(tel.rank as u64).to_le_bytes());
+    out.extend_from_slice(&(tel.phases.len() as u32).to_le_bytes());
+    for p in &tel.phases {
+        push_str_field(&mut out, p.phase.name());
+        out.extend_from_slice(&p.total_s.to_le_bytes());
+        out.extend_from_slice(&p.count.to_le_bytes());
+        out.extend_from_slice(&p.p50_s.to_le_bytes());
+        out.extend_from_slice(&p.p99_s.to_le_bytes());
+    }
+    out.extend_from_slice(&(tel.counters.len() as u32).to_le_bytes());
+    for (name, v) in &tel.counters {
+        push_str_field(&mut out, name);
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(tel.gauges.len() as u32).to_le_bytes());
+    for (name, v) in &tel.gauges {
+        push_str_field(&mut out, name);
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode an [`encode_telemetry`] payload.
+///
+/// # Errors
+/// [`WireError::Truncated`] on short payloads, [`WireError::BadUtf8`] /
+/// [`WireError::BadPhase`] on malformed names.
+pub fn decode_telemetry(bytes: &[u8]) -> Result<RankTelemetry, WireError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let rank = c.u64()? as usize;
+    let num_phases = c.u32()? as usize;
+    let mut phases = Vec::with_capacity(num_phases.min(64));
+    for _ in 0..num_phases {
+        let name = c.str_field()?;
+        let phase = Phase::from_name(&name).ok_or(WireError::BadPhase)?;
+        phases.push(PhaseStat {
+            phase,
+            total_s: c.f64()?,
+            count: c.u64()?,
+            p50_s: c.f64()?,
+            p99_s: c.f64()?,
+        });
+    }
+    let num_counters = c.u32()? as usize;
+    let mut counters = Vec::with_capacity(num_counters.min(64));
+    for _ in 0..num_counters {
+        let name = c.str_field()?;
+        counters.push((name, c.u64()?));
+    }
+    let num_gauges = c.u32()? as usize;
+    let mut gauges = Vec::with_capacity(num_gauges.min(64));
+    for _ in 0..num_gauges {
+        let name = c.str_field()?;
+        gauges.push((name, c.f64()?));
+    }
+    Ok(RankTelemetry {
+        rank,
+        phases,
+        counters,
+        gauges,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,5 +452,111 @@ mod tests {
             decode_u64s(&[0u8; 9]),
             Err(WireError::Ragged { element: 8, got: 9 })
         );
+    }
+
+    #[test]
+    fn stats_reject_invalid_lines() {
+        assert_eq!(decode_stats(&[0xff, 0xfe]), Err(StatsWireError::NotUtf8));
+        assert_eq!(
+            decode_stats(b"swap 3\n"),
+            Err(StatsWireError::MissingField {
+                line: 0,
+                field: "accepted count"
+            })
+        );
+        assert_eq!(
+            decode_stats(b"swap three 1\n"),
+            Err(StatsWireError::MissingField {
+                line: 0,
+                field: "proposed count"
+            })
+        );
+        assert_eq!(
+            decode_stats(b"swap 2 5\n"),
+            Err(StatsWireError::AcceptedExceedsProposed {
+                kernel: "swap".into(),
+                proposed: 2,
+                accepted: 5
+            })
+        );
+    }
+
+    #[test]
+    fn telemetry_round_trip() {
+        use dt_telemetry::Telemetry;
+        let tel = Telemetry::enabled();
+        {
+            let _s = tel.span(Phase::MoveBatch);
+        }
+        tel.add("moves", 12);
+        tel.set_gauge("ln_f", 0.5);
+        let snap = tel.snapshot(3);
+        let back = decode_telemetry(&encode_telemetry(&snap)).unwrap();
+        assert_eq!(back.rank, snap.rank);
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.phases.len(), snap.phases.len());
+        for (a, b) in back.phases.iter().zip(&snap.phases) {
+            assert_eq!(a.phase, b.phase);
+            assert_eq!(a.count, b.count);
+            assert_eq!(a.total_s.to_bits(), b.total_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_telemetry_is_rejected() {
+        let tel = dt_telemetry::Telemetry::enabled();
+        let bytes = encode_telemetry(&tel.snapshot(0));
+        assert!(matches!(
+            decode_telemetry(&bytes[..bytes.len() - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod stats_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Stats survive the wire bit-exactly for arbitrary kernel names
+        /// and counts.
+        #[test]
+        fn stats_round_trip(
+            entries in proptest::collection::vec(
+                (proptest::collection::vec(0u8..38, 1..16), 0u64..u64::MAX / 2),
+                0..6,
+            ),
+            accept_frac in proptest::collection::vec(0.0f64..=1.0, 6),
+        ) {
+            // Kernel names over [a-z0-9_.] (no whitespace — the format is
+            // line-oriented), built from digit vectors since the vendored
+            // proptest has no regex string strategies.
+            const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_.";
+            let mut stats = MoveStats::new();
+            for (i, ((name_picks, proposed), frac)) in
+                entries.iter().zip(&accept_frac).enumerate()
+            {
+                let name: String = name_picks
+                    .iter()
+                    .map(|&p| ALPHABET[p as usize] as char)
+                    .collect();
+                // Suffix with the index so duplicate names cannot collide.
+                let accepted = (*proposed as f64 * frac) as u64;
+                stats.record_n(&format!("{name}{i}"), *proposed, accepted.min(*proposed));
+            }
+            let back = decode_stats(&encode_stats(&stats)).unwrap();
+            let a: Vec<(String, u64, u64)> =
+                stats.iter().map(|(n, p, c)| (n.to_string(), p, c)).collect();
+            let mut b: Vec<(String, u64, u64)> =
+                back.iter().map(|(n, p, c)| (n.to_string(), p, c)).collect();
+            // MoveStats iteration order is an implementation detail;
+            // compare as sets.
+            let mut a = a;
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
     }
 }

@@ -1,0 +1,67 @@
+//! Property tests of the public exchange-protocol surface: the pairing
+//! function and the round-tagged message namespace.
+
+use dt_rewl::exchange::tags;
+use dt_rewl::{exchange_role, ExchangeRole};
+use proptest::prelude::*;
+
+proptest! {
+    /// If the pairing names a partner, the partner names this rank back
+    /// with the complementary role — no rank can ever wait on a peer
+    /// that is not talking to it.
+    #[test]
+    fn pairing_symmetry(
+        w in 1usize..6,
+        m in 1usize..6,
+        round in 0u64..1_000,
+        rank_pick in any::<usize>(),
+    ) {
+        let rank = rank_pick % (w * m);
+        match exchange_role(rank, round, w, m) {
+            ExchangeRole::Initiator { partner } => {
+                prop_assert!(partner < w * m);
+                prop_assert_eq!(
+                    exchange_role(partner, round, w, m),
+                    ExchangeRole::Responder { initiator: rank }
+                );
+                // Initiators live in the window below their partner.
+                prop_assert_eq!(rank / w + 1, partner / w);
+            }
+            ExchangeRole::Responder { initiator } => {
+                prop_assert!(initiator < w * m);
+                prop_assert_eq!(
+                    exchange_role(initiator, round, w, m),
+                    ExchangeRole::Initiator { partner: rank }
+                );
+            }
+            ExchangeRole::Idle => {}
+        }
+    }
+
+    /// Round-tagged protocol messages can never collide across rounds,
+    /// tags, or with the transport's reserved collective space (bit 63).
+    #[test]
+    fn round_tags_are_injective(
+        tag_a in 1u64..=14,
+        tag_b in 1u64..=14,
+        round_a in 0u64..100_000,
+        round_b in 0u64..100_000,
+    ) {
+        let a = tags::with_round(tag_a, round_a);
+        let b = tags::with_round(tag_b, round_b);
+        prop_assert!(a < 1 << 63);
+        prop_assert!(b < 1 << 63);
+        if (tag_a, round_a) != (tag_b, round_b) {
+            prop_assert_ne!(a, b);
+        } else {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// A single window (or a single total rank) never exchanges.
+    #[test]
+    fn single_window_is_always_idle(w in 1usize..6, round in 0u64..64, slot_pick in any::<usize>()) {
+        let rank = slot_pick % w;
+        prop_assert_eq!(exchange_role(rank, round, w, 1), ExchangeRole::Idle);
+    }
+}

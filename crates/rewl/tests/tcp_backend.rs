@@ -1,0 +1,176 @@
+//! The REWL pipeline over the TCP transport: the same rank engine on
+//! loopback sockets must reproduce the thread backend bit-for-bit on a
+//! fault-free run, survive an injected rank kill with graceful
+//! degradation, and checkpoint/resume identically.
+
+use dt_hamiltonian::PairHamiltonian;
+use dt_hpc::{FaultPlan, RankOutcome, TcpCluster};
+use dt_lattice::{Composition, Structure, Supercell};
+use dt_rewl::{run_rewl, run_rewl_on, CheckpointSpec, KernelSpec, RewlConfig, RewlOutput};
+use dt_wanglandau::{LnfSchedule, WlParams};
+
+fn system() -> (
+    Supercell,
+    dt_lattice::NeighborTable,
+    Composition,
+    PairHamiltonian,
+) {
+    let cell = Supercell::cubic(Structure::bcc(), 2);
+    let nt = cell.neighbor_table(1);
+    let comp = Composition::equiatomic(2, cell.num_sites()).unwrap();
+    let h = PairHamiltonian::from_pairs(2, 1, &[(0, 0, 1, -0.01)]);
+    (cell, nt, comp, h)
+}
+
+const RANGE: (f64, f64) = (-0.645, -0.155);
+
+fn base_config(seed: u64) -> RewlConfig {
+    RewlConfig {
+        num_windows: 2,
+        walkers_per_window: 2,
+        overlap: 0.75,
+        num_bins: 49,
+        wl: WlParams {
+            ln_f_initial: 1.0,
+            ln_f_final: 1e-3,
+            schedule: LnfSchedule::Flatness {
+                flatness: 0.8,
+                reduction: 0.5,
+            },
+            sweeps_per_check: 20,
+        },
+        exchange_every_sweeps: 10,
+        observe_every_sweeps: 2,
+        max_sweeps: 60_000,
+        seed,
+        kernel: KernelSpec::LocalSwap,
+        ..RewlConfig::default()
+    }
+}
+
+/// Run the full REWL pipeline over loopback TCP and return rank 0's
+/// assembled output.
+fn run_over_tcp(cfg: &RewlConfig, plan: FaultPlan) -> RewlOutput {
+    let (_, nt, comp, h) = system();
+    let size = cfg.num_windows * cfg.walkers_per_window;
+    let outcomes = TcpCluster::run_loopback(size, plan, |comm| {
+        run_rewl_on(comm, &h, &nt, &comp, RANGE, cfg)
+    });
+    let mut root = None;
+    for (rank, outcome) in outcomes.into_iter().enumerate() {
+        if let RankOutcome::Completed(run) = outcome {
+            let run = run.expect("no unrecoverable error");
+            if rank == 0 {
+                root = run.output;
+            }
+        }
+    }
+    root.expect("rank 0 assembles the output")
+}
+
+/// Every scientific bit of two outputs must match.
+fn assert_bit_identical(a: &RewlOutput, b: &RewlOutput) {
+    assert_eq!(a.dos.grid().num_bins(), b.dos.grid().num_bins());
+    for bin in 0..a.dos.grid().num_bins() {
+        assert_eq!(
+            a.dos.ln_g_bin(bin).to_bits(),
+            b.dos.ln_g_bin(bin).to_bits(),
+            "ln g differs at bin {bin}"
+        );
+    }
+    assert_eq!(a.mask, b.mask);
+    assert_eq!(a.sro.num_bins(), b.sro.num_bins());
+    for bin in 0..a.sro.num_bins() {
+        assert_eq!(a.sro.count(bin), b.sro.count(bin), "sro count bin {bin}");
+        let (ma, mb) = (a.sro.bin_mean(bin), b.sro.bin_mean(bin));
+        match (ma, mb) {
+            (Some(ma), Some(mb)) => {
+                for (va, vb) in ma.iter().zip(mb.iter()) {
+                    assert_eq!(va.to_bits(), vb.to_bits(), "sro mean bin {bin}");
+                }
+            }
+            (None, None) => {}
+            _ => panic!("sro visited-mask differs at bin {bin}"),
+        }
+    }
+    assert_eq!(a.converged, b.converged);
+    assert_eq!(a.sweeps, b.sweeps);
+    assert_eq!(a.total_moves, b.total_moves);
+    assert_eq!(a.lost_ranks, b.lost_ranks);
+    for (wa, wb) in a.windows.iter().zip(b.windows.iter()) {
+        assert_eq!(wa, wb, "window report differs");
+    }
+}
+
+/// A fault-free TCP run is bit-identical to the thread backend under the
+/// same seed: same RNG consumption, same message schedule, same merge.
+#[test]
+fn fault_free_tcp_run_matches_thread_backend_bit_for_bit() {
+    let (_, nt, comp, h) = system();
+    let cfg = base_config(7);
+    let thread_out = run_rewl(&h, &nt, &comp, RANGE, &cfg).unwrap();
+    let tcp_out = run_over_tcp(&cfg, FaultPlan::none());
+    assert_bit_identical(&thread_out, &tcp_out);
+}
+
+/// Killing a non-root walker over TCP degrades gracefully exactly like
+/// the thread fabric: the run completes and records the loss.
+#[test]
+fn killed_rank_over_tcp_degrades_gracefully() {
+    let mut cfg = base_config(3);
+    cfg.wl.ln_f_final = 5e-6;
+    cfg.max_sweeps = 300_000;
+    let out = run_over_tcp(&cfg, FaultPlan::none().kill_at_round(3, 4));
+    assert_eq!(out.lost_ranks, vec![3]);
+    assert_eq!(out.windows[0].lost_walkers, 0);
+    assert_eq!(out.windows[1].lost_walkers, 1);
+    assert!(out.converged, "survivors must still converge");
+}
+
+/// Checkpoint over TCP, kill the cluster mid-run, rerun over TCP: the
+/// second run resumes from the snapshot instead of starting over.
+#[test]
+fn tcp_cluster_checkpoints_and_resumes() {
+    let dir = std::env::temp_dir().join(format!("dtrewl-tcp-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = base_config(11);
+    cfg.checkpoint = Some(CheckpointSpec::new(&dir).every_rounds(5));
+
+    // First attempt: rank 1 dies late; the run still completes but has
+    // committed several snapshots by then.
+    let first = run_over_tcp(&cfg, FaultPlan::none().kill_at_round(1, 10));
+    assert_eq!(first.lost_ranks, vec![1]);
+    assert!(
+        std::fs::read_dir(&dir).unwrap().count() > 0,
+        "snapshots must exist"
+    );
+
+    // Rerun over the same directory, fault-free: must resume, not restart.
+    let second = run_over_tcp(&cfg, FaultPlan::none());
+    assert!(
+        second.resumed_from.is_some(),
+        "second run must resume from a checkpoint"
+    );
+    assert!(second.lost_ranks.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Telemetry flows back over the wire: rank 0's output carries a
+/// snapshot per surviving rank, traffic counters included.
+#[test]
+fn telemetry_is_gathered_over_the_wire() {
+    let mut cfg = base_config(7);
+    cfg.telemetry = true;
+    let out = run_over_tcp(&cfg, FaultPlan::none());
+    assert_eq!(out.telemetry.len(), 4, "one snapshot per rank");
+    for (rank, snap) in out.telemetry.iter().enumerate() {
+        assert_eq!(snap.rank, rank);
+        let sends = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "comm_sends")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(sends > 0, "rank {rank} sent protocol messages");
+    }
+}
