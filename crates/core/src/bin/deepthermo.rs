@@ -24,8 +24,8 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use deepthermo::cluster::{self, ClusterSpec, WorkerOutcome};
-use deepthermo::hpc::FaultPlan;
+use deepthermo::cluster::{self, ClusterSpec, RecoveryPolicy, WorkerOutcome};
+use deepthermo::hpc::{FaultEvent, FaultPlan};
 use deepthermo::rewl::{CheckpointSpec, DeepSpec, KernelSpec};
 use deepthermo::{DeepThermo, DeepThermoConfig, DeepThermoError, DeepThermoReport, MaterialSpec};
 use dt_serve::{ArtifactRegistry, ServeConfig, Server};
@@ -62,6 +62,18 @@ run / info flags:
                          is bit-identical to the in-process run
   --kill R:ROUND         (with --cluster) crash worker rank R at exchange
                          round ROUND to exercise degraded mode
+  --recover              (with --cluster) self-heal: supervise workers,
+                         respawn dead ranks with backoff, and rejoin them
+                         from their checkpoints — a recovered run is
+                         bit-identical to a fault-free one
+  --max-restarts N       (with --recover) respawn budget per rank; after
+                         that the survivors degrade     (default 3)
+  --chaos-seed S         (with --cluster) deterministic multi-fault
+                         schedule (kill + message drops/delays) derived
+                         entirely from S; recorded into the checkpoint
+                         manifest and verified on resume
+  --chaos-rounds N       (with --chaos-seed) rounds the schedule spans
+                                                        (default 20)
 
 serve flags:
   --registry DIR         artifact registry to load    (default deepthermo-registry)
@@ -230,7 +242,19 @@ fn build_config() -> DeepThermoConfig {
             ..DeepSpec::default()
         })),
     };
+    cfg.rewl.recovery = has_flag("--recover");
+    cfg.rewl.respawns = arg(cluster::RESPAWN_COUNT_FLAG, 0u64);
     cfg.with_telemetry(has_flag("--telemetry"))
+}
+
+/// Recovery needs a checkpoint for the replacement to rejoin from; when
+/// `--recover` is on and no `--checkpoint` was given, every process of
+/// the cluster derives the same default directory under `--out`.
+fn apply_recovery_defaults(cfg: &mut DeepThermoConfig) {
+    if cfg.rewl.recovery && cfg.rewl.checkpoint.is_none() {
+        let out = arg("--out", "deepthermo-out".to_string());
+        cfg.rewl.checkpoint = Some(CheckpointSpec::new(PathBuf::from(out).join("checkpoints")));
+    }
 }
 
 fn info() -> ExitCode {
@@ -270,12 +294,29 @@ fn apply_cluster_checkpoint(cfg: &mut DeepThermoConfig) {
     }
 }
 
-/// The fault plan shared by every process of a cluster run.
-fn cluster_fault_plan() -> Result<FaultPlan, DeepThermoError> {
-    match opt_arg("--kill") {
-        Some(v) => cluster::parse_kill(&v).map_err(|message| DeepThermoError::Cluster { message }),
-        None => Ok(FaultPlan::none()),
+/// The fault plan shared by every process of a cluster run: a seeded
+/// chaos schedule (when `--chaos-seed` is given), plus any explicit
+/// `--kill` event.
+fn cluster_fault_plan(size: usize) -> Result<FaultPlan, DeepThermoError> {
+    let mut plan = match opt_arg("--chaos-seed") {
+        Some(v) => {
+            let seed: u64 = v.parse().map_err(|_| DeepThermoError::Cluster {
+                message: format!("bad --chaos-seed value {v:?} (expected an integer)"),
+            })?;
+            FaultPlan::chaos(seed, size, arg("--chaos-rounds", 20u64))
+        }
+        None => FaultPlan::none(),
+    };
+    if let Some(v) = opt_arg("--kill") {
+        let kill =
+            cluster::parse_kill(&v).map_err(|message| DeepThermoError::Cluster { message })?;
+        for e in kill.events() {
+            if let FaultEvent::KillAtRound { rank, round } = e {
+                plan = plan.kill_at_round(*rank, *round);
+            }
+        }
     }
+    Ok(plan)
 }
 
 /// Entry point of a `--worker-rank` process: dial the rendezvous, run
@@ -295,7 +336,10 @@ fn worker() -> ExitCode {
     };
     let mut cfg = build_config();
     apply_cluster_checkpoint(&mut cfg);
-    let plan = match cluster_fault_plan() {
+    apply_recovery_defaults(&mut cfg);
+    let recover = cfg.rewl.recovery;
+    let respawns = cfg.rewl.respawns;
+    let plan = match cluster_fault_plan(spec.size) {
         Ok(p) => p,
         Err(e) => {
             render_error(&e);
@@ -309,7 +353,19 @@ fn worker() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match cluster::run_cluster_worker(&runner, rank, spec.size, &rendezvous, plan) {
+    let outcome = if recover {
+        cluster::run_cluster_worker_recovering(
+            &runner,
+            rank,
+            spec.size,
+            &rendezvous,
+            plan,
+            respawns,
+        )
+    } else {
+        cluster::run_cluster_worker(&runner, rank, spec.size, &rendezvous, plan)
+    };
+    match outcome {
         Ok(WorkerOutcome::Killed) => ExitCode::from(cluster::KILLED_EXIT_CODE),
         Ok(_) => ExitCode::SUCCESS,
         Err(e) => {
@@ -325,13 +381,25 @@ fn run_cluster(
     runner: &DeepThermo,
     spec: ClusterSpec,
 ) -> Result<DeepThermoReport, DeepThermoError> {
-    let plan = cluster_fault_plan()?;
+    let plan = cluster_fault_plan(spec.size)?;
     let worker_args: Vec<String> = std::env::args().skip(1).collect();
     println!(
         "cluster: {} ranks as separate processes over loopback TCP (this process is rank 0)",
         spec.size
     );
-    let (report, outcomes) = cluster::run_cluster_root(runner, spec, plan, &worker_args)?;
+    let (report, outcomes) = if runner.config().rewl.recovery {
+        let policy = RecoveryPolicy {
+            max_restarts: arg("--max-restarts", 3u64),
+            ..RecoveryPolicy::default()
+        };
+        println!(
+            "recovery: supervising workers (respawn budget {} per rank)",
+            policy.max_restarts
+        );
+        cluster::run_cluster_root_recovering(runner, spec, plan, &worker_args, policy)?
+    } else {
+        cluster::run_cluster_root(runner, spec, plan, &worker_args)?
+    };
     for (i, outcome) in outcomes.iter().enumerate() {
         let rank = i + 1;
         match outcome {
@@ -340,6 +408,9 @@ fn run_cluster(
                 println!("worker rank {rank} died from the injected fault; survivors degraded")
             }
             WorkerOutcome::Failed => eprintln!("warning: worker rank {rank} exited abnormally"),
+            WorkerOutcome::Recovered { respawns } => {
+                println!("worker rank {rank} recovered after {respawns} supervised respawn(s)")
+            }
         }
     }
     Ok(report)
@@ -362,6 +433,18 @@ fn run() -> ExitCode {
     let mut cfg = build_config();
     if cluster_spec.is_some() {
         apply_cluster_checkpoint(&mut cfg);
+        apply_recovery_defaults(&mut cfg);
+        if cfg.rewl.recovery {
+            if let Some(spec) = cfg.rewl.checkpoint.as_ref() {
+                println!(
+                    "recovery: checkpointing every round into {} (replacements rejoin from it)",
+                    spec.dir.display()
+                );
+            }
+        }
+    } else if cfg.rewl.recovery {
+        eprintln!("warning: --recover only applies to --cluster runs; ignoring");
+        cfg.rewl.recovery = false;
     }
     println!(
         "deepthermo: NbMoTaW N={}, kernel={}, {} windows x {} walkers, seed {}",

@@ -19,9 +19,23 @@
 //! death the thread fabric supports — the process exits cleanly with
 //! [`WorkerOutcome::Killed`] and the survivors degrade exactly as they
 //! do in-process.
+//!
+//! With `--recover` the root becomes a **supervisor**: it reaps worker
+//! exits while rank 0 samples, distinguishes injected kills (exit code
+//! [`KILLED_EXIT_CODE`]) from real crashes, and respawns dead workers
+//! with bounded exponential backoff under a per-rank restart budget
+//! ([`RecoveryPolicy`]). A replacement process re-binds its rank id in
+//! the mesh, restores its state from its own newest checkpoint, and
+//! replays its death round — converging to the same answer, bit for bit,
+//! as a fault-free run. When the budget is exhausted the cluster falls
+//! back to graceful degradation (see DESIGN.md, "Failure model").
 
 use std::panic::AssertUnwindSafe;
-use std::process::{Child, Command};
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use dt_hpc::{
     install_crash_hook, Communicator, FaultPlan, SimulatedCrash, TcpRendezvous, TcpTransport,
@@ -35,6 +49,10 @@ use crate::report::DeepThermoReport;
 pub const WORKER_RANK_FLAG: &str = "--worker-rank";
 /// Hidden flag carrying the rendezvous address.
 pub const RENDEZVOUS_FLAG: &str = "--rendezvous";
+/// Hidden flag carrying how many times a worker has been respawned by the
+/// supervisor; a nonzero value tells the replacement to resume from its
+/// own newest checkpoint and rejoin the mesh instead of bootstrapping.
+pub const RESPAWN_COUNT_FLAG: &str = "--respawn-count";
 
 /// A parsed `--cluster` argument.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +140,35 @@ pub enum WorkerOutcome {
     /// The worker failed for a real reason (nonzero exit, signal, or a
     /// wait failure).
     Failed,
+    /// The worker died at least once but a supervised replacement
+    /// rejoined from its checkpoint and ran the rank to completion.
+    Recovered {
+        /// How many times the rank was respawned.
+        respawns: u64,
+    },
+}
+
+/// Supervisor policy for `--recover`: how often and how patiently a dead
+/// worker is respawned before the cluster falls back to degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Respawn budget *per rank*; once exhausted the rank stays dead and
+    /// the survivors degrade around it exactly as with recovery off.
+    pub max_restarts: u64,
+    /// First respawn delay; doubles per attempt (exponential backoff).
+    pub backoff_base: Duration,
+    /// Ceiling on the backoff delay.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_restarts: 3,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
 }
 
 /// Exit code a worker uses to report a *simulated* crash, so the root
@@ -145,6 +192,37 @@ pub fn run_cluster_root(
     plan: FaultPlan,
     worker_args: &[String],
 ) -> Result<(DeepThermoReport, Vec<WorkerOutcome>), DeepThermoError> {
+    run_cluster_root_with(runner, spec, plan, worker_args, None)
+}
+
+/// [`run_cluster_root`] with a supervising recovery loop: worker deaths
+/// are reaped concurrently with rank 0's sampling, injected kills (exit
+/// code [`KILLED_EXIT_CODE`]) are distinguished from real crashes, and
+/// dead workers are respawned with bounded exponential backoff until
+/// `policy.max_restarts` is exhausted — after which the cluster falls
+/// back to graceful degradation. Respawned workers are re-launched with
+/// [`RESPAWN_COUNT_FLAG`] so the replacement rejoins from its own newest
+/// checkpoint.
+///
+/// # Errors
+/// Everything [`run_cluster_root`] can return.
+pub fn run_cluster_root_recovering(
+    runner: &DeepThermo,
+    spec: ClusterSpec,
+    plan: FaultPlan,
+    worker_args: &[String],
+    policy: RecoveryPolicy,
+) -> Result<(DeepThermoReport, Vec<WorkerOutcome>), DeepThermoError> {
+    run_cluster_root_with(runner, spec, plan, worker_args, Some(policy))
+}
+
+fn run_cluster_root_with(
+    runner: &DeepThermo,
+    spec: ClusterSpec,
+    plan: FaultPlan,
+    worker_args: &[String],
+    policy: Option<RecoveryPolicy>,
+) -> Result<(DeepThermoReport, Vec<WorkerOutcome>), DeepThermoError> {
     spec.validate_against(runner)?;
     let rendezvous =
         TcpRendezvous::bind("127.0.0.1:0").map_err(|e| cluster_err("bind rendezvous", e))?;
@@ -154,49 +232,227 @@ pub fn run_cluster_root(
         .to_string();
     let exe = std::env::current_exe().map_err(|e| cluster_err("locate own executable", e))?;
 
-    let mut children: Vec<Child> = Vec::with_capacity(spec.size - 1);
+    let mut workers: Vec<Supervised> = Vec::with_capacity(spec.size - 1);
     for rank in 1..spec.size {
-        let spawned = Command::new(&exe)
-            .args(worker_args)
-            .arg(WORKER_RANK_FLAG)
-            .arg(rank.to_string())
-            .arg(RENDEZVOUS_FLAG)
-            .arg(&addr)
-            .spawn()
-            .map_err(|e| cluster_err(&format!("spawn worker rank {rank}"), e));
-        match spawned {
-            Ok(child) => children.push(child),
+        match spawn_worker(&exe, worker_args, rank, &addr, 0) {
+            Ok(child) => workers.push(Supervised {
+                rank,
+                child,
+                respawns: 0,
+                injected_deaths: 0,
+                done: None,
+            }),
             Err(e) => {
                 // Don't leave already-spawned workers dialing a mesh
                 // that will never assemble.
-                for mut child in children {
-                    let _ = child.kill();
-                    let _ = child.wait();
+                for mut w in workers {
+                    let _ = w.child.kill();
+                    let _ = w.child.wait();
                 }
                 return Err(e);
             }
         }
     }
 
-    let transport = rendezvous
-        .into_transport(spec.size)
-        .map_err(|e| cluster_err("assemble TCP mesh", e))?;
-    let comm = Communicator::new(transport, plan);
-    let result = runner.run_cluster_rank(comm);
+    // The supervisor reaps (and under a recovery policy, respawns)
+    // workers while rank 0 samples on this thread.
+    let ctx = SupervisorCtx {
+        exe,
+        args: worker_args.to_vec(),
+        addr,
+        policy,
+    };
+    let stop_respawn = Arc::new(AtomicBool::new(false));
+    let abort = Arc::new(AtomicBool::new(false));
+    let supervisor = {
+        let stop_respawn = Arc::clone(&stop_respawn);
+        let abort = Arc::clone(&abort);
+        std::thread::spawn(move || supervise(ctx, workers, &stop_respawn, &abort))
+    };
 
-    let mut outcomes = Vec::with_capacity(children.len());
-    for child in &mut children {
-        outcomes.push(match child.wait() {
-            Ok(status) if status.success() => WorkerOutcome::Completed,
-            Ok(status) if status.code() == Some(KILLED_EXIT_CODE as i32) => WorkerOutcome::Killed,
-            _ => WorkerOutcome::Failed,
-        });
+    let recovering = policy.is_some();
+    let mesh = if recovering {
+        rendezvous.into_transport_recovering(spec.size)
+    } else {
+        rendezvous.into_transport(spec.size)
+    };
+    let result = match mesh {
+        Ok(transport) => {
+            let comm = Communicator::new(transport, plan);
+            runner.run_cluster_rank(comm)
+        }
+        Err(e) => Err(cluster_err("assemble TCP mesh", e)),
+    };
+
+    // Rank 0 is done (or failed): no further respawns make sense. On
+    // failure, reap the children instead of waiting on a broken mesh.
+    stop_respawn.store(true, Ordering::SeqCst);
+    if result.is_err() {
+        abort.store(true, Ordering::SeqCst);
     }
+    let outcomes = supervisor.join().unwrap_or_default();
 
     let report = result?.ok_or_else(|| DeepThermoError::Cluster {
         message: "rank 0 produced no report".to_string(),
     })?;
     Ok((report, outcomes))
+}
+
+/// One worker under supervision.
+struct Supervised {
+    rank: usize,
+    child: Child,
+    respawns: u64,
+    injected_deaths: u64,
+    done: Option<WorkerOutcome>,
+}
+
+/// Everything the supervisor needs to re-launch a worker.
+struct SupervisorCtx {
+    exe: PathBuf,
+    args: Vec<String>,
+    addr: String,
+    policy: Option<RecoveryPolicy>,
+}
+
+fn spawn_worker(
+    exe: &PathBuf,
+    args: &[String],
+    rank: usize,
+    addr: &str,
+    respawns: u64,
+) -> Result<Child, DeepThermoError> {
+    let mut cmd = Command::new(exe);
+    cmd.args(args)
+        .arg(WORKER_RANK_FLAG)
+        .arg(rank.to_string())
+        .arg(RENDEZVOUS_FLAG)
+        .arg(addr);
+    if respawns > 0 {
+        cmd.arg(RESPAWN_COUNT_FLAG).arg(respawns.to_string());
+    }
+    cmd.spawn()
+        .map_err(|e| cluster_err(&format!("spawn worker rank {rank}"), e))
+}
+
+/// Classify a worker exit status.
+fn classify_exit(status: ExitStatus) -> WorkerOutcome {
+    if status.success() {
+        WorkerOutcome::Completed
+    } else if status.code() == Some(KILLED_EXIT_CODE as i32) {
+        WorkerOutcome::Killed
+    } else {
+        WorkerOutcome::Failed
+    }
+}
+
+/// The supervisor loop: poll every live worker, reap exits, respawn dead
+/// workers under the recovery policy (exponential backoff, per-rank
+/// budget), and drain the rest once `stop_respawn` is raised. `abort`
+/// kills whatever is still running (rank 0 failed; the mesh is gone).
+fn supervise(
+    ctx: SupervisorCtx,
+    mut workers: Vec<Supervised>,
+    stop_respawn: &AtomicBool,
+    abort: &AtomicBool,
+) -> Vec<WorkerOutcome> {
+    loop {
+        if abort.load(Ordering::SeqCst) {
+            for w in &mut workers {
+                if w.done.is_none() {
+                    let _ = w.child.kill();
+                    let _ = w.child.wait();
+                    w.done = Some(WorkerOutcome::Failed);
+                }
+            }
+        }
+        let mut pending = false;
+        for w in &mut workers {
+            if w.done.is_some() {
+                continue;
+            }
+            let status = match w.child.try_wait() {
+                Ok(Some(status)) => status,
+                Ok(None) => {
+                    pending = true;
+                    continue;
+                }
+                Err(_) => {
+                    w.done = Some(WorkerOutcome::Failed);
+                    continue;
+                }
+            };
+            match classify_exit(status) {
+                WorkerOutcome::Completed => {
+                    w.done = Some(if w.respawns > 0 {
+                        WorkerOutcome::Recovered {
+                            respawns: w.respawns,
+                        }
+                    } else {
+                        WorkerOutcome::Completed
+                    });
+                }
+                death => {
+                    let injected = death == WorkerOutcome::Killed;
+                    if injected {
+                        w.injected_deaths += 1;
+                    }
+                    let respawnable = ctx
+                        .policy
+                        .filter(|p| w.respawns < p.max_restarts)
+                        .filter(|_| !stop_respawn.load(Ordering::SeqCst));
+                    match respawnable {
+                        Some(p) => {
+                            let delay = p
+                                .backoff_base
+                                .saturating_mul(1u32 << w.respawns.min(16) as u32)
+                                .min(p.backoff_cap);
+                            eprintln!(
+                                "cluster: worker rank {} {} — respawning in {:.1} ms \
+                                 (attempt {}/{})",
+                                w.rank,
+                                if injected {
+                                    "died from an injected fault".to_string()
+                                } else {
+                                    format!("crashed ({status})")
+                                },
+                                delay.as_secs_f64() * 1e3,
+                                w.respawns + 1,
+                                p.max_restarts,
+                            );
+                            std::thread::sleep(delay);
+                            w.respawns += 1;
+                            match spawn_worker(&ctx.exe, &ctx.args, w.rank, &ctx.addr, w.respawns) {
+                                Ok(child) => {
+                                    w.child = child;
+                                    pending = true;
+                                }
+                                Err(e) => {
+                                    eprintln!("cluster: respawn of rank {} failed: {e}", w.rank);
+                                    w.done = Some(WorkerOutcome::Failed);
+                                }
+                            }
+                        }
+                        None => {
+                            if ctx.policy.is_some() && !stop_respawn.load(Ordering::SeqCst) {
+                                eprintln!(
+                                    "cluster: worker rank {} exhausted its restart budget; \
+                                     survivors degrade around it",
+                                    w.rank
+                                );
+                            }
+                            w.done = Some(death);
+                        }
+                    }
+                }
+            }
+        }
+        if !pending && workers.iter().all(|w| w.done.is_some()) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    workers.into_iter().map(|w| w.done.unwrap()).collect()
 }
 
 /// Worker side of a multi-process run: dial the rendezvous as `rank`,
@@ -215,9 +471,43 @@ pub fn run_cluster_worker(
     rendezvous: &str,
     plan: FaultPlan,
 ) -> Result<WorkerOutcome, DeepThermoError> {
-    install_crash_hook();
     let transport = TcpTransport::connect(rendezvous, rank, size)
         .map_err(|e| cluster_err(&format!("rank {rank} dial rendezvous {rendezvous}"), e))?;
+    finish_worker(runner, transport, plan)
+}
+
+/// Worker side of a *recovering* cluster: a first life (`respawns == 0`)
+/// dials the rendezvous with re-admission enabled; a replacement life
+/// re-binds its rank id in the existing mesh and resumes from its own
+/// newest checkpoint (the rank engine reads `respawns` out of the
+/// config). Kills already spent on earlier lives are disarmed so the
+/// replacement does not immediately re-die.
+///
+/// # Errors
+/// Everything [`run_cluster_worker`] can return.
+pub fn run_cluster_worker_recovering(
+    runner: &DeepThermo,
+    rank: usize,
+    size: usize,
+    rendezvous: &str,
+    plan: FaultPlan,
+    respawns: u64,
+) -> Result<WorkerOutcome, DeepThermoError> {
+    let transport = if respawns == 0 {
+        TcpTransport::connect_recovering(rendezvous, rank, size)
+    } else {
+        TcpTransport::reconnect(rendezvous, rank, size)
+    }
+    .map_err(|e| cluster_err(&format!("rank {rank} dial rendezvous {rendezvous}"), e))?;
+    finish_worker(runner, transport, plan.disarm_kills(rank, respawns))
+}
+
+fn finish_worker(
+    runner: &DeepThermo,
+    transport: TcpTransport,
+    plan: FaultPlan,
+) -> Result<WorkerOutcome, DeepThermoError> {
+    install_crash_hook();
     let comm = Communicator::new(transport, plan);
     match std::panic::catch_unwind(AssertUnwindSafe(|| runner.run_cluster_rank(comm))) {
         Ok(Ok(report)) => {

@@ -56,7 +56,7 @@ pub mod error;
 pub mod pipeline;
 pub mod report;
 
-pub use cluster::{ClusterSpec, WorkerOutcome};
+pub use cluster::{ClusterSpec, RecoveryPolicy, WorkerOutcome};
 pub use config::{DeepThermoConfig, DeepThermoConfigBuilder, MaterialSpec};
 pub use error::{ConfigError, DeepThermoError};
 pub use pipeline::DeepThermo;

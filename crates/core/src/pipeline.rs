@@ -341,6 +341,7 @@ impl DeepThermo {
             stats,
             lost_ranks: out.lost_ranks,
             resumed_from: out.resumed_from,
+            recovery: out.recovery,
             telemetry: out.telemetry,
         })
     }

@@ -1,7 +1,7 @@
 //! Run reports and text/CSV rendering.
 
 use dt_proposal::MoveStats;
-use dt_rewl::WindowReport;
+use dt_rewl::{RecoveryStats, WindowReport};
 use dt_telemetry::RankTelemetry;
 use dt_thermo::{MicrocanonicalAccumulator, ThermoPoint};
 use dt_wanglandau::DosEstimate;
@@ -56,6 +56,9 @@ pub struct DeepThermoReport {
     pub lost_ranks: Vec<usize>,
     /// Checkpoint round the run resumed from, if it did.
     pub resumed_from: Option<u64>,
+    /// Self-healing counters (supervised respawns, rejoin time,
+    /// heartbeat misses); all-zero unless the run recovered a rank.
+    pub recovery: RecoveryStats,
     /// Per-rank telemetry snapshots; empty unless the run sampled with
     /// `RewlConfig::telemetry` on (see `DeepThermoConfig::with_telemetry`).
     pub telemetry: Vec<RankTelemetry>,
@@ -128,6 +131,14 @@ impl DeepThermoReport {
                 self.lost_ranks
             ));
         }
+        if self.recovery.ranks_respawned > 0 {
+            s.push_str(&format!(
+                "ranks respawned: {} (rejoin {:.1} ms, heartbeat misses: {})\n",
+                self.recovery.ranks_respawned,
+                self.recovery.rejoin_duration_ns as f64 / 1e6,
+                self.recovery.heartbeat_misses
+            ));
+        }
         s.push_str(&format!("ln g range: {:.1}\n", self.ln_g_range));
         s.push_str(&format!(
             "order-disorder transition: T_c ~ {:.0} K (Cv peak {:.2} kB)\n",
@@ -185,6 +196,7 @@ mod tests {
             stats: MoveStats::new(),
             lost_ranks: vec![],
             resumed_from: None,
+            recovery: RecoveryStats::default(),
             telemetry: vec![],
         }
     }
@@ -202,5 +214,19 @@ mod tests {
     #[test]
     fn summary_mentions_tc() {
         assert!(dummy().summary().contains("T_c ~ 300"));
+    }
+
+    #[test]
+    fn summary_surfaces_recovery_counters_only_when_nonzero() {
+        let mut r = dummy();
+        assert!(!r.summary().contains("ranks respawned"));
+        r.recovery = RecoveryStats {
+            ranks_respawned: 2,
+            rejoin_duration_ns: 1_500_000,
+            heartbeat_misses: 3,
+        };
+        let s = r.summary();
+        assert!(s.contains("ranks respawned: 2"), "{s}");
+        assert!(s.contains("heartbeat misses: 3"), "{s}");
     }
 }

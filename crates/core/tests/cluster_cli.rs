@@ -121,6 +121,85 @@ fn tcp_cluster_cli_survives_an_injected_worker_kill() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The self-healing gate, end to end through the real binary: a cluster
+/// run that loses a worker under `--recover` must produce byte-identical
+/// science outputs to the fault-free cluster run, report the supervised
+/// respawn on stdout, and record nonzero recovery counters in the
+/// summary.
+#[test]
+fn tcp_cluster_cli_recovers_a_killed_worker_bit_for_bit() {
+    let dir = scratch("recover");
+    let clean_out = dir.join("clean");
+    let healed_out = dir.join("healed");
+    let common = [
+        "--seed",
+        "5",
+        "--lnf",
+        "1e-3",
+        "--max-sweeps",
+        "60000",
+        "--cluster",
+        "tcp:4",
+    ];
+
+    let mut clean_args: Vec<&str> = BASE.to_vec();
+    clean_args.extend_from_slice(&common);
+    clean_args.extend_from_slice(&["--out", clean_out.to_str().unwrap()]);
+    let out = deepthermo(&clean_args);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Same seed, worker rank 2 (window 1's leader) killed at round 3;
+    // the supervisor respawns it and the replacement rejoins from its
+    // checkpoint.
+    let mut heal_args: Vec<&str> = BASE.to_vec();
+    heal_args.extend_from_slice(&common);
+    heal_args.extend_from_slice(&[
+        "--out",
+        healed_out.to_str().unwrap(),
+        "--kill",
+        "2:3",
+        "--recover",
+        "--max-restarts",
+        "2",
+    ]);
+    let out = deepthermo(&heal_args);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("worker rank 2 recovered after 1 supervised respawn"),
+        "root must report the recovery:\n{stdout}"
+    );
+
+    let summary = String::from_utf8(read(&healed_out, "summary.txt")).unwrap();
+    assert!(
+        summary.contains("ranks respawned: 1"),
+        "summary must record the respawn:\n{summary}"
+    );
+    assert!(
+        !summary.contains("ranks lost"),
+        "a recovered run loses nothing:\n{summary}"
+    );
+
+    // The science outputs must match the fault-free run byte for byte
+    // (summary.txt legitimately differs by the recovery lines).
+    for name in ["dos.csv", "sro.csv", "thermo.csv"] {
+        assert_eq!(
+            read(&clean_out, name),
+            read(&healed_out, name),
+            "{name} differs between the fault-free and the recovered run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn tcp_cluster_cli_rejects_a_rank_count_that_mismatches_the_plan() {
     let dir = scratch("mismatch");

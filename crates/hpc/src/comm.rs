@@ -156,6 +156,44 @@ impl<T: Transport> Communicator<T> {
         &self.transport
     }
 
+    /// The fault plan this communicator was built with. Drivers record it
+    /// into run manifests so a resume can verify the same failure schedule
+    /// is being replayed.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.faults.plan()
+    }
+
+    /// Start heartbeat-based liveness on backends that support it (see
+    /// [`Transport::start_heartbeats`]).
+    pub fn start_heartbeats(&self, interval: Duration, deadline: Duration) {
+        self.transport.start_heartbeats(interval, deadline);
+    }
+
+    /// Heartbeat deadlines missed so far (see
+    /// [`Transport::heartbeat_misses`]).
+    pub fn heartbeat_misses(&self) -> u64 {
+        self.transport.heartbeat_misses()
+    }
+
+    /// Toggle transport recovery mode (see [`Transport::set_recovery`]):
+    /// dead peers are treated as temporarily absent so a respawned
+    /// replacement can rejoin in-flight collectives.
+    pub fn set_recovery(&self, enabled: bool) {
+        self.transport.set_recovery(enabled);
+    }
+
+    /// This rank's collective generation counters (see
+    /// [`Transport::collective_generations`]).
+    pub fn collective_generations(&self) -> [u64; 3] {
+        self.transport.collective_generations()
+    }
+
+    /// Restore collective generation counters on a rejoining rank (see
+    /// [`Transport::set_collective_generations`]).
+    pub fn set_collective_generations(&self, gens: [u64; 3]) {
+        self.transport.set_collective_generations(gens);
+    }
+
     /// A point-in-time copy of this rank's message-traffic counters.
     pub fn traffic(&self) -> TrafficSnapshot {
         let c = &self.traffic;
@@ -178,6 +216,7 @@ impl<T: Transport> Communicator<T> {
     /// boundary on the TCP backend) converts the unwind into a dead-rank
     /// outcome.
     pub fn poll_faults(&self, round: u64) {
+        self.faults.set_round(round);
         if let Some(kill_round) = self.faults.plan().kill_due(self.rank(), round) {
             std::panic::panic_any(SimulatedCrash {
                 rank: self.rank(),

@@ -40,12 +40,36 @@
 //! collide. Dead ranks are skipped — collectives complete over the
 //! survivors, as on the thread fabric — but if the *coordinator* (rank 0)
 //! dies, waiters get [`CommError::RankDead`]`(0)` instead.
+//!
+//! ## Recovery
+//!
+//! The recovering constructors ([`TcpRendezvous::into_transport_recovering`],
+//! [`TcpTransport::connect_recovering`], [`TcpTransport::reconnect`]) add a
+//! self-healing layer on top of the same mesh:
+//!
+//! * every rank keeps its data listener open behind a **re-admission
+//!   acceptor** thread, so a replacement process can dial in at any time;
+//!   an installed replacement connection *revives* the peer (dead flag
+//!   cleared, live count restored). Per-peer connection generations stop a
+//!   stale reader's EOF from killing a freshly revived peer;
+//! * rank 0 keeps the **rendezvous** listener open: a replacement
+//!   announces `[rank][new_port]` exactly like bootstrap, the port table
+//!   is updated, and the current table is replied so the replacement can
+//!   re-dial the whole mesh;
+//! * optional **heartbeats** ([`Transport::start_heartbeats`]): every
+//!   frame arrival stamps a per-peer last-seen clock, a ping keeps idle
+//!   links warm, and a monitor declares peers dead on deadline — an
+//!   active failure detector instead of EOF-only;
+//! * in recovery mode the rank-0 coordinator treats a dead contributor as
+//!   *temporarily* absent and keeps waiting (bounded by
+//!   [`RECOVERY_DEADLINE`]) so a rejoining replacement lands in the
+//!   collective generation it missed.
 
 use std::cell::Cell;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,21 +88,60 @@ const K_BARRIER_RELEASE: u64 = 2;
 const K_REDUCE_CONTRIB: u64 = 3;
 const K_REDUCE_RESULT: u64 = 4;
 const K_BCAST: u64 = 5;
+const K_HEARTBEAT: u64 = 6;
+
+/// How long a recovery-mode coordinator waits for a dead rank to be
+/// replaced before giving up on it (degradation fallback). Far above any
+/// realistic respawn+rejoin time, far below the collective watchdog.
+pub const RECOVERY_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Poll cadence of the re-admission acceptor threads.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
 fn coll_tag(kind: u64, generation: u64) -> u64 {
     debug_assert!(generation < 1 << 56, "collective generation overflow");
     COLL_BIT | (kind << 56) | generation
 }
 
-/// State shared between a rank's main thread and its per-peer reader
-/// threads.
+/// The fixed heartbeat tag (generation-free: pings are not sequenced).
+fn hb_tag() -> u64 {
+    coll_tag(K_HEARTBEAT, 0)
+}
+
+/// State shared between a rank's main thread, its per-peer reader
+/// threads, and (in recovery mode) its acceptor/heartbeat threads.
 struct Shared {
     inbox: Inbox,
     dead: Vec<AtomicBool>,
     live: AtomicUsize,
+    /// Connection generation per peer: bumped when a replacement stream
+    /// is installed, so the EOF of a superseded reader cannot kill a
+    /// revived peer.
+    conn_gen: Vec<AtomicU64>,
+    /// When each peer last delivered any frame (heartbeat or data).
+    last_seen: Vec<Mutex<Instant>>,
+    /// Peers declared dead by the heartbeat monitor (deadline missed).
+    hb_misses: AtomicU64,
+    /// Recovery mode: dead peers are temporarily absent, not gone.
+    recovery: AtomicBool,
+    /// Tells acceptor/heartbeat threads to exit (set on transport drop).
+    shutdown: AtomicBool,
 }
 
 impl Shared {
+    fn new(size: usize) -> Self {
+        Shared {
+            inbox: Inbox::default(),
+            dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
+            live: AtomicUsize::new(size),
+            conn_gen: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            last_seen: (0..size).map(|_| Mutex::new(Instant::now())).collect(),
+            hb_misses: AtomicU64::new(0),
+            recovery: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
     fn is_dead(&self, rank: usize) -> bool {
         self.dead[rank].load(Ordering::SeqCst)
     }
@@ -90,7 +153,33 @@ impl Shared {
         self.live.fetch_sub(1, Ordering::SeqCst);
         self.inbox.notify_all();
     }
+
+    /// Death announcement from a reader created at connection generation
+    /// `gen`: ignored when a newer connection has been installed since.
+    fn mark_dead_if_current(&self, rank: usize, gen: u64) {
+        if self.conn_gen[rank].load(Ordering::SeqCst) == gen {
+            self.mark_dead(rank);
+        }
+    }
+
+    /// Re-admit a peer: clear its dead flag and restore the live count.
+    fn revive(&self, rank: usize) {
+        if self.dead[rank].swap(false, Ordering::SeqCst) {
+            self.live.fetch_add(1, Ordering::SeqCst);
+            self.inbox.notify_all();
+        }
+    }
+
+    fn touch(&self, rank: usize) {
+        *self.last_seen[rank].lock() = Instant::now();
+    }
 }
+
+/// Replaceable write halves, one slot per peer (`None` at our own index
+/// and for peers whose connection is currently down). Shared with the
+/// re-admission acceptor so replacement connections can be installed
+/// while the rank runs.
+type PeerSlots = Vec<Mutex<Option<TcpStream>>>;
 
 /// The rank-0 rendezvous point workers dial to join a run.
 pub struct TcpRendezvous {
@@ -125,6 +214,23 @@ impl TcpRendezvous {
     /// # Errors
     /// Socket failures, or a malformed/duplicate worker hello.
     pub fn into_transport(self, size: usize) -> io::Result<TcpTransport> {
+        self.into_transport_inner(size, false)
+    }
+
+    /// Like [`Self::into_transport`], but keeps both the rendezvous and
+    /// the data listener alive behind acceptor threads so killed workers
+    /// can be replaced mid-run: a replacement re-announces
+    /// `[rank][new_port]` over the rendezvous exactly as at bootstrap and
+    /// receives the updated port table, and its mesh dial-ins are
+    /// installed live (see [`TcpTransport::reconnect`]).
+    ///
+    /// # Errors
+    /// Socket failures, or a malformed/duplicate worker hello.
+    pub fn into_transport_recovering(self, size: usize) -> io::Result<TcpTransport> {
+        self.into_transport_inner(size, true)
+    }
+
+    fn into_transport_inner(self, size: usize, recovering: bool) -> io::Result<TcpTransport> {
         assert!(size > 0, "cluster needs at least one rank");
         let data_listener = TcpListener::bind("127.0.0.1:0")?;
         let mut ports = vec![0u16; size];
@@ -156,7 +262,45 @@ impl TcpRendezvous {
         }
 
         // Phase 3: rank 0 dials nobody; accept all mesh connections.
-        TcpTransport::finish(0, size, accept_mesh(&data_listener, size, &[])?)
+        let transport = TcpTransport::finish(0, size, accept_mesh(&data_listener, size, &[])?)?;
+        if !recovering {
+            return Ok(transport);
+        }
+        let transport = transport.enable_recovery(data_listener)?;
+        self.listener.set_nonblocking(true)?;
+        let shared = Arc::clone(&transport.shared);
+        std::thread::Builder::new()
+            .name("tcp-rendezvous-0".into())
+            .spawn(move || rendezvous_loop(self.listener, ports, shared))?;
+        Ok(transport)
+    }
+}
+
+/// Rank 0's re-admission service: answer `[rank][new_port]` announcements
+/// from replacement workers with the up-to-date port table, forever (until
+/// the transport shuts down). The same wire exchange as bootstrap, so
+/// [`TcpTransport::reconnect`] needs no second protocol.
+fn rendezvous_loop(listener: TcpListener, mut ports: Vec<u16>, shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut s, _)) => {
+                let _ = s.set_nonblocking(false);
+                let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                let Ok(rank) = read_u32(&mut s) else { continue };
+                let Ok(port) = read_u16(&mut s) else { continue };
+                let rank = rank as usize;
+                if rank == 0 || rank >= ports.len() {
+                    continue;
+                }
+                ports[rank] = port;
+                let mut table = Vec::with_capacity(2 * ports.len());
+                for p in &ports {
+                    table.extend_from_slice(&p.to_le_bytes());
+                }
+                let _ = s.write_all(&table);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
     }
 }
 
@@ -188,9 +332,10 @@ pub struct TcpTransport {
     rank: usize,
     size: usize,
     shared: Arc<Shared>,
-    /// Write halves, one per peer (`None` at our own index). Reader
-    /// threads own cloned handles.
-    peers: Vec<Option<Mutex<TcpStream>>>,
+    /// Replaceable write halves, one slot per peer (`None` at our own
+    /// index). Reader threads own cloned handles; the re-admission
+    /// acceptor installs replacement streams in place.
+    peers: Arc<PeerSlots>,
     barrier_gen: Cell<u64>,
     reduce_gen: Cell<u64>,
     bcast_gen: Cell<u64>,
@@ -203,19 +348,30 @@ impl TcpTransport {
     /// # Errors
     /// Socket failures, or a malformed rendezvous reply.
     pub fn connect(addr: &str, rank: usize, size: usize) -> io::Result<TcpTransport> {
+        Self::connect_inner(addr, rank, size, false)
+    }
+
+    /// Like [`Self::connect`], but keeps the data listener alive behind a
+    /// re-admission acceptor so replacement peers can dial in mid-run.
+    /// Use together with [`TcpRendezvous::into_transport_recovering`].
+    ///
+    /// # Errors
+    /// Socket failures, or a malformed rendezvous reply.
+    pub fn connect_recovering(addr: &str, rank: usize, size: usize) -> io::Result<TcpTransport> {
+        Self::connect_inner(addr, rank, size, true)
+    }
+
+    fn connect_inner(
+        addr: &str,
+        rank: usize,
+        size: usize,
+        recovering: bool,
+    ) -> io::Result<TcpTransport> {
         assert!(rank > 0 && rank < size, "worker rank out of range");
         let data_listener = TcpListener::bind("127.0.0.1:0")?;
 
         // Check in with rank 0 and learn everyone's data port.
-        let mut rendezvous = TcpStream::connect(addr)?;
-        rendezvous.write_all(&(rank as u32).to_le_bytes())?;
-        rendezvous.write_all(&data_listener.local_addr()?.port().to_le_bytes())?;
-        let mut table = vec![0u8; 2 * size];
-        rendezvous.read_exact(&mut table)?;
-        let ports: Vec<u16> = table
-            .chunks_exact(2)
-            .map(|c| u16::from_le_bytes([c[0], c[1]]))
-            .collect();
+        let ports = announce_to_rendezvous(addr, rank, size, &data_listener)?;
 
         // Dial every lower rank, then accept every higher one.
         let lower: Vec<usize> = (0..rank).collect();
@@ -225,59 +381,188 @@ impl TcpTransport {
             s.write_all(&(rank as u32).to_le_bytes())?;
             peers[j] = Some(s);
         }
-        Self::finish(rank, size, peers)
+        let transport = Self::finish(rank, size, peers)?;
+        if recovering {
+            transport.enable_recovery(data_listener)
+        } else {
+            Ok(transport)
+        }
+    }
+
+    /// Rejoin a running cluster as a *replacement* for a dead worker
+    /// `rank`: re-announce over the still-open rendezvous, learn the
+    /// current port table, and dial every peer's re-admission acceptor.
+    /// Peers that are themselves down right now stay marked dead until
+    /// they dial back in. The returned transport is always in recovery
+    /// mode (listener kept alive, acceptor running).
+    ///
+    /// # Errors
+    /// Socket failures, or a malformed rendezvous reply — the supervisor
+    /// treats these as a failed restart attempt.
+    pub fn reconnect(addr: &str, rank: usize, size: usize) -> io::Result<TcpTransport> {
+        assert!(rank > 0 && rank < size, "worker rank out of range");
+        let data_listener = TcpListener::bind("127.0.0.1:0")?;
+        let ports = announce_to_rendezvous(addr, rank, size, &data_listener)?;
+
+        // Dial the whole mesh: every survivor's acceptor installs our
+        // connection and revives us on its side.
+        let mut peers: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+        let mut unreachable = Vec::new();
+        for (j, slot) in peers.iter_mut().enumerate() {
+            if j == rank {
+                continue;
+            }
+            match TcpStream::connect(("127.0.0.1", ports[j])) {
+                Ok(mut s) => {
+                    s.write_all(&(rank as u32).to_le_bytes())?;
+                    *slot = Some(s);
+                }
+                Err(_) => unreachable.push(j),
+            }
+        }
+        let transport = Self::finish(rank, size, peers)?;
+        for j in unreachable {
+            transport.shared.mark_dead(j);
+        }
+        transport.enable_recovery(data_listener)
     }
 
     /// Wrap a fully connected mesh: spawn reader threads and assemble the
     /// transport.
     fn finish(rank: usize, size: usize, peers: Vec<Option<TcpStream>>) -> io::Result<TcpTransport> {
-        let shared = Arc::new(Shared {
-            inbox: Inbox::default(),
-            dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
-            live: AtomicUsize::new(size),
-        });
-        let mut write_halves: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(size);
+        let shared = Arc::new(Shared::new(size));
+        let slots: Arc<PeerSlots> = Arc::new((0..size).map(|_| Mutex::new(None)).collect());
         for (peer, stream) in peers.into_iter().enumerate() {
-            match stream {
-                None => write_halves.push(None),
-                Some(s) => {
-                    s.set_nodelay(true)?;
-                    let reader = s.try_clone()?;
-                    let shared = Arc::clone(&shared);
-                    std::thread::Builder::new()
-                        .name(format!("tcp-reader-{rank}-from-{peer}"))
-                        .spawn(move || reader_loop(reader, peer, shared))?;
-                    write_halves.push(Some(Mutex::new(s)));
-                }
+            if let Some(s) = stream {
+                install_peer(&shared, &slots, rank, peer, s)?;
             }
         }
         Ok(TcpTransport {
             rank,
             size,
             shared,
-            peers: write_halves,
+            peers: slots,
             barrier_gen: Cell::new(0),
             reduce_gen: Cell::new(0),
             bcast_gen: Cell::new(0),
         })
     }
 
-    /// Receive on a collective tag as the coordinator: a dead peer is
-    /// skipped (`None`), a timeout is a protocol violation.
+    /// Switch on recovery semantics and park `listener` behind the
+    /// re-admission acceptor thread so replacement peers can join later.
+    fn enable_recovery(self, listener: TcpListener) -> io::Result<TcpTransport> {
+        self.shared.recovery.store(true, Ordering::SeqCst);
+        listener.set_nonblocking(true)?;
+        let shared = Arc::clone(&self.shared);
+        let peers = Arc::clone(&self.peers);
+        let rank = self.rank;
+        std::thread::Builder::new()
+            .name(format!("tcp-acceptor-{rank}"))
+            .spawn(move || acceptor_loop(listener, rank, shared, peers))?;
+        Ok(self)
+    }
+
+    /// Receive on a collective tag as the coordinator. A dead peer is
+    /// skipped (`None`) — except in recovery mode, where death is assumed
+    /// temporary and the wait continues until [`RECOVERY_DEADLINE`], so a
+    /// rejoining replacement can contribute to the generation it missed.
+    /// A watchdog timeout is a protocol violation.
     fn coll_recv(&self, from: usize, tag: u64, what: &str) -> Option<Vec<u8>> {
-        match self.recv_timeout(from, tag, WATCHDOG) {
-            Ok(payload) => Some(payload),
-            Err(CommError::RankDead(_)) => None,
-            Err(CommError::Timeout { .. }) => {
-                panic!("rank {}: {what} watchdog expired", self.rank)
+        let started = Instant::now();
+        loop {
+            match self.recv_timeout(from, tag, WATCHDOG) {
+                Ok(payload) => return Some(payload),
+                Err(CommError::RankDead(_)) => {
+                    if self.shared.recovery.load(Ordering::SeqCst)
+                        && started.elapsed() < RECOVERY_DEADLINE
+                    {
+                        std::thread::sleep(Duration::from_millis(25));
+                        continue;
+                    }
+                    return None;
+                }
+                Err(CommError::Timeout { .. }) => {
+                    panic!("rank {}: {what} watchdog expired", self.rank)
+                }
             }
         }
     }
 }
 
+/// One `[rank][data_port]` check-in over the rendezvous (bootstrap and
+/// re-admission use the identical exchange); returns the port table.
+fn announce_to_rendezvous(
+    addr: &str,
+    rank: usize,
+    size: usize,
+    data_listener: &TcpListener,
+) -> io::Result<Vec<u16>> {
+    let mut rendezvous = TcpStream::connect(addr)?;
+    rendezvous.write_all(&(rank as u32).to_le_bytes())?;
+    rendezvous.write_all(&data_listener.local_addr()?.port().to_le_bytes())?;
+    let mut table = vec![0u8; 2 * size];
+    rendezvous.read_exact(&mut table)?;
+    Ok(table
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+        .collect())
+}
+
+/// Wire a (possibly replacement) connection from `from` into the mesh:
+/// bump the connection generation *first* (so a superseded reader's EOF is
+/// ignored from here on), install the write half, spawn the reader, then
+/// revive the peer.
+fn install_peer(
+    shared: &Arc<Shared>,
+    peers: &Arc<PeerSlots>,
+    my_rank: usize,
+    from: usize,
+    stream: TcpStream,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let reader = stream.try_clone()?;
+    let gen = shared.conn_gen[from].fetch_add(1, Ordering::SeqCst) + 1;
+    shared.touch(from);
+    *peers[from].lock() = Some(stream);
+    let shared_reader = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("tcp-reader-{my_rank}-from-{from}"))
+        .spawn(move || reader_loop(reader, from, gen, shared_reader))?;
+    shared.revive(from);
+    Ok(())
+}
+
+/// The re-admission acceptor: accept `[rank]` mesh hellos at any point in
+/// the run and install the connection as a replacement for that peer.
+/// Runs until the transport shuts down.
+fn acceptor_loop(
+    listener: TcpListener,
+    my_rank: usize,
+    shared: Arc<Shared>,
+    peers: Arc<PeerSlots>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut s, _)) => {
+                let _ = s.set_nonblocking(false);
+                let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                let Ok(from) = read_u32(&mut s) else { continue };
+                let from = from as usize;
+                if from >= peers.len() || from == my_rank {
+                    continue;
+                }
+                let _ = s.set_read_timeout(None);
+                let _ = install_peer(&shared, &peers, my_rank, from, s);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
 /// Demultiplex frames from one peer into the rank's inbox; runs until the
-/// connection closes, then announces the peer's death.
-fn reader_loop(mut stream: TcpStream, from: usize, shared: Arc<Shared>) {
+/// connection closes, then announces the peer's death — unless a newer
+/// connection generation has replaced this one in the meantime.
+fn reader_loop(mut stream: TcpStream, from: usize, gen: u64, shared: Arc<Shared>) {
     loop {
         let mut head = [0u8; 20];
         if stream.read_exact(&mut head).is_err() {
@@ -290,12 +575,17 @@ fn reader_loop(mut stream: TcpStream, from: usize, shared: Arc<Shared>) {
         if stream.read_exact(&mut payload).is_err() {
             break;
         }
+        shared.touch(from);
+        if tag == hb_tag() {
+            // Heartbeats only feed the liveness clock; never the inbox.
+            continue;
+        }
         let deliver_at = Instant::now() + Duration::from_micros(delay_us);
         shared.inbox.push(from, tag, payload, deliver_at);
     }
     // EOF is reached only after every buffered frame above was pushed, so
     // the death can never overtake a delivered message.
-    shared.mark_dead(from);
+    shared.mark_dead_if_current(from, gen);
 }
 
 impl Transport for TcpTransport {
@@ -326,15 +616,13 @@ impl Transport for TcpTransport {
             self.shared.inbox.push(to, tag, data, deliver_at);
             return;
         }
-        let mut frame = Vec::with_capacity(20 + data.len());
-        frame.extend_from_slice(&(data.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&tag.to_le_bytes());
-        frame.extend_from_slice(&delay_us.to_le_bytes());
-        frame.extend_from_slice(&data);
-        let stream = self.peers[to].as_ref().expect("peer stream exists");
-        // A write failure means the peer is gone; its reader thread will
-        // notice the EOF — drop the message like any send to the dead.
-        let _ = stream.lock().write_all(&frame);
+        let frame = frame_bytes(tag, delay_us, &data);
+        // A write failure (or an empty slot while a replacement connects)
+        // means the peer is gone; its reader thread will notice the EOF —
+        // drop the message like any send to the dead.
+        if let Some(stream) = self.peers[to].lock().as_mut() {
+            let _ = stream.write_all(&frame);
+        }
     }
 
     fn try_recv(&self, from: usize, tag: u64) -> Result<Option<Vec<u8>>, CommError> {
@@ -444,18 +732,103 @@ impl Transport for TcpTransport {
             }
         }
     }
+
+    fn start_heartbeats(&self, interval: Duration, deadline: Duration) {
+        // Reset every liveness clock so peers idle since bootstrap don't
+        // trip the deadline on the very first monitor pass.
+        for j in 0..self.size {
+            self.shared.touch(j);
+        }
+        let shared = Arc::clone(&self.shared);
+        let peers = Arc::clone(&self.peers);
+        let me = self.rank;
+        std::thread::Builder::new()
+            .name(format!("tcp-hb-send-{me}"))
+            .spawn(move || {
+                let frame = frame_bytes(hb_tag(), 0, &[]);
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    for (j, slot) in peers.iter().enumerate() {
+                        if j == me || shared.is_dead(j) {
+                            continue;
+                        }
+                        if let Some(s) = slot.lock().as_mut() {
+                            let _ = s.write_all(&frame);
+                        }
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn heartbeat sender");
+        let shared = Arc::clone(&self.shared);
+        let me = self.rank;
+        let size = self.size;
+        std::thread::Builder::new()
+            .name(format!("tcp-hb-mon-{me}"))
+            .spawn(move || {
+                let poll = (deadline / 4).max(Duration::from_millis(1));
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    for j in 0..size {
+                        if j == me || shared.is_dead(j) {
+                            continue;
+                        }
+                        if shared.last_seen[j].lock().elapsed() > deadline {
+                            shared.hb_misses.fetch_add(1, Ordering::SeqCst);
+                            shared.mark_dead(j);
+                        }
+                    }
+                    std::thread::sleep(poll);
+                }
+            })
+            .expect("spawn heartbeat monitor");
+    }
+
+    fn heartbeat_misses(&self) -> u64 {
+        self.shared.hb_misses.load(Ordering::SeqCst)
+    }
+
+    fn set_recovery(&self, enabled: bool) {
+        self.shared.recovery.store(enabled, Ordering::SeqCst);
+    }
+
+    fn collective_generations(&self) -> [u64; 3] {
+        [
+            self.barrier_gen.get(),
+            self.reduce_gen.get(),
+            self.bcast_gen.get(),
+        ]
+    }
+
+    fn set_collective_generations(&self, gens: [u64; 3]) {
+        self.barrier_gen.set(gens[0]);
+        self.reduce_gen.set(gens[1]);
+        self.bcast_gen.set(gens[2]);
+    }
 }
 
 impl Drop for TcpTransport {
     /// Shut every peer connection down explicitly. The FIN is sent after
     /// all queued data, so peers drain our remaining messages and *then*
     /// observe the death — this is what makes "send results, then exit"
-    /// and "panic mid-round" both behave correctly.
+    /// and "panic mid-round" both behave correctly. Also releases this
+    /// rank's acceptor and heartbeat threads (and, on rank 0, the
+    /// rendezvous service).
     fn drop(&mut self) {
-        for stream in self.peers.iter().flatten() {
-            let _ = stream.lock().shutdown(std::net::Shutdown::Both);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for slot in self.peers.iter() {
+            if let Some(stream) = slot.lock().as_ref() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
         }
     }
+}
+
+fn frame_bytes(tag: u64, delay_us: u64, data: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(20 + data.len());
+    frame.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&tag.to_le_bytes());
+    frame.extend_from_slice(&delay_us.to_le_bytes());
+    frame.extend_from_slice(data);
+    frame
 }
 
 fn encode_f64s(data: &[f64]) -> Vec<u8> {
@@ -532,6 +905,76 @@ impl TcpCluster {
                 .collect()
         })
     }
+
+    /// [`Self::run_loopback`] with self-healing: every rank runs under a
+    /// per-rank supervisor that, when the rank dies with restart budget
+    /// left, waits out a bounded exponential backoff, rebuilds the mesh
+    /// through the still-open rendezvous ([`TcpTransport::reconnect`]),
+    /// disarms the kills that already fired, and re-runs `f` with the
+    /// incremented respawn count — the in-process twin of the dt-core
+    /// process supervisor. Rank 0 (rendezvous + collective coordinator)
+    /// is never respawned; its death ends the run as usual.
+    ///
+    /// `f` receives `(comm, respawns)` so the program can rejoin from its
+    /// checkpoint rather than start over.
+    pub fn run_loopback_recovering<T, F>(
+        size: usize,
+        plan: FaultPlan,
+        max_restarts: u64,
+        f: F,
+    ) -> Vec<RankOutcome<T>>
+    where
+        T: Send,
+        F: Fn(Communicator<TcpTransport>, u64) -> T + Sync,
+    {
+        assert!(size > 0, "cluster needs at least one rank");
+        install_crash_hook();
+        let rendezvous = TcpRendezvous::bind("127.0.0.1:0").expect("bind rendezvous");
+        let addr = rendezvous
+            .local_addr()
+            .expect("rendezvous address")
+            .to_string();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            let root_plan = plan.clone();
+            let f_ref = &f;
+            handles.push(scope.spawn(move || {
+                let transport = rendezvous
+                    .into_transport_recovering(size)
+                    .expect("rank 0 mesh setup");
+                run_rank_with(transport, root_plan, f_ref, 0)
+            }));
+            for rank in 1..size {
+                let plan = plan.clone();
+                let addr = addr.clone();
+                let f_ref = &f;
+                handles.push(scope.spawn(move || {
+                    let mut respawns = 0u64;
+                    loop {
+                        let transport = if respawns == 0 {
+                            TcpTransport::connect_recovering(&addr, rank, size)
+                        } else {
+                            TcpTransport::reconnect(&addr, rank, size)
+                        }
+                        .expect("worker mesh setup");
+                        let armed = plan.disarm_kills(rank, respawns);
+                        match run_rank_with(transport, armed, f_ref, respawns) {
+                            RankOutcome::Died { .. } if respawns < max_restarts => {
+                                let backoff = Duration::from_millis(10 << respawns.min(4));
+                                std::thread::sleep(backoff);
+                                respawns += 1;
+                            }
+                            outcome => return outcome,
+                        }
+                    }
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread itself must not die"))
+                .collect()
+        })
+    }
 }
 
 fn run_rank<T, F>(transport: TcpTransport, plan: FaultPlan, f: &F) -> RankOutcome<T>
@@ -540,6 +983,24 @@ where
 {
     let comm = Communicator::new(transport, plan);
     match catch_unwind(AssertUnwindSafe(|| f(comm))) {
+        Ok(v) => RankOutcome::Completed(v),
+        Err(payload) => RankOutcome::Died {
+            cause: describe_panic(payload.as_ref()),
+        },
+    }
+}
+
+fn run_rank_with<T, F>(
+    transport: TcpTransport,
+    plan: FaultPlan,
+    f: &F,
+    respawns: u64,
+) -> RankOutcome<T>
+where
+    F: Fn(Communicator<TcpTransport>, u64) -> T,
+{
+    let comm = Communicator::new(transport, plan);
+    match catch_unwind(AssertUnwindSafe(|| f(comm, respawns))) {
         Ok(v) => RankOutcome::Completed(v),
         Err(payload) => RankOutcome::Died {
             cause: describe_panic(payload.as_ref()),

@@ -96,6 +96,40 @@ pub trait Transport: Send {
     /// [`CommError::RankDead`] on every waiter when the root died before
     /// providing its payload.
     fn broadcast_checked(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>, CommError>;
+
+    /// Start heartbeat-based liveness: ping every live peer each
+    /// `interval` and declare a peer dead when nothing (heartbeat or
+    /// data) has arrived from it for `deadline`. Backends without an
+    /// active failure detector (the thread fabric, where death is
+    /// announced synchronously) ignore this.
+    fn start_heartbeats(&self, _interval: Duration, _deadline: Duration) {}
+
+    /// Number of heartbeat deadlines missed so far (peers declared dead
+    /// by the heartbeat monitor rather than by connection teardown).
+    fn heartbeat_misses(&self) -> u64 {
+        0
+    }
+
+    /// Put the transport in recovery mode: a dead peer is treated as
+    /// *temporarily* absent — coordinator-side collective receives keep
+    /// waiting for it (up to a recovery deadline) instead of skipping it,
+    /// so a respawned replacement can contribute to the generation it
+    /// missed. Backends without re-admission ignore this.
+    fn set_recovery(&self, _enabled: bool) {}
+
+    /// This rank's collective-protocol generation counters
+    /// `[barrier, reduce, broadcast]`. A replacement rank restores these
+    /// from its checkpoint so its collective traffic lands in the same
+    /// generation namespace as the survivors'. Coordinator-free backends
+    /// return zeros.
+    fn collective_generations(&self) -> [u64; 3] {
+        [0; 3]
+    }
+
+    /// Restore the collective generation counters (see
+    /// [`Transport::collective_generations`]). A no-op on backends
+    /// without generation-tagged collectives.
+    fn set_collective_generations(&self, _gens: [u64; 3]) {}
 }
 
 /// Key of a pending message: (source rank, tag).

@@ -28,6 +28,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use dt_hpc::FaultPlan;
 use dt_proposal::MoveStats;
 use dt_wanglandau::WalkerCheckpoint;
 
@@ -112,6 +113,12 @@ pub struct RankCheckpoint {
     /// The walker RNG's stream position (restored with `set_word_pos` on
     /// the same per-rank seed, so the stream continues bit-exactly).
     pub rng_word_pos: u128,
+    /// The transport's collective generation counters
+    /// `[barrier, reduce, broadcast]` at the checkpoint round. A
+    /// replacement rank restores these so its collective traffic lands in
+    /// the same generation namespace as the survivors'. Zero on
+    /// generation-free backends.
+    pub coll_gens: [u64; 3],
     /// Flattened deep-proposal weights, when the run uses a deep kernel.
     pub deep_params: Option<Vec<f64>>,
     /// Acceptance statistics by kernel.
@@ -166,6 +173,12 @@ impl RankCheckpoint {
         )
         .expect("write");
         writeln!(s, "rng {:032x}", self.rng_word_pos).expect("write");
+        writeln!(
+            s,
+            "coll {} {} {}",
+            self.coll_gens[0], self.coll_gens[1], self.coll_gens[2]
+        )
+        .expect("write");
         match &self.deep_params {
             Some(p) => writeln!(s, "deep {}", hex_f64s(p)).expect("write"),
             None => writeln!(s, "deep -").expect("write"),
@@ -215,6 +228,21 @@ impl RankCheckpoint {
         }
         let rng_word_pos = u128::from_str_radix(expect_line(&mut lines, "rng")?, 16)
             .map_err(|_| malformed("bad rng position"))?;
+        // Optional (files from before the recovery layer lack it): the
+        // collective generation counters.
+        let mut coll_gens = [0u64; 3];
+        let mut peek = lines.clone();
+        if let Some(rest) = peek.next().and_then(|l| l.strip_prefix("coll ")) {
+            let gens: Vec<u64> = rest
+                .split_whitespace()
+                .map(|v| v.parse().map_err(|_| malformed(format!("bad gen: {v}"))))
+                .collect::<Result<_, _>>()?;
+            if gens.len() != 3 {
+                return Err(malformed("coll needs 3 fields"));
+            }
+            coll_gens.copy_from_slice(&gens);
+            lines = peek;
+        }
         let deep = expect_line(&mut lines, "deep")?;
         let deep_params = if deep == "-" {
             None
@@ -275,6 +303,7 @@ impl RankCheckpoint {
             sweeps: nums[2],
             sweeps_since_check: nums[3],
             rng_word_pos,
+            coll_gens,
             deep_params,
             stats,
             obs_dim,
@@ -316,6 +345,11 @@ pub struct RunManifest {
     pub digest: u64,
     /// Which ranks contributed a rank file to this snapshot.
     pub alive: Vec<bool>,
+    /// The fault plan (and chaos seed) active when the snapshot was
+    /// taken. Recorded so a resume can detect that it is being replayed
+    /// under a *different* injected-fault schedule — a chaos run is only
+    /// deterministic when resumed under the plan it started with.
+    pub faults: FaultPlan,
 }
 
 impl RunManifest {
@@ -333,6 +367,7 @@ impl RunManifest {
             .map(|&a| if a { '1' } else { '0' })
             .collect();
         writeln!(s, "alive {alive}").expect("write");
+        writeln!(s, "faults {}", self.faults.encode()).expect("write");
         s
     }
 
@@ -361,11 +396,19 @@ impl RunManifest {
         if alive.len() != ranks {
             return Err(malformed("alive mask length mismatch"));
         }
+        // Optional (manifests from before the recovery layer lack it):
+        // the fault plan active when the snapshot was taken.
+        let faults = match lines.next().and_then(|l| l.strip_prefix("faults ")) {
+            Some(encoded) => FaultPlan::decode(encoded.trim())
+                .map_err(|e| malformed(format!("bad fault plan: {e}")))?,
+            None => FaultPlan::none(),
+        };
         Ok(RunManifest {
             round,
             ranks,
             digest,
             alive,
+            faults,
         })
     }
 
@@ -437,6 +480,11 @@ pub struct ResumePoint {
     pub round: u64,
     /// Per-rank restored state.
     pub ranks: Vec<Option<RankCheckpoint>>,
+    /// The fault plan recorded in the winning manifest. The driver
+    /// rejects a resume whose requested plan disagrees (unless the
+    /// request is fault-free — turning injection off for the rerun is
+    /// always safe).
+    pub faults: FaultPlan,
 }
 
 /// All committed manifest rounds in `dir`, newest first. Unreadable or
@@ -524,9 +572,43 @@ pub fn load_resume_point(dir: &Path, digest: u64, num_ranks: usize) -> Option<Re
                 ranks.push(newest_rank_checkpoint(dir, rank, round).map(|(_, cp)| cp));
             }
         }
-        return Some(ResumePoint { round, ranks });
+        return Some(ResumePoint {
+            round,
+            ranks,
+            faults: manifest.faults,
+        });
     }
     None
+}
+
+/// The respawn path: resume ONE rank from its own newest decodable rank
+/// file, ignoring manifest commit status. A killed rank writes its file
+/// at the start of the round it dies in, so its newest file is an exact
+/// image of the death point — but rank 0 may still be collecting commit
+/// confirmations when the supervisor respawns the worker, so the newest
+/// *manifest* can lag one round behind. Resuming from the lagging
+/// manifest would replay a round the survivors have already finished;
+/// the own file can't. Other ranks' slots are `None` (the replacement
+/// only restores itself). `None` when the rank never checkpointed — the
+/// replacement then starts fresh, which is exact when the death predates
+/// the first snapshot.
+pub fn load_own_resume_point(dir: &Path, rank: usize, num_ranks: usize) -> Option<ResumePoint> {
+    let (round, cp) = newest_rank_checkpoint(dir, rank, u64::MAX)?;
+    let mut ranks: Vec<Option<RankCheckpoint>> = vec![None; num_ranks];
+    ranks[rank] = Some(cp);
+    // The manifest (when one is committed for this round) carries the
+    // recorded plan; plan validation already happened at cluster launch,
+    // so a missing manifest just means an empty plan here.
+    let faults = fs::read_to_string(manifest_path(dir, round))
+        .ok()
+        .and_then(|text| RunManifest::decode(&text).ok())
+        .map(|m| m.faults)
+        .unwrap_or_else(FaultPlan::none);
+    Some(ResumePoint {
+        round,
+        ranks,
+        faults,
+    })
 }
 
 #[cfg(test)]
@@ -561,6 +643,7 @@ mod tests {
             sweeps: 1234,
             sweeps_since_check: 7,
             rng_word_pos: 0xDEAD_BEEF_0123_4567_89AB_CDEF_u128,
+            coll_gens: [3, 14, 1],
             deep_params: Some(vec![0.25, -1.5, 3e-9]),
             stats,
             obs_dim: 2,
@@ -601,6 +684,7 @@ mod tests {
             ranks: 4,
             digest: 0x1234_5678_9abc_def0,
             alive: vec![true, true, false, true],
+            faults: FaultPlan::none().kill_at_round(2, 7),
         };
         assert_eq!(RunManifest::decode(&m.encode()).unwrap(), m);
         assert!(matches!(
@@ -627,6 +711,7 @@ mod tests {
             ranks: 2,
             digest,
             alive: vec![true, true],
+            faults: FaultPlan::none(),
         }
         .write(&dir)
         .unwrap();
@@ -640,6 +725,7 @@ mod tests {
             ranks: 2,
             digest,
             alive: vec![true, true],
+            faults: FaultPlan::none(),
         }
         .write(&dir)
         .unwrap();
@@ -673,6 +759,7 @@ mod tests {
             ranks: 2,
             digest,
             alive: vec![true, false],
+            faults: FaultPlan::none(),
         }
         .write(&dir)
         .unwrap();
@@ -689,6 +776,45 @@ mod tests {
     }
 
     #[test]
+    fn coll_line_is_optional_for_pre_recovery_files() {
+        // Files written before the recovery layer have no "coll" line;
+        // they must still decode, with zeroed generation counters.
+        let cp = sample_rank();
+        let text: String = cp
+            .encode()
+            .lines()
+            .filter(|l| !l.starts_with("coll "))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = RankCheckpoint::decode(&text).unwrap();
+        assert_eq!(back.coll_gens, [0, 0, 0]);
+        assert_eq!(back.sweeps, cp.sweeps);
+    }
+
+    #[test]
+    fn manifest_fault_line_is_optional_and_round_trips() {
+        let m = RunManifest {
+            round: 3,
+            ranks: 2,
+            digest: 9,
+            alive: vec![true, true],
+            faults: FaultPlan::chaos(11, 4, 20),
+        };
+        let back = RunManifest::decode(&m.encode()).unwrap();
+        assert_eq!(back.faults, m.faults);
+        assert_eq!(back.faults.chaos_seed(), Some(11));
+        // Pre-recovery manifests carry no faults line ⇒ empty plan.
+        let legacy: String = m
+            .encode()
+            .lines()
+            .filter(|l| !l.starts_with("faults "))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = RunManifest::decode(&legacy).unwrap();
+        assert!(back.faults.is_empty());
+    }
+
+    #[test]
     fn atomic_write_replaces_existing_file() {
         let dir = std::env::temp_dir().join(format!("dtrewl-ckpt-atomic-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
@@ -699,5 +825,174 @@ mod tests {
         assert_eq!(fs::read_to_string(&path).unwrap(), "two");
         assert!(!dir.join("m.txt.tmp").exists());
         let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[cfg(test)]
+mod ckpt_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Interpret raw bits as a finite f64 (NaN would break the `PartialEq`
+    /// round-trip comparison even though the hex wire format preserves its
+    /// bits exactly).
+    fn finite(bits: u64) -> f64 {
+        let v = f64::from_bits(bits);
+        if v.is_finite() {
+            v
+        } else {
+            f64::from_bits(bits & 0x000F_FFFF_FFFF_FFFF)
+        }
+    }
+
+    /// Composite strategy for a full rank checkpoint. Built from nested
+    /// tuple strategies (the vendored mini-proptest has no
+    /// `prop_compose!`); the three groups are arbitrary.
+    #[allow(clippy::type_complexity)]
+    fn arb_rank_checkpoint() -> impl Strategy<Value = RankCheckpoint> {
+        let group_a = (
+            proptest::collection::vec(0u64..u64::MAX / 2, 4),
+            (any::<u64>(), 0u64..1 << 60),
+            proptest::collection::vec(0u64..1 << 50, 3),
+            prop_oneof![
+                proptest::collection::vec(any::<u64>(), 0..8).prop_map(Some),
+                Just(None),
+            ],
+            proptest::collection::vec((0u64..1 << 40, 0.0f64..=1.0), 0..4),
+        );
+        let group_b = (
+            1usize..5,
+            1usize..4,
+            proptest::collection::vec(any::<u64>(), 16),
+            proptest::collection::vec(0u64..1 << 40, 16),
+            proptest::collection::vec(any::<u64>(), 8),
+        );
+        let group_c = (
+            proptest::collection::vec(0u64..1 << 40, 8),
+            proptest::collection::vec(0u8..3, 1..10),
+            0u64..u64::MAX / 2,
+            0u32..64,
+            any::<bool>(),
+        );
+        (group_a, group_b, group_c).prop_map(
+            |(
+                (counters, word_pos, coll_gens, deep_bits, stats_counts),
+                (bins, obs_dim, sro_bits, sro_counts, walker_bits),
+                (visits, species, total_moves, stages, one_over_t),
+            )| {
+                let mut stats = MoveStats::new();
+                for (i, &(p, frac)) in stats_counts.iter().enumerate() {
+                    let a = ((p as f64) * frac) as u64;
+                    stats.record_n(&format!("kernel{i}"), p, a.min(p));
+                }
+                let walker = WalkerCheckpoint {
+                    e_min: -(finite(walker_bits[0]).abs()) - 1.0,
+                    e_max: finite(walker_bits[1]).abs() + 1.0,
+                    num_bins: bins,
+                    ln_g: walker_bits[2..2 + bins]
+                        .iter()
+                        .map(|&b| finite(b))
+                        .collect(),
+                    visits: visits[..bins].to_vec(),
+                    ever_visited: visits[..bins].iter().map(|&v| v % 2 == 0).collect(),
+                    species: species.clone(),
+                    num_species: 3,
+                    energy: finite(walker_bits[6]),
+                    ln_f: finite(walker_bits[7]).abs(),
+                    total_moves,
+                    stages,
+                    one_over_t_phase: one_over_t,
+                };
+                RankCheckpoint {
+                    exchange_attempts: counters[0],
+                    exchange_accepted: counters[1],
+                    sweeps: counters[2],
+                    sweeps_since_check: counters[3],
+                    rng_word_pos: (u128::from(word_pos.1) << 64) | u128::from(word_pos.0),
+                    coll_gens: [coll_gens[0], coll_gens[1], coll_gens[2]],
+                    deep_params: deep_bits.map(|v| v.into_iter().map(finite).collect()),
+                    stats,
+                    obs_dim,
+                    sro_sums: sro_bits[..bins * obs_dim]
+                        .iter()
+                        .map(|&b| finite(b))
+                        .collect(),
+                    sro_counts: sro_counts[..bins].to_vec(),
+                    walker,
+                }
+            },
+        )
+    }
+
+    proptest! {
+        /// Arbitrary rank state survives encode → decode bit-exactly.
+        #[test]
+        fn rank_checkpoint_round_trips(cp in arb_rank_checkpoint()) {
+            let back = RankCheckpoint::decode(&cp.encode()).unwrap();
+            prop_assert_eq!(back, cp);
+        }
+
+        /// A prefix-truncated file is rejected — or, when the cut only
+        /// removes trailing whitespace, decodes to exactly the original.
+        /// It never silently misdecodes to different state.
+        #[test]
+        fn truncated_rank_checkpoint_never_misdecodes(
+            cp in arb_rank_checkpoint(),
+            frac in 0.0f64..1.0,
+        ) {
+            let text = cp.encode();
+            // The format is pure ASCII, so any byte index is a char
+            // boundary.
+            let cut = (text.len() as f64 * frac) as usize;
+            let prefix = &text[..cut];
+            match RankCheckpoint::decode(prefix) {
+                Err(_) => {}
+                Ok(back) => prop_assert_eq!(back, cp),
+            }
+        }
+
+        /// Single-byte corruption anywhere in the file must never panic
+        /// the decoder, and whatever it yields must re-encode cleanly.
+        #[test]
+        fn corrupt_byte_never_panics_decoder(
+            cp in arb_rank_checkpoint(),
+            frac in 0.0f64..1.0,
+            flip in 1u8..=255,
+        ) {
+            let mut bytes = cp.encode().into_bytes();
+            let idx = ((bytes.len() - 1) as f64 * frac) as usize;
+            bytes[idx] ^= flip;
+            let text = String::from_utf8_lossy(&bytes);
+            if let Ok(back) = RankCheckpoint::decode(&text) {
+                let _ = back.encode();
+            }
+        }
+
+        /// Manifests round-trip for arbitrary shapes, including recorded
+        /// chaos plans.
+        #[test]
+        fn manifest_round_trips(
+            round in 0u64..1 << 40,
+            digest in any::<u64>(),
+            alive in proptest::collection::vec(any::<bool>(), 1..9),
+            chaos in prop_oneof![
+                (any::<u64>(), 2usize..6, 1u64..100).prop_map(Some),
+                Just(None),
+            ],
+        ) {
+            let faults = match chaos {
+                Some((seed, ranks, rounds)) => FaultPlan::chaos(seed, ranks, rounds),
+                None => FaultPlan::none(),
+            };
+            let m = RunManifest {
+                round,
+                ranks: alive.len(),
+                digest,
+                alive,
+                faults,
+            };
+            let back = RunManifest::decode(&m.encode()).unwrap();
+            prop_assert_eq!(back, m);
+        }
     }
 }

@@ -57,6 +57,18 @@ pub struct RewlConfig {
     /// traffic into [`RewlOutput::telemetry`]. Off by default; when off
     /// the instrumentation reduces to a single branch per site.
     pub telemetry: bool,
+    /// Self-healing mode: dead peers are treated as temporarily absent
+    /// (a supervisor is expected to respawn them), survivors wait for
+    /// replacements instead of degrading, and the cluster snapshots
+    /// every round so a replacement always finds an exact image of its
+    /// death point. Requires `checkpoint` to be set to be useful.
+    pub recovery: bool,
+    /// How many times THIS rank's process has already been respawned by
+    /// its supervisor. `0` for a first life. A respawned rank resumes
+    /// from its own newest rank file (not the committed manifest, which
+    /// may lag the death round) and restores its collective generation
+    /// counters so it rejoins the exact protocol point where it died.
+    pub respawns: u64,
 }
 
 impl Default for RewlConfig {
@@ -75,6 +87,8 @@ impl Default for RewlConfig {
             faults: FaultPlan::none(),
             checkpoint: None,
             telemetry: false,
+            recovery: false,
+            respawns: 0,
         }
     }
 }
@@ -101,6 +115,19 @@ pub enum RewlError {
         /// Walkers the window started with (all lost).
         walkers: usize,
     },
+    /// The checkpoint directory records a different fault schedule than
+    /// this run was asked to inject. Resuming would replay a different
+    /// failure history (or re-kill ranks that already died), so the
+    /// resume is refused outright. Re-run with the recorded plan, with no
+    /// plan at all (an empty plan resumes anything), or point the run at
+    /// a fresh checkpoint directory.
+    FaultPlanMismatch {
+        /// The plan recorded in the newest committed manifest
+        /// ([`FaultPlan::encode`] form).
+        recorded: String,
+        /// The plan this run was configured with.
+        requested: String,
+    },
 }
 
 impl std::fmt::Display for RewlError {
@@ -112,6 +139,14 @@ impl std::fmt::Display for RewlError {
             RewlError::WindowLost { window, walkers } => write!(
                 f,
                 "window {window}: all {walkers} walkers lost — the DOS piece is unrecoverable"
+            ),
+            RewlError::FaultPlanMismatch {
+                recorded,
+                requested,
+            } => write!(
+                f,
+                "checkpoint records fault plan `{recorded}` but this run requested \
+                 `{requested}` — refusing to resume under a different failure schedule"
             ),
         }
     }
@@ -177,21 +212,78 @@ pub struct RewlOutput {
     /// Per-rank telemetry snapshots (surviving ranks only, in rank
     /// order). Empty unless [`RewlConfig::telemetry`] was set.
     pub telemetry: Vec<RankTelemetry>,
+    /// Self-healing statistics aggregated over the gathered ranks. All
+    /// zero on a run without recovery (or without faults).
+    pub recovery: RecoveryStats,
+}
+
+/// Aggregate self-healing statistics of one run, summed over the ranks
+/// that made it to the final gather.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Total respawns across all ranks (a rank respawned twice counts
+    /// twice).
+    pub ranks_respawned: u64,
+    /// Total wall-clock nanoseconds replacement ranks spent restoring
+    /// state and rejoining the cluster.
+    pub rejoin_duration_ns: u64,
+    /// Heartbeat deadlines missed across all ranks (each one marked a
+    /// peer dead ahead of any socket-level signal).
+    pub heartbeat_misses: u64,
 }
 
 /// Locate the newest usable resume point for this config, creating the
-/// checkpoint directory as a side effect. `None` when checkpointing is
-/// off, the directory is unusable, or no consistent snapshot exists.
-fn find_resume_point(cfg: &RewlConfig, digest: u64, size: usize) -> Option<ResumePoint> {
-    let spec = cfg.checkpoint.as_ref()?;
+/// checkpoint directory as a side effect. `Ok(None)` when checkpointing
+/// is off, the directory is unusable, or no consistent snapshot exists.
+///
+/// A respawned rank (`cfg.respawns > 0`) bypasses the committed manifest
+/// and resumes from its own newest rank file: the file was written at the
+/// start of the round it died in, which may be newer than the last
+/// manifest rank 0 managed to commit (the supervisor can respawn a worker
+/// faster than the coordinator collects commit confirmations). Resuming
+/// one round behind the survivors would desynchronize the whole protocol;
+/// the own-file round is exact by construction.
+///
+/// # Errors
+/// [`RewlError::FaultPlanMismatch`] when the manifest records a different
+/// (non-empty vs different) fault schedule than `requested`. An empty
+/// requested plan resumes anything — "rerun without faults" is the normal
+/// recovery action after a faulty run. Respawned ranks skip the check:
+/// their plan was validated when the cluster launched, and the supervisor
+/// hands them a disarmed variant (spent kills removed) that would never
+/// compare equal.
+fn find_resume_point(
+    cfg: &RewlConfig,
+    digest: u64,
+    rank: usize,
+    size: usize,
+    requested: &FaultPlan,
+) -> Result<Option<ResumePoint>, RewlError> {
+    let Some(spec) = cfg.checkpoint.as_ref() else {
+        return Ok(None);
+    };
     if let Err(e) = std::fs::create_dir_all(&spec.dir) {
         eprintln!(
             "rewl: cannot create checkpoint dir {}: {e}; checkpointing disabled",
             spec.dir.display()
         );
-        return None;
+        return Ok(None);
     }
-    checkpoint::load_resume_point(&spec.dir, digest, size)
+    if cfg.respawns > 0 {
+        return Ok(checkpoint::load_own_resume_point(&spec.dir, rank, size));
+    }
+    match checkpoint::load_resume_point(&spec.dir, digest, size) {
+        Some(rp) => {
+            if *requested != FaultPlan::none() && rp.faults != *requested {
+                return Err(RewlError::FaultPlanMismatch {
+                    recorded: rp.faults.encode(),
+                    requested: requested.encode(),
+                });
+            }
+            Ok(Some(rp))
+        }
+        None => Ok(None),
+    }
 }
 
 /// Run REWL on a simulated cluster of `M·W` ranks (threads).
@@ -228,7 +320,7 @@ pub fn run_rewl<M: EnergyModel + Sync>(
     );
     let size = cfg.num_windows * cfg.walkers_per_window;
     let digest = checkpoint::config_digest(cfg);
-    let resume = find_resume_point(cfg, digest, size);
+    let resume = find_resume_point(cfg, digest, 0, size, &cfg.faults)?;
     let resume_ref = resume.as_ref();
 
     let outcomes = ThreadCluster::run_with_faults(size, cfg.faults.clone(), |comm| {
@@ -314,7 +406,7 @@ pub fn run_rewl_on<M: EnergyModel, T: Transport>(
         cfg.overlap,
     );
     let digest = checkpoint::config_digest(cfg);
-    let resume = find_resume_point(cfg, digest, size);
+    let resume = find_resume_point(cfg, digest, comm.rank(), size, comm.fault_plan())?;
     let (result, telemetry) = RankEngine::new(
         comm,
         model,

@@ -9,14 +9,16 @@
 //! additive `ln g` constants on co-visited bins), and stitches the
 //! windows into the global density of states.
 
+use std::time::Instant;
+
 use dt_hpc::{Communicator, Transport};
 use dt_proposal::MoveStats;
 use dt_telemetry::RankTelemetry;
 use dt_thermo::MicrocanonicalAccumulator;
 use dt_wanglandau::WlWalker;
 
-use crate::driver::{RewlConfig, RewlError, RewlOutput, WindowReport};
-use crate::exchange::{tags, COLLECT_DEADLINE};
+use crate::driver::{RecoveryStats, RewlConfig, RewlError, RewlOutput, WindowReport};
+use crate::exchange::{recv_until, tags};
 use crate::merge::merge_windows;
 use crate::windows::WindowLayout;
 use crate::wire;
@@ -26,9 +28,13 @@ pub(crate) struct RankPiece {
     pub(crate) ln_g: Vec<f64>,
     pub(crate) mask: Vec<bool>,
     pub(crate) stats: MoveStats,
-    /// `[exchange_attempts, exchange_accepted, converged, ln_f bits, moves]`.
+    /// `[exchange_attempts, exchange_accepted, converged, ln_f bits,
+    /// moves, respawns, rejoin_duration_ns, heartbeat_misses]`.
     pub(crate) counts: Vec<u64>,
 }
+
+/// Number of fields in [`RankPiece::counts`].
+const COUNT_FIELDS: usize = 8;
 
 impl RankPiece {
     /// Capture this rank's own contribution (rank 0 keeps its piece
@@ -63,17 +69,21 @@ pub(crate) fn send_piece<T: Transport>(
 }
 
 /// Receive one rank's gather contribution, validating every shape; any
-/// timeout, dead peer, or malformed payload drops the whole rank.
+/// timeout, dead peer, or malformed payload drops the whole rank. All
+/// receives share the caller's absolute `deadline` (one budget per
+/// collection phase, not per message); `wait_dead` tolerates a peer that
+/// is mid-respawn (recovery mode).
 pub(crate) fn recv_rank_piece<T: Transport>(
     comm: &Communicator<T>,
     other: usize,
     window_bins: usize,
     global_bins: usize,
     obs_dim: usize,
+    deadline: Instant,
+    wait_dead: bool,
 ) -> Result<(RankPiece, MicrocanonicalAccumulator), String> {
     let grab = |tag: u64| -> Result<Vec<u8>, String> {
-        comm.recv_timeout(other, tag, COLLECT_DEADLINE)
-            .map_err(|e| e.to_string())
+        recv_until(comm, other, tag, deadline, wait_dead).map_err(|e| e.to_string())
     };
     let ln_g = wire::decode_f64s(&grab(tags::GATHER_LN_G)?).map_err(|e| e.to_string())?;
     let mask = wire::decode_mask(&grab(tags::GATHER_MASK)?);
@@ -86,10 +96,13 @@ pub(crate) fn recv_rank_piece<T: Transport>(
             mask.len()
         ));
     }
-    if counts.len() != 5 {
-        return Err(format!("counts has {} fields, expected 5", counts.len()));
+    if counts.len() != COUNT_FIELDS {
+        return Err(format!(
+            "counts has {} fields, expected {COUNT_FIELDS}",
+            counts.len()
+        ));
     }
-    let acc = recv_accumulator(comm, other, global_bins, obs_dim)?;
+    let acc = recv_accumulator(comm, other, global_bins, obs_dim, deadline, wait_dead)?;
     Ok((
         RankPiece {
             ln_g,
@@ -175,16 +188,16 @@ fn recv_accumulator<T: Transport>(
     from: usize,
     bins: usize,
     obs_dim: usize,
+    deadline: Instant,
+    wait_dead: bool,
 ) -> Result<MicrocanonicalAccumulator, String> {
     let sums = wire::decode_f64s(
-        &comm
-            .recv_timeout(from, tags::GATHER_SRO_SUMS, COLLECT_DEADLINE)
+        &recv_until(comm, from, tags::GATHER_SRO_SUMS, deadline, wait_dead)
             .map_err(|e| e.to_string())?,
     )
     .map_err(|e| e.to_string())?;
     let counts = wire::decode_u64s(
-        &comm
-            .recv_timeout(from, tags::GATHER_SRO_COUNTS, COLLECT_DEADLINE)
+        &recv_until(comm, from, tags::GATHER_SRO_COUNTS, deadline, wait_dead)
             .map_err(|e| e.to_string())?,
     )
     .map_err(|e| e.to_string())?;
@@ -255,6 +268,12 @@ pub(crate) fn assemble_output(
     let (dos, mask) = merge_windows(layout, &pieces);
     let total_moves = per_rank.iter().flatten().map(|p| p.counts[4]).sum();
     let converged_all = reports.iter().all(|r| r.converged);
+    let mut recovery = RecoveryStats::default();
+    for p in per_rank.iter().flatten() {
+        recovery.ranks_respawned += p.counts[5];
+        recovery.rejoin_duration_ns += p.counts[6];
+        recovery.heartbeat_misses += p.counts[7];
+    }
     Ok(RewlOutput {
         dos,
         mask,
@@ -266,5 +285,6 @@ pub(crate) fn assemble_output(
         lost_ranks,
         resumed_from: resumed_round,
         telemetry,
+        recovery,
     })
 }

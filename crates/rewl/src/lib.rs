@@ -47,7 +47,26 @@
 //! [`WindowReport::lost_walkers`] and [`RewlOutput::lost_ranks`]. With
 //! [`RewlConfig::checkpoint`] set, the cluster additionally snapshots
 //! itself every few rounds (see [`checkpoint`]) and the next run over the
-//! same directory resumes from the newest consistent snapshot.
+//! same directory resumes from the newest consistent snapshot. The fault
+//! plan is recorded in the snapshot manifest; a resume that requests a
+//! *different* non-empty plan is refused with
+//! [`RewlError::FaultPlanMismatch`].
+//!
+//! ## Recovery (self-healing)
+//!
+//! With [`RewlConfig::recovery`] on (process clusters only), a dead rank
+//! is not merely degraded around — it comes back. Recovery forces
+//! checkpoint cadence 1 and orders each round *checkpoint, then poll
+//! faults*, so a killed rank always leaves an exact image of its death
+//! round; a respawned process (nonzero [`RewlConfig::respawns`]) resumes
+//! from its own newest rank file via [`load_own_resume_point`], runs a
+//! `Rejoin` phase that restores walker state, RNG word position, and the
+//! transport's collective generation counters, then replays the death
+//! round. First receives of each protocol step wait with recovery
+//! patience and retransmit; round-scoped tags make replayed duplicates
+//! harmless. The healed run is bit-identical to a fault-free one (see
+//! `tests/tcp_backend.rs`), and [`RewlOutput::recovery`] carries the
+//! respawn/rejoin/heartbeat counters.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -64,9 +83,12 @@ pub mod windows;
 pub mod wire;
 
 pub use checkpoint::{
-    load_resume_point, CheckpointSpec, CkptError, RankCheckpoint, ResumePoint, RunManifest,
+    load_own_resume_point, load_resume_point, CheckpointSpec, CkptError, RankCheckpoint,
+    ResumePoint, RunManifest,
 };
-pub use driver::{run_rewl, run_rewl_on, RankRun, RewlConfig, RewlError, RewlOutput, WindowReport};
+pub use driver::{
+    run_rewl, run_rewl_on, RankRun, RecoveryStats, RewlConfig, RewlError, RewlOutput, WindowReport,
+};
 pub use exchange::{exchange_role, ExchangeRole};
 pub use merge::merge_windows;
 pub use serial::run_windows_serial;

@@ -1,14 +1,15 @@
 //! The per-rank REWL engine: one walker's life as an explicit state
 //! machine over a pluggable [`Transport`].
 //!
-//! Each round steps through the phases
+//! Each rank's life starts with a one-shot `Rejoin` phase, then steps
+//! through the round phases
 //!
 //! ```text
-//! Checkpoint → Sample → Retrain → Exchange → Converge
-//!      ↑                                        │
-//!      └────────── not converged ───────────────┘
-//!                                               ↓ converged / cap
-//!                                            Gather
+//! Rejoin → Checkpoint → Sample → Retrain → Exchange → Converge
+//!               ↑                                        │
+//!               └────────── not converged ───────────────┘
+//!                                                        ↓ converged / cap
+//!                                                     Gather
 //! ```
 //!
 //! The engine is backend-agnostic: [`crate::run_rewl`] drives it on the
@@ -16,6 +17,13 @@
 //! (e.g. TCP worker processes). Phase order, message schedule, and RNG
 //! consumption are identical on every backend, so a fault-free run
 //! produces bit-identical `ln g` regardless of the wire underneath.
+//!
+//! With [`RewlConfig::recovery`] set the same state machine self-heals: a
+//! killed rank's supervisor respawns it, `Rejoin` restores its collective
+//! generation counters from the checkpoint it wrote at the start of its
+//! death round, and the replacement replays that round bit-exactly while
+//! the survivors' recovery-mode receives wait out (and, where a request
+//! died with the victim, retransmit to) the returning peer.
 
 use dt_hamiltonian::EnergyModel;
 use dt_hpc::{rank_rng, Communicator, TrafficSnapshot, Transport};
@@ -24,13 +32,18 @@ use dt_proposal::{
     DeepProposal, LocalSwap, ProposalContext, ProposalKernel, ProposalMix, ProposalTrainer,
     RandomReassign, SampleBuffer,
 };
-use dt_telemetry::{Phase, RankTelemetry, Telemetry};
+use dt_telemetry::{recovery_counters, Phase, RankTelemetry, Telemetry};
 use dt_thermo::MicrocanonicalAccumulator;
 use dt_wanglandau::WlWalker;
 
+use std::time::{Duration, Instant};
+
 use crate::checkpoint::{CheckpointSpec, RankCheckpoint, ResumePoint, RunManifest};
 use crate::driver::{RewlConfig, RewlError, RewlOutput};
-use crate::exchange::{self, exchange_role, recv_resilient, tags, ExchangeRole, COLLECT_DEADLINE};
+use crate::exchange::{
+    self, exchange_role, recv_recovering, recv_resilient, recv_until, tags, ExchangeRole,
+    COLLECT_DEADLINE,
+};
 use crate::gather::{self, accumulator_totals, RankPiece};
 use crate::spec::{DeepSpec, KernelSpec};
 use crate::windows::WindowLayout;
@@ -131,13 +144,15 @@ pub(crate) fn fill_pair_probabilities(
 }
 
 /// Snapshot one rank's telemetry, folding in the sampler's acceptance
-/// statistics, exchange counters, and (on the cluster drivers) the
-/// transport's message-traffic counters. Returns `None` when disabled.
+/// statistics, exchange counters, self-healing counters, and (on the
+/// cluster drivers) the transport's message-traffic counters. Returns
+/// `None` when disabled.
 pub(crate) fn snapshot_rank_telemetry(
     tel: &Telemetry,
     rank: usize,
     walker: &WlWalker,
     [exchange_attempts, exchange_accepted, sweeps]: [u64; 3],
+    [respawns, rejoin_duration_ns, heartbeat_misses]: [u64; 3],
     traffic: Option<TrafficSnapshot>,
 ) -> Option<RankTelemetry> {
     if !tel.is_enabled() {
@@ -154,6 +169,14 @@ pub(crate) fn snapshot_rank_telemetry(
     snap.counters
         .push(("exchange_accepted".into(), exchange_accepted));
     snap.counters.push(("sweeps".into(), sweeps));
+    snap.counters
+        .push((recovery_counters::RANKS_RESPAWNED.into(), respawns));
+    snap.counters.push((
+        recovery_counters::REJOIN_DURATION_NS.into(),
+        rejoin_duration_ns,
+    ));
+    snap.counters
+        .push((recovery_counters::HEARTBEAT_MISSES.into(), heartbeat_misses));
     if let Some(t) = traffic {
         snap.counters.push(("comm_sends".into(), t.sends));
         snap.counters.push(("comm_send_bytes".into(), t.send_bytes));
@@ -171,12 +194,16 @@ pub(crate) fn snapshot_rank_telemetry(
     Some(snap)
 }
 
-/// The phases of one rank's life. Each round visits
+/// The phases of one rank's life. `Rejoin` runs exactly once at startup;
+/// each round then visits
 /// `Checkpoint → Sample → Retrain → Exchange → Converge`; the converge
 /// decision loops back or falls through to the terminal `Gather`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EnginePhase {
-    /// Fault poll + periodic cluster snapshot (start of round).
+    /// One-shot entry: arm recovery mode, and (for a respawned rank)
+    /// restore collective generations from the checkpoint.
+    Rejoin,
+    /// Cluster snapshot (if due) + fault poll (start of round).
     Checkpoint,
     /// `exchange_every_sweeps` WL sweeps with SRO observation.
     Sample,
@@ -224,6 +251,14 @@ pub(crate) struct RankEngine<'a, M, T: Transport> {
     sweeps_since_check: u64,
     resumed_round: Option<u64>,
     round: u64,
+    /// Collective generation counters restored from this rank's
+    /// checkpoint (replacement ranks only).
+    ckpt_coll_gens: Option<[u64; 3]>,
+    /// When this engine was constructed — the respawn-to-rejoin clock.
+    started: Instant,
+    /// Nanoseconds this (respawned) rank spent restoring state and
+    /// rejoining the cluster. Zero on a first life.
+    rejoin_duration_ns: u64,
 }
 
 impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
@@ -243,6 +278,7 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
         resume: Option<&'a ResumePoint>,
         wire_telemetry: bool,
     ) -> Self {
+        let started = Instant::now();
         let rank = comm.rank();
         let w = cfg.walkers_per_window;
         let window = rank / w;
@@ -271,6 +307,7 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
                 && rc.walker.e_min.to_bits() == grid.e_min().to_bits()
                 && rc.walker.e_max.to_bits() == grid.e_max().to_bits()
         });
+        let ckpt_coll_gens = rank_state.map(|rc| rc.coll_gens);
 
         let mut walker = match rank_state {
             Some(rc) => {
@@ -356,14 +393,18 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
             sweeps_since_check,
             resumed_round,
             round: resumed_round.unwrap_or(0),
+            ckpt_coll_gens,
+            started,
+            rejoin_duration_ns: 0,
         }
     }
 
     /// Drive the state machine to completion.
     pub(crate) fn run(mut self) -> RankReturn {
-        let mut phase = EnginePhase::Checkpoint;
+        let mut phase = EnginePhase::Rejoin;
         loop {
             phase = match phase {
+                EnginePhase::Rejoin => self.phase_rejoin(),
                 EnginePhase::Checkpoint => self.phase_checkpoint(),
                 EnginePhase::Sample => self.phase_sample(),
                 EnginePhase::Retrain => self.phase_retrain(),
@@ -374,21 +415,53 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
         }
     }
 
-    /// Start of round: injected kills fire here, at a deterministic
-    /// protocol point, then the periodic cluster snapshot (if due).
+    /// One-shot entry phase. A first life falls straight through; under
+    /// recovery it also arms the transport's recovery mode (dead peers
+    /// are waited out, not written off) and heartbeat-based liveness. A
+    /// respawned rank additionally restores its collective generation
+    /// counters from the checkpoint, so its next barrier/allreduce/
+    /// broadcast joins exactly the generation the survivors are parked
+    /// in.
+    fn phase_rejoin(&mut self) -> EnginePhase {
+        if self.cfg.recovery {
+            self.comm.set_recovery(true);
+            self.comm
+                .start_heartbeats(Duration::from_millis(250), Duration::from_secs(5));
+        }
+        if self.cfg.respawns > 0 {
+            if let Some(gens) = self.ckpt_coll_gens {
+                self.comm.set_collective_generations(gens);
+            }
+            self.rejoin_duration_ns = self.started.elapsed().as_nanos() as u64;
+            eprintln!(
+                "rewl: rank {} rejoined at round {} (respawn #{}, {:.1} ms)",
+                self.rank,
+                self.round,
+                self.cfg.respawns,
+                self.rejoin_duration_ns as f64 / 1e6,
+            );
+        }
+        EnginePhase::Checkpoint
+    }
+
+    /// Start of round: the periodic cluster snapshot (if due), THEN the
+    /// fault poll. Snapshot-before-kill means an injected death always
+    /// leaves an exact on-disk image of its own round, which is what a
+    /// replacement rank resumes from; under recovery the cadence is
+    /// forced to every round for the same reason. (Checkpoint writes
+    /// consume no walker RNG, so the extra snapshots cannot perturb the
+    /// stream.)
     fn phase_checkpoint(&mut self) -> EnginePhase {
-        self.comm.poll_faults(self.round);
         let cfg = self.cfg;
         if let Some(spec) = cfg.checkpoint.as_ref() {
-            if self.round > 0
-                && self.round % spec.every_rounds == 0
-                && Some(self.round) != self.resumed_round
-            {
+            let every = if cfg.recovery { 1 } else { spec.every_rounds };
+            if self.round > 0 && self.round % every == 0 && Some(self.round) != self.resumed_round {
                 let tel = self.tel.clone();
                 let _span = tel.span(Phase::Checkpoint);
                 self.checkpoint_cluster(spec);
             }
         }
+        self.comm.poll_faults(self.round);
         EnginePhase::Sample
     }
 
@@ -454,21 +527,26 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
         if let Some(ds) = self.deep_state.as_mut() {
             if ds.spec.sync_weights && self.w > 1 {
                 let _span = self.tel.span(Phase::Allreduce);
+                let recovery = self.cfg.recovery;
                 let params = ds.deep.net().flatten_params();
                 let leader = self.window * self.w;
                 if self.slot == 0 {
                     let mut acc = params.clone();
                     let mut contributors = 1.0f64;
                     for other in (leader + 1)..(leader + self.w) {
-                        if !self.comm.is_alive(other) {
-                            continue;
+                        let tag = tags::with_round(tags::SYNC_PARAMS, self.round);
+                        // Under recovery a dead member is only
+                        // *temporarily* absent: its replacement replays
+                        // this round and sends its weights when it gets
+                        // here, so wait instead of skipping. (Nothing to
+                        // retransmit — the leader hasn't sent yet.)
+                        let got = if recovery {
+                            recv_recovering(&self.comm, other, tag, || {}).ok()
+                        } else if self.comm.is_alive(other) {
+                            recv_resilient(&self.comm, other, tag).ok()
+                        } else {
+                            None
                         }
-                        let got = recv_resilient(
-                            &self.comm,
-                            other,
-                            tags::with_round(tags::SYNC_PARAMS, self.round),
-                        )
-                        .ok()
                         .and_then(|bytes| wire::decode_f64s(&bytes).ok());
                         match got {
                             Some(theirs) if theirs.len() == acc.len() => {
@@ -492,18 +570,21 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
                         );
                     }
                     ds.deep.net_mut().set_params(&acc);
-                } else if self.comm.is_alive(leader) {
-                    self.comm.send(
-                        leader,
-                        tags::with_round(tags::SYNC_PARAMS, self.round),
-                        wire::encode_f64s(&params),
-                    );
-                    let avg = recv_resilient(
-                        &self.comm,
-                        leader,
-                        tags::with_round(tags::SYNC_PARAMS_BACK, self.round),
-                    )
-                    .ok()
+                } else if recovery || self.comm.is_alive(leader) {
+                    let params_tag = tags::with_round(tags::SYNC_PARAMS, self.round);
+                    let payload = wire::encode_f64s(&params);
+                    self.comm.send(leader, params_tag, payload.clone());
+                    let back_tag = tags::with_round(tags::SYNC_PARAMS_BACK, self.round);
+                    // If the leader died after our send, the weights died
+                    // with it — retransmit them for its replacement.
+                    let avg = if recovery {
+                        recv_recovering(&self.comm, leader, back_tag, || {
+                            self.comm.send(leader, params_tag, payload.clone());
+                        })
+                        .ok()
+                    } else {
+                        recv_resilient(&self.comm, leader, back_tag).ok()
+                    }
                     .and_then(|bytes| wire::decode_f64s(&bytes).ok());
                     if let Some(avg) = avg {
                         if avg.len() == params.len() {
@@ -526,9 +607,13 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
     /// outright; a partner that dies mid-protocol surfaces as a bounded
     /// comm error inside the handshake and voids the attempt.
     fn phase_exchange(&mut self) -> EnginePhase {
+        // Under recovery a dead partner is only temporarily absent (its
+        // replacement replays this round), so the attempt proceeds and
+        // waits the partner out instead of being skipped.
+        let recovery = self.cfg.recovery;
         match exchange_role(self.rank, self.round, self.w, self.cfg.num_windows) {
             ExchangeRole::Initiator { partner } => {
-                if self.comm.is_alive(partner) {
+                if recovery || self.comm.is_alive(partner) {
                     let _span = self.tel.span(Phase::Exchange);
                     self.exchange_attempts += 1;
                     match exchange::exchange_as_initiator(
@@ -537,6 +622,7 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
                         partner,
                         self.round,
                         self.m_species,
+                        recovery,
                     ) {
                         Ok(true) => self.exchange_accepted += 1,
                         Ok(false) => {}
@@ -547,7 +633,7 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
                 }
             }
             ExchangeRole::Responder { initiator } => {
-                if self.comm.is_alive(initiator) {
+                if recovery || self.comm.is_alive(initiator) {
                     let _span = self.tel.span(Phase::Exchange);
                     let _ = exchange::exchange_as_responder(
                         &self.comm,
@@ -555,6 +641,7 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
                         initiator,
                         self.round,
                         self.m_species,
+                        recovery,
                     );
                 }
             }
@@ -602,6 +689,9 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
             u64::from(converged),
             self.walker.ln_f().to_bits(),
             self.walker.total_moves(),
+            self.cfg.respawns,
+            self.rejoin_duration_ns,
+            self.comm.heartbeat_misses(),
         ];
         let wire_tel = self.wire_telemetry && self.tel.is_enabled();
         if self.rank != 0 {
@@ -626,6 +716,11 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
         per_rank.push(Some(RankPiece::from_walker(&self.walker, counts)));
         let mut merged_sro = std::mem::replace(&mut self.sro, MicrocanonicalAccumulator::new(1, 1));
         let mut lost_ranks = Vec::new();
+        // ONE deadline bounds the whole collection: every peer is at (or
+        // past) the gather already, so their payloads race each other,
+        // not the clock — a flat per-message timeout would overshoot by
+        // ranks × timeout when many peers are lost at once.
+        let deadline = Instant::now() + COLLECT_DEADLINE;
         {
             let _span = self.tel.span(Phase::Gather);
             for other in 1..self.comm.size() {
@@ -636,6 +731,8 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
                     hi - lo,
                     self.global_bins,
                     self.obs_dim,
+                    deadline,
+                    self.cfg.recovery,
                 ) {
                     Ok((piece, acc)) => {
                         merged_sro.merge(&acc);
@@ -659,10 +756,13 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
                 if piece.is_none() {
                     continue;
                 }
-                if let Ok(bytes) =
-                    self.comm
-                        .recv_timeout(other, tags::GATHER_TELEMETRY, COLLECT_DEADLINE)
-                {
+                if let Ok(bytes) = recv_until(
+                    &self.comm,
+                    other,
+                    tags::GATHER_TELEMETRY,
+                    deadline,
+                    self.cfg.recovery,
+                ) {
                     if let Ok(snap) = wire::decode_telemetry(&bytes) {
                         telemetry.push(snap);
                     }
@@ -688,6 +788,11 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
             self.rank,
             &self.walker,
             [self.exchange_attempts, self.exchange_accepted, self.sweeps],
+            [
+                self.cfg.respawns,
+                self.rejoin_duration_ns,
+                self.comm.heartbeat_misses(),
+            ],
             Some(self.comm.traffic()),
         )
     }
@@ -707,6 +812,7 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
             sweeps: self.sweeps,
             sweeps_since_check: self.sweeps_since_check,
             rng_word_pos,
+            coll_gens: self.comm.collective_generations(),
             deep_params: self
                 .deep_state
                 .as_ref()
@@ -735,14 +841,18 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
             );
             return;
         }
-        // Rank 0 commits: collect confirmations, then write the manifest.
+        // Rank 0 commits: collect confirmations (one shared deadline for
+        // the whole commit round), then write the manifest.
         let mut alive = vec![false; self.comm.size()];
         alive[0] = wrote;
+        let deadline = Instant::now() + COLLECT_DEADLINE;
         for (other, made_it) in alive.iter_mut().enumerate().skip(1) {
-            if let Ok(meta) = self.comm.recv_timeout(
+            if let Ok(meta) = recv_until(
+                &self.comm,
                 other,
                 tags::with_round(tags::CKPT_META, round),
-                COLLECT_DEADLINE,
+                deadline,
+                self.cfg.recovery,
             ) {
                 *made_it = meta.first() == Some(&1);
             }
@@ -752,6 +862,7 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
             ranks: self.comm.size(),
             digest: self.digest,
             alive,
+            faults: self.comm.fault_plan().clone(),
         };
         if let Err(e) = manifest.write(&spec.dir) {
             eprintln!("rewl: manifest write at round {round} failed: {e}");

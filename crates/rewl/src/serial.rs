@@ -112,13 +112,17 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
                 }
             }
             let converged = walker.ln_f() <= cfg.wl.ln_f_final;
-            let snap = snapshot_rank_telemetry(&tel, rank, &walker, [0, 0, sweeps], None);
+            let snap =
+                snapshot_rank_telemetry(&tel, rank, &walker, [0, 0, sweeps], [0, 0, 0], None);
             let counts = vec![
                 0u64,
                 0,
                 u64::from(converged),
                 walker.ln_f().to_bits(),
                 walker.total_moves(),
+                0,
+                0,
+                0,
             ];
             (RankPiece::from_walker(&walker, counts), sro, sweeps, snap)
         })
@@ -170,5 +174,6 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
         lost_ranks: Vec::new(),
         resumed_from: None,
         telemetry,
+        recovery: crate::driver::RecoveryStats::default(),
     })
 }

@@ -127,6 +127,47 @@ fn checkpointed_run_resumes_after_kill() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A checkpoint directory records the failure schedule it was written
+/// under. Resuming it under a *different* non-empty schedule is refused
+/// with a typed error (silently replaying a run under new faults would
+/// invalidate any determinism claim); resuming under the identical
+/// schedule — or with faults cleared — proceeds.
+#[test]
+fn resume_under_different_fault_plan_is_refused() {
+    let (_, nt, comp, h) = system();
+    let dir = std::env::temp_dir().join(format!("dtrewl-ft-planck-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cfg = base_config(9);
+    cfg.wl.ln_f_final = 1e-3; // converge quickly; this test is about startup
+    cfg.max_sweeps = 60_000;
+    cfg.checkpoint = Some(CheckpointSpec::new(&dir).every_rounds(2));
+    // A plan whose kill never fires: recorded into every manifest.
+    cfg.faults = FaultPlan::none().kill_at_round(3, 999_999);
+    let first = run_rewl(&h, &nt, &comp, RANGE, &cfg).unwrap();
+    assert!(first.lost_ranks.is_empty());
+
+    // Same directory, different schedule: refused before any work.
+    let mut cfg_other = cfg.clone();
+    cfg_other.faults = FaultPlan::none().kill_at_round(2, 7);
+    match run_rewl(&h, &nt, &comp, RANGE, &cfg_other) {
+        Err(dt_rewl::RewlError::FaultPlanMismatch {
+            recorded,
+            requested,
+        }) => {
+            assert!(recorded.contains("kill:3:999999"), "recorded: {recorded}");
+            assert!(requested.contains("kill:2:7"), "requested: {requested}");
+        }
+        other => panic!("expected FaultPlanMismatch, got {other:?}"),
+    }
+
+    // The identical schedule resumes cleanly.
+    let again = run_rewl(&h, &nt, &comp, RANGE, &cfg).unwrap();
+    assert!(again.resumed_from.is_some(), "identical plan must resume");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Dropped protocol messages surface as bounded timeouts, never hangs:
 /// both sides of a broken exchange abandon it and the run completes well
 /// inside the fabric's watchdog.

@@ -155,6 +155,57 @@ fn tcp_cluster_checkpoints_and_resumes() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The self-healing gate: a tcp cluster that loses a walker mid-run
+/// under recovery mode (supervised respawn + checkpoint rejoin) must
+/// converge to exactly the fault-free answer, bit for bit — no lost
+/// ranks, no degraded windows, same DOS, same SRO, same move counts.
+#[test]
+fn killed_rank_with_recovery_is_bit_identical_to_fault_free() {
+    let (_, nt, comp, h) = system();
+    let dir = std::env::temp_dir().join(format!("dtrewl-tcp-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Fault-free baseline on the thread backend (itself bit-identical to
+    // fault-free TCP, covered above).
+    let baseline = run_rewl(&h, &nt, &comp, RANGE, &base_config(5)).unwrap();
+
+    let mut cfg = base_config(5);
+    cfg.checkpoint = Some(CheckpointSpec::new(&dir).every_rounds(1));
+    cfg.recovery = true;
+    let size = cfg.num_windows * cfg.walkers_per_window;
+    // Rank 1 (window 0, slot 1 — a retrain member and exchange peer)
+    // dies at round 3; the supervising harness respawns it and the
+    // replacement rejoins from its round-3 checkpoint.
+    let plan = FaultPlan::none().kill_at_round(1, 3);
+    let outcomes = TcpCluster::run_loopback_recovering(size, plan, 2, |comm, respawns| {
+        let mut life_cfg = cfg.clone();
+        life_cfg.respawns = respawns;
+        run_rewl_on(comm, &h, &nt, &comp, RANGE, &life_cfg)
+    });
+    let mut root = None;
+    for (rank, outcome) in outcomes.into_iter().enumerate() {
+        let run = outcome
+            .completed()
+            .unwrap_or_else(|| panic!("rank {rank} must complete under recovery"))
+            .expect("no unrecoverable error");
+        if rank == 0 {
+            root = run.output;
+        }
+    }
+    let out = root.expect("rank 0 assembles the output");
+
+    assert_eq!(out.lost_ranks, Vec::<usize>::new(), "no rank stays lost");
+    assert_eq!(out.windows[0].lost_walkers, 0);
+    assert_eq!(out.windows[1].lost_walkers, 0);
+    assert_eq!(out.recovery.ranks_respawned, 1, "one supervised respawn");
+    assert!(
+        out.recovery.rejoin_duration_ns > 0,
+        "the replacement must report its rejoin time"
+    );
+    assert_bit_identical(&baseline, &out);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Telemetry flows back over the wire: rank 0's output carries a
 /// snapshot per surviving rank, traffic counters included.
 #[test]
