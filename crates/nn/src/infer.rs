@@ -3,30 +3,33 @@
 //! [`crate::Mlp::forward`] allocates a fresh [`Matrix`] per layer per
 //! call, which is fine for training but dominates the cost of the deep
 //! proposal's decode loop, where the network runs once per site per MC
-//! move. This module provides the steady-state-allocation-free
-//! alternative:
+//! move. The **one inference surface** callers use is
+//! [`crate::Mlp::forward_into`] — batch-first (`rows ≥ 1`), fed from a
+//! [`ForwardScratch`]; everything below it is an internal layer:
 //!
 //! * [`ForwardScratch`] — a pair of ping-pong activation buffers reused
 //!   across forward passes. Buffers grow on first use (or when a larger
 //!   batch arrives) and are never shrunk, so a warmed scratch performs
 //!   **zero heap allocations** per forward. One scratch per walker/thread;
 //!   it is `Clone` so per-rank state can be snapshotted freely.
-//! * [`linear_forward_fused`] — a register-tiled `X · Wᵀ` kernel with the
-//!   bias add and activation fused into the store. Each output element is
-//!   accumulated in the **same sequential k-order** as the naive
-//!   [`Matrix::matmul_transpose_b`] path, so results are bit-identical to
-//!   [`crate::Mlp::forward`]; the speedup comes from running several
-//!   independent accumulator chains at once (the naive dot product is
-//!   latency-bound on the single accumulator) and from not touching the
-//!   allocator.
+//! * [`linear_forward_fused`] (doc-hidden) — a register-tiled `X · Wᵀ`
+//!   kernel with the bias add and activation fused into the store. Each
+//!   output element is accumulated in the **same sequential k-order** as
+//!   the naive [`Matrix::matmul_transpose_b`] path, so results are
+//!   bit-identical to [`crate::Mlp::forward`]; the speedup comes from
+//!   running several independent accumulator chains at once (the naive
+//!   dot product is latency-bound on the single accumulator) and from not
+//!   touching the allocator.
 //!
 //! Batching rules (see DESIGN.md, "Inference engine"): whenever every
 //! input row is known upfront — teacher-forced replay, reverse
 //! log-probabilities, surrogate batch prediction — build all rows and run
-//! one k-row pass through [`crate::Mlp::forward_into`]. Only genuinely
+//! one k-row pass through [`crate::Mlp::forward_into`]. Genuinely
 //! autoregressive decoding (sampling step t+1 needs the species drawn at
-//! step t) is forced down to batch-1, and even there the scratch removes
-//! all per-step allocation.
+//! step t) cannot batch across *sites*, but walkers sharing a network
+//! decode in lockstep so each step is still one W-row pass; only a lone
+//! walker ever runs batch-1, and even there the scratch removes all
+//! per-step allocation.
 
 use crate::layer::Activation;
 use crate::matrix::Matrix;
@@ -43,10 +46,14 @@ use crate::mlp::Mlp;
 pub struct ForwardScratch {
     pub(crate) buf_a: Vec<f64>,
     pub(crate) buf_b: Vec<f64>,
-    /// Column-major (input-index-major) repack of the current layer's
-    /// weights, refreshed per layer inside multi-row forwards so the
-    /// column loop reads contiguously and vectorizes.
+    /// Column-major (input-index-major) repack of *every* layer's
+    /// weights, concatenated in layer order, so multi-row forwards read
+    /// contiguous weight lanes. Cached across calls and keyed by
+    /// `packed_version`: repacking happens once per weight update, not
+    /// once per layer per forward.
     pub(crate) packed_w: Vec<f64>,
+    /// `Mlp` weight version `packed_w` was built from (0 = none).
+    pub(crate) packed_version: u64,
 }
 
 impl ForwardScratch {
@@ -80,14 +87,14 @@ impl ForwardScratch {
         if self.buf_b.len() < need {
             self.buf_b.resize(need, 0.0);
         }
-        let max_w = mlp
+        let total_w: usize = mlp
             .layers()
             .iter()
-            .map(|l| l.w.data().len())
-            .max()
-            .unwrap_or(0);
-        if self.packed_w.len() < max_w {
-            self.packed_w.resize(max_w, 0.0);
+            .map(|l| packed_len(l.w.cols(), l.w.rows()))
+            .sum();
+        if self.packed_w.len() < total_w {
+            self.packed_w.resize(total_w, 0.0);
+            self.packed_version = 0;
         }
     }
 }
@@ -101,9 +108,12 @@ impl ForwardScratch {
 /// the layer-by-layer reference path while the 2×4 register tile keeps
 /// 8 independent accumulator chains in flight.
 ///
+/// Internal kernel of [`crate::Mlp::forward_into`]; call that instead.
+///
 /// # Panics
 /// Panics when `x` is shorter than `rows × w.cols()`, `bias` does not
 /// match `w.rows()`, or `out` is shorter than `rows × w.rows()`.
+#[doc(hidden)]
 pub fn linear_forward_fused(
     x: &[f64],
     rows: usize,
@@ -216,26 +226,60 @@ const J_TILE: usize = 8;
 #[cfg(not(target_feature = "avx"))]
 const J_TILE: usize = 4;
 
-/// Repack `w` (row-major `out_dim × in_dim`) into input-index-major
-/// order: `wt[k * out_dim + j] = w[j][k]`.
+/// Length of the packed buffer [`pack_weights_transposed`] needs for an
+/// `out_dim × in_dim` weight matrix: the column count rounded up to a
+/// whole number of [`J_TILE`]-wide tiles. The tail tile is zero-padded,
+/// which is what keeps the kernel's inner loop a single full-width
+/// vector shape for *every* output width (a narrow tail tile defeats
+/// LLVM's SLP vectorizer and runs scalar).
 ///
-/// After packing, all `out_dim` weights consumed at one input index `k`
-/// are contiguous, so [`linear_forward_fused_packed`]'s column loop reads
-/// sequential memory and auto-vectorizes — the scalar tiled kernel is
+/// Internal sizing helper of [`crate::Mlp::forward_into`]'s scratch.
+#[doc(hidden)]
+pub fn packed_len(in_dim: usize, out_dim: usize) -> usize {
+    in_dim * out_dim.div_ceil(J_TILE) * J_TILE
+}
+
+/// Repack `w` (row-major `out_dim × in_dim`) into the tile-blocked
+/// layout [`linear_forward_fused_packed`] consumes: the output columns
+/// are cut into [`J_TILE`]-wide tiles (the last tile zero-padded past
+/// `out_dim`), and each tile stores its weights input-index-major —
+/// `J_TILE` contiguous values per input index `k`.
+///
+/// The kernel's inner loop therefore walks the packed buffer strictly
+/// sequentially: no index arithmetic, no strided loads, and bounds
+/// checks vanish into `chunks_exact` — the scalar tiled kernel is
 /// capped by scalar FP-add throughput, which batched workloads outgrow.
+/// Padding columns accumulate zeros the epilogue never reads, so real
+/// outputs keep the exact sequential k-order of the reference path.
+///
+/// Internal kernel of [`crate::Mlp::forward_into`]; call that instead.
 ///
 /// # Panics
-/// Panics when `wt` is shorter than `w.rows() * w.cols()`.
+/// Panics when `wt` is shorter than [`packed_len`]`(w.cols(), w.rows())`.
+#[doc(hidden)]
 pub fn pack_weights_transposed(w: &Matrix, wt: &mut [f64]) {
     let in_dim = w.cols();
     let out_dim = w.rows();
-    assert!(wt.len() >= in_dim * out_dim, "packed buffer too short");
+    assert!(
+        wt.len() >= packed_len(in_dim, out_dim),
+        "packed buffer too short"
+    );
     let wd = w.data();
-    for j in 0..out_dim {
-        let row = &wd[j * in_dim..][..in_dim];
-        for (k, &v) in row.iter().enumerate() {
-            wt[k * out_dim + j] = v;
+    let mut off = 0;
+    let mut j = 0;
+    while j < out_dim {
+        let width = J_TILE.min(out_dim - j);
+        for k in 0..in_dim {
+            for t in 0..J_TILE {
+                wt[off] = if t < width {
+                    wd[(j + t) * in_dim + k]
+                } else {
+                    0.0
+                };
+                off += 1;
+            }
         }
+        j += J_TILE;
     }
 }
 
@@ -250,10 +294,13 @@ pub fn pack_weights_transposed(w: &Matrix, wt: &mut [f64]) {
 /// [`Mlp::forward_into`] for multi-row batches, where the
 /// `in_dim × out_dim` repack cost amortizes across rows.
 ///
+/// Internal kernel of [`crate::Mlp::forward_into`]; call that instead.
+///
 /// # Panics
 /// Panics when `x` is shorter than `rows × in_dim`, `wt` is shorter than
 /// `in_dim × out_dim`, `bias` does not match `out_dim`, or `out` is
 /// shorter than `rows × out_dim`.
+#[doc(hidden)]
 #[allow(clippy::too_many_arguments)]
 pub fn linear_forward_fused_packed(
     x: &[f64],
@@ -266,94 +313,109 @@ pub fn linear_forward_fused_packed(
     out: &mut [f64],
 ) {
     assert!(x.len() >= rows * in_dim, "input slice too short");
-    assert!(wt.len() >= in_dim * out_dim, "packed weights too short");
+    assert!(
+        wt.len() >= packed_len(in_dim, out_dim),
+        "packed weights too short"
+    );
     assert_eq!(bias.len(), out_dim, "bias length mismatch");
     assert!(out.len() >= rows * out_dim, "output slice too short");
 
-    let mut i = 0;
-    // 2-row × J_TILE-column tiles; the accumulator arrays become vector
-    // lanes. The tile is 8 wide when AVX registers exist and 4 wide on
-    // the SSE2 baseline, where a 2×8 tile spills.
-    while i + 2 <= rows {
-        let x0 = &x[i * in_dim..][..in_dim];
-        let x1 = &x[(i + 1) * in_dim..][..in_dim];
-        let mut j = 0;
-        while j + J_TILE <= out_dim {
-            let mut a0 = [0.0f64; J_TILE];
-            let mut a1 = [0.0f64; J_TILE];
-            for k in 0..in_dim {
-                let v0 = x0[k];
-                let v1 = x1[k];
-                let wr = &wt[k * out_dim + j..][..J_TILE];
-                for t in 0..J_TILE {
-                    a0[t] += v0 * wr[t];
-                    a1[t] += v1 * wr[t];
+    // Column-tile-major, 4/2/1-row × J_TILE-column tiles; the accumulator
+    // arrays become vector lanes. The tile is 8 wide when AVX registers
+    // exist and 4 wide on the SSE2 baseline, where a 2×8 tile spills.
+    // Keeping the column tile in the *outer* loop means each tile's
+    // weight lines (one cache line per input index with an 8-wide tile)
+    // are re-read from L1 by every row pair instead of re-streaming the
+    // whole matrix once per pair — the difference between the proposal
+    // batch widths (2–16 rows) scaling and not.
+    //
+    // Every tile accumulates at the full J_TILE width — the packed tail
+    // tile is zero-padded, and only the epilogue narrows to `$real`
+    // live columns. A width-specialized narrow tile looks cheaper but
+    // LLVM's SLP vectorizer rejects it and emits scalar chains, which
+    // is ~3x slower on narrow output layers than burning a few padded
+    // lanes. Macro, not closure: each expansion keeps the constant
+    // J_TILE accumulate shape while getting its own epilogue width.
+    macro_rules! col_tile {
+        ($j:expr, $off:expr, $real:expr) => {{
+            let block = &wt[$off..$off + in_dim * J_TILE];
+            let mut i = 0;
+            // 4-row tiles first: eight vector accumulator chains, enough
+            // to saturate both FP add ports (a 2-row tile's four chains
+            // are add-latency-bound). The weight block is read strictly
+            // sequentially and stays L1-resident across row tiles.
+            while i + 4 <= rows {
+                let x0 = &x[i * in_dim..][..in_dim];
+                let x1 = &x[(i + 1) * in_dim..][..in_dim];
+                let x2 = &x[(i + 2) * in_dim..][..in_dim];
+                let x3 = &x[(i + 3) * in_dim..][..in_dim];
+                let mut a0 = [0.0f64; J_TILE];
+                let mut a1 = [0.0f64; J_TILE];
+                let mut a2 = [0.0f64; J_TILE];
+                let mut a3 = [0.0f64; J_TILE];
+                for (((&v0, &v1), (&v2, &v3)), wr) in x0
+                    .iter()
+                    .zip(x1)
+                    .zip(x2.iter().zip(x3))
+                    .zip(block.chunks_exact(J_TILE))
+                {
+                    for t in 0..J_TILE {
+                        a0[t] += v0 * wr[t];
+                        a1[t] += v1 * wr[t];
+                        a2[t] += v2 * wr[t];
+                        a3[t] += v3 * wr[t];
+                    }
+                }
+                for t in 0..$real {
+                    out[i * out_dim + $j + t] = act.apply(a0[t] + bias[$j + t]);
+                    out[(i + 1) * out_dim + $j + t] = act.apply(a1[t] + bias[$j + t]);
+                    out[(i + 2) * out_dim + $j + t] = act.apply(a2[t] + bias[$j + t]);
+                    out[(i + 3) * out_dim + $j + t] = act.apply(a3[t] + bias[$j + t]);
+                }
+                i += 4;
+            }
+            while i + 2 <= rows {
+                let x0 = &x[i * in_dim..][..in_dim];
+                let x1 = &x[(i + 1) * in_dim..][..in_dim];
+                let mut a0 = [0.0f64; J_TILE];
+                let mut a1 = [0.0f64; J_TILE];
+                for ((&v0, &v1), wr) in x0.iter().zip(x1).zip(block.chunks_exact(J_TILE)) {
+                    for t in 0..J_TILE {
+                        a0[t] += v0 * wr[t];
+                        a1[t] += v1 * wr[t];
+                    }
+                }
+                for t in 0..$real {
+                    out[i * out_dim + $j + t] = act.apply(a0[t] + bias[$j + t]);
+                    out[(i + 1) * out_dim + $j + t] = act.apply(a1[t] + bias[$j + t]);
+                }
+                i += 2;
+            }
+            if i < rows {
+                let x0 = &x[i * in_dim..][..in_dim];
+                let mut a0 = [0.0f64; J_TILE];
+                for (&v0, wr) in x0.iter().zip(block.chunks_exact(J_TILE)) {
+                    for t in 0..J_TILE {
+                        a0[t] += v0 * wr[t];
+                    }
+                }
+                for t in 0..$real {
+                    out[i * out_dim + $j + t] = act.apply(a0[t] + bias[$j + t]);
                 }
             }
-            for t in 0..J_TILE {
-                out[i * out_dim + j + t] = act.apply(a0[t] + bias[j + t]);
-                out[(i + 1) * out_dim + j + t] = act.apply(a1[t] + bias[j + t]);
-            }
-            j += J_TILE;
-        }
-        if j + 4 <= out_dim {
-            let mut a0 = [0.0f64; 4];
-            let mut a1 = [0.0f64; 4];
-            for k in 0..in_dim {
-                let v0 = x0[k];
-                let v1 = x1[k];
-                let wr = &wt[k * out_dim + j..][..4];
-                for t in 0..4 {
-                    a0[t] += v0 * wr[t];
-                    a1[t] += v1 * wr[t];
-                }
-            }
-            for t in 0..4 {
-                out[i * out_dim + j + t] = act.apply(a0[t] + bias[j + t]);
-                out[(i + 1) * out_dim + j + t] = act.apply(a1[t] + bias[j + t]);
-            }
-            j += 4;
-        }
-        while j < out_dim {
-            let mut a0 = 0.0;
-            let mut a1 = 0.0;
-            for k in 0..in_dim {
-                let wv = wt[k * out_dim + j];
-                a0 += x0[k] * wv;
-                a1 += x1[k] * wv;
-            }
-            out[i * out_dim + j] = act.apply(a0 + bias[j]);
-            out[(i + 1) * out_dim + j] = act.apply(a1 + bias[j]);
-            j += 1;
-        }
-        i += 2;
+        }};
     }
-    // Odd trailing row.
-    if i < rows {
-        let x0 = &x[i * in_dim..][..in_dim];
-        let mut j = 0;
-        while j + J_TILE <= out_dim {
-            let mut a0 = [0.0f64; J_TILE];
-            for k in 0..in_dim {
-                let v0 = x0[k];
-                let wr = &wt[k * out_dim + j..][..J_TILE];
-                for t in 0..J_TILE {
-                    a0[t] += v0 * wr[t];
-                }
-            }
-            for t in 0..J_TILE {
-                out[i * out_dim + j + t] = act.apply(a0[t] + bias[j + t]);
-            }
-            j += J_TILE;
-        }
-        while j < out_dim {
-            let mut a0 = 0.0;
-            for k in 0..in_dim {
-                a0 += x0[k] * wt[k * out_dim + j];
-            }
-            out[i * out_dim + j] = act.apply(a0 + bias[j]);
-            j += 1;
-        }
+
+    let mut off = 0;
+    let mut j = 0;
+    while j + J_TILE <= out_dim {
+        col_tile!(j, off, J_TILE);
+        off += in_dim * J_TILE;
+        j += J_TILE;
+    }
+    if j < out_dim {
+        let real = out_dim - j;
+        col_tile!(j, off, real);
     }
 }
 
@@ -443,7 +505,7 @@ mod tests {
                 );
                 let bias: Vec<f64> = (0..out_dim).map(|_| rng.random::<f64>() - 0.5).collect();
                 let want = reference(&x, &w, &bias, act);
-                let mut wt = vec![f64::NAN; in_dim * out_dim];
+                let mut wt = vec![f64::NAN; packed_len(in_dim, out_dim)];
                 pack_weights_transposed(&w, &mut wt);
                 let mut got = vec![f64::NAN; rows * out_dim];
                 linear_forward_fused_packed(

@@ -15,11 +15,13 @@
 //! log-probabilities* for Metropolis–Hastings corrections, which is why the
 //! whole crate works in `f64`.
 //!
-//! Inference has two tiers: the allocating reference path
-//! ([`Mlp::forward`]) and the batched, steady-state-allocation-free
-//! engine ([`Mlp::forward_into`] + [`ForwardScratch`], see the [`infer`]
-//! module). The two are bit-identical; samplers run on the engine, tests
-//! and training diagnostics on the reference.
+//! Inference has **one surface**: the batch-first, steady-state
+//! allocation-free [`Mlp::forward_into`] (fed from a [`ForwardScratch`];
+//! see the [`infer`] module), which produces bit-identical results per
+//! row for any batch size `rows ≥ 1`. [`Mlp::forward`] is its allocating
+//! reference twin, kept for training diagnostics and tests; the fused
+//! row kernels underneath `forward_into` are implementation details and
+//! no longer part of the public API.
 //!
 //! ```
 //! use dt_nn::{Activation, Adam, Matrix, Mlp};
@@ -54,9 +56,7 @@ pub mod mlp;
 pub mod optim;
 pub mod serialize;
 
-pub use infer::{
-    linear_forward_fused, linear_forward_fused_packed, pack_weights_transposed, ForwardScratch,
-};
+pub use infer::ForwardScratch;
 pub use layer::{Activation, Linear};
 pub use loss::{
     log_softmax_masked, log_softmax_masked_into, mse_loss, sample_categorical,

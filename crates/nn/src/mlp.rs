@@ -1,12 +1,26 @@
 //! Multi-layer perceptrons.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rand::Rng;
 
 use crate::infer::{
-    linear_forward_fused, linear_forward_fused_packed, pack_weights_transposed, ForwardScratch,
+    linear_forward_fused, linear_forward_fused_packed, pack_weights_transposed, packed_len,
+    ForwardScratch,
 };
 use crate::layer::{Activation, Linear};
 use crate::matrix::Matrix;
+
+/// Process-global weight-version source: every freshly built or mutably
+/// re-exposed network takes a new, never-reused version, so two networks
+/// share a version only when one is an unmutated clone of the other — in
+/// which case their weights really are identical and a
+/// [`ForwardScratch`]'s cached repack is valid for both.
+static WEIGHTS_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn next_weights_version() -> u64 {
+    WEIGHTS_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A feed-forward network of [`Linear`] layers with a shared hidden
 /// activation and a separate output activation.
@@ -17,6 +31,9 @@ pub struct Mlp {
     out_act: Activation,
     /// Pre-activation caches from the last `forward_train`.
     preacts: Vec<Matrix>,
+    /// Weight version for [`ForwardScratch`] repack caching; bumped on
+    /// every mutable layer access.
+    version: u64,
 }
 
 impl Mlp {
@@ -40,6 +57,7 @@ impl Mlp {
             hidden_act,
             out_act,
             preacts: Vec::new(),
+            version: next_weights_version(),
         }
     }
 
@@ -51,6 +69,7 @@ impl Mlp {
             hidden_act,
             out_act,
             preacts: Vec::new(),
+            version: next_weights_version(),
         }
     }
 
@@ -87,7 +106,11 @@ impl Mlp {
     }
 
     /// Mutable layer access (for optimizers).
+    ///
+    /// Conservatively assumes the caller changes the weights: any cached
+    /// weight repack in a [`ForwardScratch`] is invalidated.
     pub fn layers_mut(&mut self) -> &mut [Linear] {
+        self.version = next_weights_version();
         &mut self.layers
     }
 
@@ -96,8 +119,12 @@ impl Mlp {
         self.layers.iter().map(Linear::num_params).sum()
     }
 
-    /// Inference forward pass (`&self`, no caches) — safe to share across
-    /// threads.
+    /// Allocating reference forward pass (`&self`, no caches) — safe to
+    /// share across threads.
+    ///
+    /// Kept for training diagnostics and tests; hot paths should use the
+    /// batch-first [`Mlp::forward_into`], which is bit-identical per row
+    /// and allocation-free once warmed.
     pub fn forward(&self, x: &Matrix) -> Matrix {
         let mut h = x.clone();
         let last = self.layers.len() - 1;
@@ -113,16 +140,18 @@ impl Mlp {
         h
     }
 
-    /// Batched inference into reusable scratch buffers — the hot-path
-    /// twin of [`Mlp::forward`].
+    /// **The** inference surface: a batch-first forward pass into
+    /// reusable scratch buffers.
     ///
-    /// `x` holds `rows` row-major feature rows of width
+    /// `x` holds `rows ≥ 1` row-major feature rows of width
     /// [`Mlp::in_dim`]; the returned slice holds `rows` rows of width
-    /// [`Mlp::out_dim`], borrowed from `scratch`. Results are
-    /// bit-identical to [`Mlp::forward`] (see
-    /// [`linear_forward_fused`]). A scratch warmed by
-    /// [`ForwardScratch::reserve`] — or by a first call at the largest
-    /// batch size — makes this perform **zero heap allocations**.
+    /// [`Mlp::out_dim`], borrowed from `scratch`. Each output row is
+    /// bit-identical to [`Mlp::forward`] on that row alone, *regardless
+    /// of the batch size* — every fused kernel underneath accumulates in
+    /// the same sequential k-order — which is what lets callers batch
+    /// work across walkers without perturbing any Markov chain. A scratch
+    /// warmed by [`ForwardScratch::reserve`] — or by a first call at the
+    /// largest batch size — makes this perform **zero heap allocations**.
     ///
     /// # Panics
     /// Panics when `x` is shorter than `rows · in_dim`.
@@ -138,8 +167,28 @@ impl Mlp {
             buf_a,
             buf_b,
             packed_w,
+            packed_version,
         } = scratch;
+        let packed = rows >= 2 && cfg!(target_feature = "avx");
+        if packed && *packed_version != self.version {
+            // Multi-row batch: repack every layer's weights so the column
+            // loop vectorizes. The pack is cached across forwards and
+            // invalidated only when the weights change, so its cost
+            // amortizes over entire sampling runs, not just one batch.
+            // Bit-identical to the scalar tile. Without AVX the vector
+            // lanes are too narrow to beat the scalar tile's eight
+            // accumulator chains, so the packed path is compiled out on
+            // baseline targets.
+            let mut off = 0;
+            for layer in &self.layers {
+                let wn = packed_len(layer.w.cols(), layer.w.rows());
+                pack_weights_transposed(&layer.w, &mut packed_w[off..off + wn]);
+                off += wn;
+            }
+            *packed_version = self.version;
+        }
         let last = self.layers.len() - 1;
+        let mut off = 0;
         for (i, layer) in self.layers.iter().enumerate() {
             let act = if i == last {
                 self.out_act
@@ -154,25 +203,19 @@ impl Mlp {
             } else {
                 (buf_b.as_slice(), buf_a.as_mut_slice())
             };
-            if rows >= 2 && cfg!(target_feature = "avx") {
-                // Multi-row batch: repack the layer's weights so the
-                // column loop vectorizes; the pack cost amortizes over
-                // the rows. Bit-identical to the scalar tile. Without
-                // AVX the vector lanes are too narrow to beat the
-                // scalar tile's eight accumulator chains, so the packed
-                // path is compiled out on baseline targets.
-                let wn = layer.w.data().len();
-                pack_weights_transposed(&layer.w, &mut packed_w[..wn]);
+            if packed {
+                let wn = packed_len(layer.w.cols(), layer.w.rows());
                 linear_forward_fused_packed(
                     src,
                     rows,
-                    &packed_w[..wn],
+                    &packed_w[off..off + wn],
                     layer.w.cols(),
                     layer.w.rows(),
                     &layer.b,
                     act,
                     dst,
                 );
+                off += wn;
             } else {
                 linear_forward_fused(src, rows, &layer.w, &layer.b, act, dst);
             }
@@ -251,6 +294,7 @@ impl Mlp {
     /// Panics when the length does not match `num_params`.
     pub fn set_params(&mut self, params: &[f64]) {
         assert_eq!(params.len(), self.num_params(), "parameter count mismatch");
+        self.version = next_weights_version();
         let mut offset = 0;
         for l in &mut self.layers {
             let wlen = l.w.data().len();

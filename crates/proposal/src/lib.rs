@@ -40,7 +40,9 @@ pub mod stats;
 pub mod train;
 
 pub use deep::{DeepProposal, DeepProposalConfig, FeatureLayout};
-pub use kinds::{apply_move, move_delta, Proposal, ProposalContext, ProposalKernel, ProposedMove};
+pub use kinds::{
+    apply_move, move_delta, Proposal, ProposalContext, ProposalKernel, ProposalSlot, ProposedMove,
+};
 pub use local::{LocalSwap, NeighborSwap, RandomReassign};
 pub use mix::ProposalMix;
 pub use stats::MoveStats;

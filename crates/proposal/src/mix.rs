@@ -8,15 +8,30 @@
 use dt_lattice::Configuration;
 use rand::{Rng, RngExt};
 
-use crate::kinds::{Proposal, ProposalContext, ProposalKernel};
+use crate::kinds::{Proposal, ProposalContext, ProposalKernel, ProposalSlot};
 
 /// A state-independent mixture of proposal kernels.
+///
+/// Batched calls are dispatched **grouped**: each slot first draws its
+/// component from its own RNG stream (the same draw the single-slot path
+/// makes), then every component receives its slots as one sub-batch in
+/// ascending slot order — so a deep component still decodes its share of
+/// the walkers in lockstep, and every slot's result is bit-identical to
+/// the single-slot path.
 pub struct ProposalMix {
     kernels: Vec<(Box<dyn ProposalKernel>, f64)>,
     cumulative: Vec<f64>,
     /// Index of the kernel used for the most recent proposal.
     last_used: usize,
     name: String,
+    /// Per-slot component draws of the most recent batch.
+    picks: Vec<usize>,
+    /// Scatter buffer: slot-ordered results assembled from sub-batches.
+    staged: Vec<Option<Proposal>>,
+    /// Reused output buffer for component sub-batches.
+    sub_out: Vec<Proposal>,
+    /// Largest sub-batch handed to any component in the last call.
+    last_batch_rows: usize,
 }
 
 impl ProposalMix {
@@ -51,7 +66,19 @@ impl ProposalMix {
             cumulative,
             last_used: 0,
             name,
+            picks: Vec::new(),
+            staged: Vec::new(),
+            sub_out: Vec::new(),
+            last_batch_rows: 1,
         }
+    }
+
+    /// Component index drawn from `u ∈ [0, 1)`.
+    fn pick(&self, u: f64) -> usize {
+        self.cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.kernels.len() - 1)
     }
 
     /// Number of component kernels.
@@ -88,13 +115,79 @@ impl ProposalKernel for ProposalMix {
         rng: &mut dyn Rng,
     ) -> Proposal {
         let u: f64 = rng.random();
-        let idx = self
-            .cumulative
-            .iter()
-            .position(|&c| u < c)
-            .unwrap_or(self.kernels.len() - 1);
+        let idx = self.pick(u);
         self.last_used = idx;
+        self.picks.clear();
+        self.picks.push(idx);
+        self.last_batch_rows = 1;
         self.kernels[idx].0.propose(config, ctx, rng)
+    }
+
+    fn propose_batch(
+        &mut self,
+        slots: &mut [ProposalSlot<'_>],
+        ctx: &ProposalContext<'_>,
+        out: &mut Vec<Proposal>,
+    ) {
+        out.clear();
+        let w = slots.len();
+        if w == 0 {
+            self.picks.clear();
+            self.last_batch_rows = 0;
+            return;
+        }
+        // Phase 1: every slot draws its component from its own stream, in
+        // slot order — exactly the draw the single-slot path makes.
+        self.picks.clear();
+        for slot in slots.iter_mut() {
+            let u: f64 = slot.rng.random();
+            let idx = self.pick(u);
+            self.picks.push(idx);
+        }
+        self.last_used = *self.picks.last().expect("w > 0");
+
+        // Phase 2: grouped dispatch — each component gets its slots as one
+        // sub-batch (ascending slot order preserved), then results scatter
+        // back into slot order.
+        self.staged.clear();
+        self.staged.resize_with(w, || None);
+        let picks = std::mem::take(&mut self.picks);
+        let mut max_group = 0usize;
+        for c in 0..self.kernels.len() {
+            let count = picks.iter().filter(|&&p| p == c).count();
+            if count == 0 {
+                continue;
+            }
+            max_group = max_group.max(count);
+            let mut group: Vec<ProposalSlot<'_>> = Vec::with_capacity(count);
+            for (slot, &p) in slots.iter_mut().zip(&picks) {
+                if p == c {
+                    group.push(ProposalSlot {
+                        config: slot.config,
+                        rng: &mut *slot.rng,
+                    });
+                }
+            }
+            let mut sub = std::mem::take(&mut self.sub_out);
+            self.kernels[c].0.propose_batch(&mut group, ctx, &mut sub);
+            assert_eq!(sub.len(), count, "component produced a partial batch");
+            let mut drained = sub.drain(..);
+            for (i, &p) in picks.iter().enumerate() {
+                if p == c {
+                    self.staged[i] = Some(drained.next().expect("sub-batch length checked"));
+                }
+            }
+            drop(drained);
+            self.sub_out = sub;
+        }
+        self.picks = picks;
+        self.last_batch_rows = max_group;
+        out.reserve(w);
+        out.extend(
+            self.staged
+                .drain(..)
+                .map(|p| p.expect("every slot receives a proposal")),
+        );
     }
 
     fn name(&self) -> &str {
@@ -105,6 +198,16 @@ impl ProposalKernel for ProposalMix {
         // The inherent method (resolves explicitly to avoid any ambiguity
         // with this trait method).
         ProposalMix::last_kernel_name(self)
+    }
+
+    fn batch_kernel_name(&self, slot: usize) -> &str {
+        self.picks
+            .get(slot)
+            .map_or(&self.name, |&p| self.kernels[p].0.name())
+    }
+
+    fn last_batch_rows(&self) -> usize {
+        self.last_batch_rows
     }
 
     fn typical_update_size(&self) -> usize {

@@ -7,8 +7,8 @@ use dt_lattice::{
 };
 use dt_nn::{log_softmax_masked, Matrix};
 use dt_proposal::{
-    apply_move, DeepProposal, DeepProposalConfig, FeatureLayout, LocalSwap, ProposalContext,
-    ProposalKernel, ProposedMove, RandomReassign,
+    apply_move, DeepProposal, DeepProposalConfig, FeatureLayout, LocalSwap, Proposal,
+    ProposalContext, ProposalKernel, ProposalMix, ProposalSlot, ProposedMove, RandomReassign,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -199,5 +199,107 @@ proptest! {
             .filter(|&s| config.species_at(s) != after.species_at(s))
             .count();
         prop_assert_eq!(changed, 2);
+    }
+
+    /// The lockstep decoder is **bit-identical** to sequential batch-1:
+    /// `propose_batch` over W walkers must reproduce W independent
+    /// `propose` calls exactly — same moves, same forward/reverse log-q
+    /// bits, and each per-walker RNG left at the same stream position.
+    #[test]
+    fn lockstep_batch_is_bit_identical_to_sequential(
+        seed in any::<u64>(),
+        w in 1usize..6,
+        k in 2usize..8,
+    ) {
+        let (_, nt, comp) = fixture();
+        let ctx = ProposalContext { neighbors: &nt, composition: &comp };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let configs: Vec<Configuration> =
+            (0..w).map(|_| Configuration::random(&comp, &mut rng)).collect();
+        let mut kern = DeepProposal::new(
+            4, 2, &DeepProposalConfig { k, hidden: vec![10] }, &mut rng);
+
+        // Identical per-walker RNG streams for both code paths.
+        let mut rngs_seq: Vec<ChaCha8Rng> =
+            (0..w as u64).map(|i| ChaCha8Rng::seed_from_u64(seed ^ (i + 1))).collect();
+        let mut rngs_batch = rngs_seq.clone();
+
+        let seq: Vec<Proposal> = configs
+            .iter()
+            .zip(&mut rngs_seq)
+            .map(|(c, r)| kern.propose(c, &ctx, r))
+            .collect();
+
+        let mut slots: Vec<ProposalSlot<'_>> = configs
+            .iter()
+            .zip(&mut rngs_batch)
+            .map(|(c, r)| ProposalSlot { config: c, rng: r })
+            .collect();
+        let mut out = Vec::new();
+        kern.propose_batch(&mut slots, &ctx, &mut out);
+        drop(slots);
+
+        prop_assert_eq!(out.len(), w);
+        prop_assert_eq!(kern.last_batch_rows(), w);
+        for (i, (b, s)) in out.iter().zip(&seq).enumerate() {
+            prop_assert_eq!(&b.mv, &s.mv, "moves diverge at slot {}", i);
+            prop_assert_eq!(b.log_q_forward.to_bits(), s.log_q_forward.to_bits());
+            prop_assert_eq!(b.log_q_reverse.to_bits(), s.log_q_reverse.to_bits());
+            prop_assert_eq!(
+                rngs_batch[i].get_word_pos(), rngs_seq[i].get_word_pos(),
+                "slot {} consumed a different number of RNG words", i
+            );
+        }
+    }
+
+    /// The mixture's grouped batch dispatch — component picks drawn per
+    /// slot, sub-batches routed to each kernel, results scattered back —
+    /// is bit-identical to sequential per-slot proposals too.
+    #[test]
+    fn mix_batch_is_bit_identical_to_sequential(seed in any::<u64>(), w in 1usize..7) {
+        let (_, nt, comp) = fixture();
+        let ctx = ProposalContext { neighbors: &nt, composition: &comp };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let configs: Vec<Configuration> =
+            (0..w).map(|_| Configuration::random(&comp, &mut rng)).collect();
+        let mk_mix = |rng: &mut ChaCha8Rng| {
+            ProposalMix::new(vec![
+                (Box::new(LocalSwap::new()) as Box<dyn ProposalKernel>, 0.5),
+                (Box::new(RandomReassign::new(4)), 0.3),
+                (
+                    Box::new(DeepProposal::new(
+                        4, 2, &DeepProposalConfig { k: 3, hidden: vec![8] }, rng)),
+                    0.2,
+                ),
+            ])
+        };
+        let mut mix = mk_mix(&mut rng.clone());
+
+        let mut rngs_seq: Vec<ChaCha8Rng> =
+            (0..w as u64).map(|i| ChaCha8Rng::seed_from_u64(seed ^ (i + 11))).collect();
+        let mut rngs_batch = rngs_seq.clone();
+
+        let seq: Vec<Proposal> = configs
+            .iter()
+            .zip(&mut rngs_seq)
+            .map(|(c, r)| mix.propose(c, &ctx, r))
+            .collect();
+
+        let mut slots: Vec<ProposalSlot<'_>> = configs
+            .iter()
+            .zip(&mut rngs_batch)
+            .map(|(c, r)| ProposalSlot { config: c, rng: r })
+            .collect();
+        let mut out = Vec::new();
+        mix.propose_batch(&mut slots, &ctx, &mut out);
+        drop(slots);
+
+        prop_assert_eq!(out.len(), w);
+        for (i, (b, s)) in out.iter().zip(&seq).enumerate() {
+            prop_assert_eq!(&b.mv, &s.mv, "moves diverge at slot {}", i);
+            prop_assert_eq!(b.log_q_forward.to_bits(), s.log_q_forward.to_bits());
+            prop_assert_eq!(b.log_q_reverse.to_bits(), s.log_q_reverse.to_bits());
+            prop_assert_eq!(rngs_batch[i].get_word_pos(), rngs_seq[i].get_word_pos());
+        }
     }
 }

@@ -159,6 +159,13 @@ pub(crate) fn snapshot_rank_telemetry(
         return None;
     }
     tel.set_gauge("ln_f", walker.ln_f());
+    // Achieved proposal-decode batch width: 1 on cluster ranks (one
+    // walker per rank today), W under a lockstep multi-walker sweep — a
+    // degraded value flags batching lost to e.g. a dead walker.
+    tel.set_gauge(
+        "proposal_batch_rows",
+        walker.kernel().last_batch_rows() as f64,
+    );
     let mut snap = tel.snapshot(rank);
     for (name, proposed, accepted) in walker.stats().iter() {
         snap.counters.push((format!("proposed_{name}"), proposed));
@@ -467,6 +474,9 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
 
     /// `exchange_every_sweeps` WL sweeps, with flatness checks, SRO
     /// observations, and deep-sample collection on their own cadences.
+    /// Sweeps draw proposals through the batch-first `propose_batch`
+    /// surface (each rank hosts one walker, so the achieved batch is 1;
+    /// the `proposal_batch_rows` gauge records it per snapshot).
     fn phase_sample(&mut self) -> EnginePhase {
         let ctx = ProposalContext {
             neighbors: self.neighbors,

@@ -408,11 +408,15 @@ impl AppState {
                 }
             }
         }
-        // One batched forward over every requested row on the dt-nn
-        // inference engine.
+        // One batched forward over every requested row through the same
+        // batch-first `Mlp::forward_into` surface the samplers use, so a
+        // request is a single rows×dim matmul chain regardless of count.
         let mut scratch = model.forward_scratch(rows.len());
         let mut preds = Vec::with_capacity(rows.len());
         model.predict_rows_with(&features, rows.len(), &mut scratch, &mut preds);
+        self.metrics
+            .counter("predict_rows_total")
+            .add(preds.len() as u64);
 
         let mut body = String::from("{\"artifact\":");
         push_json_string(&mut body, &artifact.manifest.id);
@@ -709,6 +713,7 @@ mod tests {
         let direct = model.predict_features(&features);
         assert_eq!(preds[0].as_f64().unwrap().to_bits(), direct.to_bits());
         assert_eq!(preds[1].as_f64().unwrap().to_bits(), direct.to_bits());
+        assert_eq!(st.metrics.counter("predict_rows_total").get(), 2);
     }
 
     #[test]
