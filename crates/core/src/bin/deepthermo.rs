@@ -12,7 +12,13 @@
 //! * `info` — print the configured material and sampling plan.
 //! * `serve` — load an artifact registry and answer thermodynamics
 //!   queries over HTTP until `POST /v1/shutdown` (see DESIGN.md,
-//!   "Serving architecture").
+//!   "Serving architecture"). With `--shards N` the process becomes a
+//!   router and re-executes itself as N shard processes, each serving a
+//!   disjoint consistent-hash slice of the registry (DESIGN.md,
+//!   "Serving fleet").
+//! * `route` / `shard` — the two fleet tiers as standalone modes, for
+//!   deployments where shards run on their own hosts: `route` binds the
+//!   rendezvous and fronts the fleet, `shard` dials in as one rank.
 //! * `fixture` — write a synthetic demo artifact into a registry, so
 //!   `serve` can be exercised without a converged run.
 //!
@@ -25,10 +31,16 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use deepthermo::cluster::{self, ClusterSpec, RecoveryPolicy, WorkerOutcome};
-use deepthermo::hpc::{FaultEvent, FaultPlan};
+use deepthermo::hpc::{FaultEvent, FaultPlan, TcpRendezvous, TcpTransport};
 use deepthermo::rewl::{CheckpointSpec, DeepSpec, KernelSpec};
 use deepthermo::{DeepThermo, DeepThermoConfig, DeepThermoError, DeepThermoReport, MaterialSpec};
-use dt_serve::{ArtifactRegistry, ServeConfig, Server};
+use dt_serve::{
+    run_shard, ArtifactRegistry, Router, RouterConfig, ServeConfig, Server, ShardConfig,
+};
+
+/// Hidden flag carrying a shard's rank when `serve --shards N` re-execs
+/// itself as the shard tier (mirrors [`cluster::WORKER_RANK_FLAG`]).
+const SHARD_RANK_FLAG: &str = "--shard-rank";
 
 const USAGE: &str = "\
 deepthermo — deep-learning accelerated parallel Monte Carlo for HEA thermodynamics
@@ -38,7 +50,12 @@ usage: deepthermo <mode> [flags]
 modes:
   run       Sample equiatomic NbMoTaW and write thermo/DOS/SRO curves.
   info      Print the configured material and sampling plan.
-  serve     Serve converged artifacts over an HTTP/JSON API.
+  serve     Serve converged artifacts over an HTTP/JSON API; with
+            --shards N, boot a sharded fleet (router + N shard
+            processes) instead of a single server.
+  route     Run only the router tier of a fleet, rendezvousing with
+            externally launched shards.
+  shard     Run one shard of a fleet, dialing a router's rendezvous.
   fixture   Write a synthetic demo artifact into a registry.
   help      Show this message.
 
@@ -81,11 +98,28 @@ serve flags:
   --serve-workers N      worker threads               (default 4)
   --queue-depth N        bounded admission queue      (default 128)
   --cache N              /v1/thermo LRU cache entries (default 256)
+  --shards N             boot a fleet: this process becomes the router
+                         and re-executes itself as N shard processes,
+                         each owning a disjoint hash-ring slice of the
+                         registry                     (default 0 = single server)
+
+route flags (plus the serve flags above, minus --registry):
+  --rendezvous HOST:PORT address to bind for shard registration (required)
+  --shards N             how many shards will dial in (required)
+
+shard flags:
+  --rendezvous HOST:PORT router rendezvous to dial    (required)
+  --rank R               this shard's rank, 1..=N     (required)
+  --shards N             fleet shard count            (required)
+  --registry DIR         artifact registry to load    (default deepthermo-registry)
+  --serve-workers N      worker threads               (default 2)
+  --cache N              /v1/thermo LRU cache entries (default 256)
 
 fixture flags:
   --registry DIR         registry to write into       (default deepthermo-registry)
+  --tag NAME             artifact id suffix (fixture-NAME) (default demo)
 
-endpoints (serve): GET /healthz /metrics /v1/artifacts,
+endpoints (serve/route): GET /healthz /metrics /v1/artifacts,
 POST /v1/thermo /v1/sro /v1/predict /v1/shutdown — see DESIGN.md.
 ";
 
@@ -121,11 +155,17 @@ fn main() -> ExitCode {
     if opt_arg(cluster::WORKER_RANK_FLAG).is_some() {
         return worker();
     }
+    // Likewise for a shard process re-launched by `serve --shards N`.
+    if opt_arg(SHARD_RANK_FLAG).is_some() {
+        return shard_child();
+    }
     let mode = std::env::args().nth(1).unwrap_or_default();
     match mode.as_str() {
         "run" => run(),
         "info" => info(),
         "serve" => serve(),
+        "route" => route_mode(),
+        "shard" => shard_mode(),
         "fixture" => write_fixture(),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -143,28 +183,53 @@ fn main() -> ExitCode {
     }
 }
 
-fn serve() -> ExitCode {
+/// Load the `--registry` directory, with a populate hint on failure.
+fn load_registry() -> Result<ArtifactRegistry, ExitCode> {
     let registry_dir = arg("--registry", "deepthermo-registry".to_string());
-    let registry = match ArtifactRegistry::open(&registry_dir) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("  (populate a registry with `deepthermo run --export-artifact {registry_dir}` or `deepthermo fixture --registry {registry_dir}`)");
-            return ExitCode::FAILURE;
-        }
-    };
+    let registry = ArtifactRegistry::open(&registry_dir).map_err(|e| {
+        eprintln!("error: {e}");
+        eprintln!("  (populate a registry with `deepthermo run --export-artifact {registry_dir}` or `deepthermo fixture --registry {registry_dir}`)");
+        ExitCode::FAILURE
+    })?;
     if registry.is_empty() {
         eprintln!("warning: registry {registry_dir} holds no artifacts; only /healthz and /metrics will be useful");
     }
-    let loaded: Vec<String> = registry.ids().iter().map(|s| s.to_string()).collect();
-    let config = ServeConfig {
+    Ok(registry)
+}
+
+/// The HTTP front-door configuration shared by `serve` and `route`.
+fn serve_config() -> ServeConfig {
+    ServeConfig {
         addr: arg("--addr", "127.0.0.1:8080".to_string()),
         workers: arg("--serve-workers", 4),
         queue_depth: arg("--queue-depth", 128),
         cache_capacity: arg("--cache", 256),
         ..ServeConfig::default()
+    }
+}
+
+fn print_serve_stats(stats: &dt_serve::ServeStats) {
+    println!(
+        "drained: {} requests handled, {} connections admitted, {} rejected (429), {} deadline-expired (503), {} handler panics",
+        stats.requests_handled,
+        stats.connections_admitted,
+        stats.queue_rejections,
+        stats.deadline_expired,
+        stats.handler_panics
+    );
+}
+
+fn serve() -> ExitCode {
+    let shards: usize = arg("--shards", 0);
+    if shards > 0 {
+        return serve_fleet(shards);
+    }
+    let registry = match load_registry() {
+        Ok(r) => r,
+        Err(code) => return code,
     };
-    let handle = match Server::start(registry, config) {
+    let loaded: Vec<String> = registry.ids().iter().map(|s| s.to_string()).collect();
+    let handle = match Server::start(registry, serve_config()) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("error: {e}");
@@ -182,20 +247,241 @@ fn serve() -> ExitCode {
         handle.local_addr()
     );
     let stats = handle.join();
+    print_serve_stats(&stats);
+    ExitCode::SUCCESS
+}
+
+/// `serve --shards N`: become the router and re-execute this binary as
+/// `N` shard processes, exactly like `run --cluster` re-executes its
+/// workers. Each shard loads the same `--registry` and keeps only its
+/// hash-ring slice; the router consistent-hashes requests across them.
+fn serve_fleet(shards: usize) -> ExitCode {
+    // Validate the registry up front for a friendly error, even though
+    // only the shard processes actually serve from it.
+    let registry = match load_registry() {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let rendezvous = match TcpRendezvous::bind("127.0.0.1:0") {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot bind shard rendezvous: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendezvous_addr = match rendezvous.local_addr() {
+        Ok(a) => a.to_string(),
+        Err(e) => {
+            eprintln!("error: cannot read rendezvous address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot locate own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let mut children = Vec::with_capacity(shards);
+    for rank in 1..=shards {
+        let spawned = std::process::Command::new(&exe)
+            .args(&passthrough)
+            .arg(SHARD_RANK_FLAG)
+            .arg(rank.to_string())
+            .arg(cluster::RENDEZVOUS_FLAG)
+            .arg(&rendezvous_addr)
+            .spawn();
+        match spawned {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                eprintln!("error: cannot spawn shard {}: {e}", rank - 1);
+                for mut c in children {
+                    let _ = c.kill();
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let transport = match rendezvous.into_transport(shards + 1) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: fleet rendezvous failed: {e}");
+            for mut c in children {
+                let _ = c.kill();
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = RouterConfig {
+        serve: serve_config(),
+        ..RouterConfig::default()
+    };
+    let handle = match Router::start(transport, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            for mut c in children {
+                let _ = c.kill();
+            }
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
-        "drained: {} requests handled, {} connections admitted, {} rejected (429), {} deadline-expired (503), {} handler panics",
-        stats.requests_handled,
-        stats.connections_admitted,
-        stats.queue_rejections,
-        stats.deadline_expired,
-        stats.handler_panics
+        "deepthermo serve: router on http://{} fronting {shards} shard processes ({} artifacts sliced by consistent hashing)",
+        handle.local_addr(),
+        registry.len()
     );
+    println!(
+        "stop with: curl -X POST http://{}/v1/shutdown  (drains every shard first)",
+        handle.local_addr()
+    );
+    let stats = handle.join();
+    print_serve_stats(&stats);
+    let mut failures = 0;
+    for (shard, mut child) in children.into_iter().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("warning: shard {shard} exited abnormally: {status}");
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("warning: cannot reap shard {shard}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Entry point of a shard process re-launched by `serve --shards N`:
+/// dial the rendezvous, serve our ring slice, exit when drained.
+fn shard_child() -> ExitCode {
+    let (Some(rank), Some(addr)) = (
+        opt_arg(SHARD_RANK_FLAG).and_then(|v| v.parse::<usize>().ok()),
+        opt_arg(cluster::RENDEZVOUS_FLAG),
+    ) else {
+        eprintln!("error: malformed shard invocation (these flags are internal)");
+        return ExitCode::FAILURE;
+    };
+    let shards: usize = arg("--shards", 0);
+    run_shard_process(rank, shards + 1, &addr, false)
+}
+
+/// `shard` mode: one externally managed shard of a fleet whose router
+/// runs `deepthermo route` (or `serve --shards` on another host).
+fn shard_mode() -> ExitCode {
+    let Some(addr) = opt_arg(cluster::RENDEZVOUS_FLAG) else {
+        eprintln!("error: shard mode needs --rendezvous HOST:PORT (the router's rendezvous)");
+        return ExitCode::FAILURE;
+    };
+    let rank: usize = arg("--rank", 0);
+    let shards: usize = arg("--shards", 0);
+    if rank == 0 || shards == 0 || rank > shards {
+        eprintln!("error: shard mode needs --rank R in 1..=N and --shards N");
+        return ExitCode::FAILURE;
+    }
+    run_shard_process(rank, shards + 1, &addr, true)
+}
+
+fn run_shard_process(rank: usize, size: usize, addr: &str, verbose: bool) -> ExitCode {
+    let registry = match load_registry() {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let transport = match TcpTransport::connect(addr, rank, size) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: shard rank {rank} cannot join the fleet at {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ShardConfig {
+        workers: arg("--serve-workers", 2),
+        cache_capacity: arg("--cache", 256),
+        ..ShardConfig::default()
+    };
+    if verbose {
+        println!("shard {}: joined fleet at {addr} as rank {rank}", rank - 1);
+    }
+    match run_shard(transport, registry, &config) {
+        Ok(stats) => {
+            if verbose {
+                println!(
+                    "shard {} drained: {} artifacts owned, {} requests handled, {} handler panics",
+                    rank - 1,
+                    stats.artifacts,
+                    stats.requests_handled,
+                    stats.handler_panics
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `route` mode: only the router tier. Binds the rendezvous at the
+/// given address, waits for `--shards N` externally launched shards to
+/// dial in, then opens the HTTP front door.
+fn route_mode() -> ExitCode {
+    let Some(addr) = opt_arg(cluster::RENDEZVOUS_FLAG) else {
+        eprintln!("error: route mode needs --rendezvous HOST:PORT to bind for shard registration");
+        return ExitCode::FAILURE;
+    };
+    let shards: usize = arg("--shards", 0);
+    if shards == 0 {
+        eprintln!("error: route mode needs --shards N (how many shards will dial in)");
+        return ExitCode::FAILURE;
+    }
+    let rendezvous = match TcpRendezvous::bind(&addr) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot bind rendezvous {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("route: waiting for {shards} shards at {addr} (start them with `deepthermo shard --rendezvous {addr} --shards {shards} --rank R`)");
+    let transport = match rendezvous.into_transport(shards + 1) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: fleet rendezvous failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = RouterConfig {
+        serve: serve_config(),
+        ..RouterConfig::default()
+    };
+    let handle = match Router::start(transport, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "route: router on http://{} fronting {shards} shards",
+        handle.local_addr()
+    );
+    let stats = handle.join();
+    print_serve_stats(&stats);
     ExitCode::SUCCESS
 }
 
 fn write_fixture() -> ExitCode {
     let registry_dir = arg("--registry", "deepthermo-registry".to_string());
-    let artifact = dt_serve::fixture::fixture_artifact("demo");
+    let tag = arg("--tag", "demo".to_string());
+    let artifact = dt_serve::fixture::fixture_artifact(&tag);
     match artifact.save(&registry_dir) {
         Ok(dir) => {
             println!(

@@ -59,13 +59,16 @@
 //! * optional **heartbeats** ([`Transport::start_heartbeats`]): every
 //!   frame arrival stamps a per-peer last-seen clock, a ping keeps idle
 //!   links warm, and a monitor declares peers dead on deadline — an
-//!   active failure detector instead of EOF-only;
+//!   active failure detector instead of EOF-only. A monitor verdict is
+//!   *reversible*: the next frame over the still-open connection revives
+//!   the peer, and a monitor that was itself starved of CPU re-arms the
+//!   clocks rather than condemning the mesh on stale testimony (only an
+//!   EOF is final);
 //! * in recovery mode the rank-0 coordinator treats a dead contributor as
 //!   *temporarily* absent and keeps waiting (bounded by
 //!   [`RECOVERY_DEADLINE`]) so a rejoining replacement lands in the
 //!   collective generation it missed.
 
-use std::cell::Cell;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -167,6 +170,16 @@ impl Shared {
         if self.dead[rank].swap(false, Ordering::SeqCst) {
             self.live.fetch_add(1, Ordering::SeqCst);
             self.inbox.notify_all();
+        }
+    }
+
+    /// Revive from a reader created at connection generation `gen`:
+    /// ignored when a replacement connection has been installed since
+    /// (the stale reader must not resurrect a peer it no longer speaks
+    /// for).
+    fn revive_if_current(&self, rank: usize, gen: u64) {
+        if self.conn_gen[rank].load(Ordering::SeqCst) == gen {
+            self.revive(rank);
         }
     }
 
@@ -336,10 +349,22 @@ pub struct TcpTransport {
     /// index). Reader threads own cloned handles; the re-admission
     /// acceptor installs replacement streams in place.
     peers: Arc<PeerSlots>,
-    barrier_gen: Cell<u64>,
-    reduce_gen: Cell<u64>,
-    bcast_gen: Cell<u64>,
+    // Atomic (not Cell) so a fully connected transport is `Sync`: the
+    // serving fleet shares one `Arc<TcpTransport>` across router worker
+    // threads. Collectives are still single-caller-at-a-time by
+    // contract; the atomics only make concurrent point-to-point sends
+    // and generation snapshots sound.
+    barrier_gen: AtomicU64,
+    reduce_gen: AtomicU64,
+    bcast_gen: AtomicU64,
 }
+
+// Compile-time proof the transport is shareable across threads; the
+// serving fleet hands one `Arc<TcpTransport>` to every router worker.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TcpTransport>();
+};
 
 impl TcpTransport {
     /// Join a cluster as worker `rank` by dialing rank 0's rendezvous at
@@ -442,9 +467,9 @@ impl TcpTransport {
             size,
             shared,
             peers: slots,
-            barrier_gen: Cell::new(0),
-            reduce_gen: Cell::new(0),
-            bcast_gen: Cell::new(0),
+            barrier_gen: AtomicU64::new(0),
+            reduce_gen: AtomicU64::new(0),
+            bcast_gen: AtomicU64::new(0),
         })
     }
 
@@ -576,6 +601,14 @@ fn reader_loop(mut stream: TcpStream, from: usize, gen: u64, shared: Arc<Shared>
             break;
         }
         shared.touch(from);
+        // A frame can only arrive over an open connection: a peer the
+        // heartbeat monitor wrote off during a scheduling stall is
+        // demonstrably still here, so reverse the verdict. EOF death
+        // stays final — this reader has exited by then and a stale
+        // generation cannot resurrect a genuinely replaced peer.
+        if shared.is_dead(from) {
+            shared.revive_if_current(from, gen);
+        }
         if tag == hb_tag() {
             // Heartbeats only feed the liveness clock; never the inbox.
             continue;
@@ -638,8 +671,7 @@ impl Transport for TcpTransport {
     }
 
     fn barrier(&self) -> Result<(), CommError> {
-        let generation = self.barrier_gen.get();
-        self.barrier_gen.set(generation + 1);
+        let generation = self.barrier_gen.fetch_add(1, Ordering::SeqCst);
         let arrive = coll_tag(K_BARRIER_ARRIVE, generation);
         let release = coll_tag(K_BARRIER_RELEASE, generation);
         if self.rank == 0 {
@@ -663,8 +695,7 @@ impl Transport for TcpTransport {
     }
 
     fn allreduce_sum(&self, data: &mut [f64]) -> Result<(), CommError> {
-        let generation = self.reduce_gen.get();
-        self.reduce_gen.set(generation + 1);
+        let generation = self.reduce_gen.fetch_add(1, Ordering::SeqCst);
         let contrib = coll_tag(K_REDUCE_CONTRIB, generation);
         let result = coll_tag(K_REDUCE_RESULT, generation);
         if self.rank == 0 {
@@ -712,8 +743,7 @@ impl Transport for TcpTransport {
     }
 
     fn broadcast_checked(&self, root: usize, data: Vec<u8>) -> Result<Vec<u8>, CommError> {
-        let generation = self.bcast_gen.get();
-        self.bcast_gen.set(generation + 1);
+        let generation = self.bcast_gen.fetch_add(1, Ordering::SeqCst);
         let tag = coll_tag(K_BCAST, generation);
         if self.rank == root {
             for r in 0..self.size {
@@ -766,16 +796,31 @@ impl Transport for TcpTransport {
             .name(format!("tcp-hb-mon-{me}"))
             .spawn(move || {
                 let poll = (deadline / 4).max(Duration::from_millis(1));
+                let mut last_pass = Instant::now();
                 while !shared.shutdown.load(Ordering::SeqCst) {
-                    for j in 0..size {
-                        if j == me || shared.is_dead(j) {
-                            continue;
+                    if last_pass.elapsed() > poll + deadline / 2 {
+                        // The monitor itself just lost the CPU for longer
+                        // than half the deadline (single-core contention,
+                        // respawn exec storm): every liveness clock is
+                        // stale testimony. Re-arm them instead of
+                        // declaring the whole mesh dead.
+                        for j in 0..size {
+                            if j != me {
+                                shared.touch(j);
+                            }
                         }
-                        if shared.last_seen[j].lock().elapsed() > deadline {
-                            shared.hb_misses.fetch_add(1, Ordering::SeqCst);
-                            shared.mark_dead(j);
+                    } else {
+                        for j in 0..size {
+                            if j == me || shared.is_dead(j) {
+                                continue;
+                            }
+                            if shared.last_seen[j].lock().elapsed() > deadline {
+                                shared.hb_misses.fetch_add(1, Ordering::SeqCst);
+                                shared.mark_dead(j);
+                            }
                         }
                     }
+                    last_pass = Instant::now();
                     std::thread::sleep(poll);
                 }
             })
@@ -792,16 +837,16 @@ impl Transport for TcpTransport {
 
     fn collective_generations(&self) -> [u64; 3] {
         [
-            self.barrier_gen.get(),
-            self.reduce_gen.get(),
-            self.bcast_gen.get(),
+            self.barrier_gen.load(Ordering::SeqCst),
+            self.reduce_gen.load(Ordering::SeqCst),
+            self.bcast_gen.load(Ordering::SeqCst),
         ]
     }
 
     fn set_collective_generations(&self, gens: [u64; 3]) {
-        self.barrier_gen.set(gens[0]);
-        self.reduce_gen.set(gens[1]);
-        self.bcast_gen.set(gens[2]);
+        self.barrier_gen.store(gens[0], Ordering::SeqCst);
+        self.reduce_gen.store(gens[1], Ordering::SeqCst);
+        self.bcast_gen.store(gens[2], Ordering::SeqCst);
     }
 }
 

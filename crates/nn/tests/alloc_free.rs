@@ -1,11 +1,15 @@
 //! Asserts the acceptance criterion that steady-state `forward_into`
 //! performs **zero heap allocations**, using a counting global allocator.
 //!
-//! This file must stay a single `#[test]`: the counter is process-global,
-//! and concurrent tests in the same binary would race it.
+//! Counting is armed per-thread: the libtest harness keeps its own
+//! threads alive next to the test thread, and their incidental
+//! allocations must not leak into the count. The flag is a
+//! const-initialised `Cell` so arming it never allocates (a lazily
+//! initialised thread-local would recurse into the allocator).
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dt_nn::{log_softmax_masked_into, Activation, ForwardScratch, Mlp};
 use rand::{RngExt, SeedableRng};
@@ -14,11 +18,20 @@ use rand_chacha::ChaCha8Rng;
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
-static COUNTING: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread has armed counting. `Cell<bool>` has no
+/// destructor, so the allocator never observes a dead thread-local.
+fn counting() -> bool {
+    COUNTING.with(|c| c.get())
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting() {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc(layout)
@@ -29,7 +42,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting() {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
         System.realloc(ptr, layout, new_size)
@@ -39,12 +52,12 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-/// Count heap allocations performed by `f`.
+/// Count heap allocations performed by `f` on the calling thread.
 fn allocations_in(f: impl FnOnce()) -> usize {
     ALLOCATIONS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
     f();
-    COUNTING.store(false, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(false));
     ALLOCATIONS.load(Ordering::SeqCst)
 }
 

@@ -25,7 +25,6 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use dt_surrogate::SurrogateModel;
@@ -33,7 +32,7 @@ use dt_telemetry::{parse_json, push_f64, push_json_string, JsonValue, MetricsReg
 use dt_thermo::{try_canonical_curve, ThermoPoint, KB_EV_PER_K};
 
 use crate::artifact::{Artifact, ArtifactRegistry};
-use crate::cache::LruCache;
+use crate::cache::{FillOutcome, ResponseCache};
 use crate::http::{Request, Response};
 use crate::ServeError;
 
@@ -59,7 +58,7 @@ const LATENCY_HISTOGRAMS: &[&str] = &[
 pub struct AppState {
     registry: ArtifactRegistry,
     surrogates: HashMap<String, SurrogateModel>,
-    cache: Mutex<LruCache<String, String>>,
+    cache: ResponseCache,
     cache_capacity: usize,
     /// Metrics shared with the transport layer (queue rejections and
     /// deadline expiries are recorded there, served from here).
@@ -90,7 +89,7 @@ impl AppState {
         Ok(AppState {
             registry,
             surrogates,
-            cache: Mutex::new(LruCache::new(cache_capacity)),
+            cache: ResponseCache::new(cache_capacity),
             cache_capacity,
             metrics: MetricsRegistry::new(),
             shutdown: AtomicBool::new(false),
@@ -206,7 +205,7 @@ impl AppState {
             push_f64(&mut body, h.quantile(0.99));
             body.push('}');
         }
-        let cache_len = self.cache.lock().expect("cache lock").len();
+        let cache_len = self.cache.len();
         body.push_str(&format!(
             "}},\"cache\":{{\"entries\":{cache_len},\"capacity\":{}}}}}",
             self.cache_capacity
@@ -235,7 +234,30 @@ impl AppState {
 
     fn begin_shutdown(&self) -> Response {
         self.request_shutdown();
-        Response::json(200, "{\"status\":\"draining\"}")
+        Response::json(200, self.drain_summary())
+    }
+
+    /// The drain summary body: `"status":"draining"` plus a snapshot of
+    /// the lifetime counters at the moment the drain began. The router
+    /// collects one of these per shard and embeds them in its own
+    /// fleet-wide summary.
+    pub fn drain_summary(&self) -> String {
+        let mut body = String::from("{\"status\":\"draining\"");
+        for name in [
+            "requests_total",
+            "connections_admitted",
+            "queue_rejections",
+            "deadline_expired",
+            "handler_panics",
+            "thermo_cache_hits",
+            "thermo_cache_misses",
+        ] {
+            body.push_str(&format!(",\"{name}\":{}", self.metrics.counter(name).get()));
+        }
+        body.push_str(",\"uptime_s\":");
+        push_f64(&mut body, self.started.elapsed().as_secs_f64());
+        body.push('}');
+        body
     }
 
     fn thermo(&self, body: &[u8]) -> Response {
@@ -259,27 +281,40 @@ impl AppState {
         for t in &temps {
             key.push_str(&format!("|{:016x}", t.to_bits()));
         }
-        if let Some(cached) = self.cache.lock().expect("cache lock").get(&key) {
-            self.metrics.counter("thermo_cache_hits").inc();
-            let mut resp = Response::json(200, cached.clone());
-            resp.extra_headers.push(("x-cache", "hit".to_string()));
-            return resp;
-        }
-        self.metrics.counter("thermo_cache_misses").inc();
-
-        let (energies, ln_g) = artifact.visited_dos();
-        let curve = match try_canonical_curve(&energies, &ln_g, &temps, KB_EV_PER_K) {
-            Ok(c) => c,
-            Err(e) => return Response::error(422, &e.to_string()),
+        // Single-flight fill: under a cold-key stampede, one caller
+        // evaluates the curve while every concurrent twin parks on the
+        // flight and shares the body — `thermo_evaluations` counts
+        // actual evaluations, which the E14 gate pins to one per key.
+        let (result, outcome) = self.cache.get_or_fill(&key, || {
+            self.metrics.counter("thermo_evaluations").inc();
+            let (energies, ln_g) = artifact.visited_dos();
+            let curve = try_canonical_curve(&energies, &ln_g, &temps, KB_EV_PER_K)
+                .map_err(|e| Response::error(422, &e.to_string()))?;
+            Ok(thermo_body(&artifact.manifest.id, &curve))
+        });
+        let cache_state = match outcome {
+            FillOutcome::Hit => {
+                self.metrics.counter("thermo_cache_hits").inc();
+                "hit"
+            }
+            FillOutcome::Miss => {
+                self.metrics.counter("thermo_cache_misses").inc();
+                "miss"
+            }
+            FillOutcome::Coalesced => {
+                self.metrics.counter("thermo_coalesced").inc();
+                "coalesced"
+            }
         };
-        let body = thermo_body(&artifact.manifest.id, &curve);
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .put(key, body.clone());
-        let mut resp = Response::json(200, body);
-        resp.extra_headers.push(("x-cache", "miss".to_string()));
-        resp
+        match result {
+            Ok(body) => {
+                let mut resp = Response::json(200, body);
+                resp.extra_headers
+                    .push(("x-cache", cache_state.to_string()));
+                resp
+            }
+            Err(resp) => resp,
+        }
     }
 
     fn sro(&self, body: &[u8]) -> Response {
@@ -812,6 +847,66 @@ mod tests {
         assert_eq!(
             v.get("status").and_then(JsonValue::as_str),
             Some("draining")
+        );
+    }
+
+    #[test]
+    fn shutdown_returns_a_drain_summary_body() {
+        let st = state();
+        st.handle(&post(
+            "/v1/thermo",
+            "{\"artifact\":\"fixture-api\",\"temperatures\":[1000]}",
+        ));
+        let resp = st.handle(&post("/v1/shutdown", ""));
+        assert_eq!(resp.status, 200);
+        let v = parse_json(&resp.body).unwrap();
+        assert_eq!(
+            v.get("status").and_then(JsonValue::as_str),
+            Some("draining")
+        );
+        // The summary snapshots the lifetime counters at drain start.
+        assert!(v.get("requests_total").and_then(JsonValue::as_u64) >= Some(1));
+        assert_eq!(
+            v.get("thermo_cache_misses").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        assert!(v.get("uptime_s").and_then(JsonValue::as_f64).is_some());
+    }
+
+    #[test]
+    fn cold_key_stampede_evaluates_exactly_once() {
+        use std::sync::{Arc, Barrier};
+        const REQUESTERS: usize = 64;
+        let st = Arc::new(state());
+        let start = Arc::new(Barrier::new(REQUESTERS));
+        let handles: Vec<_> = (0..REQUESTERS)
+            .map(|_| {
+                let st = Arc::clone(&st);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    st.handle(&post(
+                        "/v1/thermo",
+                        "{\"artifact\":\"fixture-api\",\"t_min\":300,\"t_max\":3000,\"num_t\":512}",
+                    ))
+                })
+            })
+            .collect();
+        let mut bodies = std::collections::HashSet::new();
+        for h in handles {
+            let resp = h.join().unwrap();
+            assert_eq!(resp.status, 200);
+            bodies.insert(resp.body);
+        }
+        assert_eq!(bodies.len(), 1, "every requester got the same body");
+        // The single-flight gate: one evaluation, no matter how many
+        // concurrent cold requesters.
+        assert_eq!(st.metrics.counter("thermo_evaluations").get(), 1);
+        assert_eq!(
+            st.metrics.counter("thermo_cache_misses").get()
+                + st.metrics.counter("thermo_cache_hits").get()
+                + st.metrics.counter("thermo_coalesced").get(),
+            REQUESTERS as u64
         );
     }
 }

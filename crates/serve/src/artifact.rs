@@ -509,6 +509,12 @@ impl ArtifactRegistry {
         self.artifacts.values()
     }
 
+    /// Keep only the artifacts whose id satisfies `keep` — how a shard
+    /// restricts a fully loaded registry to its hash-ring slice.
+    pub fn retain(&mut self, mut keep: impl FnMut(&str) -> bool) {
+        self.artifacts.retain(|id, _| keep(id));
+    }
+
     /// Number of artifacts.
     pub fn len(&self) -> usize {
         self.artifacts.len()

@@ -1,13 +1,22 @@
-//! A small LRU cache for pure-function responses.
+//! Response caching: a small LRU plus its single-flight composition.
 //!
 //! `canonical_curve` is a pure function of `(artifact, T-grid)`, so the
 //! `/v1/thermo` endpoint memoizes whole response bodies. The cache is a
 //! hash map plus a recency index kept in a `BTreeMap<u64, K>` keyed by a
 //! monotonically increasing use-stamp: both lookup-bump and eviction are
 //! `O(log n)`, and there is no unsafe linked-list juggling.
+//!
+//! [`ResponseCache`] layers [`crate::singleflight::SingleFlight`] over
+//! the LRU: a cold key computed by one leader while concurrent
+//! requesters park and share the result, so a popular new artifact
+//! costs one evaluation, not one per waiting client.
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
+use std::sync::Mutex;
+
+use crate::http::Response;
+use crate::singleflight::SingleFlight;
 
 /// A least-recently-used cache with a fixed capacity.
 #[derive(Debug, Clone)]
@@ -80,6 +89,75 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 }
 
+/// How a [`ResponseCache::get_or_fill`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillOutcome {
+    /// Served from the LRU.
+    Hit,
+    /// This caller led the fill (ran the computation).
+    Miss,
+    /// Another caller's in-flight fill supplied the value.
+    Coalesced,
+}
+
+/// The `/v1/thermo` response cache: an LRU of rendered bodies with
+/// single-flight fills. Fill errors (e.g. a `422` for an out-of-range
+/// grid) are shared with concurrent waiters but never cached.
+pub struct ResponseCache {
+    lru: Mutex<LruCache<String, String>>,
+    flight: SingleFlight<String, Result<String, Response>>,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` bodies (0 disables the LRU;
+    /// concurrent fills still coalesce).
+    pub fn new(capacity: usize) -> ResponseCache {
+        ResponseCache {
+            lru: Mutex::new(LruCache::new(capacity)),
+            flight: SingleFlight::new(),
+        }
+    }
+
+    /// Serve `key` from the LRU, or compute it with `fill` — at most
+    /// one concurrent fill per key; late arrivals park and share the
+    /// leader's result. The leader publishes into the LRU *before* the
+    /// flight closes, so a racer sees either the flight or the cached
+    /// body, never neither.
+    pub fn get_or_fill<F>(&self, key: &str, fill: F) -> (Result<String, Response>, FillOutcome)
+    where
+        F: FnOnce() -> Result<String, Response>,
+    {
+        if let Some(body) = self.lru.lock().expect("cache lock").get(&key.to_string()) {
+            return (Ok(body.clone()), FillOutcome::Hit);
+        }
+        let owned = key.to_string();
+        let (result, led) = self.flight.run(&owned, fill, |result| {
+            if let Ok(body) = result {
+                self.lru
+                    .lock()
+                    .expect("cache lock")
+                    .put(owned.clone(), body.clone());
+            }
+        });
+        let outcome = if led {
+            FillOutcome::Miss
+        } else {
+            FillOutcome::Coalesced
+        };
+        (result, outcome)
+    }
+
+    /// Number of cached bodies.
+    pub fn len(&self) -> usize {
+        self.lru.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +219,72 @@ mod tests {
             assert_eq!(c.get(&i), Some(&(i * 2)));
         }
         assert_eq!(c.get(&0), None);
+    }
+
+    #[test]
+    fn response_cache_hits_after_one_fill() {
+        let cache = ResponseCache::new(4);
+        let (r, o) = cache.get_or_fill("k", || Ok("body".to_string()));
+        assert_eq!((r.unwrap().as_str(), o), ("body", FillOutcome::Miss));
+        let (r, o) = cache.get_or_fill("k", || panic!("must not refill"));
+        assert_eq!((r.unwrap().as_str(), o), ("body", FillOutcome::Hit));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn fill_errors_are_not_cached() {
+        let cache = ResponseCache::new(4);
+        let (r, o) = cache.get_or_fill("bad", || Err(Response::error(422, "nope")));
+        assert_eq!(o, FillOutcome::Miss);
+        assert_eq!(r.unwrap_err().status, 422);
+        assert!(cache.is_empty());
+        // The next caller recomputes (and may succeed).
+        let (r, o) = cache.get_or_fill("bad", || Ok("fine".to_string()));
+        assert_eq!((r.unwrap().as_str(), o), ("fine", FillOutcome::Miss));
+    }
+
+    #[test]
+    fn concurrent_cold_fills_coalesce_to_one_evaluation() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Arc, Barrier};
+        const CALLERS: usize = 64;
+        let cache = Arc::new(ResponseCache::new(4));
+        let fills = Arc::new(AtomicUsize::new(0));
+        let start = Arc::new(Barrier::new(CALLERS));
+        let handles: Vec<_> = (0..CALLERS)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let fills = Arc::clone(&fills);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    cache.get_or_fill("cold", || {
+                        fills.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        Ok("v".to_string())
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            let (r, _) = h.join().unwrap();
+            assert_eq!(r.unwrap(), "v");
+        }
+        // The leader published before its flight closed, so every
+        // caller either joined that flight or hit the LRU — the fill
+        // ran exactly once.
+        assert_eq!(fills.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn zero_capacity_response_cache_still_coalesces() {
+        let cache = ResponseCache::new(0);
+        let (r, o) = cache.get_or_fill("k", || Ok("x".to_string()));
+        assert_eq!((r.unwrap().as_str(), o), ("x", FillOutcome::Miss));
+        // Nothing persisted...
+        assert!(cache.is_empty());
+        // ...so the next sequential caller refills.
+        let (_, o) = cache.get_or_fill("k", || Ok("x".to_string()));
+        assert_eq!(o, FillOutcome::Miss);
     }
 }

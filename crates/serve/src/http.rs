@@ -29,11 +29,13 @@ pub struct Request {
 }
 
 impl Request {
-    /// First value of a header, by lowercase name.
+    /// First value of a header. Lookup is case-insensitive (RFC 9110
+    /// §5.1): header names are lowercased at parse time, and the query
+    /// name is matched ignoring ASCII case so callers need not care.
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers
             .iter()
-            .find(|(k, _)| k == name)
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
 
@@ -144,7 +146,39 @@ fn read_line<R: BufRead>(
 pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, HttpReadError> {
     let mut consumed = 0usize;
     let request_line = read_line(reader, &mut consumed, true)?;
-    let mut parts = request_line.split(' ');
+    let (method, target, http11) = parse_request_line(&request_line)?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut consumed, false)?;
+        if line.is_empty() {
+            break;
+        }
+        headers.push(parse_header_line(&line)?);
+    }
+
+    let content_length = validate_headers(&headers)?;
+    if content_length > max_body {
+        return Err(HttpReadError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(io_error)?;
+
+    Ok(Request {
+        method,
+        target,
+        http11,
+        headers,
+        body,
+    })
+}
+
+/// Parse `METHOD TARGET HTTP/1.x` into its validated parts.
+fn parse_request_line(line: &str) -> Result<(String, String, bool), HttpReadError> {
+    let mut parts = line.split(' ');
     let method = parts
         .next()
         .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
@@ -163,51 +197,160 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
     if parts.next().is_some() {
         return Err(HttpReadError::Malformed("extra tokens in request line"));
     }
+    Ok((method, target, http11))
+}
 
-    let mut headers = Vec::new();
-    loop {
-        let line = read_line(reader, &mut consumed, false)?;
-        if line.is_empty() {
-            break;
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or(HttpReadError::Malformed("header without ':'"))?;
-        if name.is_empty() || name.contains(' ') {
-            return Err(HttpReadError::Malformed("bad header name"));
-        }
-        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+/// Split one `Name: value` header line, lowercasing the name.
+fn parse_header_line(line: &str) -> Result<(String, String), HttpReadError> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or(HttpReadError::Malformed("header without ':'"))?;
+    if name.is_empty() || name.contains(' ') {
+        return Err(HttpReadError::Malformed("bad header name"));
     }
+    Ok((name.to_ascii_lowercase(), value.trim().to_string()))
+}
 
+/// Message-framing checks shared by the blocking and incremental
+/// parsers: refuse chunked transfer, refuse duplicate `Content-Length`
+/// (RFC 9110 §8.6 — a smuggling vector when two lengths disagree), and
+/// return the single declared body length.
+fn validate_headers(headers: &[(String, String)]) -> Result<usize, HttpReadError> {
     if headers
         .iter()
         .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
     {
         return Err(HttpReadError::Unsupported("chunked transfer encoding"));
     }
-
-    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+    let mut lengths = headers.iter().filter(|(k, _)| k == "content-length");
+    let content_length = match lengths.next() {
         None => 0,
-        Some((_, v)) => v
-            .parse::<usize>()
-            .map_err(|_| HttpReadError::Malformed("bad content-length"))?,
+        Some((_, v)) => {
+            if lengths.next().is_some() {
+                return Err(HttpReadError::Malformed("duplicate content-length"));
+            }
+            v.parse::<usize>()
+                .map_err(|_| HttpReadError::Malformed("bad content-length"))?
+        }
     };
+    Ok(content_length)
+}
+
+/// Index just past the head terminator (`\r\n\r\n` or bare `\n\n`), if
+/// the buffer holds a complete head yet.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    // A lone `\n\n` also terminates (the line reader tolerates missing
+    // `\r`), so scan for either form in one pass.
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1) {
+                Some(b'\n') => return Some(i + 2),
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Try to parse one complete request from the front of `buf` without
+/// consuming it — the incremental entry point for the readiness-driven
+/// reactor, which accumulates bytes as they arrive.
+///
+/// Returns `Ok(None)` while the buffer holds only a prefix of a
+/// request, and `Ok(Some((request, consumed)))` once a full head+body
+/// is present; the caller then drains `consumed` bytes. Oversized heads
+/// and bodies fail as soon as they are detectable, without waiting for
+/// the rest of the bytes.
+///
+/// # Errors
+/// The same [`HttpReadError`] variants as [`read_request`], except
+/// `Closed`/`Timeout` (EOF and pacing are the reactor's business).
+pub fn try_parse_request(
+    buf: &[u8],
+    max_body: usize,
+) -> Result<Option<(Request, usize)>, HttpReadError> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(HttpReadError::HeadersTooLarge);
+        }
+        // The head is incomplete, but garbage should fail now, not
+        // when the peer eventually sends a blank line: as soon as the
+        // first line is complete, it must be a valid request line.
+        if let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            let line = std::str::from_utf8(&buf[..nl])
+                .map_err(|_| HttpReadError::Malformed("non-UTF-8 header bytes"))?;
+            parse_request_line(line.strip_suffix('\r').unwrap_or(line))?;
+        }
+        return Ok(None);
+    };
+    if head_end > MAX_HEADER_BYTES {
+        return Err(HttpReadError::HeadersTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpReadError::Malformed("non-UTF-8 header bytes"))?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    if request_line.is_empty() {
+        return Err(HttpReadError::Malformed("empty request line"));
+    }
+    let (method, target, http11) = parse_request_line(request_line)?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        headers.push(parse_header_line(line)?);
+    }
+    let content_length = validate_headers(&headers)?;
     if content_length > max_body {
         return Err(HttpReadError::BodyTooLarge {
             declared: content_length,
             limit: max_body,
         });
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(io_error)?;
+    let total = head_end + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        Request {
+            method,
+            target,
+            http11,
+            headers,
+            body: buf[head_end..total].to_vec(),
+        },
+        total,
+    )))
+}
 
-    Ok(Request {
-        method,
-        target,
-        http11,
-        headers,
-        body,
-    })
+/// Serialize a parsed request back to wire bytes — the router forwards
+/// client requests to shards in this form, and the shard re-parses
+/// them with the same validator the edge used. `Content-Length` is
+/// re-derived from the actual body so the framing is always canonical.
+pub fn serialize_request(req: &Request) -> Vec<u8> {
+    let mut head = format!(
+        "{} {} {}\r\n",
+        req.method,
+        req.target,
+        if req.http11 { "HTTP/1.1" } else { "HTTP/1.0" }
+    );
+    for (k, v) in &req.headers {
+        if k == "content-length" {
+            continue;
+        }
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("content-length: {}\r\n\r\n", req.body.len()));
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&req.body);
+    out
 }
 
 /// An outgoing response, built by the handlers.
@@ -256,7 +399,9 @@ impl Response {
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             501 => "Not Implemented",
+            502 => "Bad Gateway",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         }
     }
@@ -377,6 +522,110 @@ mod tests {
             "y".repeat(MAX_HEADER_BYTES)
         );
         assert_eq!(parse(&huge), Err(HttpReadError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let req = parse(
+            "POST / HTTP/1.1\r\nX-Request-ID: abc\r\ncOnTeNt-LeNgTh: 2\r\nConnection: CLOSE\r\n\r\nhi",
+        )
+        .unwrap();
+        // Mixed-case wire names parse, and lookups match in any case.
+        assert_eq!(req.header("x-request-id"), Some("abc"));
+        assert_eq!(req.header("X-Request-Id"), Some("abc"));
+        assert_eq!(req.header("X-REQUEST-ID"), Some("abc"));
+        assert_eq!(req.header("Content-Length"), Some("2"));
+        assert_eq!(req.body, b"hi");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // Disagreeing lengths are a request-smuggling vector...
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nhi"),
+            Err(HttpReadError::Malformed("duplicate content-length"))
+        );
+        // ...and even agreeing duplicates are refused outright.
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 2\r\ncontent-length: 2\r\n\r\nhi"),
+            Err(HttpReadError::Malformed("duplicate content-length"))
+        );
+        // The incremental parser applies the identical validation.
+        assert_eq!(
+            try_parse_request(
+                b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi",
+                1024
+            ),
+            Err(HttpReadError::Malformed("duplicate content-length"))
+        );
+    }
+
+    #[test]
+    fn incremental_parser_handles_partial_and_pipelined_input() {
+        let wire = b"POST /v1/thermo HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        // Every strict prefix is "not yet".
+        for cut in 0..wire.len() {
+            assert_eq!(try_parse_request(&wire[..cut], 1024), Ok(None), "cut {cut}");
+        }
+        let (req, consumed) = try_parse_request(wire, 1024).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\":1}");
+
+        // A second pipelined request stays in the buffer untouched.
+        let mut two = wire.to_vec();
+        two.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let (first, consumed) = try_parse_request(&two, 1024).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(first.target, "/v1/thermo");
+        let (second, rest) = try_parse_request(&two[consumed..], 1024).unwrap().unwrap();
+        assert_eq!(second.target, "/healthz");
+        assert_eq!(consumed + rest, two.len());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_garbage_before_the_head_completes() {
+        // A non-HTTP first line fails as soon as it is complete, even
+        // though the head terminator never arrives.
+        assert!(matches!(
+            try_parse_request(b"EHLO mail.example.com\r\n", 1024),
+            Err(HttpReadError::Malformed(_))
+        ));
+        // A valid-so-far prefix still waits for more bytes.
+        assert_eq!(
+            try_parse_request(b"GET /healthz HTTP/1.1\r\nhost: x\r\n", 1024),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn incremental_parser_fails_oversize_early() {
+        // Headers that can no longer fit fail before the terminator
+        // arrives...
+        let endless = vec![b'a'; MAX_HEADER_BYTES + 1];
+        assert_eq!(
+            try_parse_request(&endless, 1024),
+            Err(HttpReadError::HeadersTooLarge)
+        );
+        // ...and a declared-too-large body fails on the head alone.
+        assert_eq!(
+            try_parse_request(b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n", 1024),
+            Err(HttpReadError::BodyTooLarge {
+                declared: 9999,
+                limit: 1024
+            })
+        );
+    }
+
+    #[test]
+    fn serialized_requests_reparse_identically() {
+        let req = parse("POST /v1/sro HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+            .unwrap();
+        let wire = serialize_request(&req);
+        let (back, consumed) = try_parse_request(&wire, 1024).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(back, req);
     }
 
     #[test]

@@ -16,38 +16,58 @@
 //!   Floating-point payloads are stored as exact bit patterns, so a
 //!   served thermodynamic curve is bit-identical to one evaluated
 //!   directly on the producing run's data.
-//! * [`Server`] — a hand-rolled `std::net::TcpListener` HTTP/1.1 JSON
-//!   API (the workspace is offline/vendored; no external HTTP stack).
-//!   Connections flow through a bounded `crossbeam` channel into a
-//!   worker-thread pool: saturation returns `429` instead of queueing
-//!   unboundedly, queued connections carry a deadline (`503` when
-//!   exceeded), malformed or oversized bodies map to `4xx` — never a
-//!   worker panic — and shutdown drains in-flight requests before the
-//!   listener thread exits.
-//! * [`LruCache`] — response cache for `POST /v1/thermo`;
-//!   `canonical_curve` is pure, so identical `(artifact, T-grid)`
-//!   requests are served from memory.
+//! * [`Server`] — a hand-rolled HTTP/1.1 JSON API (the workspace is
+//!   offline/vendored; no external HTTP stack) over a readiness-driven
+//!   event loop ([`reactor`]): nonblocking sockets polled by reactor
+//!   threads, parsed requests flowing through a bounded `crossbeam`
+//!   channel into a worker pool. Saturation returns `429` instead of
+//!   queueing unboundedly, queued requests carry a deadline (`503`
+//!   when exceeded), malformed or oversized bodies map to `4xx` —
+//!   never a worker panic — and shutdown drains in-flight requests
+//!   before the engine exits.
+//! * [`Router`] / [`shard`] — the horizontal-scale tier: a router
+//!   consistent-hashes artifact ids ([`HashRing`]) onto N shard
+//!   processes, each owning a disjoint slice of the registry, over the
+//!   `dt-hpc` TCP mesh (rendezvous bootstrap, framed RPC, liveness).
+//! * [`ResponseCache`] — single-flight LRU response cache for
+//!   `POST /v1/thermo`; `canonical_curve` is pure, so identical
+//!   `(artifact, T-grid)` requests are served from memory, and
+//!   concurrent cold-key requesters park on one in-flight fill
+//!   ([`singleflight`]) instead of stampeding the workers.
 //! * `GET /metrics` — the `dt-telemetry` metrics registry (request
 //!   counts, per-endpoint latency histograms, cache hit/miss, queue
-//!   rejections) exported as JSON.
+//!   rejections) exported as JSON; the router aggregates per-shard
+//!   counters into a fleet-wide view.
 //!
-//! See DESIGN.md ("Serving architecture") for the endpoint reference
-//! and the artifact directory layout.
+//! See DESIGN.md ("Serving architecture" and "Serving fleet") for the
+//! endpoint reference, the artifact directory layout, and the tiering
+//! diagram.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// The only unsafe in the crate is the scoped three-line poll(2) FFI
+// binding in `reactor::sys`.
+#![deny(unsafe_code)]
 
 pub mod api;
 pub mod artifact;
 pub mod cache;
 pub mod fixture;
 pub mod http;
+pub mod reactor;
+pub mod ring;
+pub mod router;
 pub mod server;
+pub mod shard;
+pub mod singleflight;
 
 pub use api::AppState;
 pub use artifact::{Artifact, ArtifactManifest, ArtifactRegistry};
-pub use cache::LruCache;
+pub use cache::{LruCache, ResponseCache};
+pub use ring::HashRing;
+pub use router::{Fleet, Router, RouterConfig, RouterHandle};
 pub use server::{ServeConfig, ServeHandle, ServeStats, Server};
+pub use shard::{run_shard, ShardConfig, ShardStats};
+pub use singleflight::SingleFlight;
 
 use std::path::PathBuf;
 

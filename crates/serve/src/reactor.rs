@@ -1,0 +1,642 @@
+//! A readiness-driven event loop: the serving engine under both tiers.
+//!
+//! ```text
+//!            accept + read + parse             bounded channel
+//! clients ──▶ reactor thread × R ──try_send──▶ [queue] ──recv──▶ worker × N
+//!                ▲    │ full? queue 429, close       │ waited > deadline? 503
+//!                │    │ parse error? 4xx, close      │ panic? 500
+//!                │    └─ nonblocking sockets, poll(2)│
+//!                └──── completions (wake pipe) ◀─────┘
+//! ```
+//!
+//! The old transport was thread-per-connection with blocking reads: a
+//! worker was *occupied* by an idle keep-alive connection. Here R
+//! reactor threads own the sockets — each runs `poll(2)` over its
+//! accepted connections, reads whatever bytes are ready, and feeds the
+//! incremental parser ([`crate::http::try_parse_request`]); only a
+//! *complete* request occupies a worker, so ten thousand idle
+//! connections cost ten thousand buffers, not ten thousand threads.
+//! Workers return responses over a completion channel and wake the
+//! owning reactor through a self-pipe; the reactor serializes the
+//! response into the connection's write buffer and drains it under
+//! `POLLOUT`, so a wedged client cannot stall anything but itself.
+//!
+//! With `reactors > 1` the listener is shared (sharded accept): every
+//! reactor polls the same listening socket and the kernel spreads
+//! wakeups across them. Backpressure semantics are unchanged from the
+//! blocking engine: the worker queue is bounded (`429` when full),
+//! queued requests carry deadlines (`503` when stale), and handler
+//! panics are contained (`500`).
+//!
+//! This module owns the crate's only `unsafe` code: the three-line FFI
+//! binding to `poll(2)` in the private `sys` module — `std` links libc
+//! on every Unix target, so no external crate is needed.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+
+use dt_telemetry::MetricsRegistry;
+
+use crate::http::{try_parse_request, write_response, HttpReadError, Request, Response};
+use crate::server::ServeConfig;
+use crate::ServeError;
+
+/// The three-line `poll(2)` binding. `#![deny(unsafe_code)]` holds for
+/// the rest of the crate; this module carries the single scoped allow.
+mod sys {
+    #![allow(unsafe_code)]
+
+    use std::ffi::{c_int, c_ulong};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    /// Readable (POSIX `POLLIN`).
+    pub const POLLIN: i16 = 0x001;
+    /// Writable (POSIX `POLLOUT`).
+    pub const POLLOUT: i16 = 0x004;
+
+    /// Mirror of C `struct pollfd` (`<poll.h>`).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        /// File descriptor to watch.
+        pub fd: RawFd,
+        /// Requested events.
+        pub events: i16,
+        /// Returned events (`POLLERR`/`POLLHUP`/`POLLNVAL` may appear
+        /// even when unrequested).
+        pub revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// Block until an fd is ready or `timeout_ms` elapses. `EINTR` is
+    /// reported as zero ready fds — the caller's loop just re-polls.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `fds` is an exclusively borrowed slice of `#[repr(C)]`
+        // pollfd records, valid for the whole call; the kernel writes
+        // only the `revents` fields.
+        let rc = unsafe {
+            poll(
+                fds.as_mut_ptr(),
+                fds.len() as c_ulong,
+                c_int::from(timeout_ms),
+            )
+        };
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(rc as usize)
+    }
+}
+
+use sys::{poll_fds, PollFd, POLLIN, POLLOUT};
+
+/// What the engine serves: one request in, one response out, plus the
+/// drain flag and the counter registry. [`crate::api::AppState`] (a
+/// shard or standalone server) and [`crate::router::RouterState`] (the
+/// routing tier) both implement it, so the two tiers share this exact
+/// engine.
+pub(crate) trait App: Send + Sync + 'static {
+    /// Handle one parsed request.
+    fn handle(&self, req: &Request) -> Response;
+    /// Whether a graceful drain has been requested.
+    fn shutdown_requested(&self) -> bool;
+    /// The counter registry (`connections_admitted` etc. live here).
+    fn metrics(&self) -> &MetricsRegistry;
+}
+
+/// A parsed request travelling reactor → queue → worker.
+struct Job {
+    token: u64,
+    req: Request,
+    enqueued: Instant,
+    completion: CompletionHandle,
+}
+
+/// A finished response travelling worker → owning reactor.
+struct Completion {
+    token: u64,
+    response: Response,
+    close: bool,
+}
+
+/// The worker's way back to the reactor that owns the connection: a
+/// completion channel plus a self-pipe write end to interrupt `poll`.
+#[derive(Clone)]
+struct CompletionHandle {
+    tx: Sender<Completion>,
+    wake: Arc<UnixStream>,
+}
+
+impl CompletionHandle {
+    fn complete(&self, token: u64, response: Response, close: bool) {
+        let _ = self.tx.send(Completion {
+            token,
+            response,
+            close,
+        });
+        // A full pipe means a wakeup is already pending; that's enough.
+        let _ = (&*self.wake).write(&[1]);
+    }
+}
+
+/// One accepted connection owned by a reactor.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed by the parser.
+    rbuf: Vec<u8>,
+    /// Serialized response bytes not yet written, from `wpos` on.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// A request from this connection sits in the queue or a worker.
+    in_flight: bool,
+    /// Close once `wbuf` drains (protocol error, `Connection: close`,
+    /// rejection, or drain).
+    close_after_write: bool,
+    /// Framing is unreliable (protocol error): never parse again.
+    protocol_dead: bool,
+    /// The peer half-closed; serve what's in flight, then drop.
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            in_flight: false,
+            close_after_write: false,
+            protocol_dead: false,
+            eof: false,
+        }
+    }
+
+    fn write_pending(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Queue `response` for writing and push what fits right now.
+    /// Returns `false` when the transport failed and the connection
+    /// should be dropped.
+    fn send_response(&mut self, response: &Response, close: bool) -> bool {
+        self.wbuf.clear();
+        self.wpos = 0;
+        write_response(&mut self.wbuf, response, close).expect("Vec write is infallible");
+        self.close_after_write = self.close_after_write || close;
+        self.flush_some()
+    }
+
+    /// Write as much of `wbuf` as the socket accepts without blocking.
+    fn flush_some(&mut self) -> bool {
+        while self.write_pending() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// A connection with nothing queued, nothing in flight, and nothing
+    /// to write — safe to close during a drain.
+    fn idle(&self) -> bool {
+        !self.in_flight && !self.write_pending()
+    }
+}
+
+/// Keep per-connection read buffers bounded even when a client
+/// pipelines aggressively while a request is in flight.
+const READ_HIGH_WATER: usize = 256 * 1024;
+
+/// A running engine: reactor and worker threads, bound address.
+pub(crate) struct Engine {
+    addr: std::net::SocketAddr,
+    reactors: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// The bound listen address (useful with port 0).
+    pub(crate) fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Wait for drain: reactors exit once every admitted request is
+    /// answered and every connection closed; workers exit when the job
+    /// queue disconnects.
+    pub(crate) fn join(mut self) {
+        for r in self.reactors.drain(..) {
+            let _ = r.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Bind and spawn `cfg.reactors` reactor threads plus `cfg.workers`
+/// handler threads over a shared bounded queue.
+pub(crate) fn start_engine<A: App>(app: &Arc<A>, cfg: &ServeConfig) -> Result<Engine, ServeError> {
+    let bind_err = |message: String| ServeError::Bind {
+        addr: cfg.addr.clone(),
+        message,
+    };
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| bind_err(e.to_string()))?;
+    let addr = listener.local_addr().map_err(|e| bind_err(e.to_string()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| bind_err(e.to_string()))?;
+
+    let (job_tx, job_rx) = bounded::<Job>(cfg.queue_depth);
+
+    let mut workers = Vec::with_capacity(cfg.workers);
+    for i in 0..cfg.workers {
+        let rx = job_rx.clone();
+        let app = Arc::clone(app);
+        let deadline = cfg.queue_deadline;
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("dt-serve-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &*app, deadline))
+                .map_err(|e| bind_err(format!("spawning worker: {e}")))?,
+        );
+    }
+    drop(job_rx);
+
+    let mut reactors = Vec::with_capacity(cfg.reactors);
+    for i in 0..cfg.reactors {
+        // Sharded accept: every reactor polls a dup of the same
+        // listening socket; the kernel spreads accept wakeups.
+        let listener = listener.try_clone().map_err(|e| bind_err(e.to_string()))?;
+        let (wake_rx, wake_tx) = UnixStream::pair().map_err(|e| bind_err(e.to_string()))?;
+        wake_rx
+            .set_nonblocking(true)
+            .map_err(|e| bind_err(e.to_string()))?;
+        wake_tx
+            .set_nonblocking(true)
+            .map_err(|e| bind_err(e.to_string()))?;
+        // Completions outstanding are bounded by jobs in flight, so
+        // this capacity can never block a worker.
+        let (comp_tx, comp_rx) = bounded::<Completion>(cfg.queue_depth + cfg.workers + 1);
+        let completion = CompletionHandle {
+            tx: comp_tx,
+            wake: Arc::new(wake_tx),
+        };
+        let app = Arc::clone(app);
+        let jobs = job_tx.clone();
+        let max_body = cfg.max_body_bytes;
+        reactors.push(
+            std::thread::Builder::new()
+                .name(format!("dt-serve-reactor-{i}"))
+                .spawn(move || {
+                    reactor_loop(
+                        listener,
+                        &*app,
+                        max_body,
+                        &jobs,
+                        &comp_rx,
+                        &wake_rx,
+                        &completion,
+                    );
+                })
+                .map_err(|e| bind_err(format!("spawning reactor: {e}")))?,
+        );
+    }
+    drop(job_tx);
+
+    Ok(Engine {
+        addr,
+        reactors,
+        workers,
+    })
+}
+
+/// Handle queued requests until every reactor has dropped its sender.
+fn worker_loop<A: App>(rx: &Receiver<Job>, app: &A, deadline: Duration) {
+    let expired = app.metrics().counter("deadline_expired");
+    let panics = app.metrics().counter("handler_panics");
+    while let Ok(job) = rx.recv() {
+        let (response, close) = if job.enqueued.elapsed() > deadline {
+            expired.inc();
+            (Response::error(503, "queue deadline exceeded"), true)
+        } else {
+            // A panicking handler answers 500 and costs only this
+            // request — the worker thread survives.
+            let response = match catch_unwind(AssertUnwindSafe(|| app.handle(&job.req))) {
+                Ok(resp) => resp,
+                Err(_) => {
+                    panics.inc();
+                    Response::error(500, "internal error")
+                }
+            };
+            (response, job.req.wants_close() || app.shutdown_requested())
+        };
+        job.completion.complete(job.token, response, close);
+    }
+}
+
+/// The poll loop: one reactor's whole life.
+#[allow(clippy::too_many_lines)]
+fn reactor_loop<A: App>(
+    listener: TcpListener,
+    app: &A,
+    max_body: usize,
+    jobs: &Sender<Job>,
+    comp_rx: &Receiver<Completion>,
+    wake_rx: &UnixStream,
+    completion: &CompletionHandle,
+) {
+    let admitted = app.metrics().counter("connections_admitted");
+    let rejected = app.metrics().counter("queue_rejections");
+    let mut listener = Some(listener);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut draining = false;
+
+    loop {
+        // ---- build the poll set: wake pipe, listener, every conn ----
+        let mut fds = Vec::with_capacity(conns.len() + 2);
+        fds.push(PollFd {
+            fd: wake_rx.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        if let Some(l) = &listener {
+            fds.push(PollFd {
+                fd: l.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+        }
+        let base = fds.len();
+        let mut order: Vec<u64> = Vec::with_capacity(conns.len());
+        for (&token, conn) in &conns {
+            let mut events = 0i16;
+            if conn.write_pending() {
+                events |= POLLOUT;
+            }
+            // Read unless this client is already over its buffer
+            // budget; error/hangup events arrive regardless.
+            if !conn.eof && conn.rbuf.len() < READ_HIGH_WATER {
+                events |= POLLIN;
+            }
+            fds.push(PollFd {
+                fd: conn.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+            order.push(token);
+        }
+
+        // Short timeout so drains initiated via the handler (the
+        // /v1/shutdown flag flip) are noticed promptly.
+        if poll_fds(&mut fds, 25).is_err() {
+            // poll(2) failing outright is unrecoverable for this
+            // reactor; drop everything rather than spin.
+            return;
+        }
+
+        // ---- wake pipe: drain the bytes, completions follow below ----
+        if fds[0].revents != 0 {
+            let mut sink = [0u8; 64];
+            let mut pipe: &UnixStream = wake_rx;
+            while let Ok(n) = pipe.read(&mut sink) {
+                if n < sink.len() {
+                    break;
+                }
+            }
+        }
+
+        // ---- worker completions: fill write buffers ----
+        let mut dead: Vec<u64> = Vec::new();
+        while let Some(comp) = comp_rx.try_recv() {
+            let Some(conn) = conns.get_mut(&comp.token) else {
+                continue; // connection vanished while the worker ran
+            };
+            conn.in_flight = false;
+            let close = comp.close || draining || app.shutdown_requested();
+            if !conn.send_response(&comp.response, close) {
+                dead.push(comp.token);
+                continue;
+            }
+            if !conn.write_pending() {
+                if conn.close_after_write {
+                    dead.push(comp.token);
+                } else {
+                    // Response fully flushed: a pipelined request may
+                    // already be buffered.
+                    parse_and_dispatch(
+                        comp.token, conn, max_body, jobs, completion, &rejected, &mut dead,
+                    );
+                }
+            }
+        }
+
+        // ---- new connections ----
+        if listener.is_some() && fds.get(1).is_some_and(|f| f.revents & POLLIN != 0) {
+            while let Some(l) = &listener {
+                match l.accept() {
+                    Ok((stream, _peer)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        // Nagle + delayed ACK stalls keep-alive
+                        // request/response cycles by ~40 ms.
+                        let _ = stream.set_nodelay(true);
+                        admitted.inc();
+                        conns.insert(next_token, Conn::new(stream));
+                        next_token += 1;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // ---- per-connection readiness ----
+        for (i, &token) in order.iter().enumerate() {
+            let revents = fds[base + i].revents;
+            if revents == 0 {
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            if revents & POLLOUT != 0 && !conn.flush_some() {
+                dead.push(token);
+                continue;
+            }
+            if !conn.write_pending() && conn.close_after_write {
+                dead.push(token);
+                continue;
+            }
+            if revents & POLLIN != 0 {
+                if !read_ready(conn) {
+                    dead.push(token);
+                    continue;
+                }
+                if !conn.in_flight && !conn.write_pending() {
+                    parse_and_dispatch(
+                        token, conn, max_body, jobs, completion, &rejected, &mut dead,
+                    );
+                }
+            }
+            // POLLERR/POLLHUP with nothing in flight: the peer is gone.
+            if revents & POLLIN == 0 && revents & POLLOUT == 0 {
+                let conn = &conns[&token];
+                if conn.idle() {
+                    dead.push(token);
+                }
+            }
+        }
+
+        for token in dead.drain(..) {
+            if let Some(conn) = conns.remove(&token) {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+
+        // ---- drain ----
+        if !draining && app.shutdown_requested() {
+            draining = true;
+            listener = None; // closes the listen socket: connects now fail
+        }
+        if draining {
+            // Idle connections close now; in-flight requests and
+            // unflushed responses finish first. A racing request that
+            // parsed this very iteration is in flight, so it is kept
+            // and answered before its connection closes.
+            conns.retain(|_, conn| {
+                let keep = !conn.idle();
+                if !keep {
+                    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                }
+                keep
+            });
+            if conns.is_empty() {
+                return;
+            }
+        }
+    }
+}
+
+/// Pull whatever bytes are ready into `conn.rbuf`. Returns `false`
+/// when the connection died mid-read with nothing in flight.
+fn read_ready(conn: &mut Conn) -> bool {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                // Peer half-closed: a response may still be owed, and
+                // buffered bytes may hold one last complete request.
+                return conn.in_flight || conn.write_pending() || !conn.rbuf.is_empty();
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                if conn.rbuf.len() >= READ_HIGH_WATER {
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return conn.in_flight || conn.write_pending(),
+        }
+    }
+}
+
+/// Try to parse one complete request off `conn.rbuf` and hand it to
+/// the workers; answer protocol errors and queue-full inline.
+#[allow(clippy::too_many_arguments)]
+fn parse_and_dispatch(
+    token: u64,
+    conn: &mut Conn,
+    max_body: usize,
+    jobs: &Sender<Job>,
+    completion: &CompletionHandle,
+    rejected: &dt_telemetry::Counter,
+    dead: &mut Vec<u64>,
+) {
+    if conn.protocol_dead || conn.in_flight {
+        return;
+    }
+    match try_parse_request(&conn.rbuf, max_body) {
+        Ok(None) => {
+            if conn.eof && !conn.in_flight && !conn.write_pending() {
+                dead.push(token);
+            }
+        }
+        Ok(Some((req, consumed))) => {
+            conn.rbuf.drain(..consumed);
+            match jobs.try_send(Job {
+                token,
+                req,
+                enqueued: Instant::now(),
+                completion: completion.clone(),
+            }) {
+                Ok(()) => conn.in_flight = true,
+                Err(TrySendError::Full(_)) => {
+                    rejected.inc();
+                    conn.protocol_dead = true;
+                    if !conn.send_response(
+                        &Response::error(429, "service saturated, retry later"),
+                        true,
+                    ) || !conn.write_pending() && conn.close_after_write
+                    {
+                        dead.push(token);
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    conn.protocol_dead = true;
+                    if !conn.send_response(&Response::error(503, "service is shutting down"), true)
+                        || !conn.write_pending() && conn.close_after_write
+                    {
+                        dead.push(token);
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            // Framing is unreliable after a protocol error: answer and
+            // close, exactly like the blocking engine did.
+            conn.protocol_dead = true;
+            let response = match &e {
+                HttpReadError::BodyTooLarge { .. } => Response::error(413, &e.to_string()),
+                HttpReadError::HeadersTooLarge => Response::error(431, &e.to_string()),
+                HttpReadError::Unsupported(_) => Response::error(501, &e.to_string()),
+                HttpReadError::Io(_) | HttpReadError::Closed | HttpReadError::Timeout => {
+                    dead.push(token);
+                    return;
+                }
+                HttpReadError::Malformed(_) => Response::error(400, &e.to_string()),
+            };
+            if !conn.send_response(&response, true)
+                || !conn.write_pending() && conn.close_after_write
+            {
+                dead.push(token);
+            }
+        }
+    }
+}

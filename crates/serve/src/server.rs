@@ -1,54 +1,53 @@
-//! The transport layer: listener, bounded admission queue, worker pool,
-//! deadlines, and graceful drain.
+//! The standalone (single-process) server: configuration, lifecycle
+//! handle, and lifetime stats over the shared reactor engine.
 //!
-//! ```text
-//!             accept                    bounded channel
-//! clients ──▶ listener thread ──try_send──▶ [queue] ──recv──▶ worker × N
-//!                │ full? write 429 inline       │ waited > deadline? 503
-//!                │ draining? write 503          └─▶ keep-alive request loop
-//! ```
+//! The actual transport — nonblocking sockets, `poll(2)` readiness,
+//! bounded worker queue, graceful drain — lives in [`crate::reactor`];
+//! this module binds it to [`AppState`] (the registry + endpoints) and
+//! keeps the public `Server`/`ServeHandle`/`ServeStats` surface that
+//! the CLI, benches, and tests use. The router tier
+//! ([`crate::router`]) drives the very same engine with its own
+//! application state.
 //!
-//! Backpressure is explicit: the queue is a bounded `crossbeam` channel,
-//! and when it is full the *listener* writes `429 Too Many Requests` and
-//! closes — no unbounded buffering, no silent latency cliff. Every
-//! queued connection carries its enqueue time; a worker that dequeues it
-//! after the configured deadline answers `503` instead of doing stale
-//! work. Handler panics are contained with `catch_unwind` and answered
-//! with `500` — a malicious request can cost at most its own connection.
-//!
-//! Shutdown (via [`ServeHandle::shutdown`] or `POST /v1/shutdown`) flips
-//! a shared flag: the listener stops accepting and drops the queue
-//! sender, workers drain what was already admitted, finish in-flight
-//! requests, and exit. [`ServeHandle::join`] returns the final
-//! [`ServeStats`].
+//! Backpressure is explicit and unchanged from the blocking engine it
+//! replaced: the request queue is a bounded `crossbeam` channel (queue
+//! full answers `429`), every queued request carries its enqueue time
+//! (a worker that dequeues it after the deadline answers `503`), and
+//! handler panics are contained with `catch_unwind` (`500`). Shutdown
+//! (via [`ServeHandle::shutdown`] or `POST /v1/shutdown`) flips a
+//! shared flag: reactors stop accepting, close idle connections,
+//! finish in-flight requests, and exit; [`ServeHandle::join`] returns
+//! the final [`ServeStats`].
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, RecvTimeoutError, Sender, TrySendError};
+use dt_telemetry::MetricsRegistry;
 
 use crate::api::AppState;
 use crate::artifact::ArtifactRegistry;
-use crate::http::{read_request, write_response, HttpReadError, Response};
+use crate::http::{Request, Response};
+use crate::reactor::{start_engine, App, Engine};
 use crate::ServeError;
 
-/// Tuning knobs for a [`Server`].
+/// Tuning knobs for a [`Server`] (and, with `shards`, a fleet tier).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Listen address, e.g. `"127.0.0.1:8080"` (`:0` picks a free port).
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Worker threads handling parsed requests.
     pub workers: usize,
-    /// Bounded queue depth between the listener and the workers;
-    /// admission beyond this returns `429`.
+    /// Reactor (event-loop) threads sharing the listener; more than
+    /// one shards the accept path.
+    pub reactors: usize,
+    /// Bounded queue depth between the reactors and the workers;
+    /// requests beyond this return `429`.
     pub queue_depth: usize,
     /// Largest accepted request body, in bytes (`413` beyond).
     pub max_body_bytes: usize,
-    /// Longest a connection may wait in the queue before a worker
-    /// answers `503` instead of serving it.
+    /// Longest a request may wait in the queue before a worker answers
+    /// `503` instead of doing stale work.
     pub queue_deadline: Duration,
     /// `/v1/thermo` response cache capacity (0 disables caching).
     pub cache_capacity: usize,
@@ -59,6 +58,7 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
+            reactors: 1,
             queue_depth: 128,
             max_body_bytes: 1 << 20,
             queue_deadline: Duration::from_secs(2),
@@ -67,20 +67,69 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// Reject configurations the engine cannot run.
+    ///
+    /// # Errors
+    /// [`ServeError::BadConfig`] for zero workers/reactors/queue/body.
+    pub(crate) fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::BadConfig("workers must be > 0".into()));
+        }
+        if self.reactors == 0 {
+            return Err(ServeError::BadConfig("reactors must be > 0".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::BadConfig("queue_depth must be > 0".into()));
+        }
+        if self.max_body_bytes == 0 {
+            return Err(ServeError::BadConfig("max_body_bytes must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
 /// Counters describing one server's lifetime, reported by
 /// [`ServeHandle::join`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServeStats {
-    /// Connections accepted and admitted to the queue.
+    /// Connections accepted by the reactors.
     pub connections_admitted: u64,
-    /// Connections rejected with `429` because the queue was full.
+    /// Requests rejected with `429` because the worker queue was full.
     pub queue_rejections: u64,
-    /// Connections answered `503` after exceeding the queue deadline.
+    /// Requests answered `503` after exceeding the queue deadline.
     pub deadline_expired: u64,
     /// Requests whose handler panicked (answered `500`).
     pub handler_panics: u64,
     /// Requests handled to completion (any status).
     pub requests_handled: u64,
+}
+
+impl ServeStats {
+    /// Snapshot the engine counters out of a metrics registry.
+    pub(crate) fn from_metrics(m: &MetricsRegistry) -> ServeStats {
+        ServeStats {
+            connections_admitted: m.counter("connections_admitted").get(),
+            queue_rejections: m.counter("queue_rejections").get(),
+            deadline_expired: m.counter("deadline_expired").get(),
+            handler_panics: m.counter("handler_panics").get(),
+            requests_handled: m.counter("requests_total").get(),
+        }
+    }
+}
+
+impl App for AppState {
+    fn handle(&self, req: &Request) -> Response {
+        AppState::handle(self, req)
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        AppState::shutdown_requested(self)
+    }
+
+    fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
 }
 
 /// The thermodynamics query service.
@@ -89,87 +138,34 @@ pub struct ServeStats {
 /// back a [`ServeHandle`].
 pub struct Server;
 
-/// One connection travelling listener → queue → worker.
-struct Job {
-    stream: TcpStream,
-    enqueued: Instant,
-}
-
 impl Server {
-    /// Bind, spawn the listener and worker threads, and return a handle.
+    /// Bind, spawn the reactor and worker threads, and return a handle.
     ///
     /// # Errors
-    /// [`ServeError::BadConfig`] for zero workers/queue/body-limit,
+    /// [`ServeError::BadConfig`] for zero workers/reactors/queue/body,
     /// [`ServeError::Bind`] when the listen socket cannot be created,
     /// or any [`AppState::new`] error.
     pub fn start(
         registry: ArtifactRegistry,
         config: ServeConfig,
     ) -> Result<ServeHandle, ServeError> {
-        if config.workers == 0 {
-            return Err(ServeError::BadConfig("workers must be > 0".into()));
-        }
-        if config.queue_depth == 0 {
-            return Err(ServeError::BadConfig("queue_depth must be > 0".into()));
-        }
-        if config.max_body_bytes == 0 {
-            return Err(ServeError::BadConfig("max_body_bytes must be > 0".into()));
-        }
+        config.validate()?;
         let state = Arc::new(AppState::new(registry, config.cache_capacity)?);
-
-        let bind_err = |message: String| ServeError::Bind {
-            addr: config.addr.clone(),
-            message,
-        };
-        let listener = TcpListener::bind(&config.addr).map_err(|e| bind_err(e.to_string()))?;
-        let addr = listener.local_addr().map_err(|e| bind_err(e.to_string()))?;
-        listener
-            .set_nonblocking(true)
-            .map_err(|e| bind_err(e.to_string()))?;
-
-        let (tx, rx) = bounded::<Job>(config.queue_depth);
-
-        let mut workers = Vec::with_capacity(config.workers);
-        for i in 0..config.workers {
-            let rx = rx.clone();
-            let state = Arc::clone(&state);
-            let cfg = config.clone();
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("dt-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &state, &cfg))
-                    .map_err(|e| bind_err(format!("spawning worker: {e}")))?,
-            );
-        }
-        drop(rx);
-
-        let acceptor_state = Arc::clone(&state);
-        let acceptor = std::thread::Builder::new()
-            .name("dt-serve-accept".to_string())
-            .spawn(move || accept_loop(&listener, &tx, &acceptor_state))
-            .map_err(|e| bind_err(format!("spawning acceptor: {e}")))?;
-
-        Ok(ServeHandle {
-            state,
-            addr,
-            acceptor: Some(acceptor),
-            workers,
-        })
+        let engine = start_engine(&state, &config)?;
+        Ok(ServeHandle { state, engine })
     }
 }
 
-/// A running server: the shared state plus the threads to join.
+/// A running server: the shared state plus the engine to join.
 pub struct ServeHandle {
     state: Arc<AppState>,
-    addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    engine: Engine,
 }
 
 impl ServeHandle {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.engine.local_addr()
     }
 
     /// The shared application state (registry, metrics, drain flag).
@@ -185,158 +181,9 @@ impl ServeHandle {
 
     /// Wait for the drain to complete and report lifetime stats.
     /// Requests admitted before shutdown are all answered first.
-    pub fn join(mut self) -> ServeStats {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-        let m = &self.state.metrics;
-        ServeStats {
-            connections_admitted: m.counter("connections_admitted").get(),
-            queue_rejections: m.counter("queue_rejections").get(),
-            deadline_expired: m.counter("deadline_expired").get(),
-            handler_panics: m.counter("handler_panics").get(),
-            requests_handled: m.counter("requests_total").get(),
-        }
-    }
-}
-
-/// Accept until shutdown; admit via `try_send`, answering `429`
-/// (queue full) or `503` (draining) inline.
-fn accept_loop(listener: &TcpListener, tx: &Sender<Job>, state: &AppState) {
-    let admitted = state.metrics.counter("connections_admitted");
-    let rejected = state.metrics.counter("queue_rejections");
-    loop {
-        if state.shutdown_requested() {
-            return; // drops tx: workers drain the queue and exit
-        }
-        match listener.accept() {
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-            Ok((stream, _peer)) => {
-                // The listener is non-blocking; accepted sockets must
-                // not inherit that. Disable Nagle: responses are small
-                // and latency-sensitive, and Nagle + delayed ACK stalls
-                // keep-alive request/response cycles by ~40 ms.
-                if stream.set_nonblocking(false).is_err() {
-                    continue;
-                }
-                let _ = stream.set_nodelay(true);
-                let job = Job {
-                    stream,
-                    enqueued: Instant::now(),
-                };
-                match tx.try_send(job) {
-                    Ok(()) => admitted.inc(),
-                    Err(TrySendError::Full(job)) => {
-                        rejected.inc();
-                        refuse(
-                            job.stream,
-                            &Response::error(429, "service saturated, retry later"),
-                        );
-                    }
-                    Err(TrySendError::Disconnected(job)) => {
-                        refuse(
-                            job.stream,
-                            &Response::error(503, "service is shutting down"),
-                        );
-                        return;
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Best-effort error reply on a connection we will not serve.
-fn refuse(mut stream: TcpStream, response: &Response) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-    let _ = write_response(&mut stream, response, true);
-    let _ = stream.shutdown(std::net::Shutdown::Both);
-}
-
-/// Dequeue connections until the listener hangs up and the queue is dry.
-fn worker_loop(rx: &crossbeam::channel::Receiver<Job>, state: &AppState, cfg: &ServeConfig) {
-    let expired = state.metrics.counter("deadline_expired");
-    loop {
-        match rx.recv_timeout(Duration::from_millis(100)) {
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
-            Ok(job) => {
-                if job.enqueued.elapsed() > cfg.queue_deadline {
-                    expired.inc();
-                    refuse(job.stream, &Response::error(503, "queue deadline exceeded"));
-                    continue;
-                }
-                serve_connection(job.stream, state, cfg);
-            }
-        }
-    }
-}
-
-/// The keep-alive request loop for one admitted connection.
-fn serve_connection(stream: TcpStream, state: &AppState, cfg: &ServeConfig) {
-    // Short read timeout so idle keep-alive connections notice a drain
-    // quickly; write timeout so a wedged client cannot stall a worker.
-    if stream
-        .set_read_timeout(Some(Duration::from_millis(250)))
-        .is_err()
-        || stream
-            .set_write_timeout(Some(Duration::from_secs(5)))
-            .is_err()
-    {
-        return;
-    }
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = std::io::BufReader::new(read_half);
-    let mut writer = stream;
-    let panics = state.metrics.counter("handler_panics");
-
-    loop {
-        match read_request(&mut reader, cfg.max_body_bytes) {
-            Ok(req) => {
-                // A panicking handler answers 500 and costs only this
-                // connection — the worker thread survives.
-                let response = match catch_unwind(AssertUnwindSafe(|| state.handle(&req))) {
-                    Ok(resp) => resp,
-                    Err(_) => {
-                        panics.inc();
-                        Response::error(500, "internal error")
-                    }
-                };
-                let close = req.wants_close() || state.shutdown_requested();
-                if write_response(&mut writer, &response, close).is_err() || close {
-                    return;
-                }
-            }
-            Err(HttpReadError::Closed) => return,
-            Err(HttpReadError::Timeout) => {
-                // Idle between requests: keep waiting unless draining.
-                if state.shutdown_requested() {
-                    return;
-                }
-            }
-            Err(e) => {
-                // Framing is unreliable after a protocol error, so
-                // answer and close.
-                let response = match &e {
-                    HttpReadError::BodyTooLarge { .. } => Response::error(413, &e.to_string()),
-                    HttpReadError::HeadersTooLarge => Response::error(431, &e.to_string()),
-                    HttpReadError::Unsupported(_) => Response::error(501, &e.to_string()),
-                    HttpReadError::Malformed(_) => Response::error(400, &e.to_string()),
-                    HttpReadError::Io(_) => return,
-                    HttpReadError::Closed | HttpReadError::Timeout => unreachable!(),
-                };
-                let _ = write_response(&mut writer, &response, true);
-                return;
-            }
-        }
+    pub fn join(self) -> ServeStats {
+        self.engine.join();
+        ServeStats::from_metrics(&self.state.metrics)
     }
 }
 
@@ -345,6 +192,7 @@ mod tests {
     use super::*;
     use crate::fixture::fixture_artifact;
     use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
 
     fn start_fixture_server(config: ServeConfig) -> ServeHandle {
         let mut registry = ArtifactRegistry::new();
@@ -411,6 +259,44 @@ mod tests {
     }
 
     #[test]
+    fn sharded_accept_serves_across_reactors() {
+        let handle = start_fixture_server(ServeConfig {
+            reactors: 2,
+            ..ServeConfig::default()
+        });
+        let addr = handle.local_addr();
+        for _ in 0..8 {
+            let (status, _) = roundtrip(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+            assert_eq!(status, 200);
+        }
+        handle.shutdown();
+        let stats = handle.join();
+        assert_eq!(stats.requests_handled, 8);
+        assert_eq!(stats.connections_admitted, 8);
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let handle = start_fixture_server(ServeConfig::default());
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        // Two requests in one write: the reactor must serve them
+        // sequentially off the same buffer.
+        stream
+            .write_all(
+                b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+            )
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let (s1, _) = read_response(&mut reader);
+        let (s2, _) = read_response(&mut reader);
+        assert_eq!((s1, s2), (200, 200));
+        handle.shutdown();
+        let stats = handle.join();
+        assert_eq!(stats.requests_handled, 2);
+        assert_eq!(stats.connections_admitted, 1);
+    }
+
+    #[test]
     fn graceful_shutdown_refuses_new_connections() {
         let handle = start_fixture_server(ServeConfig::default());
         let addr = handle.local_addr();
@@ -437,14 +323,20 @@ mod tests {
 
     #[test]
     fn bad_config_is_rejected() {
-        let registry = ArtifactRegistry::new();
-        let bad = ServeConfig {
-            workers: 0,
-            ..ServeConfig::default()
-        };
-        assert!(matches!(
-            Server::start(registry, bad),
-            Err(ServeError::BadConfig(_))
-        ));
+        for bad in [
+            ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                reactors: 0,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                Server::start(ArtifactRegistry::new(), bad),
+                Err(ServeError::BadConfig(_))
+            ));
+        }
     }
 }

@@ -1,0 +1,365 @@
+//! A shard process: one slice of the registry served over the dt-hpc
+//! mesh.
+//!
+//! The fleet reuses the cluster transport instead of inventing a second
+//! RPC stack: the router is rank 0 and every shard is a rank `1..=N` of
+//! an `(N+1)`-size [`TcpTransport`] bootstrapped through the same
+//! [`dt_hpc::TcpRendezvous`] the REWL driver uses. Shard registration
+//! *is* rendezvous (the mesh forms when all ranks connect), liveness
+//! *is* the transport's EOF/heartbeat detection, and the router→shard
+//! hop rides the existing framed wire codec.
+//!
+//! On startup a shard loads the full registry directory, builds the
+//! same [`HashRing`] as the router, and retains only the artifacts the
+//! ring assigns to it — shard `i` is rank `i+1` and owns exactly the
+//! ids with `ring.shard_for(id) == i`, so the fleet partitions the
+//! registry with no coordination beyond the shard count.
+//!
+//! The RPC protocol is deliberately small:
+//!
+//! * request — tag `TAG_REQ` (bit 62), payload
+//!   `[req_id:u64][op:u8][raw]`, where `op` is `OP_HTTP` (raw = a
+//!   serialized HTTP request) or `OP_DRAIN` (raw empty);
+//! * response — tag `req_id`, payload an encoded [`Response`]. Request
+//!   ids stay below bit 62, so they can never collide with `TAG_REQ`
+//!   or the transport's collective tag bit.
+
+use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dt_hpc::{CommError, TcpTransport, Transport};
+
+use crate::api::AppState;
+use crate::artifact::ArtifactRegistry;
+use crate::http::{try_parse_request, Response};
+use crate::ring::HashRing;
+use crate::ServeError;
+
+/// Tag carrying router→shard requests. Sits below the transport's
+/// collective bit (`1 << 63`) and above every request id.
+pub(crate) const TAG_REQ: u64 = 1 << 62;
+/// Request op: the payload tail is a serialized HTTP request.
+pub(crate) const OP_HTTP: u8 = 0;
+/// Request op: drain — finish queued work, reply with a drain summary,
+/// exit.
+pub(crate) const OP_DRAIN: u8 = 1;
+
+/// Frame a router→shard request.
+pub(crate) fn encode_rpc(req_id: u64, op: u8, raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + raw.len());
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.push(op);
+    out.extend_from_slice(raw);
+    out
+}
+
+/// Split a router→shard request frame into `(req_id, op, raw)`.
+pub(crate) fn decode_rpc(payload: &[u8]) -> Option<(u64, u8, &[u8])> {
+    if payload.len() < 9 {
+        return None;
+    }
+    let req_id = u64::from_le_bytes(payload[..8].try_into().ok()?);
+    Some((req_id, payload[8], &payload[9..]))
+}
+
+/// Encode a [`Response`] for the shard→router hop:
+/// `[status:u16][ct_len:u16][ct][n_extra:u16]([k_len:u16][k][v_len:u16][v])*[body]`.
+pub(crate) fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + resp.body.len());
+    out.extend_from_slice(&resp.status.to_le_bytes());
+    let ct = resp.content_type.as_bytes();
+    out.extend_from_slice(&(ct.len() as u16).to_le_bytes());
+    out.extend_from_slice(ct);
+    out.extend_from_slice(&(resp.extra_headers.len() as u16).to_le_bytes());
+    for (k, v) in &resp.extra_headers {
+        out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+        out.extend_from_slice(v.as_bytes());
+    }
+    out.extend_from_slice(resp.body.as_bytes());
+    out
+}
+
+/// [`Response`] carries `&'static` names; map decoded strings back onto
+/// the fixed vocabulary this service actually emits. Unknown names fall
+/// back to a safe default (content type) or are dropped (headers).
+fn intern_content_type(ct: &str) -> &'static str {
+    match ct {
+        "application/json" => "application/json",
+        _ => "text/plain",
+    }
+}
+
+fn intern_header_key(k: &str) -> Option<&'static str> {
+    match k {
+        "x-cache" => Some("x-cache"),
+        "x-shard" => Some("x-shard"),
+        "retry-after" => Some("retry-after"),
+        _ => None,
+    }
+}
+
+/// Decode a shard→router response frame; `None` when truncated.
+pub(crate) fn decode_response(payload: &[u8]) -> Option<Response> {
+    fn take_u16(cur: &mut &[u8]) -> Option<usize> {
+        let mut b = [0u8; 2];
+        cur.read_exact(&mut b).ok()?;
+        Some(usize::from(u16::from_le_bytes(b)))
+    }
+    fn take_str(cur: &mut &[u8], len: usize) -> Option<String> {
+        let mut b = vec![0u8; len];
+        cur.read_exact(&mut b).ok()?;
+        String::from_utf8(b).ok()
+    }
+    let mut cur = payload;
+    let status = take_u16(&mut cur)? as u16;
+    let ct_len = take_u16(&mut cur)?;
+    let ct = take_str(&mut cur, ct_len)?;
+    let n_extra = take_u16(&mut cur)?;
+    let mut extra_headers = Vec::new();
+    for _ in 0..n_extra {
+        let k_len = take_u16(&mut cur)?;
+        let k = take_str(&mut cur, k_len)?;
+        let v_len = take_u16(&mut cur)?;
+        let v = take_str(&mut cur, v_len)?;
+        if let Some(k) = intern_header_key(&k) {
+            extra_headers.push((k, v));
+        }
+    }
+    Some(Response {
+        status,
+        body: String::from_utf8(cur.to_vec()).ok()?,
+        content_type: intern_content_type(&ct),
+        extra_headers,
+    })
+}
+
+/// Tuning for one shard process.
+#[derive(Debug, Clone, Default)]
+pub struct ShardConfig {
+    /// Worker threads evaluating requests (default 2).
+    pub workers: usize,
+    /// `/v1/thermo` response cache capacity (default 256).
+    pub cache_capacity: usize,
+    /// Largest accepted request body in bytes (default 1 MiB).
+    pub max_body_bytes: usize,
+    /// Chaos hook: when this flag flips, the dispatcher exits abruptly
+    /// — no drain, no reply — as if the process were killed. The
+    /// transport teardown is what the router's liveness then observes.
+    pub kill: Option<Arc<AtomicBool>>,
+}
+
+impl ShardConfig {
+    fn workers(&self) -> usize {
+        if self.workers == 0 {
+            2
+        } else {
+            self.workers
+        }
+    }
+    fn cache_capacity(&self) -> usize {
+        if self.cache_capacity == 0 {
+            256
+        } else {
+            self.cache_capacity
+        }
+    }
+    fn max_body_bytes(&self) -> usize {
+        if self.max_body_bytes == 0 {
+            1 << 20
+        } else {
+            self.max_body_bytes
+        }
+    }
+}
+
+/// What one shard did over its lifetime, reported when it exits.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Artifacts this shard owned (its ring slice of the registry).
+    pub artifacts: usize,
+    /// Requests handled to completion (any status).
+    pub requests_handled: u64,
+    /// Requests whose handler panicked (answered `500`).
+    pub handler_panics: u64,
+}
+
+/// Serve this rank's slice of `registry` over `transport` until the
+/// router drains us, dies, or the chaos kill flag flips.
+///
+/// `transport` must be a connected fleet mesh with this shard at rank
+/// `>= 1`; rank 0 is the router. The full registry is passed in and
+/// sliced here — every shard runs the identical deterministic
+/// [`HashRing`], so the slices are disjoint and cover every id.
+///
+/// # Errors
+/// [`ServeError::BadConfig`] when called on rank 0, or any
+/// [`AppState::new`] error from the sliced registry.
+pub fn run_shard(
+    transport: TcpTransport,
+    mut registry: ArtifactRegistry,
+    config: &ShardConfig,
+) -> Result<ShardStats, ServeError> {
+    let rank = transport.rank();
+    if rank == 0 {
+        return Err(ServeError::BadConfig(
+            "rank 0 is the router, not a shard".into(),
+        ));
+    }
+    let shards = transport.size() - 1;
+    let ring = HashRing::new(shards);
+    let shard_index = rank - 1;
+    registry.retain(|id| ring.shard_for(id) == shard_index);
+    let owned = registry.len();
+
+    let state = Arc::new(AppState::new(registry, config.cache_capacity())?);
+    let transport = Arc::new(transport);
+    let max_body = config.max_body_bytes();
+
+    // Same worker-pool shape as the HTTP engine, minus the sockets: the
+    // dispatcher feeds parsed-enough jobs to workers, workers answer
+    // straight onto the transport (sends are thread-safe and buffered).
+    let (tx, rx) = crossbeam::channel::bounded::<(u64, Vec<u8>)>(1024);
+    let mut workers = Vec::with_capacity(config.workers());
+    for _ in 0..config.workers() {
+        let rx = rx.clone();
+        let state = Arc::clone(&state);
+        let transport = Arc::clone(&transport);
+        workers.push(std::thread::spawn(move || {
+            while let Ok((req_id, raw)) = rx.recv() {
+                let resp = answer(&state, &raw, max_body);
+                transport.send(0, req_id, encode_response(&resp), None);
+            }
+        }));
+    }
+    drop(rx);
+
+    loop {
+        if let Some(kill) = &config.kill {
+            if kill.load(Ordering::SeqCst) {
+                // Abrupt death: drop everything without replying. The
+                // workers exit on channel disconnect; dropping the last
+                // transport handle tears the sockets down, which is how
+                // the router learns this slice is gone.
+                drop(tx);
+                for w in workers {
+                    let _ = w.join();
+                }
+                break;
+            }
+        }
+        match transport.recv_timeout(0, TAG_REQ, Duration::from_millis(100)) {
+            Ok(payload) => {
+                let Some((req_id, op, raw)) = decode_rpc(&payload) else {
+                    continue; // undecodable frame: drop it
+                };
+                match op {
+                    OP_DRAIN => {
+                        state.request_shutdown();
+                        drop(tx);
+                        // Everything already queued is answered first;
+                        // the drain summary is the last frame out.
+                        for w in workers {
+                            let _ = w.join();
+                        }
+                        let summary = Response::json(200, state.drain_summary());
+                        transport.send(0, req_id, encode_response(&summary), None);
+                        break;
+                    }
+                    _ => {
+                        let _ = tx.send((req_id, raw.to_vec()));
+                    }
+                }
+            }
+            // Quiet interval: keep serving while the router lives.
+            Err(CommError::Timeout { .. }) if transport.is_alive(0) => continue,
+            // Router gone (EOF or heartbeat miss): nothing left to serve.
+            Err(_) => {
+                drop(tx);
+                for w in workers {
+                    let _ = w.join();
+                }
+                break;
+            }
+        }
+    }
+
+    Ok(ShardStats {
+        artifacts: owned,
+        requests_handled: state.metrics.counter("requests_total").get(),
+        handler_panics: state.metrics.counter("handler_panics").get(),
+    })
+}
+
+/// Parse the forwarded wire bytes and run the handler, mapping parse
+/// failures and panics to error responses exactly like the HTTP engine.
+fn answer(state: &Arc<AppState>, raw: &[u8], max_body: usize) -> Response {
+    let req = match try_parse_request(raw, max_body) {
+        Ok(Some((req, _))) => req,
+        Ok(None) => return Response::error(400, "truncated forwarded request"),
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let state2 = Arc::clone(state);
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || state2.handle(&req))) {
+        Ok(resp) => resp,
+        Err(_) => {
+            state.metrics.counter("handler_panics").inc();
+            Response::error(500, "handler panicked")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpc_frames_round_trip() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let frame = encode_rpc(42, OP_HTTP, raw);
+        let (id, op, body) = decode_rpc(&frame).unwrap();
+        assert_eq!((id, op), (42, OP_HTTP));
+        assert_eq!(body, raw);
+        assert_eq!(decode_rpc(&frame[..5]), None);
+    }
+
+    #[test]
+    fn responses_round_trip_with_interned_names() {
+        let mut resp = Response::json(200, "{\"ok\":true}");
+        resp.extra_headers.push(("x-cache", "hit".to_string()));
+        let back = decode_response(&encode_response(&resp)).unwrap();
+        assert_eq!(back.status, 200);
+        assert_eq!(back.body, "{\"ok\":true}");
+        assert_eq!(back.content_type, "application/json");
+        assert_eq!(back.extra_headers, vec![("x-cache", "hit".to_string())]);
+    }
+
+    #[test]
+    fn unknown_header_names_are_dropped_not_corrupted() {
+        // Hand-build a frame carrying a header name this build does not
+        // intern; the decoder must drop it and keep the rest intact.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&503u16.to_le_bytes());
+        let ct = b"application/json";
+        wire.extend_from_slice(&(ct.len() as u16).to_le_bytes());
+        wire.extend_from_slice(ct);
+        wire.extend_from_slice(&1u16.to_le_bytes());
+        let (k, v) = (b"x-mystery".as_slice(), b"1".as_slice());
+        wire.extend_from_slice(&(k.len() as u16).to_le_bytes());
+        wire.extend_from_slice(k);
+        wire.extend_from_slice(&(v.len() as u16).to_le_bytes());
+        wire.extend_from_slice(v);
+        wire.extend_from_slice(b"{}");
+        let back = decode_response(&wire).unwrap();
+        assert_eq!(back.status, 503);
+        assert!(back.extra_headers.is_empty());
+        assert_eq!(back.body, "{}");
+        // And truncation decodes to None, never a panic.
+        for cut in 0..4 {
+            assert!(decode_response(&wire[..cut]).is_none());
+        }
+    }
+}

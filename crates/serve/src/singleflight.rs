@@ -1,0 +1,288 @@
+//! Single-flight execution: at most one in-flight computation per key.
+//!
+//! When a cold popular key gets hit by many concurrent requesters, the
+//! naive cache does the expensive fill once *per requester* — a cache
+//! stampede that can occupy every worker with identical work. With
+//! single-flight, the first requester (the **leader**) runs the
+//! computation; everyone else arriving before it finishes (the
+//! **followers**) parks on a condvar and receives a clone of the
+//! leader's result. The serving layer composes this with the LRU in
+//! [`crate::cache::ResponseCache`], turning N concurrent cold-key
+//! requests into exactly one evaluation.
+//!
+//! A leader that panics does not strand its followers: a drop guard
+//! poisons the flight, wakes everyone, and each follower retries —
+//! one of them becomes the next leader. (The engine's `catch_unwind`
+//! then answers the panicking request itself with `500`.)
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The lifecycle of one in-flight computation.
+enum FlightState<V> {
+    /// The leader is still computing.
+    Pending,
+    /// The leader finished; followers clone this.
+    Done(V),
+    /// The leader panicked; followers must retry.
+    Poisoned,
+}
+
+/// One in-flight computation, shared between leader and followers.
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+/// A keyed single-flight group. `K` is the deduplication key; `V` is
+/// the (cloneable) result every concurrent caller receives.
+pub struct SingleFlight<K, V> {
+    inflight: Mutex<HashMap<K, Arc<Flight<V>>>>,
+}
+
+impl<K, V> Default for SingleFlight<K, V>
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+{
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+/// Removes the flight and wakes followers even if the leader's closure
+/// panicked: the unwind path marks the flight poisoned so followers
+/// re-elect instead of waiting forever.
+struct LeaderGuard<'a, K: Eq + Hash + Clone, V: Clone> {
+    group: &'a SingleFlight<K, V>,
+    key: K,
+    flight: Arc<Flight<V>>,
+    completed: bool,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for LeaderGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.completed {
+            let mut state = self.flight.state.lock().expect("flight lock");
+            *state = FlightState::Poisoned;
+            drop(state);
+            self.group
+                .inflight
+                .lock()
+                .expect("singleflight lock")
+                .remove(&self.key);
+            self.flight.cv.notify_all();
+        }
+    }
+}
+
+impl<K, V> SingleFlight<K, V>
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+{
+    /// An empty group.
+    pub fn new() -> SingleFlight<K, V> {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Run `compute` for `key`, deduplicating against concurrent calls
+    /// with the same key. Returns the value plus `true` when this
+    /// caller was the leader (actually ran `compute`), `false` when it
+    /// received a follower copy.
+    ///
+    /// `publish` runs on the leader *after* `compute` but *before*
+    /// followers wake or a new flight for the key can start — the slot
+    /// where the caller inserts into its cache so that late arrivals
+    /// cannot miss both the flight and the cache.
+    pub fn run<F, P>(&self, key: &K, compute: F, publish: P) -> (V, bool)
+    where
+        F: FnOnce() -> V,
+        P: FnOnce(&V),
+    {
+        loop {
+            let flight = {
+                let mut inflight = self.inflight.lock().expect("singleflight lock");
+                match inflight.get(key) {
+                    Some(flight) => Arc::clone(flight), // follower
+                    None => {
+                        let flight = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Pending),
+                            cv: Condvar::new(),
+                        });
+                        inflight.insert(key.clone(), Arc::clone(&flight));
+                        drop(inflight);
+
+                        // ---- leader path ----
+                        let mut guard = LeaderGuard {
+                            group: self,
+                            key: key.clone(),
+                            flight,
+                            completed: false,
+                        };
+                        let value = compute();
+                        publish(&value);
+                        // Publish-then-complete ordering: once the key
+                        // leaves the inflight map, the cache already
+                        // holds the value, so a racer sees one or the
+                        // other — never neither.
+                        *guard.flight.state.lock().expect("flight lock") =
+                            FlightState::Done(value.clone());
+                        guard.completed = true;
+                        self.inflight.lock().expect("singleflight lock").remove(key);
+                        guard.flight.cv.notify_all();
+                        return (value, true);
+                    }
+                }
+            };
+
+            // ---- follower path ----
+            let mut state = flight.state.lock().expect("flight lock");
+            loop {
+                match &*state {
+                    FlightState::Pending => {
+                        state = flight.cv.wait(state).expect("flight lock");
+                    }
+                    FlightState::Done(v) => return (v.clone(), false),
+                    FlightState::Poisoned => break, // leader died: retry
+                }
+            }
+        }
+    }
+
+    /// Number of keys currently in flight (test/diagnostic hook).
+    pub fn in_flight(&self) -> usize {
+        self.inflight.lock().expect("singleflight lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_calls_each_lead() {
+        let group: SingleFlight<String, u64> = SingleFlight::new();
+        let key = "k".to_string();
+        let (v1, led1) = group.run(&key, || 7, |_| {});
+        let (v2, led2) = group.run(&key, || 8, |_| {});
+        assert_eq!((v1, led1), (7, true));
+        assert_eq!((v2, led2), (8, true)); // nothing cached here: both lead
+        assert_eq!(group.in_flight(), 0);
+    }
+
+    #[test]
+    fn concurrent_callers_share_one_computation() {
+        const CALLERS: usize = 64;
+        let group: Arc<SingleFlight<String, u64>> = Arc::new(SingleFlight::new());
+        let computed = Arc::new(AtomicUsize::new(0));
+        let start = Arc::new(Barrier::new(CALLERS));
+        let handles: Vec<_> = (0..CALLERS)
+            .map(|_| {
+                let group = Arc::clone(&group);
+                let computed = Arc::clone(&computed);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    group.run(
+                        &"hot".to_string(),
+                        || {
+                            computed.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open so followers pile up.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            42u64
+                        },
+                        |_| {},
+                    )
+                })
+            })
+            .collect();
+        let mut leaders = 0;
+        for h in handles {
+            let (v, led) = h.join().unwrap();
+            assert_eq!(v, 42);
+            leaders += usize::from(led);
+        }
+        // Every caller that arrived during the flight followed; callers
+        // that arrived after completion led their own flight. At least
+        // the 50ms window must have coalesced most of them.
+        assert_eq!(leaders, computed.load(Ordering::SeqCst));
+        assert!(leaders < CALLERS, "no coalescing happened at all");
+        assert_eq!(group.in_flight(), 0);
+    }
+
+    #[test]
+    fn publish_runs_before_followers_wake() {
+        let group: Arc<SingleFlight<String, u64>> = Arc::new(SingleFlight::new());
+        let published = Arc::new(AtomicUsize::new(0));
+        let p2 = Arc::clone(&published);
+        let g2 = Arc::clone(&group);
+        let follower = {
+            let published = Arc::clone(&published);
+            std::thread::spawn(move || {
+                // Give the leader time to enter its flight.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                g2.run(
+                    &"k".to_string(),
+                    || 1,
+                    |_| {
+                        published.fetch_add(1, Ordering::SeqCst);
+                    },
+                )
+            })
+        };
+        let (v, led) = group.run(
+            &"k".to_string(),
+            || {
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                9
+            },
+            |_| {
+                p2.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert_eq!((v, led), (9, true));
+        let (fv, fled) = follower.join().unwrap();
+        if fled {
+            // The follower raced past the flight; it led its own.
+            assert_eq!(fv, 1);
+        } else {
+            assert_eq!(fv, 9);
+            // Exactly the leader published.
+            assert_eq!(published.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn a_panicking_leader_does_not_strand_followers() {
+        let group: Arc<SingleFlight<String, u64>> = Arc::new(SingleFlight::new());
+        let g2 = Arc::clone(&group);
+        let barrier = Arc::new(Barrier::new(2));
+        let b2 = Arc::clone(&barrier);
+        let leader = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                g2.run(
+                    &"k".to_string(),
+                    || {
+                        b2.wait(); // follower is now about to join
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        panic!("leader died");
+                    },
+                    |_| {},
+                )
+            }));
+        });
+        barrier.wait();
+        // This caller joins the doomed flight, sees the poison, retries,
+        // and leads its own successful flight.
+        let (v, _led) = group.run(&"k".to_string(), || 5, |_| {});
+        assert_eq!(v, 5);
+        leader.join().unwrap();
+        assert_eq!(group.in_flight(), 0);
+    }
+}

@@ -267,41 +267,50 @@ fn cache_header_distinguishes_hit_from_miss() {
 
 #[test]
 fn saturation_returns_429_not_unbounded_queueing() {
-    // One worker and a tiny queue; hold the worker hostage with a
-    // connection that never sends a request, then flood.
+    // One worker, queue depth one. Under the readiness-driven engine an
+    // idle connection costs nothing (that's the point), so saturation
+    // means *compute*: a burst of cold, unique-grid thermo evaluations.
+    // The single worker can hold one and the queue one more; the
+    // reactor must shed the rest of the simultaneous burst with 429.
     let handle = start(ServeConfig {
         workers: 1,
         queue_depth: 1,
+        cache_capacity: 0,
         ..ServeConfig::default()
     });
     let addr = handle.local_addr();
 
-    // This connection occupies the only worker (it stays idle in the
-    // keep-alive loop, never sending a byte).
-    let hostage = TcpStream::connect(addr).unwrap();
-    std::thread::sleep(Duration::from_millis(300));
-
-    // Flood: with the worker busy, the queue (depth 1) fills and the
-    // listener must answer 429 inline.
     let mut saw_429 = false;
-    let mut floods = Vec::new();
-    for _ in 0..16 {
-        let mut s = TcpStream::connect(addr).unwrap();
-        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-        let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
-        floods.push(s);
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    for s in floods {
-        let mut reader = BufReader::new(s);
-        let mut status_line = String::new();
-        if reader.read_line(&mut status_line).is_ok() && status_line.contains(" 429 ") {
-            saw_429 = true;
+    let mut saw_200 = false;
+    for round in 0..5 {
+        let threads: Vec<_> = (0..32)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    // Unique grid per request: every fill is cold and
+                    // runs the full evaluation.
+                    let body = format!(
+                        "{{\"artifact\":\"fixture-it\",\"t_min\":{},\"t_max\":3000,\"num_t\":4096}}",
+                        300 + round * 40 + i
+                    );
+                    let (status, _, _) = post(addr, "/v1/thermo", &body);
+                    status
+                })
+            })
+            .collect();
+        for t in threads {
+            match t.join().unwrap() {
+                429 => saw_429 = true,
+                200 => saw_200 = true,
+                other => panic!("unexpected status {other} under saturation"),
+            }
+        }
+        if saw_429 && saw_200 {
+            break;
         }
     }
     assert!(saw_429, "a saturated queue must shed load with 429");
+    assert!(saw_200, "admitted requests must still be answered");
 
-    drop(hostage);
     handle.shutdown();
     let stats = handle.join();
     assert!(stats.queue_rejections > 0);
