@@ -1,0 +1,219 @@
+//! E16 — adaptive energy windows versus the uniform layout.
+//!
+//! Runs the same E9-size REWL problem (NbMoTaW `--l 3`, 4 windows × 2
+//! walkers, 64 bins, 0.75 overlap) twice per seed:
+//!
+//! * **uniform** — the static equal-width `WindowLayout::new` baseline;
+//! * **adaptive** — `--adaptive-windows` semantics: per-window pilot
+//!   round-trip costs refit the boundaries (`equal_diffusion`), plus
+//!   dynamic walker reallocation every `--rebalance-every` rounds.
+//!
+//! Time-to-converged-DOS is measured in sweeps per walker (the
+//! deterministic MC clock — machine-independent, so the gate is stable
+//! on shared CI runners); wall seconds ride along for reference. The
+//! `--gate` speedup (default 1.3x) is enforced on the *aggregate* over
+//! all seeds — `Σ uniform sweeps / Σ adaptive sweeps` — and the run also
+//! requires the measured per-window round-trip spread (max/min mean
+//! moves per round trip) to shrink on every seed.
+//!
+//! The measured window costs then re-run the E7/E8 weak-scaling
+//! projection ([`dt_hpc::reproject_with_imbalance`]): synchronous REWL
+//! rounds gate on the slowest window, so the 3,000-GPU efficiency under
+//! the uniform layout's cost skew versus the adaptive layout's residual
+//! skew quantifies what equal-diffusion windows buy back at scale.
+//!
+//! Writes `--out` (default `BENCH_rewl_adaptive.json`) and exits
+//! nonzero when a run fails to converge, the spread fails to shrink, or
+//! the gate fails — a CI regression fence.
+//!
+//! ```text
+//! cargo run -p dt-bench --release --bin bench_rewl_adaptive \
+//!     [-- --l 3 --seeds 3 --gate 1.3 --out BENCH_rewl_adaptive.json]
+//! ```
+
+use dt_bench::{arg, print_csv, timed, HeaSystem};
+use dt_hpc::{
+    reproject_with_imbalance, weak_scaling_table, window_imbalance_factor, GpuSpec, WorkloadShape,
+};
+use dt_rewl::{run_rewl, KernelSpec, RewlConfig, RewlOutput};
+use dt_wanglandau::{explore_energy_range, LnfSchedule, WlParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn config(seed: u64, adaptive: bool) -> RewlConfig {
+    RewlConfig {
+        num_windows: 4,
+        walkers_per_window: 2,
+        overlap: 0.75,
+        num_bins: 64,
+        wl: WlParams {
+            ln_f_initial: 1.0,
+            ln_f_final: 1e-4,
+            schedule: LnfSchedule::Flatness {
+                flatness: 0.8,
+                reduction: 0.5,
+            },
+            sweeps_per_check: 20,
+        },
+        exchange_every_sweeps: 10,
+        observe_every_sweeps: 4,
+        max_sweeps: 400_000,
+        seed,
+        kernel: KernelSpec::LocalSwap,
+        adaptive_windows: adaptive,
+        rebalance_every: if adaptive { 4 } else { 0 },
+        ..RewlConfig::default()
+    }
+}
+
+/// Mean moves per round trip for every window; windows that never
+/// completed a trip (none on this fixture) read as their raw leg moves.
+fn window_costs(out: &RewlOutput) -> Vec<f64> {
+    out.windows
+        .iter()
+        .map(|w| w.round_trip_moves as f64 / w.round_trips.max(1) as f64)
+        .collect()
+}
+
+/// Max/min round-trip cost across windows — 1.0 means perfectly even.
+fn spread(costs: &[f64]) -> f64 {
+    let max = costs.iter().cloned().fold(f64::MIN, f64::max);
+    let min = costs.iter().cloned().fold(f64::MAX, f64::min);
+    max / min.max(1.0)
+}
+
+fn main() {
+    let l: usize = arg("--l", 3);
+    let seeds: u64 = arg("--seeds", 3);
+    let gate: f64 = arg("--gate", 1.3);
+    let out_path: String = arg("--out", "BENCH_rewl_adaptive.json".to_string());
+
+    let sys = HeaSystem::nbmotaw(l);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let range = explore_energy_range(&sys.model, &sys.neighbors, &sys.comp, 30, 0.02, &mut rng);
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut uniform_sweeps = 0u64;
+    let mut adaptive_sweeps = 0u64;
+    let mut uniform_wall = 0.0f64;
+    let mut adaptive_wall = 0.0f64;
+    let mut all_converged = true;
+    let mut spread_shrinks = true;
+    // Mean per-window costs across seeds, for the scaling reprojection.
+    let mut uniform_cost_sum = vec![0.0f64; 4];
+    let mut adaptive_cost_sum = vec![0.0f64; 4];
+
+    for seed in 1..=seeds {
+        let (uni, uni_s) = timed(|| {
+            run_rewl(
+                &sys.model,
+                &sys.neighbors,
+                &sys.comp,
+                range,
+                &config(seed, false),
+            )
+            .expect("uniform run failed")
+        });
+        let (ada, ada_s) = timed(|| {
+            run_rewl(
+                &sys.model,
+                &sys.neighbors,
+                &sys.comp,
+                range,
+                &config(seed, true),
+            )
+            .expect("adaptive run failed")
+        });
+        all_converged &= uni.converged && ada.converged;
+
+        let uni_costs = window_costs(&uni);
+        let ada_costs = window_costs(&ada);
+        let (uni_spread, ada_spread) = (spread(&uni_costs), spread(&ada_costs));
+        spread_shrinks &= ada_spread < uni_spread;
+        for w in 0..4 {
+            uniform_cost_sum[w] += uni_costs[w];
+            adaptive_cost_sum[w] += ada_costs[w];
+        }
+        uniform_sweeps += uni.sweeps;
+        adaptive_sweeps += ada.sweeps;
+        uniform_wall += uni_s;
+        adaptive_wall += ada_s;
+
+        let speedup = uni.sweeps as f64 / ada.sweeps as f64;
+        rows.push(format!(
+            "{seed},{},{},{speedup:.2},{uni_spread:.2},{ada_spread:.2},{}",
+            uni.sweeps, ada.sweeps, ada.walkers_rebalanced
+        ));
+        json_rows.push(format!(
+            "    {{\"seed\": {seed}, \
+             \"uniform\": {{\"sweeps\": {}, \"wall_s\": {uni_s:.2}, \"converged\": {}, \
+             \"rt_spread\": {uni_spread:.3}}}, \
+             \"adaptive\": {{\"sweeps\": {}, \"wall_s\": {ada_s:.2}, \"converged\": {}, \
+             \"rt_spread\": {ada_spread:.3}, \"walkers_rebalanced\": {}}}, \
+             \"speedup\": {speedup:.3}}}",
+            uni.sweeps, uni.converged, ada.sweeps, ada.converged, ada.walkers_rebalanced
+        ));
+    }
+
+    print_csv(
+        "seed,uniform_sweeps,adaptive_sweeps,speedup,uniform_rt_spread,adaptive_rt_spread,walkers_rebalanced",
+        &rows,
+    );
+
+    // E7/E8 reprojection: weak-scaling efficiency at the paper's
+    // 3,000-GPU deployment under each layout's measured cost skew.
+    let mean = |sums: &[f64]| sums.iter().map(|c| c / seeds as f64).collect::<Vec<_>>();
+    let (uni_costs, ada_costs) = (mean(&uniform_cost_sum), mean(&adaptive_cost_sum));
+    let shape = WorkloadShape::paper_default();
+    let base = weak_scaling_table(&GpuSpec::v100(), &shape, &[8, 3000]);
+    let uni_eff = reproject_with_imbalance(&base, &uni_costs)[1].efficiency;
+    let ada_eff = reproject_with_imbalance(&base, &ada_costs)[1].efficiency;
+
+    let speedup = uniform_sweeps as f64 / adaptive_sweeps as f64;
+    let wall_speedup = uniform_wall / adaptive_wall;
+    let pass = all_converged && spread_shrinks && speedup >= gate;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"E16\",\n",
+            "  \"fixture\": {{\"l\": {l}, \"windows\": 4, \"walkers_per_window\": 2, ",
+            "\"bins\": 64, \"overlap\": 0.75, \"seeds\": {seeds}}},\n",
+            "  \"runs\": [\n{runs}\n  ],\n",
+            "  \"aggregate\": {{\"uniform_sweeps\": {us}, \"adaptive_sweeps\": {as_}, ",
+            "\"speedup\": {sp:.3}, \"wall_speedup\": {wsp:.3}}},\n",
+            "  \"projection_3000_gpus\": {{\"uniform_imbalance\": {uif:.3}, ",
+            "\"adaptive_imbalance\": {aif:.3}, \"uniform_efficiency\": {ue:.3}, ",
+            "\"adaptive_efficiency\": {ae:.3}}},\n",
+            "  \"gate\": {{\"min_speedup\": {gate:.2}, \"speedup\": {sp:.3}, ",
+            "\"all_converged\": {conv}, \"spread_shrinks\": {shrink}}},\n",
+            "  \"pass\": {pass}\n",
+            "}}\n"
+        ),
+        l = l,
+        seeds = seeds,
+        runs = json_rows.join(",\n"),
+        us = uniform_sweeps,
+        as_ = adaptive_sweeps,
+        sp = speedup,
+        wsp = wall_speedup,
+        uif = window_imbalance_factor(&uni_costs),
+        aif = window_imbalance_factor(&ada_costs),
+        ue = uni_eff,
+        ae = ada_eff,
+        gate = gate,
+        conv = all_converged,
+        shrink = spread_shrinks,
+        pass = pass,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+
+    if !pass {
+        eprintln!(
+            "FAIL: adaptive windows gate — speedup {speedup:.2}x (need {gate:.2}x), \
+             all_converged={all_converged}, spread_shrinks={spread_shrinks}"
+        );
+        std::process::exit(1);
+    }
+}

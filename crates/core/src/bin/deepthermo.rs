@@ -74,6 +74,11 @@ run / info flags:
   --checkpoint DIR       snapshot into DIR and resume from it on rerun
   --export-artifact DIR  also export the run into a serving registry
   --telemetry            record per-rank phase timings
+  --adaptive-windows     place window boundaries by equal estimated
+                         diffusion cost (cheap pilot pass) instead of
+                         equal widths
+  --rebalance-every N    reassign walkers from fast windows to slow ones
+                         every N exchange rounds      (default 0 = off)
   --cluster tcp:N        run N ranks as separate processes over loopback
                          TCP (N must equal windows x walkers); the result
                          is bit-identical to the in-process run
@@ -530,6 +535,8 @@ fn build_config() -> DeepThermoConfig {
     };
     cfg.rewl.recovery = has_flag("--recover");
     cfg.rewl.respawns = arg(cluster::RESPAWN_COUNT_FLAG, 0u64);
+    cfg.rewl.adaptive_windows = has_flag("--adaptive-windows");
+    cfg.rewl.rebalance_every = arg("--rebalance-every", 0u64);
     cfg.with_telemetry(has_flag("--telemetry"))
 }
 

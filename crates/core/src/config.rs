@@ -256,6 +256,20 @@ impl DeepThermoConfigBuilder {
         self
     }
 
+    /// Place window boundaries by equalizing estimated diffusion cost
+    /// (from a cheap pilot pass) instead of equal widths.
+    pub fn adaptive_windows(mut self, on: bool) -> Self {
+        self.cfg.rewl.adaptive_windows = on;
+        self
+    }
+
+    /// Reassign walkers from fast windows to slow ones every `rounds`
+    /// exchange rounds (0 disables rebalancing).
+    pub fn rebalance_every(mut self, rounds: u64) -> Self {
+        self.cfg.rewl.rebalance_every = rounds;
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
@@ -306,11 +320,15 @@ mod tests {
             .num_bins(48)
             .seed(9)
             .telemetry(true)
+            .adaptive_windows(true)
+            .rebalance_every(4)
             .build()
             .unwrap();
         assert_eq!(cfg.rewl.num_windows, 2);
         assert_eq!(cfg.rewl.seed, 9);
         assert!(cfg.rewl.telemetry);
+        assert!(cfg.rewl.adaptive_windows);
+        assert_eq!(cfg.rewl.rebalance_every, 4);
     }
 
     #[test]

@@ -342,6 +342,7 @@ impl DeepThermo {
             lost_ranks: out.lost_ranks,
             resumed_from: out.resumed_from,
             recovery: out.recovery,
+            walkers_rebalanced: out.walkers_rebalanced,
             telemetry: out.telemetry,
         })
     }

@@ -59,6 +59,9 @@ pub struct DeepThermoReport {
     /// Self-healing counters (supervised respawns, rejoin time,
     /// heartbeat misses); all-zero unless the run recovered a rank.
     pub recovery: RecoveryStats,
+    /// Walker migrations performed by the dynamic rebalance planner;
+    /// zero unless the run sampled with `rebalance_every > 0`.
+    pub walkers_rebalanced: u64,
     /// Per-rank telemetry snapshots; empty unless the run sampled with
     /// `RewlConfig::telemetry` on (see `DeepThermoConfig::with_telemetry`).
     pub telemetry: Vec<RankTelemetry>,
@@ -150,6 +153,10 @@ impl DeepThermoReport {
                 100.0 * accepted as f64 / proposed.max(1) as f64
             ));
         }
+        if self.walkers_rebalanced > 0 {
+            s.push_str(&format!("walkers rebalanced: {}\n", self.walkers_rebalanced));
+        }
+        let any_round_trips = self.windows.iter().any(|w| w.round_trips > 0);
         for w in &self.windows {
             s.push_str(&format!(
                 "window {}: exchange rate {:.2} ({} of {})\n",
@@ -158,6 +165,13 @@ impl DeepThermoReport {
                 w.exchange_accepted,
                 w.exchange_attempts
             ));
+            if any_round_trips {
+                s.push_str(&format!(
+                    "  round trips: {} (mean {} moves each)\n",
+                    w.round_trips,
+                    w.round_trip_moves / w.round_trips.max(1)
+                ));
+            }
         }
         s
     }
@@ -197,6 +211,7 @@ mod tests {
             lost_ranks: vec![],
             resumed_from: None,
             recovery: RecoveryStats::default(),
+            walkers_rebalanced: 0,
             telemetry: vec![],
         }
     }
@@ -214,6 +229,31 @@ mod tests {
     #[test]
     fn summary_mentions_tc() {
         assert!(dummy().summary().contains("T_c ~ 300"));
+    }
+
+    #[test]
+    fn summary_surfaces_adaptive_counters_only_when_nonzero() {
+        let mut r = dummy();
+        r.windows = vec![WindowReport {
+            window: 0,
+            exchange_attempts: 4,
+            exchange_accepted: 2,
+            stats: MoveStats::new(),
+            converged: true,
+            ln_f: 1e-4,
+            lost_walkers: 0,
+            round_trips: 0,
+            round_trip_moves: 0,
+        }];
+        let s = r.summary();
+        assert!(!s.contains("walkers rebalanced"), "{s}");
+        assert!(!s.contains("round trips"), "{s}");
+        r.walkers_rebalanced = 3;
+        r.windows[0].round_trips = 12;
+        r.windows[0].round_trip_moves = 600;
+        let s = r.summary();
+        assert!(s.contains("walkers rebalanced: 3"), "{s}");
+        assert!(s.contains("round trips: 12 (mean 50 moves each)"), "{s}");
     }
 
     #[test]

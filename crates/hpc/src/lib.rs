@@ -49,7 +49,10 @@ pub use perf::{
     comparison_table, measured_vs_modeled, CostBreakdown, PerfModel, PhaseComparison, WorkloadShape,
 };
 pub use rngstream::rank_rng;
-pub use scaling::{strong_scaling_table, weak_scaling_table, ScalingRow};
+pub use scaling::{
+    reproject_with_imbalance, strong_scaling_table, weak_scaling_table, window_imbalance_factor,
+    ScalingRow,
+};
 pub use tcp::{TcpCluster, TcpRendezvous, TcpTransport};
 pub use thread_fabric::{install_crash_hook, RankOutcome, ThreadCluster, ThreadTransport};
 pub use transport::Transport;

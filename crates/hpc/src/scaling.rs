@@ -77,6 +77,47 @@ pub fn strong_scaling_table(
         .collect()
 }
 
+/// Fraction of ideal synchronous-REWL throughput realized when energy
+/// windows carry unequal diffusion cost. Replica exchange is a
+/// round-based collective: every round completes at the pace of the
+/// slowest window, so with per-window costs `c_i` the realized fraction
+/// is `mean(c)/max(c)` ∈ (0, 1]. Equal-diffusion window layouts (see
+/// dt-rewl's adaptive windows) drive the costs — and this factor —
+/// toward 1.
+///
+/// # Panics
+/// Panics when `window_costs` is empty, non-finite, negative, or
+/// all-zero.
+pub fn window_imbalance_factor(window_costs: &[f64]) -> f64 {
+    assert!(!window_costs.is_empty(), "need at least one window cost");
+    assert!(
+        window_costs.iter().all(|c| c.is_finite() && *c >= 0.0),
+        "window costs must be finite and non-negative"
+    );
+    let max = window_costs.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(max > 0.0, "window costs must not be all zero");
+    let mean = window_costs.iter().sum::<f64>() / window_costs.len() as f64;
+    mean / max
+}
+
+/// Re-project a scaling table (E7/E8) under measured window imbalance:
+/// each iteration stretches by `max(c)/mean(c)`, so throughput and
+/// efficiency shrink by [`window_imbalance_factor`]. Feed it uniform-run
+/// round-trip costs to model the un-tuned fleet, or the residual costs
+/// of an equal-diffusion layout to quantify what adaptive windows buy
+/// back at scale.
+pub fn reproject_with_imbalance(rows: &[ScalingRow], window_costs: &[f64]) -> Vec<ScalingRow> {
+    let factor = window_imbalance_factor(window_costs);
+    rows.iter()
+        .map(|r| ScalingRow {
+            ranks: r.ranks,
+            time_per_iteration_s: r.time_per_iteration_s / factor,
+            throughput: r.throughput * factor,
+            efficiency: r.efficiency * factor,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +151,31 @@ mod tests {
         }
         // ...but efficiency decays due to undivided communication.
         assert!(rows.last().unwrap().efficiency < rows[0].efficiency);
+    }
+
+    #[test]
+    fn imbalance_factor_is_one_for_equal_windows_and_falls_with_skew() {
+        assert!((window_imbalance_factor(&[3.0, 3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        // One window 4x slower than the other three: rounds gate on it.
+        let f = window_imbalance_factor(&[4.0, 1.0, 1.0, 1.0]);
+        assert!(((7.0 / 16.0) - f).abs() < 1e-12, "{f}");
+        // Equalizing costs (what adaptive windows do) recovers the loss.
+        assert!(window_imbalance_factor(&[1.8, 2.0, 1.9, 2.1]) > f);
+    }
+
+    #[test]
+    fn reprojection_scales_time_up_and_efficiency_down() {
+        let rows = weak_scaling_table(&GpuSpec::v100(), &WorkloadShape::paper_default(), &RANKS);
+        let skewed = reproject_with_imbalance(&rows, &[4.0, 1.0, 1.0, 1.0]);
+        let balanced = reproject_with_imbalance(&rows, &[1.0; 4]);
+        for ((r, s), b) in rows.iter().zip(&skewed).zip(&balanced) {
+            assert!(s.time_per_iteration_s > r.time_per_iteration_s);
+            assert!(s.efficiency < r.efficiency);
+            assert!(s.throughput < r.throughput);
+            // A flat profile reprojects to the original table exactly.
+            assert!((b.time_per_iteration_s - r.time_per_iteration_s).abs() < 1e-12);
+            assert!((b.efficiency - r.efficiency).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -119,6 +119,18 @@ pub struct RankCheckpoint {
     /// the same generation namespace as the survivors'. Zero on
     /// generation-free backends.
     pub coll_gens: [u64; 3],
+    /// Walker migrations this rank has undergone (dynamic reallocation).
+    pub rebalanced: u64,
+    /// Boundary crossings completed in windows this rank has since left
+    /// (banked at each migration so cumulative telemetry survives).
+    pub rt_banked_crossings: u64,
+    /// Moves inside those banked crossings.
+    pub rt_banked_moves: u64,
+    /// The cluster-wide rank→window assignment at the checkpoint round.
+    /// Empty when the run does not rebalance (the uniform `rank / W`
+    /// assignment is implied) — files stay byte-identical to earlier
+    /// versions in that case.
+    pub assignment: Vec<usize>,
     /// Flattened deep-proposal weights, when the run uses a deep kernel.
     pub deep_params: Option<Vec<f64>>,
     /// Acceptance statistics by kernel.
@@ -179,6 +191,28 @@ impl RankCheckpoint {
             self.coll_gens[0], self.coll_gens[1], self.coll_gens[2]
         )
         .expect("write");
+        // Rebalance state is written only when non-default, so runs
+        // without dynamic reallocation produce byte-identical files.
+        if self.rebalanced != 0 || self.rt_banked_crossings != 0 || self.rt_banked_moves != 0 {
+            writeln!(
+                s,
+                "rebal {} {} {}",
+                self.rebalanced, self.rt_banked_crossings, self.rt_banked_moves
+            )
+            .expect("write");
+        }
+        if !self.assignment.is_empty() {
+            writeln!(
+                s,
+                "assign {}",
+                self.assignment
+                    .iter()
+                    .map(|w| w.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            )
+            .expect("write");
+        }
         match &self.deep_params {
             Some(p) => writeln!(s, "deep {}", hex_f64s(p)).expect("write"),
             None => writeln!(s, "deep -").expect("write"),
@@ -243,6 +277,37 @@ impl RankCheckpoint {
             coll_gens.copy_from_slice(&gens);
             lines = peek;
         }
+        // Optional (only runs with dynamic reallocation write them):
+        // migration counters and the rank→window assignment.
+        let mut rebalanced = 0u64;
+        let mut rt_banked_crossings = 0u64;
+        let mut rt_banked_moves = 0u64;
+        let mut peek = lines.clone();
+        if let Some(rest) = peek.next().and_then(|l| l.strip_prefix("rebal ")) {
+            let vals: Vec<u64> = rest
+                .split_whitespace()
+                .map(|v| v.parse().map_err(|_| malformed(format!("bad rebal: {v}"))))
+                .collect::<Result<_, _>>()?;
+            if vals.len() != 3 {
+                return Err(malformed("rebal needs 3 fields"));
+            }
+            rebalanced = vals[0];
+            rt_banked_crossings = vals[1];
+            rt_banked_moves = vals[2];
+            lines = peek;
+        }
+        let mut assignment = Vec::new();
+        let mut peek = lines.clone();
+        if let Some(rest) = peek.next().and_then(|l| l.strip_prefix("assign ")) {
+            assignment = rest
+                .split_whitespace()
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| malformed(format!("bad assignment: {v}")))
+                })
+                .collect::<Result<_, _>>()?;
+            lines = peek;
+        }
         let deep = expect_line(&mut lines, "deep")?;
         let deep_params = if deep == "-" {
             None
@@ -304,6 +369,10 @@ impl RankCheckpoint {
             sweeps_since_check: nums[3],
             rng_word_pos,
             coll_gens,
+            rebalanced,
+            rt_banked_crossings,
+            rt_banked_moves,
+            assignment,
             deep_params,
             stats,
             obs_dim,
@@ -350,6 +419,11 @@ pub struct RunManifest {
     /// under a *different* injected-fault schedule — a chaos run is only
     /// deterministic when resumed under the plan it started with.
     pub faults: FaultPlan,
+    /// The rank→window assignment at the snapshot round, recording the
+    /// net effect of every rebalance plan applied so far. Empty on runs
+    /// without dynamic reallocation — the manifest stays byte-identical
+    /// to earlier versions.
+    pub assignment: Vec<usize>,
 }
 
 impl RunManifest {
@@ -368,6 +442,18 @@ impl RunManifest {
             .collect();
         writeln!(s, "alive {alive}").expect("write");
         writeln!(s, "faults {}", self.faults.encode()).expect("write");
+        if !self.assignment.is_empty() {
+            writeln!(
+                s,
+                "assign {}",
+                self.assignment
+                    .iter()
+                    .map(|w| w.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            )
+            .expect("write");
+        }
         s
     }
 
@@ -403,12 +489,28 @@ impl RunManifest {
                 .map_err(|e| malformed(format!("bad fault plan: {e}")))?,
             None => FaultPlan::none(),
         };
+        // Optional trailing line: the rank→window assignment (runs with
+        // dynamic reallocation only).
+        let assignment: Vec<usize> = match lines.next().and_then(|l| l.strip_prefix("assign ")) {
+            Some(rest) => rest
+                .split_whitespace()
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| malformed(format!("bad assignment: {v}")))
+                })
+                .collect::<Result<_, _>>()?,
+            None => Vec::new(),
+        };
+        if !assignment.is_empty() && assignment.len() != ranks {
+            return Err(malformed("assignment length mismatch"));
+        }
         Ok(RunManifest {
             round,
             ranks,
             digest,
             alive,
             faults,
+            assignment,
         })
     }
 
@@ -448,7 +550,7 @@ fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
 /// injected-fault plan, or move the checkpoint directory; everything that
 /// shapes rank state (windows, bins, seeds, kernels, schedules) is in.
 pub fn config_digest(cfg: &RewlConfig) -> u64 {
-    let stable = format!(
+    let mut stable = format!(
         "M={} W={} overlap={:016x} bins={} wl={:?} exch={} obs={} seed={} kernel={:?}",
         cfg.num_windows,
         cfg.walkers_per_window,
@@ -460,6 +562,18 @@ pub fn config_digest(cfg: &RewlConfig) -> u64 {
         cfg.seed,
         cfg.kernel,
     );
+    // Appended only when the adaptive machinery is on, so digests of
+    // pre-existing (non-adaptive) runs are unchanged and their
+    // checkpoints stay resumable.
+    if cfg.adaptive_windows || cfg.rebalance_every > 0 {
+        use std::fmt::Write;
+        write!(
+            stable,
+            " adaptive={} rebalance={}",
+            cfg.adaptive_windows, cfg.rebalance_every
+        )
+        .expect("write");
+    }
     fnv1a(stable.as_bytes())
 }
 
@@ -630,6 +744,10 @@ mod tests {
             total_moves: 420,
             stages: 3,
             one_over_t_phase: false,
+            rt_last_boundary: 1,
+            rt_crossings: 6,
+            rt_crossing_moves: 300,
+            rt_leg_start_moves: 400,
         }
     }
 
@@ -644,6 +762,10 @@ mod tests {
             sweeps_since_check: 7,
             rng_word_pos: 0xDEAD_BEEF_0123_4567_89AB_CDEF_u128,
             coll_gens: [3, 14, 1],
+            rebalanced: 2,
+            rt_banked_crossings: 8,
+            rt_banked_moves: 5_000,
+            assignment: vec![0, 1, 1, 1],
             deep_params: Some(vec![0.25, -1.5, 3e-9]),
             stats,
             obs_dim: 2,
@@ -685,6 +807,7 @@ mod tests {
             digest: 0x1234_5678_9abc_def0,
             alive: vec![true, true, false, true],
             faults: FaultPlan::none().kill_at_round(2, 7),
+            assignment: Vec::new(),
         };
         assert_eq!(RunManifest::decode(&m.encode()).unwrap(), m);
         assert!(matches!(
@@ -712,6 +835,7 @@ mod tests {
             digest,
             alive: vec![true, true],
             faults: FaultPlan::none(),
+            assignment: Vec::new(),
         }
         .write(&dir)
         .unwrap();
@@ -726,6 +850,7 @@ mod tests {
             digest,
             alive: vec![true, true],
             faults: FaultPlan::none(),
+            assignment: Vec::new(),
         }
         .write(&dir)
         .unwrap();
@@ -760,6 +885,7 @@ mod tests {
             digest,
             alive: vec![true, false],
             faults: FaultPlan::none(),
+            assignment: Vec::new(),
         }
         .write(&dir)
         .unwrap();
@@ -792,6 +918,74 @@ mod tests {
     }
 
     #[test]
+    fn rebal_and_assign_lines_are_optional() {
+        // Runs without dynamic reallocation (and files from before it
+        // existed) carry neither line; decode restores the defaults.
+        let cp = sample_rank();
+        let text: String = cp
+            .encode()
+            .lines()
+            .filter(|l| !l.starts_with("rebal ") && !l.starts_with("assign "))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = RankCheckpoint::decode(&text).unwrap();
+        assert_eq!(back.rebalanced, 0);
+        assert_eq!(back.rt_banked_crossings, 0);
+        assert_eq!(back.rt_banked_moves, 0);
+        assert!(back.assignment.is_empty());
+        assert_eq!(back.sweeps, cp.sweeps);
+        // And a default (non-rebalancing) rank writes neither line at all.
+        let mut plain = cp.clone();
+        plain.rebalanced = 0;
+        plain.rt_banked_crossings = 0;
+        plain.rt_banked_moves = 0;
+        plain.assignment = Vec::new();
+        let encoded = plain.encode();
+        assert!(!encoded.contains("rebal "));
+        assert!(!encoded.contains("assign "));
+        assert_eq!(RankCheckpoint::decode(&encoded).unwrap(), plain);
+    }
+
+    #[test]
+    fn manifest_assignment_line_round_trips_and_is_optional() {
+        let m = RunManifest {
+            round: 6,
+            ranks: 4,
+            digest: 1,
+            alive: vec![true; 4],
+            faults: FaultPlan::none(),
+            assignment: vec![0, 1, 1, 1],
+        };
+        assert_eq!(RunManifest::decode(&m.encode()).unwrap(), m);
+        // Non-rebalancing manifests carry no assign line.
+        let mut plain = m.clone();
+        plain.assignment = Vec::new();
+        assert!(!plain.encode().contains("assign "));
+        assert_eq!(RunManifest::decode(&plain.encode()).unwrap(), plain);
+        // A recorded assignment must cover every rank.
+        let bad = m.encode().replace("assign 0 1 1 1", "assign 0 1");
+        assert!(RunManifest::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn adaptive_fields_extend_the_digest_only_when_enabled() {
+        let base = RewlConfig::default();
+        let mut adaptive = base.clone();
+        adaptive.adaptive_windows = true;
+        let mut rebalancing = base.clone();
+        rebalancing.rebalance_every = 4;
+        // Off ⇒ identical digest to a config that predates the fields.
+        assert_eq!(config_digest(&base), {
+            let mut same = base.clone();
+            same.max_sweeps += 1; // excluded field: digest unchanged
+            config_digest(&same)
+        });
+        assert_ne!(config_digest(&base), config_digest(&adaptive));
+        assert_ne!(config_digest(&base), config_digest(&rebalancing));
+        assert_ne!(config_digest(&adaptive), config_digest(&rebalancing));
+    }
+
+    #[test]
     fn manifest_fault_line_is_optional_and_round_trips() {
         let m = RunManifest {
             round: 3,
@@ -799,6 +993,7 @@ mod tests {
             digest: 9,
             alive: vec![true, true],
             faults: FaultPlan::chaos(11, 4, 20),
+            assignment: Vec::new(),
         };
         let back = RunManifest::decode(&m.encode()).unwrap();
         assert_eq!(back.faults, m.faults);
@@ -902,6 +1097,14 @@ mod ckpt_proptests {
                     total_moves,
                     stages,
                     one_over_t_phase: one_over_t,
+                    rt_last_boundary: match total_moves % 3 {
+                        0 => 0,
+                        1 => -1,
+                        _ => 1,
+                    },
+                    rt_crossings: total_moves / 7,
+                    rt_crossing_moves: total_moves / 2,
+                    rt_leg_start_moves: total_moves / 3,
                 };
                 RankCheckpoint {
                     exchange_attempts: counters[0],
@@ -910,6 +1113,17 @@ mod ckpt_proptests {
                     sweeps_since_check: counters[3],
                     rng_word_pos: (u128::from(word_pos.1) << 64) | u128::from(word_pos.0),
                     coll_gens: [coll_gens[0], coll_gens[1], coll_gens[2]],
+                    // Cover both shapes: rebalancing ranks (counters and
+                    // an explicit assignment) and plain ones (defaults,
+                    // which encode no extra lines at all).
+                    rebalanced: counters[0] % 4,
+                    rt_banked_crossings: counters[1] % 1000,
+                    rt_banked_moves: counters[2] % 100_000,
+                    assignment: if total_moves % 2 == 0 {
+                        species.iter().map(|&s| s as usize).collect()
+                    } else {
+                        Vec::new()
+                    },
                     deep_params: deep_bits.map(|v| v.into_iter().map(finite).collect()),
                     stats,
                     obs_dim,
@@ -984,12 +1198,20 @@ mod ckpt_proptests {
                 Some((seed, ranks, rounds)) => FaultPlan::chaos(seed, ranks, rounds),
                 None => FaultPlan::none(),
             };
+            // Half the cases record a rank→window assignment (as a
+            // rebalancing run would), the other half leave it implied.
+            let assignment: Vec<usize> = if digest % 2 == 0 {
+                alive.iter().map(|&a| usize::from(a)).collect()
+            } else {
+                Vec::new()
+            };
             let m = RunManifest {
                 round,
                 ranks: alive.len(),
                 digest,
                 alive,
                 faults,
+                assignment,
             };
             let back = RunManifest::decode(&m.encode()).unwrap();
             prop_assert_eq!(back, m);

@@ -10,11 +10,13 @@
 
 use dt_hamiltonian::EnergyModel;
 use dt_hpc::{Communicator, FaultPlan, RankOutcome, ThreadCluster, Transport};
-use dt_lattice::{Composition, NeighborTable};
-use dt_proposal::MoveStats;
+use dt_lattice::{Composition, Configuration, NeighborTable};
+use dt_proposal::{LocalSwap, MoveStats, ProposalContext};
 use dt_telemetry::RankTelemetry;
 use dt_thermo::MicrocanonicalAccumulator;
-use dt_wanglandau::{DosEstimate, EnergyGrid, WlParams};
+use dt_wanglandau::{DosEstimate, EnergyGrid, WlParams, WlWalker};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::checkpoint::{self, CheckpointSpec, ResumePoint};
 use crate::rank::RankEngine;
@@ -69,6 +71,18 @@ pub struct RewlConfig {
     /// may lag the death round) and restores its collective generation
     /// counters so it rejoins the exact protocol point where it died.
     pub respawns: u64,
+    /// Place window boundaries with
+    /// [`WindowLayout::equal_diffusion`] instead of the uniform layout,
+    /// seeding the cost profile from a deterministic pilot pass
+    /// ([`pilot_window_costs`]). Off by default — the uniform layout and
+    /// all golden fingerprints are unchanged.
+    pub adaptive_windows: bool,
+    /// Every this many exchange rounds, rank 0 gathers round-trip
+    /// statistics and may migrate one walker from the fastest window to
+    /// the slowest (see [`crate::rebalance`]). `0` (the default)
+    /// disables reallocation entirely: the `Rebalance` phase is a strict
+    /// no-op — no messages, no RNG draws.
+    pub rebalance_every: u64,
 }
 
 impl Default for RewlConfig {
@@ -89,6 +103,8 @@ impl Default for RewlConfig {
             telemetry: false,
             recovery: false,
             respawns: 0,
+            adaptive_windows: false,
+            rebalance_every: 0,
         }
     }
 }
@@ -172,6 +188,14 @@ pub struct WindowReport {
     /// Walkers of this window that died (or could not be gathered) and
     /// therefore contribute nothing to the merged DOS.
     pub lost_walkers: usize,
+    /// Completed round trips (lowest ↔ highest window bin) summed over
+    /// the window's walkers. Move-count based — deterministic given the
+    /// seed, identical across backends.
+    pub round_trips: u64,
+    /// Moves spent inside completed boundary crossings, summed over the
+    /// window's walkers. `round_trip_moves / max(round_trips, 1)` is the
+    /// window's mean round-trip cost.
+    pub round_trip_moves: u64,
 }
 
 impl WindowReport {
@@ -215,6 +239,10 @@ pub struct RewlOutput {
     /// Self-healing statistics aggregated over the gathered ranks. All
     /// zero on a run without recovery (or without faults).
     pub recovery: RecoveryStats,
+    /// Walker migrations applied by dynamic reallocation, summed over
+    /// the gathered ranks (each migration counts once, on the migrant).
+    /// Zero unless [`RewlConfig::rebalance_every`] was set.
+    pub walkers_rebalanced: u64,
 }
 
 /// Aggregate self-healing statistics of one run, summed over the ranks
@@ -230,6 +258,114 @@ pub struct RecoveryStats {
     /// Heartbeat deadlines missed across all ranks (each one marked a
     /// peer dead ahead of any socket-level signal).
     pub heartbeat_misses: u64,
+}
+
+/// Seed the adaptive window solver with a deterministic pilot pass: one
+/// short Wang–Landau walker per window of the *uniform* baseline layout,
+/// each measuring its window's round-trip cost (mean moves per boundary
+/// crossing, pending-leg moves when no crossing completed). Those
+/// per-window costs feed [`WindowLayout::refit_equal_diffusion`], which
+/// spreads them into a per-bin profile and re-solves the boundaries so
+/// slow-diffusing windows shrink. Measuring round trips directly is what
+/// makes the profile honest: visit-count occupancy proxies systematically
+/// mistake "where the pilot happened to wander" for "where diffusion is
+/// cheap".
+///
+/// Everything is derived from `seed` with a private RNG stream, so every
+/// rank computes the identical costs with no communication, and a
+/// resumed run rebuilds the identical layout.
+///
+/// Windows whose pilot walker cannot even enter its range (a
+/// pathological configuration) report a flat unit cost; if that happens
+/// everywhere the refit degenerates to the uniform layout.
+pub fn pilot_window_costs<M: EnergyModel>(
+    model: &M,
+    neighbors: &NeighborTable,
+    comp: &Composition,
+    uniform: &WindowLayout,
+    seed: u64,
+) -> Vec<f64> {
+    /// Sweep budget of each pilot walker — enough for several boundary
+    /// crossings on test-sized systems, negligible next to the main run.
+    const PILOT_SWEEPS: usize = 1024;
+    /// Pilot walkers advance their own Wang–Landau stage on this sweep
+    /// cadence so the measured dynamics resemble the production run
+    /// rather than staying pinned at the initial `ln f`.
+    const PILOT_CHECK_EVERY: usize = 4;
+    /// Stream-splitting constant: keeps pilot RNGs disjoint from every
+    /// per-rank stream (`seed ^ rank · 0x9E37…`).
+    const PILOT_STREAM: u64 = 0x51C0_7AB5_D1F0_0E11;
+
+    let ctx = ProposalContext {
+        neighbors,
+        composition: comp,
+    };
+    (0..uniform.num_windows())
+        .map(|w| {
+            let stream = seed ^ PILOT_STREAM ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = ChaCha8Rng::seed_from_u64(stream);
+            let config = Configuration::random(comp, &mut rng);
+            let mut walker = WlWalker::new(
+                uniform.window_grid(w),
+                WlParams::fast(),
+                config,
+                model,
+                neighbors,
+                Box::new(LocalSwap::new()),
+                stream.rotate_left(17),
+            );
+            if !walker.drive_into_window(model, neighbors, 20_000) {
+                return 1.0;
+            }
+            let mut since_check = 0usize;
+            for _ in 0..PILOT_SWEEPS {
+                walker.sweep(model, neighbors, &ctx);
+                since_check += 1;
+                if since_check >= PILOT_CHECK_EVERY {
+                    walker.check_and_advance(model, neighbors);
+                    since_check = 0;
+                }
+            }
+            let rt = walker.round_trip_stats();
+            if rt.crossings > 0 {
+                rt.crossing_moves as f64 / rt.crossings as f64
+            } else {
+                // No full crossing in the budget: the unfinished leg's
+                // length is a lower bound on the true cost and already
+                // ranks the window as expensive.
+                rt.pending_moves.max(1) as f64
+            }
+        })
+        .collect()
+}
+
+/// Build the window layout for a run: uniform by default, cost-balanced
+/// via the per-window pilot when `cfg.adaptive_windows` is set. Pure
+/// given `cfg` — every rank calls this independently and gets the same
+/// layout.
+fn build_layout<M: EnergyModel>(
+    model: &M,
+    neighbors: &NeighborTable,
+    comp: &Composition,
+    (e_min, e_max): (f64, f64),
+    cfg: &RewlConfig,
+) -> WindowLayout {
+    let grid = EnergyGrid::new(e_min, e_max, cfg.num_bins);
+    let uniform = WindowLayout::new(grid, cfg.num_windows, cfg.overlap);
+    if cfg.adaptive_windows {
+        // The pilot runs at high ln f, where the Wang–Landau bias still
+        // assists diffusion, so measured costs compress the converged-
+        // regime skew roughly as a square root. Squaring restores it
+        // before the boundary solver equalizes the profile.
+        const PILOT_SKEW_EXPONENT: i32 = 2;
+        let costs: Vec<f64> = pilot_window_costs(model, neighbors, comp, &uniform, cfg.seed)
+            .into_iter()
+            .map(|c| c.powi(PILOT_SKEW_EXPONENT))
+            .collect();
+        uniform.refit_equal_diffusion(&costs)
+    } else {
+        uniform
+    }
 }
 
 /// Locate the newest usable resume point for this config, creating the
@@ -313,11 +449,7 @@ pub fn run_rewl<M: EnergyModel + Sync>(
     (e_min, e_max): (f64, f64),
     cfg: &RewlConfig,
 ) -> Result<RewlOutput, RewlError> {
-    let layout = WindowLayout::new(
-        EnergyGrid::new(e_min, e_max, cfg.num_bins),
-        cfg.num_windows,
-        cfg.overlap,
-    );
+    let layout = build_layout(model, neighbors, comp, (e_min, e_max), cfg);
     let size = cfg.num_windows * cfg.walkers_per_window;
     let digest = checkpoint::config_digest(cfg);
     let resume = find_resume_point(cfg, digest, 0, size, &cfg.faults)?;
@@ -400,11 +532,7 @@ pub fn run_rewl_on<M: EnergyModel, T: Transport>(
         size,
         "communicator size must equal num_windows × walkers_per_window"
     );
-    let layout = WindowLayout::new(
-        EnergyGrid::new(e_min, e_max, cfg.num_bins),
-        cfg.num_windows,
-        cfg.overlap,
-    );
+    let layout = build_layout(model, neighbors, comp, (e_min, e_max), cfg);
     let digest = checkpoint::config_digest(cfg);
     let resume = find_resume_point(cfg, digest, comm.rank(), size, comm.fault_plan())?;
     let (result, telemetry) = RankEngine::new(

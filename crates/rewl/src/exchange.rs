@@ -60,6 +60,12 @@ pub mod tags {
     pub const CKPT_META: u64 = 13;
     /// Gather: a rank's telemetry snapshot (multi-process backends only).
     pub const GATHER_TELEMETRY: u64 = 14;
+    /// Rebalance: a rank's round-trip sample for the planner (rank 0).
+    pub const RT_STATS: u64 = 15;
+    /// Rebalance: rank 0's broadcast migration plan.
+    pub const REBALANCE_PLAN: u64 = 16;
+    /// Rebalance: donor → migrant serialized walker state.
+    pub const REBALANCE_STATE: u64 = 17;
 
     /// Pack a round number into the tag space so protocol rounds can
     /// never cross-talk.
@@ -206,6 +212,66 @@ pub fn exchange_role(
         let initiator_slot = (slot + w - (round as usize % w)) % w;
         ExchangeRole::Responder {
             initiator: (window - 1) * w + initiator_slot,
+        }
+    } else {
+        ExchangeRole::Idle
+    }
+}
+
+/// Assignment-aware pairing: [`exchange_role`] generalized to an
+/// arbitrary rank→window map, used once dynamic walker reallocation has
+/// moved ranks between windows. Within each window, members keep a
+/// stable identity given by ascending rank order; the lower window's
+/// member `i` (for `i < min(|lower|, |upper|)`) initiates toward the
+/// upper window's member `(i + round) mod |upper|`. For the uniform
+/// assignment `rank → rank / w` this reduces *exactly* to
+/// [`exchange_role`] (see the tests), so enabling the adaptive path with
+/// no migrations yet changes nothing.
+pub fn exchange_role_assigned(
+    rank: usize,
+    round: u64,
+    assignment: &[usize],
+    num_windows: usize,
+) -> ExchangeRole {
+    let window = assignment[rank];
+    let parity = (round % 2) as usize;
+    let members = |win: usize| -> Vec<usize> {
+        assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w == win)
+            .map(|(r, _)| r)
+            .collect()
+    };
+    if window % 2 == parity && window + 1 < num_windows {
+        let lower = members(window);
+        let upper = members(window + 1);
+        if upper.is_empty() {
+            return ExchangeRole::Idle;
+        }
+        let idx = lower.iter().position(|&r| r == rank).expect("own window");
+        // Only the first min(|lower|, |upper|) members initiate, so the
+        // rotation below maps them injectively into the upper window.
+        if idx >= lower.len().min(upper.len()) {
+            return ExchangeRole::Idle;
+        }
+        let partner_idx = (idx + round as usize) % upper.len();
+        ExchangeRole::Initiator {
+            partner: upper[partner_idx],
+        }
+    } else if window % 2 != parity && window > 0 {
+        let lower = members(window - 1);
+        let upper = members(window);
+        if lower.is_empty() {
+            return ExchangeRole::Idle;
+        }
+        let idx = upper.iter().position(|&r| r == rank).expect("own window");
+        let initiator_idx = (idx + upper.len() - (round as usize % upper.len())) % upper.len();
+        if initiator_idx >= lower.len().min(upper.len()) {
+            return ExchangeRole::Idle;
+        }
+        ExchangeRole::Responder {
+            initiator: lower[initiator_idx],
         }
     } else {
         ExchangeRole::Idle
@@ -361,6 +427,9 @@ mod tests {
             tags::GATHER_SRO_COUNTS,
             tags::CKPT_META,
             tags::GATHER_TELEMETRY,
+            tags::RT_STATS,
+            tags::REBALANCE_PLAN,
+            tags::REBALANCE_STATE,
         ];
         for round in 0..2_000u64 {
             for &tag in &all_tags {
@@ -410,6 +479,72 @@ mod tests {
                             assert_ne!(p, rank);
                             assert_eq!(partner_of[p], Some(rank));
                         }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assigned_pairing_reduces_to_legacy_for_uniform_assignment() {
+        for w in 1usize..=4 {
+            for m in 1usize..=5 {
+                let size = w * m;
+                let assignment: Vec<usize> = (0..size).map(|r| r / w).collect();
+                for round in 0..24u64 {
+                    for rank in 0..size {
+                        assert_eq!(
+                            exchange_role_assigned(rank, round, &assignment, m),
+                            exchange_role(rank, round, w, m),
+                            "w={w} m={m} round={round} rank={rank}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assigned_pairing_is_an_involution_for_skewed_assignments() {
+        // Hand-built unbalanced maps plus a deterministically scrambled
+        // family: the pairing must stay a self-inverse partial matching.
+        let cases: Vec<(Vec<usize>, usize)> = vec![
+            (vec![0, 0, 0, 1], 2),
+            (vec![0, 1, 1, 1], 2),
+            (vec![0, 2, 1, 0, 2, 2, 1], 3),
+            (vec![1, 0, 3, 2, 0, 1, 2, 3, 3], 4),
+            (vec![0, 0, 1, 2, 2, 2, 2], 3),
+        ];
+        for (assignment, m) in cases {
+            let size = assignment.len();
+            for round in 0..32u64 {
+                let mut partner_of = vec![None; size];
+                for rank in 0..size {
+                    match exchange_role_assigned(rank, round, &assignment, m) {
+                        ExchangeRole::Initiator { partner } => {
+                            assert_eq!(
+                                exchange_role_assigned(partner, round, &assignment, m),
+                                ExchangeRole::Responder { initiator: rank },
+                                "{assignment:?} round={round} rank={rank}"
+                            );
+                            partner_of[rank] = Some(partner);
+                        }
+                        ExchangeRole::Responder { initiator } => {
+                            assert_eq!(
+                                exchange_role_assigned(initiator, round, &assignment, m),
+                                ExchangeRole::Initiator { partner: rank },
+                                "{assignment:?} round={round} rank={rank}"
+                            );
+                            partner_of[rank] = Some(initiator);
+                        }
+                        ExchangeRole::Idle => {}
+                    }
+                }
+                for rank in 0..size {
+                    if let Some(p) = partner_of[rank] {
+                        assert_ne!(p, rank);
+                        assert_eq!(partner_of[p], Some(rank));
+                        assert_ne!(assignment[p], assignment[rank], "cross-window only");
                     }
                 }
             }

@@ -29,12 +29,13 @@ pub(crate) struct RankPiece {
     pub(crate) mask: Vec<bool>,
     pub(crate) stats: MoveStats,
     /// `[exchange_attempts, exchange_accepted, converged, ln_f bits,
-    /// moves, respawns, rejoin_duration_ns, heartbeat_misses]`.
+    /// moves, respawns, rejoin_duration_ns, heartbeat_misses,
+    /// round_trips, round_trip_moves, rebalanced]`.
     pub(crate) counts: Vec<u64>,
 }
 
 /// Number of fields in [`RankPiece::counts`].
-const COUNT_FIELDS: usize = 8;
+const COUNT_FIELDS: usize = 11;
 
 impl RankPiece {
     /// Capture this rank's own contribution (rank 0 keeps its piece
@@ -224,6 +225,7 @@ fn recv_accumulator<T: Transport>(
 pub(crate) fn assemble_output(
     layout: &WindowLayout,
     cfg: &RewlConfig,
+    assignment: &[usize],
     per_rank: &[Option<RankPiece>],
     merged_sro: MicrocanonicalAccumulator,
     lost_ranks: Vec<usize>,
@@ -231,15 +233,22 @@ pub(crate) fn assemble_output(
     resumed_round: Option<u64>,
     telemetry: Vec<RankTelemetry>,
 ) -> Result<RewlOutput, RewlError> {
-    let w = cfg.walkers_per_window;
     let mut pieces = Vec::with_capacity(cfg.num_windows);
     let mut reports = Vec::with_capacity(cfg.num_windows);
     for win in 0..cfg.num_windows {
-        let members: Vec<&RankPiece> = per_rank[win * w..(win + 1) * w].iter().flatten().collect();
+        // Walker reallocation can leave windows with unequal headcounts;
+        // group by the final rank→window assignment, not by rank blocks.
+        let started = assignment.iter().filter(|&&a| a == win).count();
+        let members: Vec<&RankPiece> = per_rank
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| assignment[r] == win)
+            .filter_map(|(_, p)| p.as_ref())
+            .collect();
         if members.is_empty() {
             return Err(RewlError::WindowLost {
                 window: win,
-                walkers: w,
+                walkers: started,
             });
         }
         pieces.push(average_window(&members));
@@ -248,12 +257,16 @@ pub(crate) fn assemble_output(
         let mut accepted = 0u64;
         let mut all_conv = true;
         let mut ln_f_max = 0.0f64;
+        let mut round_trips = 0u64;
+        let mut round_trip_moves = 0u64;
         for p in &members {
             stats.merge(&p.stats);
             attempts += p.counts[0];
             accepted += p.counts[1];
             all_conv &= p.counts[2] == 1;
             ln_f_max = ln_f_max.max(f64::from_bits(p.counts[3]));
+            round_trips += p.counts[8];
+            round_trip_moves += p.counts[9];
         }
         reports.push(WindowReport {
             window: win,
@@ -262,17 +275,21 @@ pub(crate) fn assemble_output(
             stats,
             converged: all_conv,
             ln_f: ln_f_max,
-            lost_walkers: w - members.len(),
+            lost_walkers: started - members.len(),
+            round_trips,
+            round_trip_moves,
         });
     }
     let (dos, mask) = merge_windows(layout, &pieces);
     let total_moves = per_rank.iter().flatten().map(|p| p.counts[4]).sum();
     let converged_all = reports.iter().all(|r| r.converged);
     let mut recovery = RecoveryStats::default();
+    let mut walkers_rebalanced = 0u64;
     for p in per_rank.iter().flatten() {
         recovery.ranks_respawned += p.counts[5];
         recovery.rejoin_duration_ns += p.counts[6];
         recovery.heartbeat_misses += p.counts[7];
+        walkers_rebalanced += p.counts[10];
     }
     Ok(RewlOutput {
         dos,
@@ -286,5 +303,6 @@ pub(crate) fn assemble_output(
         resumed_from: resumed_round,
         telemetry,
         recovery,
+        walkers_rebalanced,
     })
 }

@@ -77,6 +77,7 @@ pub mod exchange;
 pub(crate) mod gather;
 pub mod merge;
 pub(crate) mod rank;
+pub mod rebalance;
 pub mod serial;
 pub mod spec;
 pub mod windows;
@@ -89,8 +90,10 @@ pub use checkpoint::{
 pub use driver::{
     run_rewl, run_rewl_on, RankRun, RecoveryStats, RewlConfig, RewlError, RewlOutput, WindowReport,
 };
-pub use exchange::{exchange_role, ExchangeRole};
+pub use driver::pilot_window_costs;
+pub use exchange::{exchange_role, exchange_role_assigned, ExchangeRole};
 pub use merge::merge_windows;
+pub use rebalance::{plan_rebalance, Migration, RtSample};
 pub use serial::run_windows_serial;
 pub use spec::{DeepSpec, KernelSpec};
 pub use windows::WindowLayout;

@@ -5,12 +5,16 @@
 //! through the round phases
 //!
 //! ```text
-//! Rejoin → Checkpoint → Sample → Retrain → Exchange → Converge
-//!               ↑                                        │
-//!               └────────── not converged ───────────────┘
-//!                                                        ↓ converged / cap
-//!                                                     Gather
+//! Rejoin → Checkpoint → Sample → Retrain → Exchange → Rebalance → Converge
+//!               ↑                                                    │
+//!               └──────────────── not converged ─────────────────────┘
+//!                                                                    ↓ converged / cap
+//!                                                                 Gather
 //! ```
+//!
+//! `Rebalance` is a strict no-op unless [`RewlConfig::rebalance_every`]
+//! is set — zero messages, zero RNG draws — so runs without dynamic
+//! reallocation are bit-identical to the pre-rebalance protocol.
 //!
 //! The engine is backend-agnostic: [`crate::run_rewl`] drives it on the
 //! in-memory thread fabric, [`crate::run_rewl_on`] on any transport
@@ -32,7 +36,7 @@ use dt_proposal::{
     DeepProposal, LocalSwap, ProposalContext, ProposalKernel, ProposalMix, ProposalTrainer,
     RandomReassign, SampleBuffer,
 };
-use dt_telemetry::{recovery_counters, Phase, RankTelemetry, Telemetry};
+use dt_telemetry::{adaptive_counters, recovery_counters, Phase, RankTelemetry, Telemetry};
 use dt_thermo::MicrocanonicalAccumulator;
 use dt_wanglandau::WlWalker;
 
@@ -41,10 +45,11 @@ use std::time::{Duration, Instant};
 use crate::checkpoint::{CheckpointSpec, RankCheckpoint, ResumePoint, RunManifest};
 use crate::driver::{RewlConfig, RewlError, RewlOutput};
 use crate::exchange::{
-    self, exchange_role, recv_recovering, recv_resilient, recv_until, tags, ExchangeRole,
-    COLLECT_DEADLINE,
+    self, exchange_role, exchange_role_assigned, recv_recovering, recv_resilient, recv_until, tags,
+    ExchangeRole, COLLECT_DEADLINE,
 };
 use crate::gather::{self, accumulator_totals, RankPiece};
+use crate::rebalance::{self, Migration, RtSample};
 use crate::spec::{DeepSpec, KernelSpec};
 use crate::windows::WindowLayout;
 use crate::wire;
@@ -153,6 +158,7 @@ pub(crate) fn snapshot_rank_telemetry(
     walker: &WlWalker,
     [exchange_attempts, exchange_accepted, sweeps]: [u64; 3],
     [respawns, rejoin_duration_ns, heartbeat_misses]: [u64; 3],
+    [round_trips, round_trip_ns, walkers_rebalanced]: [u64; 3],
     traffic: Option<TrafficSnapshot>,
 ) -> Option<RankTelemetry> {
     if !tel.is_enabled() {
@@ -184,6 +190,14 @@ pub(crate) fn snapshot_rank_telemetry(
     ));
     snap.counters
         .push((recovery_counters::HEARTBEAT_MISSES.into(), heartbeat_misses));
+    snap.counters
+        .push((adaptive_counters::ROUND_TRIPS_TOTAL.into(), round_trips));
+    snap.counters
+        .push((adaptive_counters::ROUND_TRIP_NS.into(), round_trip_ns));
+    snap.counters.push((
+        adaptive_counters::WALKERS_REBALANCED_TOTAL.into(),
+        walkers_rebalanced,
+    ));
     if let Some(t) = traffic {
         snap.counters.push(("comm_sends".into(), t.sends));
         snap.counters.push(("comm_send_bytes".into(), t.send_bytes));
@@ -203,8 +217,10 @@ pub(crate) fn snapshot_rank_telemetry(
 
 /// The phases of one rank's life. `Rejoin` runs exactly once at startup;
 /// each round then visits
-/// `Checkpoint → Sample → Retrain → Exchange → Converge`; the converge
-/// decision loops back or falls through to the terminal `Gather`.
+/// `Checkpoint → Sample → Retrain → Exchange → Rebalance → Converge`;
+/// the converge decision loops back or falls through to the terminal
+/// `Gather`. `Rebalance` is a strict no-op (no messages, no RNG draws)
+/// unless [`RewlConfig::rebalance_every`] is set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EnginePhase {
     /// One-shot entry: arm recovery mode, and (for a respawned rank)
@@ -218,6 +234,10 @@ enum EnginePhase {
     Retrain,
     /// Replica exchange with the paired rank (if any).
     Exchange,
+    /// Dynamic walker reallocation: rank 0 gathers round-trip stats,
+    /// plans at most one migration, and broadcasts the plan (rebalance
+    /// rounds only).
+    Rebalance,
     /// Collective convergence poll; decides loop-back vs gather.
     Converge,
     /// Terminal: ship (or collect) the gather pieces.
@@ -241,7 +261,6 @@ pub(crate) struct RankEngine<'a, M, T: Transport> {
     rank: usize,
     w: usize,
     window: usize,
-    slot: usize,
     m_species: usize,
     num_shells: usize,
     obs_dim: usize,
@@ -266,6 +285,20 @@ pub(crate) struct RankEngine<'a, M, T: Transport> {
     /// Nanoseconds this (respawned) rank spent restoring state and
     /// rejoining the cluster. Zero on a first life.
     rejoin_duration_ns: u64,
+    /// The cluster-wide rank→window assignment. Starts uniform
+    /// (`rank / W`) and is mutated in lockstep on every rank by applied
+    /// rebalance plans; identical everywhere by construction.
+    assignment: Vec<usize>,
+    /// Migrations this rank's walker has undergone.
+    rebalanced: u64,
+    /// Round-trip crossings completed in windows this rank has since
+    /// left (banked at migration so cumulative stats survive the reset).
+    rt_banked_crossings: u64,
+    /// Moves inside those banked crossings.
+    rt_banked_moves: u64,
+    /// Wall-clock nanoseconds inside banked crossings (telemetry only —
+    /// never checkpointed, never planned on).
+    rt_banked_ns: u64,
 }
 
 impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
@@ -288,7 +321,16 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
         let started = Instant::now();
         let rank = comm.rank();
         let w = cfg.walkers_per_window;
-        let window = rank / w;
+        // Rank→window assignment: uniform on a fresh start, or — when
+        // this rank's checkpoint recorded one (rebalancing runs only) —
+        // the assignment at the snapshot round, which already folds in
+        // every migration applied before the checkpoint.
+        let resumed_rc = resume.and_then(|rp| rp.ranks[rank].as_ref());
+        let assignment: Vec<usize> = resumed_rc
+            .map(|rc| rc.assignment.clone())
+            .filter(|a| a.len() == comm.size() && a.iter().all(|&win| win < cfg.num_windows))
+            .unwrap_or_else(|| (0..comm.size()).map(|r| r / w).collect());
+        let window = assignment[rank];
         let m_species = comp.num_species();
         let num_shells = model.num_shells();
         let obs_dim = num_shells * m_species * m_species;
@@ -309,12 +351,15 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
 
         // A usable per-rank snapshot must have been taken on the same
         // window grid (the digest guards the config, not the energy range).
-        let rank_state = resume.and_then(|rp| rp.ranks[rank].as_ref()).filter(|rc| {
+        let rank_state = resumed_rc.filter(|rc| {
             rc.walker.num_bins == grid.num_bins()
                 && rc.walker.e_min.to_bits() == grid.e_min().to_bits()
                 && rc.walker.e_max.to_bits() == grid.e_max().to_bits()
         });
         let ckpt_coll_gens = rank_state.map(|rc| rc.coll_gens);
+        let (rebalanced, rt_banked_crossings, rt_banked_moves) = rank_state
+            .map(|rc| (rc.rebalanced, rc.rt_banked_crossings, rc.rt_banked_moves))
+            .unwrap_or((0, 0, 0));
 
         let mut walker = match rank_state {
             Some(rc) => {
@@ -384,7 +429,6 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
             rank,
             w,
             window,
-            slot: rank % w,
             m_species,
             num_shells,
             obs_dim,
@@ -403,6 +447,11 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
             ckpt_coll_gens,
             started,
             rejoin_duration_ns: 0,
+            assignment,
+            rebalanced,
+            rt_banked_crossings,
+            rt_banked_moves,
+            rt_banked_ns: 0,
         }
     }
 
@@ -416,6 +465,7 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
                 EnginePhase::Sample => self.phase_sample(),
                 EnginePhase::Retrain => self.phase_retrain(),
                 EnginePhase::Exchange => self.phase_exchange(),
+                EnginePhase::Rebalance => self.phase_rebalance(),
                 EnginePhase::Converge => self.phase_converge(),
                 EnginePhase::Gather => return self.phase_gather(),
             };
@@ -534,16 +584,22 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
                 kernel_dirty = true;
             }
         }
+        // Members of this window in ascending rank order; the leader is
+        // the lowest rank. Under the uniform assignment this is exactly
+        // the classic `window·W .. (window+1)·W` block with leader
+        // `window·W`, so the message schedule is unchanged; after a
+        // rebalance it follows the walkers to their new windows.
+        let peers = self.window_peers();
+        let leader = peers[0];
         if let Some(ds) = self.deep_state.as_mut() {
-            if ds.spec.sync_weights && self.w > 1 {
+            if ds.spec.sync_weights && peers.len() > 1 {
                 let _span = self.tel.span(Phase::Allreduce);
                 let recovery = self.cfg.recovery;
                 let params = ds.deep.net().flatten_params();
-                let leader = self.window * self.w;
-                if self.slot == 0 {
+                if self.rank == leader {
                     let mut acc = params.clone();
                     let mut contributors = 1.0f64;
-                    for other in (leader + 1)..(leader + self.w) {
+                    for &other in &peers[1..] {
                         let tag = tags::with_round(tags::SYNC_PARAMS, self.round);
                         // Under recovery a dead member is only
                         // *temporarily* absent: its replacement replays
@@ -572,7 +628,7 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
                         *a /= contributors;
                     }
                     let payload = wire::encode_f64s(&acc);
-                    for other in (leader + 1)..(leader + self.w) {
+                    for &other in &peers[1..] {
                         self.comm.send(
                             other,
                             tags::with_round(tags::SYNC_PARAMS_BACK, self.round),
@@ -621,7 +677,16 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
         // replacement replays this round), so the attempt proceeds and
         // waits the partner out instead of being skipped.
         let recovery = self.cfg.recovery;
-        match exchange_role(self.rank, self.round, self.w, self.cfg.num_windows) {
+        // The assignment-aware pairing reduces exactly to the classic
+        // one for the uniform assignment, but the classic function stays
+        // the default so non-rebalancing runs share zero code with the
+        // adaptive path.
+        let role = if self.cfg.rebalance_every > 0 {
+            exchange_role_assigned(self.rank, self.round, &self.assignment, self.cfg.num_windows)
+        } else {
+            exchange_role(self.rank, self.round, self.w, self.cfg.num_windows)
+        };
+        match role {
             ExchangeRole::Initiator { partner } => {
                 if recovery || self.comm.is_alive(partner) {
                     let _span = self.tel.span(Phase::Exchange);
@@ -657,7 +722,199 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
             }
             ExchangeRole::Idle => {}
         }
+        EnginePhase::Rebalance
+    }
+
+    /// Ranks currently assigned to this rank's window, ascending.
+    fn window_peers(&self) -> Vec<usize> {
+        (0..self.comm.size())
+            .filter(|&r| self.assignment[r] == self.window)
+            .collect()
+    }
+
+    /// Dynamic walker reallocation. On rebalance rounds every rank ships
+    /// its walker's round-trip sample (move counts only — deterministic)
+    /// to rank 0, which plans at most one fast→slow migration and
+    /// broadcasts it; every rank applies the plan in lockstep so the
+    /// shared assignment never diverges. When `rebalance_every` is 0 the
+    /// phase is a strict no-op: no messages, no RNG draws — the protocol
+    /// (and every golden fingerprint) is bit-identical to a build without
+    /// this phase.
+    fn phase_rebalance(&mut self) -> EnginePhase {
+        let every = self.cfg.rebalance_every;
+        if every == 0 || (self.round + 1) % every != 0 {
+            return EnginePhase::Converge;
+        }
+        let recovery = self.cfg.recovery;
+        let rt = self.walker.round_trip_stats();
+        let sample = [rt.crossings, rt.crossing_moves, rt.pending_moves];
+        let plan = if self.rank == 0 {
+            let mut samples: Vec<Option<RtSample>> = vec![None; self.comm.size()];
+            samples[0] = Some(RtSample {
+                crossings: sample[0],
+                crossing_moves: sample[1],
+                pending_moves: sample[2],
+            });
+            // One shared deadline bounds the whole collection; a missing
+            // sample just exempts that rank from this round's plan.
+            let deadline = Instant::now() + COLLECT_DEADLINE;
+            for (other, slot) in samples.iter_mut().enumerate().skip(1) {
+                if let Ok(bytes) = recv_until(
+                    &self.comm,
+                    other,
+                    tags::with_round(tags::RT_STATS, self.round),
+                    deadline,
+                    recovery,
+                ) {
+                    if let Ok(vals) = wire::decode_u64s(&bytes) {
+                        if vals.len() == 3 {
+                            *slot = Some(RtSample {
+                                crossings: vals[0],
+                                crossing_moves: vals[1],
+                                pending_moves: vals[2],
+                            });
+                        }
+                    }
+                }
+            }
+            let plan = rebalance::plan_rebalance(&self.assignment, self.cfg.num_windows, &samples);
+            let payload = wire::encode_u64s(&rebalance::encode_plan(plan));
+            for other in 1..self.comm.size() {
+                self.comm.send(
+                    other,
+                    tags::with_round(tags::REBALANCE_PLAN, self.round),
+                    payload.clone(),
+                );
+            }
+            plan
+        } else {
+            let stats_tag = tags::with_round(tags::RT_STATS, self.round);
+            let payload = wire::encode_u64s(&sample);
+            self.comm.send(0, stats_tag, payload.clone());
+            let plan_tag = tags::with_round(tags::REBALANCE_PLAN, self.round);
+            // If rank 0 died after our send, the sample died with it —
+            // retransmit for its replacement.
+            let got = if recovery {
+                recv_recovering(&self.comm, 0, plan_tag, || {
+                    self.comm.send(0, stats_tag, payload.clone());
+                })
+                .ok()
+            } else {
+                recv_resilient(&self.comm, 0, plan_tag).ok()
+            };
+            // A lost or malformed plan reads as no-op for THIS rank only;
+            // the resulting assignment skew degrades future exchanges
+            // into timeouts (bounded), never a hang — same policy as a
+            // lost exchange message.
+            got.and_then(|bytes| wire::decode_u64s(&bytes).ok())
+                .and_then(|words| {
+                    rebalance::decode_plan(&words, self.comm.size(), self.cfg.num_windows)
+                })
+        };
+        if let Some(m) = plan {
+            self.apply_rebalance(m);
+        }
         EnginePhase::Converge
+    }
+
+    /// Apply one broadcast migration on every rank in lockstep: the
+    /// donor ships its full WL state to the migrant, the migrant adopts
+    /// it (keeping its OWN RNG stream and move counters), and everyone
+    /// updates the shared assignment.
+    fn apply_rebalance(&mut self, m: Migration) {
+        let tag = tags::with_round(tags::REBALANCE_STATE, self.round);
+        if self.rank == m.donor {
+            self.comm
+                .send(m.migrant, tag, wire::encode_walker(&self.walker.checkpoint()));
+        }
+        if self.rank == m.migrant {
+            let recovery = self.cfg.recovery;
+            let got = if recovery {
+                recv_recovering(&self.comm, m.donor, tag, || {}).ok()
+            } else {
+                recv_resilient(&self.comm, m.donor, tag).ok()
+            };
+            match got.and_then(|bytes| wire::decode_walker(&bytes).ok()) {
+                Some(cp) => self.adopt_window(m.to_window, cp),
+                // Donor state never arrived (degraded run): re-enter the
+                // target window from our own configuration so the walker
+                // grid still matches the assignment everyone else holds.
+                None => self.rewindow(m.to_window),
+            }
+        }
+        self.assignment[m.migrant] = m.to_window;
+        if self.rank == m.migrant {
+            self.window = m.to_window;
+        }
+    }
+
+    /// Adopt a donor's WL state on the target window. The migrant keeps
+    /// its own identity: RNG seed and stream position, cumulative move
+    /// count, and proposal statistics stay local — only the WL estimator
+    /// state (configuration, energy, `ln g`, histogram, `ln f` schedule)
+    /// is copied. Round-trip counters reset; the old window's totals are
+    /// banked for cumulative telemetry.
+    fn adopt_window(&mut self, to_window: usize, mut cp: dt_wanglandau::WalkerCheckpoint) {
+        let grid = self.layout.window_grid(to_window);
+        if cp.num_bins != grid.num_bins()
+            || cp.e_min.to_bits() != grid.e_min().to_bits()
+            || cp.e_max.to_bits() != grid.e_max().to_bits()
+        {
+            // A donor on the wrong grid means the plan and our layout
+            // disagree (possible only in degraded runs) — fall back.
+            return self.rewindow(to_window);
+        }
+        let old_rt = self.walker.round_trip_stats();
+        self.rt_banked_crossings += old_rt.crossings;
+        self.rt_banked_moves += old_rt.crossing_moves;
+        self.rt_banked_ns += old_rt.crossing_ns;
+        let word_pos = self.walker.rng_mut().get_word_pos();
+        let stats = self.walker.stats().clone();
+        cp.total_moves = self.walker.total_moves();
+        cp.rt_last_boundary = 0;
+        cp.rt_crossings = 0;
+        cp.rt_crossing_moves = 0;
+        cp.rt_leg_start_moves = cp.total_moves;
+        let walker_seed = self.cfg.seed ^ (self.rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let kernel = build_kernel(&self.cfg.kernel, &self.deep_state);
+        let mut walker = WlWalker::from_checkpoint(&cp, self.cfg.wl.clone(), kernel, walker_seed);
+        walker.rng_mut().set_word_pos(word_pos);
+        walker.set_stats(stats);
+        walker.set_telemetry(self.tel.clone());
+        self.walker = walker;
+        self.rebalanced += 1;
+    }
+
+    /// Degraded-path migration: no donor state, so rebuild the walker on
+    /// the target window from its current configuration and walk it in.
+    /// Loses the WL histogram (a fresh estimator) but keeps the cluster's
+    /// assignment consistent; only reachable when messages are being
+    /// lost, where bit-reproducibility is already forfeit.
+    fn rewindow(&mut self, to_window: usize) {
+        let grid = self.layout.window_grid(to_window);
+        let old_rt = self.walker.round_trip_stats();
+        self.rt_banked_crossings += old_rt.crossings;
+        self.rt_banked_moves += old_rt.crossing_moves;
+        self.rt_banked_ns += old_rt.crossing_ns;
+        let word_pos = self.walker.rng_mut().get_word_pos();
+        let stats = self.walker.stats().clone();
+        let walker_seed = self.cfg.seed ^ (self.rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let kernel = build_kernel(&self.cfg.kernel, &self.deep_state);
+        let mut walker = WlWalker::new(
+            grid,
+            self.cfg.wl.clone(),
+            self.walker.config().clone(),
+            self.model,
+            self.neighbors,
+            kernel,
+            walker_seed,
+        );
+        walker.rng_mut().set_word_pos(word_pos);
+        let _ = walker.drive_into_window(self.model, self.neighbors, 20_000);
+        walker.set_stats(stats);
+        walker.set_telemetry(self.tel.clone());
+        self.walker = walker;
+        self.rebalanced += 1;
     }
 
     /// Collective convergence poll. All survivors of one allreduce
@@ -693,6 +950,7 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
     /// collects every survivor, merges, and assembles the output.
     fn phase_gather(mut self) -> RankReturn {
         let converged = self.walker.ln_f() <= self.cfg.wl.ln_f_final;
+        let rt = self.walker.round_trip_stats();
         let counts = vec![
             self.exchange_attempts,
             self.exchange_accepted,
@@ -702,6 +960,9 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
             self.cfg.respawns,
             self.rejoin_duration_ns,
             self.comm.heartbeat_misses(),
+            (self.rt_banked_crossings + rt.crossings) / 2,
+            self.rt_banked_moves + rt.crossing_moves,
+            self.rebalanced,
         ];
         let wire_tel = self.wire_telemetry && self.tel.is_enabled();
         if self.rank != 0 {
@@ -734,7 +995,7 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
         {
             let _span = self.tel.span(Phase::Gather);
             for other in 1..self.comm.size() {
-                let (lo, hi) = self.layout.bin_range(other / self.w);
+                let (lo, hi) = self.layout.bin_range(self.assignment[other]);
                 match gather::recv_rank_piece(
                     &self.comm,
                     other,
@@ -782,6 +1043,7 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
         let result = gather::assemble_output(
             self.layout,
             self.cfg,
+            &self.assignment,
             &per_rank,
             merged_sro,
             lost_ranks,
@@ -793,6 +1055,7 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
     }
 
     fn snapshot(&self) -> Option<RankTelemetry> {
+        let rt = self.walker.round_trip_stats();
         snapshot_rank_telemetry(
             &self.tel,
             self.rank,
@@ -802,6 +1065,11 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
                 self.cfg.respawns,
                 self.rejoin_duration_ns,
                 self.comm.heartbeat_misses(),
+            ],
+            [
+                (self.rt_banked_crossings + rt.crossings) / 2,
+                self.rt_banked_ns + rt.crossing_ns,
+                self.rebalanced,
             ],
             Some(self.comm.traffic()),
         )
@@ -816,6 +1084,9 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
         let round = self.round;
         let (sro_sums, sro_counts) = accumulator_totals(&self.sro, self.obs_dim);
         let rng_word_pos = self.walker.rng_mut().get_word_pos();
+        // Rebalance state is persisted only on rebalancing runs so
+        // non-adaptive checkpoint files stay byte-identical.
+        let rebalancing = self.cfg.rebalance_every > 0;
         let rc = RankCheckpoint {
             exchange_attempts: self.exchange_attempts,
             exchange_accepted: self.exchange_accepted,
@@ -823,6 +1094,14 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
             sweeps_since_check: self.sweeps_since_check,
             rng_word_pos,
             coll_gens: self.comm.collective_generations(),
+            rebalanced: self.rebalanced,
+            rt_banked_crossings: self.rt_banked_crossings,
+            rt_banked_moves: self.rt_banked_moves,
+            assignment: if rebalancing {
+                self.assignment.clone()
+            } else {
+                Vec::new()
+            },
             deep_params: self
                 .deep_state
                 .as_ref()
@@ -873,6 +1152,11 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
             digest: self.digest,
             alive,
             faults: self.comm.fault_plan().clone(),
+            assignment: if rebalancing {
+                self.assignment.clone()
+            } else {
+                Vec::new()
+            },
         };
         if let Err(e) = manifest.write(&spec.dir) {
             eprintln!("rewl: manifest write at round {round} failed: {e}");

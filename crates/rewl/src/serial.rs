@@ -112,8 +112,16 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
                 }
             }
             let converged = walker.ln_f() <= cfg.wl.ln_f_final;
-            let snap =
-                snapshot_rank_telemetry(&tel, rank, &walker, [0, 0, sweeps], [0, 0, 0], None);
+            let rt = walker.round_trip_stats();
+            let snap = snapshot_rank_telemetry(
+                &tel,
+                rank,
+                &walker,
+                [0, 0, sweeps],
+                [0, 0, 0],
+                [rt.round_trips(), rt.crossing_ns, 0],
+                None,
+            );
             let counts = vec![
                 0u64,
                 0,
@@ -122,6 +130,9 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
                 walker.total_moves(),
                 0,
                 0,
+                0,
+                rt.round_trips(),
+                rt.crossing_moves,
                 0,
             ];
             (RankPiece::from_walker(&walker, counts), sro, sweeps, snap)
@@ -144,10 +155,14 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
         let mut stats = MoveStats::new();
         let mut all_conv = true;
         let mut ln_f_max = 0.0f64;
+        let mut round_trips = 0u64;
+        let mut round_trip_moves = 0u64;
         for p in &members {
             stats.merge(&p.stats);
             all_conv &= p.counts[2] == 1;
             ln_f_max = ln_f_max.max(f64::from_bits(p.counts[3]));
+            round_trips += p.counts[8];
+            round_trip_moves += p.counts[9];
         }
         reports.push(WindowReport {
             window: win,
@@ -157,6 +172,8 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
             converged: all_conv,
             ln_f: ln_f_max,
             lost_walkers: 0,
+            round_trips,
+            round_trip_moves,
         });
     }
     let (dos, mask) = merge_windows(&layout, &pieces);
@@ -175,5 +192,6 @@ pub fn run_windows_serial<M: EnergyModel + Sync>(
         resumed_from: None,
         telemetry,
         recovery: crate::driver::RecoveryStats::default(),
+        walkers_rebalanced: 0,
     })
 }

@@ -1,11 +1,28 @@
 //! Overlapping energy-window layout.
+//!
+//! Two constructors build a layout over the same invariants:
+//!
+//! * [`WindowLayout::new`] — the classic REWL recipe: `M` equal-width
+//!   windows with a fixed pairwise overlap fraction;
+//! * [`WindowLayout::equal_diffusion`] — non-uniform boundaries placed so
+//!   every window carries the same *estimated diffusion cost* (integrated
+//!   per-bin cost profile). Walker round-trip times across an energy
+//!   range vary by orders of magnitude, so equal-width windows leave most
+//!   ranks idle-converged while a few slow windows gate time-to-solution;
+//!   equalizing estimated diffusion time is the optimal-parallelisation
+//!   fix (arXiv 2510.11562).
+//!
+//! Both constructors feed their raw boundaries through one shared
+//! repair/validation pass that enforces the layout invariants explicitly:
+//! full coverage of the global grid, ≥ 1-bin overlap between neighbors,
+//! ≥ 2-bin windows, and strictly monotone window starts.
 
 use dt_wanglandau::EnergyGrid;
 
-/// Partition of a global energy grid into `M` equal windows with a given
-/// pairwise overlap fraction. Windows are defined in *global bin* indices
-/// so every window grid shares bin boundaries with the global grid (which
-/// makes merging exact).
+/// Partition of a global energy grid into `M` windows with pairwise
+/// overlaps. Windows are defined in *global bin* indices so every window
+/// grid shares bin boundaries with the global grid (which makes merging
+/// exact).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WindowLayout {
     global: EnergyGrid,
@@ -15,8 +32,9 @@ pub struct WindowLayout {
 }
 
 impl WindowLayout {
-    /// Lay out `num_windows` windows over `global` with `overlap` ∈ [0, 0.95]
-    /// (fraction of each window shared with its successor).
+    /// Lay out `num_windows` equal-width windows over `global` with
+    /// `overlap` ∈ [0, 0.95] (fraction of each window shared with its
+    /// successor).
     ///
     /// # Panics
     /// Panics when parameters are out of range or the grid is too small to
@@ -43,35 +61,146 @@ impl WindowLayout {
             let end = (start + width).min(n);
             ranges.push((start.min(n - 2), end));
         }
-        // Force the last window to touch the top of the grid.
-        let last = ranges.last_mut().expect("nonempty");
-        last.1 = n;
-        if last.1 - last.0 < 2 {
-            last.0 = n - 2;
-        }
-        // Rounding of the fractional stride can collapse an overlap to
-        // zero bins (e.g. 30 bins, 4 windows, 10% overlap); pull window
-        // starts down so every adjacent pair shares at least one bin.
-        for i in 1..num_windows {
-            if ranges[i].0 >= ranges[i - 1].1 {
-                ranges[i].0 = ranges[i - 1].1 - 1;
-            }
-        }
-        // Validate: contiguous coverage with ≥1 bin overlaps.
-        for i in 0..num_windows - 1 {
-            assert!(
-                ranges[i + 1].0 < ranges[i].1,
-                "windows {i} and {} do not overlap: {:?}",
-                i + 1,
-                ranges
-            );
-            assert!(ranges[i].1 - ranges[i].0 >= 2, "window {i} too narrow");
-        }
+        let ranges = repair_and_validate(ranges, n);
         WindowLayout {
             global,
             ranges,
             overlap,
         }
+    }
+
+    /// Lay out `num_windows` windows so each carries (approximately) the
+    /// same integrated diffusion cost, given a per-global-bin
+    /// `cost_profile` (relative units; higher = slower to sample). The
+    /// construction mirrors [`WindowLayout::new`] in *cost space*: window
+    /// width and stride are computed from the same overlap equation, then
+    /// mapped back to bin indices through the cost quantile function. A
+    /// flat profile therefore reproduces a near-uniform layout; a profile
+    /// that is expensive in the low-energy tail narrows the deep windows
+    /// and widens the easy ones.
+    ///
+    /// Seed the profile from a cheap pilot pass
+    /// ([`crate::pilot_window_costs`]), from a supplied visit histogram,
+    /// or re-fit it from live round-trip measurements
+    /// ([`WindowLayout::refit_equal_diffusion`]).
+    ///
+    /// # Panics
+    /// Panics when parameters are out of range, `cost_profile` is not one
+    /// finite non-negative entry per global bin with a positive total, or
+    /// the grid is too small to satisfy the window invariants.
+    pub fn equal_diffusion(
+        global: EnergyGrid,
+        num_windows: usize,
+        overlap: f64,
+        cost_profile: &[f64],
+    ) -> Self {
+        assert!(num_windows >= 1, "need at least one window");
+        assert!((0.0..=0.95).contains(&overlap), "overlap out of range");
+        let n = global.num_bins();
+        assert_eq!(
+            cost_profile.len(),
+            n,
+            "cost profile must have one entry per global bin"
+        );
+        assert!(
+            cost_profile.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "cost profile entries must be finite and non-negative"
+        );
+        if num_windows == 1 {
+            return WindowLayout {
+                global,
+                ranges: vec![(0, n)],
+                overlap,
+            };
+        }
+        // Floor every bin at a small fraction of the mean cost so
+        // zero-cost stretches cannot collapse a window to nothing.
+        let total_raw: f64 = cost_profile.iter().sum();
+        assert!(total_raw > 0.0, "cost profile must have positive total");
+        let floor = 1e-3 * total_raw / n as f64;
+        let costs: Vec<f64> = cost_profile.iter().map(|&c| c.max(floor)).collect();
+        // cum[b] = integrated cost of bins [0, b).
+        let mut cum = Vec::with_capacity(n + 1);
+        let mut acc = 0.0;
+        cum.push(0.0);
+        for &c in &costs {
+            acc += c;
+            cum.push(acc);
+        }
+        let total = acc;
+        // Same overlap equation as the uniform constructor, in cost space.
+        let m = num_windows as f64;
+        let wc = total / (1.0 + (m - 1.0) * (1.0 - overlap));
+        let sc = wc * (1.0 - overlap);
+        // Quantile lookups: a window starts at the last bin whose
+        // cumulative start-cost is below its cost offset, and ends at the
+        // first bin boundary that covers its cost budget.
+        let start_at = |target: f64| -> usize {
+            cum.iter()
+                .rposition(|&v| v <= target)
+                .unwrap_or(0)
+                .min(n - 2)
+        };
+        let end_at = |target: f64| -> usize {
+            cum.iter().position(|&v| v >= target).unwrap_or(n).min(n)
+        };
+        let mut ranges = Vec::with_capacity(num_windows);
+        for i in 0..num_windows {
+            let lo_cost = i as f64 * sc;
+            let start = if i == 0 { 0 } else { start_at(lo_cost) };
+            let end = end_at(lo_cost + wc).max(start + 2).min(n);
+            ranges.push((start, end));
+        }
+        let ranges = repair_and_validate(ranges, n);
+        WindowLayout {
+            global,
+            ranges,
+            overlap,
+        }
+    }
+
+    /// Re-fit this layout from live per-window round-trip measurements:
+    /// `window_cost[i]` is the measured diffusion cost of window `i` (any
+    /// consistent unit — mean round-trip moves is the natural one).
+    /// Each window's measured cost is spread over its bins to rebuild a
+    /// per-bin profile (overlap bins average the windows sharing them),
+    /// then [`WindowLayout::equal_diffusion`] solves the boundaries again.
+    /// Slow windows shrink, fast windows widen.
+    ///
+    /// # Panics
+    /// Panics when `window_cost` does not have one finite non-negative
+    /// entry per window or all entries are zero.
+    pub fn refit_equal_diffusion(&self, window_cost: &[f64]) -> WindowLayout {
+        assert_eq!(
+            window_cost.len(),
+            self.num_windows(),
+            "need one cost entry per window"
+        );
+        assert!(
+            window_cost.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "window costs must be finite and non-negative"
+        );
+        let n = self.global.num_bins();
+        let mut profile = vec![0.0f64; n];
+        let mut hits = vec![0u32; n];
+        for (i, &(lo, hi)) in self.ranges.iter().enumerate() {
+            let per_bin = window_cost[i] / (hi - lo) as f64;
+            for b in lo..hi {
+                profile[b] += per_bin;
+                hits[b] += 1;
+            }
+        }
+        for (p, &h) in profile.iter_mut().zip(&hits) {
+            if h > 1 {
+                *p /= f64::from(h);
+            }
+        }
+        WindowLayout::equal_diffusion(
+            self.global.clone(),
+            self.num_windows(),
+            self.overlap,
+            &profile,
+        )
     }
 
     /// The global grid.
@@ -107,12 +236,97 @@ impl WindowLayout {
     }
 }
 
+/// Shared repair + validation of raw window boundaries. Enforces, in
+/// order: the first window starts at bin 0 and the last ends at `n`;
+/// window starts are strictly monotone; every adjacent pair overlaps by
+/// at least one bin; every window is at least 2 bins wide. Inputs that
+/// already satisfy the invariants pass through unchanged (the uniform
+/// constructor's golden layouts are bit-identical to the pre-repair
+/// code).
+///
+/// # Panics
+/// Panics when `n < num_windows + 1` (no strictly-monotone layout of
+/// ≥ 2-bin windows fits) or when repair cannot restore the invariants.
+fn repair_and_validate(mut ranges: Vec<(usize, usize)>, n: usize) -> Vec<(usize, usize)> {
+    let num_windows = ranges.len();
+    assert!(
+        n >= num_windows + 1,
+        "{n} bins cannot host {num_windows} windows of >= 2 bins with monotone starts"
+    );
+    ranges[0].0 = 0;
+    // Force the last window to touch the top of the grid.
+    ranges[num_windows - 1].1 = n;
+    // Forward: strictly monotone starts. Rounding of a fractional stride
+    // (or a cost spike in the quantile map) can duplicate a start; bump
+    // duplicates up one bin. Gaps (start beyond the previous window's
+    // end) are NOT pulled down here — that can undo monotonicity; the
+    // final end-stretching pass closes them instead.
+    for i in 1..num_windows {
+        if ranges[i].0 <= ranges[i - 1].0 {
+            ranges[i].0 = ranges[i - 1].0 + 1;
+        }
+    }
+    // Backward: cap starts from the top so every window keeps >= 2 bins
+    // up to the grid end while starts stay strictly monotone.
+    ranges[num_windows - 1].0 = ranges[num_windows - 1].0.min(n - 2);
+    for i in (0..num_windows - 1).rev() {
+        ranges[i].0 = ranges[i].0.min(ranges[i + 1].0 - 1);
+    }
+    ranges[0].0 = 0;
+    // Forward: stretch ends to restore >= 2-bin widths and >= 1-bin
+    // overlaps that the start adjustments may have squeezed.
+    for i in 0..num_windows - 1 {
+        ranges[i].1 = ranges[i].1.clamp(ranges[i].0 + 2, n);
+        if ranges[i].1 <= ranges[i + 1].0 {
+            ranges[i].1 = ranges[i + 1].0 + 1;
+        }
+    }
+    // Validate every invariant explicitly.
+    assert_eq!(ranges[0].0, 0, "first window must start at bin 0");
+    assert_eq!(ranges[num_windows - 1].1, n, "last window must end at n");
+    for i in 0..num_windows {
+        assert!(
+            ranges[i].1 - ranges[i].0 >= 2,
+            "window {i} too narrow: {ranges:?}"
+        );
+        assert!(ranges[i].1 <= n, "window {i} exceeds the grid: {ranges:?}");
+        if i > 0 {
+            assert!(
+                ranges[i].0 > ranges[i - 1].0,
+                "window starts not strictly monotone: {ranges:?}"
+            );
+            assert!(
+                ranges[i].0 < ranges[i - 1].1,
+                "windows {} and {i} do not overlap: {ranges:?}",
+                i - 1
+            );
+        }
+    }
+    ranges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn grid(n: usize) -> EnergyGrid {
         EnergyGrid::new(0.0, n as f64, n)
+    }
+
+    fn assert_invariants(l: &WindowLayout) {
+        let n = l.global_grid().num_bins();
+        let m = l.num_windows();
+        assert_eq!(l.bin_range(0).0, 0, "first window starts at 0");
+        assert_eq!(l.bin_range(m - 1).1, n, "last window ends at n");
+        for i in 0..m {
+            let (lo, hi) = l.bin_range(i);
+            assert!(hi - lo >= 2, "window {i} narrower than 2 bins");
+            if i > 0 {
+                assert!(lo > l.bin_range(i - 1).0, "starts not strictly monotone");
+                let (olo, ohi) = l.overlap_range(i - 1);
+                assert!(ohi > olo, "windows {},{i} do not overlap", i - 1);
+            }
+        }
     }
 
     #[test]
@@ -126,12 +340,7 @@ mod tests {
     fn windows_cover_grid_with_overlaps() {
         for (n, m, o) in [(64, 4, 0.75), (100, 8, 0.5), (40, 3, 0.25), (200, 16, 0.75)] {
             let l = WindowLayout::new(grid(n), m, o);
-            assert_eq!(l.bin_range(0).0, 0, "first window starts at 0");
-            assert_eq!(l.bin_range(m - 1).1, n, "last window ends at n");
-            for i in 0..m - 1 {
-                let (lo, hi) = l.overlap_range(i);
-                assert!(hi > lo, "windows {i},{} overlap ({n},{m},{o})", i + 1);
-            }
+            assert_invariants(&l);
         }
     }
 
@@ -163,5 +372,113 @@ mod tests {
     #[should_panic(expected = "overlap out of range")]
     fn rejects_full_overlap() {
         let _ = WindowLayout::new(grid(10), 2, 0.99);
+    }
+
+    /// Small grids with many high-overlap windows used to round several
+    /// windows onto identical starts (non-monotone, duplicated windows);
+    /// the repair pass must separate them while keeping every invariant.
+    #[test]
+    fn small_grid_high_m_is_repaired_to_monotone_starts() {
+        for (n, m, o) in [
+            (6, 4, 0.9),
+            (8, 5, 0.25),
+            (8, 6, 0.5),
+            (12, 8, 0.95),
+            (16, 7, 0.1),
+            (10, 9, 0.0),
+        ] {
+            let l = WindowLayout::new(grid(n), m, o);
+            assert_invariants(&l);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host")]
+    fn rejects_grid_too_small_for_window_count() {
+        let _ = WindowLayout::new(grid(4), 4, 0.5);
+    }
+
+    #[test]
+    fn equal_diffusion_flat_profile_is_near_uniform() {
+        let n = 96;
+        let flat = vec![1.0; n];
+        let l = WindowLayout::equal_diffusion(grid(n), 4, 0.75, &flat);
+        let u = WindowLayout::new(grid(n), 4, 0.75);
+        assert_invariants(&l);
+        for i in 0..4 {
+            let (alo, ahi) = l.bin_range(i);
+            let (ulo, uhi) = u.bin_range(i);
+            assert!(
+                (alo as i64 - ulo as i64).abs() <= 1 && (ahi as i64 - uhi as i64).abs() <= 1,
+                "flat profile drifted from uniform: {:?} vs {:?}",
+                l.bin_range(i),
+                u.bin_range(i)
+            );
+        }
+    }
+
+    #[test]
+    fn equal_diffusion_narrows_expensive_bins() {
+        // The first quarter of the grid is 50x slower: the window covering
+        // it must be much narrower than the uniform window, and the
+        // expensive region must be split across more windows.
+        let n = 100;
+        let mut profile = vec![1.0; n];
+        for c in profile.iter_mut().take(n / 4) {
+            *c = 50.0;
+        }
+        let l = WindowLayout::equal_diffusion(grid(n), 4, 0.5, &profile);
+        let u = WindowLayout::new(grid(n), 4, 0.5);
+        assert_invariants(&l);
+        let (lo, hi) = l.bin_range(0);
+        let (ulo, uhi) = u.bin_range(0);
+        assert!(
+            hi - lo < (uhi - ulo) / 2,
+            "expensive window must shrink: {:?} vs uniform {:?}",
+            (lo, hi),
+            (ulo, uhi)
+        );
+        // Integrated cost per window must be roughly equal.
+        let cost = |(a, b): (usize, usize)| -> f64 { profile[a..b].iter().sum() };
+        let costs: Vec<f64> = (0..4).map(|i| cost(l.bin_range(i))).collect();
+        let max = costs.iter().cloned().fold(f64::MIN, f64::max);
+        let min = costs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min < 3.0,
+            "window costs should be balanced: {costs:?}"
+        );
+    }
+
+    #[test]
+    fn equal_diffusion_single_window_covers_everything() {
+        let l = WindowLayout::equal_diffusion(grid(12), 1, 0.5, &vec![2.0; 12]);
+        assert_eq!(l.bin_range(0), (0, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per global bin")]
+    fn equal_diffusion_rejects_wrong_profile_length() {
+        let _ = WindowLayout::equal_diffusion(grid(10), 2, 0.5, &[1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total")]
+    fn equal_diffusion_rejects_all_zero_profile() {
+        let _ = WindowLayout::equal_diffusion(grid(10), 2, 0.5, &[0.0; 10]);
+    }
+
+    #[test]
+    fn refit_shrinks_slow_windows() {
+        let n = 80;
+        let start = WindowLayout::new(grid(n), 4, 0.5);
+        // Window 0 measured 20x slower than the rest.
+        let refit = start.refit_equal_diffusion(&[20.0, 1.0, 1.0, 1.0]);
+        assert_invariants(&refit);
+        let w0_before = start.bin_range(0).1 - start.bin_range(0).0;
+        let w0_after = refit.bin_range(0).1 - refit.bin_range(0).0;
+        assert!(
+            w0_after < w0_before,
+            "slow window must shrink: {w0_after} vs {w0_before}"
+        );
     }
 }

@@ -43,6 +43,8 @@ pub enum WireError {
     BadUtf8,
     /// A phase name does not match any [`Phase`].
     BadPhase,
+    /// A shipped walker snapshot failed to decode.
+    BadWalker,
 }
 
 impl fmt::Display for WireError {
@@ -65,8 +67,26 @@ impl fmt::Display for WireError {
             }
             WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
             WireError::BadPhase => write!(f, "unknown telemetry phase name"),
+            WireError::BadWalker => write!(f, "malformed walker snapshot"),
         }
     }
+}
+
+/// Serialize a full walker snapshot for the rebalance reshard (donor →
+/// migrant). The checkpoint text format is already versioned and
+/// bit-exact, so the wire form is its UTF-8 bytes.
+pub fn encode_walker(cp: &dt_wanglandau::WalkerCheckpoint) -> Vec<u8> {
+    cp.encode().into_bytes()
+}
+
+/// Decode an [`encode_walker`] payload.
+///
+/// # Errors
+/// [`WireError::BadUtf8`] on invalid UTF-8, [`WireError::BadWalker`] when
+/// the checkpoint text does not parse.
+pub fn decode_walker(bytes: &[u8]) -> Result<dt_wanglandau::WalkerCheckpoint, WireError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?;
+    dt_wanglandau::WalkerCheckpoint::decode(text).map_err(|_| WireError::BadWalker)
 }
 
 impl std::error::Error for WireError {}
@@ -413,6 +433,32 @@ mod tests {
     fn mask_round_trip() {
         let m = vec![true, false, true, true];
         assert_eq!(decode_mask(&encode_mask(&m)), m);
+    }
+
+    #[test]
+    fn walker_snapshot_round_trips_bit_exact() {
+        let cp = dt_wanglandau::WalkerCheckpoint {
+            e_min: -2.0,
+            e_max: 3.5,
+            num_bins: 3,
+            ln_g: vec![0.0, 1.25, -7.5e-12],
+            visits: vec![4, 0, 9],
+            ever_visited: vec![true, false, true],
+            species: vec![0, 1, 1, 0],
+            num_species: 2,
+            energy: 0.625,
+            ln_f: 0.125,
+            total_moves: 777,
+            stages: 4,
+            one_over_t_phase: false,
+            rt_last_boundary: 1,
+            rt_crossings: 3,
+            rt_crossing_moves: 250,
+            rt_leg_start_moves: 700,
+        };
+        assert_eq!(decode_walker(&encode_walker(&cp)).unwrap(), cp);
+        assert_eq!(decode_walker(&[0xff, 0xfe]), Err(WireError::BadUtf8));
+        assert_eq!(decode_walker(b"dtwl v9\n"), Err(WireError::BadWalker));
     }
 
     #[test]

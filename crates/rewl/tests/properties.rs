@@ -4,6 +4,40 @@ use dt_rewl::{merge_windows, WindowLayout};
 use dt_wanglandau::EnergyGrid;
 use proptest::prelude::*;
 
+/// The shared invariant set both constructors must uphold: full grid
+/// coverage, ≥ 2-bin windows, strictly monotone starts, ≥ 1-bin
+/// overlaps, and window grids bin-aligned with the global grid.
+fn assert_layout_invariants(
+    layout: &WindowLayout,
+    bins: usize,
+    windows: usize,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(layout.bin_range(0).0, 0);
+    prop_assert_eq!(layout.bin_range(windows - 1).1, bins);
+    for w in 0..windows {
+        let (lo, hi) = layout.bin_range(w);
+        prop_assert!(hi - lo >= 2, "window {} too narrow", w);
+        let wg = layout.window_grid(w);
+        prop_assert_eq!(wg.num_bins(), hi - lo);
+        for b in 0..wg.num_bins() {
+            let gc = layout.global_grid().center(lo + b);
+            prop_assert!((wg.center(b) - gc).abs() < 1e-12);
+        }
+        if w > 0 {
+            prop_assert!(
+                lo > layout.bin_range(w - 1).0,
+                "window starts not strictly monotone at {}",
+                w
+            );
+        }
+        if w + 1 < windows {
+            let (olo, ohi) = layout.overlap_range(w);
+            prop_assert!(ohi > olo, "windows {},{} disjoint", w, w + 1);
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -18,22 +52,29 @@ proptest! {
         prop_assume!(bins >= windows * 4);
         let grid = EnergyGrid::new(0.0, 1.0, bins);
         let layout = WindowLayout::new(grid, windows, overlap);
-        prop_assert_eq!(layout.bin_range(0).0, 0);
-        prop_assert_eq!(layout.bin_range(windows - 1).1, bins);
-        for w in 0..windows {
-            let (lo, hi) = layout.bin_range(w);
-            prop_assert!(hi - lo >= 2, "window {w} too narrow");
-            let wg = layout.window_grid(w);
-            prop_assert_eq!(wg.num_bins(), hi - lo);
-            for b in 0..wg.num_bins() {
-                let gc = layout.global_grid().center(lo + b);
-                prop_assert!((wg.center(b) - gc).abs() < 1e-12);
-            }
-            if w + 1 < windows {
-                let (olo, ohi) = layout.overlap_range(w);
-                prop_assert!(ohi > olo, "windows {w},{} disjoint", w + 1);
-            }
-        }
+        assert_layout_invariants(&layout, bins, windows)?;
+    }
+
+    /// The equal-diffusion constructor upholds exactly the same layout
+    /// invariants as the uniform one, for any finite non-negative cost
+    /// profile — including adversarial ones (zero-cost stretches, huge
+    /// spikes) — and strictly-monotone window starts survive the repair
+    /// pass.
+    #[test]
+    fn equal_diffusion_layouts_are_well_formed(
+        bins in 16usize..200,
+        windows in 1usize..9,
+        overlap in 0.1f64..0.9,
+        raw_costs in proptest::collection::vec(0.0f64..1000.0, 200),
+        spike_at in 0usize..200,
+        spike in 1.0f64..1e6,
+    ) {
+        prop_assume!(bins >= windows * 4);
+        let mut profile: Vec<f64> = raw_costs[..bins].to_vec();
+        profile[spike_at % bins] += spike;
+        let grid = EnergyGrid::new(0.0, 1.0, bins);
+        let layout = WindowLayout::equal_diffusion(grid, windows, overlap, &profile);
+        assert_layout_invariants(&layout, bins, windows)?;
     }
 
     /// Merging fully-visited pieces with arbitrary per-window offsets

@@ -18,6 +18,23 @@ pub mod recovery_counters {
     pub const HEARTBEAT_MISSES: &str = "heartbeat_misses";
 }
 
+/// Canonical counter names of the adaptive-windows layer (round-trip
+/// instrumentation and dynamic walker reallocation), as they appear in
+/// [`RankTelemetry::counters`] and the JSONL export.
+pub mod adaptive_counters {
+    /// Completed round trips (lowest ↔ highest window bin) this rank's
+    /// walker has made, including trips banked in windows it has since
+    /// migrated out of.
+    pub const ROUND_TRIPS_TOTAL: &str = "round_trips_total";
+    /// Wall-clock nanoseconds inside completed boundary crossings.
+    /// Telemetry only — the rebalance planner uses move counts, never
+    /// wall-clock, so plans stay deterministic.
+    pub const ROUND_TRIP_NS: &str = "round_trip_ns";
+    /// Times this rank's walker was migrated to another window by the
+    /// rebalance planner.
+    pub const WALKERS_REBALANCED_TOTAL: &str = "walkers_rebalanced_total";
+}
+
 /// Accumulated statistics for one phase on one rank.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseStat {

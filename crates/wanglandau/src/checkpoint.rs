@@ -12,8 +12,10 @@ use dt_lattice::{Configuration, Species};
 
 use crate::histogram::{DosEstimate, EnergyGrid, VisitHistogram};
 
-/// Format version tag.
-const VERSION: u32 = 1;
+/// Format version tag. v2 added the round-trip line and a trailing `end`
+/// sentinel (so byte truncation is always detected); v1 files still
+/// decode, with round-trip counters defaulting to zero.
+const VERSION: u32 = 2;
 
 /// Errors from [`WalkerCheckpoint::decode`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,6 +66,15 @@ pub struct WalkerCheckpoint {
     pub stages: u32,
     /// Is the 1/t schedule phase active?
     pub one_over_t_phase: bool,
+    /// Round-trip tracking: last boundary touched (0 none, -1 low,
+    /// +1 high).
+    pub rt_last_boundary: i8,
+    /// Round-trip tracking: completed boundary crossings.
+    pub rt_crossings: u64,
+    /// Round-trip tracking: moves inside completed crossings.
+    pub rt_crossing_moves: u64,
+    /// Round-trip tracking: `total_moves` at the open leg's start.
+    pub rt_leg_start_moves: u64,
 }
 
 impl WalkerCheckpoint {
@@ -107,6 +118,22 @@ impl WalkerCheckpoint {
         writeln!(s, "ever {ever}").expect("write");
         let species: Vec<String> = self.species.iter().map(|v| v.to_string()).collect();
         writeln!(s, "species {}", species.join(" ")).expect("write");
+        // Boundary side is encoded unsigned (0 none, 1 low, 2 high) to
+        // keep the token grammar uniform.
+        writeln!(
+            s,
+            "rt {} {} {} {}",
+            match self.rt_last_boundary {
+                -1 => 1,
+                1 => 2,
+                _ => 0,
+            },
+            self.rt_crossings,
+            self.rt_crossing_moves,
+            self.rt_leg_start_moves
+        )
+        .expect("write");
+        writeln!(s, "end").expect("write");
         s
     }
 
@@ -117,9 +144,11 @@ impl WalkerCheckpoint {
     pub fn decode(text: &str) -> Result<Self, CheckpointError> {
         let mut lines = text.lines();
         let header = lines.next().ok_or(CheckpointError::BadHeader)?;
-        if header != format!("dtwl v{VERSION}") {
-            return Err(CheckpointError::BadHeader);
-        }
+        let version: u32 = match header {
+            "dtwl v1" => 1,
+            "dtwl v2" => 2,
+            _ => return Err(CheckpointError::BadHeader),
+        };
         let field =
             |lines: &mut std::str::Lines<'_>, name: &str| -> Result<String, CheckpointError> {
                 let line = lines
@@ -204,6 +233,39 @@ impl WalkerCheckpoint {
         if ln_g.len() != num_bins || visits.len() != num_bins || ever_visited.len() != num_bins {
             return Err(CheckpointError::Malformed("bin-count mismatch".into()));
         }
+
+        // v2: round-trip counters plus a trailing `end` sentinel, both
+        // required — the sentinel makes any byte truncation detectable.
+        // v1 files predate the adaptive-windows layer: counters are zero.
+        let mut rt_last_boundary = 0i8;
+        let mut rt_crossings = 0u64;
+        let mut rt_crossing_moves = 0u64;
+        let mut rt_leg_start_moves = 0u64;
+        if version >= 2 {
+            let rt = field(&mut lines, "rt")?;
+            let vals = rt
+                .split_whitespace()
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| CheckpointError::Malformed(format!("bad rt field: {v}")))
+                })
+                .collect::<Result<Vec<u64>, _>>()?;
+            if vals.len() != 4 || vals[0] > 2 {
+                return Err(CheckpointError::Malformed("bad rt line".into()));
+            }
+            rt_last_boundary = match vals[0] {
+                1 => -1,
+                2 => 1,
+                _ => 0,
+            };
+            rt_crossings = vals[1];
+            rt_crossing_moves = vals[2];
+            rt_leg_start_moves = vals[3];
+            if lines.next() != Some("end") {
+                return Err(CheckpointError::Malformed("missing end sentinel".into()));
+            }
+        }
+
         Ok(WalkerCheckpoint {
             e_min,
             e_max,
@@ -218,6 +280,10 @@ impl WalkerCheckpoint {
             total_moves,
             stages,
             one_over_t_phase,
+            rt_last_boundary,
+            rt_crossings,
+            rt_crossing_moves,
+            rt_leg_start_moves,
         })
     }
 
@@ -273,6 +339,10 @@ mod tests {
             total_moves: 123_456,
             stages: 9,
             one_over_t_phase: true,
+            rt_last_boundary: -1,
+            rt_crossings: 14,
+            rt_crossing_moves: 98_765,
+            rt_leg_start_moves: 120_000,
         }
     }
 
@@ -295,6 +365,28 @@ mod tests {
         let config = cp.configuration();
         assert_eq!(config.num_sites(), 6);
         assert_eq!(config.species_at(3), Species(3));
+    }
+
+    #[test]
+    fn rt_line_is_optional_for_old_checkpoints() {
+        let cp = sample();
+        let text = cp.encode();
+        // Shape of a pre-adaptive v1 file: old header, no rt line, no
+        // end sentinel.
+        let legacy: String = text
+            .lines()
+            .filter(|l| !l.starts_with("rt ") && *l != "end")
+            .map(|l| if l == "dtwl v2" { "dtwl v1" } else { l })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = WalkerCheckpoint::decode(&legacy).unwrap();
+        assert_eq!(back.rt_last_boundary, 0);
+        assert_eq!(back.rt_crossings, 0);
+        assert_eq!(back.rt_crossing_moves, 0);
+        assert_eq!(back.rt_leg_start_moves, 0);
+        // Everything else restores as usual.
+        assert_eq!(back.ln_g, cp.ln_g);
+        assert_eq!(back.total_moves, cp.total_moves);
     }
 
     #[test]

@@ -44,4 +44,4 @@ pub use checkpoint::{CheckpointError, WalkerCheckpoint};
 pub use histogram::{DosEstimate, EnergyGrid, VisitHistogram};
 pub use range::explore_energy_range;
 pub use schedule::{LnfSchedule, WlParams};
-pub use walker::{sweep_lockstep, LockstepState, WlProgress, WlWalker};
+pub use walker::{sweep_lockstep, LockstepState, RoundTripStats, WlProgress, WlWalker};

@@ -1,6 +1,7 @@
 //! The Wang–Landau walker.
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use dt_hamiltonian::{DeltaWorkspace, EnergyModel};
 use dt_lattice::{Configuration, NeighborTable, SiteId};
@@ -30,6 +31,37 @@ pub struct WlProgress {
     pub moves: u64,
 }
 
+/// First-passage / round-trip statistics of a walker inside its window.
+///
+/// A *crossing* is the leg from the first touch of one window boundary
+/// to the first touch of the opposite one; two crossings make one round
+/// trip. Boundaries are the walker's *explored extremes* (lowest and
+/// highest ever-visited bins), not the window-edge bins: discrete
+/// energy spectra can leave edge bins unreachable, and a boundary no
+/// walker can touch would silently zero the statistics. Crossing
+/// counts and move counts are deterministic given the seed (and are
+/// checkpointed); wall-clock nanoseconds are telemetry-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundTripStats {
+    /// Completed boundary-to-opposite-boundary crossings.
+    pub crossings: u64,
+    /// Total moves spent inside completed crossings.
+    pub crossing_moves: u64,
+    /// Moves spent in the currently open leg (first passage in
+    /// progress), or since birth if no boundary was touched yet.
+    pub pending_moves: u64,
+    /// Wall-clock nanoseconds spent in completed crossings
+    /// (nondeterministic; excluded from checkpoints and fingerprints).
+    pub crossing_ns: u64,
+}
+
+impl RoundTripStats {
+    /// Completed round trips (two crossings each).
+    pub fn round_trips(&self) -> u64 {
+        self.crossings / 2
+    }
+}
+
 /// A single Wang–Landau walker: configuration, running DOS estimate, visit
 /// histogram, proposal kernel, and a private RNG stream.
 ///
@@ -54,6 +86,23 @@ pub struct WlWalker {
     tel: Telemetry,
     /// Reused output buffer for the batch-first proposal surface.
     batch_out: Vec<Proposal>,
+    /// Last window boundary touched: 0 = none yet, -1 = low extreme,
+    /// +1 = high extreme.
+    rt_last_boundary: i8,
+    rt_crossings: u64,
+    rt_crossing_moves: u64,
+    /// `total_moves` when the open leg started.
+    rt_leg_start_moves: u64,
+    /// Running lowest/highest ever-visited bin — the round-trip
+    /// boundaries. Mirrors the histogram's `ever_visited` extremes
+    /// exactly (updated in lockstep with every record), so restores
+    /// rederive them from the checkpointed visit mask instead of
+    /// persisting them. `(usize::MAX, 0)` until the first record.
+    rt_min_bin: usize,
+    rt_max_bin: usize,
+    /// Telemetry-only wall-clock companions of the move counters.
+    rt_crossing_ns: u64,
+    rt_leg_start: Option<Instant>,
 }
 
 impl WlWalker {
@@ -90,6 +139,14 @@ impl WlWalker {
             rng: ChaCha8Rng::seed_from_u64(seed),
             tel: Telemetry::disabled(),
             batch_out: Vec::with_capacity(1),
+            rt_last_boundary: 0,
+            rt_crossings: 0,
+            rt_crossing_moves: 0,
+            rt_leg_start_moves: 0,
+            rt_min_bin: usize::MAX,
+            rt_max_bin: 0,
+            rt_crossing_ns: 0,
+            rt_leg_start: None,
         }
     }
 
@@ -215,7 +272,68 @@ impl WlWalker {
         // Wang–Landau update of the *current* bin, accepted or not.
         self.dos.bump(self.bin, self.schedule.ln_f());
         self.hist.record(self.bin);
+        self.note_boundary();
         accepted
+    }
+
+    /// Round-trip bookkeeping: crossing legs open on the first touch of a
+    /// boundary bin and close on the first touch of the opposite one.
+    /// Re-touching the same boundary leaves the open leg untouched.
+    /// Boundaries are the explored extremes (see [`RoundTripStats`]);
+    /// no crossings are counted until the explored span reaches 3 bins,
+    /// so a walker camped on one energy level reports zero instead of a
+    /// stream of trivial legs.
+    fn note_boundary(&mut self) {
+        self.rt_min_bin = self.rt_min_bin.min(self.bin);
+        self.rt_max_bin = self.rt_max_bin.max(self.bin);
+        if self.rt_max_bin < self.rt_min_bin + 2 {
+            return;
+        }
+        let side: i8 = if self.bin == self.rt_min_bin {
+            -1
+        } else if self.bin == self.rt_max_bin {
+            1
+        } else {
+            return;
+        };
+        if side == self.rt_last_boundary {
+            return;
+        }
+        if self.rt_last_boundary != 0 {
+            self.rt_crossings += 1;
+            self.rt_crossing_moves += self.total_moves - self.rt_leg_start_moves;
+            if let Some(t0) = self.rt_leg_start {
+                self.rt_crossing_ns += t0.elapsed().as_nanos() as u64;
+            }
+        }
+        self.rt_last_boundary = side;
+        self.rt_leg_start_moves = self.total_moves;
+        self.rt_leg_start = Some(Instant::now());
+    }
+
+    /// First-passage / round-trip statistics accumulated since birth,
+    /// restore, or the last [`WlWalker::reset_round_trip_stats`].
+    pub fn round_trip_stats(&self) -> RoundTripStats {
+        RoundTripStats {
+            crossings: self.rt_crossings,
+            crossing_moves: self.rt_crossing_moves,
+            pending_moves: self.total_moves - self.rt_leg_start_moves,
+            crossing_ns: self.rt_crossing_ns,
+        }
+    }
+
+    /// Clear round-trip statistics — used when the walker is reassigned
+    /// to a different window, where old-window legs are meaningless.
+    pub fn reset_round_trip_stats(&mut self) {
+        self.rt_last_boundary = 0;
+        self.rt_crossings = 0;
+        self.rt_crossing_moves = 0;
+        self.rt_leg_start_moves = self.total_moves;
+        // The explored-extreme boundaries are NOT reset: they mirror the
+        // histogram's ever-visited mask (which has no reset), so a
+        // checkpoint taken after a reset still restores exactly.
+        self.rt_crossing_ns = 0;
+        self.rt_leg_start = None;
     }
 
     /// This walker's view for a batched proposal call: its configuration
@@ -439,6 +557,10 @@ impl WlWalker {
             total_moves: self.total_moves,
             stages: self.stages,
             one_over_t_phase: self.schedule.in_one_over_t_phase(),
+            rt_last_boundary: self.rt_last_boundary,
+            rt_crossings: self.rt_crossings,
+            rt_crossing_moves: self.rt_crossing_moves,
+            rt_leg_start_moves: self.rt_leg_start_moves,
         }
     }
 
@@ -473,6 +595,20 @@ impl WlWalker {
             rng: ChaCha8Rng::seed_from_u64(seed),
             tel: Telemetry::disabled(),
             batch_out: Vec::with_capacity(1),
+            rt_last_boundary: cp.rt_last_boundary,
+            rt_crossings: cp.rt_crossings,
+            rt_crossing_moves: cp.rt_crossing_moves,
+            rt_leg_start_moves: cp.rt_leg_start_moves,
+            // The round-trip boundaries mirror the ever-visited extremes
+            // exactly, so rederive them from the checkpointed mask.
+            rt_min_bin: cp
+                .ever_visited
+                .iter()
+                .position(|&v| v)
+                .unwrap_or(usize::MAX),
+            rt_max_bin: cp.ever_visited.iter().rposition(|&v| v).unwrap_or(0),
+            rt_crossing_ns: 0,
+            rt_leg_start: None,
         }
     }
 }
@@ -714,6 +850,60 @@ mod tests {
         assert_eq!(
             snap.phase_stat(Phase::EnergyEval).unwrap().count,
             w.config().num_sites() as u64
+        );
+    }
+
+    #[test]
+    fn round_trips_accumulate_and_survive_checkpoint() {
+        let (_, nt, comp, h) = fixture();
+        // A narrow window over reachable energies (0.32 … 0.40) so the
+        // walker touches both boundary bins quickly.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let config = Configuration::random(&comp, &mut rng);
+        let grid = EnergyGrid::new(0.31, 0.41, 5);
+        let mut w = WlWalker::new(
+            grid,
+            WlParams::fast(),
+            config,
+            &h,
+            &nt,
+            Box::new(LocalSwap::new()),
+            11,
+        );
+        if !w.in_window() {
+            assert!(w.drive_into_window(&h, &nt, 500));
+        }
+        let ctx = ProposalContext {
+            neighbors: &nt,
+            composition: &comp,
+        };
+        for _ in 0..2_000 {
+            w.sweep(&h, &nt, &ctx);
+            if w.round_trip_stats().crossings >= 2 {
+                break;
+            }
+        }
+        let rt = w.round_trip_stats();
+        assert!(rt.crossings >= 2, "walker never crossed: {rt:?}");
+        assert!(rt.crossing_moves > 0);
+        assert_eq!(rt.round_trips(), rt.crossings / 2);
+        // Deterministic fields survive a checkpoint round trip exactly;
+        // wall-clock ns restarts at zero.
+        let cp = w.checkpoint();
+        let restored =
+            WlWalker::from_checkpoint(&cp, WlParams::fast(), Box::new(LocalSwap::new()), 11);
+        let rt2 = restored.round_trip_stats();
+        assert_eq!(rt2.crossings, rt.crossings);
+        assert_eq!(rt2.crossing_moves, rt.crossing_moves);
+        assert_eq!(rt2.pending_moves, rt.pending_moves);
+        assert_eq!(rt2.crossing_ns, 0);
+        // A reset clears the counters and restarts the pending leg.
+        let mut w2 = w;
+        w2.reset_round_trip_stats();
+        let rt3 = w2.round_trip_stats();
+        assert_eq!(
+            (rt3.crossings, rt3.crossing_moves, rt3.pending_moves),
+            (0, 0, 0)
         );
     }
 
