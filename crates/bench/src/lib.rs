@@ -16,16 +16,16 @@
 
 #![forbid(unsafe_code)]
 
-use dt_hamiltonian::{nbmotaw, PairHamiltonian};
+use dt_hamiltonian::{nbmotaw, Material, PairHamiltonian};
 use dt_lattice::{Composition, NeighborTable, Structure, Supercell};
 
-/// A ready-to-sample NbMoTaW system.
+/// A ready-to-sample alloy system.
 pub struct HeaSystem {
     /// The supercell.
     pub cell: Supercell,
     /// Shell-resolved neighbor lists.
     pub neighbors: NeighborTable,
-    /// Equiatomic composition.
+    /// The site composition.
     pub comp: Composition,
     /// The EPI Hamiltonian.
     pub model: PairHamiltonian,
@@ -42,6 +42,23 @@ impl HeaSystem {
             neighbors,
             comp,
             model: nbmotaw(),
+        }
+    }
+
+    /// Any registered or file-defined material on an `L³` supercell.
+    pub fn from_material(material: &Material, l: usize) -> Self {
+        let cell = Supercell::cubic(material.structure().clone(), l);
+        let neighbors = cell
+            .try_neighbor_table(material.num_shells())
+            .expect("material shells");
+        let comp = material
+            .composition(cell.num_sites())
+            .expect("material composition");
+        HeaSystem {
+            cell,
+            neighbors,
+            comp,
+            model: material.hamiltonian().clone(),
         }
     }
 

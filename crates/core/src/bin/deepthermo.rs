@@ -31,6 +31,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use deepthermo::cluster::{self, ClusterSpec, RecoveryPolicy, WorkerOutcome};
+use deepthermo::hamiltonian::Material;
 use deepthermo::hpc::{FaultEvent, FaultPlan, TcpRendezvous, TcpTransport};
 use deepthermo::rewl::{CheckpointSpec, DeepSpec, KernelSpec};
 use deepthermo::{DeepThermo, DeepThermoConfig, DeepThermoError, DeepThermoReport, MaterialSpec};
@@ -48,7 +49,7 @@ deepthermo — deep-learning accelerated parallel Monte Carlo for HEA thermodyna
 usage: deepthermo <mode> [flags]
 
 modes:
-  run       Sample equiatomic NbMoTaW and write thermo/DOS/SRO curves.
+  run       Sample the configured material and write thermo/DOS/SRO curves.
   info      Print the configured material and sampling plan.
   serve     Serve converged artifacts over an HTTP/JSON API; with
             --shards N, boot a sharded fleet (router + N shard
@@ -60,6 +61,9 @@ modes:
   help      Show this message.
 
 run / info flags:
+  --material NAME|PATH   alloy system: a registry name (nbmotaw, crconi)
+                         or a path to a `dtmat v1` material file
+                                                      (default nbmotaw)
   --l N                  supercell edge in unit cells (default 3)
   --kernel K             deep | local | random        (default deep)
   --seed S               master RNG seed              (default 2023)
@@ -503,10 +507,12 @@ fn write_fixture() -> ExitCode {
     }
 }
 
-fn build_config() -> DeepThermoConfig {
+fn build_config() -> Result<DeepThermoConfig, DeepThermoError> {
     let l: usize = arg("--l", 3);
+    let material = Material::resolve(&arg("--material", "nbmotaw".to_string()))
+        .map_err(DeepThermoError::from)?;
     let mut cfg = DeepThermoConfig::quick_demo().with_seed(arg("--seed", 2023));
-    cfg.material = MaterialSpec::nbmotaw(l);
+    cfg.material = MaterialSpec::new(material, l);
     cfg.rewl.num_windows = arg("--windows", 2);
     cfg.rewl.walkers_per_window = arg("--walkers", 2);
     cfg.rewl.num_bins = arg("--bins", (16 * l * l).min(512));
@@ -537,7 +543,7 @@ fn build_config() -> DeepThermoConfig {
     cfg.rewl.respawns = arg(cluster::RESPAWN_COUNT_FLAG, 0u64);
     cfg.rewl.adaptive_windows = has_flag("--adaptive-windows");
     cfg.rewl.rebalance_every = arg("--rebalance-every", 0u64);
-    cfg.with_telemetry(has_flag("--telemetry"))
+    Ok(cfg.with_telemetry(has_flag("--telemetry")))
 }
 
 /// Recovery needs a checkpoint for the replacement to rejoin from; when
@@ -551,8 +557,7 @@ fn apply_recovery_defaults(cfg: &mut DeepThermoConfig) {
 }
 
 fn info() -> ExitCode {
-    let cfg = build_config();
-    let runner = match DeepThermo::nbmotaw(cfg) {
+    let runner = match build_config().and_then(DeepThermo::from_material) {
         Ok(r) => r,
         Err(e) => {
             render_error(&e);
@@ -560,7 +565,22 @@ fn info() -> ExitCode {
         }
     };
     let comp = runner.composition();
-    println!("material: NbMoTaW (equiatomic) on BCC");
+    let mat = runner.config().material.material();
+    println!(
+        "material: {} ({}) on {}",
+        mat.display_name(),
+        mat.composition_summary(),
+        mat.structure().name().to_uppercase()
+    );
+    println!(
+        "species: {}",
+        mat.species()
+            .iter()
+            .map(|(_, name)| name)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!("shells: {}", mat.num_shells());
     println!("sites: {}", comp.num_sites());
     println!(
         "configuration space: e^{:.1} states",
@@ -627,7 +647,13 @@ fn worker() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut cfg = build_config();
+    let mut cfg = match build_config() {
+        Ok(c) => c,
+        Err(e) => {
+            render_error(&e);
+            return ExitCode::FAILURE;
+        }
+    };
     apply_cluster_checkpoint(&mut cfg);
     apply_recovery_defaults(&mut cfg);
     let recover = cfg.rewl.recovery;
@@ -639,7 +665,7 @@ fn worker() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let runner = match DeepThermo::nbmotaw(cfg) {
+    let runner = match DeepThermo::from_material(cfg) {
         Ok(r) => r,
         Err(e) => {
             render_error(&e);
@@ -723,7 +749,13 @@ fn run() -> ExitCode {
         }
         None => None,
     };
-    let mut cfg = build_config();
+    let mut cfg = match build_config() {
+        Ok(c) => c,
+        Err(e) => {
+            render_error(&e);
+            return ExitCode::FAILURE;
+        }
+    };
     if cluster_spec.is_some() {
         apply_cluster_checkpoint(&mut cfg);
         apply_recovery_defaults(&mut cfg);
@@ -740,7 +772,8 @@ fn run() -> ExitCode {
         cfg.rewl.recovery = false;
     }
     println!(
-        "deepthermo: NbMoTaW N={}, kernel={}, {} windows x {} walkers, seed {}",
+        "deepthermo: {} N={}, kernel={}, {} windows x {} walkers, seed {}",
+        cfg.material.material().display_name(),
         cfg.material.num_sites(),
         cfg.rewl.kernel.label(),
         cfg.rewl.num_windows,
@@ -748,7 +781,7 @@ fn run() -> ExitCode {
         cfg.rewl.seed
     );
     let start = std::time::Instant::now();
-    let runner = match DeepThermo::nbmotaw(cfg) {
+    let runner = match DeepThermo::from_material(cfg) {
         Ok(r) => r,
         Err(e) => {
             render_error(&e);

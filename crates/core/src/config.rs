@@ -1,38 +1,84 @@
 //! Top-level run configuration.
 
-use dt_lattice::{SpeciesSet, Structure};
+use dt_hamiltonian::{Material, MaterialError};
+use dt_lattice::{Composition, SpeciesSet, Structure};
 use dt_rewl::{DeepSpec, KernelSpec, RewlConfig};
 use dt_wanglandau::{LnfSchedule, WlParams};
 
 use crate::error::ConfigError;
 
-/// The material to simulate.
-#[derive(Debug, Clone)]
+/// The material to simulate: an alloy system ([`Material`]) instantiated
+/// on a concrete supercell size.
+///
+/// The [`Material`] carries the structure, species, composition ratios,
+/// shell count, and EPI Hamiltonian; `MaterialSpec` adds the supercell
+/// edge `L`. Compositions need not be equiatomic — the material's ratios
+/// are apportioned over the supercell's sites.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MaterialSpec {
-    /// Crystal structure (BCC for the refractory HEAs of the paper).
-    pub structure: Structure,
-    /// Supercell edge in conventional cells (`N = 2·L³` sites for BCC).
-    pub l: usize,
-    /// Species names (equiatomic composition is assumed).
-    pub species: SpeciesSet,
-    /// Interaction shells to include.
-    pub num_shells: usize,
+    material: Material,
+    l: usize,
 }
 
 impl MaterialSpec {
-    /// Equiatomic NbMoTaW on BCC.
-    pub fn nbmotaw(l: usize) -> Self {
-        MaterialSpec {
-            structure: Structure::bcc(),
-            l,
-            species: SpeciesSet::nb_mo_ta_w(),
-            num_shells: 2,
-        }
+    /// An alloy system on an `L³`-cell cubic supercell.
+    pub fn new(material: Material, l: usize) -> Self {
+        MaterialSpec { material, l }
     }
 
-    /// Number of lattice sites.
+    /// Equiatomic NbMoTaW on BCC — the paper's system, from the
+    /// material registry.
+    pub fn nbmotaw(l: usize) -> Self {
+        MaterialSpec::new(Material::nbmotaw(), l)
+    }
+
+    /// The CrCoNi-flavoured FCC ordering alloy from the registry.
+    pub fn crconi(l: usize) -> Self {
+        MaterialSpec::new(Material::crconi(), l)
+    }
+
+    /// The full alloy-system definition.
+    pub fn material(&self) -> &Material {
+        &self.material
+    }
+
+    /// Supercell edge in conventional cells.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Crystal structure.
+    pub fn structure(&self) -> &Structure {
+        self.material.structure()
+    }
+
+    /// Species names.
+    pub fn species(&self) -> &SpeciesSet {
+        self.material.species()
+    }
+
+    /// Interaction shells the Hamiltonian couples.
+    pub fn num_shells(&self) -> usize {
+        self.material.num_shells()
+    }
+
+    /// Number of lattice sites (`L³ ·` atoms per cell).
     pub fn num_sites(&self) -> usize {
-        self.l.pow(3) * self.structure.atoms_per_cell()
+        self.l.pow(3) * self.material.structure().atoms_per_cell()
+    }
+
+    /// Apportion the material's composition ratios over this supercell.
+    ///
+    /// # Errors
+    /// Propagates ratio/site-count validation failures.
+    pub fn composition(&self) -> Result<Composition, MaterialError> {
+        self.material.composition(self.num_sites())
+    }
+
+    /// Same supercell with a different alloy system.
+    pub fn with_material(mut self, material: Material) -> Self {
+        self.material = material;
+        self
     }
 }
 
@@ -146,10 +192,10 @@ impl DeepThermoConfig {
     /// # Errors
     /// The first [`ConfigError`] found.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.material.species.is_empty() {
+        if self.material.species().is_empty() {
             return Err(ConfigError::EmptyComposition);
         }
-        if self.material.l == 0 {
+        if self.material.l() == 0 {
             return Err(ConfigError::EmptySupercell);
         }
         if self.rewl.num_windows == 0 {
@@ -190,9 +236,9 @@ impl DeepThermoConfigBuilder {
         self
     }
 
-    /// Supercell edge (NbMoTaW material).
+    /// Supercell edge, keeping the configured alloy system.
     pub fn supercell_l(mut self, l: usize) -> Self {
-        self.cfg.material = MaterialSpec::nbmotaw(l);
+        self.cfg.material = MaterialSpec::new(self.cfg.material.material().clone(), l);
         self
     }
 

@@ -12,6 +12,7 @@
 
 use std::path::PathBuf;
 
+use dt_hamiltonian::MaterialError;
 use dt_hpc::CommError;
 use dt_rewl::{RewlError, WireError};
 use dt_surrogate::SerializeError;
@@ -103,6 +104,10 @@ pub enum DeepThermoError {
     /// Sampling visited no energy bins, so there is no density of
     /// states to evaluate.
     NoVisitedBins,
+    /// The material definition is invalid: unknown registry name,
+    /// unreadable or malformed `dtmat` file, inconsistent counts, or a
+    /// structure that cannot expose the requested shells.
+    Material(MaterialError),
     /// The multi-process cluster could not be assembled: a socket bind,
     /// worker spawn, or rendezvous handshake failed before sampling
     /// started. (Rank deaths *during* sampling are degraded-mode events,
@@ -130,6 +135,9 @@ impl std::fmt::Display for DeepThermoError {
             DeepThermoError::Cluster { message } => {
                 write!(f, "cluster setup failed: {message}")
             }
+            DeepThermoError::Material(e) => {
+                write!(f, "invalid material: {e}")
+            }
         }
     }
 }
@@ -142,6 +150,7 @@ impl std::error::Error for DeepThermoError {
             DeepThermoError::Comm(e) => Some(e),
             DeepThermoError::Wire(e) => Some(e),
             DeepThermoError::Model(e) => Some(e),
+            DeepThermoError::Material(e) => Some(e),
             DeepThermoError::Io { .. }
             | DeepThermoError::NoVisitedBins
             | DeepThermoError::Cluster { .. } => None,
@@ -176,6 +185,12 @@ impl From<WireError> for DeepThermoError {
 impl From<SerializeError> for DeepThermoError {
     fn from(e: SerializeError) -> Self {
         DeepThermoError::Model(e)
+    }
+}
+
+impl From<MaterialError> for DeepThermoError {
+    fn from(e: MaterialError) -> Self {
+        DeepThermoError::Material(e)
     }
 }
 

@@ -1,6 +1,6 @@
 //! The DeepThermo pipeline: material → parallel sampling → thermodynamics.
 
-use dt_hamiltonian::{nbmotaw, EnergyModel, PairHamiltonian, KB_EV_PER_K};
+use dt_hamiltonian::{nbmotaw, EnergyModel, MaterialError, PairHamiltonian, KB_EV_PER_K};
 use dt_hpc::{Communicator, Transport};
 use dt_lattice::{Composition, NeighborTable, Species, Supercell};
 use dt_proposal::MoveStats;
@@ -25,7 +25,24 @@ pub struct DeepThermo {
 }
 
 impl DeepThermo {
-    /// Equiatomic NbMoTaW with the built-in EPI Hamiltonian.
+    /// The pipeline over the configured material's own EPI Hamiltonian
+    /// and composition — the general entry point. The material can come
+    /// from the registry or a `dtmat` file; nothing here assumes BCC,
+    /// two shells, four species, or an equiatomic composition.
+    ///
+    /// # Errors
+    /// [`DeepThermoError::Config`] when the configuration is
+    /// inconsistent; [`DeepThermoError::Material`] when the structure
+    /// cannot expose the requested shells or the composition ratios are
+    /// invalid.
+    pub fn from_material(cfg: DeepThermoConfig) -> Result<Self, DeepThermoError> {
+        let model = cfg.material.material().hamiltonian().clone();
+        DeepThermo::with_model(cfg, model)
+    }
+
+    /// Equiatomic NbMoTaW with the built-in EPI Hamiltonian — a thin
+    /// compatibility wrapper; prefer [`DeepThermo::from_material`],
+    /// which honors whatever material the config carries.
     ///
     /// # Errors
     /// [`DeepThermoError::Config`] when the configuration is
@@ -46,17 +63,18 @@ impl DeepThermo {
         model: PairHamiltonian,
     ) -> Result<Self, DeepThermoError> {
         cfg.validate()?;
-        if model.num_species() != cfg.material.species.len() {
+        if model.num_species() != cfg.material.species().len() {
             return Err(ConfigError::SpeciesMismatch {
                 model: model.num_species(),
-                material: cfg.material.species.len(),
+                material: cfg.material.species().len(),
             }
             .into());
         }
-        let cell = Supercell::cubic(cfg.material.structure.clone(), cfg.material.l);
-        let neighbors = cell.neighbor_table(cfg.material.num_shells);
-        let comp = Composition::equiatomic(cfg.material.species.len(), cell.num_sites())
-            .map_err(|_| ConfigError::EmptyComposition)?;
+        let cell = Supercell::cubic(cfg.material.structure().clone(), cfg.material.l());
+        let neighbors = cell
+            .try_neighbor_table(model.num_shells())
+            .map_err(MaterialError::from)?;
+        let comp = cfg.material.composition()?;
         Ok(DeepThermo {
             cfg,
             cell,
@@ -205,33 +223,28 @@ impl DeepThermo {
         report: &DeepThermoReport,
         registry_dir: impl AsRef<std::path::Path>,
     ) -> Result<std::path::PathBuf, DeepThermoError> {
-        let material: String = self
-            .cfg
-            .material
-            .species
-            .iter()
-            .map(|(_, name)| name)
-            .collect();
+        let mat = self.cfg.material.material();
         let manifest = dt_serve::ArtifactManifest {
             id: dt_serve::ArtifactManifest::conventional_id(
-                &material,
-                self.cfg.material.l,
+                mat.display_name(),
+                self.cfg.material.l(),
                 self.cfg.rewl.seed,
             ),
-            material,
-            structure: self.cfg.material.structure.name().to_string(),
-            l: self.cfg.material.l,
+            material: mat.display_name().to_string(),
+            material_key: mat.key().to_string(),
+            structure: self.cfg.material.structure().name().to_string(),
+            l: self.cfg.material.l(),
             num_sites: self.cell.num_sites(),
             species: self
                 .cfg
                 .material
-                .species
+                .species()
                 .iter()
                 .map(|(_, name)| name.to_string())
                 .collect(),
             counts: self.comp.counts().to_vec(),
             seed: self.cfg.rewl.seed,
-            num_shells: self.cfg.material.num_shells,
+            num_shells: self.cfg.material.num_shells(),
             sweeps: report.sweeps,
             converged: report.converged,
         };
@@ -309,8 +322,8 @@ impl DeepThermo {
                 }
                 let label = format!(
                     "{}-{}",
-                    self.cfg.material.species.name(Species(a)),
-                    self.cfg.material.species.name(Species(b))
+                    self.cfg.material.species().name(Species(a)),
+                    self.cfg.material.species().name(Species(b))
                 );
                 sro_curves.push(SroCurve {
                     shell: 0,

@@ -154,7 +154,10 @@ impl DeepThermoReport {
             ));
         }
         if self.walkers_rebalanced > 0 {
-            s.push_str(&format!("walkers rebalanced: {}\n", self.walkers_rebalanced));
+            s.push_str(&format!(
+                "walkers rebalanced: {}\n",
+                self.walkers_rebalanced
+            ));
         }
         let any_round_trips = self.windows.iter().any(|w| w.round_trips > 0);
         for w in &self.windows {

@@ -20,10 +20,12 @@
 #![forbid(unsafe_code)]
 
 pub mod exact;
+pub mod material;
 pub mod model;
 pub mod nbmotaw;
 pub mod pair;
 
+pub use material::{Material, MaterialError};
 pub use model::{DeltaWorkspace, EnergyModel};
 pub use nbmotaw::{nbmotaw, nbmotaw_species, KB_EV_PER_K};
 pub use pair::PairHamiltonian;

@@ -57,6 +57,61 @@ impl Composition {
         Composition::from_counts(counts)
     }
 
+    /// Apportion `num_sites` sites to species according to relative
+    /// `ratios` (they need not sum to one), using largest-remainder
+    /// rounding with ties broken toward the lowest-index species.
+    ///
+    /// Equal ratios reproduce [`Composition::equiatomic`] exactly, so a
+    /// material declared with `ratios = [1, 1, 1, 1]` is bit-identical to
+    /// the historical equiatomic path.
+    ///
+    /// # Errors
+    /// Fails when `ratios` is empty, contains a negative or non-finite
+    /// entry, or sums to zero ([`LatticeError::BadRatios`]); when there
+    /// are too many species; or when `num_sites` is zero.
+    pub fn from_ratios(ratios: &[f64], num_sites: usize) -> Result<Self, LatticeError> {
+        if ratios.is_empty() {
+            return Err(LatticeError::BadRatios);
+        }
+        if ratios.len() > MAX_SPECIES {
+            return Err(LatticeError::TooManySpecies(ratios.len()));
+        }
+        if num_sites == 0 {
+            return Err(LatticeError::EmptyComposition);
+        }
+        if ratios.iter().any(|r| !r.is_finite() || *r < 0.0) {
+            return Err(LatticeError::BadRatios);
+        }
+        let sum: f64 = ratios.iter().sum();
+        if sum <= 0.0 {
+            return Err(LatticeError::BadRatios);
+        }
+        let mut counts = vec![0usize; ratios.len()];
+        let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(ratios.len());
+        let mut assigned = 0usize;
+        for (i, &r) in ratios.iter().enumerate() {
+            let ideal = r / sum * num_sites as f64;
+            let base = ideal.floor() as usize;
+            counts[i] = base;
+            assigned += base;
+            fracs.push((i, ideal - base as f64));
+        }
+        // Largest remainder first; equal remainders favor lower indices.
+        fracs.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite remainders")
+                .then(a.0.cmp(&b.0))
+        });
+        let mut left = num_sites - assigned;
+        let mut k = 0usize;
+        while left > 0 {
+            counts[fracs[k % fracs.len()].0] += 1;
+            left -= 1;
+            k += 1;
+        }
+        Composition::from_counts(counts)
+    }
+
     /// Number of species.
     pub fn num_species(&self) -> usize {
         self.counts.len()
@@ -165,6 +220,51 @@ mod tests {
         let c = Composition::equiatomic(4, 10).unwrap();
         assert_eq!(c.counts(), &[3, 3, 2, 2]);
         assert_eq!(c.num_sites(), 10);
+    }
+
+    #[test]
+    fn from_ratios_equal_matches_equiatomic() {
+        for m in 1..=6usize {
+            for sites in [7usize, 10, 54, 128, 500] {
+                let eq = Composition::equiatomic(m, sites).unwrap();
+                let fr = Composition::from_ratios(&vec![1.0; m], sites).unwrap();
+                assert_eq!(eq, fr, "m={m} sites={sites}");
+                let fr2 = Composition::from_ratios(&vec![0.25; m], sites).unwrap();
+                assert_eq!(eq, fr2, "m={m} sites={sites} scaled ratios");
+            }
+        }
+    }
+
+    #[test]
+    fn from_ratios_largest_remainder() {
+        // 50/25/25 over 10 sites: ideals 5.0/2.5/2.5 — the odd site goes
+        // to the lower-index species of the tied pair.
+        let c = Composition::from_ratios(&[2.0, 1.0, 1.0], 10).unwrap();
+        assert_eq!(c.counts(), &[5, 3, 2]);
+        // Non-equiatomic ternary: 60/30/10 over 10 sites is exact.
+        let c = Composition::from_ratios(&[6.0, 3.0, 1.0], 10).unwrap();
+        assert_eq!(c.counts(), &[6, 3, 1]);
+    }
+
+    #[test]
+    fn from_ratios_rejects_bad_input() {
+        assert_eq!(
+            Composition::from_ratios(&[], 10).unwrap_err(),
+            LatticeError::BadRatios
+        );
+        assert_eq!(
+            Composition::from_ratios(&[0.0, 0.0], 10).unwrap_err(),
+            LatticeError::BadRatios
+        );
+        assert_eq!(
+            Composition::from_ratios(&[1.0, -0.5], 10).unwrap_err(),
+            LatticeError::BadRatios
+        );
+        assert_eq!(
+            Composition::from_ratios(&[1.0, f64::NAN], 10).unwrap_err(),
+            LatticeError::BadRatios
+        );
+        assert!(Composition::from_ratios(&[1.0], 0).is_err());
     }
 
     #[test]

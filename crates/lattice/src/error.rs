@@ -25,6 +25,22 @@ pub enum LatticeError {
     },
     /// Composition with zero species or zero sites.
     EmptyComposition,
+    /// A composition ratio list was empty or all zero.
+    BadRatios,
+    /// The structure exposes fewer coordination shells than requested
+    /// within the neighbor search range.
+    ShellsUnavailable {
+        /// Shells the structure exposes.
+        available: usize,
+        /// Shells the caller requested.
+        requested: usize,
+    },
+    /// Basis sites of the structure are not shell-equivalent, so a
+    /// single per-shell coordination number does not exist.
+    InequivalentBasis {
+        /// The shell where the coordination numbers first disagreed.
+        shell: usize,
+    },
 }
 
 impl fmt::Display for LatticeError {
@@ -52,6 +68,22 @@ impl fmt::Display for LatticeError {
             LatticeError::EmptyComposition => {
                 write!(f, "composition must have at least one species and one site")
             }
+            LatticeError::BadRatios => {
+                write!(f, "composition ratios must be nonempty with a nonzero sum")
+            }
+            LatticeError::ShellsUnavailable {
+                available,
+                requested,
+            } => write!(
+                f,
+                "structure exposes only {available} coordination shells within the \
+                 neighbor search range, {requested} requested"
+            ),
+            LatticeError::InequivalentBasis { shell } => write!(
+                f,
+                "basis sites are not shell-equivalent at shell {shell}; \
+                 per-shell coordination numbers are undefined"
+            ),
         }
     }
 }

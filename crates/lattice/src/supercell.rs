@@ -109,6 +109,16 @@ impl Supercell {
     pub fn neighbor_table(&self, num_shells: usize) -> NeighborTable {
         NeighborTable::build(self, num_shells)
     }
+
+    /// Fallible variant of [`Supercell::neighbor_table`]: returns a typed
+    /// error when the structure exposes fewer shells than requested, so a
+    /// bad material definition surfaces as an error chain, not a panic.
+    pub fn try_neighbor_table(
+        &self,
+        num_shells: usize,
+    ) -> Result<NeighborTable, crate::error::LatticeError> {
+        NeighborTable::try_build(self, num_shells)
+    }
 }
 
 #[cfg(test)]

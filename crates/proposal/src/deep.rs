@@ -779,6 +779,7 @@ mod tests {
     use super::*;
     use crate::kinds::apply_move;
     use dt_lattice::{Composition, Structure, Supercell};
+    use proptest::prelude::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -979,6 +980,71 @@ mod tests {
             "all decided: fractions sum to 1"
         );
         assert_eq!(out[8], 0.0, "no undecided neighbors");
+    }
+
+    proptest! {
+        /// The proposal context features must size and normalize correctly
+        /// for every species count m ∈ 2..=6 and shell count ∈ 1..=6 —
+        /// what the material layer needs to run arbitrary alloys through
+        /// the deep kernel. For each shell, decided histogram + undecided
+        /// fraction partition the coordination sphere.
+        #[test]
+        fn feature_sizing_is_material_agnostic(
+            m in 2usize..=6,
+            shells in 1usize..=6,
+            bcc in any::<bool>(),
+            seed in 0u64..1 << 48,
+        ) {
+            use rand::RngExt;
+            let structure = if bcc { Structure::bcc() } else { Structure::fcc() };
+            let cell = Supercell::cubic(structure, 2);
+            let nt = cell.try_neighbor_table(shells).unwrap();
+            let comp = Composition::equiatomic(m, cell.num_sites()).unwrap();
+            let layout = FeatureLayout {
+                num_species: m,
+                num_shells: shells,
+            };
+            prop_assert_eq!(layout.dim(), shells * m + shells + m + 1);
+
+            // The network built for this layout consumes exactly dim().
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let kern = DeepProposal::new(
+                m,
+                shells,
+                &DeepProposalConfig {
+                    k: 4,
+                    hidden: vec![8],
+                },
+                &mut rng,
+            );
+            prop_assert_eq!(kern.layout(), layout);
+            prop_assert_eq!(kern.net().in_dim(), layout.dim());
+
+            let config = Configuration::random(&comp, &mut rng);
+            let decided: Vec<bool> = (0..config.num_sites())
+                .map(|_| rng.random_range(0..2u8) == 0)
+                .collect();
+            let mut out = vec![0.0; layout.dim()];
+            layout.fill(
+                &mut out,
+                0,
+                &nt,
+                config.species(),
+                &decided,
+                comp.counts(),
+                config.num_sites(),
+                0.5,
+            );
+            for shell in 0..shells {
+                let hist: f64 = out[shell * m..(shell + 1) * m].iter().sum();
+                let undecided = out[shells * m + shell];
+                prop_assert!(
+                    (hist + undecided - 1.0).abs() < 1e-9,
+                    "shell {}: {} + {} != 1",
+                    shell, hist, undecided
+                );
+            }
+        }
     }
 
     #[test]

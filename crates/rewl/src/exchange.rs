@@ -519,6 +519,7 @@ mod tests {
             let size = assignment.len();
             for round in 0..32u64 {
                 let mut partner_of = vec![None; size];
+                #[allow(clippy::needless_range_loop)]
                 for rank in 0..size {
                     match exchange_role_assigned(rank, round, &assignment, m) {
                         ExchangeRole::Initiator { partner } => {

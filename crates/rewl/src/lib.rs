@@ -87,10 +87,10 @@ pub use checkpoint::{
     load_own_resume_point, load_resume_point, CheckpointSpec, CkptError, RankCheckpoint,
     ResumePoint, RunManifest,
 };
+pub use driver::pilot_window_costs;
 pub use driver::{
     run_rewl, run_rewl_on, RankRun, RecoveryStats, RewlConfig, RewlError, RewlOutput, WindowReport,
 };
-pub use driver::pilot_window_costs;
 pub use exchange::{exchange_role, exchange_role_assigned, ExchangeRole};
 pub use merge::merge_windows;
 pub use rebalance::{plan_rebalance, Migration, RtSample};

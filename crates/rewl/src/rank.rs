@@ -682,7 +682,12 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
         // the default so non-rebalancing runs share zero code with the
         // adaptive path.
         let role = if self.cfg.rebalance_every > 0 {
-            exchange_role_assigned(self.rank, self.round, &self.assignment, self.cfg.num_windows)
+            exchange_role_assigned(
+                self.rank,
+                self.round,
+                &self.assignment,
+                self.cfg.num_windows,
+            )
         } else {
             exchange_role(self.rank, self.round, self.w, self.cfg.num_windows)
         };
@@ -824,8 +829,11 @@ impl<'a, M: EnergyModel, T: Transport> RankEngine<'a, M, T> {
     fn apply_rebalance(&mut self, m: Migration) {
         let tag = tags::with_round(tags::REBALANCE_STATE, self.round);
         if self.rank == m.donor {
-            self.comm
-                .send(m.migrant, tag, wire::encode_walker(&self.walker.checkpoint()));
+            self.comm.send(
+                m.migrant,
+                tag,
+                wire::encode_walker(&self.walker.checkpoint()),
+            );
         }
         if self.rank == m.migrant {
             let recovery = self.cfg.recovery;

@@ -211,7 +211,12 @@ mod tests {
         // Window 1 never completed a crossing but its open leg is huge —
         // it must be recognized as the slow one.
         let assignment = vec![0, 0, 1, 1];
-        let samples = vec![s(20, 2_000, 10), s(20, 2_000, 4), s(0, 0, 90_000), s(0, 0, 10)];
+        let samples = vec![
+            s(20, 2_000, 10),
+            s(20, 2_000, 4),
+            s(0, 0, 90_000),
+            s(0, 0, 10),
+        ];
         let plan = plan_rebalance(&assignment, 2, &samples).expect("pending leg must count");
         assert_eq!(plan.to_window, 1);
         assert_eq!(plan.migrant, 1);

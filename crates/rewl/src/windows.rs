@@ -141,9 +141,8 @@ impl WindowLayout {
                 .unwrap_or(0)
                 .min(n - 2)
         };
-        let end_at = |target: f64| -> usize {
-            cum.iter().position(|&v| v >= target).unwrap_or(n).min(n)
-        };
+        let end_at =
+            |target: f64| -> usize { cum.iter().position(|&v| v >= target).unwrap_or(n).min(n) };
         let mut ranges = Vec::with_capacity(num_windows);
         for i in 0..num_windows {
             let lo_cost = i as f64 * sc;
@@ -250,7 +249,7 @@ impl WindowLayout {
 fn repair_and_validate(mut ranges: Vec<(usize, usize)>, n: usize) -> Vec<(usize, usize)> {
     let num_windows = ranges.len();
     assert!(
-        n >= num_windows + 1,
+        n > num_windows,
         "{n} bins cannot host {num_windows} windows of >= 2 bins with monotone starts"
     );
     ranges[0].0 = 0;
@@ -451,7 +450,7 @@ mod tests {
 
     #[test]
     fn equal_diffusion_single_window_covers_everything() {
-        let l = WindowLayout::equal_diffusion(grid(12), 1, 0.5, &vec![2.0; 12]);
+        let l = WindowLayout::equal_diffusion(grid(12), 1, 0.5, &[2.0; 12]);
         assert_eq!(l.bin_range(0), (0, 12));
     }
 

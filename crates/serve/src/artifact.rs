@@ -33,6 +33,11 @@ pub struct ArtifactManifest {
     pub id: String,
     /// Material name, e.g. `"NbMoTaW"`.
     pub material: String,
+    /// Material-registry key of the producing run (e.g. `"nbmotaw"`,
+    /// `"crconi"`), so one serving fleet can host several alloys side by
+    /// side and clients can filter `/v1/artifacts` by system. Empty for
+    /// artifacts written before the material layer existed.
+    pub material_key: String,
     /// Lattice structure name: `"bcc"`, `"fcc"`, or `"sc"`.
     pub structure: String,
     /// Supercell edge length (unit cells).
@@ -82,6 +87,8 @@ impl ArtifactManifest {
         push_json_string(&mut s, &self.id);
         field(&mut s, "material", false);
         push_json_string(&mut s, &self.material);
+        field(&mut s, "material_key", false);
+        push_json_string(&mut s, &self.material_key);
         field(&mut s, "structure", false);
         push_json_string(&mut s, &self.structure);
         field(&mut s, "l", false);
@@ -164,6 +171,12 @@ impl ArtifactManifest {
         Ok(ArtifactManifest {
             id: str_field("id")?,
             material: str_field("material")?,
+            // Optional for artifacts written before the material layer.
+            material_key: v
+                .get("material_key")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_string(),
             structure: str_field("structure")?,
             l: int_field("l")? as usize,
             num_sites: int_field("num_sites")? as usize,

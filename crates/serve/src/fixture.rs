@@ -95,6 +95,7 @@ pub fn fixture_artifact(tag: &str) -> Artifact {
         manifest: ArtifactManifest {
             id: format!("fixture-{tag}"),
             material: "NbMoTaW".into(),
+            material_key: "nbmotaw".into(),
             structure: "bcc".into(),
             l,
             num_sites,

@@ -228,6 +228,70 @@ mod tests {
         }
     }
 
+    use dt_lattice::{SiteId, Species};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Material-agnostic sizing and consistency: for every species
+        /// count m ∈ 2..=6 and shell count ∈ 1..=6, the descriptor's
+        /// dimension formula, normalization, and incremental `delta` hold
+        /// on both cubic structures the material layer exposes.
+        #[test]
+        fn descriptor_laws_hold_across_species_and_shells(
+            m in 2usize..=6,
+            shells in 1usize..=6,
+            bcc in any::<bool>(),
+            seed in 0u64..1 << 48,
+            k in 1usize..=4,
+        ) {
+            let structure = if bcc { Structure::bcc() } else { Structure::fcc() };
+            let cell = Supercell::cubic(structure, 2);
+            let nt = cell.try_neighbor_table(shells).unwrap();
+            let comp = Composition::equiatomic(m, cell.num_sites()).unwrap();
+            let d = PairCorrelationDescriptor {
+                num_species: m,
+                num_shells: shells,
+            };
+            prop_assert_eq!(d.dim(), shells * m * (m + 1) / 2 + m);
+
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut config = Configuration::random(&comp, &mut rng);
+            let f = d.compute(&config, &nt);
+            prop_assert_eq!(f.len(), d.dim());
+            let per_shell = m * (m + 1) / 2;
+            for shell in 0..shells {
+                let s: f64 = f[shell * per_shell..(shell + 1) * per_shell].iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-9, "shell {} sums to {}", shell, s);
+            }
+            let conc: f64 = f[shells * per_shell..].iter().sum();
+            prop_assert!((conc - 1.0).abs() < 1e-9);
+
+            // delta == recompute for a random distinct-site move set.
+            use rand::RngExt;
+            let mut sites: Vec<SiteId> = (0..config.num_sites() as SiteId).collect();
+            for i in 0..k {
+                let j = rng.random_range(i..sites.len());
+                sites.swap(i, j);
+            }
+            let moves: Vec<(SiteId, Species)> = sites[..k]
+                .iter()
+                .map(|&s| (s, Species(rng.random_range(0..m as u8))))
+                .collect();
+            let delta = d.delta(&config, &nt, &moves);
+            for &(s, sp) in &moves {
+                config.set(s, sp);
+            }
+            let after = d.compute(&config, &nt);
+            for i in 0..d.dim() {
+                prop_assert!(
+                    (f[i] + delta[i] - after[i]).abs() < 1e-10,
+                    "feature {}: {} + {} != {}",
+                    i, f[i], delta[i], after[i]
+                );
+            }
+        }
+    }
+
     #[test]
     fn descriptor_is_permutation_invariant_in_space() {
         // Global translation of the configuration (shift all cells by one)

@@ -1,0 +1,185 @@
+//! The material layer end to end: a second alloy defined as *data* (a
+//! `dtmat v1` file, not code) flows through surrogate training,
+//! deep-proposal REWL, DOS convergence, artifact export, and serving —
+//! side by side with NbMoTaW in one registry.
+
+use deepthermo::hamiltonian::Material;
+use deepthermo::lattice::Supercell;
+use deepthermo::proposal::DeepProposalConfig;
+use deepthermo::rewl::{DeepSpec, KernelSpec};
+use deepthermo::surrogate::{
+    Dataset, PairCorrelationDescriptor, SamplingStrategy, SurrogateModel, TrainingOptions,
+};
+use deepthermo::{DeepThermo, DeepThermoConfig, MaterialSpec};
+use dt_serve::http::Request;
+use dt_serve::{AppState, ArtifactRegistry};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A non-equiatomic CrCoNi-flavored FCC ordering alloy with 4 EPI
+/// shells, written the way a user would ship it: as a text file.
+const CR40CO30NI30: &str = "\
+# Cr-rich CrCoNi variant, defined as data rather than code.
+dtmat v1
+name cr40co30ni30
+display Cr40Co30Ni30
+structure fcc
+shells 4
+species Cr Co Ni
+ratios 4 3 3
+epi 0 Cr Cr 0.03
+epi 0 Cr Co -0.024
+epi 0 Cr Ni -0.028
+epi 0 Co Co 0.004
+epi 0 Co Ni -0.002
+epi 0 Ni Ni 0.002
+epi 1 Cr Cr -0.012
+epi 1 Cr Co 0.008
+epi 1 Cr Ni 0.01
+epi 2 Cr Co -0.003
+epi 2 Cr Ni -0.002
+epi 3 Cr Cr 0.002
+epi 3 Co Ni -0.002
+end
+";
+
+fn material_from_disk(dir: &std::path::Path) -> Material {
+    let path = dir.join("cr40co30ni30.dtmat");
+    std::fs::write(&path, CR40CO30NI30).unwrap();
+    Material::resolve(path.to_str().unwrap()).unwrap()
+}
+
+#[test]
+fn second_alloy_definition_is_data_not_code() {
+    let dir = tempdir("dtmat-def");
+    let mat = material_from_disk(&dir);
+    assert_eq!(mat.key(), "cr40co30ni30");
+    assert_eq!(mat.structure().name(), "fcc");
+    assert_eq!(mat.num_shells(), 4);
+    assert_eq!(mat.num_species(), 3);
+    assert!(!mat.is_equiatomic());
+    assert_eq!(mat.composition_summary(), "40/30/30");
+
+    // The 40/30/30 ratios apportion exactly over the supercell.
+    let comp = mat.composition(108).unwrap();
+    assert_eq!(comp.counts().iter().sum::<usize>(), 108);
+    assert!(comp.counts()[0] > comp.counts()[1]);
+    assert!(comp.counts()[1] >= comp.counts()[2]);
+
+    // Round trip: serialize → parse gives the same material (EPIs and
+    // all), so the on-disk format loses nothing.
+    let back = Material::parse(&mat.serialize()).unwrap();
+    assert_eq!(back, mat);
+}
+
+#[test]
+fn second_alloy_trains_samples_and_serves_alongside_nbmotaw() {
+    let dir = tempdir("alloy-agnostic");
+    let mat = material_from_disk(&dir);
+
+    // --- Surrogate training on the second alloy -----------------------
+    // The pair-correlation descriptor spans the 4-shell EPI exactly, so
+    // a trained surrogate must recover the energy surface accurately.
+    let cell = Supercell::cubic(mat.structure().clone(), 2);
+    let nt = cell.try_neighbor_table(mat.num_shells()).unwrap();
+    let comp = mat.composition(cell.num_sites()).unwrap();
+    let descriptor = PairCorrelationDescriptor {
+        num_species: mat.num_species(),
+        num_shells: mat.num_shells(),
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let data = Dataset::generate(
+        mat.hamiltonian(),
+        &nt,
+        &comp,
+        descriptor,
+        240,
+        SamplingStrategy::Annealed,
+        &mut rng,
+    );
+    let (train, test) = data.split(0.8);
+    let opts = TrainingOptions {
+        hidden: vec![32],
+        epochs: 250,
+        ..TrainingOptions::default()
+    };
+    let (_, report) = SurrogateModel::train(descriptor, &train, &test, &opts, &mut rng);
+    assert!(report.test_r2 > 0.95, "surrogate R² = {}", report.test_r2);
+
+    // --- Deep-proposal REWL to DOS convergence -------------------------
+    let mut cfg = DeepThermoConfig::quick_demo().with_seed(23);
+    cfg.material = MaterialSpec::new(mat.clone(), 2);
+    cfg.rewl.num_bins = 32;
+    cfg.rewl.kernel = KernelSpec::Deep(Box::new(DeepSpec {
+        proposal: DeepProposalConfig {
+            k: 6,
+            hidden: vec![16],
+        },
+        deep_weight: 0.2,
+        ..DeepSpec::default()
+    }));
+    let runner = DeepThermo::from_material(cfg).unwrap();
+    let run = runner.run().unwrap();
+    assert!(run.converged, "CrCoNi-flavored REWL did not converge");
+
+    // Physics sanity: hot entropy per atom approaches (from below) the
+    // ideal-mixing bound of the *non-equiatomic* composition.
+    let n = comp.num_sites() as f64;
+    let s_max = comp.ln_num_configurations() / n;
+    let s_hot = run.thermo.last().unwrap().s / n;
+    assert!(s_hot < s_max + 0.05, "S/atom hot = {s_hot} vs max {s_max}");
+    assert!(s_hot > 0.6 * s_max, "S/atom hot = {s_hot} vs max {s_max}");
+
+    // --- Export + serve both materials from one registry ---------------
+    let registry_dir = dir.join("registry");
+    runner.export_artifact(&run, &registry_dir).unwrap();
+    dt_serve::fixture::fixture_artifact("nbmotaw")
+        .save(&registry_dir)
+        .unwrap();
+
+    let registry = ArtifactRegistry::open(&registry_dir).unwrap();
+    assert_eq!(registry.len(), 2);
+    let state = AppState::new(registry, 16).unwrap();
+
+    // /v1/artifacts reports each artifact's material identity.
+    let listing = state.handle(&get("/v1/artifacts"));
+    assert_eq!(listing.status, 200, "{}", listing.body);
+    assert!(listing.body.contains("\"material_key\":\"cr40co30ni30\""));
+    assert!(listing.body.contains("\"material_key\":\"nbmotaw\""));
+    assert!(listing.body.contains("\"material\":\"Cr40Co30Ni30\""));
+
+    // /v1/thermo answers for both materials.
+    for id in ["cr40co30ni30-l2-seed23", "fixture-nbmotaw"] {
+        let body = format!("{{\"artifact\":\"{id}\",\"temperatures\":[600,1200,2400]}}");
+        let resp = state.handle(&post("/v1/thermo", &body));
+        assert_eq!(resp.status, 200, "{id}: {}", resp.body);
+        assert!(resp.body.contains("\"u\":["), "{id}: {}", resp.body);
+    }
+}
+
+fn get(target: &str) -> Request {
+    Request {
+        method: "GET".into(),
+        target: target.into(),
+        http11: true,
+        headers: Vec::new(),
+        body: Vec::new(),
+    }
+}
+
+fn post(target: &str, body: &str) -> Request {
+    Request {
+        method: "POST".into(),
+        target: target.into(),
+        http11: true,
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+    }
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
